@@ -1,0 +1,30 @@
+//! Criterion bench: Clark's max operator — the pipeline model's hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vardelay_stats::{max_of, max_pair, CorrelationMatrix, Normal};
+
+fn bench_max_pair(c: &mut Criterion) {
+    let a = Normal::new(200.0, 5.0).unwrap();
+    let b = Normal::new(202.0, 6.0).unwrap();
+    c.bench_function("clark/max_pair", |bench| {
+        bench.iter(|| max_pair(black_box(a), black_box(b), black_box(0.3)))
+    });
+}
+
+fn bench_max_of(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clark/max_of");
+    for &n in &[4usize, 16, 64] {
+        let stages: Vec<Normal> = (0..n)
+            .map(|i| Normal::new(200.0 + i as f64 * 0.5, 5.0).unwrap())
+            .collect();
+        let corr = CorrelationMatrix::uniform(n, 0.3).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| max_of(black_box(&stages), black_box(&corr)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_pair, bench_max_of);
+criterion_main!(benches);

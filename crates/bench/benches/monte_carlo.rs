@@ -1,0 +1,42 @@
+//! Criterion bench: Monte-Carlo engine throughput — quantifies the speedup
+//! the analytical model buys over simulation (the paper's motivation for
+//! an analytical yield model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vardelay_circuit::{CellLibrary, LatchParams, StagedPipeline};
+use vardelay_mc::{McConfig, PipelineMc};
+use vardelay_process::VariationConfig;
+
+fn bench_pipeline_mc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc/pipeline_5x8");
+    group.sample_size(10);
+    let mc = PipelineMc::new(
+        CellLibrary::default(),
+        VariationConfig::combined(20.0, 35.0, 15.0),
+        None,
+    );
+    let pipe = StagedPipeline::inverter_grid(5, 8, 1.0, LatchParams::tg_msff_70nm());
+    for &trials in &[500usize, 2_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(trials),
+            &trials,
+            |b, &trials| {
+                b.iter(|| {
+                    mc.run(
+                        black_box(&pipe),
+                        &McConfig {
+                            trials,
+                            seed: 7,
+                            threads: 1,
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_mc);
+criterion_main!(benches);

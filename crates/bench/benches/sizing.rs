@@ -1,0 +1,37 @@
+//! Criterion bench: statistical gate sizing of a stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vardelay_circuit::generators::{random_logic, RandomLogicConfig};
+use vardelay_circuit::CellLibrary;
+use vardelay_opt::sizing::{SizingConfig, StatisticalSizer};
+use vardelay_process::VariationConfig;
+use vardelay_ssta::SstaEngine;
+
+fn bench_size_stage(c: &mut Criterion) {
+    let engine = SstaEngine::new(
+        CellLibrary::default(),
+        VariationConfig::random_only(35.0),
+        None,
+    );
+    let sizer = StatisticalSizer::new(engine.clone(), SizingConfig::default());
+    let stage = random_logic(&RandomLogicConfig {
+        name: "bench_stage".into(),
+        inputs: 24,
+        gates: 200,
+        depth: 14,
+        outputs: 12,
+        seed: 77,
+    });
+    let d0 = engine.stage_delay(&stage, 0);
+    let target = d0.mean() * 0.92;
+    let mut group = c.benchmark_group("sizing");
+    group.sample_size(10);
+    group.bench_function("size_stage_200g", |b| {
+        b.iter(|| sizer.size_stage(black_box(&stage), 0, black_box(target), 0.9))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_size_stage);
+criterion_main!(benches);

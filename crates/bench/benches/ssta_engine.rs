@@ -1,0 +1,38 @@
+//! Criterion bench: block-based SSTA over benchmark netlists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vardelay_circuit::generators::{inverter_chain, iscas};
+use vardelay_circuit::{CellLibrary, LatchParams, StagedPipeline};
+use vardelay_process::VariationConfig;
+use vardelay_ssta::SstaEngine;
+
+fn engine(var: VariationConfig) -> SstaEngine {
+    SstaEngine::new(CellLibrary::default(), var, None)
+}
+
+fn bench_stage_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssta/stage_delay");
+    let eng = engine(VariationConfig::combined(20.0, 35.0, 15.0));
+    for (name, netlist) in [
+        ("chain40", inverter_chain(40, 1.0)),
+        ("c432", iscas::c432()),
+        ("c3540", iscas::c3540()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &netlist, |b, n| {
+            b.iter(|| eng.stage_delay(black_box(n), 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_analysis(c: &mut Criterion) {
+    let eng = engine(VariationConfig::combined(20.0, 35.0, 15.0));
+    let pipe = StagedPipeline::inverter_grid(12, 10, 1.0, LatchParams::tg_msff_70nm());
+    c.bench_function("ssta/analyze_pipeline_12x10", |b| {
+        b.iter(|| eng.analyze_pipeline(black_box(&pipe)))
+    });
+}
+
+criterion_group!(benches, bench_stage_delay, bench_pipeline_analysis);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Ablation studies of the paper's design choices.
+//!
+//! 1. **Clark fold ordering** (§2.4): the paper orders stages by
+//!    increasing mean before the pairwise recursion to minimize modeling
+//!    error. Ablate: sorted vs reversed vs interleaved orderings vs a
+//!    multivariate-normal Monte-Carlo reference.
+//! 2. **Imbalance receiver choice** (eq. 14): the heuristic speeds up the
+//!    stage where delay is cheap (R < 1). Ablate: give the freed area to
+//!    the *most expensive* stage instead.
+//! 3. **Guard-band refresh** (Fig. 9 steps 6–7): the sizer re-derives the
+//!    deterministic band from fresh statistics each pass. Ablate: a single
+//!    pass with a stale band.
+//!
+//! Run: `cargo run --release -p vardelay-bench --bin ablations`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vardelay_bench::library;
+use vardelay_bench::render::{pct, TextTable};
+use vardelay_circuit::generators::{random_logic, RandomLogicConfig};
+use vardelay_core::balance::{balanced_pipeline, best_point, imbalance_sweep};
+use vardelay_core::yield_model::stage_yield_target;
+use vardelay_opt::sizing::{SizingConfig, StatisticalSizer};
+use vardelay_process::VariationConfig;
+use vardelay_ssta::SstaEngine;
+use vardelay_stats::{
+    inv_cap_phi, max_of_with_order, CorrelationMatrix, MultivariateNormal, Normal, RunningStats,
+};
+
+fn ablation_ordering() {
+    println!("--- Ablation 1: Clark fold ordering (paper: sort by increasing mean) ---");
+    let ns = 10;
+    let stages: Vec<Normal> = (0..ns)
+        .map(|i| Normal::new(200.0 + 3.0 * i as f64, 6.0).expect("valid"))
+        .collect();
+    let corr = CorrelationMatrix::uniform(ns, 0.2).expect("valid rho");
+
+    // MC reference.
+    let mvn = MultivariateNormal::from_correlation(
+        &stages.iter().map(Normal::mean).collect::<Vec<_>>(),
+        &stages.iter().map(Normal::sd).collect::<Vec<_>>(),
+        &corr,
+    )
+    .expect("PSD");
+    let mut rng = StdRng::seed_from_u64(0xAB1A);
+    let mc: RunningStats = mvn.sample_max_n(&mut rng, 500_000).into_iter().collect();
+
+    let sorted: Vec<usize> = (0..ns).collect(); // means already ascending
+    let reversed: Vec<usize> = (0..ns).rev().collect();
+    let interleaved: Vec<usize> = (0..ns / 2).flat_map(|i| [i, ns - 1 - i]).collect();
+
+    let mut t = TextTable::new(["ordering", "mu err %", "sigma err %"]);
+    for (name, order) in [
+        ("increasing mean (paper)", &sorted),
+        ("decreasing mean", &reversed),
+        ("interleaved", &interleaved),
+    ] {
+        let m = max_of_with_order(&stages, &corr, order);
+        t.row([
+            name.to_owned(),
+            format!("{:.4}", 100.0 * (m.mean() - mc.mean()).abs() / mc.mean()),
+            format!(
+                "{:.3}",
+                100.0 * (m.sd() - mc.sample_sd()).abs() / mc.sample_sd()
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn ablation_receiver() {
+    println!("--- Ablation 2: imbalance receiver choice (eq. 14: pick R < 1) ---");
+    let target = 179.0;
+    let sigma = 2.0;
+    let y_stage = stage_yield_target(0.80, 3);
+    let mu = target - inv_cap_phi(y_stage) * sigma;
+    let base = balanced_pipeline(3, mu, sigma).expect("valid");
+    let slopes = [1.8, 0.5, 1.8];
+    let deltas: Vec<f64> = (0..80).map(|i| f64::from(i) * 0.05).collect();
+
+    let mut t = TextTable::new(["receiver", "best yield %", "balanced %"]);
+    // Heuristic choice: the cheap stage (R = 0.5).
+    let good = imbalance_sweep(&base, &[0, 2], 1, &slopes, target, &deltas).expect("sweep");
+    // Wrong choice: an expensive stage (R = 1.8).
+    let bad = imbalance_sweep(&base, &[1, 2], 0, &slopes, target, &deltas).expect("sweep");
+    let balanced = pct(base.yield_at(target));
+    t.row([
+        "stage 1, R=0.5 (heuristic)".to_owned(),
+        pct(best_point(&good).yield_value),
+        balanced.clone(),
+    ]);
+    t.row([
+        "stage 0, R=1.8 (ablated)".to_owned(),
+        pct(best_point(&bad).yield_value),
+        balanced,
+    ]);
+    println!("{}", t.render());
+}
+
+fn ablation_guard_band() {
+    println!("--- Ablation 3: guard-band refresh in the statistical sizer ---");
+    let engine = SstaEngine::new(library(), VariationConfig::random_only(35.0), None);
+    let stage = random_logic(&RandomLogicConfig {
+        name: "ab3".into(),
+        inputs: 20,
+        gates: 180,
+        depth: 13,
+        outputs: 10,
+        seed: 99,
+    });
+    let d0 = engine.stage_delay(&stage, 0);
+    let target = d0.mean() * 0.93;
+
+    let mut t = TextTable::new(["config", "met", "area", "stat delay (ps)"]);
+    for (name, passes) in [("1 pass (stale band)", 1usize), ("3 passes (paper)", 3)] {
+        let sizer = StatisticalSizer::new(
+            engine.clone(),
+            SizingConfig {
+                outer_passes: passes,
+                ..SizingConfig::default()
+            },
+        );
+        let r = sizer.size_stage(&stage, 0, target, 0.9);
+        t.row([
+            name.to_owned(),
+            r.met.to_string(),
+            format!("{:.1}", r.area),
+            format!("{:.2}", r.stat_delay_ps),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn main() {
+    println!("Ablations of the paper's design choices\n");
+    ablation_ordering();
+    ablation_receiver();
+    ablation_guard_band();
+}

@@ -1,0 +1,44 @@
+//! Fig. 2: delay distribution of an inverter-chain pipeline under process
+//! variation — analytical model vs Monte-Carlo.
+//!
+//! (a) only random intra-die variation, (b) only inter-die variation,
+//! (c) inter- and intra-die with both random and systematic components.
+//!
+//! Run: `cargo run --release -p vardelay-bench --bin fig2`
+
+use vardelay_bench::render::histogram_vs_normal;
+use vardelay_bench::{analytic_delay, inverter_pipeline, mc_delay, Scenario};
+
+fn main() {
+    let trials = 20_000;
+    // The paper's caption uses a 12-stage, logic-depth-10 chain.
+    let pipeline = inverter_pipeline(12, 10);
+    println!("Fig. 2 — delay distribution of a 12-stage inverter-chain pipeline");
+    println!("(stage logic depth = 10), analytical model vs {trials}-trial Monte-Carlo\n");
+
+    for (panel, scenario) in [
+        ("(a)", Scenario::IntraRandomOnly),
+        ("(b)", Scenario::InterOnly),
+        ("(c)", Scenario::Combined),
+    ] {
+        let analytic = analytic_delay(scenario, &pipeline);
+        let mc = mc_delay(scenario, &pipeline, trials, 0xF162);
+        let hist = mc.pipeline.histogram(28);
+        println!("--- Fig. 2{panel}: {} ---", scenario.label());
+        println!(
+            "analytical: mu = {:.2} ps, sigma = {:.2} ps | Monte-Carlo: mu = {:.2} ps, sigma = {:.2} ps",
+            analytic.mean(),
+            analytic.sd(),
+            mc.pipeline.mean(),
+            mc.pipeline.sd()
+        );
+        println!(
+            "errors: mean {:.3}%, sigma {:.2}% | MC skewness {:+.3} (Gaussian = 0; the max of \
+             independent stages is right-skewed, which is the model's error source)\n",
+            100.0 * (analytic.mean() - mc.pipeline.mean()).abs() / mc.pipeline.mean(),
+            100.0 * (analytic.sd() - mc.pipeline.sd()).abs() / mc.pipeline.sd(),
+            mc.pipeline.stats().skewness()
+        );
+        println!("{}", histogram_vs_normal(&hist, &analytic, 50));
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 4: range of permissible mean and standard deviation for each stage
+//! to meet a target yield.
+//!
+//! Prints, over a sweep of stage means, the σ ceilings from the relaxed
+//! bound (eq. 11) and the equality bounds (eq. 12) for two stage counts,
+//! plus the realizable inverter-chain band (eq. 13) between minimum- and
+//! maximum-size devices.
+//!
+//! Run: `cargo run --release -p vardelay-bench --bin fig4`
+
+use vardelay_bench::library;
+use vardelay_bench::render::xy_table;
+use vardelay_core::design_space::{DesignSpace, RealizableCurve, RealizableRegion};
+use vardelay_process::VariationConfig;
+use vardelay_ssta::SstaEngine;
+
+fn main() {
+    let target = 100.0; // ps
+    let yield_target = 0.90;
+    let (n1, n2) = (5usize, 10usize);
+    let ds = DesignSpace::new(target, yield_target).expect("valid yield");
+
+    println!("Fig. 4 — permissible (mu, sigma) design space per stage");
+    println!("target delay = {target} ps, pipeline yield = {}%\n", yield_target * 100.0);
+
+    // Realizable curves from the actual library: a minimum-size inverter
+    // and a 4x inverter, each FO4-loaded, under random intra variation.
+    let engine = SstaEngine::new(library(), VariationConfig::random_only(35.0), None);
+    let unit = |size: f64| {
+        let chain = vardelay_circuit::generators::inverter_chain(1, size);
+        let d = engine.stage_delay(&chain, 0);
+        (d.mean(), d.sd())
+    };
+    let (mu_min, sd_min) = unit(1.0); // min size: slower, more variable
+    let (mu_max, sd_max) = unit(4.0);
+    let region = RealizableRegion {
+        min_size: RealizableCurve::new(mu_min, sd_min),
+        max_size: RealizableCurve::new(mu_max, sd_max),
+        min_depth: 4,
+    };
+
+    let mus: Vec<f64> = (1..=12).map(|i| f64::from(i) * 8.0).collect();
+    let relaxed: Vec<f64> = mus.iter().map(|&m| ds.relaxed_sigma_bound(m)).collect();
+    let eq_n1: Vec<f64> = mus.iter().map(|&m| ds.equality_sigma_bound(m, n1)).collect();
+    let eq_n2: Vec<f64> = mus.iter().map(|&m| ds.equality_sigma_bound(m, n2)).collect();
+    let real_hi: Vec<f64> = mus.iter().map(|&m| region.min_size.sigma_at(m)).collect();
+    let real_lo: Vec<f64> = mus.iter().map(|&m| region.max_size.sigma_at(m)).collect();
+
+    println!(
+        "{}",
+        xy_table(
+            "stage mu (ps)",
+            &mus,
+            &[
+                ("relaxed bound (eq.11)", relaxed),
+                (&format!("equality Ns={n1}"), eq_n1),
+                (&format!("equality Ns={n2}"), eq_n2),
+                ("realizable upper (min-size)", real_hi),
+                ("realizable lower (max-size)", real_lo),
+            ],
+            3,
+        )
+    );
+
+    println!("unit inverter: min-size (mu {mu_min:.2} ps, sigma {sd_min:.3} ps), 4x ({mu_max:.2} ps, {sd_max:.3} ps)");
+    println!("minimum logic depth floor: mu >= {:.1} ps", 4.0 * mu_max.min(mu_min));
+    println!("\nshape check vs paper: equality bounds tighten with Ns and all bounds slope");
+    println!("down-right (larger mu leaves less sigma budget); the realizable band rises as");
+    println!("sqrt(mu) and intersects the bounds to give the feasible design region.");
+
+    // A few spot checks of admissibility, as the figure's shaded region.
+    for (mu, sd) in [(40.0, 2.0), (80.0, 2.0), (95.0, 4.0)] {
+        println!(
+            "(mu={mu:.0}, sigma={sd:.1}) admissible at Ns={n1}? {}  realizable? {}",
+            ds.is_admissible(mu, sd, n1),
+            region.contains(mu, sd)
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Fig. 5: variability (σ/μ) trends.
+//!
+//! (a) stage-delay variability vs logic depth under four variation mixes;
+//! (b) pipeline-delay variability vs number of stages for three stage
+//!     correlations;
+//! (c) pipeline-delay variability when logic depth and stage count trade
+//!     off at constant total depth (NL × NS = 120) for three inter-die
+//!     strengths.
+//!
+//! Run: `cargo run --release -p vardelay-bench --bin fig5 [-- a|b|c]`
+
+use vardelay_bench::{engine, library, Scenario};
+use vardelay_bench::render::xy_table;
+use vardelay_circuit::generators::inverter_chain;
+use vardelay_core::variability::pipeline_variability;
+use vardelay_process::VariationConfig;
+use vardelay_ssta::SstaEngine;
+use vardelay_stats::Normal;
+
+fn stage_var(var: VariationConfig, nl: usize) -> f64 {
+    SstaEngine::new(library(), var, None)
+        .stage_delay(&inverter_chain(nl, 1.0), 0)
+        .variability()
+}
+
+fn panel_a() {
+    println!("--- Fig. 5(a): stage-delay variability vs logic depth (normalized to depth 5) ---");
+    let depths: Vec<usize> = vec![5, 8, 10, 15, 20, 25, 30, 35, 40];
+    let scenarios: Vec<(&str, VariationConfig)> = vec![
+        ("random intra only", VariationConfig::random_only(35.0)),
+        ("intra + inter 20mV", VariationConfig::combined(20.0, 35.0, 0.0)),
+        ("intra + inter 40mV", VariationConfig::combined(40.0, 35.0, 0.0)),
+        ("inter only 40mV", VariationConfig::inter_only(40.0)),
+    ];
+    let xs: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
+    let series: Vec<(&str, Vec<f64>)> = scenarios
+        .iter()
+        .map(|(name, var)| {
+            let base = stage_var(*var, depths[0]);
+            (
+                *name,
+                depths.iter().map(|&nl| stage_var(*var, nl) / base).collect(),
+            )
+        })
+        .collect();
+    println!("{}", xy_table("logic depth", &xs, &series, 4));
+    println!("shape check: random-only falls as 1/sqrt(NL); curves flatten as inter-die");
+    println!("strength grows; inter-only is flat at 1.\n");
+}
+
+fn panel_b() {
+    println!("--- Fig. 5(b): pipeline variability vs number of stages (normalized to Ns=4) ---");
+    let ns_axis: Vec<usize> = vec![4, 8, 12, 16, 20, 24, 28, 32, 36, 40];
+    let stage = Normal::new(100.0, 4.0).expect("valid");
+    let xs: Vec<f64> = ns_axis.iter().map(|&n| n as f64).collect();
+    let series: Vec<(String, Vec<f64>)> = [0.0, 0.2, 0.5]
+        .iter()
+        .map(|&rho| {
+            let base = pipeline_variability(ns_axis[0], stage, rho);
+            (
+                format!("rho = {rho}"),
+                ns_axis
+                    .iter()
+                    .map(|&ns| pipeline_variability(ns, stage, rho) / base)
+                    .collect(),
+            )
+        })
+        .collect();
+    let series_ref: Vec<(&str, Vec<f64>)> = series
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
+    println!("{}", xy_table("stages", &xs, &series_ref, 4));
+    println!("shape check: the max over more stages concentrates (variability falls with Ns),");
+    println!("and correlation weakens the effect (rho=0.5 decays less than rho=0).\n");
+}
+
+fn panel_c() {
+    println!("--- Fig. 5(c): sigma/mu vs number of stages with NL x NS = 120 ---");
+    let total = 120usize;
+    let stage_counts: Vec<usize> = vec![2, 3, 4, 5, 6, 8, 10, 12, 15, 20, 24, 30];
+    let inter_levels = [0.0, 20.0, 40.0];
+    let xs: Vec<f64> = stage_counts.iter().map(|&n| n as f64).collect();
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for &inter in &inter_levels {
+        let var = VariationConfig::combined(inter, 35.0, 0.0);
+        let eng = SstaEngine::new(library(), var, None);
+        let ys: Vec<f64> = stage_counts
+            .iter()
+            .map(|&ns| {
+                let nl = total / ns;
+                let p = vardelay_circuit::StagedPipeline::inverter_grid(
+                    ns,
+                    nl,
+                    1.0,
+                    vardelay_circuit::LatchParams::ideal(),
+                );
+                let timing = eng.analyze_pipeline(&p);
+                vardelay_bench::to_core_pipeline(&timing)
+                    .delay_distribution()
+                    .variability()
+            })
+            .collect();
+        series.push((format!("sigmaVthInter = {inter} mV"), ys));
+    }
+    let series_ref: Vec<(&str, Vec<f64>)> = series
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
+    println!("{}", xy_table("stages (NL = 120/NS)", &xs, &series_ref, 5));
+    println!("shape check: with intra-only (0 mV) variability RISES with stage count (shallow");
+    println!("stages are noisier and the max cannot compensate); with 40 mV inter-die it FALLS");
+    println!("(stage sigma/mu is depth-insensitive, so the max-function effect wins).");
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    println!("Fig. 5 — variability of stage and pipeline delay ({})\n", engine(Scenario::IntraRandomOnly).library().tech().name());
+    match arg.as_deref() {
+        Some("a") => panel_a(),
+        Some("b") => panel_b(),
+        Some("c") => panel_c(),
+        _ => {
+            panel_a();
+            panel_b();
+            panel_c();
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Cross-node extrapolation (beyond the paper): how the pipeline-yield
+//! problem worsens as technology scales from 100 nm through 70 nm to
+//! 45 nm-class nodes.
+//!
+//! The same 5×8 inverter-chain pipeline is analyzed at three technology
+//! presets whose random-mismatch coefficients follow the Pelgrom trend
+//! (smaller devices, more σVth). The target is set at each node's own
+//! μ+1.3σ point so the comparison isolates the variability growth.
+//!
+//! Run: `cargo run --release -p vardelay-bench --bin node_scaling`
+
+use vardelay_bench::render::{pct, TextTable};
+use vardelay_bench::to_core_pipeline;
+use vardelay_circuit::{CellLibrary, LatchParams, StagedPipeline};
+use vardelay_process::{Technology, VariationConfig};
+use vardelay_ssta::SstaEngine;
+
+fn main() {
+    println!("Node scaling — the sub-100nm yield problem getting worse (extension)\n");
+    let pipe = StagedPipeline::inverter_grid(5, 8, 1.0, LatchParams::tg_msff_70nm());
+
+    let mut t = TextTable::new([
+        "node",
+        "sigmaVth rand (mV)",
+        "pipeline mu (ps)",
+        "sigma (ps)",
+        "sigma/mu %",
+        "yield @ mu+2% %",
+    ]);
+    for tech in [
+        Technology::generic100(),
+        Technology::bptm70(),
+        Technology::generic45(),
+    ] {
+        let rand_mv = tech.sigma_vth_rand_min_v() * 1e3;
+        let var = VariationConfig::combined(20.0, rand_mv, 0.0);
+        let engine = SstaEngine::new(CellLibrary::new(tech.clone()), var, None);
+        let model = to_core_pipeline(&engine.analyze_pipeline(&pipe));
+        let d = model.delay_distribution();
+        // Fixed *relative* timing margin: 2% above the mean.
+        let y = model.yield_at(d.mean() * 1.02);
+        t.row([
+            tech.name().to_owned(),
+            format!("{rand_mv:.0}"),
+            format!("{:.2}", d.mean()),
+            format!("{:.3}", d.sd()),
+            format!("{:.3}", 100.0 * d.variability()),
+            pct(y),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shape: at a constant relative timing margin, yield erodes monotonically as");
+    println!("the node shrinks — the trend that motivates the paper's statistical design");
+    println!("flow in the first place (its title's 'sub-100nm technologies').");
+}

@@ -1,0 +1,203 @@
+//! Plain-text rendering: aligned tables, histograms, and XY charts.
+//!
+//! Every experiment binary prints its artifact in a form comparable to the
+//! paper's table or figure — no plotting dependencies, just text.
+
+use vardelay_stats::{Histogram, Normal};
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders to a string with column alignment and a separator line.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = width[i].max(h.chars().count());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(c);
+                for _ in c.chars().count()..width[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.headers, &width));
+        out.push('\n');
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a Monte-Carlo histogram with an overlaid analytical Gaussian —
+/// the Fig. 2 artifact. Each bin shows `#` bars for the MC density and a
+/// `*` marker at the analytic density.
+pub fn histogram_vs_normal(hist: &Histogram, dist: &Normal, width: usize) -> String {
+    let mut out = String::new();
+    let bins = hist.counts().len();
+    // Scale: max of either density.
+    let mut dmax: f64 = 0.0;
+    for i in 0..bins {
+        dmax = dmax.max(hist.density(i)).max(dist.pdf(hist.bin_center(i)));
+    }
+    if dmax <= 0.0 {
+        return "(empty histogram)".to_owned();
+    }
+    for i in 0..bins {
+        let x = hist.bin_center(i);
+        let mc = hist.density(i);
+        let model = dist.pdf(x);
+        let mc_w = ((mc / dmax) * width as f64).round() as usize;
+        let mo_w = (((model / dmax) * width as f64).round() as usize).min(width);
+        let mut bar: Vec<char> = vec![' '; width + 1];
+        for c in bar.iter_mut().take(mc_w.min(width)) {
+            *c = '#';
+        }
+        bar[mo_w] = '*';
+        out.push_str(&format!(
+            "{x:9.2} ps |{}|\n",
+            bar.into_iter().collect::<String>()
+        ));
+    }
+    out.push_str("  (# = Monte-Carlo density, * = analytical model)\n");
+    out
+}
+
+/// Renders one or more XY series as rows of `x` then one column per
+/// series — the "figure as a table" form used for Figs. 3, 5, 7(b), 8.
+///
+/// # Panics
+///
+/// Panics if series lengths differ from `xs`.
+pub fn xy_table(
+    x_label: &str,
+    xs: &[f64],
+    series: &[(&str, Vec<f64>)],
+    precision: usize,
+) -> String {
+    let mut headers = vec![x_label.to_owned()];
+    headers.extend(series.iter().map(|(n, _)| (*n).to_owned()));
+    let mut t = TextTable::new(headers);
+    for (i, &x) in xs.iter().enumerate() {
+        let mut row = vec![format!("{x:.2}")];
+        for (name, ys) in series {
+            assert_eq!(ys.len(), xs.len(), "series '{name}' length mismatch");
+            row.push(format!("{:.*}", precision, ys[i]));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Formats a probability as a percentage with two decimals.
+pub fn pct(p: f64) -> String {
+    format!("{:.2}", 100.0 * p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(["a", "long-header", "c"]);
+        t.row(["1", "2", "3"]);
+        t.row(["wide-cell", "x", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header columns align with rows: the 'x' under long-header.
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 2 cells")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn histogram_rendering_contains_markers() {
+        let mut h = Histogram::new(-4.0, 4.0, 16);
+        let d = Normal::standard();
+        // Fill with roughly normal counts.
+        for i in 0..16 {
+            let x = h.bin_center(i);
+            for _ in 0..((d.pdf(x) * 1000.0) as usize) {
+                h.push(x);
+            }
+        }
+        let s = histogram_vs_normal(&h, &d, 40);
+        assert!(s.contains('#'));
+        assert!(s.contains('*'));
+        assert!(s.lines().count() >= 16);
+    }
+
+    #[test]
+    fn xy_table_renders_series() {
+        let s = xy_table(
+            "x",
+            &[1.0, 2.0],
+            &[("f", vec![0.1, 0.2]), ("g", vec![0.3, 0.4])],
+            3,
+        );
+        assert!(s.contains("0.200"));
+        assert!(s.contains('g'));
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.805), "80.50");
+    }
+}

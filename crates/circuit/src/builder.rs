@@ -1,0 +1,139 @@
+//! Incremental netlist construction.
+
+use crate::gate::GateKind;
+use crate::netlist::{Gate, Netlist, NetlistError, SignalId};
+
+/// Builds a [`Netlist`] gate by gate, maintaining topological order by
+/// construction.
+///
+/// ```
+/// use vardelay_circuit::{GateKind, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("half_adder", 2);
+/// let a = b.input(0);
+/// let c = b.input(1);
+/// let sum = b.gate(GateKind::Xor2, 1.0, &[a, c]);
+/// let carry = b.gate(GateKind::And2, 1.0, &[a, c]);
+/// b.output(sum);
+/// b.output(carry);
+/// let n = b.finish()?;
+/// assert_eq!(n.gate_count(), 2);
+/// # Ok::<(), vardelay_circuit::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    input_count: usize,
+    gates: Vec<Gate>,
+    outputs: Vec<SignalId>,
+}
+
+impl NetlistBuilder {
+    /// Starts a netlist with `input_count` primary inputs.
+    pub fn new(name: &str, input_count: usize) -> Self {
+        NetlistBuilder {
+            name: name.to_owned(),
+            input_count,
+            gates: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The [`SignalId`] of primary input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= input_count`.
+    pub fn input(&self, i: usize) -> SignalId {
+        assert!(i < self.input_count, "input index {i} out of range");
+        SignalId(i)
+    }
+
+    /// Number of signals defined so far.
+    pub fn signal_count(&self) -> usize {
+        self.input_count + self.gates.len()
+    }
+
+    /// Number of gates added so far.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Adds a gate and returns its output signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fanin is not yet defined (forward reference) — this is a
+    /// programming error in the generator, caught eagerly.
+    pub fn gate(&mut self, kind: GateKind, size: f64, fanins: &[SignalId]) -> SignalId {
+        let own = self.signal_count();
+        for f in fanins {
+            assert!(
+                f.0 < own,
+                "fanin {f} not yet defined (gate would be out of topological order)"
+            );
+        }
+        self.gates.push(Gate {
+            kind,
+            size,
+            fanins: fanins.to_vec(),
+        });
+        SignalId(own)
+    }
+
+    /// Adds an inverter — the most common single-input case.
+    pub fn inv(&mut self, size: f64, fanin: SignalId) -> SignalId {
+        self.gate(GateKind::Inv, size, &[fanin])
+    }
+
+    /// Marks a signal as a primary output.
+    pub fn output(&mut self, s: SignalId) {
+        self.outputs.push(s);
+    }
+
+    /// Finalizes and validates the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from validation (arity, sizes, outputs).
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        Netlist::new(&self.name, self.input_count, self.gates, self.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = NetlistBuilder::new("t", 3);
+        let s0 = b.gate(GateKind::Nand2, 1.0, &[b.input(0), b.input(1)]);
+        assert_eq!(s0, SignalId(3));
+        let s1 = b.inv(1.0, s0);
+        assert_eq!(s1, SignalId(4));
+        b.output(s1);
+        let n = b.finish().unwrap();
+        assert_eq!(n.gate_count(), 2);
+        assert_eq!(n.outputs(), &[SignalId(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet defined")]
+    fn builder_rejects_forward_reference() {
+        let mut b = NetlistBuilder::new("t", 1);
+        let _ = b.gate(GateKind::Inv, 1.0, &[SignalId(5)]);
+    }
+
+    #[test]
+    fn finish_validates_arity() {
+        // Arity mismatch can't happen via gate() (slice is stored as-is and
+        // validated at finish). Construct a wrong-arity call:
+        let mut b = NetlistBuilder::new("t", 2);
+        let _ = b.gate(GateKind::Nand2, 1.0, &[b.input(0)]); // 1 fanin for NAND2
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
+    }
+}

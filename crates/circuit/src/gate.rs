@@ -1,0 +1,209 @@
+//! Gate kinds and their logical-effort parameters.
+//!
+//! The delay model throughout the workspace is the method of logical effort
+//! (Sutherland–Sproull–Harris): a gate of kind `k` sized `x` driving a load
+//! `C_L` (in minimum-inverter input-cap units) has nominal delay
+//!
+//! ```text
+//! d = tau_fo1 * ( p(k) + g(k) * C_L / x )
+//! ```
+//!
+//! where `g` is the logical effort and `p` the parasitic delay, both
+//! normalized to the minimum inverter.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Supported combinational gate kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer (two cascaded inverters merged into one cell).
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 4-input NAND.
+    Nand4,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 2-input AND (NAND + inverter cell).
+    And2,
+    /// 2-input OR (NOR + inverter cell).
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// AND-OR-invert 2-1.
+    Aoi21,
+    /// OR-AND-invert 2-1.
+    Oai21,
+}
+
+impl GateKind {
+    /// All kinds, for iteration in tests and library construction.
+    pub const ALL: [GateKind; 13] = [
+        GateKind::Inv,
+        GateKind::Buf,
+        GateKind::Nand2,
+        GateKind::Nand3,
+        GateKind::Nand4,
+        GateKind::Nor2,
+        GateKind::Nor3,
+        GateKind::And2,
+        GateKind::Or2,
+        GateKind::Xor2,
+        GateKind::Xnor2,
+        GateKind::Aoi21,
+        GateKind::Oai21,
+    ];
+
+    /// Number of inputs the gate requires.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Inv | GateKind::Buf => 1,
+            GateKind::Nand2
+            | GateKind::Nor2
+            | GateKind::And2
+            | GateKind::Or2
+            | GateKind::Xor2
+            | GateKind::Xnor2 => 2,
+            GateKind::Nand3 | GateKind::Nor3 | GateKind::Aoi21 | GateKind::Oai21 => 3,
+            GateKind::Nand4 => 4,
+        }
+    }
+
+    /// Logical effort `g` (input capacitance per unit drive, normalized to
+    /// the inverter). Standard CMOS values with PMOS/NMOS mobility ratio 2.
+    pub fn logical_effort(self) -> f64 {
+        match self {
+            GateKind::Inv => 1.0,
+            GateKind::Buf => 1.0,
+            GateKind::Nand2 => 4.0 / 3.0,
+            GateKind::Nand3 => 5.0 / 3.0,
+            GateKind::Nand4 => 6.0 / 3.0,
+            GateKind::Nor2 => 5.0 / 3.0,
+            GateKind::Nor3 => 7.0 / 3.0,
+            GateKind::And2 => 4.0 / 3.0,
+            GateKind::Or2 => 5.0 / 3.0,
+            GateKind::Xor2 => 4.0,
+            GateKind::Xnor2 => 4.0,
+            GateKind::Aoi21 => 2.0,
+            GateKind::Oai21 => 2.0,
+        }
+    }
+
+    /// Parasitic delay `p` in units of the inverter parasitic (~1 for the
+    /// inverter).
+    pub fn parasitic(self) -> f64 {
+        match self {
+            GateKind::Inv => 1.0,
+            GateKind::Buf => 2.0,
+            GateKind::Nand2 => 2.0,
+            GateKind::Nand3 => 3.0,
+            GateKind::Nand4 => 4.0,
+            GateKind::Nor2 => 2.0,
+            GateKind::Nor3 => 3.0,
+            GateKind::And2 => 3.0,
+            GateKind::Or2 => 3.0,
+            GateKind::Xor2 => 4.0,
+            GateKind::Xnor2 => 4.0,
+            GateKind::Aoi21 => 3.0,
+            GateKind::Oai21 => 3.0,
+        }
+    }
+
+    /// Relative area of a unit-size cell (normalized to the inverter).
+    /// Roughly proportional to transistor count / total width.
+    pub fn area_unit(self) -> f64 {
+        match self {
+            GateKind::Inv => 1.0,
+            GateKind::Buf => 2.0,
+            GateKind::Nand2 => 2.0,
+            GateKind::Nand3 => 3.0,
+            GateKind::Nand4 => 4.0,
+            GateKind::Nor2 => 2.5,
+            GateKind::Nor3 => 4.0,
+            GateKind::And2 => 3.0,
+            GateKind::Or2 => 3.5,
+            GateKind::Xor2 => 5.0,
+            GateKind::Xnor2 => 5.0,
+            GateKind::Aoi21 => 3.5,
+            GateKind::Oai21 => 3.5,
+        }
+    }
+
+    /// Effective device count for Pelgrom scaling: wider cells average more
+    /// dopant randomness; we approximate the random-σ divisor as
+    /// `sqrt(area_unit)` on top of the size factor.
+    pub fn mismatch_area(self) -> f64 {
+        self.area_unit()
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Inv => "INV",
+            GateKind::Buf => "BUF",
+            GateKind::Nand2 => "NAND2",
+            GateKind::Nand3 => "NAND3",
+            GateKind::Nand4 => "NAND4",
+            GateKind::Nor2 => "NOR2",
+            GateKind::Nor3 => "NOR3",
+            GateKind::And2 => "AND2",
+            GateKind::Or2 => "OR2",
+            GateKind::Xor2 => "XOR2",
+            GateKind::Xnor2 => "XNOR2",
+            GateKind::Aoi21 => "AOI21",
+            GateKind::Oai21 => "OAI21",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_is_the_reference() {
+        assert_eq!(GateKind::Inv.logical_effort(), 1.0);
+        assert_eq!(GateKind::Inv.parasitic(), 1.0);
+        assert_eq!(GateKind::Inv.area_unit(), 1.0);
+        assert_eq!(GateKind::Inv.arity(), 1);
+    }
+
+    #[test]
+    fn efforts_exceed_inverter() {
+        for k in GateKind::ALL {
+            assert!(k.logical_effort() >= 1.0, "{k}");
+            assert!(k.parasitic() >= 1.0, "{k}");
+            assert!(k.area_unit() >= 1.0, "{k}");
+            assert!(k.arity() >= 1 && k.arity() <= 4, "{k}");
+        }
+    }
+
+    #[test]
+    fn nor_worse_than_nand_at_same_arity() {
+        // PMOS stacks make NOR gates slower per input — a standard sanity
+        // check on logical-effort tables.
+        assert!(GateKind::Nor2.logical_effort() > GateKind::Nand2.logical_effort());
+        assert!(GateKind::Nor3.logical_effort() > GateKind::Nand3.logical_effort());
+    }
+
+    #[test]
+    fn display_is_nonempty_uppercase() {
+        for k in GateKind::ALL {
+            let s = k.to_string();
+            assert!(!s.is_empty());
+            assert_eq!(s, s.to_uppercase());
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The two ALU segments of the Fig. 6 three-stage ALU–Decoder pipeline.
+//!
+//! Fig. 6 splits an ALU around a decoder: `ALU PART-I -> DECODER ->
+//! ALU PART-II`, each segment with logic depth 4. We build
+//! carry-lookahead-style segments: part I generates propagate/generate
+//! signals and group carries; part II expands carries and produces sums.
+//! The segments are structurally realistic (mixed gate kinds, fanout,
+//! exactly depth 4) — which is what the area/delay/yield experiments
+//! consume.
+
+use crate::builder::NetlistBuilder;
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// ALU part I for a `width`-bit datapath: propagate/generate plus a two-step
+/// carry-merge tree. Logic depth is exactly 4.
+///
+/// Inputs: `2*width` (operands a, b interleaved a0,b0,a1,b1,...).
+/// Outputs: per-bit propagate signals and the quad-group carries.
+///
+/// # Panics
+///
+/// Panics unless `width` is a positive multiple of 4.
+pub fn alu_part1(width: usize) -> Netlist {
+    assert!(width > 0 && width.is_multiple_of(4), "width must be a multiple of 4");
+    let mut b = NetlistBuilder::new("alu_part1", 2 * width);
+
+    // Level 1: p_i = a XOR b, g_i = a AND b.
+    let mut p = Vec::with_capacity(width);
+    let mut g = Vec::with_capacity(width);
+    for i in 0..width {
+        let a = b.input(2 * i);
+        let bi = b.input(2 * i + 1);
+        p.push(b.gate(GateKind::Xor2, 1.0, &[a, bi]));
+        g.push(b.gate(GateKind::And2, 1.0, &[a, bi]));
+    }
+
+    // Level 2: pairwise merge. AOI21 computes the complement of the
+    // carry-merge g_hi + p_hi*g_lo in a single level; NAND2 gives the
+    // complement of the pair propagate.
+    let mut c2n = Vec::with_capacity(width / 2);
+    let mut p2n = Vec::with_capacity(width / 2);
+    for j in 0..width / 2 {
+        let (lo, hi) = (2 * j, 2 * j + 1);
+        c2n.push(b.gate(GateKind::Aoi21, 1.0, &[g[hi], p[hi], g[lo]]));
+        p2n.push(b.gate(GateKind::Nand2, 1.0, &[p[hi], p[lo]]));
+    }
+
+    // Level 3: restore polarity.
+    let c2: Vec<_> = c2n.iter().map(|&s| b.inv(1.0, s)).collect();
+    let p2: Vec<_> = p2n.iter().map(|&s| b.inv(1.0, s)).collect();
+
+    // Level 4: quad merge — the group carries handed to the next stage.
+    let mut c4 = Vec::with_capacity(width / 4);
+    for j in 0..width / 4 {
+        let (lo, hi) = (2 * j, 2 * j + 1);
+        c4.push(b.gate(GateKind::Aoi21, 1.0, &[c2[hi], p2[hi], c2[lo]]));
+    }
+
+    for &s in &p {
+        b.output(s);
+    }
+    for &s in &c4 {
+        b.output(s);
+    }
+    b.finish().expect("alu_part1 construction is valid")
+}
+
+/// ALU part II: expands group carries back to per-bit carries and produces
+/// sums gated by a 2-bit function select. Logic depth is exactly 4.
+///
+/// Inputs: `width` propagate bits, `width/4` group carries, 2 select bits.
+/// Outputs: `width` result bits.
+///
+/// # Panics
+///
+/// Panics unless `width` is a positive multiple of 4.
+pub fn alu_part2(width: usize) -> Netlist {
+    assert!(width > 0 && width.is_multiple_of(4), "width must be a multiple of 4");
+    let groups = width / 4;
+    let mut b = NetlistBuilder::new("alu_part2", width + groups + 2);
+    let p: Vec<_> = (0..width).map(|i| b.input(i)).collect();
+    let c4: Vec<_> = (0..groups).map(|j| b.input(width + j)).collect();
+    let sel0 = b.input(width + groups);
+    let sel1 = b.input(width + groups + 1);
+
+    // Level 1: per-bit carry seed (complement) from the group carry.
+    let t: Vec<_> = (0..width)
+        .map(|i| b.gate(GateKind::Nand2, 1.0, &[p[i], c4[i / 4]]))
+        .collect();
+    // Level 2: carry with select-0 gating.
+    let c: Vec<_> = t
+        .iter()
+        .map(|&ti| b.gate(GateKind::Nand2, 1.0, &[ti, sel0]))
+        .collect();
+    // Level 3: sum.
+    let s: Vec<_> = (0..width)
+        .map(|i| b.gate(GateKind::Xor2, 1.0, &[p[i], c[i]]))
+        .collect();
+    // Level 4: output select.
+    let outs: Vec<_> = s
+        .iter()
+        .map(|&si| b.gate(GateKind::Oai21, 1.0, &[si, sel1, sel0]))
+        .collect();
+    for &o in &outs {
+        b.output(o);
+    }
+    b.finish().expect("alu_part2 construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn part1_depth_is_four() {
+        let n = alu_part1(16);
+        assert_eq!(n.depth(), 4);
+        assert_eq!(n.input_count(), 32);
+        // p (16) + c4 (4) outputs.
+        assert_eq!(n.outputs().len(), 20);
+        // 2w + w + w + w/4 gates.
+        assert_eq!(n.gate_count(), 2 * 16 + 16 + 16 + 4);
+    }
+
+    #[test]
+    fn part2_depth_is_four() {
+        let n = alu_part2(16);
+        assert_eq!(n.depth(), 4);
+        assert_eq!(n.input_count(), 16 + 4 + 2);
+        assert_eq!(n.outputs().len(), 16);
+        assert_eq!(n.gate_count(), 4 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn width_validated() {
+        let _ = alu_part1(6);
+    }
+}

@@ -1,0 +1,98 @@
+//! Inverter and general gate chains.
+//!
+//! The paper verifies its models on "inverter chain pipelines" — each stage
+//! is a chain of `NL` inverters between latches (§2.4). The chain is the
+//! cleanest workload because stage delay is a pure sum of gate delays, so
+//! the logic-depth trends of Fig. 5 appear without path-reconvergence
+//! effects.
+
+use crate::builder::NetlistBuilder;
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// A chain of `n` inverters of uniform `size`, one primary input, one
+/// primary output.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `size <= 0`.
+///
+/// ```
+/// use vardelay_circuit::generators::inverter_chain;
+/// let c = inverter_chain(8, 2.0);
+/// assert_eq!(c.depth(), 8);
+/// assert!((c.area() - 16.0).abs() < 1e-12);
+/// ```
+pub fn inverter_chain(n: usize, size: f64) -> Netlist {
+    gate_chain(&vec![GateKind::Inv; n], size)
+}
+
+/// A chain of arbitrary gate kinds of uniform `size`. Multi-input gates tie
+/// their extra inputs to dedicated primary inputs (side inputs), as in a
+/// typical critical-path template.
+///
+/// # Panics
+///
+/// Panics if `kinds` is empty or `size <= 0`.
+pub fn gate_chain(kinds: &[GateKind], size: f64) -> Netlist {
+    assert!(!kinds.is_empty(), "chain must have at least one gate");
+    assert!(size.is_finite() && size > 0.0, "invalid size");
+    let extra_inputs: usize = kinds.iter().map(|k| k.arity() - 1).sum();
+    let mut b = NetlistBuilder::new("chain", 1 + extra_inputs);
+    let mut prev = b.input(0);
+    let mut next_side = 1;
+    for &k in kinds {
+        let mut fanins = vec![prev];
+        for _ in 1..k.arity() {
+            fanins.push(b.input(next_side));
+            next_side += 1;
+        }
+        prev = b.gate(k, size, &fanins);
+    }
+    b.output(prev);
+    b.finish().expect("chain construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_linear_depth() {
+        for n in [1usize, 5, 12, 40] {
+            let c = inverter_chain(n, 1.0);
+            assert_eq!(c.gate_count(), n);
+            assert_eq!(c.depth(), n);
+            assert_eq!(c.input_count(), 1);
+            assert_eq!(c.outputs().len(), 1);
+        }
+    }
+
+    #[test]
+    fn chain_loads_are_next_gate_cin() {
+        let c = inverter_chain(3, 2.0);
+        let loads = c.loads(1.0);
+        // Each internal signal drives one size-2 inverter: load 2.0.
+        assert!((loads[0] - 2.0).abs() < 1e-12);
+        assert!((loads[1] - 2.0).abs() < 1e-12);
+        // Final output sees the external load.
+        assert!((loads[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_chain_allocates_side_inputs() {
+        let c = gate_chain(
+            &[GateKind::Nand2, GateKind::Nor3, GateKind::Inv],
+            1.0,
+        );
+        // side inputs: 1 (nand2) + 2 (nor3) + 0 = 3, plus main input.
+        assert_eq!(c.input_count(), 4);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gate")]
+    fn empty_chain_rejected() {
+        let _ = inverter_chain(0, 1.0);
+    }
+}

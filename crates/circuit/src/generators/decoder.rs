@@ -1,0 +1,98 @@
+//! The decoder stage of the Fig. 6 ALU–Decoder pipeline.
+
+use crate::builder::NetlistBuilder;
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// A 4-to-16 style decoder generalized to `nbits` (must be 2 or 4):
+/// `nbits`-bit input, `2^nbits` one-hot outputs, logic depth exactly 4.
+///
+/// Structure: level 1 inverts the inputs; level 2 forms the minterms of
+/// each bit pair; level 3 ANDs pair-minterms into full minterms; level 4
+/// buffers the outputs (the paper's decoder drives the next stage's latch
+/// bank, so output buffering is realistic).
+///
+/// # Panics
+///
+/// Panics unless `nbits` is 2 or 4 (larger decoders would exceed the
+/// Fig. 6 depth-4 budget).
+pub fn decoder(nbits: usize) -> Netlist {
+    assert!(
+        nbits == 2 || nbits == 4,
+        "decoder supports even nbits in 2..=4, got {nbits}"
+    );
+    let pairs = nbits / 2;
+    let mut b = NetlistBuilder::new("decoder", nbits);
+
+    // Level 1: complements.
+    let x: Vec<_> = (0..nbits).map(|i| b.input(i)).collect();
+    let xn: Vec<_> = x.iter().map(|&s| b.inv(1.0, s)).collect();
+
+    // Level 2: 4 minterms per bit pair. To keep every path at full depth we
+    // route the true literals through level-1 buffers.
+    let xb: Vec<_> = x.iter().map(|&s| b.gate(GateKind::Buf, 1.0, &[s])).collect();
+    let mut pair_minterms: Vec<[_; 4]> = Vec::with_capacity(pairs);
+    for p in 0..pairs {
+        let (i, j) = (2 * p, 2 * p + 1);
+        pair_minterms.push([
+            b.gate(GateKind::And2, 1.0, &[xn[i], xn[j]]),
+            b.gate(GateKind::And2, 1.0, &[xb[i], xn[j]]),
+            b.gate(GateKind::And2, 1.0, &[xn[i], xb[j]]),
+            b.gate(GateKind::And2, 1.0, &[xb[i], xb[j]]),
+        ]);
+    }
+
+    // Level 3: combine pair-minterms into full minterms.
+    let total = 1usize << nbits;
+    let mut minterms = Vec::with_capacity(total);
+    for m in 0..total {
+        let first = pair_minterms[0][m & 3];
+        let sig = if pairs == 1 {
+            // Depth padding: single-pair decoders still get a level-3 gate.
+            b.gate(GateKind::Buf, 1.0, &[first])
+        } else {
+            let mut acc = first;
+            for (p, pm) in pair_minterms.iter().enumerate().skip(1) {
+                acc = b.gate(GateKind::And2, 1.0, &[acc, pm[(m >> (2 * p)) & 3]]);
+            }
+            acc
+        };
+        minterms.push(sig);
+    }
+
+    // Level 4: output buffers.
+    for &m in &minterms {
+        let o = b.gate(GateKind::Buf, 1.0, &[m]);
+        b.output(o);
+    }
+
+    b.finish().expect("decoder construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_bit_decoder_profile() {
+        let n = decoder(4);
+        assert_eq!(n.input_count(), 4);
+        assert_eq!(n.outputs().len(), 16);
+        assert_eq!(n.depth(), 4);
+        // 4 inv + 4 buf + 8 and2 + 16 and2 + 16 buf.
+        assert_eq!(n.gate_count(), 4 + 4 + 8 + 16 + 16);
+    }
+
+    #[test]
+    fn two_bit_decoder_keeps_depth_four() {
+        let n = decoder(2);
+        assert_eq!(n.outputs().len(), 4);
+        assert_eq!(n.depth(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "even nbits")]
+    fn odd_bits_rejected() {
+        let _ = decoder(3);
+    }
+}

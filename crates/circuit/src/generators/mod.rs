@@ -1,0 +1,19 @@
+//! Procedural netlist generators for every workload in the paper.
+//!
+//! * [`inverter_chain`] — the pipelines of §2.4 / Fig. 2 / Fig. 5.
+//! * [`random_logic`] — seeded random DAGs with controlled gate count,
+//!   depth, and fan-in mix.
+//! * [`iscas`] — synthetic equivalents of the ISCAS85 benchmarks used in
+//!   Tables II/III (matching published input/output/gate counts and depth).
+//! * [`alu_part1`]/[`alu_part2`] / [`decoder`] — the 3-stage ALU–Decoder pipeline of Fig. 6.
+
+mod alu;
+mod chain;
+mod decoder;
+pub mod iscas;
+mod random;
+
+pub use alu::{alu_part1, alu_part2};
+pub use chain::{gate_chain, inverter_chain};
+pub use decoder::decoder;
+pub use random::{random_logic, RandomLogicConfig};

@@ -1,0 +1,224 @@
+//! Seeded random logic DAGs with controlled size, depth, and gate mix.
+//!
+//! This is the engine behind the synthetic ISCAS85 equivalents: a levelized
+//! random DAG whose gate count, depth, primary-input/output counts and
+//! fan-in statistics match a target profile. Determinism is guaranteed by
+//! the seed, so experiments are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+use crate::builder::NetlistBuilder;
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, SignalId};
+
+/// Configuration for [`random_logic`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomLogicConfig {
+    /// Netlist name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Total gate count.
+    pub gates: usize,
+    /// Target logic depth (achieved exactly when `gates >= depth`).
+    pub depth: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// RNG seed — same seed, same netlist.
+    pub seed: u64,
+}
+
+impl RandomLogicConfig {
+    /// A reasonable default profile: 32 inputs, 200 gates, depth 12,
+    /// 16 outputs.
+    pub fn new(name: &str, seed: u64) -> Self {
+        RandomLogicConfig {
+            name: name.to_owned(),
+            inputs: 32,
+            gates: 200,
+            depth: 12,
+            outputs: 16,
+            seed,
+        }
+    }
+}
+
+/// Gate-kind palette used by the random generator, weighted roughly like
+/// mapped ISCAS85 circuits (NAND-heavy).
+const PALETTE: [(GateKind, u32); 8] = [
+    (GateKind::Nand2, 30),
+    (GateKind::Nor2, 15),
+    (GateKind::Inv, 20),
+    (GateKind::And2, 10),
+    (GateKind::Or2, 8),
+    (GateKind::Nand3, 8),
+    (GateKind::Xor2, 5),
+    (GateKind::Aoi21, 4),
+];
+
+fn pick_kind(rng: &mut StdRng) -> GateKind {
+    let total: u32 = PALETTE.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.random_range(0..total);
+    for (k, w) in PALETTE {
+        if roll < w {
+            return k;
+        }
+        roll -= w;
+    }
+    GateKind::Nand2
+}
+
+/// Generates a random levelized DAG per `config`.
+///
+/// Structure: gates are distributed over `depth` levels with a tapering
+/// profile (wide near the inputs, narrow near the outputs, like real
+/// benchmarks). Every gate takes its first fanin from the previous level —
+/// this guarantees the exact target depth — and remaining fanins uniformly
+/// from any earlier signal. Primary outputs are drawn from the last levels.
+///
+/// # Panics
+///
+/// Panics if any count is zero or `depth > gates`.
+pub fn random_logic(config: &RandomLogicConfig) -> Netlist {
+    assert!(config.inputs > 0, "need at least one input");
+    assert!(config.gates > 0, "need at least one gate");
+    assert!(config.outputs > 0, "need at least one output");
+    assert!(config.depth > 0, "depth must be positive");
+    assert!(
+        config.depth <= config.gates,
+        "cannot reach depth {} with {} gates",
+        config.depth,
+        config.gates
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = NetlistBuilder::new(&config.name, config.inputs);
+
+    // Tapering level profile: level l gets a share proportional to
+    // (depth - l + taper) so early levels are wider; every level gets >= 1.
+    let mut level_sizes = vec![1usize; config.depth];
+    let mut remaining = config.gates - config.depth;
+    let weights: Vec<f64> = (0..config.depth)
+        .map(|l| (config.depth - l) as f64 + 0.5 * config.depth as f64)
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    for (l, w) in weights.iter().enumerate() {
+        let extra = ((w / wsum) * (config.gates - config.depth) as f64).floor() as usize;
+        let extra = extra.min(remaining);
+        level_sizes[l] += extra;
+        remaining -= extra;
+    }
+    // Distribute any rounding remainder to the widest (first) levels.
+    let mut l = 0;
+    while remaining > 0 {
+        level_sizes[l % config.depth] += 1;
+        remaining -= 1;
+        l += 1;
+    }
+
+    // Signals available per level: level 0 = primary inputs.
+    let mut prev_level: Vec<SignalId> = (0..config.inputs).map(|i| b.input(i)).collect();
+    let mut all_signals: Vec<SignalId> = prev_level.clone();
+    let mut last_level: Vec<SignalId> = Vec::new();
+
+    for &count in &level_sizes {
+        let mut this_level = Vec::with_capacity(count);
+        for _ in 0..count {
+            let kind = pick_kind(&mut rng);
+            let mut fanins = Vec::with_capacity(kind.arity());
+            // First fanin from the previous level to pin the depth.
+            let f0 = prev_level[rng.random_range(0..prev_level.len())];
+            fanins.push(f0);
+            for _ in 1..kind.arity() {
+                let f = all_signals[rng.random_range(0..all_signals.len())];
+                fanins.push(f);
+            }
+            let out = b.gate(kind, 1.0, &fanins);
+            this_level.push(out);
+        }
+        all_signals.extend(this_level.iter().copied());
+        last_level = this_level.clone();
+        prev_level = this_level;
+    }
+
+    // Outputs: prefer the deepest level, then walk backwards.
+    let mut out_pool: Vec<SignalId> = last_level;
+    let gate_signals: Vec<SignalId> = (0..b.gate_count())
+        .map(|i| SignalId(config.inputs + i))
+        .collect();
+    let mut idx = gate_signals.len();
+    while out_pool.len() < config.outputs && idx > 0 {
+        idx -= 1;
+        if !out_pool.contains(&gate_signals[idx]) {
+            out_pool.push(gate_signals[idx]);
+        }
+    }
+    for o in out_pool.into_iter().take(config.outputs) {
+        b.output(o);
+    }
+
+    b.finish().expect("random generator maintains invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_requested_profile() {
+        let cfg = RandomLogicConfig {
+            name: "r1".into(),
+            inputs: 20,
+            gates: 150,
+            depth: 10,
+            outputs: 8,
+            seed: 42,
+        };
+        let n = random_logic(&cfg);
+        assert_eq!(n.gate_count(), 150);
+        assert_eq!(n.input_count(), 20);
+        assert_eq!(n.depth(), 10);
+        assert_eq!(n.outputs().len(), 8);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomLogicConfig::new("d", 7);
+        let a = random_logic(&cfg);
+        let b = random_logic(&cfg);
+        assert_eq!(a, b);
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 8;
+        let c = random_logic(&cfg2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn deep_narrow_circuit() {
+        let cfg = RandomLogicConfig {
+            name: "deep".into(),
+            inputs: 4,
+            gates: 60,
+            depth: 60,
+            outputs: 1,
+            seed: 1,
+        };
+        let n = random_logic(&cfg);
+        assert_eq!(n.depth(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reach depth")]
+    fn impossible_depth_rejected() {
+        let cfg = RandomLogicConfig {
+            name: "bad".into(),
+            inputs: 4,
+            gates: 5,
+            depth: 10,
+            outputs: 1,
+            seed: 1,
+        };
+        let _ = random_logic(&cfg);
+    }
+}

@@ -1,0 +1,47 @@
+//! Gate-level circuit substrate: cells, netlists, and benchmark generators.
+//!
+//! The paper's experiments run on inverter-chain pipelines, a 3-stage
+//! ALU–Decoder pipeline (Fig. 6), and a 4-stage pipeline built from ISCAS85
+//! benchmarks (Tables II/III). This crate provides all of those as
+//! procedurally generated, seeded netlists:
+//!
+//! * [`gate`] — gate kinds with logical-effort parameters.
+//! * [`library`] — a cell library binding gate kinds to a technology.
+//! * [`netlist`] — the combinational netlist (DAG) with topological order,
+//!   levelization, load and area computation.
+//! * [`builder`] — incremental netlist construction.
+//! * [`generators`] — inverter chains, random ISCAS85-like logic
+//!   (`c432`, `c1908`, `c2670`, `c3540` synthetic equivalents), a
+//!   ripple-carry ALU and a decoder for the Fig. 6 pipeline.
+//! * [`pipeline`] — a structural pipeline: stage netlists + latch timing
+//!   parameters + die placement.
+//!
+//! # Example
+//!
+//! ```
+//! use vardelay_circuit::generators::inverter_chain;
+//!
+//! let chain = inverter_chain(10, 1.0);
+//! assert_eq!(chain.gate_count(), 10);
+//! assert_eq!(chain.depth(), 10);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bench_format;
+pub mod builder;
+pub mod gate;
+pub mod generators;
+pub mod library;
+pub mod netlist;
+pub mod pipeline;
+pub mod power;
+
+pub use bench_format::{parse_bench, write_bench, ParseBenchError};
+pub use builder::NetlistBuilder;
+pub use gate::GateKind;
+pub use library::CellLibrary;
+pub use netlist::{Gate, Netlist, NetlistError, SignalId};
+pub use pipeline::{LatchParams, StagedPipeline};
+pub use power::{power_of, PowerParams, PowerReport};

@@ -1,0 +1,100 @@
+//! Property-based tests for the circuit substrate.
+
+use proptest::prelude::*;
+use vardelay_circuit::generators::{gate_chain, inverter_chain, random_logic, RandomLogicConfig};
+use vardelay_circuit::{CellLibrary, GateKind, Netlist};
+
+fn kinds() -> impl Strategy<Value = GateKind> {
+    proptest::sample::select(GateKind::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn random_logic_always_satisfies_requested_profile(
+        inputs in 2usize..40,
+        extra_gates in 0usize..300,
+        depth in 1usize..30,
+        outputs in 1usize..10,
+        seed in any::<u64>()
+    ) {
+        let gates = depth + extra_gates;
+        let cfg = RandomLogicConfig {
+            name: "prop".into(),
+            inputs,
+            gates,
+            depth,
+            outputs,
+            seed,
+        };
+        let n = random_logic(&cfg);
+        prop_assert_eq!(n.gate_count(), gates);
+        prop_assert_eq!(n.depth(), depth);
+        prop_assert_eq!(n.input_count(), inputs);
+        prop_assert!(n.outputs().len() <= outputs);
+    }
+
+    #[test]
+    fn levels_strictly_increase_along_fanin(
+        seed in any::<u64>()
+    ) {
+        let n = random_logic(&RandomLogicConfig::new("lv", seed));
+        let lv = n.levels();
+        for (i, g) in n.gates().iter().enumerate() {
+            let out = n.input_count() + i;
+            for f in &g.fanins {
+                prop_assert!(lv[f.0] < lv[out],
+                    "gate {i}: fanin level {} !< own {}", lv[f.0], lv[out]);
+            }
+        }
+    }
+
+    #[test]
+    fn area_scales_linearly(
+        nl in 1usize..40, size in 0.5..8.0_f64, k in 1.1..4.0_f64
+    ) {
+        let mut c = inverter_chain(nl, size);
+        let a0 = c.area();
+        c.scale_sizes(k);
+        prop_assert!((c.area() - a0 * k).abs() < 1e-9 * a0.max(1.0));
+    }
+
+    #[test]
+    fn loads_are_nonnegative_and_total_cin_conserved(
+        seed in any::<u64>(), out_load in 0.0..10.0_f64
+    ) {
+        let n = random_logic(&RandomLogicConfig::new("ld", seed));
+        let loads = n.loads(out_load);
+        let lib = CellLibrary::default();
+        let total_cin: f64 = n
+            .gates()
+            .iter()
+            .map(|g| lib.input_cap(g.kind, g.size) * g.fanins.len() as f64 / g.kind.arity() as f64
+                * g.kind.arity() as f64)
+            .sum();
+        let sum_loads: f64 = loads.iter().sum();
+        let expected = total_cin + out_load * n.outputs().len() as f64;
+        prop_assert!(loads.iter().all(|&l| l >= 0.0));
+        prop_assert!((sum_loads - expected).abs() < 1e-6 * expected.max(1.0),
+            "sum {} expected {}", sum_loads, expected);
+    }
+
+    #[test]
+    fn gate_chain_depth_equals_length(
+        ks in proptest::collection::vec(kinds(), 1..30), size in 0.5..4.0_f64
+    ) {
+        let c = gate_chain(&ks, size);
+        prop_assert_eq!(c.depth(), ks.len());
+        prop_assert_eq!(c.gate_count(), ks.len());
+        let extra: usize = ks.iter().map(|k| k.arity() - 1).sum();
+        prop_assert_eq!(c.input_count(), 1 + extra);
+    }
+
+    #[test]
+    fn netlist_roundtrips_through_serde(seed in any::<u64>()) {
+        let n = random_logic(&RandomLogicConfig::new("ser", seed));
+        let json = serde_json::to_string(&n);
+        prop_assume!(json.is_ok());
+        let back: Netlist = serde_json::from_str(&json.unwrap()).unwrap();
+        prop_assert_eq!(n, back);
+    }
+}

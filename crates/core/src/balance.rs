@@ -1,0 +1,250 @@
+//! Balanced vs unbalanced pipeline analysis and the imbalance heuristic
+//! (§3.2, eq. 14, Figs. 7–8).
+//!
+//! A perfectly balanced pipeline maximizes throughput deterministically,
+//! but under variation every stage is a critical path: the pipeline yield
+//! of `N` balanced stages at per-stage yield `Y₀` is `Y₀^N`. Shifting
+//! delay budget from "cheap" stages (shallow area-vs-delay slope) to
+//! "expensive" ones can raise `Y₁·Y₂·…` above `Y₀^N` at constant area.
+//! The heuristic of eq. (14) ranks stages by `R_i = ∂A/∂D` on their
+//! area–delay curve.
+
+use serde::{Deserialize, Serialize};
+use vardelay_stats::CorrelationMatrix;
+
+use crate::error::CoreError;
+use crate::pipeline::Pipeline;
+use crate::stage::StageDelay;
+
+/// What the eq. (14) heuristic recommends doing with a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImbalanceAction {
+    /// `R_i < 1`: delay is cheap to buy here — speed this stage up to
+    /// raise yield with a small area cost.
+    SpeedUp,
+    /// `R_i >= 1`: area is expensive per unit delay — shrink this stage to
+    /// recover area with a small delay/yield cost.
+    ShrinkArea,
+}
+
+/// Classifies a stage by its area-vs-delay slope magnitude `R_i = |∂A/∂D|`
+/// (normalized; eq. 14).
+///
+/// # Panics
+///
+/// Panics if `r` is negative or not finite.
+pub fn classify_stage(r: f64) -> ImbalanceAction {
+    assert!(r.is_finite() && r >= 0.0, "R must be a non-negative slope");
+    if r < 1.0 {
+        ImbalanceAction::SpeedUp
+    } else {
+        ImbalanceAction::ShrinkArea
+    }
+}
+
+/// Orders stage indices for the global optimizer: stages where yield can
+/// be bought cheaply (small `R`) first (§4.1).
+///
+/// # Panics
+///
+/// Panics if any slope is negative or NaN.
+pub fn order_by_slope(slopes: &[f64]) -> Vec<usize> {
+    for &r in slopes {
+        assert!(r.is_finite() && r >= 0.0, "R must be a non-negative slope");
+    }
+    let mut idx: Vec<usize> = (0..slopes.len()).collect();
+    idx.sort_by(|&a, &b| slopes[a].partial_cmp(&slopes[b]).expect("finite slopes"));
+    idx
+}
+
+/// One point of an imbalance sweep: the delay transfer `delta` and the
+/// resulting pipeline yield.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImbalancePoint {
+    /// Delay added to each donor stage (ps).
+    pub delta_ps: f64,
+    /// Pipeline yield at the sweep's target delay.
+    pub yield_value: f64,
+    /// Mean of the pipeline delay distribution (ps).
+    pub mean_ps: f64,
+    /// Std dev of the pipeline delay distribution (ps).
+    pub sd_ps: f64,
+}
+
+/// Area-neutral imbalance sweep over a pipeline (the Fig. 7(b) experiment
+/// in distribution space).
+///
+/// `donors` give up speed: their means increase by `delta` each, freeing
+/// area `Σ R_d · delta`. That area buys the `receiver` a mean reduction of
+/// `Σ R_d · delta / R_recv`. Stage σ is scaled as `σ ∝ sqrt(μ)`
+/// (random-variation-dominated stages, eq. 13 scaling).
+///
+/// Returns one [`ImbalancePoint`] per `delta`.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if indices are invalid or moments go negative.
+///
+/// # Panics
+///
+/// Panics if `receiver` is also listed in `donors`.
+pub fn imbalance_sweep(
+    base: &Pipeline,
+    donors: &[usize],
+    receiver: usize,
+    slopes: &[f64],
+    target_ps: f64,
+    deltas: &[f64],
+) -> Result<Vec<ImbalancePoint>, CoreError> {
+    assert!(
+        !donors.contains(&receiver),
+        "receiver cannot also be a donor"
+    );
+    let n = base.stage_count();
+    if receiver >= n || donors.iter().any(|&d| d >= n) || slopes.len() != n {
+        return Err(CoreError::DimensionMismatch {
+            stages: n,
+            corr_dim: slopes.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(deltas.len());
+    for &delta in deltas {
+        let freed_area: f64 = donors.iter().map(|&d| slopes[d] * delta).sum();
+        let recv_gain = freed_area / slopes[receiver];
+        let stages: Vec<StageDelay> = base
+            .stages()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let new_mu = if donors.contains(&i) {
+                    s.mean() + delta
+                } else if i == receiver {
+                    s.mean() - recv_gain
+                } else {
+                    s.mean()
+                };
+                // sigma ∝ sqrt(mu): eq. (13) scaling for random-dominated
+                // stages.
+                let new_sd = if s.mean() > 0.0 {
+                    s.sd() * (new_mu.max(0.0) / s.mean()).sqrt()
+                } else {
+                    s.sd()
+                };
+                StageDelay::from_moments(new_mu, new_sd)
+            })
+            .collect::<Result<_, _>>()?;
+        let p = Pipeline::new(stages, base.correlation().clone())?;
+        let dist = p.delay_distribution();
+        out.push(ImbalancePoint {
+            delta_ps: delta,
+            yield_value: p.yield_at(target_ps),
+            mean_ps: dist.mean(),
+            sd_ps: dist.sd(),
+        });
+    }
+    Ok(out)
+}
+
+/// Finds the best imbalance point in a sweep (maximum yield).
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn best_point(points: &[ImbalancePoint]) -> ImbalancePoint {
+    *points
+        .iter()
+        .max_by(|a, b| {
+            a.yield_value
+                .partial_cmp(&b.yield_value)
+                .expect("finite yields")
+        })
+        .expect("non-empty sweep")
+}
+
+/// Builds the paper's balanced 3-stage reference: equal stage moments with
+/// independent stages (the starting point of §3.2's experiment).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on invalid moments.
+pub fn balanced_pipeline(
+    ns: usize,
+    mu_ps: f64,
+    sigma_ps: f64,
+) -> Result<Pipeline, CoreError> {
+    let stages: Vec<StageDelay> = (0..ns)
+        .map(|_| StageDelay::from_moments(mu_ps, sigma_ps))
+        .collect::<Result<_, _>>()?;
+    Pipeline::new(stages, CorrelationMatrix::identity(ns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_threshold() {
+        assert_eq!(classify_stage(0.5), ImbalanceAction::SpeedUp);
+        assert_eq!(classify_stage(1.0), ImbalanceAction::ShrinkArea);
+        assert_eq!(classify_stage(3.0), ImbalanceAction::ShrinkArea);
+    }
+
+    #[test]
+    fn ordering_by_slope() {
+        assert_eq!(order_by_slope(&[2.0, 0.5, 1.0]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn proper_imbalance_beats_balanced() {
+        // 3 equal stages; outer stages have shallow area-delay slope
+        // (cheap to slow down), the middle stage is steep (area buys a lot
+        // of delay there). The paper's Fig. 7(b): some delta > 0 beats
+        // delta = 0 at the same area.
+        let base = balanced_pipeline(3, 170.0, 5.0).unwrap();
+        let slopes = [1.6, 0.4, 1.6];
+        let deltas: Vec<f64> = (0..40).map(|i| f64::from(i) * 0.25).collect();
+        let pts =
+            imbalance_sweep(&base, &[0, 2], 1, &slopes, 179.0, &deltas).unwrap();
+        let balanced = pts[0];
+        let best = best_point(&pts);
+        assert!(
+            best.yield_value > balanced.yield_value + 0.001,
+            "imbalance should help: balanced {} best {}",
+            balanced.yield_value,
+            best.yield_value
+        );
+        assert!(best.delta_ps > 0.0);
+    }
+
+    #[test]
+    fn excess_imbalance_shows_diminishing_returns() {
+        // Fig. 7(b) "worst case unbalancing": past the optimum, yield falls.
+        let base = balanced_pipeline(3, 170.0, 5.0).unwrap();
+        let slopes = [1.6, 0.4, 1.6];
+        let deltas: Vec<f64> = (0..200).map(|i| f64::from(i) * 0.25).collect();
+        let pts =
+            imbalance_sweep(&base, &[0, 2], 1, &slopes, 179.0, &deltas).unwrap();
+        let best = best_point(&pts);
+        let last = pts.last().unwrap();
+        assert!(
+            last.yield_value < best.yield_value,
+            "excess imbalance should hurt: {} vs {}",
+            last.yield_value,
+            best.yield_value
+        );
+    }
+
+    #[test]
+    fn sweep_validates_indices() {
+        let base = balanced_pipeline(3, 100.0, 2.0).unwrap();
+        assert!(imbalance_sweep(&base, &[0], 5, &[1.0, 1.0, 1.0], 110.0, &[0.0]).is_err());
+        assert!(imbalance_sweep(&base, &[0], 1, &[1.0, 1.0], 110.0, &[0.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "receiver cannot also be a donor")]
+    fn donor_receiver_overlap_rejected() {
+        let base = balanced_pipeline(3, 100.0, 2.0).unwrap();
+        let _ = imbalance_sweep(&base, &[1], 1, &[1.0; 3], 110.0, &[0.0]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for the pipeline model.
+
+use std::fmt;
+
+use vardelay_stats::normal::NormalError;
+
+/// Error from pipeline-model construction or queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The pipeline has no stages.
+    EmptyPipeline,
+    /// The correlation matrix dimension does not match the stage count.
+    DimensionMismatch {
+        /// Number of stages.
+        stages: usize,
+        /// Correlation matrix dimension.
+        corr_dim: usize,
+    },
+    /// Invalid Gaussian moments for a stage.
+    InvalidMoments(NormalError),
+    /// A probability argument was outside `(0, 1)`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyPipeline => write!(f, "pipeline must have at least one stage"),
+            CoreError::DimensionMismatch { stages, corr_dim } => write!(
+                f,
+                "correlation matrix dimension {corr_dim} does not match {stages} stages"
+            ),
+            CoreError::InvalidMoments(e) => write!(f, "invalid stage moments: {e}"),
+            CoreError::InvalidProbability { value } => {
+                write!(f, "probability {value} outside the open interval (0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::InvalidMoments(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NormalError> for CoreError {
+    fn from(e: NormalError) -> Self {
+        CoreError::InvalidMoments(e)
+    }
+}

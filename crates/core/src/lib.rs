@@ -1,0 +1,54 @@
+//! Statistical pipeline delay distribution, yield estimation, and
+//! design-space models — the primary contribution of the DATE 2005 paper.
+//!
+//! Given per-stage delay distributions `SD_i ~ N(μᵢ, σᵢ²)` and their
+//! correlation matrix (produced by `vardelay-ssta` or measured by
+//! `vardelay-mc`), this crate computes:
+//!
+//! * [`pipeline`] — the overall pipeline delay `T_P = max_i SD_i` via
+//!   Clark's pairwise recursion ordered by increasing mean (eqs. 4–6),
+//!   Jensen's lower bound on the mean (eq. 3), and stage criticality.
+//! * [`yield_model`] — parametric yield `Pr{T_P ≤ T_TARGET}`: the exact
+//!   independent-stage product (eq. 8) and the Gaussian approximation for
+//!   correlated stages (eq. 9); per-stage yield allocation `Y^(1/Ns)`.
+//! * [`design_space`] — the permissible (μ, σ) region per stage for a
+//!   yield target (eqs. 10–13, Fig. 4).
+//! * [`variability`] — closed-form σ/μ trends vs logic depth, number of
+//!   stages, and correlation (Fig. 5).
+//! * [`balance`] — balanced vs unbalanced stage-delay analysis and the
+//!   `R_i = ∂A/∂D` imbalance heuristic (eq. 14, Figs. 7–8).
+//!
+//! # Example
+//!
+//! ```
+//! use vardelay_core::{Pipeline, StageDelay};
+//! use vardelay_stats::CorrelationMatrix;
+//!
+//! let stages = vec![
+//!     StageDelay::from_moments(198.0, 4.0)?,
+//!     StageDelay::from_moments(200.0, 5.0)?,
+//!     StageDelay::from_moments(195.0, 6.0)?,
+//! ];
+//! let pipe = Pipeline::new(stages, CorrelationMatrix::uniform(3, 0.3)?)?;
+//! let t_p = pipe.delay_distribution();
+//! assert!(t_p.mean() >= 200.0);               // Jensen (eq. 3)
+//! let y = pipe.yield_at(210.0);               // eq. 9
+//! assert!(y > 0.9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod balance;
+pub mod design_space;
+pub mod error;
+pub mod pipeline;
+pub mod stage;
+pub mod variability;
+pub mod yield_model;
+
+pub use error::CoreError;
+pub use pipeline::Pipeline;
+pub use stage::StageDelay;
+pub use yield_model::{stage_yield_target, yield_gaussian, yield_independent};

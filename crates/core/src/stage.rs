@@ -1,0 +1,132 @@
+//! Stage-delay distributions.
+//!
+//! Eq. (1): `SD_i = T_C-Q + T_comb,i + T_setup`. A [`StageDelay`] is the
+//! Gaussian distribution of one stage's total delay; it can be built
+//! directly from moments (the common case, when an SSTA or Monte-Carlo
+//! engine supplies them) or from the three components.
+
+use serde::{Deserialize, Serialize};
+use vardelay_stats::{Normal, NormalError};
+
+/// The delay distribution of one pipeline stage (ps).
+///
+/// ```
+/// use vardelay_core::StageDelay;
+/// let sd = StageDelay::from_moments(200.0, 5.0)?;
+/// assert_eq!(sd.mean(), 200.0);
+/// assert!((sd.variability() - 0.025).abs() < 1e-12);
+/// # Ok::<(), vardelay_stats::NormalError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageDelay {
+    dist: Normal,
+}
+
+impl StageDelay {
+    /// Builds from mean and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] for non-finite mean or invalid sd.
+    pub fn from_moments(mean_ps: f64, sd_ps: f64) -> Result<Self, NormalError> {
+        Ok(StageDelay {
+            dist: Normal::new(mean_ps, sd_ps)?,
+        })
+    }
+
+    /// Builds from the three independent components of eq. (1):
+    /// clock-to-Q, combinational, and setup.
+    pub fn from_components(tcq: Normal, tcomb: Normal, tsetup: Normal) -> Self {
+        StageDelay {
+            dist: tcq.add_independent(&tcomb).add_independent(&tsetup),
+        }
+    }
+
+    /// Wraps an existing [`Normal`].
+    pub fn from_normal(dist: Normal) -> Self {
+        StageDelay { dist }
+    }
+
+    /// The underlying distribution.
+    #[inline]
+    pub fn as_normal(&self) -> Normal {
+        self.dist
+    }
+
+    /// Mean delay (ps).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.dist.mean()
+    }
+
+    /// Delay standard deviation (ps).
+    #[inline]
+    pub fn sd(&self) -> f64 {
+        self.dist.sd()
+    }
+
+    /// σ/μ variability.
+    #[inline]
+    pub fn variability(&self) -> f64 {
+        self.dist.variability()
+    }
+
+    /// Probability this stage alone meets `target` (its marginal yield).
+    #[inline]
+    pub fn yield_at(&self, target_ps: f64) -> f64 {
+        self.dist.cdf(target_ps)
+    }
+
+    /// The mean delay this stage must have — holding σ fixed — to meet
+    /// `target` with probability `y` (inverts eq. 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is outside `(0, 1)`.
+    pub fn mean_budget_for_yield(&self, target_ps: f64, y: f64) -> f64 {
+        target_ps - self.sd() * vardelay_stats::inv_cap_phi(y)
+    }
+}
+
+impl From<Normal> for StageDelay {
+    fn from(dist: Normal) -> Self {
+        StageDelay { dist }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_add_independently() {
+        let tcq = Normal::new(5.0, 0.2).unwrap();
+        let tcomb = Normal::new(190.0, 4.0).unwrap();
+        let tsetup = Normal::new(3.0, 0.1).unwrap();
+        let sd = StageDelay::from_components(tcq, tcomb, tsetup);
+        assert!((sd.mean() - 198.0).abs() < 1e-12);
+        let want_var: f64 = 0.04 + 16.0 + 0.01;
+        assert!((sd.sd() - want_var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn yield_is_cdf() {
+        let sd = StageDelay::from_moments(200.0, 5.0).unwrap();
+        assert!((sd.yield_at(200.0) - 0.5).abs() < 1e-12);
+        assert!(sd.yield_at(215.0) > 0.99);
+    }
+
+    #[test]
+    fn mean_budget_inverts_yield() {
+        let sd = StageDelay::from_moments(200.0, 5.0).unwrap();
+        let budget = sd.mean_budget_for_yield(210.0, 0.95);
+        let check = StageDelay::from_moments(budget, 5.0).unwrap();
+        assert!((check.yield_at(210.0) - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_moments_rejected() {
+        assert!(StageDelay::from_moments(f64::NAN, 1.0).is_err());
+        assert!(StageDelay::from_moments(1.0, -2.0).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Yield estimation (eqs. 7–9) and per-stage yield allocation.
+
+use vardelay_stats::{cap_phi, inv_cap_phi, Normal};
+
+/// Exact yield for independent Gaussian stages (eq. 8):
+/// `P_D = Π_i Φ((T − μᵢ)/σᵢ)`.
+///
+/// Degenerate (σ = 0) stages contribute a 0/1 step factor.
+///
+/// # Panics
+///
+/// Panics if `stages` is empty.
+pub fn yield_independent(stages: &[Normal], target_ps: f64) -> f64 {
+    assert!(!stages.is_empty(), "yield of an empty pipeline");
+    stages.iter().map(|s| s.cdf(target_ps)).product()
+}
+
+/// Gaussian-approximation yield (eq. 9): `Φ((T − μ_T)/σ_T)` where
+/// `pipeline_delay` is the Clark-approximated distribution of `T_P`.
+pub fn yield_gaussian(pipeline_delay: &Normal, target_ps: f64) -> f64 {
+    pipeline_delay.cdf(target_ps)
+}
+
+/// Per-stage yield target so that `Ns` independent, equally-critical
+/// stages jointly reach `pipeline_yield` (§3.2 / eq. 12): `Y^(1/Ns)`.
+///
+/// # Panics
+///
+/// Panics if `pipeline_yield` is outside `(0, 1)` or `ns == 0`.
+///
+/// ```
+/// use vardelay_core::stage_yield_target;
+/// let y = stage_yield_target(0.80, 3);
+/// assert!((y - 0.80f64.powf(1.0/3.0)).abs() < 1e-12);
+/// assert!((y.powi(3) - 0.80).abs() < 1e-12);
+/// ```
+pub fn stage_yield_target(pipeline_yield: f64, ns: usize) -> f64 {
+    assert!(
+        pipeline_yield > 0.0 && pipeline_yield < 1.0,
+        "pipeline yield must be in (0, 1), got {pipeline_yield}"
+    );
+    assert!(ns > 0, "need at least one stage");
+    pipeline_yield.powf(1.0 / ns as f64)
+}
+
+/// The maximum σ a stage may have at mean `mu` to meet `target` with
+/// probability `y` (rearranged eq. 11: `σ ≤ (T − μ)/Φ⁻¹(y)`).
+///
+/// Returns 0 when the mean already exceeds the admissible budget (the
+/// stage is infeasible at any σ) and `+inf` when `y <= 0.5` makes the
+/// constraint vacuous for `mu < target`.
+///
+/// # Panics
+///
+/// Panics if `y` is outside `(0, 1)`.
+pub fn max_sigma_for_yield(mu_ps: f64, target_ps: f64, y: f64) -> f64 {
+    let k = inv_cap_phi(y);
+    let slack = target_ps - mu_ps;
+    if k <= 0.0 {
+        // y <= 50%: any sigma meets the constraint if the mean has slack.
+        return if slack >= 0.0 { f64::INFINITY } else { 0.0 };
+    }
+    (slack / k).max(0.0)
+}
+
+/// The yield of a stage with moments `(mu, sigma)` at `target` —
+/// the building block `Φ((T − μ)/σ)` used throughout §2.5.
+pub fn stage_yield(mu_ps: f64, sigma_ps: f64, target_ps: f64) -> f64 {
+    if sigma_ps == 0.0 {
+        return if mu_ps <= target_ps { 1.0 } else { 0.0 };
+    }
+    cap_phi((target_ps - mu_ps) / sigma_ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(mu: f64, sd: f64) -> Normal {
+        Normal::new(mu, sd).unwrap()
+    }
+
+    #[test]
+    fn independent_yield_is_product() {
+        let stages = [n(200.0, 5.0), n(200.0, 5.0)];
+        let y1 = stage_yield(200.0, 5.0, 205.0);
+        assert!((yield_independent(&stages, 205.0) - y1 * y1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_stage_is_step() {
+        let stages = [n(200.0, 0.0), n(100.0, 5.0)];
+        assert_eq!(yield_independent(&stages, 199.0), 0.0);
+        assert!((yield_independent(&stages, 201.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocation_composes() {
+        for ns in [2usize, 3, 4, 8] {
+            let y = stage_yield_target(0.8, ns);
+            assert!((y.powi(ns as i32) - 0.8).abs() < 1e-12);
+            assert!(y > 0.8, "per-stage target stricter than pipeline");
+        }
+    }
+
+    #[test]
+    fn max_sigma_budget_is_tight() {
+        let sigma = max_sigma_for_yield(195.0, 200.0, 0.9);
+        assert!((stage_yield(195.0, sigma, 200.0) - 0.9).abs() < 1e-9);
+        // Infeasible mean.
+        assert_eq!(max_sigma_for_yield(205.0, 200.0, 0.9), 0.0);
+        // Vacuous constraint.
+        assert_eq!(max_sigma_for_yield(195.0, 200.0, 0.4), f64::INFINITY);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the pipeline delay/yield model.
+
+use proptest::prelude::*;
+use vardelay_core::design_space::DesignSpace;
+use vardelay_core::yield_model::{max_sigma_for_yield, stage_yield_target, yield_independent};
+use vardelay_core::{Pipeline, StageDelay};
+use vardelay_stats::{CorrelationMatrix, Normal};
+
+fn stage_vec() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((50.0..300.0_f64, 0.5..20.0_f64), 1..8)
+}
+
+fn build(moments: &[(f64, f64)], rho: f64) -> Pipeline {
+    let stages: Vec<StageDelay> = moments
+        .iter()
+        .map(|&(m, s)| StageDelay::from_moments(m, s).unwrap())
+        .collect();
+    Pipeline::new(
+        stages,
+        CorrelationMatrix::uniform(moments.len(), rho).unwrap(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn jensen_bound_always_holds(moments in stage_vec(), rho in 0.0..1.0_f64) {
+        let p = build(&moments, rho);
+        prop_assert!(p.delay_distribution().mean() >= p.jensen_lower_bound() - 1e-9);
+    }
+
+    #[test]
+    fn yield_is_monotone_in_target(
+        moments in stage_vec(), rho in 0.0..0.99_f64,
+        t in 50.0..400.0_f64, dt in 0.1..100.0_f64
+    ) {
+        let p = build(&moments, rho);
+        prop_assert!(p.yield_at(t + dt) >= p.yield_at(t) - 1e-12);
+    }
+
+    #[test]
+    fn yield_in_unit_interval(moments in stage_vec(), rho in 0.0..0.99_f64, t in 0.0..500.0_f64) {
+        let p = build(&moments, rho);
+        let y = p.yield_at(t);
+        prop_assert!((0.0..=1.0).contains(&y));
+        let ye = p.yield_independent_exact(t);
+        prop_assert!((0.0..=1.0).contains(&ye));
+    }
+
+    #[test]
+    fn independent_exact_yield_below_weakest_stage(moments in stage_vec(), t in 50.0..400.0_f64) {
+        let p = build(&moments, 0.0);
+        let exact = p.yield_independent_exact(t);
+        let weakest = p
+            .stages()
+            .iter()
+            .map(|s| s.yield_at(t))
+            .fold(1.0_f64, f64::min);
+        prop_assert!(exact <= weakest + 1e-12);
+    }
+
+    #[test]
+    fn adding_a_stage_never_raises_exact_yield(
+        moments in stage_vec(), extra_mu in 50.0..300.0_f64, extra_sd in 0.5..20.0_f64,
+        t in 50.0..400.0_f64
+    ) {
+        let base: Vec<Normal> = moments
+            .iter()
+            .map(|&(m, s)| Normal::new(m, s).unwrap())
+            .collect();
+        let mut more = base.clone();
+        more.push(Normal::new(extra_mu, extra_sd).unwrap());
+        prop_assert!(
+            yield_independent(&more, t) <= yield_independent(&base, t) + 1e-12
+        );
+    }
+
+    #[test]
+    fn target_for_yield_inverts(moments in stage_vec(), rho in 0.0..0.9_f64, y in 0.01..0.99_f64) {
+        let p = build(&moments, rho);
+        let t = p.target_for_yield(y).unwrap();
+        prop_assert!((p.yield_at(t) - y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stage_allocation_composes(y in 0.01..0.99_f64, ns in 1usize..12) {
+        let per = stage_yield_target(y, ns);
+        prop_assert!((per.powi(ns as i32) - y).abs() < 1e-9);
+        prop_assert!(per >= y);
+    }
+
+    #[test]
+    fn sigma_budget_is_tight(mu in 0.0..190.0_f64, y in 0.51..0.999_f64) {
+        let s = max_sigma_for_yield(mu, 200.0, y);
+        prop_assume!(s.is_finite() && s > 0.0);
+        // At the budget the stage yield equals y.
+        let d = Normal::new(mu, s).unwrap();
+        prop_assert!((d.cdf(200.0) - y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn design_space_bounds_nest(mu in 0.0..195.0_f64, y in 0.55..0.99_f64, ns in 2usize..12) {
+        let ds = DesignSpace::new(200.0, y).unwrap();
+        let relaxed = ds.relaxed_sigma_bound(mu);
+        let tight = ds.equality_sigma_bound(mu, ns);
+        prop_assert!(tight <= relaxed + 1e-12);
+        // More stages => tighter bound.
+        let tighter = ds.equality_sigma_bound(mu, ns + 1);
+        prop_assert!(tighter <= tight + 1e-12);
+    }
+
+    #[test]
+    fn criticality_distribution_is_valid(moments in stage_vec(), rho in 0.0..0.9_f64) {
+        let p = build(&moments, rho);
+        let c = p.criticality_probabilities(2000, 7);
+        prop_assert_eq!(c.len(), p.stage_count());
+        let total: f64 = c.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(c.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+}

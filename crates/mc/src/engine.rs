@@ -1,0 +1,204 @@
+//! Monte-Carlo timing of a single netlist.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vardelay_circuit::{CellLibrary, Netlist};
+use vardelay_process::spatial::SpatialGrid;
+use vardelay_process::{ProcessSampler, VariationConfig};
+use vardelay_ssta::sta::{arrival_times, DEFAULT_OUTPUT_LOAD};
+
+use crate::results::{McConfig, McResult};
+
+/// Monte-Carlo runner for one combinational netlist.
+///
+/// Every trial simulates a fresh die: one inter-die shift, one set of
+/// correlated region values, and an independent random shift per gate.
+/// Gate delays use the exact (nonlinear) alpha-power slowdown, and the
+/// netlist delay is the exact max over outputs — no Gaussian assumptions.
+#[derive(Debug, Clone)]
+pub struct NetlistMc {
+    lib: CellLibrary,
+    sampler: ProcessSampler,
+    output_load: f64,
+}
+
+impl NetlistMc {
+    /// Creates a runner. A default grid is synthesized when systematic
+    /// variation is configured without one.
+    pub fn new(lib: CellLibrary, variation: VariationConfig, grid: Option<SpatialGrid>) -> Self {
+        NetlistMc {
+            lib,
+            sampler: ProcessSampler::new(variation, grid),
+            output_load: DEFAULT_OUTPUT_LOAD,
+        }
+    }
+
+    /// Sets the primary-output load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load < 0`.
+    pub fn with_output_load(mut self, load: f64) -> Self {
+        assert!(load >= 0.0, "output load must be non-negative");
+        self.output_load = load;
+        self
+    }
+
+    /// The cell library.
+    pub fn library(&self) -> &CellLibrary {
+        &self.lib
+    }
+
+    /// The process sampler.
+    pub fn sampler(&self) -> &ProcessSampler {
+        &self.sampler
+    }
+
+    /// One trial: returns the netlist delay for a freshly sampled die.
+    ///
+    /// Exposed so callers that need joint samples across netlists (the
+    /// pipeline runner) can share the die sample.
+    pub fn sample_delay(&self, netlist: &Netlist, region: usize, rng: &mut StdRng) -> f64 {
+        let die = self.sampler.sample_die(rng);
+        self.sample_delay_on_die(netlist, region, &die, rng)
+    }
+
+    /// One trial on an existing die sample (shared across pipeline stages).
+    pub fn sample_delay_on_die(
+        &self,
+        netlist: &Netlist,
+        region: usize,
+        die: &vardelay_process::DieSample,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let shared = die.shared_dvth(if die.region_dvth.is_empty() { 0 } else { region });
+        let slowdown: Vec<f64> = netlist
+            .gates()
+            .iter()
+            .map(|g| {
+                let rand = self
+                    .sampler
+                    .sample_gate_random(rng, g.size * g.kind.mismatch_area());
+                self.lib.vth_slowdown_factor(shared + rand)
+            })
+            .collect();
+        let at = arrival_times(netlist, &self.lib, self.output_load, Some(&slowdown));
+        netlist
+            .outputs()
+            .iter()
+            .map(|o| at[o.0])
+            .fold(0.0, f64::max)
+    }
+
+    /// Runs a full Monte-Carlo campaign over one netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.trials == 0`.
+    pub fn run(&self, netlist: &Netlist, region: usize, config: &McConfig) -> McResult {
+        assert!(config.trials > 0, "need at least one trial");
+        let threads = config.effective_threads().min(config.trials);
+        if threads == 1 {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let samples = (0..config.trials)
+                .map(|_| self.sample_delay(netlist, region, &mut rng))
+                .collect();
+            return McResult::new(samples);
+        }
+        let chunk = config.trials / threads;
+        let rem = config.trials % threads;
+        let mut all = Vec::with_capacity(config.trials);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..threads {
+                let n = chunk + usize::from(w < rem);
+                let seed = config.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
+                handles.push(scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    (0..n)
+                        .map(|_| self.sample_delay(netlist, region, &mut rng))
+                        .collect::<Vec<f64>>()
+                }));
+            }
+            for h in handles {
+                all.extend(h.join().expect("MC worker panicked"));
+            }
+        })
+        .expect("MC thread scope failed");
+        McResult::new(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_circuit::generators::inverter_chain;
+    use vardelay_ssta::sta::nominal_delay;
+    use vardelay_ssta::SstaEngine;
+
+    fn runner(var: VariationConfig) -> NetlistMc {
+        NetlistMc::new(CellLibrary::default(), var, None).with_output_load(1.0)
+    }
+
+    #[test]
+    fn zero_variation_reproduces_nominal_delay() {
+        let mc = runner(VariationConfig::none());
+        let c = inverter_chain(6, 1.0);
+        let res = mc.run(&c, 0, &McConfig::quick(10, 1));
+        let nominal = nominal_delay(&c, mc.library(), 1.0);
+        assert!((res.mean() - nominal).abs() < 1e-9);
+        assert!(res.sd() < 1e-12);
+    }
+
+    #[test]
+    fn mc_matches_ssta_for_random_variation() {
+        let var = VariationConfig::random_only(35.0);
+        let mc = runner(var);
+        let c = inverter_chain(10, 1.0);
+        let res = mc.run(&c, 0, &McConfig::quick(20_000, 7));
+        let ssta = SstaEngine::new(CellLibrary::default(), var, None)
+            .with_output_load(1.0)
+            .stage_delay(&c, 0);
+        // Paper §2.4: mean error < 0.2%, sd error < 3% (plus MC noise and
+        // the nonlinear-vs-linearized model gap).
+        assert!(
+            ((res.mean() - ssta.mean()) / ssta.mean()).abs() < 0.01,
+            "mean {} vs {}",
+            res.mean(),
+            ssta.mean()
+        );
+        assert!(
+            ((res.sd() - ssta.sd()) / ssta.sd()).abs() < 0.08,
+            "sd {} vs {}",
+            res.sd(),
+            ssta.sd()
+        );
+    }
+
+    #[test]
+    fn parallel_run_covers_all_trials_deterministically() {
+        let mc = runner(VariationConfig::random_only(35.0));
+        let c = inverter_chain(5, 1.0);
+        let cfg = McConfig {
+            trials: 1000,
+            seed: 3,
+            threads: 4,
+        };
+        let a = mc.run(&c, 0, &cfg);
+        let b = mc.run(&c, 0, &cfg);
+        assert_eq!(a.samples().len(), 1000);
+        assert_eq!(a.samples(), b.samples(), "same seed => same samples");
+    }
+
+    #[test]
+    fn inter_die_shifts_whole_distribution() {
+        let mc = runner(VariationConfig::inter_only(40.0));
+        let c = inverter_chain(10, 1.0);
+        let res = mc.run(&c, 0, &McConfig::quick(5_000, 11));
+        // All gates shift together: sd/mean should be close to the per-gate
+        // fractional sensitivity times sigma (no sqrt-N averaging).
+        let s = mc.library().delay_vth_sensitivity() * 0.040;
+        let v = res.variability();
+        assert!((v - s).abs() < 0.2 * s, "variability {v} vs sens {s}");
+    }
+}

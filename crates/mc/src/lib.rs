@@ -1,0 +1,40 @@
+//! Monte-Carlo timing engine — the workspace's substitute for the paper's
+//! SPICE Monte-Carlo runs.
+//!
+//! Each trial draws one die's shared variation (inter-die shift + correlated
+//! region values), then per-gate random shifts, evaluates every gate's
+//! delay through the **nonlinear** alpha-power slowdown factor, and runs
+//! deterministic timing. Because the nonlinearity and the exact max are
+//! retained, the MC results contain exactly the effects the paper's
+//! Gaussian/Clark model approximates — which is what makes the Fig. 2/3 and
+//! Table I comparisons meaningful.
+//!
+//! * [`results`] — sample container with moments, quantiles, histograms,
+//!   yield estimates with confidence intervals.
+//! * [`engine`] — single-netlist Monte-Carlo.
+//! * [`pipeline_mc`] — whole-pipeline Monte-Carlo (stage max + latch
+//!   overhead), multithreaded.
+//!
+//! # Example
+//!
+//! ```
+//! use vardelay_circuit::generators::inverter_chain;
+//! use vardelay_circuit::CellLibrary;
+//! use vardelay_mc::{McConfig, NetlistMc};
+//! use vardelay_process::VariationConfig;
+//!
+//! let mc = NetlistMc::new(CellLibrary::default(), VariationConfig::random_only(35.0), None);
+//! let res = mc.run(&inverter_chain(8, 1.0), 0, &McConfig::quick(2_000, 1));
+//! assert!(res.stats().mean() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod engine;
+pub mod pipeline_mc;
+pub mod results;
+
+pub use engine::NetlistMc;
+pub use pipeline_mc::{PipelineMc, PipelineMcResult};
+pub use results::{McConfig, McResult, YieldEstimate};

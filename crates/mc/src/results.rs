@@ -1,0 +1,205 @@
+//! Monte-Carlo configuration and result containers.
+
+use serde::{Deserialize, Serialize};
+use vardelay_stats::{cap_phi, Histogram, Quantiles, RunningStats};
+
+/// Monte-Carlo run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McConfig {
+    /// Number of trials (dies simulated).
+    pub trials: usize,
+    /// Base RNG seed; each worker derives its own stream from it.
+    pub seed: u64,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl McConfig {
+    /// A configuration suitable for the paper's experiments
+    /// (10 000 trials, 4 threads).
+    pub fn standard(seed: u64) -> Self {
+        McConfig {
+            trials: 10_000,
+            seed,
+            threads: 4,
+        }
+    }
+
+    /// A small/fast configuration for tests and examples.
+    pub fn quick(trials: usize, seed: u64) -> Self {
+        McConfig {
+            trials,
+            seed,
+            threads: 1,
+        }
+    }
+
+    /// Validated thread count (at least 1).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.max(1)
+    }
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig::standard(0)
+    }
+}
+
+/// A yield estimate with a binomial (Wilson) 95% confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YieldEstimate {
+    /// Point estimate `Pr{delay <= target}` in `[0, 1]`.
+    pub value: f64,
+    /// Lower bound of the 95% Wilson interval.
+    pub lo: f64,
+    /// Upper bound of the 95% Wilson interval.
+    pub hi: f64,
+    /// Number of trials behind the estimate.
+    pub trials: usize,
+}
+
+impl YieldEstimate {
+    /// Computes the Wilson interval for `successes` out of `trials`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or `successes > trials`.
+    pub fn from_counts(successes: usize, trials: usize) -> Self {
+        assert!(trials > 0, "yield estimate requires at least one trial");
+        assert!(successes <= trials, "successes cannot exceed trials");
+        let n = trials as f64;
+        let p = successes as f64 / n;
+        let z = 1.959_963_984_540_054; // 97.5th percentile
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / denom;
+        YieldEstimate {
+            value: p,
+            lo: (center - half).max(0.0),
+            hi: (center + half).min(1.0),
+            trials,
+        }
+    }
+
+    /// Whether the interval contains a reference probability.
+    pub fn contains(&self, p: f64) -> bool {
+        p >= self.lo && p <= self.hi
+    }
+}
+
+/// Samples plus derived statistics from a Monte-Carlo run.
+#[derive(Debug, Clone)]
+pub struct McResult {
+    samples: Vec<f64>,
+    stats: RunningStats,
+}
+
+impl McResult {
+    /// Wraps a sample vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn new(samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "MC result requires samples");
+        let stats = samples.iter().copied().collect();
+        McResult { samples, stats }
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Streaming moments (mean, sd, min, max).
+    pub fn stats(&self) -> &RunningStats {
+        &self.stats
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.stats.sample_sd()
+    }
+
+    /// σ/μ variability.
+    pub fn variability(&self) -> f64 {
+        self.stats.variability()
+    }
+
+    /// Empirical quantiles (sorts a copy on each call — cache if hot).
+    pub fn quantiles(&self) -> Quantiles {
+        Quantiles::new(&self.samples)
+    }
+
+    /// Histogram over the sample range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn histogram(&self, bins: usize) -> Histogram {
+        Histogram::auto(&self.samples, bins)
+    }
+
+    /// Monte-Carlo yield at a target delay, with confidence interval.
+    pub fn yield_at(&self, target: f64) -> YieldEstimate {
+        let ok = self.samples.iter().filter(|&&x| x <= target).count();
+        YieldEstimate::from_counts(ok, self.samples.len())
+    }
+
+    /// The yield a Gaussian fit of the samples would predict — used to
+    /// quantify the Gaussian-approximation error (paper §2.4).
+    pub fn gaussian_yield_at(&self, target: f64) -> f64 {
+        cap_phi((target - self.mean()) / self.sd())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_interval_sane() {
+        let y = YieldEstimate::from_counts(80, 100);
+        assert!((y.value - 0.8).abs() < 1e-12);
+        assert!(y.lo < 0.8 && y.hi > 0.8);
+        assert!(y.hi - y.lo < 0.2);
+        assert!(y.contains(0.8));
+        // Extremes stay in [0,1].
+        let y0 = YieldEstimate::from_counts(0, 50);
+        assert!(y0.lo >= 0.0);
+        let y1 = YieldEstimate::from_counts(50, 50);
+        assert!(y1.hi <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_rejects_zero_trials() {
+        let _ = YieldEstimate::from_counts(0, 0);
+    }
+
+    #[test]
+    fn result_statistics() {
+        let r = McResult::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((r.mean() - 3.0).abs() < 1e-12);
+        let y = r.yield_at(3.0);
+        assert!((y.value - 0.6).abs() < 1e-12);
+        assert_eq!(r.histogram(5).total(), 5);
+        assert!((r.quantiles().median() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_yield_close_for_symmetric_samples() {
+        let xs: Vec<f64> = (0..10_001).map(|i| (i as f64 - 5000.0) / 1000.0).collect();
+        let r = McResult::new(xs);
+        // Uniform, but symmetric: at the mean both estimates give ~0.5.
+        assert!((r.gaussian_yield_at(0.0) - 0.5).abs() < 1e-6);
+        assert!((r.yield_at(0.0).value - 0.5).abs() < 1e-3);
+    }
+}

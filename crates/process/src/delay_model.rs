@@ -1,0 +1,145 @@
+//! Alpha-power-law gate delay model and its variation sensitivities.
+//!
+//! The Sakurai–Newton alpha-power law gives the drain current of a
+//! velocity-saturated MOSFET as `I ∝ (W/L)(Vdd - Vth)^α`, hence a gate
+//! delay of
+//!
+//! ```text
+//! d = k · C_load · Vdd / ( x · (Vdd - Vth)^α )
+//! ```
+//!
+//! where `x` is the drive-strength (size) factor. Linearizing around the
+//! nominal threshold gives the fractional sensitivity
+//! `∂d/∂Vth / d = α / (Vdd - Vth)`, the quantity that converts σVth into
+//! σdelay throughout the workspace.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tech::Technology;
+
+/// Alpha-power-law delay evaluator bound to a [`Technology`].
+///
+/// ```
+/// use vardelay_process::{AlphaPowerDelay, Technology};
+/// let m = AlphaPowerDelay::new(Technology::bptm70());
+/// let d_nom = m.gate_delay(1.0, 1.0, 0.0);
+/// // A +50 mV Vth shift slows the gate down.
+/// assert!(m.gate_delay(1.0, 1.0, 0.050) > d_nom);
+/// // Doubling drive at fixed load halves delay.
+/// assert!((m.gate_delay(2.0, 1.0, 0.0) - d_nom / 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlphaPowerDelay {
+    tech: Technology,
+    /// Proportionality constant chosen so `gate_delay(1, 1, 0)` equals the
+    /// technology's FO1 delay.
+    k: f64,
+}
+
+impl AlphaPowerDelay {
+    /// Binds the model to a technology, calibrating the constant so that a
+    /// minimum inverter driving a unit load at nominal Vth has exactly the
+    /// technology's FO1 delay.
+    pub fn new(tech: Technology) -> Self {
+        // d(1, 1, 0) = k * 1 * vdd / (vdd - vth0)^alpha  ==  tau_fo1
+        let k = tech.tau_fo1_ps() * tech.overdrive().powf(tech.alpha()) / tech.vdd();
+        AlphaPowerDelay { tech, k }
+    }
+
+    /// The bound technology.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Gate delay (ps) at drive factor `x`, normalized load `c_load`
+    /// (in units of a minimum inverter's input capacitance), and
+    /// threshold shift `dvth` (V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x <= 0`, `c_load < 0`, or the shifted threshold reaches
+    /// the supply (the gate would not switch).
+    pub fn gate_delay(&self, x: f64, c_load: f64, dvth: f64) -> f64 {
+        assert!(x > 0.0, "drive factor must be positive");
+        assert!(c_load >= 0.0, "load must be non-negative");
+        let vth = self.tech.vth0() + dvth;
+        let od = self.tech.vdd() - vth;
+        assert!(
+            od > 0.0,
+            "threshold shift {dvth} V pushes Vth past the supply"
+        );
+        self.k * c_load * self.tech.vdd() / (x * od.powf(self.tech.alpha()))
+    }
+
+    /// Nominal gate delay (ps) — no threshold shift.
+    #[inline]
+    pub fn nominal_delay(&self, x: f64, c_load: f64) -> f64 {
+        self.gate_delay(x, c_load, 0.0)
+    }
+
+    /// First-order (linearized) delay under a threshold shift:
+    /// `d ≈ d_nom · (1 + s · dvth)` with `s = α/(Vdd − Vth0)`.
+    ///
+    /// This is the model the SSTA engine uses; [`Self::gate_delay`] is the
+    /// "exact" nonlinear evaluation the Monte-Carlo engine uses, so the two
+    /// engines diverge exactly where the paper's Gaussian assumption does.
+    #[inline]
+    pub fn linearized_delay(&self, x: f64, c_load: f64, dvth: f64) -> f64 {
+        self.nominal_delay(x, c_load) * (1.0 + self.tech.delay_vth_sensitivity() * dvth)
+    }
+
+    /// Absolute delay sensitivity `∂d/∂Vth` (ps per volt) at nominal.
+    #[inline]
+    pub fn delay_sensitivity_abs(&self, x: f64, c_load: f64) -> f64 {
+        self.nominal_delay(x, c_load) * self.tech.delay_vth_sensitivity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AlphaPowerDelay {
+        AlphaPowerDelay::new(Technology::bptm70())
+    }
+
+    #[test]
+    fn calibrated_to_fo1() {
+        let m = model();
+        assert!((m.nominal_delay(1.0, 1.0) - m.tech().tau_fo1_ps()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_scales_with_load_and_inverse_drive() {
+        let m = model();
+        let d = m.nominal_delay(1.0, 1.0);
+        assert!((m.nominal_delay(1.0, 3.0) - 3.0 * d).abs() < 1e-12);
+        assert!((m.nominal_delay(4.0, 1.0) - d / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linearization_matches_exact_to_first_order() {
+        let m = model();
+        for dvth in [-0.02, -0.01, 0.01, 0.02] {
+            let exact = m.gate_delay(1.0, 1.0, dvth);
+            let lin = m.linearized_delay(1.0, 1.0, dvth);
+            // Second-order error: |exact - lin| = O(dvth^2).
+            let rel = ((exact - lin) / exact).abs();
+            assert!(rel < 0.01, "dvth={dvth}: rel error {rel}");
+        }
+    }
+
+    #[test]
+    fn higher_vth_slows_gate() {
+        let m = model();
+        assert!(m.gate_delay(1.0, 1.0, 0.05) > m.gate_delay(1.0, 1.0, 0.0));
+        assert!(m.gate_delay(1.0, 1.0, -0.05) < m.gate_delay(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "past the supply")]
+    fn rejects_vth_beyond_supply() {
+        let m = model();
+        let _ = m.gate_delay(1.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-die sampling of all process-variation components.
+//!
+//! A [`ProcessSampler`] draws one [`DieSample`] per Monte-Carlo trial: the
+//! shared inter-die shift, one correlated systematic value per spatial
+//! region, and (on demand) independent random shifts per gate. The total
+//! ΔVth seen by a gate is the sum of the three components, which is exactly
+//! the decomposition of §2.1.
+
+use rand::Rng;
+
+use vardelay_stats::normal::sample_standard_normal;
+
+use crate::pelgrom::pelgrom_sigma;
+use crate::spatial::{DiePosition, SpatialCorrelator, SpatialGrid};
+use crate::variation::VariationConfig;
+
+/// One die's worth of shared variation: the inter-die shift and the
+/// per-region systematic shifts (all in volts of ΔVth).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieSample {
+    /// Inter-die ΔVth shared by every gate on the die (V).
+    pub global_dvth: f64,
+    /// Per-region systematic ΔVth (V); empty if no systematic component.
+    pub region_dvth: Vec<f64>,
+}
+
+impl DieSample {
+    /// The shared (non-random) ΔVth seen by a gate in region `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range while systematic variation is
+    /// configured.
+    pub fn shared_dvth(&self, region: usize) -> f64 {
+        if self.region_dvth.is_empty() {
+            self.global_dvth
+        } else {
+            self.global_dvth + self.region_dvth[region]
+        }
+    }
+}
+
+/// Draws per-die and per-gate variation samples.
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use vardelay_process::{ProcessSampler, SpatialGrid, VariationConfig};
+///
+/// let var = VariationConfig::combined(20.0, 35.0, 15.0);
+/// let sampler = ProcessSampler::new(var, Some(SpatialGrid::new(4, 4, 0.5)));
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let die = sampler.sample_die(&mut rng);
+/// assert_eq!(die.region_dvth.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessSampler {
+    variation: VariationConfig,
+    grid: Option<SpatialGrid>,
+    correlator: Option<SpatialCorrelator>,
+}
+
+impl ProcessSampler {
+    /// Creates a sampler. A grid is required only when the variation config
+    /// has a systematic component; passing `None` with systematic variation
+    /// uses a default 4x4 grid.
+    pub fn new(variation: VariationConfig, grid: Option<SpatialGrid>) -> Self {
+        let grid = if variation.has_systematic() {
+            Some(grid.unwrap_or_else(|| {
+                SpatialGrid::new(4, 4, variation.correlation_length())
+            }))
+        } else {
+            grid
+        };
+        let correlator = grid.as_ref().map(SpatialGrid::correlator);
+        ProcessSampler {
+            variation,
+            grid,
+            correlator,
+        }
+    }
+
+    /// The variation configuration.
+    pub fn variation(&self) -> &VariationConfig {
+        &self.variation
+    }
+
+    /// The spatial grid, if any.
+    pub fn grid(&self) -> Option<&SpatialGrid> {
+        self.grid.as_ref()
+    }
+
+    /// Region index for a die position (0 when no grid is configured).
+    pub fn region_of(&self, pos: DiePosition) -> usize {
+        self.grid.as_ref().map_or(0, |g| g.region_of(pos))
+    }
+
+    /// Draws the shared components for one die.
+    pub fn sample_die<R: Rng + ?Sized>(&self, rng: &mut R) -> DieSample {
+        let global_dvth = if self.variation.has_inter() {
+            self.variation.sigma_vth_inter_v() * sample_standard_normal(rng)
+        } else {
+            0.0
+        };
+        let region_dvth = if self.variation.has_systematic() {
+            let corr = self
+                .correlator
+                .as_ref()
+                .expect("systematic variation implies a grid");
+            let z: Vec<f64> = (0..corr.region_count())
+                .map(|_| sample_standard_normal(rng))
+                .collect();
+            corr.correlate(&z)
+                .into_iter()
+                .map(|v| v * self.variation.sigma_vth_sys_v())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        DieSample {
+            global_dvth,
+            region_dvth,
+        }
+    }
+
+    /// Draws the independent random ΔVth (V) for one gate of size factor
+    /// `x` (Pelgrom scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x <= 0`.
+    pub fn sample_gate_random<R: Rng + ?Sized>(&self, rng: &mut R, x: f64) -> f64 {
+        if !self.variation.has_random() {
+            return 0.0;
+        }
+        pelgrom_sigma(self.variation.sigma_vth_rand_v(), x) * sample_standard_normal(rng)
+    }
+
+    /// Total ΔVth for a gate: shared (inter + region) plus freshly-drawn
+    /// random component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x <= 0` or the region index is invalid.
+    pub fn sample_gate_total<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        die: &DieSample,
+        region: usize,
+        x: f64,
+    ) -> f64 {
+        die.shared_dvth(region) + self.sample_gate_random(rng, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vardelay_stats::RunningStats;
+
+    #[test]
+    fn no_variation_samples_zero() {
+        let s = ProcessSampler::new(VariationConfig::none(), None);
+        let mut rng = StdRng::seed_from_u64(1);
+        let die = s.sample_die(&mut rng);
+        assert_eq!(die.global_dvth, 0.0);
+        assert!(die.region_dvth.is_empty());
+        assert_eq!(s.sample_gate_random(&mut rng, 1.0), 0.0);
+    }
+
+    #[test]
+    fn inter_die_sigma_matches_config() {
+        let s = ProcessSampler::new(VariationConfig::inter_only(40.0), None);
+        let mut rng = StdRng::seed_from_u64(2);
+        let stats: RunningStats = (0..50_000)
+            .map(|_| s.sample_die(&mut rng).global_dvth)
+            .collect();
+        assert!((stats.sample_sd() - 0.040).abs() < 0.001, "{}", stats.sample_sd());
+        assert!(stats.mean().abs() < 0.001);
+    }
+
+    #[test]
+    fn random_component_shrinks_with_size() {
+        let s = ProcessSampler::new(VariationConfig::random_only(35.0), None);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sd_x1: RunningStats = (0..40_000)
+            .map(|_| s.sample_gate_random(&mut rng, 1.0))
+            .collect();
+        let sd_x4: RunningStats = (0..40_000)
+            .map(|_| s.sample_gate_random(&mut rng, 4.0))
+            .collect();
+        assert!(
+            (sd_x4.sample_sd() - sd_x1.sample_sd() / 2.0).abs() < 0.001,
+            "pelgrom: {} vs {}",
+            sd_x4.sample_sd(),
+            sd_x1.sample_sd()
+        );
+    }
+
+    #[test]
+    fn systematic_gets_default_grid() {
+        let s = ProcessSampler::new(VariationConfig::combined(0.0, 0.0, 15.0), None);
+        assert!(s.grid().is_some());
+        let mut rng = StdRng::seed_from_u64(4);
+        let die = s.sample_die(&mut rng);
+        assert_eq!(die.region_dvth.len(), 16);
+        // Per-region sd should be ~15 mV.
+        let stats: RunningStats = (0..20_000)
+            .map(|_| s.sample_die(&mut rng).region_dvth[0])
+            .collect();
+        assert!((stats.sample_sd() - 0.015).abs() < 5e-4);
+    }
+
+    #[test]
+    fn shared_dvth_combines_components() {
+        let die = DieSample {
+            global_dvth: 0.01,
+            region_dvth: vec![0.002, -0.003],
+        };
+        assert!((die.shared_dvth(0) - 0.012).abs() < 1e-15);
+        assert!((die.shared_dvth(1) - 0.007).abs() < 1e-15);
+    }
+}

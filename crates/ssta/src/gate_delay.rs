@@ -1,0 +1,169 @@
+//! Building a gate's canonical delay from library + variation parameters.
+//!
+//! A gate of kind `k`, size `x`, in spatial region `r`, driving load `C_L`
+//! has nominal delay `d₀ = τ(p + g·C_L/x)` and linearized statistical delay
+//!
+//! ```text
+//! d = d₀ · (1 + s·ΔVth),   s = α/(Vdd − Vth0)
+//! ΔVth = σ_inter·G + σ_sys·(L·U)_r + σ_rand(k,x)·Z
+//! ```
+//!
+//! so the canonical coefficients are `d₀·s·σ_inter` on the global factor,
+//! `d₀·s·σ_sys·L[r][j]` on region-basis factor `j`, and a private sd of
+//! `d₀·s·σ_rand(k,x)`.
+
+use vardelay_circuit::{CellLibrary, GateKind};
+use vardelay_process::spatial::SpatialGrid;
+use vardelay_process::VariationConfig;
+use vardelay_stats::matrix::Cholesky;
+
+use crate::canonical::CanonicalDelay;
+
+/// Shared factor basis for one SSTA run: factor 0 is the inter-die
+/// variable; factors `1..=regions` are the orthogonalized spatial basis.
+#[derive(Debug, Clone)]
+pub struct FactorBasis {
+    /// Cholesky factor of the region correlation matrix (None when no
+    /// systematic variation / no grid).
+    region_chol: Option<Cholesky>,
+    factor_count: usize,
+}
+
+impl FactorBasis {
+    /// Builds the basis for a variation config and optional grid.
+    pub fn new(variation: &VariationConfig, grid: Option<&SpatialGrid>) -> Self {
+        let region_chol = if variation.has_systematic() {
+            let g = match grid {
+                Some(g) => g.clone(),
+                None => SpatialGrid::new(4, 4, variation.correlation_length()),
+            };
+            Some(
+                g.correlation_matrix()
+                    .cholesky(1e-10)
+                    .expect("exp-decay correlation matrices are PSD"),
+            )
+        } else {
+            None
+        };
+        let factor_count = 1 + region_chol.as_ref().map_or(0, Cholesky::dim);
+        FactorBasis {
+            region_chol,
+            factor_count,
+        }
+    }
+
+    /// Total number of shared factors.
+    pub fn factor_count(&self) -> usize {
+        self.factor_count
+    }
+
+    /// Number of spatial regions in the basis (0 when absent).
+    pub fn region_count(&self) -> usize {
+        self.region_chol.as_ref().map_or(0, Cholesky::dim)
+    }
+
+    /// A zero canonical delay on this basis.
+    pub fn zero(&self) -> CanonicalDelay {
+        CanonicalDelay::constant(0.0, self.factor_count)
+    }
+
+    /// Canonical delay of one gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range while a spatial basis exists, or
+    /// on invalid size/load (propagated from the library).
+    pub fn gate_delay(
+        &self,
+        lib: &CellLibrary,
+        variation: &VariationConfig,
+        kind: GateKind,
+        size: f64,
+        c_load: f64,
+        region: usize,
+    ) -> CanonicalDelay {
+        let d0 = lib.nominal_delay(kind, size, c_load);
+        let s = lib.delay_vth_sensitivity();
+        let mut shared = vec![0.0; self.factor_count];
+        shared[0] = d0 * s * variation.sigma_vth_inter_v();
+        if let Some(chol) = &self.region_chol {
+            assert!(region < chol.dim(), "region {region} out of range");
+            let sys = d0 * s * variation.sigma_vth_sys_v();
+            // Row `region` of L maps the independent basis U to this
+            // region's correlated value.
+            for j in 0..=region {
+                shared[1 + j] = sys * chol.get(region, j);
+            }
+        }
+        let indep = d0 * s * lib.sigma_vth_random(kind, size, variation.sigma_vth_rand_v());
+        CanonicalDelay::new(d0, shared, indep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_circuit::CellLibrary;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::default()
+    }
+
+    #[test]
+    fn no_variation_gives_deterministic_delay() {
+        let var = VariationConfig::none();
+        let basis = FactorBasis::new(&var, None);
+        let d = basis.gate_delay(&lib(), &var, GateKind::Inv, 1.0, 1.0, 0);
+        assert!(d.sd() < 1e-15);
+        assert!((d.mean() - lib().nominal_delay(GateKind::Inv, 1.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inter_only_is_fully_shared() {
+        let var = VariationConfig::inter_only(40.0);
+        let basis = FactorBasis::new(&var, None);
+        assert_eq!(basis.factor_count(), 1);
+        let a = basis.gate_delay(&lib(), &var, GateKind::Inv, 1.0, 1.0, 0);
+        let b = basis.gate_delay(&lib(), &var, GateKind::Inv, 1.0, 1.0, 0);
+        assert!((a.correlation(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(a.indep(), 0.0);
+        // sd = d0 * s * sigma.
+        let want = a.mean() * lib().delay_vth_sensitivity() * 0.040;
+        assert!((a.sd() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_only_is_fully_private() {
+        let var = VariationConfig::random_only(35.0);
+        let basis = FactorBasis::new(&var, None);
+        let a = basis.gate_delay(&lib(), &var, GateKind::Inv, 1.0, 1.0, 0);
+        let b = basis.gate_delay(&lib(), &var, GateKind::Inv, 1.0, 1.0, 0);
+        assert_eq!(a.correlation(&b), 0.0);
+        assert!(a.indep() > 0.0);
+    }
+
+    #[test]
+    fn upsizing_shrinks_random_component() {
+        let var = VariationConfig::random_only(35.0);
+        let basis = FactorBasis::new(&var, None);
+        // Compare relative (per-mean) randomness at equal effort delay.
+        let a = basis.gate_delay(&lib(), &var, GateKind::Inv, 1.0, 1.0, 0);
+        let b = basis.gate_delay(&lib(), &var, GateKind::Inv, 4.0, 4.0, 0);
+        assert!((a.mean() - b.mean()).abs() < 1e-12, "same effort delay");
+        assert!(b.indep() < a.indep(), "pelgrom averaging");
+    }
+
+    #[test]
+    fn systematic_correlates_nearby_regions_more() {
+        let var = VariationConfig::combined(0.0, 0.0, 20.0);
+        let grid = SpatialGrid::new(1, 8, 0.3);
+        let basis = FactorBasis::new(&var, Some(&grid));
+        assert_eq!(basis.factor_count(), 9);
+        let g0 = basis.gate_delay(&lib(), &var, GateKind::Inv, 1.0, 1.0, 0);
+        let g1 = basis.gate_delay(&lib(), &var, GateKind::Inv, 1.0, 1.0, 1);
+        let g7 = basis.gate_delay(&lib(), &var, GateKind::Inv, 1.0, 1.0, 7);
+        assert!(g0.correlation(&g1) > g0.correlation(&g7));
+        // Correlations should match the grid's exponential decay.
+        assert!((g0.correlation(&g1) - grid.region_correlation(0, 1)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,238 @@
+//! Path enumeration and statistical path criticality.
+//!
+//! The sizing flow and design diagnostics need more than the single worst
+//! path: under variation, any path whose statistical delay overlaps the
+//! worst one can become critical on some die (§3.2: "a balanced pipeline
+//! has more number of critical paths … that adversely affects the yield").
+//! This module enumerates the top-k paths by nominal delay and estimates
+//! each path's *statistical* delay from the gate-level canonical model.
+
+use vardelay_circuit::Netlist;
+use vardelay_stats::Normal;
+
+use crate::analysis::SstaEngine;
+use crate::sta::nominal_arrival_times;
+
+/// One enumerated path: gate indices from inputs toward a primary output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingPath {
+    /// Gate indices in topological order along the path.
+    pub gates: Vec<usize>,
+    /// Nominal path delay (ps).
+    pub nominal_ps: f64,
+    /// Statistical path delay (sum of the gates' canonical delays).
+    pub statistical: Normal,
+}
+
+/// Enumerates the `k` slowest paths by nominal delay (exact, via repeated
+/// deviation-path search on the arrival-time DAG — sufficient for the
+/// path counts used in diagnostics; not intended for millions of paths).
+///
+/// Each returned path also carries its statistical delay: the exact
+/// canonical sum of its gate delays (no max involved along a single path),
+/// evaluated in region `region`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the netlist has no outputs.
+pub fn top_k_paths(
+    engine: &SstaEngine,
+    netlist: &Netlist,
+    region: usize,
+    k: usize,
+) -> Vec<TimingPath> {
+    assert!(k > 0, "need at least one path");
+    assert!(
+        !netlist.outputs().is_empty(),
+        "path enumeration requires outputs"
+    );
+    let lib = engine.library();
+    let load = engine.output_load();
+    let at = nominal_arrival_times(netlist, lib, load);
+    let loads = netlist.loads(load);
+
+    // Gate delay lookup.
+    let gate_delay: Vec<f64> = netlist
+        .gates()
+        .iter()
+        .enumerate()
+        .map(|(i, g)| lib.nominal_delay(g.kind, g.size, loads[netlist.input_count() + i]))
+        .collect();
+
+    // Enumerate paths end-first with a bounded beam: walk back from each
+    // output, at each gate branching over fanins ordered by arrival time;
+    // the frontier is pruned by (accumulated + upstream-arrival) bound.
+    let mut complete: Vec<TimingPath> = Vec::new();
+    let mut frontier: Vec<(vardelay_circuit::SignalId, Vec<usize>, f64)> = netlist
+        .outputs()
+        .iter()
+        .map(|&o| (o, Vec::new(), 0.0))
+        .collect();
+
+    while let Some((sig, gates_rev, acc)) = frontier.pop() {
+        match netlist.driver_of(sig) {
+            None => {
+                // Reached a primary input: the path is complete.
+                let mut gates = gates_rev.clone();
+                gates.reverse();
+                let statistical = path_statistical(engine, netlist, region, &gates);
+                complete.push(TimingPath {
+                    gates,
+                    nominal_ps: acc,
+                    statistical,
+                });
+            }
+            Some(gi) => {
+                let g = &netlist.gates()[gi];
+                let d = gate_delay[gi];
+                // Branch over fanins, best-arrival first; bound the branch
+                // factor by k to keep enumeration tractable.
+                let mut fanins: Vec<_> = g.fanins.clone();
+                fanins.sort_by(|a, b| at[b.0].partial_cmp(&at[a.0]).expect("finite"));
+                fanins.dedup();
+                for f in fanins.into_iter().take(k) {
+                    let mut gr = gates_rev.clone();
+                    gr.push(gi);
+                    frontier.push((f, gr, acc + d));
+                }
+                // Keep the frontier bounded: retain the k * outputs best.
+                let cap = k * netlist.outputs().len().max(1) * 4;
+                if frontier.len() > cap {
+                    frontier.sort_by(|a, b| {
+                        (b.2 + at[b.0 .0])
+                            .partial_cmp(&(a.2 + at[a.0 .0]))
+                            .expect("finite")
+                    });
+                    frontier.truncate(cap);
+                }
+            }
+        }
+    }
+
+    complete.sort_by(|a, b| b.nominal_ps.partial_cmp(&a.nominal_ps).expect("finite"));
+    complete.dedup_by(|a, b| a.gates == b.gates);
+    complete.truncate(k);
+    complete
+}
+
+/// Exact statistical delay of a specific path (canonical sum — no max).
+fn path_statistical(
+    engine: &SstaEngine,
+    netlist: &Netlist,
+    region: usize,
+    gates: &[usize],
+) -> Normal {
+    let lib = engine.library();
+    let load = engine.output_load();
+    let loads = netlist.loads(load);
+    let basis = crate::gate_delay::FactorBasis::new(engine.variation(), engine.grid());
+    let mut acc = basis.zero();
+    for &gi in gates {
+        let g = &netlist.gates()[gi];
+        let d = basis.gate_delay(
+            lib,
+            engine.variation(),
+            g.kind,
+            g.size,
+            loads[netlist.input_count() + gi],
+            region,
+        );
+        acc = acc.add(&d);
+    }
+    acc.to_normal()
+}
+
+/// Counts the paths whose statistical delay overlaps the worst path's
+/// within `z` sigmas — the "number of critical paths" metric behind the
+/// paper's balanced-pipeline yield argument.
+///
+/// # Panics
+///
+/// Panics if `paths` is empty or `z < 0`.
+pub fn near_critical_count(paths: &[TimingPath], z: f64) -> usize {
+    assert!(!paths.is_empty(), "need at least one path");
+    assert!(z >= 0.0, "z must be non-negative");
+    let worst = &paths[0].statistical;
+    let threshold = worst.mean() - z * worst.sd();
+    paths
+        .iter()
+        .filter(|p| p.statistical.mean() + z * p.statistical.sd() >= threshold)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_circuit::generators::{inverter_chain, random_logic, RandomLogicConfig};
+    use vardelay_circuit::CellLibrary;
+    use vardelay_process::VariationConfig;
+
+    fn engine() -> SstaEngine {
+        SstaEngine::new(
+            CellLibrary::default(),
+            VariationConfig::random_only(35.0),
+            None,
+        )
+        .with_output_load(1.0)
+    }
+
+    #[test]
+    fn chain_has_exactly_one_path() {
+        let e = engine();
+        let c = inverter_chain(6, 1.0);
+        let paths = top_k_paths(&e, &c, 0, 5);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].gates, vec![0, 1, 2, 3, 4, 5]);
+        // Nominal path delay equals the chain's STA delay.
+        let sta = crate::sta::nominal_delay(&c, e.library(), 1.0);
+        assert!((paths[0].nominal_ps - sta).abs() < 1e-9);
+        // The statistical path delay matches the stage SSTA (single path).
+        let stat = e.stage_delay(&c, 0);
+        assert!((paths[0].statistical.mean() - stat.mean()).abs() < 1e-9);
+        assert!((paths[0].statistical.sd() - stat.sd()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paths_are_sorted_and_distinct() {
+        let e = engine();
+        let n = random_logic(&RandomLogicConfig::new("pk", 21));
+        let paths = top_k_paths(&e, &n, 0, 8);
+        assert!(!paths.is_empty());
+        for w in paths.windows(2) {
+            assert!(w[0].nominal_ps >= w[1].nominal_ps - 1e-9);
+            assert_ne!(w[0].gates, w[1].gates);
+        }
+        // Path gate lists are topologically ordered.
+        for p in &paths {
+            for w in p.gates.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_enumerated_path_matches_critical_path() {
+        let e = engine();
+        let n = random_logic(&RandomLogicConfig::new("pk2", 23));
+        let paths = top_k_paths(&e, &n, 0, 4);
+        let sta = crate::sta::nominal_delay(&n, e.library(), 1.0);
+        assert!(
+            (paths[0].nominal_ps - sta).abs() < 1e-9,
+            "worst path {} vs STA {}",
+            paths[0].nominal_ps,
+            sta
+        );
+    }
+
+    #[test]
+    fn near_critical_counting() {
+        let e = engine();
+        let n = random_logic(&RandomLogicConfig::new("pk3", 29));
+        let paths = top_k_paths(&e, &n, 0, 10);
+        let tight = near_critical_count(&paths, 0.0);
+        let loose = near_critical_count(&paths, 3.0);
+        assert!(tight >= 1);
+        assert!(loose >= tight, "wider window, more critical paths");
+        assert!(loose <= paths.len());
+    }
+}

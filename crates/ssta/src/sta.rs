@@ -1,0 +1,180 @@
+//! Deterministic static timing analysis.
+//!
+//! Used three ways: (1) nominal timing for sizing and reporting, (2)
+//! per-sample timing inside the Monte-Carlo engine (each gate gets its own
+//! slowdown factor), and (3) critical-path extraction for the
+//! Lagrangian-relaxation sizer.
+
+use vardelay_circuit::{CellLibrary, Netlist};
+
+/// Default capacitive load on primary outputs (min-inverter input-cap
+/// units) — models the downstream latch input.
+pub const DEFAULT_OUTPUT_LOAD: f64 = 3.0;
+
+/// Arrival time of every signal under per-gate slowdown factors.
+///
+/// `slowdown[i]` multiplies gate `i`'s nominal delay; pass `None` for
+/// nominal timing. Primary inputs arrive at `t = 0`.
+///
+/// # Panics
+///
+/// Panics if `slowdown` is `Some` with a length different from the gate
+/// count.
+pub fn arrival_times(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    output_load: f64,
+    slowdown: Option<&[f64]>,
+) -> Vec<f64> {
+    if let Some(s) = slowdown {
+        assert_eq!(
+            s.len(),
+            netlist.gate_count(),
+            "one slowdown factor per gate required"
+        );
+    }
+    let loads = netlist.loads(output_load);
+    let mut at = vec![0.0_f64; netlist.input_count() + netlist.gate_count()];
+    for (i, g) in netlist.gates().iter().enumerate() {
+        let out = netlist.input_count() + i;
+        let d0 = lib.nominal_delay(g.kind, g.size, loads[out]);
+        let d = d0 * slowdown.map_or(1.0, |s| s[i]);
+        let t_in = g
+            .fanins
+            .iter()
+            .map(|f| at[f.0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        at[out] = t_in + d;
+    }
+    at
+}
+
+/// Nominal arrival times (no variation).
+pub fn nominal_arrival_times(netlist: &Netlist, lib: &CellLibrary, output_load: f64) -> Vec<f64> {
+    arrival_times(netlist, lib, output_load, None)
+}
+
+/// Nominal combinational delay: the max arrival over primary outputs.
+pub fn nominal_delay(netlist: &Netlist, lib: &CellLibrary, output_load: f64) -> f64 {
+    let at = nominal_arrival_times(netlist, lib, output_load);
+    netlist
+        .outputs()
+        .iter()
+        .map(|o| at[o.0])
+        .fold(0.0, f64::max)
+}
+
+/// Gate indices along the nominal critical path, from inputs toward the
+/// critical primary output.
+///
+/// # Panics
+///
+/// Panics if the netlist has no outputs.
+pub fn critical_path(netlist: &Netlist, lib: &CellLibrary, output_load: f64) -> Vec<usize> {
+    assert!(
+        !netlist.outputs().is_empty(),
+        "critical path requires at least one primary output"
+    );
+    let at = nominal_arrival_times(netlist, lib, output_load);
+    // Critical output.
+    let mut cur = *netlist
+        .outputs()
+        .iter()
+        .max_by(|a, b| at[a.0].partial_cmp(&at[b.0]).expect("finite arrivals"))
+        .expect("non-empty outputs");
+    let mut path_rev = Vec::new();
+    while let Some(gi) = netlist.driver_of(cur) {
+        path_rev.push(gi);
+        let g = &netlist.gates()[gi];
+        // Latest-arriving fanin.
+        cur = *g
+            .fanins
+            .iter()
+            .max_by(|a, b| at[a.0].partial_cmp(&at[b.0]).expect("finite arrivals"))
+            .expect("gates have at least one fanin");
+    }
+    path_rev.reverse();
+    path_rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_circuit::generators::{inverter_chain, random_logic, RandomLogicConfig};
+    use vardelay_circuit::{GateKind, NetlistBuilder};
+
+    fn lib() -> CellLibrary {
+        CellLibrary::default()
+    }
+
+    #[test]
+    fn chain_delay_is_sum_of_gate_delays() {
+        let l = lib();
+        let c = inverter_chain(5, 1.0);
+        let d = nominal_delay(&c, &l, 1.0);
+        // Interior gates drive one min inverter (load 1); the last drives
+        // the output load 1 as well, so all 5 are FO1.
+        let want = 5.0 * l.nominal_delay(GateKind::Inv, 1.0, 1.0);
+        assert!((d - want).abs() < 1e-9, "{d} vs {want}");
+    }
+
+    #[test]
+    fn slowdown_scales_linearly_on_chain() {
+        let l = lib();
+        let c = inverter_chain(4, 1.0);
+        let base = nominal_delay(&c, &l, 1.0);
+        let at = arrival_times(&c, &l, 1.0, Some(&[1.1; 4]));
+        let slowed = c.outputs().iter().map(|o| at[o.0]).fold(0.0, f64::max);
+        assert!((slowed - 1.1 * base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_of_chain_is_whole_chain() {
+        let c = inverter_chain(6, 1.0);
+        let p = critical_path(&c, &lib(), 1.0);
+        assert_eq!(p, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn critical_path_picks_slower_branch() {
+        // Two parallel paths to an AND: a 1-inverter branch and a
+        // 3-inverter branch. The 3-deep branch must be critical.
+        let mut b = NetlistBuilder::new("y", 2);
+        let short = b.inv(1.0, b.input(0));
+        let l1 = b.inv(1.0, b.input(1));
+        let l2 = b.inv(1.0, l1);
+        let l3 = b.inv(1.0, l2);
+        let out = b.gate(GateKind::And2, 1.0, &[short, l3]);
+        b.output(out);
+        let n = b.finish().unwrap();
+        let p = critical_path(&n, &lib(), 1.0);
+        // Path: l1 (gate 1), l2 (gate 2), l3 (gate 3), and (gate 4).
+        assert_eq!(p, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_logic_timing_is_finite_and_positive() {
+        let n = random_logic(&RandomLogicConfig::new("t", 3));
+        let d = nominal_delay(&n, &lib(), DEFAULT_OUTPUT_LOAD);
+        assert!(d.is_finite() && d > 0.0);
+        let p = critical_path(&n, &lib(), DEFAULT_OUTPUT_LOAD);
+        assert!(!p.is_empty());
+        // The path must be monotone in topological order.
+        for w in p.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn upsizing_critical_gates_reduces_delay() {
+        let l = lib();
+        let mut n = random_logic(&RandomLogicConfig::new("t", 5));
+        let before = nominal_delay(&n, &l, DEFAULT_OUTPUT_LOAD);
+        for gi in critical_path(&n, &l, DEFAULT_OUTPUT_LOAD) {
+            let s = n.gates()[gi].size;
+            n.set_gate_size(gi, s * 2.0);
+        }
+        let after = nominal_delay(&n, &l, DEFAULT_OUTPUT_LOAD);
+        assert!(after < before, "{after} !< {before}");
+    }
+}

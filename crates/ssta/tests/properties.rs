@@ -1,0 +1,132 @@
+//! Property-based tests for the SSTA engine and canonical delay algebra.
+
+use proptest::prelude::*;
+use vardelay_circuit::generators::{inverter_chain, random_logic, RandomLogicConfig};
+use vardelay_circuit::CellLibrary;
+use vardelay_process::VariationConfig;
+use vardelay_ssta::canonical::CanonicalDelay;
+use vardelay_ssta::sta::{arrival_times, nominal_delay};
+use vardelay_ssta::SstaEngine;
+
+fn canon() -> impl Strategy<Value = CanonicalDelay> {
+    (
+        -100.0..100.0_f64,
+        proptest::collection::vec(-10.0..10.0_f64, 3),
+        0.0..10.0_f64,
+    )
+        .prop_map(|(m, shared, indep)| CanonicalDelay::new(m, shared, indep))
+}
+
+proptest! {
+    #[test]
+    fn canonical_add_is_commutative(a in canon(), b in canon()) {
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-12);
+        prop_assert!((ab.variance() - ba.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn canonical_covariance_is_symmetric_and_cauchy_schwarz(a in canon(), b in canon()) {
+        let cab = a.covariance(&b);
+        let cba = b.covariance(&a);
+        prop_assert!((cab - cba).abs() < 1e-12);
+        prop_assert!(cab.abs() <= a.sd() * b.sd() + 1e-9);
+        prop_assert!((-1.0..=1.0).contains(&a.correlation(&b)));
+    }
+
+    #[test]
+    fn canonical_max_dominates_inputs(a in canon(), b in canon()) {
+        let m = a.max(&b);
+        prop_assert!(m.mean() >= a.mean().max(b.mean()) - 1e-9);
+        prop_assert!(m.variance() >= -1e-12);
+    }
+
+    #[test]
+    fn canonical_max_is_idempotent_for_fully_shared(
+        m in -100.0..100.0_f64,
+        shared in proptest::collection::vec(-10.0..10.0_f64, 3)
+    ) {
+        // With no private term, two structurally identical quantities are
+        // the *same* random variable (correlation 1) and max is exact.
+        // (With a private term the algebra deliberately treats the two
+        // operands' private parts as independent, so self-max does not
+        // apply — arrival propagation never maxes a node with itself.)
+        let a = CanonicalDelay::new(m, shared, 0.0);
+        let mx = a.max(&a);
+        prop_assert!((mx.mean() - a.mean()).abs() < 1e-9);
+        prop_assert!((mx.sd() - a.sd()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_delay_scales_with_depth(nl in 1usize..40) {
+        // Under random-only variation a chain's mean is depth-linear and
+        // its variance depth-linear (so sd ~ sqrt(depth)).
+        let e = SstaEngine::new(
+            CellLibrary::default(),
+            VariationConfig::random_only(35.0),
+            None,
+        )
+        .with_output_load(1.0);
+        let d1 = e.stage_delay(&inverter_chain(1, 1.0), 0);
+        let dn = e.stage_delay(&inverter_chain(nl, 1.0), 0);
+        prop_assert!((dn.mean() - nl as f64 * d1.mean()).abs() < 1e-6 * dn.mean());
+        prop_assert!(
+            (dn.variance() - nl as f64 * d1.variance()).abs() < 1e-6 * dn.variance().max(1e-12)
+        );
+    }
+
+    #[test]
+    fn ssta_mean_upper_bounds_nominal_sta(seed in any::<u64>()) {
+        // Clark max over outputs can only shift the mean up relative to
+        // the deterministic max (Jensen), never down.
+        let n = random_logic(&RandomLogicConfig::new("p", seed));
+        let e = SstaEngine::new(
+            CellLibrary::default(),
+            VariationConfig::random_only(35.0),
+            None,
+        );
+        let stat = e.stage_delay(&n, 0);
+        let det = nominal_delay(&n, e.library(), e.output_load());
+        prop_assert!(stat.mean() >= det - 1e-9, "stat {} det {}", stat.mean(), det);
+    }
+
+    #[test]
+    fn slowdown_factors_scale_arrivals_monotonically(
+        seed in any::<u64>(), f in 1.0..1.5_f64
+    ) {
+        let n = random_logic(&RandomLogicConfig::new("q", seed));
+        let lib = CellLibrary::default();
+        let base = arrival_times(&n, &lib, 3.0, None);
+        let slowed = arrival_times(&n, &lib, 3.0, Some(&vec![f; n.gate_count()]));
+        for (b, s) in base.iter().zip(&slowed) {
+            prop_assert!((*s - b * f).abs() < 1e-6 * s.max(1.0), "{s} vs {}", b * f);
+        }
+    }
+
+    #[test]
+    fn pipeline_correlations_valid_and_symmetric(
+        ns in 2usize..6, nl in 2usize..10
+    ) {
+        let e = SstaEngine::new(
+            CellLibrary::default(),
+            VariationConfig::combined(20.0, 35.0, 15.0),
+            None,
+        );
+        let p = vardelay_circuit::StagedPipeline::inverter_grid(
+            ns,
+            nl,
+            1.0,
+            vardelay_circuit::LatchParams::tg_msff_70nm(),
+        );
+        let t = e.analyze_pipeline(&p);
+        for i in 0..ns {
+            for j in 0..ns {
+                let r = t.correlation.get(i, j);
+                prop_assert!((-1.0..=1.0).contains(&r));
+                prop_assert!((r - t.correlation.get(j, i)).abs() < 1e-12);
+            }
+            prop_assert!((t.correlation.get(i, i) - 1.0).abs() < 1e-12);
+        }
+    }
+}

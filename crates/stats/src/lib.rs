@@ -1,0 +1,49 @@
+//! Statistics substrate for variation-aware timing analysis.
+//!
+//! This crate provides the probabilistic machinery used throughout the
+//! `vardelay` workspace:
+//!
+//! * [`normal`] — scalar Gaussian math: `erf`/`erfc`, the standard normal
+//!   PDF/CDF ([`phi`], [`cap_phi`]) and quantile ([`inv_cap_phi`]), and the
+//!   [`Normal`] distribution type.
+//! * [`clark`] — Clark's moment-matching approximation for the maximum of
+//!   correlated Gaussian random variables (Clark, *Operations Research* 1961),
+//!   the core operator behind the paper's pipeline-delay model (eqs. 4–6).
+//! * [`matrix`] — small dense symmetric matrices and Cholesky factorization.
+//! * [`correlation`] — validated correlation matrices and builders.
+//! * [`mvn`] — sampling from multivariate normal distributions.
+//! * [`descriptive`] — streaming moments (Welford), quantiles, histograms.
+//! * [`ks`] — Kolmogorov–Smirnov distance between samples and a reference
+//!   distribution, used to validate analytical models against Monte-Carlo.
+//!
+//! # Example
+//!
+//! Estimate the distribution of the max of two correlated stage delays and
+//! compare with brute-force sampling:
+//!
+//! ```
+//! use vardelay_stats::{Normal, clark};
+//!
+//! let a = Normal::new(100.0, 5.0).unwrap();
+//! let b = Normal::new(98.0, 7.0).unwrap();
+//! let m = clark::max_pair(a, b, 0.3);
+//! assert!(m.mean() > 100.0 && m.mean() < 110.0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod clark;
+pub mod correlation;
+pub mod descriptive;
+pub mod ks;
+pub mod matrix;
+pub mod mvn;
+pub mod normal;
+
+pub use clark::{max_of, max_of_with_order, max_pair, MaxPairMoments};
+pub use correlation::CorrelationMatrix;
+pub use descriptive::{Histogram, Quantiles, RunningStats};
+pub use matrix::SymMatrix;
+pub use mvn::MultivariateNormal;
+pub use normal::{cap_phi, erf, erfc, inv_cap_phi, phi, Normal, NormalError};

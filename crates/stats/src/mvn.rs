@@ -1,0 +1,252 @@
+//! Multivariate normal sampling.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::correlation::CorrelationMatrix;
+use crate::matrix::{Cholesky, MatrixError, SymMatrix};
+use crate::normal::sample_standard_normal;
+
+/// Error constructing a [`MultivariateNormal`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MvnError {
+    /// Mean vector length does not match the covariance dimension.
+    DimensionMismatch {
+        /// Mean length.
+        mean_len: usize,
+        /// Covariance dimension.
+        cov_dim: usize,
+    },
+    /// The covariance matrix could not be factorized.
+    Factorization(MatrixError),
+}
+
+impl fmt::Display for MvnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvnError::DimensionMismatch { mean_len, cov_dim } => write!(
+                f,
+                "mean length {mean_len} does not match covariance dimension {cov_dim}"
+            ),
+            MvnError::Factorization(e) => write!(f, "covariance factorization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MvnError {}
+
+/// A multivariate normal distribution `N(mean, cov)` ready for sampling.
+///
+/// The covariance is Cholesky-factorized once at construction; each sample
+/// costs one `L z` transform. Singular PSD covariances (e.g. perfectly
+/// correlated pipeline stages) are supported.
+///
+/// ```
+/// use vardelay_stats::{CorrelationMatrix, MultivariateNormal};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let corr = CorrelationMatrix::uniform(3, 0.8)?;
+/// let mvn = MultivariateNormal::from_correlation(
+///     &[200.0, 210.0, 205.0], &[5.0, 6.0, 4.0], &corr)?;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = mvn.sample(&mut rng);
+/// assert_eq!(x.len(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultivariateNormal {
+    mean: Vec<f64>,
+    chol: Cholesky,
+}
+
+impl MultivariateNormal {
+    /// Builds from a mean vector and covariance matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvnError`] on dimension mismatch or a non-PSD covariance.
+    pub fn new(mean: &[f64], cov: &SymMatrix) -> Result<Self, MvnError> {
+        if mean.len() != cov.dim() {
+            return Err(MvnError::DimensionMismatch {
+                mean_len: mean.len(),
+                cov_dim: cov.dim(),
+            });
+        }
+        let chol = cov.cholesky(0.0).map_err(MvnError::Factorization)?;
+        Ok(MultivariateNormal {
+            mean: mean.to_vec(),
+            chol,
+        })
+    }
+
+    /// Builds from per-variable means, standard deviations, and a
+    /// correlation matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvnError`] on dimension mismatch or non-PSD correlation.
+    pub fn from_correlation(
+        mean: &[f64],
+        sds: &[f64],
+        corr: &CorrelationMatrix,
+    ) -> Result<Self, MvnError> {
+        if mean.len() != corr.dim() || sds.len() != corr.dim() {
+            return Err(MvnError::DimensionMismatch {
+                mean_len: mean.len(),
+                cov_dim: corr.dim(),
+            });
+        }
+        let cov = corr.to_covariance(sds);
+        Self::new(mean, &cov)
+    }
+
+    /// The dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The mean vector.
+    #[inline]
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Draws one correlated sample vector.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let z: Vec<f64> = (0..self.dim())
+            .map(|_| sample_standard_normal(rng))
+            .collect();
+        let mut y = self.chol.transform(&z);
+        for (yi, mi) in y.iter_mut().zip(&self.mean) {
+            *yi += mi;
+        }
+        y
+    }
+
+    /// Draws `n` samples, returned row-wise.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Draws `n` samples of `max_i X_i` — the Monte-Carlo estimate of the
+    /// pipeline-delay distribution used to validate Clark's approximation.
+    pub fn sample_max_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                self.sample(rng)
+                    .into_iter()
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect()
+    }
+}
+
+/// A `SampleStats` summary of empirical mean/sd per dimension plus the
+/// empirical correlation — diagnostics used by tests and the harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleStats {
+    /// Per-dimension sample means.
+    pub mean: Vec<f64>,
+    /// Per-dimension sample standard deviations.
+    pub sd: Vec<f64>,
+}
+
+/// Computes per-dimension mean and standard deviation of row-wise samples.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or rows are ragged.
+pub fn sample_stats(samples: &[Vec<f64>]) -> SampleStats {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let d = samples[0].len();
+    let n = samples.len() as f64;
+    let mut mean = vec![0.0; d];
+    for s in samples {
+        assert_eq!(s.len(), d, "ragged sample rows");
+        for (m, x) in mean.iter_mut().zip(s) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut var = vec![0.0; d];
+    for s in samples {
+        for ((v, x), m) in var.iter_mut().zip(s).zip(&mean) {
+            *v += (x - m) * (x - m);
+        }
+    }
+    let sd = var.iter().map(|v| (v / (n - 1.0)).sqrt()).collect();
+    SampleStats { mean, sd }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dimensions_validated() {
+        let corr = CorrelationMatrix::identity(2);
+        assert!(matches!(
+            MultivariateNormal::from_correlation(&[0.0], &[1.0, 1.0], &corr),
+            Err(MvnError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn samples_match_moments_and_correlation() {
+        let corr = CorrelationMatrix::uniform(3, 0.6).unwrap();
+        let mvn =
+            MultivariateNormal::from_correlation(&[10.0, 20.0, 30.0], &[1.0, 2.0, 3.0], &corr)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs = mvn.sample_n(&mut rng, 100_000);
+        let st = sample_stats(&xs);
+        for (got, want) in st.mean.iter().zip([10.0, 20.0, 30.0]) {
+            assert!((got - want).abs() < 0.05, "mean {got} vs {want}");
+        }
+        for (got, want) in st.sd.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 0.05, "sd {got} vs {want}");
+        }
+        // Empirical correlation of dims 0 and 1.
+        let m0 = st.mean[0];
+        let m1 = st.mean[1];
+        let cov01: f64 = xs.iter().map(|s| (s[0] - m0) * (s[1] - m1)).sum::<f64>()
+            / (xs.len() as f64 - 1.0);
+        let rho = cov01 / (st.sd[0] * st.sd[1]);
+        assert!((rho - 0.6).abs() < 0.02, "rho {rho}");
+    }
+
+    #[test]
+    fn perfectly_correlated_samples_move_together() {
+        let corr = CorrelationMatrix::uniform(2, 1.0).unwrap();
+        let mvn =
+            MultivariateNormal::from_correlation(&[0.0, 0.0], &[1.0, 1.0], &corr).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let s = mvn.sample(&mut rng);
+            assert!((s[0] - s[1]).abs() < 1e-9, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn sample_max_is_at_least_each_component_marginal() {
+        let corr = CorrelationMatrix::identity(4);
+        let mvn = MultivariateNormal::from_correlation(
+            &[100.0, 100.0, 100.0, 100.0],
+            &[1.0; 4],
+            &corr,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let maxes = mvn.sample_max_n(&mut rng, 20_000);
+        let mean = maxes.iter().sum::<f64>() / maxes.len() as f64;
+        // E[max of 4 iid std normals] ~ 1.0294; shifted by 100.
+        assert!((mean - 101.029).abs() < 0.05, "mean of max {mean}");
+    }
+}

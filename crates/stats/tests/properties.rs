@@ -1,0 +1,172 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use vardelay_stats::clark::{correlation_with_max, max_pair_moments};
+use vardelay_stats::matrix::SymMatrix;
+use vardelay_stats::{cap_phi, erf, erfc, inv_cap_phi, max_of, CorrelationMatrix, Normal};
+
+fn finite_mean() -> impl Strategy<Value = f64> {
+    -1e6..1e6_f64
+}
+
+fn positive_sd() -> impl Strategy<Value = f64> {
+    1e-3..1e4_f64
+}
+
+fn rho() -> impl Strategy<Value = f64> {
+    -0.999..0.999_f64
+}
+
+proptest! {
+    #[test]
+    fn erf_is_odd_and_bounded(x in -30.0..30.0_f64) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x) >= -1.0 && erf(x) <= 1.0);
+    }
+
+    #[test]
+    fn erf_erfc_complement(x in -30.0..30.0_f64) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone(a in -8.0..8.0_f64, d in 1e-6..4.0_f64) {
+        prop_assert!(cap_phi(a + d) >= cap_phi(a));
+    }
+
+    #[test]
+    fn quantile_roundtrip(p in 1e-8..1.0_f64) {
+        prop_assume!(p < 1.0 - 1e-12);
+        let x = inv_cap_phi(p);
+        prop_assert!((cap_phi(x) - p).abs() < 1e-9,
+            "p={p}, Phi(Phi^-1(p))={}", cap_phi(x));
+    }
+
+    #[test]
+    fn normal_cdf_quantile_consistent(
+        mu in finite_mean(), sd in positive_sd(), p in 0.001..0.999_f64
+    ) {
+        let d = Normal::new(mu, sd).unwrap();
+        let x = d.quantile(p);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clark_respects_jensen(
+        m1 in -1e4..1e4_f64, m2 in -1e4..1e4_f64,
+        s1 in positive_sd(), s2 in positive_sd(), r in rho()
+    ) {
+        let a = Normal::new(m1, s1).unwrap();
+        let b = Normal::new(m2, s2).unwrap();
+        let m = max_pair_moments(a, b, r);
+        prop_assert!(m.mean >= m1.max(m2) - 1e-6 * (1.0 + m1.abs().max(m2.abs())),
+            "E[max] {} < max of means {}", m.mean, m1.max(m2));
+        prop_assert!(m.variance >= -1e-12);
+    }
+
+    #[test]
+    fn clark_is_symmetric(
+        m1 in -100.0..100.0_f64, m2 in -100.0..100.0_f64,
+        s1 in 0.1..50.0_f64, s2 in 0.1..50.0_f64, r in rho()
+    ) {
+        let a = Normal::new(m1, s1).unwrap();
+        let b = Normal::new(m2, s2).unwrap();
+        let ab = max_pair_moments(a, b, r);
+        let ba = max_pair_moments(b, a, r);
+        prop_assert!((ab.mean - ba.mean).abs() < 1e-9);
+        prop_assert!((ab.variance - ba.variance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clark_variance_bounded_by_inputs(
+        m in -100.0..100.0_f64, s1 in 0.1..50.0_f64, s2 in 0.1..50.0_f64, r in 0.0..0.999_f64
+    ) {
+        // For non-negatively correlated inputs the max's variance cannot
+        // exceed the larger input variance plus cross terms; a loose but
+        // useful sanity bound: var <= max(var1, var2) * (1 + 1).
+        let a = Normal::new(m, s1).unwrap();
+        let b = Normal::new(m, s2).unwrap();
+        let mx = max_pair_moments(a, b, r);
+        let cap = (s1 * s1).max(s2 * s2) * 2.0 + 1e-9;
+        prop_assert!(mx.variance <= cap, "var {} cap {}", mx.variance, cap);
+    }
+
+    #[test]
+    fn correlation_with_max_in_range(
+        m1 in -50.0..50.0_f64, m2 in -50.0..50.0_f64,
+        s1 in 0.1..20.0_f64, s2 in 0.1..20.0_f64,
+        r12 in rho(), r13 in rho(), r23 in rho()
+    ) {
+        let a = Normal::new(m1, s1).unwrap();
+        let b = Normal::new(m2, s2).unwrap();
+        let m = max_pair_moments(a, b, r12);
+        let rr = correlation_with_max(a, b, &m, r13, r23);
+        prop_assert!((-1.0..=1.0).contains(&rr));
+    }
+
+    #[test]
+    fn max_of_is_permutation_invariant(
+        means in proptest::collection::vec(50.0..150.0_f64, 2..6),
+        r in 0.0..0.9_f64
+    ) {
+        let n = means.len();
+        let stages: Vec<Normal> =
+            means.iter().map(|&m| Normal::new(m, 3.0).unwrap()).collect();
+        let corr = CorrelationMatrix::uniform(n, r).unwrap();
+        let fwd = max_of(&stages, &corr);
+        let mut rev = stages.clone();
+        rev.reverse();
+        let bwd = max_of(&rev, &corr);
+        // The mean-sorted recursion makes the result order-independent.
+        prop_assert!((fwd.mean() - bwd.mean()).abs() < 1e-9);
+        prop_assert!((fwd.sd() - bwd.sd()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_of_dominates_each_marginal(
+        means in proptest::collection::vec(50.0..150.0_f64, 1..6)
+    ) {
+        let stages: Vec<Normal> =
+            means.iter().map(|&m| Normal::new(m, 2.0).unwrap()).collect();
+        let corr = CorrelationMatrix::identity(stages.len());
+        let mx = max_of(&stages, &corr);
+        let best = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mx.mean() >= best - 1e-9);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_random_spd(
+        vals in proptest::collection::vec(-1.0..1.0_f64, 9)
+    ) {
+        // A = B B^T + eps I is SPD for any B.
+        let b = SymMatrix::from_rows(3, &vals).unwrap();
+        let mut a = SymMatrix::from_fn(3, |i, j| {
+            (0..3).map(|k| b.get(i, k) * b.get(j, k)).sum::<f64>()
+        });
+        for i in 0..3 {
+            a.set(i, i, a.get(i, i) + 0.1);
+        }
+        let chol = a.cholesky(0.0).unwrap();
+        let r = chol.reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((r.get(i, j) - a.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_correlation_covariance_roundtrip(
+        n in 2usize..6, r in -0.2..0.95_f64,
+        sds in proptest::collection::vec(0.1..10.0_f64, 6)
+    ) {
+        let corr = CorrelationMatrix::uniform(n, r).unwrap();
+        let cov = corr.to_covariance(&sds[..n]);
+        let back = CorrelationMatrix::from_covariance(&cov).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((back.get(i, j) - corr.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+}

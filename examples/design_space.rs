@@ -1,0 +1,51 @@
+//! Exploring the (μ, σ) design space of a pipeline stage (§2.5, Fig. 4).
+//!
+//! Given a target delay and yield, which stage delay distributions are
+//! even admissible — and which are realizable with an inverter chain?
+//!
+//! Run: `cargo run --release --example design_space`
+
+use vardelay::core::design_space::{DesignSpace, RealizableCurve, RealizableRegion};
+use vardelay::core::yield_model::stage_yield_target;
+
+fn main() {
+    let target = 200.0; // ps
+    let pipeline_yield = 0.85;
+    let ds = DesignSpace::new(target, pipeline_yield).expect("valid yield");
+
+    println!("target {target} ps at pipeline yield {:.0}%\n", pipeline_yield * 100.0);
+
+    // How the per-stage budget tightens with pipeline depth (eq. 12).
+    println!("per-stage yield allocation Y^(1/Ns):");
+    for ns in [2usize, 4, 8, 16] {
+        println!(
+            "  Ns = {ns:2}: stage yield {:.3}%, sigma budget at mu=180: {:.2} ps",
+            100.0 * stage_yield_target(pipeline_yield, ns),
+            ds.equality_sigma_bound(180.0, ns)
+        );
+    }
+
+    // The realizable band for inverter-chain stages: min-size devices are
+    // slower and noisier per gate than 4x devices.
+    let region = RealizableRegion {
+        min_size: RealizableCurve::new(16.0, 1.0),
+        max_size: RealizableCurve::new(13.0, 0.35),
+        min_depth: 4,
+    };
+    println!("\nrealizable sigma band along mu (inverter chains, eq. 13):");
+    for (mu, lo, hi) in region.sample_band(60.0, 195.0, 6) {
+        println!("  mu = {mu:6.1} ps: sigma in [{lo:.2}, {hi:.2}] ps");
+    }
+
+    // Intersect: which (mu, sigma) points are both realizable and
+    // admissible for an 8-stage pipeline?
+    println!("\nfeasible design points for Ns = 8:");
+    for mu in [120.0, 150.0, 180.0, 195.0] {
+        let sigma = region.min_size.sigma_at(mu); // worst realizable sigma
+        let ok = ds.is_admissible(mu, sigma, 8) && region.contains(mu, sigma);
+        println!(
+            "  (mu {mu:6.1}, sigma {sigma:4.2}): {}",
+            if ok { "feasible" } else { "infeasible" }
+        );
+    }
+}

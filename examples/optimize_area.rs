@@ -1,0 +1,87 @@
+//! Yield-constrained pipeline sizing with the Fig. 9 global flow.
+//!
+//! Builds a 4-stage pipeline from synthetic benchmark circuits, sizes it
+//! conventionally (each stage alone), then runs the paper's global
+//! optimizer and reports the area/yield comparison — the Tables II/III
+//! experiment at example scale.
+//!
+//! Run: `cargo run --release --example optimize_area`
+
+use vardelay::circuit::generators::{random_logic, RandomLogicConfig};
+use vardelay::circuit::{CellLibrary, LatchParams, StagedPipeline};
+use vardelay::opt::sizing::{SizingConfig, StatisticalSizer};
+use vardelay::opt::{GlobalPipelineOptimizer, OptimizationGoal};
+use vardelay::process::VariationConfig;
+use vardelay::ssta::SstaEngine;
+
+fn main() {
+    // A small 4-stage pipeline (fast enough for an example; the bench
+    // harness runs the full ISCAS-sized version).
+    let mk = |name: &str, gates: usize, depth: usize, seed: u64| {
+        random_logic(&RandomLogicConfig {
+            name: name.into(),
+            inputs: 16,
+            gates,
+            depth,
+            outputs: 8,
+            seed,
+        })
+    };
+    let pipeline = StagedPipeline::new(
+        "example4",
+        vec![
+            mk("stage_a", 220, 14, 1),
+            mk("stage_b", 150, 12, 2),
+            mk("stage_c", 100, 10, 3),
+            mk("stage_d", 60, 9, 4),
+        ],
+        LatchParams::tg_msff_70nm(),
+    );
+
+    let engine = SstaEngine::new(
+        CellLibrary::default(),
+        VariationConfig::random_only(35.0),
+        None,
+    );
+    let sizer = StatisticalSizer::new(engine.clone(), SizingConfig::default());
+    let opt = GlobalPipelineOptimizer::new(sizer).with_rounds(3);
+
+    // Target: the slowest stage's min-size mean (so sizing has real work).
+    let t0 = engine.analyze_pipeline(&pipeline);
+    let target = t0
+        .stage_delays
+        .iter()
+        .map(|d| d.mean())
+        .fold(0.0, f64::max);
+    let yield_target = 0.80;
+    println!("target delay {target:.0} ps, pipeline yield target {:.0}%\n", yield_target * 100.0);
+
+    // Conventional flow.
+    let indiv = opt.optimize_individually(&pipeline, target, yield_target);
+    println!("individually optimized: area {:.0}", indiv.total_area());
+
+    // Global flow.
+    let (optimized, report) =
+        opt.optimize(&indiv, target, yield_target, OptimizationGoal::MinimizeArea);
+    println!(
+        "global flow:            area {:.0} ({:+.1}%), yield {:.2}% -> {:.2}%{}",
+        optimized.total_area(),
+        100.0 * report.area_delta_fraction(),
+        100.0 * report.pipeline_yield_before,
+        100.0 * report.pipeline_yield_after,
+        if report.met { " (target met)" } else { "" }
+    );
+
+    println!("\nper-stage report:");
+    for s in &report.stages {
+        println!(
+            "  {:8}  area {:7.1} -> {:7.1}   stage yield {:6.2}% -> {:6.2}%   R = {:.2}",
+            s.name,
+            s.area_before,
+            s.area_after,
+            100.0 * s.yield_before,
+            100.0 * s.yield_after,
+            s.slope
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Balanced vs unbalanced pipeline design (§3.2 of the paper).
+//!
+//! Demonstrates the paper's counter-intuitive result: a perfectly balanced
+//! pipeline is *not* yield-optimal under process variation. Shifting delay
+//! budget from stages where area buys little speed to the stage where it
+//! buys a lot improves yield at constant area.
+//!
+//! Run: `cargo run --release --example pipeline_yield`
+
+use vardelay::core::balance::{
+    balanced_pipeline, best_point, classify_stage, imbalance_sweep,
+};
+use vardelay::core::yield_model::stage_yield_target;
+use vardelay::stats::inv_cap_phi;
+
+fn main() {
+    // Three stages, 80% pipeline yield target at 179 ps (the paper's
+    // ALU-Decoder experiment).
+    let target = 179.0;
+    let y_target = 0.80;
+    let sigma = 2.0;
+
+    // Balanced reference: each stage at the eq.-12 allocation Y^(1/3).
+    let y_stage = stage_yield_target(y_target, 3);
+    let mu = target - inv_cap_phi(y_stage) * sigma;
+    let balanced = balanced_pipeline(3, mu, sigma).expect("valid moments");
+    println!(
+        "balanced design: 3 stages of N({mu:.1}, {sigma}²), per-stage yield {:.2}%",
+        100.0 * y_stage
+    );
+    println!(
+        "pipeline yield: {:.2}% (target {:.0}%)\n",
+        100.0 * balanced.yield_at(target),
+        100.0 * y_target
+    );
+
+    // Area-delay slopes (eq. 14): outer stages sell delay dearly (R > 1),
+    // the middle stage buys it cheaply (R < 1).
+    let slopes = [1.8, 0.5, 1.8];
+    for (i, &r) in slopes.iter().enumerate() {
+        println!("stage {i}: R = {r} -> {:?}", classify_stage(r));
+    }
+
+    // Area-neutral imbalance sweep: slow the donors, speed the receiver.
+    let deltas: Vec<f64> = (0..80).map(|i| f64::from(i) * 0.05).collect();
+    let sweep = imbalance_sweep(&balanced, &[0, 2], 1, &slopes, target, &deltas)
+        .expect("valid sweep");
+    let best = best_point(&sweep);
+    println!(
+        "\nbest imbalance: slow stages 0,2 by {:.2} ps each -> yield {:.2}% ({:+.2} points)",
+        best.delta_ps,
+        100.0 * best.yield_value,
+        100.0 * (best.yield_value - balanced.yield_at(target))
+    );
+
+    // Show the diminishing-returns tail (Fig. 7(b) "worst case").
+    let last = sweep.last().expect("non-empty sweep");
+    println!(
+        "excessive imbalance ({:.1} ps): yield collapses to {:.2}%",
+        last.delta_ps,
+        100.0 * last.yield_value
+    );
+
+    println!("\nsweep (delta, yield%):");
+    for p in sweep.iter().step_by(8) {
+        println!("  {:5.2} ps  {:6.2}%", p.delta_ps, 100.0 * p.yield_value);
+    }
+}

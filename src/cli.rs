@@ -1,0 +1,299 @@
+//! Command-line interface logic (thin argument parsing, no dependencies).
+//!
+//! Subcommands:
+//!
+//! * `analyze <file.bench>` — statistical timing of a `.bench` netlist.
+//! * `yield --stages m:s,m:s,... --target T [--rho R]` — pipeline yield
+//!   from stage moments (the paper's core model, eq. 4–9).
+//! * `generate <c432|c1908|c2670|c3540|chain:N>` — emit a benchmark
+//!   netlist in `.bench` format.
+//!
+//! All functions return the output text so they are unit-testable; `main`
+//! only routes arguments and prints.
+
+use std::fmt::Write as _;
+
+use vardelay_circuit::generators::{inverter_chain, iscas};
+use vardelay_circuit::{parse_bench, write_bench, CellLibrary, Netlist};
+use vardelay_core::{Pipeline, StageDelay};
+use vardelay_process::VariationConfig;
+use vardelay_ssta::SstaEngine;
+use vardelay_stats::CorrelationMatrix;
+
+/// CLI error: message for the user plus a suggestion to run `help`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (run `vardelay help`)", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The help text.
+pub fn help() -> String {
+    "\
+vardelay — statistical pipeline delay & yield (DATE 2005 reproduction)
+
+USAGE:
+  vardelay analyze <file.bench> [--inter MV] [--rand MV] [--sys MV]
+      Statistical timing of a .bench netlist: nominal delay, mean, sigma,
+      sigma/mu, and the top critical paths.
+
+  vardelay yield --stages MU:SD,MU:SD,... --target PS [--rho R]
+      Pipeline yield from per-stage delay moments (ps), using Clark's
+      max approximation (eq. 4-6) and the Gaussian yield model (eq. 9).
+
+  vardelay generate <c432|c1908|c2670|c3540|chain:N>
+      Emit a benchmark netlist in .bench format on stdout.
+
+  vardelay help
+      This text.
+"
+    .to_owned()
+}
+
+/// Parses `--key value` style options out of an argument list.
+fn take_opt(args: &mut Vec<String>, key: &str) -> Result<Option<String>, CliError> {
+    if let Some(i) = args.iter().position(|a| a == key) {
+        if i + 1 >= args.len() {
+            return Err(CliError(format!("{key} requires a value")));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+fn parse_f64(s: &str, what: &str) -> Result<f64, CliError> {
+    s.parse::<f64>()
+        .map_err(|_| CliError(format!("invalid {what}: '{s}'")))
+}
+
+/// `analyze` subcommand over already-loaded text.
+pub fn analyze(name: &str, bench_text: &str, mut opts: Vec<String>) -> Result<String, CliError> {
+    let inter = take_opt(&mut opts, "--inter")?
+        .map(|v| parse_f64(&v, "--inter"))
+        .transpose()?
+        .unwrap_or(20.0);
+    let rand = take_opt(&mut opts, "--rand")?
+        .map(|v| parse_f64(&v, "--rand"))
+        .transpose()?
+        .unwrap_or(35.0);
+    let sys = take_opt(&mut opts, "--sys")?
+        .map(|v| parse_f64(&v, "--sys"))
+        .transpose()?
+        .unwrap_or(0.0);
+    if !opts.is_empty() {
+        return Err(CliError(format!("unrecognized arguments: {opts:?}")));
+    }
+
+    let netlist: Netlist =
+        parse_bench(name, bench_text).map_err(|e| CliError(format!("parse error: {e}")))?;
+    let engine = SstaEngine::new(
+        CellLibrary::default(),
+        VariationConfig::combined(inter, rand, sys),
+        None,
+    );
+    let stat = engine.stage_delay(&netlist, 0);
+    let nominal = vardelay_ssta::nominal_delay(&netlist, engine.library(), engine.output_load());
+    let paths = vardelay_ssta::top_k_paths(&engine, &netlist, 0, 5);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{netlist}");
+    let _ = writeln!(
+        out,
+        "variation: sigmaVth inter {inter} mV, random {rand} mV, systematic {sys} mV"
+    );
+    let _ = writeln!(out, "nominal delay: {nominal:.2} ps");
+    let _ = writeln!(
+        out,
+        "statistical delay: mu {:.2} ps, sigma {:.3} ps (sigma/mu {:.3}%)",
+        stat.mean(),
+        stat.sd(),
+        100.0 * stat.variability()
+    );
+    let _ = writeln!(out, "top paths (nominal ps | statistical mu/sigma):");
+    for (i, p) in paths.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  #{}: {:.2} | {:.2} / {:.3}  ({} gates)",
+            i + 1,
+            p.nominal_ps,
+            p.statistical.mean(),
+            p.statistical.sd(),
+            p.gates.len()
+        );
+    }
+    Ok(out)
+}
+
+/// `yield` subcommand.
+pub fn yield_cmd(mut opts: Vec<String>) -> Result<String, CliError> {
+    let stages_arg = take_opt(&mut opts, "--stages")?
+        .ok_or_else(|| CliError("--stages MU:SD,... is required".to_owned()))?;
+    let target = parse_f64(
+        &take_opt(&mut opts, "--target")?
+            .ok_or_else(|| CliError("--target PS is required".to_owned()))?,
+        "--target",
+    )?;
+    let rho = take_opt(&mut opts, "--rho")?
+        .map(|v| parse_f64(&v, "--rho"))
+        .transpose()?
+        .unwrap_or(0.0);
+    if !opts.is_empty() {
+        return Err(CliError(format!("unrecognized arguments: {opts:?}")));
+    }
+
+    let stages: Vec<StageDelay> = stages_arg
+        .split(',')
+        .map(|pair| {
+            let (m, s) = pair
+                .split_once(':')
+                .ok_or_else(|| CliError(format!("stage '{pair}' is not MU:SD")))?;
+            StageDelay::from_moments(parse_f64(m, "stage mean")?, parse_f64(s, "stage sd")?)
+                .map_err(|e| CliError(format!("invalid stage '{pair}': {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let n = stages.len();
+    let corr = CorrelationMatrix::uniform(n, rho)
+        .map_err(|e| CliError(format!("invalid --rho: {e}")))?;
+    let pipe =
+        Pipeline::new(stages, corr).map_err(|e| CliError(format!("invalid pipeline: {e}")))?;
+    let d = pipe.delay_distribution();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{n} stages, pairwise correlation {rho}");
+    let _ = writeln!(
+        out,
+        "pipeline delay: mu {:.3} ps, sigma {:.3} ps (Jensen bound {:.3} ps)",
+        d.mean(),
+        d.sd(),
+        pipe.jensen_lower_bound()
+    );
+    let _ = writeln!(
+        out,
+        "yield at {target} ps: {:.3}% (eq. 9 Gaussian)",
+        100.0 * pipe.yield_at(target)
+    );
+    if rho == 0.0 {
+        let _ = writeln!(
+            out,
+            "                    {:.3}% (eq. 8 exact, independent stages)",
+            100.0 * pipe.yield_independent_exact(target)
+        );
+    }
+    Ok(out)
+}
+
+/// `generate` subcommand.
+pub fn generate(which: &str) -> Result<String, CliError> {
+    let netlist = match which {
+        "c432" => iscas::c432(),
+        "c1908" => iscas::c1908(),
+        "c2670" => iscas::c2670(),
+        "c3540" => iscas::c3540(),
+        other => {
+            if let Some(n) = other.strip_prefix("chain:") {
+                let len: usize = n
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid chain length '{n}'")))?;
+                if len == 0 {
+                    return Err(CliError("chain length must be positive".to_owned()));
+                }
+                inverter_chain(len, 1.0)
+            } else {
+                return Err(CliError(format!(
+                    "unknown benchmark '{other}' (use c432|c1908|c2670|c3540|chain:N)"
+                )));
+            }
+        }
+    };
+    Ok(write_bench(&netlist))
+}
+
+/// Routes a full argument vector (without argv(0)); returns output text.
+pub fn run(args: Vec<String>) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(help()),
+        Some("analyze") => {
+            let file = args
+                .get(1)
+                .ok_or_else(|| CliError("analyze requires a .bench file".to_owned()))?;
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| CliError(format!("cannot read '{file}': {e}")))?;
+            analyze(file, &text, args[2..].to_vec())
+        }
+        Some("yield") => yield_cmd(args[1..].to_vec()),
+        Some("generate") => {
+            let which = args
+                .get(1)
+                .ok_or_else(|| CliError("generate requires a benchmark name".to_owned()))?;
+            generate(which)
+        }
+        Some(other) => Err(CliError(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_lists_subcommands() {
+        let h = help();
+        for cmd in ["analyze", "yield", "generate"] {
+            assert!(h.contains(cmd));
+        }
+    }
+
+    #[test]
+    fn yield_cmd_happy_path() {
+        let out = yield_cmd(
+            ["--stages", "198:4,200:5,195:6", "--target", "210", "--rho", "0.3"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        )
+        .unwrap();
+        assert!(out.contains("3 stages"));
+        assert!(out.contains("yield at 210 ps"));
+    }
+
+    #[test]
+    fn yield_cmd_validates() {
+        assert!(yield_cmd(vec![]).is_err());
+        assert!(yield_cmd(
+            ["--stages", "bad", "--target", "210"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn generate_then_analyze_roundtrip() {
+        let bench = generate("chain:8").unwrap();
+        let out = analyze("chain", &bench, vec![]).unwrap();
+        assert!(out.contains("statistical delay"));
+        assert!(out.contains("top paths"));
+    }
+
+    #[test]
+    fn generate_rejects_unknown() {
+        assert!(generate("c9999").is_err());
+        assert!(generate("chain:0").is_err());
+    }
+
+    #[test]
+    fn run_routes_and_reports_errors() {
+        assert!(run(vec![]).unwrap().contains("USAGE"));
+        assert!(run(vec!["frob".into()]).is_err());
+        assert!(run(vec!["analyze".into()]).is_err());
+    }
+}

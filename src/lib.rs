@@ -1,0 +1,61 @@
+//! # vardelay — statistical pipeline delay modeling under process variation
+//!
+//! Facade crate for the `vardelay` workspace, a reproduction of
+//! *"Statistical Modeling of Pipeline Delay and Design of Pipeline under
+//! Process Variation to Enhance Yield in sub-100nm Technologies"*
+//! (Datta, Bhunia, Mukhopadhyay, Banerjee, Roy — DATE 2005).
+//!
+//! The workspace models each pipeline-stage delay as a correlated Gaussian
+//! random variable, computes the overall pipeline delay `max_i SD_i`
+//! analytically via Clark's approximation, estimates parametric yield, and
+//! optimizes gate sizing across a full pipeline to meet a yield target with
+//! minimum area.
+//!
+//! ## Sub-crates
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`stats`] | `vardelay-stats` | Gaussian math, Clark max, MVN sampling |
+//! | [`process`] | `vardelay-process` | technology + variation models |
+//! | [`circuit`] | `vardelay-circuit` | cells, netlists, benchmark generators |
+//! | [`ssta`] | `vardelay-ssta` | statistical static timing analysis |
+//! | [`mc`] | `vardelay-mc` | Monte-Carlo timing (SPICE-MC substitute) |
+//! | [`core`] | `vardelay-core` | pipeline distribution, yield, design space |
+//! | [`opt`] | `vardelay-opt` | yield-constrained sizing + global flow |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vardelay::core::{Pipeline, StageDelay};
+//! use vardelay::stats::CorrelationMatrix;
+//!
+//! // A 5-stage pipeline with per-stage delay distributions (ps).
+//! let stages = vec![
+//!     StageDelay::from_moments(180.0, 6.0)?,
+//!     StageDelay::from_moments(200.0, 8.0)?,
+//!     StageDelay::from_moments(195.0, 7.0)?,
+//!     StageDelay::from_moments(188.0, 6.5)?,
+//!     StageDelay::from_moments(192.0, 7.5)?,
+//! ];
+//! let corr = CorrelationMatrix::uniform(5, 0.3)?;
+//! let pipe = Pipeline::new(stages, corr)?;
+//!
+//! let delay = pipe.delay_distribution();     // Clark's approximation
+//! let yield_pct = pipe.yield_at(215.0);      // Pr{T_P <= 215 ps}
+//! assert!(delay.mean() > 200.0);
+//! assert!(yield_pct > 0.5 && yield_pct < 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cli;
+
+pub use vardelay_circuit as circuit;
+pub use vardelay_core as core;
+pub use vardelay_mc as mc;
+pub use vardelay_opt as opt;
+pub use vardelay_process as process;
+pub use vardelay_ssta as ssta;
+pub use vardelay_stats as stats;

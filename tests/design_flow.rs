@@ -1,0 +1,145 @@
+//! Integration tests for the design-side flows: variability trends,
+//! imbalance, and the global sizing loop (paper §3–§4 end to end).
+
+use vardelay::circuit::generators::{random_logic, RandomLogicConfig};
+use vardelay::circuit::{CellLibrary, LatchParams, StagedPipeline};
+use vardelay::core::balance::{balanced_pipeline, best_point, imbalance_sweep};
+use vardelay::core::yield_model::stage_yield_target;
+use vardelay::opt::sizing::{SizingConfig, StatisticalSizer};
+use vardelay::opt::{GlobalPipelineOptimizer, OptimizationGoal};
+use vardelay::process::VariationConfig;
+use vardelay::ssta::SstaEngine;
+use vardelay::stats::inv_cap_phi;
+
+fn engine(var: VariationConfig) -> SstaEngine {
+    SstaEngine::new(CellLibrary::default(), var, None)
+}
+
+#[test]
+fn fig5c_tradeoff_direction_flips_with_inter_die_strength() {
+    // NL x NS = 120: variability rises with stage count under intra-only
+    // variation and falls under inter-die-dominated variation.
+    let variability = |var: VariationConfig, ns: usize| {
+        let pipe = StagedPipeline::inverter_grid(ns, 120 / ns, 1.0, LatchParams::ideal());
+        let timing = engine(var).analyze_pipeline(&pipe);
+        let stages: Vec<vardelay::core::StageDelay> = timing
+            .stage_delays
+            .iter()
+            .map(|n| vardelay::core::StageDelay::from_normal(*n))
+            .collect();
+        vardelay::core::Pipeline::new(stages, timing.correlation)
+            .expect("dims")
+            .delay_distribution()
+            .variability()
+    };
+    let intra = VariationConfig::random_only(35.0);
+    assert!(
+        variability(intra, 30) > variability(intra, 2),
+        "intra-only: more stages must increase variability"
+    );
+    let inter = VariationConfig::combined(40.0, 35.0, 0.0);
+    assert!(
+        variability(inter, 30) < variability(inter, 2),
+        "inter-dominated: more stages must decrease variability"
+    );
+}
+
+#[test]
+fn imbalance_improves_yield_at_constant_area() {
+    let target = 179.0;
+    let sigma = 2.0;
+    let y_stage = stage_yield_target(0.80, 3);
+    let mu = target - inv_cap_phi(y_stage) * sigma;
+    let balanced = balanced_pipeline(3, mu, sigma).expect("valid");
+    let deltas: Vec<f64> = (0..60).map(|i| f64::from(i) * 0.05).collect();
+    let sweep = imbalance_sweep(&balanced, &[0, 2], 1, &[1.8, 0.5, 1.8], target, &deltas)
+        .expect("valid sweep");
+    let best = best_point(&sweep);
+    assert!(best.delta_ps > 0.0, "optimum must be off-balance");
+    assert!(
+        best.yield_value > balanced.yield_at(target) + 0.01,
+        "imbalance gain: {} vs {}",
+        best.yield_value,
+        balanced.yield_at(target)
+    );
+}
+
+#[test]
+fn global_flow_meets_yield_where_individual_flow_fails() {
+    // Miniature Table II: target placed at the slow stage's frontier.
+    let mk = |name: &str, gates: usize, depth: usize, seed: u64| {
+        random_logic(&RandomLogicConfig {
+            name: name.into(),
+            inputs: 10,
+            gates,
+            depth,
+            outputs: 5,
+            seed,
+        })
+    };
+    let pipeline = StagedPipeline::new(
+        "mini",
+        vec![mk("big", 150, 14, 5), mk("mid", 80, 10, 6), mk("small", 40, 8, 7)],
+        LatchParams::tg_msff_70nm(),
+    );
+    let eng = engine(VariationConfig::random_only(35.0));
+    let sizer = StatisticalSizer::new(eng.clone(), SizingConfig::default());
+    let opt = GlobalPipelineOptimizer::new(sizer).with_rounds(4);
+
+    // Probe the slow stage's frontier through an individual pass.
+    let t0 = eng.analyze_pipeline(&pipeline);
+    let slowest = t0.stage_delays.iter().map(|d| d.mean()).fold(0.0, f64::max);
+    let indiv1 = opt.optimize_individually(&pipeline, slowest * 0.7, 0.80);
+    let t1 = eng.analyze_pipeline(&indiv1);
+    let slow_idx = 0usize;
+    let target = t1.stage_delays[slow_idx].mean()
+        + inv_cap_phi(0.88) * t1.stage_delays[slow_idx].sd();
+
+    let indiv = opt.optimize_individually(&indiv1, target, 0.80);
+    let (_, report) = opt.optimize(&indiv, target, 0.80, OptimizationGoal::EnsureYield);
+    // Contract: reach the yield target (possibly trading away surplus
+    // margin); if the target is infeasible, never end below the baseline.
+    assert!(
+        report.pipeline_yield_after >= 0.80
+            || report.pipeline_yield_after >= report.pipeline_yield_before - 1e-9,
+        "global flow should reach the target or keep the baseline: {} -> {}",
+        report.pipeline_yield_before,
+        report.pipeline_yield_after
+    );
+}
+
+#[test]
+fn minimize_area_recovers_area_at_target_yield() {
+    let mk = |name: &str, gates: usize, depth: usize, seed: u64| {
+        random_logic(&RandomLogicConfig {
+            name: name.into(),
+            inputs: 10,
+            gates,
+            depth,
+            outputs: 5,
+            seed,
+        })
+    };
+    let pipeline = StagedPipeline::new(
+        "mini3",
+        vec![mk("a", 120, 12, 8), mk("b", 70, 10, 9), mk("c", 40, 8, 10)],
+        LatchParams::tg_msff_70nm(),
+    );
+    let eng = engine(VariationConfig::random_only(35.0));
+    let sizer = StatisticalSizer::new(eng.clone(), SizingConfig::default());
+    let opt = GlobalPipelineOptimizer::new(sizer).with_rounds(4);
+
+    // Comfortable target: everything meets it with slack.
+    let t0 = eng.analyze_pipeline(&pipeline);
+    let target = t0.stage_delays.iter().map(|d| d.mean()).fold(0.0, f64::max) * 1.1;
+    let indiv = opt.optimize_individually(&pipeline, target, 0.80);
+    let (optimized, report) =
+        opt.optimize(&indiv, target, 0.80, OptimizationGoal::MinimizeArea);
+    assert!(report.pipeline_yield_after >= 0.80, "yield {}", report.pipeline_yield_after);
+    assert!(
+        optimized.total_area() <= indiv.total_area() * 1.001,
+        "area must not grow: {} vs {}",
+        optimized.total_area(),
+        indiv.total_area()
+    );
+}
