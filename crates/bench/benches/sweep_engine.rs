@@ -1,0 +1,61 @@
+//! Criterion bench: sweep-engine throughput vs worker count.
+//!
+//! One fixed 8-scenario Monte-Carlo sweep, executed at 1/2/4/8 workers.
+//! On a multi-core host the blocks of every scenario spread across the
+//! pool and throughput scales with cores; on a single-CPU host the
+//! curve is flat and measures the pool's scheduling overhead instead.
+//! Either way the results are bit-identical at every point — the bench
+//! asserts it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vardelay_engine::{run_sweep, GridSpec, LatchSpec, Sweep, SweepOptions, VariationSpec};
+
+fn bench_sweep(c: &mut Criterion) {
+    let sweep = Sweep {
+        name: "bench".to_owned(),
+        seed: 3,
+        scenarios: vec![],
+        grid: Some(GridSpec {
+            stage_counts: vec![4, 6],
+            logic_depths: vec![6, 10],
+            sizes: vec![1.0],
+            variations: vec![
+                VariationSpec::RandomOnly { sigma_mv: 35.0 },
+                VariationSpec::Combined {
+                    inter_mv: 20.0,
+                    random_mv: 35.0,
+                    systematic_mv: 15.0,
+                },
+            ],
+            latch: LatchSpec::TgMsff70nm,
+            trials: 2_000,
+            yield_targets: vec![],
+            auto_target_sigmas: vec![1.2],
+        }),
+    };
+
+    let baseline = run_sweep(&sweep, &SweepOptions::sequential())
+        .expect("valid spec")
+        .to_json();
+
+    let mut group = c.benchmark_group("engine/sweep_8x2000");
+    group.sample_size(10);
+    for &workers in &[1usize, 2, 4, 8] {
+        let result = run_sweep(&sweep, &SweepOptions { workers }).expect("valid spec");
+        assert_eq!(
+            result.to_json(),
+            baseline,
+            "determinism at {workers} workers"
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| b.iter(|| run_sweep(black_box(&sweep), &SweepOptions { workers })),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -4,47 +4,32 @@
 //! Prints, over a sweep of stage means, the σ ceilings from the relaxed
 //! bound (eq. 11) and the equality bounds (eq. 12) for two stage counts,
 //! plus the realizable inverter-chain band (eq. 13) between minimum- and
-//! maximum-size devices.
+//! maximum-size devices — all tabulated by the engine's declarative
+//! design-space sweep instead of a hand-rolled loop.
 //!
 //! Run: `cargo run --release -p vardelay-bench --bin fig4`
 
-use vardelay_bench::library;
 use vardelay_bench::render::xy_table;
-use vardelay_core::design_space::{DesignSpace, RealizableCurve, RealizableRegion};
-use vardelay_process::VariationConfig;
-use vardelay_ssta::SstaEngine;
+use vardelay_engine::{design_space, DesignSpaceSpec};
 
 fn main() {
-    let target = 100.0; // ps
-    let yield_target = 0.90;
-    let (n1, n2) = (5usize, 10usize);
-    let ds = DesignSpace::new(target, yield_target).expect("valid yield");
+    let spec = DesignSpaceSpec::fig4();
+    let res = design_space(&spec).expect("valid spec");
+    let (n1, n2) = (spec.stage_counts[0], spec.stage_counts[1]);
 
     println!("Fig. 4 — permissible (mu, sigma) design space per stage");
-    println!("target delay = {target} ps, pipeline yield = {}%\n", yield_target * 100.0);
+    println!(
+        "target delay = {} ps, pipeline yield = {}%\n",
+        spec.target_ps,
+        spec.yield_target * 100.0
+    );
 
-    // Realizable curves from the actual library: a minimum-size inverter
-    // and a 4x inverter, each FO4-loaded, under random intra variation.
-    let engine = SstaEngine::new(library(), VariationConfig::random_only(35.0), None);
-    let unit = |size: f64| {
-        let chain = vardelay_circuit::generators::inverter_chain(1, size);
-        let d = engine.stage_delay(&chain, 0);
-        (d.mean(), d.sd())
-    };
-    let (mu_min, sd_min) = unit(1.0); // min size: slower, more variable
-    let (mu_max, sd_max) = unit(4.0);
-    let region = RealizableRegion {
-        min_size: RealizableCurve::new(mu_min, sd_min),
-        max_size: RealizableCurve::new(mu_max, sd_max),
-        min_depth: 4,
-    };
-
-    let mus: Vec<f64> = (1..=12).map(|i| f64::from(i) * 8.0).collect();
-    let relaxed: Vec<f64> = mus.iter().map(|&m| ds.relaxed_sigma_bound(m)).collect();
-    let eq_n1: Vec<f64> = mus.iter().map(|&m| ds.equality_sigma_bound(m, n1)).collect();
-    let eq_n2: Vec<f64> = mus.iter().map(|&m| ds.equality_sigma_bound(m, n2)).collect();
-    let real_hi: Vec<f64> = mus.iter().map(|&m| region.min_size.sigma_at(m)).collect();
-    let real_lo: Vec<f64> = mus.iter().map(|&m| region.max_size.sigma_at(m)).collect();
+    let mus: Vec<f64> = res.rows.iter().map(|r| r.mu_ps).collect();
+    let relaxed: Vec<f64> = res.rows.iter().map(|r| r.relaxed_sigma_ps).collect();
+    let eq_n1: Vec<f64> = res.rows.iter().map(|r| r.equality_sigma_ps[0]).collect();
+    let eq_n2: Vec<f64> = res.rows.iter().map(|r| r.equality_sigma_ps[1]).collect();
+    let real_hi: Vec<f64> = res.rows.iter().map(|r| r.realizable_hi_ps).collect();
+    let real_lo: Vec<f64> = res.rows.iter().map(|r| r.realizable_lo_ps).collect();
 
     println!(
         "{}",
@@ -62,13 +47,18 @@ fn main() {
         )
     );
 
-    println!("unit inverter: min-size (mu {mu_min:.2} ps, sigma {sd_min:.3} ps), 4x ({mu_max:.2} ps, {sd_max:.3} ps)");
-    println!("minimum logic depth floor: mu >= {:.1} ps", 4.0 * mu_max.min(mu_min));
+    let (mu_min, sd_min) = res.min_size_gate;
+    let (mu_max, sd_max) = res.max_size_gate;
+    println!("unit inverter: min-size (mu {mu_min:.2} ps, sigma {sd_min:.3} ps), {}x ({mu_max:.2} ps, {sd_max:.3} ps)", spec.max_size);
+    println!("minimum logic depth floor: mu >= {:.1} ps", res.mu_floor_ps);
     println!("\nshape check vs paper: equality bounds tighten with Ns and all bounds slope");
     println!("down-right (larger mu leaves less sigma budget); the realizable band rises as");
     println!("sqrt(mu) and intersects the bounds to give the feasible design region.");
 
     // A few spot checks of admissibility, as the figure's shaded region.
+    let ds = vardelay_core::design_space::DesignSpace::new(spec.target_ps, spec.yield_target)
+        .expect("valid yield");
+    let region = res.region();
     for (mu, sd) in [(40.0, 2.0), (80.0, 2.0), (95.0, 4.0)] {
         println!(
             "(mu={mu:.0}, sigma={sd:.1}) admissible at Ns={n1}? {}  realizable? {}",

@@ -7,39 +7,110 @@
 //!     off at constant total depth (NL × NS = 120) for three inter-die
 //!     strengths.
 //!
+//! Every panel is a declarative analytic-only [`Sweep`] run on the
+//! engine (trials = 0: pure SSTA + Clark), replacing the former
+//! per-panel loops.
+//!
 //! Run: `cargo run --release -p vardelay-bench --bin fig5 [-- a|b|c]`
 
-use vardelay_bench::{engine, library, Scenario};
 use vardelay_bench::render::xy_table;
-use vardelay_circuit::generators::inverter_chain;
-use vardelay_core::variability::pipeline_variability;
-use vardelay_process::VariationConfig;
-use vardelay_ssta::SstaEngine;
-use vardelay_stats::Normal;
+use vardelay_engine::{
+    run_sweep, GridSpec, LatchSpec, PipelineSpec, Scenario, StageMoments, Sweep, SweepOptions,
+    VariationSpec,
+};
 
-fn stage_var(var: VariationConfig, nl: usize) -> f64 {
-    SstaEngine::new(library(), var, None)
-        .stage_delay(&inverter_chain(nl, 1.0), 0)
-        .variability()
+/// Runs an analytic-only sweep and returns each scenario's σ/μ.
+fn variabilities(name: &str, scenarios: Vec<Scenario>) -> Vec<f64> {
+    let sweep = Sweep {
+        name: name.to_owned(),
+        seed: 0,
+        scenarios,
+        grid: None,
+    };
+    run_sweep(&sweep, &SweepOptions::default())
+        .expect("valid spec")
+        .scenarios
+        .iter()
+        .map(|s| s.analytic.variability)
+        .collect()
+}
+
+fn analytic_scenario(label: String, pipeline: PipelineSpec, variation: VariationSpec) -> Scenario {
+    Scenario {
+        label,
+        pipeline,
+        variation,
+        trials: 0,
+        yield_targets: vec![],
+        auto_target_sigmas: vec![],
+    }
 }
 
 fn panel_a() {
     println!("--- Fig. 5(a): stage-delay variability vs logic depth (normalized to depth 5) ---");
     let depths: Vec<usize> = vec![5, 8, 10, 15, 20, 25, 30, 35, 40];
-    let scenarios: Vec<(&str, VariationConfig)> = vec![
-        ("random intra only", VariationConfig::random_only(35.0)),
-        ("intra + inter 20mV", VariationConfig::combined(20.0, 35.0, 0.0)),
-        ("intra + inter 40mV", VariationConfig::combined(40.0, 35.0, 0.0)),
-        ("inter only 40mV", VariationConfig::inter_only(40.0)),
+    let variations: Vec<(&str, VariationSpec)> = vec![
+        (
+            "random intra only",
+            VariationSpec::RandomOnly { sigma_mv: 35.0 },
+        ),
+        (
+            "intra + inter 20mV",
+            VariationSpec::Combined {
+                inter_mv: 20.0,
+                random_mv: 35.0,
+                systematic_mv: 0.0,
+            },
+        ),
+        (
+            "intra + inter 40mV",
+            VariationSpec::Combined {
+                inter_mv: 40.0,
+                random_mv: 35.0,
+                systematic_mv: 0.0,
+            },
+        ),
+        (
+            "inter only 40mV",
+            VariationSpec::InterOnly { sigma_mv: 40.0 },
+        ),
     ];
-    let xs: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
-    let series: Vec<(&str, Vec<f64>)> = scenarios
+
+    // A single-stage grid sweep: depth-major, variation-minor order.
+    let sweep = Sweep {
+        name: "fig5a".to_owned(),
+        seed: 0,
+        scenarios: vec![],
+        grid: Some(GridSpec {
+            stage_counts: vec![1],
+            logic_depths: depths.clone(),
+            sizes: vec![1.0],
+            variations: variations.iter().map(|(_, v)| *v).collect(),
+            latch: LatchSpec::Ideal,
+            trials: 0,
+            yield_targets: vec![],
+            auto_target_sigmas: vec![],
+        }),
+    };
+    let vars: Vec<f64> = run_sweep(&sweep, &SweepOptions::default())
+        .expect("valid spec")
+        .scenarios
         .iter()
-        .map(|(name, var)| {
-            let base = stage_var(*var, depths[0]);
+        .map(|s| s.analytic.variability)
+        .collect();
+
+    let nv = variations.len();
+    let xs: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
+    let series: Vec<(&str, Vec<f64>)> = variations
+        .iter()
+        .enumerate()
+        .map(|(vi, (name, _))| {
+            let base = vars[vi];
             (
                 *name,
-                depths.iter().map(|&nl| stage_var(*var, nl) / base).collect(),
+                (0..depths.len())
+                    .map(|di| vars[di * nv + vi] / base)
+                    .collect(),
             )
         })
         .collect();
@@ -51,18 +122,38 @@ fn panel_a() {
 fn panel_b() {
     println!("--- Fig. 5(b): pipeline variability vs number of stages (normalized to Ns=4) ---");
     let ns_axis: Vec<usize> = vec![4, 8, 12, 16, 20, 24, 28, 32, 36, 40];
-    let stage = Normal::new(100.0, 4.0).expect("valid");
-    let xs: Vec<f64> = ns_axis.iter().map(|&n| n as f64).collect();
-    let series: Vec<(String, Vec<f64>)> = [0.0, 0.2, 0.5]
+    let rhos = [0.0, 0.2, 0.5];
+    let stage = StageMoments {
+        mu_ps: 100.0,
+        sigma_ps: 4.0,
+    };
+
+    let scenarios: Vec<Scenario> = rhos
         .iter()
-        .map(|&rho| {
-            let base = pipeline_variability(ns_axis[0], stage, rho);
+        .flat_map(|&rho| {
+            ns_axis.iter().map(move |&ns| {
+                analytic_scenario(
+                    format!("{ns} stages rho {rho}"),
+                    PipelineSpec::Moments {
+                        stages: vec![stage; ns],
+                        rho,
+                    },
+                    VariationSpec::Nominal,
+                )
+            })
+        })
+        .collect();
+    let vars = variabilities("fig5b", scenarios);
+
+    let xs: Vec<f64> = ns_axis.iter().map(|&n| n as f64).collect();
+    let series: Vec<(String, Vec<f64>)> = rhos
+        .iter()
+        .enumerate()
+        .map(|(ri, &rho)| {
+            let row = &vars[ri * ns_axis.len()..(ri + 1) * ns_axis.len()];
             (
                 format!("rho = {rho}"),
-                ns_axis
-                    .iter()
-                    .map(|&ns| pipeline_variability(ns, stage, rho) / base)
-                    .collect(),
+                row.iter().map(|v| v / row[0]).collect(),
             )
         })
         .collect();
@@ -80,29 +171,41 @@ fn panel_c() {
     let total = 120usize;
     let stage_counts: Vec<usize> = vec![2, 3, 4, 5, 6, 8, 10, 12, 15, 20, 24, 30];
     let inter_levels = [0.0, 20.0, 40.0];
-    let xs: Vec<f64> = stage_counts.iter().map(|&n| n as f64).collect();
-    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
-    for &inter in &inter_levels {
-        let var = VariationConfig::combined(inter, 35.0, 0.0);
-        let eng = SstaEngine::new(library(), var, None);
-        let ys: Vec<f64> = stage_counts
-            .iter()
-            .map(|&ns| {
-                let nl = total / ns;
-                let p = vardelay_circuit::StagedPipeline::inverter_grid(
-                    ns,
-                    nl,
-                    1.0,
-                    vardelay_circuit::LatchParams::ideal(),
-                );
-                let timing = eng.analyze_pipeline(&p);
-                vardelay_bench::to_core_pipeline(&timing)
-                    .delay_distribution()
-                    .variability()
+
+    let scenarios: Vec<Scenario> = inter_levels
+        .iter()
+        .flat_map(|&inter| {
+            stage_counts.iter().map(move |&ns| {
+                analytic_scenario(
+                    format!("{ns}x{} inter {inter}mV", total / ns),
+                    PipelineSpec::InverterGrid {
+                        stages: ns,
+                        depth: total / ns,
+                        size: 1.0,
+                        latch: LatchSpec::Ideal,
+                    },
+                    VariationSpec::Combined {
+                        inter_mv: inter,
+                        random_mv: 35.0,
+                        systematic_mv: 0.0,
+                    },
+                )
             })
-            .collect();
-        series.push((format!("sigmaVthInter = {inter} mV"), ys));
-    }
+        })
+        .collect();
+    let vars = variabilities("fig5c", scenarios);
+
+    let xs: Vec<f64> = stage_counts.iter().map(|&n| n as f64).collect();
+    let series: Vec<(String, Vec<f64>)> = inter_levels
+        .iter()
+        .enumerate()
+        .map(|(ii, &inter)| {
+            (
+                format!("sigmaVthInter = {inter} mV"),
+                vars[ii * stage_counts.len()..(ii + 1) * stage_counts.len()].to_vec(),
+            )
+        })
+        .collect();
     let series_ref: Vec<(&str, Vec<f64>)> = series
         .iter()
         .map(|(n, v)| (n.as_str(), v.clone()))
@@ -115,7 +218,7 @@ fn panel_c() {
 
 fn main() {
     let arg = std::env::args().nth(1);
-    println!("Fig. 5 — variability of stage and pipeline delay ({})\n", engine(Scenario::IntraRandomOnly).library().tech().name());
+    println!("Fig. 5 — variability of stage and pipeline delay (engine analytic sweeps)\n");
     match arg.as_deref() {
         Some("a") => panel_a(),
         Some("b") => panel_b(),

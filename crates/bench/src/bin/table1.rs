@@ -7,32 +7,76 @@
 //! model, not the authors' SPICE testbed); the comparison columns —
 //! model-vs-MC agreement and yield tracking — are the reproduced result.
 //!
+//! The five configurations are one declarative [`Sweep`] executed by the
+//! parallel engine; the "Model" columns are the engine's `model_from_mc`
+//! (Clark's model on MC-measured stage moments, the paper's §2.4
+//! methodology), and the target is placed at `μ + 1.2σ` of the analytic
+//! model via `auto_target_sigmas`.
+//!
 //! Run: `cargo run --release -p vardelay-bench --bin table1`
 
 use vardelay_bench::render::{pct, TextTable};
-use vardelay_bench::{analytic_delay, compare, inverter_pipeline, Scenario};
-use vardelay_circuit::generators::inverter_chain;
-use vardelay_circuit::{LatchParams, StagedPipeline};
+use vardelay_engine::{
+    run_sweep, LatchSpec, PipelineSpec, Scenario, Sweep, SweepOptions, VariationSpec,
+};
+
+fn grid(stages: usize, depth: usize) -> PipelineSpec {
+    PipelineSpec::InverterGrid {
+        stages,
+        depth,
+        size: 1.0,
+        latch: LatchSpec::TgMsff70nm,
+    }
+}
 
 fn main() {
     let trials = 20_000;
-
-    // 5 x variable-depth configuration (the paper's "5 l *").
-    let var_depths = [6usize, 8, 7, 9, 8];
-    let five_var = StagedPipeline::new(
-        "5xvar",
-        var_depths.iter().map(|&nl| inverter_chain(nl, 1.0)).collect(),
-        LatchParams::tg_msff_70nm(),
-    );
-
-    // (pipeline, scenario, label suffix)
-    let configs: Vec<(StagedPipeline, Scenario, &str)> = vec![
-        (inverter_pipeline(8, 5), Scenario::IntraRandomOnly, "8x5"),
-        (inverter_pipeline(5, 8), Scenario::IntraRandomOnly, "5x8"),
-        (five_var, Scenario::IntraRandomOnly, "5xvar"),
-        (inverter_pipeline(5, 8), Scenario::InterOnly, "5x8 inter"),
-        (inverter_pipeline(5, 8), Scenario::Combined, "5x8 inter+intra"),
+    let rand_only = VariationSpec::RandomOnly { sigma_mv: 35.0 };
+    let configs: Vec<(PipelineSpec, VariationSpec, &str)> = vec![
+        (grid(8, 5), rand_only, "8x5 (random intra-die only)"),
+        (grid(5, 8), rand_only, "5x8 (random intra-die only)"),
+        (
+            PipelineSpec::InverterStages {
+                depths: vec![6, 8, 7, 9, 8],
+                size: 1.0,
+                latch: LatchSpec::TgMsff70nm,
+            },
+            rand_only,
+            "5xvar (random intra-die only)",
+        ),
+        (
+            grid(5, 8),
+            VariationSpec::InterOnly { sigma_mv: 40.0 },
+            "5x8 (inter-die only)",
+        ),
+        (
+            grid(5, 8),
+            VariationSpec::Combined {
+                inter_mv: 20.0,
+                random_mv: 35.0,
+                systematic_mv: 15.0,
+            },
+            "5x8 (inter + intra)",
+        ),
     ];
+
+    let sweep = Sweep {
+        name: "table1".to_owned(),
+        seed: 0x7AB1,
+        scenarios: configs
+            .into_iter()
+            .map(|(pipeline, variation, label)| Scenario {
+                label: label.to_owned(),
+                pipeline,
+                variation,
+                trials,
+                yield_targets: vec![],
+                auto_target_sigmas: vec![1.2],
+            })
+            .collect(),
+        grid: None,
+    };
+    let result = run_sweep(&sweep, &SweepOptions::default()).expect("valid spec");
 
     let mut t = TextTable::new([
         "Pipeline config",
@@ -48,23 +92,23 @@ fn main() {
     ]);
 
     println!("Table I — modeling vs Monte-Carlo for pipeline configurations ({trials} trials)\n");
-    for (pipe, scenario, label) in configs {
-        // Target chosen like the paper's: a point in the upper body of the
-        // distribution (roughly the 85-90% quantile of the analytic model).
-        let analytic = analytic_delay(scenario, &pipe);
-        let target = (analytic.mean() + 1.2 * analytic.sd()).round();
-        let row = compare(scenario, &pipe, target, trials, 0x7AB1);
+    for s in &result.scenarios {
+        let mc = s.mc.as_ref().expect("trials requested");
+        let model = mc.model_from_mc.as_ref().expect("stage moments valid");
         t.row([
-            format!("{label} ({})", scenario.label()),
-            format!("{target:.0}"),
-            format!("{:.2}", row.mc_mean),
-            format!("{:.2}", row.mc_sd),
-            pct(row.mc_yield),
-            format!("{:.2}", row.model_mean),
-            format!("{:.2}", row.model_sd),
-            pct(row.model_yield),
-            format!("{:.3}", row.mean_error_pct()),
-            format!("{:.2}", row.sd_error_pct()),
+            s.label.clone(),
+            format!("{:.0}", s.targets_ps[0]),
+            format!("{:.2}", mc.mean_ps),
+            format!("{:.2}", mc.sd_ps),
+            pct(mc.yields[0].value),
+            format!("{:.2}", model.mean_ps),
+            format!("{:.2}", model.sd_ps),
+            pct(model.yields[0].value),
+            format!(
+                "{:.3}",
+                100.0 * (model.mean_ps - mc.mean_ps).abs() / mc.mean_ps
+            ),
+            format!("{:.2}", 100.0 * (model.sd_ps - mc.sd_ps).abs() / mc.sd_ps),
         ]);
     }
     println!("{}", t.render());

@@ -63,8 +63,7 @@ fn main() {
     let a_ind: f64 = indiv.total_area();
 
     // Proposed: minimize area subject to the same yield target.
-    let (glob, report) =
-        opt.optimize(&indiv, target, yield_target, OptimizationGoal::MinimizeArea);
+    let (glob, report) = opt.optimize(&indiv, target, yield_target, OptimizationGoal::MinimizeArea);
     let t_glob = engine.analyze_pipeline(&glob);
     let a_glob: f64 = glob.total_area();
 

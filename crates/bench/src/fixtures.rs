@@ -143,8 +143,7 @@ pub fn compare(
         .stage_stats
         .iter()
         .map(|s| {
-            StageDelay::from_moments(s.mean(), s.sample_sd())
-                .expect("MC stage moments are finite")
+            StageDelay::from_moments(s.mean(), s.sample_sd()).expect("MC stage moments are finite")
         })
         .collect();
     let model = Pipeline::new(stages, correlation).expect("dimensions match");
@@ -178,7 +177,11 @@ mod tests {
         // reported error envelope (mean < ~1%, sd < ~10% incl. MC noise).
         let p = inverter_pipeline(4, 6);
         let row = compare(Scenario::IntraRandomOnly, &p, 230.0, 8_000, 42);
-        assert!(row.mean_error_pct() < 1.0, "mean err {}", row.mean_error_pct());
+        assert!(
+            row.mean_error_pct() < 1.0,
+            "mean err {}",
+            row.mean_error_pct()
+        );
         assert!(row.sd_error_pct() < 12.0, "sd err {}", row.sd_error_pct());
         assert!((row.mc_yield - row.model_yield).abs() < 0.05);
     }
@@ -188,7 +191,11 @@ mod tests {
         let p = inverter_pipeline(5, 8);
         let timing = engine(Scenario::IntraRandomOnly).analyze_pipeline(&p);
         let d = analytic_delay(Scenario::IntraRandomOnly, &p);
-        let slowest = timing.stage_delays.iter().map(Normal::mean).fold(0.0, f64::max);
+        let slowest = timing
+            .stage_delays
+            .iter()
+            .map(Normal::mean)
+            .fold(0.0, f64::max);
         assert!(d.mean() >= slowest);
     }
 }

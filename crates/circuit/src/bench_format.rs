@@ -243,11 +243,7 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Netlist, ParseBenchError> {
     Ok(b.finish()?)
 }
 
-fn parse_paren_arg(
-    rest: &str,
-    original: &str,
-    line: usize,
-) -> Result<String, ParseBenchError> {
+fn parse_paren_arg(rest: &str, original: &str, line: usize) -> Result<String, ParseBenchError> {
     let rest = rest.trim();
     if !rest.starts_with('(') || !rest.ends_with(')') {
         return Err(ParseBenchError::Syntax {
@@ -485,7 +481,8 @@ z = NAND(a, b, c, d, e)
         ));
         assert!(matches!(
             parse_bench("s", "x = FROB(a)\n"),
-            Err(ParseBenchError::UndefinedSignal { .. }) | Err(ParseBenchError::UnsupportedGate { .. })
+            Err(ParseBenchError::UndefinedSignal { .. })
+                | Err(ParseBenchError::UnsupportedGate { .. })
         ));
     }
 

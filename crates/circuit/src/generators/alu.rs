@@ -22,7 +22,10 @@ use crate::netlist::Netlist;
 ///
 /// Panics unless `width` is a positive multiple of 4.
 pub fn alu_part1(width: usize) -> Netlist {
-    assert!(width > 0 && width.is_multiple_of(4), "width must be a multiple of 4");
+    assert!(
+        width > 0 && width.is_multiple_of(4),
+        "width must be a multiple of 4"
+    );
     let mut b = NetlistBuilder::new("alu_part1", 2 * width);
 
     // Level 1: p_i = a XOR b, g_i = a AND b.
@@ -76,7 +79,10 @@ pub fn alu_part1(width: usize) -> Netlist {
 ///
 /// Panics unless `width` is a positive multiple of 4.
 pub fn alu_part2(width: usize) -> Netlist {
-    assert!(width > 0 && width.is_multiple_of(4), "width must be a multiple of 4");
+    assert!(
+        width > 0 && width.is_multiple_of(4),
+        "width must be a multiple of 4"
+    );
     let groups = width / 4;
     let mut b = NetlistBuilder::new("alu_part2", width + groups + 2);
     let p: Vec<_> = (0..width).map(|i| b.input(i)).collect();

@@ -81,10 +81,7 @@ mod tests {
 
     #[test]
     fn mixed_chain_allocates_side_inputs() {
-        let c = gate_chain(
-            &[GateKind::Nand2, GateKind::Nor3, GateKind::Inv],
-            1.0,
-        );
+        let c = gate_chain(&[GateKind::Nand2, GateKind::Nor3, GateKind::Inv], 1.0);
         // side inputs: 1 (nand2) + 2 (nor3) + 0 = 3, plus main input.
         assert_eq!(c.input_count(), 4);
         assert_eq!(c.depth(), 3);

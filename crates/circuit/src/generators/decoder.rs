@@ -30,7 +30,10 @@ pub fn decoder(nbits: usize) -> Netlist {
 
     // Level 2: 4 minterms per bit pair. To keep every path at full depth we
     // route the true literals through level-1 buffers.
-    let xb: Vec<_> = x.iter().map(|&s| b.gate(GateKind::Buf, 1.0, &[s])).collect();
+    let xb: Vec<_> = x
+        .iter()
+        .map(|&s| b.gate(GateKind::Buf, 1.0, &[s]))
+        .collect();
     let mut pair_minterms: Vec<[_; 4]> = Vec::with_capacity(pairs);
     for p in 0..pairs {
         let (i, j) = (2 * p, 2 * p + 1);

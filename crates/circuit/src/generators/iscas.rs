@@ -23,7 +23,14 @@ use super::random::{random_logic, RandomLogicConfig};
 /// Fixed seed namespace so every call yields the identical benchmark.
 const SEED_BASE: u64 = 0x1985_85c0;
 
-fn build(name: &str, inputs: usize, outputs: usize, gates: usize, depth: usize, salt: u64) -> Netlist {
+fn build(
+    name: &str,
+    inputs: usize,
+    outputs: usize,
+    gates: usize,
+    depth: usize,
+    salt: u64,
+) -> Netlist {
     random_logic(&RandomLogicConfig {
         name: name.to_owned(),
         inputs,

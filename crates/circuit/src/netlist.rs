@@ -75,10 +75,7 @@ impl fmt::Display for NetlistError {
                 gate,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "gate {gate}: expected {expected} fanins, got {actual}"
-            ),
+            } => write!(f, "gate {gate}: expected {expected} fanins, got {actual}"),
             NetlistError::ForwardReference { gate, signal } => {
                 write!(f, "gate {gate} references later signal {signal}")
             }
@@ -232,10 +229,7 @@ impl Netlist {
 
     /// Total cell area: `Σ size_i * area_unit(kind_i)`.
     pub fn area(&self) -> f64 {
-        self.gates
-            .iter()
-            .map(|g| g.size * g.kind.area_unit())
-            .sum()
+        self.gates.iter().map(|g| g.size * g.kind.area_unit()).sum()
     }
 
     /// Logic level of every signal (primary inputs at level 0; a gate's

@@ -161,8 +161,6 @@ mod tests {
     #[test]
     fn leakage_factor_is_exponential() {
         assert!((leakage_factor(0.0) - 1.0).abs() < 1e-15);
-        assert!(
-            (leakage_factor(-0.080) - std::f64::consts::E.powi(2)).abs() < 1e-9
-        );
+        assert!((leakage_factor(-0.080) - std::f64::consts::E.powi(2)).abs() < 1e-9);
     }
 }

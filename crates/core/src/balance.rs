@@ -167,11 +167,7 @@ pub fn best_point(points: &[ImbalancePoint]) -> ImbalancePoint {
 /// # Errors
 ///
 /// Returns [`CoreError`] on invalid moments.
-pub fn balanced_pipeline(
-    ns: usize,
-    mu_ps: f64,
-    sigma_ps: f64,
-) -> Result<Pipeline, CoreError> {
+pub fn balanced_pipeline(ns: usize, mu_ps: f64, sigma_ps: f64) -> Result<Pipeline, CoreError> {
     let stages: Vec<StageDelay> = (0..ns)
         .map(|_| StageDelay::from_moments(mu_ps, sigma_ps))
         .collect::<Result<_, _>>()?;
@@ -203,8 +199,7 @@ mod tests {
         let base = balanced_pipeline(3, 170.0, 5.0).unwrap();
         let slopes = [1.6, 0.4, 1.6];
         let deltas: Vec<f64> = (0..40).map(|i| f64::from(i) * 0.25).collect();
-        let pts =
-            imbalance_sweep(&base, &[0, 2], 1, &slopes, 179.0, &deltas).unwrap();
+        let pts = imbalance_sweep(&base, &[0, 2], 1, &slopes, 179.0, &deltas).unwrap();
         let balanced = pts[0];
         let best = best_point(&pts);
         assert!(
@@ -222,8 +217,7 @@ mod tests {
         let base = balanced_pipeline(3, 170.0, 5.0).unwrap();
         let slopes = [1.6, 0.4, 1.6];
         let deltas: Vec<f64> = (0..200).map(|i| f64::from(i) * 0.25).collect();
-        let pts =
-            imbalance_sweep(&base, &[0, 2], 1, &slopes, 179.0, &deltas).unwrap();
+        let pts = imbalance_sweep(&base, &[0, 2], 1, &slopes, 179.0, &deltas).unwrap();
         let best = best_point(&pts);
         let last = pts.last().unwrap();
         assert!(

@@ -171,11 +171,16 @@ pub struct RealizableRegion {
 }
 
 impl RealizableRegion {
+    /// The μ floor implied by the minimum logic depth: `min_depth`
+    /// gates of the faster (larger) device.
+    pub fn mu_floor(&self) -> f64 {
+        self.min_depth as f64 * self.max_size.mu_gate_ps().min(self.min_size.mu_gate_ps())
+    }
+
     /// Whether `(mu, sigma)` lies inside the realizable band (between the
     /// two sizing curves, at or beyond the minimum depth).
     pub fn contains(&self, mu_ps: f64, sigma_ps: f64) -> bool {
-        let mu_floor = self.min_depth as f64 * self.max_size.mu_gate_ps().min(self.min_size.mu_gate_ps());
-        if mu_ps < mu_floor {
+        if mu_ps < self.mu_floor() {
             return false;
         }
         let lo = self.max_size.sigma_at(mu_ps);

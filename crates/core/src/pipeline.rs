@@ -24,10 +24,7 @@ impl Pipeline {
     ///
     /// Returns [`CoreError`] if `stages` is empty or the correlation
     /// dimension does not match.
-    pub fn new(
-        stages: Vec<StageDelay>,
-        correlation: CorrelationMatrix,
-    ) -> Result<Self, CoreError> {
+    pub fn new(stages: Vec<StageDelay>, correlation: CorrelationMatrix) -> Result<Self, CoreError> {
         if stages.is_empty() {
             return Err(CoreError::EmptyPipeline);
         }
@@ -218,17 +215,14 @@ mod tests {
             Pipeline::independent(vec![]),
             Err(CoreError::EmptyPipeline)
         ));
-        let e = Pipeline::new(
-            vec![sd(1.0, 0.1)],
-            CorrelationMatrix::identity(2),
-        );
+        let e = Pipeline::new(vec![sd(1.0, 0.1)], CorrelationMatrix::identity(2));
         assert!(matches!(e, Err(CoreError::DimensionMismatch { .. })));
     }
 
     #[test]
     fn jensen_bound_holds() {
-        let p = Pipeline::independent(vec![sd(200.0, 5.0), sd(195.0, 8.0), sd(198.0, 3.0)])
-            .unwrap();
+        let p =
+            Pipeline::independent(vec![sd(200.0, 5.0), sd(195.0, 8.0), sd(198.0, 3.0)]).unwrap();
         let d = p.delay_distribution();
         assert!(d.mean() >= p.jensen_lower_bound());
         assert_eq!(p.jensen_lower_bound(), 200.0);
@@ -264,11 +258,9 @@ mod tests {
 
     #[test]
     fn perfectly_correlated_yield_is_slowest_stage_yield() {
-        let p = Pipeline::equicorrelated(
-            vec![sd(190.0, 10.0), sd(200.0, 10.0), sd(195.0, 10.0)],
-            1.0,
-        )
-        .unwrap();
+        let p =
+            Pipeline::equicorrelated(vec![sd(190.0, 10.0), sd(200.0, 10.0), sd(195.0, 10.0)], 1.0)
+                .unwrap();
         let y = p.yield_at(210.0);
         let slowest = sd(200.0, 10.0).yield_at(210.0);
         assert!((y - slowest).abs() < 1e-9);
@@ -284,8 +276,8 @@ mod tests {
 
     #[test]
     fn criticality_sums_to_one_and_favors_slow_stage() {
-        let p = Pipeline::independent(vec![sd(190.0, 5.0), sd(205.0, 5.0), sd(195.0, 5.0)])
-            .unwrap();
+        let p =
+            Pipeline::independent(vec![sd(190.0, 5.0), sd(205.0, 5.0), sd(195.0, 5.0)]).unwrap();
         let c = p.criticality_probabilities(20_000, 3);
         let total: f64 = c.iter().sum();
         assert!((total - 1.0).abs() < 1e-12);

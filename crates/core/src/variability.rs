@@ -164,7 +164,11 @@ mod tests {
         assert_eq!(intra.ns, 1, "intra-only favors the fewest stages");
         // Inter-dominated: deep pipelines win.
         let inter = optimal_stage_count(120, 10.0, 0.10, 0.01);
-        assert!(inter.ns > 10, "inter-dominated favors many stages, got {}", inter.ns);
+        assert!(
+            inter.ns > 10,
+            "inter-dominated favors many stages, got {}",
+            inter.ns
+        );
     }
 
     #[test]
@@ -222,7 +226,10 @@ mod tests {
         let intra_only = depth_stage_tradeoff(120, 10.0, 0.0, 0.06);
         let inter_heavy = depth_stage_tradeoff(120, 10.0, 0.10, 0.02);
         let get = |pts: &[TradeoffPoint], ns: usize| {
-            pts.iter().find(|p| p.ns == ns).map(|p| p.variability).unwrap()
+            pts.iter()
+                .find(|p| p.ns == ns)
+                .map(|p| p.variability)
+                .unwrap()
         };
         // Intra-only: ns=30 worse than ns=2.
         assert!(

@@ -1,0 +1,192 @@
+//! Design-space sweeps: the permissible (μ, σ) region of §2.5 / Fig. 4
+//! as an engine facility.
+//!
+//! Consumers used to hand-roll loops over stage means calling
+//! [`vardelay_core::design_space`] directly; this module turns that into
+//! a declarative, serializable spec evaluated in one call, with the
+//! realizable inverter-chain band characterized from the actual cell
+//! library rather than hard-coded moments.
+
+use serde::{Deserialize, Serialize};
+use vardelay_circuit::generators::inverter_chain;
+use vardelay_circuit::CellLibrary;
+use vardelay_core::design_space::{DesignSpace, RealizableCurve, RealizableRegion};
+use vardelay_ssta::SstaEngine;
+
+use crate::run::EngineError;
+use crate::spec::VariationSpec;
+
+/// Spec for one permissible-region tabulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpaceSpec {
+    /// Pipeline target delay (ps).
+    pub target_ps: f64,
+    /// Pipeline yield target `P_D` in `(0, 1)`.
+    pub yield_target: f64,
+    /// Stage counts for the equality bounds (eq. 12).
+    pub stage_counts: Vec<usize>,
+    /// Stage means (ps) at which every bound is tabulated.
+    pub mu_points_ps: Vec<f64>,
+    /// Smallest inverter size for the realizable band's upper σ edge.
+    pub min_size: f64,
+    /// Largest inverter size for the realizable band's lower σ edge.
+    pub max_size: f64,
+    /// Minimum allowable logic depth (floor under μ).
+    pub min_depth: usize,
+    /// Variation under which the unit inverters are characterized.
+    pub variation: VariationSpec,
+}
+
+impl DesignSpaceSpec {
+    /// The Fig. 4 setup: 100 ps target, 90% yield, Ns ∈ {5, 10}.
+    pub fn fig4() -> Self {
+        DesignSpaceSpec {
+            target_ps: 100.0,
+            yield_target: 0.90,
+            stage_counts: vec![5, 10],
+            mu_points_ps: (1..=12).map(|i| f64::from(i) * 8.0).collect(),
+            min_size: 1.0,
+            max_size: 4.0,
+            min_depth: 4,
+            variation: VariationSpec::RandomOnly { sigma_mv: 35.0 },
+        }
+    }
+}
+
+/// One tabulated row: every σ ceiling at one stage mean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpaceRow {
+    /// Stage mean (ps).
+    pub mu_ps: f64,
+    /// Relaxed σ bound (eq. 11).
+    pub relaxed_sigma_ps: f64,
+    /// Equality σ bound (eq. 12) per requested stage count, in order.
+    pub equality_sigma_ps: Vec<f64>,
+    /// Lower edge of the realizable band (max-size inverters).
+    pub realizable_lo_ps: f64,
+    /// Upper edge of the realizable band (min-size inverters).
+    pub realizable_hi_ps: f64,
+}
+
+/// The evaluated permissible region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpaceResult {
+    /// The input spec, echoed.
+    pub spec: DesignSpaceSpec,
+    /// Min-size unit inverter moments `(μ_g, σ_g)` (ps).
+    pub min_size_gate: (f64, f64),
+    /// Max-size unit inverter moments `(μ_g, σ_g)` (ps).
+    pub max_size_gate: (f64, f64),
+    /// μ floor from the minimum logic depth (ps).
+    pub mu_floor_ps: f64,
+    /// One row per requested stage mean.
+    pub rows: Vec<DesignSpaceRow>,
+}
+
+impl DesignSpaceResult {
+    /// The realizable band as a region membership test.
+    pub fn region(&self) -> RealizableRegion {
+        RealizableRegion {
+            min_size: RealizableCurve::new(self.min_size_gate.0, self.min_size_gate.1),
+            max_size: RealizableCurve::new(self.max_size_gate.0, self.max_size_gate.1),
+            min_depth: self.spec.min_depth,
+        }
+    }
+}
+
+/// Tabulates the permissible (μ, σ) design space for `spec`.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] when the yield target is outside `(0, 1)`
+/// or the sizes are not positive and ordered.
+pub fn design_space(spec: &DesignSpaceSpec) -> Result<DesignSpaceResult, EngineError> {
+    let ds = DesignSpace::new(spec.target_ps, spec.yield_target)
+        .map_err(|e| EngineError::new(format!("design space: {e}")))?;
+    if !(spec.min_size > 0.0 && spec.max_size >= spec.min_size) {
+        return Err(EngineError::new(
+            "design space: sizes must satisfy 0 < min_size <= max_size",
+        ));
+    }
+    if spec.stage_counts.contains(&0) {
+        return Err(EngineError::new("design space: stage counts must be > 0"));
+    }
+
+    let engine = SstaEngine::new(CellLibrary::default(), spec.variation.to_config(), None);
+    let unit = |size: f64| {
+        let d = engine.stage_delay(&inverter_chain(1, size), 0);
+        (d.mean(), d.sd())
+    };
+    let mut result = DesignSpaceResult {
+        spec: spec.clone(),
+        min_size_gate: unit(spec.min_size),
+        max_size_gate: unit(spec.max_size),
+        mu_floor_ps: 0.0,
+        rows: Vec::new(),
+    };
+    let region = result.region();
+    result.mu_floor_ps = region.mu_floor();
+
+    result.rows = spec
+        .mu_points_ps
+        .iter()
+        .map(|&mu| DesignSpaceRow {
+            mu_ps: mu,
+            relaxed_sigma_ps: ds.relaxed_sigma_bound(mu),
+            equality_sigma_ps: spec
+                .stage_counts
+                .iter()
+                .map(|&ns| ds.equality_sigma_bound(mu, ns))
+                .collect(),
+            realizable_lo_ps: region.max_size.sigma_at(mu),
+            realizable_hi_ps: region.min_size.sigma_at(mu),
+        })
+        .collect();
+
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_table_has_nested_bounds() {
+        let res = design_space(&DesignSpaceSpec::fig4()).unwrap();
+        assert_eq!(res.rows.len(), 12);
+        for row in &res.rows {
+            // Equality bounds tighten with Ns and sit under the relaxed one.
+            assert!(row.equality_sigma_ps[1] <= row.equality_sigma_ps[0] + 1e-12);
+            assert!(row.equality_sigma_ps[0] <= row.relaxed_sigma_ps + 1e-12);
+            // The realizable band is ordered.
+            assert!(row.realizable_lo_ps < row.realizable_hi_ps);
+        }
+        // Min-size gates are slower and more variable.
+        assert!(res.min_size_gate.0 > res.max_size_gate.0);
+        assert!(res.min_size_gate.1 > res.max_size_gate.1);
+        assert!(res
+            .region()
+            .contains(80.0, res.rows[9].realizable_lo_ps * 1.5));
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut bad = DesignSpaceSpec::fig4();
+        bad.yield_target = 1.5;
+        assert!(design_space(&bad).is_err());
+        let mut bad = DesignSpaceSpec::fig4();
+        bad.min_size = 8.0; // > max_size
+        assert!(design_space(&bad).is_err());
+        let mut bad = DesignSpaceSpec::fig4();
+        bad.stage_counts = vec![0];
+        assert!(design_space(&bad).is_err());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = DesignSpaceSpec::fig4();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: DesignSpaceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,63 @@
+//! # vardelay-engine — parallel scenario-sweep subsystem
+//!
+//! The paper (Datta et al., DATE 2005) is a design-space exploration:
+//! pipeline depth × sizing × correlation × variation level, with the
+//! analytic Clark/yield model validated against Monte-Carlo at every
+//! point. This crate is the batch execution layer that runs such
+//! explorations: the CLI's `sweep` subcommand, the figure/table
+//! binaries, and tests all drive it instead of hand-rolling loops.
+//!
+//! ## Pieces
+//!
+//! * [`spec`] — serializable [`Scenario`]/[`Sweep`] descriptions with
+//!   cartesian grid expansion and stable content-hash scenario IDs.
+//! * [`seed`] — counter-based per-trial seeding
+//!   (`hash(scenario_id, trial_index)`), making every trial's RNG
+//!   stream independent of scheduling.
+//! * [`run`] — the `std::thread` + channel worker pool with in-order
+//!   streaming aggregation of [`vardelay_mc::PipelineBlockStats`]
+//!   blocks.
+//! * [`result`] — serializable per-scenario/per-sweep results.
+//! * [`design_space`] — declarative §2.5 permissible-region sweeps.
+//!
+//! ## The determinism contract
+//!
+//! For a fixed sweep spec (including its `seed`), [`run::run_sweep`]
+//! produces **bit-identical** results at any worker count. Three
+//! mechanisms combine to guarantee it: content-hash scenario IDs,
+//! counter-based per-trial seeds, and merging fixed-size trial blocks
+//! strictly in block order (floating-point reduction is only
+//! reproducible when the fold tree is fixed, so the engine fixes it —
+//! see [`run::BLOCK_TRIALS`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use vardelay_engine::{run_sweep, Sweep, SweepOptions};
+//!
+//! let mut sweep = Sweep::example();
+//! // Keep the doctest quick: one scenario, a small trial budget.
+//! sweep.scenarios.truncate(1);
+//! sweep.grid = None;
+//! sweep.scenarios[0].trials = 200;
+//!
+//! let a = run_sweep(&sweep, &SweepOptions::sequential()).unwrap();
+//! let b = run_sweep(&sweep, &SweepOptions::sequential().with_workers(4)).unwrap();
+//! assert_eq!(a, b); // worker count never changes results
+//! assert_eq!(a.scenarios[0].mc.as_ref().unwrap().trials, 200);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod design_space;
+pub mod result;
+pub mod run;
+pub mod seed;
+pub mod spec;
+
+pub use design_space::{design_space, DesignSpaceResult, DesignSpaceSpec};
+pub use result::{McSummary, ScenarioResult, SweepResult};
+pub use run::{run_sweep, EngineError, SweepOptions};
+pub use seed::trial_seed;
+pub use spec::{GridSpec, LatchSpec, PipelineSpec, Scenario, StageMoments, Sweep, VariationSpec};

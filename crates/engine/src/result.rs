@@ -1,0 +1,162 @@
+//! Result containers emitted by the sweep runner.
+//!
+//! Everything here is plain serializable data. Results deliberately
+//! contain no wall-clock or host information, so a sweep's JSON output
+//! is **byte-identical** for any worker count — the engine's
+//! reproducibility contract (timing belongs on stderr, not in results).
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::Scenario;
+
+/// An analytic (closed-form) yield at one target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetYield {
+    /// Target delay (ps).
+    pub target_ps: f64,
+    /// `Pr{T_P <= target}` from the Gaussian model (eq. 9).
+    pub value: f64,
+}
+
+/// A Monte-Carlo yield estimate at one target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McYield {
+    /// Target delay (ps).
+    pub target_ps: f64,
+    /// Fraction of trials meeting the target.
+    pub value: f64,
+    /// Lower bound of the 95% Wilson interval.
+    pub lo: f64,
+    /// Upper bound of the 95% Wilson interval.
+    pub hi: f64,
+}
+
+/// The paper's analytic model (Clark max + Gaussian yield) evaluated
+/// for one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticSummary {
+    /// Pipeline delay mean (ps).
+    pub mean_ps: f64,
+    /// Pipeline delay standard deviation (ps).
+    pub sd_ps: f64,
+    /// σ/μ variability.
+    pub variability: f64,
+    /// Jensen lower bound on the mean (ps).
+    pub jensen_lower_bound_ps: f64,
+    /// Yield at each resolved target.
+    pub yields: Vec<TargetYield>,
+}
+
+/// Clark's model re-evaluated on *Monte-Carlo-measured* stage moments
+/// (the paper's §2.4 comparison, isolating the max-operator error from
+/// the stage-characterization error).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelFromMc {
+    /// Pipeline delay mean (ps).
+    pub mean_ps: f64,
+    /// Pipeline delay standard deviation (ps).
+    pub sd_ps: f64,
+    /// Yield at each resolved target.
+    pub yields: Vec<TargetYield>,
+}
+
+/// Monte-Carlo results for one scenario, streamed from block statistics
+/// (no samples retained).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McSummary {
+    /// Trials run.
+    pub trials: u64,
+    /// Pipeline delay mean (ps).
+    pub mean_ps: f64,
+    /// Pipeline delay sample standard deviation (ps).
+    pub sd_ps: f64,
+    /// σ/μ variability.
+    pub variability: f64,
+    /// Fastest observed pipeline delay (ps).
+    pub min_ps: f64,
+    /// Slowest observed pipeline delay (ps).
+    pub max_ps: f64,
+    /// Sample skewness of the pipeline delay (the Gaussian model's main
+    /// blind spot — the exact max is right-skewed).
+    pub skewness: f64,
+    /// Sample excess kurtosis.
+    pub excess_kurtosis: f64,
+    /// Per-stage empirical mean delays (ps).
+    pub stage_means: Vec<f64>,
+    /// Per-stage empirical delay standard deviations (ps).
+    pub stage_sds: Vec<f64>,
+    /// Monte-Carlo yield at each resolved target.
+    pub yields: Vec<McYield>,
+    /// Clark's model on the MC-measured stage moments, when they admit
+    /// it (all stage σ finite).
+    pub model_from_mc: Option<ModelFromMc>,
+}
+
+/// Everything computed for one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Content-hash scenario ID (hex), stable across runs and orderings.
+    pub id: String,
+    /// Scenario label.
+    pub label: String,
+    /// The input spec, echoed for self-describing results.
+    pub scenario: Scenario,
+    /// Resolved yield targets: explicit ones, then analytic-derived.
+    pub targets_ps: Vec<f64>,
+    /// The analytic model's results.
+    pub analytic: AnalyticSummary,
+    /// Monte-Carlo results (absent when `trials == 0`).
+    pub mc: Option<McSummary>,
+}
+
+/// Results of a whole sweep, in scenario order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Sweep name from the spec.
+    pub name: String,
+    /// Sweep seed from the spec.
+    pub seed: u64,
+    /// Per-scenario results, in expansion order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl SweepResult {
+    /// Serializes as pretty JSON (the `--out` file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("results are finite")
+    }
+
+    /// A compact fixed-width text summary, one scenario per row.
+    pub fn summary_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<34} {:>10} {:>9} {:>8} {:>10} {:>9} {:>8}",
+            "scenario", "model mu", "model sd", "yield%", "mc mu", "mc sd", "yield%"
+        );
+        for s in &self.scenarios {
+            let ay = s
+                .analytic
+                .yields
+                .first()
+                .map_or("-".to_owned(), |y| format!("{:.1}", 100.0 * y.value));
+            let (mc_mu, mc_sd, mc_y) = match &s.mc {
+                Some(mc) => (
+                    format!("{:.2}", mc.mean_ps),
+                    format!("{:.3}", mc.sd_ps),
+                    mc.yields
+                        .first()
+                        .map_or("-".to_owned(), |y| format!("{:.1}", 100.0 * y.value)),
+                ),
+                None => ("-".to_owned(), "-".to_owned(), "-".to_owned()),
+            };
+            let _ = writeln!(
+                out,
+                "{:<34} {:>10.2} {:>9.3} {:>8} {:>10} {:>9} {:>8}",
+                s.label, s.analytic.mean_ps, s.analytic.sd_ps, ay, mc_mu, mc_sd, mc_y
+            );
+        }
+        out
+    }
+}

@@ -1,0 +1,660 @@
+//! The sweep runner: scenario preparation, the worker pool, and
+//! streaming aggregation.
+//!
+//! ## Execution model
+//!
+//! A sweep expands to scenarios; each scenario's Monte-Carlo budget is
+//! chunked into fixed-size **trial blocks**. Blocks are the scheduling
+//! unit: a pool of `std::thread` workers pulls `(scenario, block)` work
+//! items from a shared cursor and sends finished
+//! [`PipelineBlockStats`] back over an `mpsc` channel. The main thread
+//! merges each scenario's blocks **in block order** the moment they
+//! become contiguous, so memory stays O(scenarios + in-flight blocks)
+//! and the merged moments are bit-identical to a sequential run
+//! regardless of worker count or arrival order.
+//!
+//! Per-trial RNG streams are counter-based (see [`crate::seed`]), so
+//! the chunking itself has no effect on any trial's randomness.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vardelay_circuit::{CellLibrary, StagedPipeline};
+use vardelay_core::{Pipeline, StageDelay};
+use vardelay_mc::{PipelineBlockStats, PipelineMc};
+use vardelay_ssta::SstaEngine;
+use vardelay_stats::{CorrelationMatrix, MultivariateNormal};
+
+use crate::result::{
+    AnalyticSummary, McSummary, McYield, ModelFromMc, ScenarioResult, SweepResult, TargetYield,
+};
+use crate::seed::trial_seed;
+use crate::spec::{PipelineSpec, Scenario, Sweep, VariationSpec};
+
+/// Sweep execution error: an invalid scenario spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError(String);
+
+impl EngineError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        EngineError(msg.into())
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Trials per scheduling block.
+///
+/// A fixed engine constant, deliberately **not** configurable: the
+/// block partition is part of the floating-point merge tree, so fixing
+/// it (together with in-order merging and counter-based seeds) is what
+/// makes results a pure function of the sweep spec. 256 trials is
+/// coarse enough to amortize dispatch and fine enough to load-balance
+/// scenarios of a few thousand trials across many workers.
+pub const BLOCK_TRIALS: u64 = 256;
+
+/// Per-scenario Monte-Carlo trial cap.
+///
+/// User JSON must fail softly, and the work-item list materializes one
+/// entry per [`BLOCK_TRIALS`] trials — an absurd trial count would
+/// abort on allocation long after days of compute. 100M trials
+/// (~400k work items) is orders of magnitude beyond the paper's
+/// budgets while keeping scheduling state negligible.
+pub const MAX_TRIALS: u64 = 100_000_000;
+
+/// Worker-pool configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Worker threads; 1 runs everything on the calling thread. Has no
+    /// effect on results, only on wall-clock time.
+    pub workers: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Sequential execution (the determinism baseline).
+    pub fn sequential() -> Self {
+        SweepOptions { workers: 1 }
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// How a prepared scenario's Monte-Carlo trials are generated.
+/// (Both variants boxed: one `McKind` exists per scenario, and keeping
+/// the enum a thin pointer keeps `Prepared` compact.)
+enum McKind {
+    /// Gate-level netlist trials through the full process sampler.
+    Netlist(Box<NetlistTrials>),
+    /// Joint-Gaussian stage-delay trials (moment-form scenarios).
+    Mvn(Box<MultivariateNormal>),
+}
+
+/// The pieces needed to run gate-level trials.
+struct NetlistTrials {
+    mc: PipelineMc,
+    staged: StagedPipeline,
+}
+
+/// A scenario with everything resolved and built, ready to execute.
+struct Prepared {
+    scenario: Scenario,
+    id: u64,
+    /// Explicit targets followed by analytic-derived ones.
+    targets: Vec<f64>,
+    /// The analytic pipeline model (SSTA- or moments-based).
+    analytic: Pipeline,
+    /// Stage correlation used for `model_from_mc`.
+    correlation: CorrelationMatrix,
+    stage_count: usize,
+    mc: Option<McKind>,
+}
+
+fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, EngineError> {
+    let label = &scenario.label;
+    // Validate before touching generators/process models (they assert on
+    // out-of-domain values, and user JSON must fail softly) and before
+    // hashing the scenario ID (serialization rejects non-finite floats).
+    scenario
+        .pipeline
+        .validate()
+        .map_err(|e| EngineError::new(format!("scenario '{label}': {e}")))?;
+    scenario
+        .variation
+        .validate()
+        .map_err(|e| EngineError::new(format!("scenario '{label}': variation: {e}")))?;
+    if scenario
+        .yield_targets
+        .iter()
+        .chain(&scenario.auto_target_sigmas)
+        .any(|t| !t.is_finite())
+    {
+        return Err(EngineError::new(format!(
+            "scenario '{label}': yield targets must be finite"
+        )));
+    }
+    // Moment-form stages already carry their total (μ, σ): the process
+    // model has nowhere to act, so a non-Nominal variation would be
+    // silently ignored — reject it instead.
+    if matches!(scenario.pipeline, PipelineSpec::Moments { .. })
+        && scenario.variation != VariationSpec::Nominal
+    {
+        return Err(EngineError::new(format!(
+            "scenario '{label}': Moments pipelines encode variation in their stage sigmas; \
+             set variation to Nominal"
+        )));
+    }
+    if scenario.trials > MAX_TRIALS {
+        return Err(EngineError::new(format!(
+            "scenario '{label}': trials {} exceeds the per-scenario cap of {MAX_TRIALS}",
+            scenario.trials
+        )));
+    }
+    let id = scenario.id(sweep_seed);
+    let variation = scenario.variation.to_config();
+
+    let (analytic, correlation, mc) = match &scenario.pipeline {
+        PipelineSpec::Moments { stages, rho } => {
+            let delays: Vec<StageDelay> = stages
+                .iter()
+                .map(|m| {
+                    StageDelay::from_moments(m.mu_ps, m.sigma_ps)
+                        .map_err(|e| EngineError::new(format!("scenario '{label}': {e}")))
+                })
+                .collect::<Result<_, _>>()?;
+            let pipe = Pipeline::equicorrelated(delays, *rho)
+                .map_err(|e| EngineError::new(format!("scenario '{label}': {e}")))?;
+            let corr = pipe.correlation().clone();
+            let mc = if scenario.trials > 0 {
+                let means: Vec<f64> = stages.iter().map(|m| m.mu_ps).collect();
+                let sds: Vec<f64> = stages.iter().map(|m| m.sigma_ps).collect();
+                let mvn =
+                    MultivariateNormal::from_correlation(&means, &sds, &corr).map_err(|e| {
+                        EngineError::new(format!(
+                            "scenario '{label}': moments not Monte-Carlo-samplable: {e}"
+                        ))
+                    })?;
+                Some(McKind::Mvn(Box::new(mvn)))
+            } else {
+                None
+            };
+            (pipe, corr, mc)
+        }
+        spec => {
+            let staged = spec
+                .build(label)
+                .expect("non-moment specs build a pipeline");
+            let engine = SstaEngine::new(CellLibrary::default(), variation, None);
+            let timing = engine.analyze_pipeline(&staged);
+            let delays: Vec<StageDelay> = timing
+                .stage_delays
+                .iter()
+                .map(|n| StageDelay::from_normal(*n))
+                .collect();
+            let pipe = Pipeline::new(delays, timing.correlation.clone())
+                .map_err(|e| EngineError::new(format!("scenario '{label}': {e}")))?;
+            let mc = (scenario.trials > 0).then(|| {
+                McKind::Netlist(Box::new(NetlistTrials {
+                    mc: PipelineMc::new(CellLibrary::default(), variation, None),
+                    staged,
+                }))
+            });
+            (pipe, timing.correlation, mc)
+        }
+    };
+
+    let d = analytic.delay_distribution();
+    let mut targets = scenario.yield_targets.clone();
+    targets.extend(
+        scenario
+            .auto_target_sigmas
+            .iter()
+            .map(|k| (d.mean() + k * d.sd()).round()),
+    );
+
+    Ok(Prepared {
+        stage_count: scenario.pipeline.stage_count(),
+        scenario,
+        id,
+        targets,
+        analytic,
+        correlation,
+        mc,
+    })
+}
+
+/// Runs one block of trials of one prepared scenario.
+fn run_block(p: &Prepared, trials: Range<u64>) -> PipelineBlockStats {
+    let mut stats = PipelineBlockStats::new(p.stage_count, &p.targets);
+    match p.mc.as_ref().expect("blocks only exist for MC scenarios") {
+        McKind::Netlist(n) => {
+            n.mc.run_block(&n.staged, trials, |t| trial_seed(p.id, t), &mut stats);
+        }
+        McKind::Mvn(mvn) => {
+            for t in trials {
+                let mut rng = StdRng::seed_from_u64(trial_seed(p.id, t));
+                let stages = mvn.sample(&mut rng);
+                let maxd = stages.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                stats.record(&stages, maxd);
+            }
+        }
+    }
+    stats
+}
+
+/// Merges blocks strictly in block order, buffering out-of-order
+/// arrivals — the streaming half of the determinism contract.
+struct InOrderMerger {
+    merged: Option<PipelineBlockStats>,
+    next_block: usize,
+    pending: BTreeMap<usize, PipelineBlockStats>,
+}
+
+impl InOrderMerger {
+    fn new() -> Self {
+        InOrderMerger {
+            merged: None,
+            next_block: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    fn offer(&mut self, block: usize, stats: PipelineBlockStats) {
+        self.pending.insert(block, stats);
+        while let Some(stats) = self.pending.remove(&self.next_block) {
+            match &mut self.merged {
+                None => self.merged = Some(stats),
+                Some(acc) => acc.merge(&stats),
+            }
+            self.next_block += 1;
+        }
+    }
+
+    fn finish(self) -> Option<PipelineBlockStats> {
+        assert!(self.pending.is_empty(), "missing blocks before finish");
+        self.merged
+    }
+}
+
+/// Executes a sweep and assembles per-scenario results.
+///
+/// Results are bit-identical for any `opts.workers` — the spec
+/// (including its seed) alone determines every number.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] naming the first invalid scenario.
+pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepResult, EngineError> {
+    let prepared: Vec<Prepared> = sweep
+        .expand()
+        .into_iter()
+        .map(|s| prepare(s, sweep.seed))
+        .collect::<Result<_, _>>()?;
+
+    let block = BLOCK_TRIALS;
+    struct Item {
+        scenario: usize,
+        block: usize,
+        trials: Range<u64>,
+    }
+    let mut items = Vec::new();
+    for (i, p) in prepared.iter().enumerate() {
+        if p.mc.is_some() {
+            let mut b = 0usize;
+            let mut start = 0u64;
+            while start < p.scenario.trials {
+                let end = (start + block).min(p.scenario.trials);
+                items.push(Item {
+                    scenario: i,
+                    block: b,
+                    trials: start..end,
+                });
+                b += 1;
+                start = end;
+            }
+        }
+    }
+
+    let mut mergers: Vec<InOrderMerger> = prepared.iter().map(|_| InOrderMerger::new()).collect();
+    let workers = opts.workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        for item in &items {
+            mergers[item.scenario].offer(
+                item.block,
+                run_block(&prepared[item.scenario], item.trials.clone()),
+            );
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, usize, PipelineBlockStats)>();
+        std::thread::scope(|scope| {
+            let items = &items;
+            let prepared = &prepared;
+            let cursor = &cursor;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(k) else { break };
+                    let stats = run_block(&prepared[item.scenario], item.trials.clone());
+                    if tx.send((item.scenario, item.block, stats)).is_err() {
+                        break; // receiver gone; nothing left to report
+                    }
+                });
+            }
+            drop(tx);
+            for (scenario, block, stats) in rx {
+                mergers[scenario].offer(block, stats);
+            }
+        });
+    }
+
+    let scenarios = prepared
+        .into_iter()
+        .zip(mergers)
+        .map(|(p, m)| finalize(p, m.finish()))
+        .collect();
+    Ok(SweepResult {
+        name: sweep.name.clone(),
+        seed: sweep.seed,
+        scenarios,
+    })
+}
+
+fn finalize(p: Prepared, stats: Option<PipelineBlockStats>) -> ScenarioResult {
+    let d = p.analytic.delay_distribution();
+    let analytic = AnalyticSummary {
+        mean_ps: d.mean(),
+        sd_ps: d.sd(),
+        variability: d.sd() / d.mean(),
+        jensen_lower_bound_ps: p.analytic.jensen_lower_bound(),
+        yields: p
+            .targets
+            .iter()
+            .map(|&t| TargetYield {
+                target_ps: t,
+                value: p.analytic.yield_at(t),
+            })
+            .collect(),
+    };
+
+    let mc = stats.map(|stats| {
+        let pd = stats.pipeline();
+        let stage_means: Vec<f64> = stats.stage_stats().iter().map(|s| s.mean()).collect();
+        let stage_sds: Vec<f64> = stats.stage_stats().iter().map(|s| s.sample_sd()).collect();
+        let model_from_mc =
+            build_model_from_mc(&stage_means, &stage_sds, &p.correlation, &p.targets);
+        McSummary {
+            trials: stats.trials(),
+            mean_ps: pd.mean(),
+            sd_ps: pd.sample_sd(),
+            variability: pd.variability(),
+            min_ps: pd.min(),
+            max_ps: pd.max(),
+            skewness: pd.skewness(),
+            excess_kurtosis: pd.excess_kurtosis(),
+            stage_means,
+            stage_sds,
+            yields: (0..p.targets.len())
+                .map(|i| {
+                    let y = stats.yield_estimate(i);
+                    McYield {
+                        target_ps: p.targets[i],
+                        value: y.value,
+                        lo: y.lo,
+                        hi: y.hi,
+                    }
+                })
+                .collect(),
+            model_from_mc,
+        }
+    });
+
+    ScenarioResult {
+        id: format!("{:016x}", p.id),
+        label: p.scenario.label.clone(),
+        scenario: p.scenario,
+        targets_ps: p.targets,
+        analytic,
+        mc,
+    }
+}
+
+fn build_model_from_mc(
+    means: &[f64],
+    sds: &[f64],
+    correlation: &CorrelationMatrix,
+    targets: &[f64],
+) -> Option<ModelFromMc> {
+    let stages: Vec<StageDelay> = means
+        .iter()
+        .zip(sds)
+        .map(|(&m, &s)| StageDelay::from_moments(m, s).ok())
+        .collect::<Option<_>>()?;
+    let pipe = Pipeline::new(stages, correlation.clone()).ok()?;
+    let d = pipe.delay_distribution();
+    Some(ModelFromMc {
+        mean_ps: d.mean(),
+        sd_ps: d.sd(),
+        yields: targets
+            .iter()
+            .map(|&t| TargetYield {
+                target_ps: t,
+                value: pipe.yield_at(t),
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{LatchSpec, PipelineSpec, StageMoments, VariationSpec};
+
+    fn tiny_sweep(trials: u64) -> Sweep {
+        Sweep {
+            name: "tiny".to_owned(),
+            seed: 11,
+            scenarios: vec![
+                Scenario {
+                    label: "moments".to_owned(),
+                    pipeline: PipelineSpec::Moments {
+                        stages: vec![
+                            StageMoments {
+                                mu_ps: 100.0,
+                                sigma_ps: 4.0,
+                            },
+                            StageMoments {
+                                mu_ps: 102.0,
+                                sigma_ps: 5.0,
+                            },
+                            StageMoments {
+                                mu_ps: 98.0,
+                                sigma_ps: 3.0,
+                            },
+                        ],
+                        rho: 0.3,
+                    },
+                    variation: VariationSpec::Nominal,
+                    trials,
+                    yield_targets: vec![110.0],
+                    auto_target_sigmas: vec![1.0],
+                },
+                Scenario {
+                    label: "grid".to_owned(),
+                    pipeline: PipelineSpec::InverterGrid {
+                        stages: 3,
+                        depth: 4,
+                        size: 1.0,
+                        latch: LatchSpec::Ideal,
+                    },
+                    variation: VariationSpec::RandomOnly { sigma_mv: 35.0 },
+                    trials,
+                    yield_targets: vec![],
+                    auto_target_sigmas: vec![1.2],
+                },
+            ],
+            grid: None,
+        }
+    }
+
+    #[test]
+    fn analytic_only_when_no_trials() {
+        let res = run_sweep(&tiny_sweep(0), &SweepOptions::sequential()).unwrap();
+        assert_eq!(res.scenarios.len(), 2);
+        for s in &res.scenarios {
+            assert!(s.mc.is_none());
+            assert!(s.analytic.mean_ps > 0.0);
+            assert_eq!(s.targets_ps.len(), s.analytic.yields.len());
+        }
+    }
+
+    #[test]
+    fn mc_tracks_analytic_model() {
+        let res = run_sweep(&tiny_sweep(4_000), &SweepOptions::default()).unwrap();
+        for s in &res.scenarios {
+            let mc = s.mc.as_ref().expect("trials requested");
+            assert_eq!(mc.trials, 4_000);
+            let rel = (mc.mean_ps - s.analytic.mean_ps).abs() / s.analytic.mean_ps;
+            assert!(
+                rel < 0.02,
+                "{}: MC mean {} vs model {}",
+                s.label,
+                mc.mean_ps,
+                s.analytic.mean_ps
+            );
+            let model = mc.model_from_mc.as_ref().expect("stage moments are valid");
+            assert!((model.mean_ps - mc.mean_ps).abs() / mc.mean_ps < 0.02);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        // 1000 trials > BLOCK_TRIALS, so the parallel runs genuinely
+        // interleave blocks of the same scenario across workers.
+        let sweep = tiny_sweep(1_000);
+        let seq = run_sweep(&sweep, &SweepOptions::sequential()).unwrap();
+        let par = run_sweep(&sweep, &SweepOptions { workers: 8 }).unwrap();
+        let odd = run_sweep(&sweep, &SweepOptions { workers: 3 }).unwrap();
+        assert_eq!(seq, par, "1 vs 8 workers");
+        assert_eq!(seq, odd, "1 vs 3 workers");
+    }
+
+    #[test]
+    fn auto_targets_resolve_from_the_analytic_model() {
+        let res = run_sweep(&tiny_sweep(0), &SweepOptions::sequential()).unwrap();
+        let s = &res.scenarios[0];
+        assert_eq!(s.targets_ps.len(), 2);
+        assert_eq!(s.targets_ps[0], 110.0);
+        let a = &s.analytic;
+        assert_eq!(s.targets_ps[1], (a.mean_ps + a.sd_ps).round());
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_with_context() {
+        let mut sweep = tiny_sweep(0);
+        sweep.scenarios[0].pipeline = PipelineSpec::Moments {
+            stages: vec![StageMoments {
+                mu_ps: 100.0,
+                sigma_ps: -1.0,
+            }],
+            rho: 0.0,
+        };
+        let err = run_sweep(&sweep, &SweepOptions::sequential()).unwrap_err();
+        assert!(err.to_string().contains("moments"), "{err}");
+    }
+
+    #[test]
+    fn out_of_domain_netlist_specs_error_instead_of_panicking() {
+        // The circuit generators and process model assert on these;
+        // user-supplied JSON must come back as EngineError instead.
+        let reject = |pipeline: Option<PipelineSpec>, variation: Option<VariationSpec>| {
+            let mut sweep = tiny_sweep(0);
+            if let Some(p) = pipeline {
+                sweep.scenarios[1].pipeline = p;
+            }
+            if let Some(v) = variation {
+                sweep.scenarios[1].variation = v;
+            }
+            let err = run_sweep(&sweep, &SweepOptions::sequential()).unwrap_err();
+            assert!(err.to_string().contains("grid"), "{err}");
+        };
+        let grid = |stages, depth, size| {
+            Some(PipelineSpec::InverterGrid {
+                stages,
+                depth,
+                size,
+                latch: LatchSpec::Ideal,
+            })
+        };
+        reject(grid(0, 4, 1.0), None);
+        reject(grid(3, 0, 1.0), None);
+        reject(grid(3, 4, 0.0), None);
+        reject(grid(3, 4, -2.0), None);
+        reject(grid(3, 4, f64::NAN), None);
+        reject(
+            Some(PipelineSpec::InverterStages {
+                depths: vec![3, 0],
+                size: 1.0,
+                latch: LatchSpec::Ideal,
+            }),
+            None,
+        );
+        reject(
+            Some(PipelineSpec::InverterStages {
+                depths: vec![],
+                size: 1.0,
+                latch: LatchSpec::Ideal,
+            }),
+            None,
+        );
+        reject(None, Some(VariationSpec::RandomOnly { sigma_mv: -5.0 }));
+        reject(
+            None,
+            Some(VariationSpec::Combined {
+                inter_mv: 20.0,
+                random_mv: 35.0,
+                systematic_mv: f64::NAN,
+            }),
+        );
+    }
+
+    #[test]
+    fn moments_with_non_nominal_variation_rejected() {
+        // The process model has nowhere to act on moment-form stages;
+        // silently ignoring the field would mislead users.
+        let mut sweep = tiny_sweep(0);
+        sweep.scenarios[0].variation = VariationSpec::RandomOnly { sigma_mv: 35.0 };
+        let err = run_sweep(&sweep, &SweepOptions::sequential()).unwrap_err();
+        assert!(err.to_string().contains("Nominal"), "{err}");
+    }
+
+    #[test]
+    fn absurd_trial_counts_rejected() {
+        let mut sweep = tiny_sweep(0);
+        sweep.scenarios[1].trials = MAX_TRIALS + 1;
+        let err = run_sweep(&sweep, &SweepOptions::sequential()).unwrap_err();
+        assert!(err.to_string().contains("cap"), "{err}");
+    }
+}

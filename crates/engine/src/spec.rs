@@ -1,0 +1,527 @@
+//! Serializable scenario and sweep specifications.
+//!
+//! A [`Scenario`] names one point of the paper's design space: a
+//! pipeline (by explicit stage moments or by netlist generator), a
+//! variation configuration, a Monte-Carlo trial budget, and the yield
+//! targets to evaluate. A [`Sweep`] is an explicit scenario list plus an
+//! optional cartesian [`GridSpec`] over stage count × logic depth ×
+//! sizing × variation — the paper's depth/sizing/correlation exploration
+//! (Figs. 4–6, Tables I–III) in one declarative file.
+
+use serde::{Deserialize, Serialize};
+use vardelay_circuit::generators::inverter_chain;
+use vardelay_circuit::{LatchParams, StagedPipeline};
+use vardelay_process::VariationConfig;
+
+use crate::seed::fnv1a64;
+
+/// A variation configuration in spec form (σVth components in mV).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VariationSpec {
+    /// No variation: every trial reproduces the nominal delay.
+    Nominal,
+    /// Random intra-die mismatch only.
+    RandomOnly {
+        /// σVth of the per-gate random component at minimum size (mV).
+        sigma_mv: f64,
+    },
+    /// Inter-die shift only (perfectly correlated stages).
+    InterOnly {
+        /// σVth of the shared die-to-die component (mV).
+        sigma_mv: f64,
+    },
+    /// Inter-die + random + systematic (spatially correlated) components.
+    Combined {
+        /// Inter-die σVth (mV).
+        inter_mv: f64,
+        /// Random intra-die σVth at minimum size (mV).
+        random_mv: f64,
+        /// Systematic (spatially correlated) σVth (mV).
+        systematic_mv: f64,
+    },
+}
+
+impl VariationSpec {
+    /// The process-model configuration this spec describes.
+    pub fn to_config(self) -> VariationConfig {
+        match self {
+            VariationSpec::Nominal => VariationConfig::none(),
+            VariationSpec::RandomOnly { sigma_mv } => VariationConfig::random_only(sigma_mv),
+            VariationSpec::InterOnly { sigma_mv } => VariationConfig::inter_only(sigma_mv),
+            VariationSpec::Combined {
+                inter_mv,
+                random_mv,
+                systematic_mv,
+            } => VariationConfig::combined(inter_mv, random_mv, systematic_mv),
+        }
+    }
+
+    /// Checks the spec is in-domain (the process model asserts on
+    /// negative sigmas; user-supplied JSON must fail softly instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending component.
+    pub fn validate(self) -> Result<(), String> {
+        let check = |name: &str, v: f64| {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{name} sigma must be finite and non-negative, got {v} mV"
+                ))
+            }
+        };
+        match self {
+            VariationSpec::Nominal => Ok(()),
+            VariationSpec::RandomOnly { sigma_mv } => check("random", sigma_mv),
+            VariationSpec::InterOnly { sigma_mv } => check("inter-die", sigma_mv),
+            VariationSpec::Combined {
+                inter_mv,
+                random_mv,
+                systematic_mv,
+            } => {
+                check("inter-die", inter_mv)?;
+                check("random", random_mv)?;
+                check("systematic", systematic_mv)
+            }
+        }
+    }
+
+    /// Short human-readable description.
+    pub fn label(self) -> String {
+        match self {
+            VariationSpec::Nominal => "nominal".to_owned(),
+            VariationSpec::RandomOnly { sigma_mv } => format!("rand {sigma_mv}mV"),
+            VariationSpec::InterOnly { sigma_mv } => format!("inter {sigma_mv}mV"),
+            VariationSpec::Combined {
+                inter_mv,
+                random_mv,
+                systematic_mv,
+            } => format!("inter {inter_mv}mV + rand {random_mv}mV + sys {systematic_mv}mV"),
+        }
+    }
+}
+
+/// Latch (flip-flop) selection for generated pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatchSpec {
+    /// Zero-overhead latches: pipeline delay is the pure logic max.
+    Ideal,
+    /// The paper's transmission-gate master–slave flip-flop.
+    TgMsff70nm,
+}
+
+impl LatchSpec {
+    /// The circuit-model latch parameters.
+    pub fn to_params(self) -> LatchParams {
+        match self {
+            LatchSpec::Ideal => LatchParams::ideal(),
+            LatchSpec::TgMsff70nm => LatchParams::tg_msff_70nm(),
+        }
+    }
+}
+
+/// Explicit per-stage delay moments (ps).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageMoments {
+    /// Stage mean delay (ps).
+    pub mu_ps: f64,
+    /// Stage delay standard deviation (ps).
+    pub sigma_ps: f64,
+}
+
+/// How a scenario's pipeline is obtained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PipelineSpec {
+    /// Abstract stages given directly as `(μ, σ)` with an equicorrelated
+    /// stage correlation — the paper's eq. 4–9 model inputs. Monte-Carlo
+    /// trials sample the joint Gaussian stage-delay vector. Because the
+    /// moments already encode all variation, the scenario's `variation`
+    /// must be [`VariationSpec::Nominal`] (the engine rejects anything
+    /// else rather than silently ignore it).
+    Moments {
+        /// Per-stage delay moments.
+        stages: Vec<StageMoments>,
+        /// Pairwise stage correlation ρ.
+        rho: f64,
+    },
+    /// An `stages × depth` grid of equal inverter-chain stages, timed at
+    /// gate level (SSTA for the model, netlist Monte-Carlo for trials).
+    InverterGrid {
+        /// Number of pipeline stages `N_S`.
+        stages: usize,
+        /// Logic depth `N_L` of every stage.
+        depth: usize,
+        /// Inverter drive strength (multiple of minimum size).
+        size: f64,
+        /// Latch selection.
+        latch: LatchSpec,
+    },
+    /// Inverter-chain stages with individual logic depths.
+    InverterStages {
+        /// Logic depth of each stage, in order.
+        depths: Vec<usize>,
+        /// Inverter drive strength (multiple of minimum size).
+        size: f64,
+        /// Latch selection.
+        latch: LatchSpec,
+    },
+}
+
+impl PipelineSpec {
+    /// Number of pipeline stages.
+    pub fn stage_count(&self) -> usize {
+        match self {
+            PipelineSpec::Moments { stages, .. } => stages.len(),
+            PipelineSpec::InverterGrid { stages, .. } => *stages,
+            PipelineSpec::InverterStages { depths, .. } => depths.len(),
+        }
+    }
+
+    /// Checks the spec is in-domain before any generator runs (the
+    /// circuit generators assert on zero stages/depths and non-positive
+    /// sizes; user-supplied JSON must fail softly instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        let check_size = |size: f64| {
+            if size.is_finite() && size > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("size must be finite and positive, got {size}"))
+            }
+        };
+        match self {
+            PipelineSpec::Moments { stages, rho } => {
+                if stages.is_empty() {
+                    return Err("at least one stage is required".to_owned());
+                }
+                for (i, m) in stages.iter().enumerate() {
+                    if !m.mu_ps.is_finite() || !m.sigma_ps.is_finite() || m.sigma_ps < 0.0 {
+                        return Err(format!(
+                            "stage {i} moments must be finite with sigma >= 0, got ({}, {})",
+                            m.mu_ps, m.sigma_ps
+                        ));
+                    }
+                }
+                if !rho.is_finite() {
+                    return Err(format!("rho must be finite, got {rho}"));
+                }
+                Ok(())
+            }
+            PipelineSpec::InverterGrid {
+                stages,
+                depth,
+                size,
+                ..
+            } => {
+                if *stages == 0 || *depth == 0 {
+                    return Err(format!(
+                        "stages and depth must be positive, got {stages}x{depth}"
+                    ));
+                }
+                check_size(*size)
+            }
+            PipelineSpec::InverterStages { depths, size, .. } => {
+                if depths.is_empty() {
+                    return Err("at least one stage is required".to_owned());
+                }
+                if depths.contains(&0) {
+                    return Err("all stage depths must be positive".to_owned());
+                }
+                check_size(*size)
+            }
+        }
+    }
+
+    /// Builds the gate-level pipeline, or `None` for moment-form specs.
+    pub fn build(&self, name: &str) -> Option<StagedPipeline> {
+        match self {
+            PipelineSpec::Moments { .. } => None,
+            PipelineSpec::InverterGrid {
+                stages,
+                depth,
+                size,
+                latch,
+            } => Some(StagedPipeline::inverter_grid(
+                *stages,
+                *depth,
+                *size,
+                latch.to_params(),
+            )),
+            PipelineSpec::InverterStages {
+                depths,
+                size,
+                latch,
+            } => Some(StagedPipeline::new(
+                name,
+                depths.iter().map(|&nl| inverter_chain(nl, *size)).collect(),
+                latch.to_params(),
+            )),
+        }
+    }
+}
+
+/// One point of the sweep: pipeline × variation × trial budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Display label (also part of the scenario's content hash).
+    pub label: String,
+    /// Pipeline construction.
+    pub pipeline: PipelineSpec,
+    /// Process-variation configuration.
+    pub variation: VariationSpec,
+    /// Monte-Carlo trials; `0` evaluates the analytic model only.
+    pub trials: u64,
+    /// Absolute yield targets (ps).
+    pub yield_targets: Vec<f64>,
+    /// Additional targets derived from the analytic model as
+    /// `round(μ + k·σ)` for each listed `k` — the paper's practice of
+    /// placing targets in the upper body of the distribution.
+    pub auto_target_sigmas: Vec<f64>,
+}
+
+impl Scenario {
+    /// The scenario's stable content hash under a sweep seed.
+    ///
+    /// Hashes the serialized spec, so any change to any field (or to the
+    /// sweep seed) changes every per-trial RNG stream, while re-ordering
+    /// scenarios inside the sweep changes nothing.
+    pub fn id(&self, sweep_seed: u64) -> u64 {
+        let json = serde_json::to_string(self).expect("scenario specs are finite");
+        fnv1a64(json.as_bytes()) ^ sweep_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+/// Cartesian scenario grid: stage counts × logic depths × sizes ×
+/// variations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Pipeline stage counts `N_S` to sweep.
+    pub stage_counts: Vec<usize>,
+    /// Per-stage logic depths `N_L` to sweep.
+    pub logic_depths: Vec<usize>,
+    /// Inverter drive strengths to sweep.
+    pub sizes: Vec<f64>,
+    /// Variation configurations to sweep.
+    pub variations: Vec<VariationSpec>,
+    /// Latch used by every generated pipeline.
+    pub latch: LatchSpec,
+    /// Monte-Carlo trials per scenario; `0` for analytic-only.
+    pub trials: u64,
+    /// Absolute yield targets (ps) evaluated for every scenario.
+    pub yield_targets: Vec<f64>,
+    /// Analytic-derived targets (see [`Scenario::auto_target_sigmas`]).
+    pub auto_target_sigmas: Vec<f64>,
+}
+
+impl GridSpec {
+    /// Expands the grid into concrete scenarios, in row-major order
+    /// (stage count, then depth, then size, then variation).
+    pub fn expand(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for &ns in &self.stage_counts {
+            for &nl in &self.logic_depths {
+                for &size in &self.sizes {
+                    for &variation in &self.variations {
+                        out.push(Scenario {
+                            label: format!("{ns}x{nl} s{size} {}", variation.label()),
+                            pipeline: PipelineSpec::InverterGrid {
+                                stages: ns,
+                                depth: nl,
+                                size,
+                                latch: self.latch,
+                            },
+                            variation,
+                            trials: self.trials,
+                            yield_targets: self.yield_targets.clone(),
+                            auto_target_sigmas: self.auto_target_sigmas.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A full sweep: explicit scenarios plus an optional grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sweep {
+    /// Sweep name (reported in results).
+    pub name: String,
+    /// Base seed namespacing every scenario's RNG streams.
+    pub seed: u64,
+    /// Explicit scenarios, evaluated first.
+    pub scenarios: Vec<Scenario>,
+    /// Grid expansion appended after the explicit list.
+    pub grid: Option<GridSpec>,
+}
+
+impl Sweep {
+    /// All scenarios: the explicit list followed by the grid expansion.
+    pub fn expand(&self) -> Vec<Scenario> {
+        let mut out = self.scenarios.clone();
+        if let Some(grid) = &self.grid {
+            out.extend(grid.expand());
+        }
+        out
+    }
+
+    /// Parses a sweep spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse/shape error.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serializes the spec as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep specs are finite")
+    }
+
+    /// A ready-to-run example spec: a 3×3 depth-vs-stage-count grid under
+    /// two variation mixes (18 scenarios) plus two explicit scenarios —
+    /// one moment-form, one variable-depth.
+    pub fn example() -> Self {
+        Sweep {
+            name: "example".to_owned(),
+            seed: 7,
+            scenarios: vec![
+                Scenario {
+                    label: "moments 5-stage rho 0.3".to_owned(),
+                    pipeline: PipelineSpec::Moments {
+                        stages: vec![
+                            StageMoments {
+                                mu_ps: 180.0,
+                                sigma_ps: 6.0,
+                            },
+                            StageMoments {
+                                mu_ps: 200.0,
+                                sigma_ps: 8.0,
+                            },
+                            StageMoments {
+                                mu_ps: 195.0,
+                                sigma_ps: 7.0,
+                            },
+                            StageMoments {
+                                mu_ps: 188.0,
+                                sigma_ps: 6.5,
+                            },
+                            StageMoments {
+                                mu_ps: 192.0,
+                                sigma_ps: 7.5,
+                            },
+                        ],
+                        rho: 0.3,
+                    },
+                    variation: VariationSpec::Nominal,
+                    trials: 4_000,
+                    yield_targets: vec![215.0],
+                    auto_target_sigmas: vec![1.2],
+                },
+                Scenario {
+                    label: "5xvar".to_owned(),
+                    pipeline: PipelineSpec::InverterStages {
+                        depths: vec![6, 8, 7, 9, 8],
+                        size: 1.0,
+                        latch: LatchSpec::TgMsff70nm,
+                    },
+                    variation: VariationSpec::RandomOnly { sigma_mv: 35.0 },
+                    trials: 2_000,
+                    yield_targets: vec![],
+                    auto_target_sigmas: vec![1.2],
+                },
+            ],
+            grid: Some(GridSpec {
+                stage_counts: vec![4, 5, 8],
+                logic_depths: vec![5, 8, 12],
+                sizes: vec![1.0],
+                variations: vec![
+                    VariationSpec::RandomOnly { sigma_mv: 35.0 },
+                    VariationSpec::Combined {
+                        inter_mv: 20.0,
+                        random_mv: 35.0,
+                        systematic_mv: 15.0,
+                    },
+                ],
+                latch: LatchSpec::TgMsff70nm,
+                trials: 2_000,
+                yield_targets: vec![],
+                auto_target_sigmas: vec![1.2],
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let sweep = Sweep::example();
+        let json = sweep.to_json();
+        let back = Sweep::from_json(&json).unwrap();
+        assert_eq!(sweep, back);
+    }
+
+    #[test]
+    fn grid_expansion_counts_and_order() {
+        let sweep = Sweep::example();
+        let scenarios = sweep.expand();
+        // 2 explicit + 3 stage counts x 3 depths x 1 size x 2 variations.
+        assert_eq!(scenarios.len(), 2 + 18);
+        assert_eq!(scenarios[0].label, "moments 5-stage rho 0.3");
+        assert!(scenarios[2].label.starts_with("4x5"));
+        assert!(scenarios[19].label.starts_with("8x12"));
+    }
+
+    #[test]
+    fn ids_depend_on_content_and_seed_not_position() {
+        let sweep = Sweep::example();
+        let scenarios = sweep.expand();
+        let a = scenarios[2].id(sweep.seed);
+        assert_eq!(a, scenarios[2].clone().id(sweep.seed), "stable");
+        assert_ne!(a, scenarios[3].id(sweep.seed), "content-sensitive");
+        assert_ne!(a, scenarios[2].id(sweep.seed + 1), "seed-namespaced");
+        let mut tweaked = scenarios[2].clone();
+        tweaked.trials += 1;
+        assert_ne!(a, tweaked.id(sweep.seed));
+    }
+
+    #[test]
+    fn pipelines_build_to_spec() {
+        let p = PipelineSpec::InverterGrid {
+            stages: 3,
+            depth: 7,
+            size: 2.0,
+            latch: LatchSpec::Ideal,
+        };
+        let built = p.build("t").unwrap();
+        assert_eq!(built.stage_count(), 3);
+        assert_eq!(built.total_gates(), 21);
+        assert_eq!(p.stage_count(), 3);
+
+        let v = PipelineSpec::InverterStages {
+            depths: vec![2, 4],
+            size: 1.0,
+            latch: LatchSpec::Ideal,
+        };
+        assert_eq!(v.build("t").unwrap().total_gates(), 6);
+
+        let m = PipelineSpec::Moments {
+            stages: vec![StageMoments {
+                mu_ps: 100.0,
+                sigma_ps: 5.0,
+            }],
+            rho: 0.0,
+        };
+        assert!(m.build("t").is_none());
+    }
+}

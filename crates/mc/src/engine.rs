@@ -71,7 +71,11 @@ impl NetlistMc {
         die: &vardelay_process::DieSample,
         rng: &mut StdRng,
     ) -> f64 {
-        let shared = die.shared_dvth(if die.region_dvth.is_empty() { 0 } else { region });
+        let shared = die.shared_dvth(if die.region_dvth.is_empty() {
+            0
+        } else {
+            region
+        });
         let slowdown: Vec<f64> = netlist
             .gates()
             .iter()
@@ -112,7 +116,9 @@ impl NetlistMc {
             let mut handles = Vec::new();
             for w in 0..threads {
                 let n = chunk + usize::from(w < rem);
-                let seed = config.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
+                let seed = config
+                    .seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
                 handles.push(scope.spawn(move |_| {
                     let mut rng = StdRng::seed_from_u64(seed);
                     (0..n)

@@ -37,4 +37,4 @@ pub mod results;
 
 pub use engine::NetlistMc;
 pub use pipeline_mc::{PipelineMc, PipelineMcResult};
-pub use results::{McConfig, McResult, YieldEstimate};
+pub use results::{McConfig, McResult, PipelineBlockStats, YieldEstimate};

@@ -10,7 +10,7 @@ use vardelay_stats::normal::sample_standard_normal;
 use vardelay_stats::RunningStats;
 
 use crate::engine::NetlistMc;
-use crate::results::{McConfig, McResult};
+use crate::results::{McConfig, McResult, PipelineBlockStats};
 
 /// Results of a pipeline Monte-Carlo campaign.
 #[derive(Debug, Clone)]
@@ -80,13 +80,36 @@ impl PipelineMc {
         for (stage, pos) in pipeline.stages().iter().zip(pipeline.positions()) {
             let region = self.inner.sampler().region_of(*pos);
             let comb = self.inner.sample_delay_on_die(stage, region, &die, rng);
-            let overhead = latch.overhead_ps()
-                + latch.overhead_sigma_ps() * sample_standard_normal(rng);
+            let overhead =
+                latch.overhead_ps() + latch.overhead_sigma_ps() * sample_standard_normal(rng);
             let sd = comb + overhead;
             max_d = max_d.max(sd);
             stage_delays.push(sd);
         }
         (stage_delays, max_d)
+    }
+
+    /// Runs trials `trials.start..trials.end` of a campaign whose
+    /// per-trial RNG streams are defined by `seed_of(trial_index)`,
+    /// folding each trial into `stats`.
+    ///
+    /// Every trial gets a fresh [`StdRng`] from its own seed, so each
+    /// trial's *samples* are identical however the campaign's trial
+    /// range is split into blocks; with a fixed block partition and
+    /// in-order merging this is what gives the sweep engine's worker
+    /// pool worker-count-independent output.
+    pub fn run_block(
+        &self,
+        pipeline: &StagedPipeline,
+        trials: std::ops::Range<u64>,
+        seed_of: impl Fn(u64) -> u64,
+        stats: &mut PipelineBlockStats,
+    ) {
+        for t in trials {
+            let mut rng = StdRng::seed_from_u64(seed_of(t));
+            let (stages, maxd) = self.sample_trial(pipeline, &mut rng);
+            stats.record(&stages, maxd);
+        }
     }
 
     /// Runs a full campaign.
@@ -180,8 +203,7 @@ mod tests {
         // The end-to-end validation of §2.4 in miniature: analytic stage
         // moments + Clark max vs full Monte-Carlo.
         let var = VariationConfig::random_only(35.0);
-        let mc =
-            PipelineMc::new(CellLibrary::default(), var, None).with_output_load(3.0);
+        let mc = PipelineMc::new(CellLibrary::default(), var, None).with_output_load(3.0);
         let p = pipe(5, 8);
         let res = mc.run(&p, &McConfig::quick(20_000, 13));
 

@@ -89,6 +89,106 @@ impl YieldEstimate {
     }
 }
 
+/// Streaming statistics of a block of pipeline Monte-Carlo trials —
+/// the unit of work the sweep engine fans out across workers.
+///
+/// Unlike [`McResult`] no samples are retained, so a block is O(stages)
+/// memory regardless of trial count and cheap to send between threads.
+/// [`PipelineBlockStats::merge`] combines disjoint blocks. Merging is
+/// deterministic for a fixed merge tree (same partition, same order),
+/// which is the property the sweep engine's reproducibility relies on;
+/// a different partition agrees only to floating-point accuracy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineBlockStats {
+    pipeline: RunningStats,
+    stage_stats: Vec<RunningStats>,
+    targets: Vec<f64>,
+    successes: Vec<u64>,
+}
+
+impl PipelineBlockStats {
+    /// An empty accumulator for a pipeline with `stages` stages and
+    /// yield counted at each of `targets` (ps).
+    pub fn new(stages: usize, targets: &[f64]) -> Self {
+        PipelineBlockStats {
+            pipeline: RunningStats::new(),
+            stage_stats: vec![RunningStats::new(); stages],
+            targets: targets.to_vec(),
+            successes: vec![0; targets.len()],
+        }
+    }
+
+    /// Folds one trial into the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage_delays` has the wrong length.
+    pub fn record(&mut self, stage_delays: &[f64], pipeline_delay: f64) {
+        assert_eq!(
+            stage_delays.len(),
+            self.stage_stats.len(),
+            "stage count mismatch"
+        );
+        self.pipeline.push(pipeline_delay);
+        for (acc, &d) in self.stage_stats.iter_mut().zip(stage_delays) {
+            acc.push(d);
+        }
+        for (ok, &t) in self.successes.iter_mut().zip(&self.targets) {
+            *ok += u64::from(pipeline_delay <= t);
+        }
+    }
+
+    /// Merges a block of later trials into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks have different stage counts or targets.
+    pub fn merge(&mut self, other: &PipelineBlockStats) {
+        assert_eq!(
+            self.stage_stats.len(),
+            other.stage_stats.len(),
+            "stage count mismatch"
+        );
+        assert_eq!(self.targets, other.targets, "target mismatch");
+        self.pipeline.merge(&other.pipeline);
+        for (acc, s) in self.stage_stats.iter_mut().zip(&other.stage_stats) {
+            acc.merge(s);
+        }
+        for (acc, s) in self.successes.iter_mut().zip(&other.successes) {
+            *acc += s;
+        }
+    }
+
+    /// Number of recorded trials.
+    pub fn trials(&self) -> u64 {
+        self.pipeline.count()
+    }
+
+    /// Streaming statistics of the pipeline delay `max_i SD_i`.
+    pub fn pipeline(&self) -> &RunningStats {
+        &self.pipeline
+    }
+
+    /// Streaming statistics of each stage delay.
+    pub fn stage_stats(&self) -> &[RunningStats] {
+        &self.stage_stats
+    }
+
+    /// The yield targets (ps) counted during recording.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Yield estimate (with Wilson interval) at target index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or no trials were recorded.
+    pub fn yield_estimate(&self, i: usize) -> YieldEstimate {
+        YieldEstimate::from_counts(self.successes[i] as usize, self.trials() as usize)
+    }
+}
+
 /// Samples plus derived statistics from a Monte-Carlo run.
 #[derive(Debug, Clone)]
 pub struct McResult {
@@ -111,6 +211,19 @@ impl McResult {
     /// The raw samples.
     pub fn samples(&self) -> &[f64] {
         &self.samples
+    }
+
+    /// Merges another result into this one (parallel reduction).
+    ///
+    /// Samples are concatenated in call order and the streaming moments
+    /// are combined with Pébay's pairwise formulas. The merged moments
+    /// agree with a single sequential pass to floating-point accuracy
+    /// (~1e-13 relative), and folding partials in a *fixed* order is
+    /// exactly reproducible — which is why the sweep engine fixes both
+    /// its block size and its merge order.
+    pub fn merge(&mut self, other: &McResult) {
+        self.samples.extend_from_slice(&other.samples);
+        self.stats.merge(&other.stats);
     }
 
     /// Streaming moments (mean, sd, min, max).

@@ -269,15 +269,13 @@ impl GlobalPipelineOptimizer {
             // which is the granularity the trade needs (a 1% delay step
             // would be several sigma and overshoot wildly).
             let base_budget = target_ps - latch_overhead;
-            let sigma_frac =
-                |si: usize| 0.5 * timing.stage_delays[si].sd() / base_budget;
+            let sigma_frac = |si: usize| 0.5 * timing.stage_delays[si].sd() / base_budget;
             if y < yield_target {
                 // Tighten the cheapest-delay stages (low R) first.
                 for &si in order.iter().take(ns.div_ceil(2)) {
                     scale[si] = (scale[si] - sigma_frac(si)).max(0.8);
                 }
-            } else if goal == OptimizationGoal::MinimizeArea
-                && y > yield_target + self.yield_margin
+            } else if goal == OptimizationGoal::MinimizeArea && y > yield_target + self.yield_margin
             {
                 // The §3.2 exchange: relax the single most-expensive-delay
                 // stage (highest R — most area back per yield point) while
@@ -295,8 +293,7 @@ impl GlobalPipelineOptimizer {
             }
         }
 
-        let (final_pipe, final_yield, _) =
-            best.expect("at least one round always runs");
+        let (final_pipe, final_yield, _) = best.expect("at least one round always runs");
         let timing_f = engine.analyze_pipeline(&final_pipe);
         let areas_f = final_pipe.stage_areas();
 

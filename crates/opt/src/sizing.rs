@@ -416,7 +416,11 @@ mod tests {
         // Ask for 10% faster than the min-size nominal at 90% yield.
         let target = d0.mean() * 0.9;
         let res = s.size_stage(&n, 0, target, 0.9);
-        assert!(res.met, "stat delay {} vs target {}", res.stat_delay_ps, target);
+        assert!(
+            res.met,
+            "stat delay {} vs target {}",
+            res.stat_delay_ps, target
+        );
         assert!(res.moves > 0, "must have upsized");
         assert!(res.area > 0.0);
     }

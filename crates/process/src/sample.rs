@@ -65,9 +65,7 @@ impl ProcessSampler {
     /// uses a default 4x4 grid.
     pub fn new(variation: VariationConfig, grid: Option<SpatialGrid>) -> Self {
         let grid = if variation.has_systematic() {
-            Some(grid.unwrap_or_else(|| {
-                SpatialGrid::new(4, 4, variation.correlation_length())
-            }))
+            Some(grid.unwrap_or_else(|| SpatialGrid::new(4, 4, variation.correlation_length())))
         } else {
             grid
         };
@@ -176,7 +174,11 @@ mod tests {
         let stats: RunningStats = (0..50_000)
             .map(|_| s.sample_die(&mut rng).global_dvth)
             .collect();
-        assert!((stats.sample_sd() - 0.040).abs() < 0.001, "{}", stats.sample_sd());
+        assert!(
+            (stats.sample_sd() - 0.040).abs() < 0.001,
+            "{}",
+            stats.sample_sd()
+        );
         assert!(stats.mean().abs() < 0.001);
     }
 

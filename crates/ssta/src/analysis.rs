@@ -198,13 +198,7 @@ impl SstaEngine {
     /// # Panics
     ///
     /// See [`Self::stage_min_delay`].
-    pub fn hold_yield(
-        &self,
-        netlist: &Netlist,
-        region: usize,
-        tcq_ps: f64,
-        t_hold_ps: f64,
-    ) -> f64 {
+    pub fn hold_yield(&self, netlist: &Netlist, region: usize, tcq_ps: f64, t_hold_ps: f64) -> f64 {
         let min_d = self.stage_min_delay(netlist, region);
         // Pr{tcq + min_delay >= t_hold}.
         1.0 - min_d.cdf(t_hold_ps - tcq_ps)
@@ -285,14 +279,15 @@ mod tests {
         let e = engine(VariationConfig::inter_only(40.0));
         let v10 = e.stage_delay(&inverter_chain(10, 1.0), 0).variability();
         let v40 = e.stage_delay(&inverter_chain(40, 1.0), 0).variability();
-        assert!((v40 - v10).abs() < 1e-9 * v10.max(1.0), "v10={v10} v40={v40}");
+        assert!(
+            (v40 - v10).abs() < 1e-9 * v10.max(1.0),
+            "v10={v10} v40={v40}"
+        );
     }
 
     #[test]
     fn pipeline_correlation_matches_variation_mode() {
-        let stages = |_n: usize| {
-            StagedPipeline::inverter_grid(4, 8, 1.0, LatchParams::ideal())
-        };
+        let stages = |_n: usize| StagedPipeline::inverter_grid(4, 8, 1.0, LatchParams::ideal());
         // Random-only: stages independent.
         let t = engine(VariationConfig::random_only(35.0)).analyze_pipeline(&stages(4));
         assert!(t.correlation.get(0, 1).abs() < 1e-12);
@@ -336,7 +331,12 @@ mod tests {
         let n = random_logic(&RandomLogicConfig::new("hold", 41));
         let mn = e.stage_min_delay(&n, 0);
         let mx = e.stage_delay(&n, 0);
-        assert!(mn.mean() < mx.mean(), "min {} !< max {}", mn.mean(), mx.mean());
+        assert!(
+            mn.mean() < mx.mean(),
+            "min {} !< max {}",
+            mn.mean(),
+            mx.mean()
+        );
         assert!(mn.mean() > 0.0);
     }
 

@@ -199,11 +199,7 @@ pub fn max_of(vars: &[Normal], corr: &CorrelationMatrix) -> Normal {
 ///
 /// Panics if `vars` is empty, the correlation dimension differs, or
 /// `order` is not a permutation of `0..vars.len()`.
-pub fn max_of_with_order(
-    vars: &[Normal],
-    corr: &CorrelationMatrix,
-    order: &[usize],
-) -> Normal {
+pub fn max_of_with_order(vars: &[Normal], corr: &CorrelationMatrix, order: &[usize]) -> Normal {
     assert!(!vars.is_empty(), "max_of requires at least one variable");
     assert_eq!(
         vars.len(),

@@ -51,8 +51,7 @@ impl RunningStats {
         let delta_n2 = delta_n * delta_n;
         let term1 = delta * delta_n * n1;
         self.mean += delta_n;
-        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
-            + 6.0 * delta_n2 * self.m2
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
             - 4.0 * delta_n * self.m3;
         self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
         self.m2 += term1;
@@ -389,7 +388,9 @@ mod tests {
 
     #[test]
     fn welford_matches_two_pass() {
-        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.731).sin() * 10.0 + 5.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.731).sin() * 10.0 + 5.0)
+            .collect();
         let s: RunningStats = xs.iter().copied().collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0);
@@ -427,7 +428,11 @@ mod tests {
         let m4 = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n;
         let skew = m3 / m2.powf(1.5);
         let kurt = m4 / (m2 * m2) - 3.0;
-        assert!((s.skewness() - skew).abs() < 1e-9, "{} vs {skew}", s.skewness());
+        assert!(
+            (s.skewness() - skew).abs() < 1e-9,
+            "{} vs {skew}",
+            s.skewness()
+        );
         assert!(
             (s.excess_kurtosis() - kurt).abs() < 1e-9,
             "{} vs {kurt}",
@@ -455,7 +460,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         let s: RunningStats = d.sample_n(&mut rng, 100_000).into_iter().collect();
         assert!(s.skewness().abs() < 0.03, "skew {}", s.skewness());
-        assert!(s.excess_kurtosis().abs() < 0.06, "kurt {}", s.excess_kurtosis());
+        assert!(
+            s.excess_kurtosis().abs() < 0.06,
+            "kurt {}",
+            s.excess_kurtosis()
+        );
     }
 
     #[test]

@@ -281,11 +281,7 @@ mod tests {
     #[test]
     fn cholesky_reconstructs() {
         // A = B B^T for random-ish B is SPD.
-        let a = SymMatrix::from_rows(
-            3,
-            &[4.0, 2.0, 0.6, 2.0, 5.0, 1.2, 0.6, 1.2, 3.0],
-        )
-        .unwrap();
+        let a = SymMatrix::from_rows(3, &[4.0, 2.0, 0.6, 2.0, 5.0, 1.2, 0.6, 1.2, 3.0]).unwrap();
         let c = a.cholesky(0.0).unwrap();
         let r = c.reconstruct();
         for i in 0..3 {

@@ -216,8 +216,8 @@ mod tests {
         // Empirical correlation of dims 0 and 1.
         let m0 = st.mean[0];
         let m1 = st.mean[1];
-        let cov01: f64 = xs.iter().map(|s| (s[0] - m0) * (s[1] - m1)).sum::<f64>()
-            / (xs.len() as f64 - 1.0);
+        let cov01: f64 =
+            xs.iter().map(|s| (s[0] - m0) * (s[1] - m1)).sum::<f64>() / (xs.len() as f64 - 1.0);
         let rho = cov01 / (st.sd[0] * st.sd[1]);
         assert!((rho - 0.6).abs() < 0.02, "rho {rho}");
     }
@@ -225,8 +225,7 @@ mod tests {
     #[test]
     fn perfectly_correlated_samples_move_together() {
         let corr = CorrelationMatrix::uniform(2, 1.0).unwrap();
-        let mvn =
-            MultivariateNormal::from_correlation(&[0.0, 0.0], &[1.0, 1.0], &corr).unwrap();
+        let mvn = MultivariateNormal::from_correlation(&[0.0, 0.0], &[1.0, 1.0], &corr).unwrap();
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..100 {
             let s = mvn.sample(&mut rng);
@@ -237,12 +236,9 @@ mod tests {
     #[test]
     fn sample_max_is_at_least_each_component_marginal() {
         let corr = CorrelationMatrix::identity(4);
-        let mvn = MultivariateNormal::from_correlation(
-            &[100.0, 100.0, 100.0, 100.0],
-            &[1.0; 4],
-            &corr,
-        )
-        .unwrap();
+        let mvn =
+            MultivariateNormal::from_correlation(&[100.0, 100.0, 100.0, 100.0], &[1.0; 4], &corr)
+                .unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let maxes = mvn.sample_max_n(&mut rng, 20_000);
         let mean = maxes.iter().sum::<f64>() / maxes.len() as f64;

@@ -13,7 +13,10 @@ fn main() {
     let pipeline_yield = 0.85;
     let ds = DesignSpace::new(target, pipeline_yield).expect("valid yield");
 
-    println!("target {target} ps at pipeline yield {:.0}%\n", pipeline_yield * 100.0);
+    println!(
+        "target {target} ps at pipeline yield {:.0}%\n",
+        pipeline_yield * 100.0
+    );
 
     // How the per-stage budget tightens with pipeline depth (eq. 12).
     println!("per-stage yield allocation Y^(1/Ns):");

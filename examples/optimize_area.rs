@@ -48,13 +48,12 @@ fn main() {
 
     // Target: the slowest stage's min-size mean (so sizing has real work).
     let t0 = engine.analyze_pipeline(&pipeline);
-    let target = t0
-        .stage_delays
-        .iter()
-        .map(|d| d.mean())
-        .fold(0.0, f64::max);
+    let target = t0.stage_delays.iter().map(|d| d.mean()).fold(0.0, f64::max);
     let yield_target = 0.80;
-    println!("target delay {target:.0} ps, pipeline yield target {:.0}%\n", yield_target * 100.0);
+    println!(
+        "target delay {target:.0} ps, pipeline yield target {:.0}%\n",
+        yield_target * 100.0
+    );
 
     // Conventional flow.
     let indiv = opt.optimize_individually(&pipeline, target, yield_target);

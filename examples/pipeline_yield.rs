@@ -7,9 +7,7 @@
 //!
 //! Run: `cargo run --release --example pipeline_yield`
 
-use vardelay::core::balance::{
-    balanced_pipeline, best_point, classify_stage, imbalance_sweep,
-};
+use vardelay::core::balance::{balanced_pipeline, best_point, classify_stage, imbalance_sweep};
 use vardelay::core::yield_model::stage_yield_target;
 use vardelay::stats::inv_cap_phi;
 
@@ -43,8 +41,8 @@ fn main() {
 
     // Area-neutral imbalance sweep: slow the donors, speed the receiver.
     let deltas: Vec<f64> = (0..80).map(|i| f64::from(i) * 0.05).collect();
-    let sweep = imbalance_sweep(&balanced, &[0, 2], 1, &slopes, target, &deltas)
-        .expect("valid sweep");
+    let sweep =
+        imbalance_sweep(&balanced, &[0, 2], 1, &slopes, target, &deltas).expect("valid sweep");
     let best = best_point(&sweep);
     println!(
         "\nbest imbalance: slow stages 0,2 by {:.2} ps each -> yield {:.2}% ({:+.2} points)",

@@ -7,6 +7,8 @@
 //!   from stage moments (the paper's core model, eq. 4–9).
 //! * `generate <c432|c1908|c2670|c3540|chain:N>` — emit a benchmark
 //!   netlist in `.bench` format.
+//! * `sweep <spec.json>` — run a scenario sweep on the parallel engine;
+//!   `sweep example` prints a ready-to-edit spec.
 //!
 //! All functions return the output text so they are unit-testable; `main`
 //! only routes arguments and prints.
@@ -48,6 +50,14 @@ USAGE:
 
   vardelay generate <c432|c1908|c2670|c3540|chain:N>
       Emit a benchmark netlist in .bench format on stdout.
+
+  vardelay sweep <spec.json> [--workers N] [--out results.json]
+      Run a scenario sweep (analytic model + Monte-Carlo) on the
+      parallel engine. Results are bit-identical for any --workers.
+      A summary table goes to stdout; full JSON results go to --out.
+
+  vardelay sweep example
+      Print an example sweep spec (JSON) to adapt.
 
   vardelay help
       This text.
@@ -160,8 +170,8 @@ pub fn yield_cmd(mut opts: Vec<String>) -> Result<String, CliError> {
         })
         .collect::<Result<_, _>>()?;
     let n = stages.len();
-    let corr = CorrelationMatrix::uniform(n, rho)
-        .map_err(|e| CliError(format!("invalid --rho: {e}")))?;
+    let corr =
+        CorrelationMatrix::uniform(n, rho).map_err(|e| CliError(format!("invalid --rho: {e}")))?;
     let pipe =
         Pipeline::new(stages, corr).map_err(|e| CliError(format!("invalid pipeline: {e}")))?;
     let d = pipe.delay_distribution();
@@ -216,6 +226,56 @@ pub fn generate(which: &str) -> Result<String, CliError> {
     Ok(write_bench(&netlist))
 }
 
+/// `sweep` subcommand over already-loaded spec text.
+///
+/// Returns the summary table; when `out` is given the full JSON results
+/// are written there (the JSON artifact is bit-identical for any worker
+/// count — timing goes to stderr only).
+pub fn sweep_cmd(spec_text: &str, mut opts: Vec<String>) -> Result<String, CliError> {
+    let workers = take_opt(&mut opts, "--workers")?
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| CliError(format!("invalid --workers: '{v}'")))
+        })
+        .transpose()?;
+    let out_path = take_opt(&mut opts, "--out")?;
+    if !opts.is_empty() {
+        return Err(CliError(format!("unrecognized arguments: {opts:?}")));
+    }
+
+    let sweep = vardelay_engine::Sweep::from_json(spec_text)
+        .map_err(|e| CliError(format!("invalid sweep spec: {e}")))?;
+    let mut options = vardelay_engine::SweepOptions::default();
+    if let Some(w) = workers {
+        options = options.with_workers(w);
+    }
+    let started = std::time::Instant::now();
+    let result = vardelay_engine::run_sweep(&sweep, &options)
+        .map_err(|e| CliError(format!("sweep failed: {e}")))?;
+    eprintln!(
+        "sweep '{}': {} scenarios, {} workers, {:.3} s",
+        result.name,
+        result.scenarios.len(),
+        options.workers,
+        started.elapsed().as_secs_f64()
+    );
+
+    let mut text = format!(
+        "sweep '{}' — {} scenarios (seed {})\n\n{}",
+        result.name,
+        result.scenarios.len(),
+        result.seed,
+        result.summary_table()
+    );
+    if let Some(path) = out_path {
+        std::fs::write(&path, result.to_json())
+            .map_err(|e| CliError(format!("cannot write '{path}': {e}")))?;
+        use std::fmt::Write as _;
+        let _ = writeln!(text, "\nresults written to {path}");
+    }
+    Ok(text)
+}
+
 /// Routes a full argument vector (without argv(0)); returns output text.
 pub fn run(args: Vec<String>) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
@@ -229,6 +289,17 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
             analyze(file, &text, args[2..].to_vec())
         }
         Some("yield") => yield_cmd(args[1..].to_vec()),
+        Some("sweep") => match args.get(1).map(String::as_str) {
+            None => Err(CliError(
+                "sweep requires a spec file (or `example`)".to_owned(),
+            )),
+            Some("example") => Ok(vardelay_engine::Sweep::example().to_json() + "\n"),
+            Some(file) => {
+                let text = std::fs::read_to_string(file)
+                    .map_err(|e| CliError(format!("cannot read '{file}': {e}")))?;
+                sweep_cmd(&text, args[2..].to_vec())
+            }
+        },
         Some("generate") => {
             let which = args
                 .get(1)
@@ -246,18 +317,52 @@ mod tests {
     #[test]
     fn help_lists_subcommands() {
         let h = help();
-        for cmd in ["analyze", "yield", "generate"] {
+        for cmd in ["analyze", "yield", "generate", "sweep"] {
             assert!(h.contains(cmd));
         }
     }
 
     #[test]
+    fn sweep_example_is_a_valid_spec() {
+        let json = run(vec!["sweep".into(), "example".into()]).unwrap();
+        let sweep = vardelay_engine::Sweep::from_json(&json).unwrap();
+        assert!(sweep.expand().len() >= 16);
+    }
+
+    #[test]
+    fn sweep_cmd_runs_a_small_spec() {
+        let mut sweep = vardelay_engine::Sweep::example();
+        sweep.grid = None;
+        sweep.scenarios.truncate(1);
+        sweep.scenarios[0].trials = 300;
+        let out = sweep_cmd(&sweep.to_json(), vec!["--workers".into(), "2".into()]).unwrap();
+        assert!(out.contains("1 scenarios"), "{out}");
+        assert!(out.contains("moments 5-stage"), "{out}");
+    }
+
+    #[test]
+    fn sweep_cmd_validates() {
+        assert!(sweep_cmd("not json", vec![]).is_err());
+        assert!(run(vec!["sweep".into()]).is_err());
+        let spec = vardelay_engine::Sweep::example().to_json();
+        assert!(sweep_cmd(&spec, vec!["--workers".into(), "x".into()]).is_err());
+        assert!(sweep_cmd(&spec, vec!["--frob".into(), "1".into()]).is_err());
+    }
+
+    #[test]
     fn yield_cmd_happy_path() {
         let out = yield_cmd(
-            ["--stages", "198:4,200:5,195:6", "--target", "210", "--rho", "0.3"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            [
+                "--stages",
+                "198:4,200:5,195:6",
+                "--target",
+                "210",
+                "--rho",
+                "0.3",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         )
         .unwrap();
         assert!(out.contains("3 stages"));

@@ -22,6 +22,7 @@
 //! | [`mc`] | `vardelay-mc` | Monte-Carlo timing (SPICE-MC substitute) |
 //! | [`core`] | `vardelay-core` | pipeline distribution, yield, design space |
 //! | [`opt`] | `vardelay-opt` | yield-constrained sizing + global flow |
+//! | [`engine`] | `vardelay-engine` | parallel scenario sweeps, deterministic seeding |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub mod cli;
 
 pub use vardelay_circuit as circuit;
 pub use vardelay_core as core;
+pub use vardelay_engine as engine;
 pub use vardelay_mc as mc;
 pub use vardelay_opt as opt;
 pub use vardelay_process as process;

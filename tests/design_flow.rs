@@ -79,7 +79,11 @@ fn global_flow_meets_yield_where_individual_flow_fails() {
     };
     let pipeline = StagedPipeline::new(
         "mini",
-        vec![mk("big", 150, 14, 5), mk("mid", 80, 10, 6), mk("small", 40, 8, 7)],
+        vec![
+            mk("big", 150, 14, 5),
+            mk("mid", 80, 10, 6),
+            mk("small", 40, 8, 7),
+        ],
         LatchParams::tg_msff_70nm(),
     );
     let eng = engine(VariationConfig::random_only(35.0));
@@ -92,8 +96,8 @@ fn global_flow_meets_yield_where_individual_flow_fails() {
     let indiv1 = opt.optimize_individually(&pipeline, slowest * 0.7, 0.80);
     let t1 = eng.analyze_pipeline(&indiv1);
     let slow_idx = 0usize;
-    let target = t1.stage_delays[slow_idx].mean()
-        + inv_cap_phi(0.88) * t1.stage_delays[slow_idx].sd();
+    let target =
+        t1.stage_delays[slow_idx].mean() + inv_cap_phi(0.88) * t1.stage_delays[slow_idx].sd();
 
     let indiv = opt.optimize_individually(&indiv1, target, 0.80);
     let (_, report) = opt.optimize(&indiv, target, 0.80, OptimizationGoal::EnsureYield);
@@ -133,9 +137,12 @@ fn minimize_area_recovers_area_at_target_yield() {
     let t0 = eng.analyze_pipeline(&pipeline);
     let target = t0.stage_delays.iter().map(|d| d.mean()).fold(0.0, f64::max) * 1.1;
     let indiv = opt.optimize_individually(&pipeline, target, 0.80);
-    let (optimized, report) =
-        opt.optimize(&indiv, target, 0.80, OptimizationGoal::MinimizeArea);
-    assert!(report.pipeline_yield_after >= 0.80, "yield {}", report.pipeline_yield_after);
+    let (optimized, report) = opt.optimize(&indiv, target, 0.80, OptimizationGoal::MinimizeArea);
+    assert!(
+        report.pipeline_yield_after >= 0.80,
+        "yield {}",
+        report.pipeline_yield_after
+    );
     assert!(
         optimized.total_area() <= indiv.total_area() * 1.001,
         "area must not grow: {} vs {}",

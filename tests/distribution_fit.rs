@@ -24,8 +24,8 @@ fn model_and_samples(
     let model = Pipeline::new(stages, timing.correlation)
         .expect("dims")
         .delay_distribution();
-    let mc = PipelineMc::new(CellLibrary::default(), var, None)
-        .run(&pipe, &McConfig::quick(12_000, 99));
+    let mc =
+        PipelineMc::new(CellLibrary::default(), var, None).run(&pipe, &McConfig::quick(12_000, 99));
     (model, mc.pipeline.samples().to_vec())
 }
 
@@ -56,8 +56,7 @@ fn independent_stage_distribution_fits_within_clark_error() {
 
 #[test]
 fn combined_distribution_fits() {
-    let (model, samples) =
-        model_and_samples(VariationConfig::combined(20.0, 35.0, 15.0), 5, 8);
+    let (model, samples) = model_and_samples(VariationConfig::combined(20.0, 35.0, 15.0), 5, 8);
     let d = ks_against_normal(&samples, &model);
     assert!(d < 0.09, "KS distance {d}");
 }

@@ -65,8 +65,8 @@ fn yield_model_tracks_mc_across_targets() {
     let var = VariationConfig::combined(20.0, 35.0, 15.0);
     let pipe = StagedPipeline::inverter_grid(5, 8, 1.0, LatchParams::tg_msff_70nm());
     let model = analytic_pipeline(var, &pipe);
-    let mc = PipelineMc::new(CellLibrary::default(), var, None)
-        .run(&pipe, &McConfig::quick(20_000, 15));
+    let mc =
+        PipelineMc::new(CellLibrary::default(), var, None).run(&pipe, &McConfig::quick(20_000, 15));
     let d = model.delay_distribution();
     for q in [0.25, 0.5, 0.75, 0.9] {
         let t = d.quantile(q);

@@ -1,0 +1,98 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented directly on
+//! `std::thread::scope` (stable since Rust 1.63, after crossbeam's scoped
+//! threads were designed). The API shape matches crossbeam 0.8: the scope
+//! closure and each spawn closure receive a `&Scope`, and `scope` returns
+//! a `Result` (std's version propagates child panics by panicking, so the
+//! `Err` arm here is reserved and the result is always `Ok`).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+/// Scoped-thread API, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a scoped thread: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; spawn borrows non-`'static` data safely.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope again so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in this std-backed implementation (std
+    /// propagates unjoined child panics by panicking); the `Result` is
+    /// kept for crossbeam API compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|scope| {
+            let d = &data;
+            let mid = d.len() / 2;
+            let a = scope.spawn(move |_| d[..mid].iter().sum::<u64>());
+            let b = scope.spawn(move |_| d[mid..].iter().sum::<u64>());
+            a.join().unwrap() + b.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn join_reports_panics() {
+        let caught = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(caught);
+    }
+}

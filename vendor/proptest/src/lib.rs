@@ -1,0 +1,343 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`Strategy`] trait implemented for numeric ranges, tuples of
+//! strategies, [`collection::vec`], [`sample::select`], and [`any`],
+//! plus the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//! [`prop_assume!`] macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed seed
+//! (deterministic across runs, 256 cases per property by default,
+//! overridable via `PROPTEST_CASES`), failures report the generated
+//! inputs via the assertion message but are **not shrunk**, and rejected
+//! assumptions simply skip the case.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::ops::Range;
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng;
+#[doc(hidden)]
+pub use rand::{RngExt, SeedableRng};
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u64, u32, i64, i32);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+}
+
+/// Strategy for the full natural range of a type.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Generates any value of `T` (full range for integers).
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut StdRng) -> u64 {
+        rng.random()
+    }
+}
+
+impl Strategy for Any<u32> {
+    type Value = u32;
+
+    fn generate(&self, rng: &mut StdRng) -> u32 {
+        rng.random()
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.random()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy};
+
+    /// Strategy for a `Vec` whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut super::StdRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// A length specification: an exact value or a half-open range.
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.random_range(self.lo..self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::Strategy;
+
+    /// Strategy choosing uniformly from a fixed set of options.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at generation time) if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    /// See [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut super::StdRng) -> T {
+            assert!(!self.options.is_empty(), "select from empty options");
+            let i = super::RngExt::random_range(rng, 0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
+/// The customary glob import: strategies, macros, and `any`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}
+
+#[doc(hidden)]
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Defines property tests: each `fn` runs its body for many generated
+/// input tuples.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let mut __rng = <$crate::StdRng as $crate::SeedableRng>::seed_from_u64(
+                0xbad5_eedu64 ^ stringify!($name).len() as u64,
+            );
+            let __cases = $crate::case_count();
+            let mut __ran = 0usize;
+            for __case in 0..(__cases * 4) {
+                if __ran >= __cases {
+                    break;
+                }
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut __rng);)*
+                // `Break` = assumption rejected, skip without counting.
+                #[allow(clippy::redundant_closure_call)]
+                let __flow: ::std::ops::ControlFlow<()> = (|| {
+                    $body
+                    ::std::ops::ControlFlow::Continue(())
+                })();
+                if let ::std::ops::ControlFlow::Continue(()) = __flow {
+                    __ran += 1;
+                }
+                let _ = __case;
+            }
+            assert!(
+                __ran * 2 >= __cases,
+                "too many rejected cases in {} ({__ran} of {__cases} ran)",
+                stringify!($name)
+            );
+        }
+    )*};
+}
+
+/// Asserts a condition inside [`proptest!`]; extra args format a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        match $cond {
+            true => {}
+            false => return ::std::ops::ControlFlow::Break(()),
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_respected(x in -5.0..5.0_f64, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0.0..1.0_f64, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn exact_vec_len(v in crate::collection::vec(0u64..9, 3)) {
+            prop_assert_eq!(v.len(), 3);
+        }
+
+        #[test]
+        fn assume_skips(x in 0.0..1.0_f64) {
+            prop_assume!(x >= 0.2);
+            prop_assert!(x >= 0.2);
+        }
+
+        #[test]
+        fn select_and_tuples(
+            k in crate::sample::select(vec!["a", "b"]),
+            pair in (0.0..1.0_f64, 5u64..9)
+        ) {
+            prop_assert!(k == "a" || k == "b");
+            prop_assert!(pair.0 < 1.0 && pair.1 >= 5);
+        }
+    }
+}
