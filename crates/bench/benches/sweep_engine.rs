@@ -9,7 +9,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use vardelay_engine::{run_sweep, GridSpec, LatchSpec, Sweep, SweepOptions, VariationSpec};
+use vardelay_engine::{
+    run_sweep, BackendSpec, GridSpec, LatchSpec, Sweep, SweepOptions, VariationSpec,
+};
 
 fn bench_sweep(c: &mut Criterion) {
     let sweep = Sweep {
@@ -32,6 +34,8 @@ fn bench_sweep(c: &mut Criterion) {
             trials: 2_000,
             yield_targets: vec![],
             auto_target_sigmas: vec![1.2],
+            backend: BackendSpec::Pipeline,
+            histogram_bins: 0,
         }),
     };
 

@@ -4,41 +4,87 @@
 //! (a) only random intra-die variation, (b) only inter-die variation,
 //! (c) inter- and intra-die with both random and systematic components.
 //!
+//! The three panels are one declarative [`Sweep`] on the engine's
+//! **netlist backend**: gate-level Monte-Carlo on the zero-allocation
+//! prepared path, with the delay histograms streamed through the block
+//! accumulators (`histogram_bins`) instead of retained samples — the
+//! analytic curve comes from the same result's closed-form summary.
+//!
 //! Run: `cargo run --release -p vardelay-bench --bin fig2`
 
 use vardelay_bench::render::histogram_vs_normal;
-use vardelay_bench::{analytic_delay, inverter_pipeline, mc_delay, Scenario};
+use vardelay_engine::{
+    run_sweep, BackendSpec, LatchSpec, PipelineSpec, Scenario, Sweep, SweepOptions, VariationSpec,
+};
+use vardelay_stats::Normal;
 
 fn main() {
     let trials = 20_000;
     // The paper's caption uses a 12-stage, logic-depth-10 chain.
-    let pipeline = inverter_pipeline(12, 10);
-    println!("Fig. 2 — delay distribution of a 12-stage inverter-chain pipeline");
-    println!("(stage logic depth = 10), analytical model vs {trials}-trial Monte-Carlo\n");
+    let pipeline = PipelineSpec::InverterGrid {
+        stages: 12,
+        depth: 10,
+        size: 1.0,
+        latch: LatchSpec::TgMsff70nm,
+    };
+    let panels: [(&str, VariationSpec); 3] = [
+        (
+            "(a) random intra-die only",
+            VariationSpec::RandomOnly { sigma_mv: 35.0 },
+        ),
+        (
+            "(b) inter-die only",
+            VariationSpec::InterOnly { sigma_mv: 40.0 },
+        ),
+        (
+            "(c) inter + intra (random + systematic)",
+            VariationSpec::Combined {
+                inter_mv: 20.0,
+                random_mv: 35.0,
+                systematic_mv: 15.0,
+            },
+        ),
+    ];
+    let sweep = Sweep {
+        name: "fig2".to_owned(),
+        seed: 0xF162,
+        scenarios: panels
+            .iter()
+            .map(|(label, variation)| Scenario {
+                label: (*label).to_owned(),
+                pipeline: pipeline.clone(),
+                variation: *variation,
+                trials,
+                yield_targets: vec![],
+                auto_target_sigmas: vec![],
+                backend: BackendSpec::Netlist,
+                histogram_bins: 28,
+            })
+            .collect(),
+        grid: None,
+    };
 
-    for (panel, scenario) in [
-        ("(a)", Scenario::IntraRandomOnly),
-        ("(b)", Scenario::InterOnly),
-        ("(c)", Scenario::Combined),
-    ] {
-        let analytic = analytic_delay(scenario, &pipeline);
-        let mc = mc_delay(scenario, &pipeline, trials, 0xF162);
-        let hist = mc.pipeline.histogram(28);
-        println!("--- Fig. 2{panel}: {} ---", scenario.label());
+    println!("Fig. 2 — delay distribution of a 12-stage inverter-chain pipeline");
+    println!("(stage logic depth = 10), analytical model vs {trials}-trial Monte-Carlo");
+    println!("(engine netlist backend, histograms streamed through block stats)\n");
+
+    let result = run_sweep(&sweep, &SweepOptions::default()).expect("valid spec");
+    for s in &result.scenarios {
+        let mc = s.mc.as_ref().expect("trials requested");
+        let hist = mc.histogram.as_ref().expect("histogram requested");
+        let analytic = Normal::new(s.analytic.mean_ps, s.analytic.sd_ps).expect("valid model");
+        println!("--- Fig. 2{} ---", s.label);
         println!(
             "analytical: mu = {:.2} ps, sigma = {:.2} ps | Monte-Carlo: mu = {:.2} ps, sigma = {:.2} ps",
-            analytic.mean(),
-            analytic.sd(),
-            mc.pipeline.mean(),
-            mc.pipeline.sd()
+            s.analytic.mean_ps, s.analytic.sd_ps, mc.mean_ps, mc.sd_ps
         );
         println!(
             "errors: mean {:.3}%, sigma {:.2}% | MC skewness {:+.3} (Gaussian = 0; the max of \
              independent stages is right-skewed, which is the model's error source)\n",
-            100.0 * (analytic.mean() - mc.pipeline.mean()).abs() / mc.pipeline.mean(),
-            100.0 * (analytic.sd() - mc.pipeline.sd()).abs() / mc.pipeline.sd(),
-            mc.pipeline.stats().skewness()
+            100.0 * (s.analytic.mean_ps - mc.mean_ps).abs() / mc.mean_ps,
+            100.0 * (s.analytic.sd_ps - mc.sd_ps).abs() / mc.sd_ps,
+            mc.skewness
         );
-        println!("{}", histogram_vs_normal(&hist, &analytic, 50));
+        println!("{}", histogram_vs_normal(hist, &analytic, 50));
     }
 }

@@ -3,50 +3,76 @@
 //!
 //! The Clark recursion re-Gaussianizes every pairwise max, so its error
 //! grows with the number of folds and with correlation. The reference is a
-//! large multivariate-normal Monte-Carlo of the exact max.
+//! large multivariate-normal Monte-Carlo of the exact max — here run as
+//! one declarative moment-form [`Sweep`] through the parallel engine, so
+//! every point's model-vs-MC delta comes out of a single `SweepResult`.
 //!
 //! Run: `cargo run --release -p vardelay-bench --bin fig3`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use vardelay_bench::render::xy_table;
-use vardelay_stats::{max_of, CorrelationMatrix, MultivariateNormal, Normal, RunningStats};
+use vardelay_engine::{
+    run_sweep, BackendSpec, PipelineSpec, Scenario, StageMoments, Sweep, SweepOptions,
+    VariationSpec,
+};
 
-/// MC moments of `max_i X_i` for equi-correlated stages.
-fn mc_max_moments(stages: &[Normal], rho: f64, trials: usize, seed: u64) -> (f64, f64) {
-    let means: Vec<f64> = stages.iter().map(Normal::mean).collect();
-    let sds: Vec<f64> = stages.iter().map(Normal::sd).collect();
-    let corr = CorrelationMatrix::uniform(stages.len(), rho).expect("valid rho");
-    let mvn = MultivariateNormal::from_correlation(&means, &sds, &corr).expect("PSD");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let stats: RunningStats = mvn.sample_max_n(&mut rng, trials).into_iter().collect();
-    (stats.mean(), stats.sample_sd())
-}
-
-fn errors(ns: usize, rho: f64, trials: usize) -> (f64, f64) {
-    // Slightly staggered means, like real stages.
-    let stages: Vec<Normal> = (0..ns)
-        .map(|i| Normal::new(200.0 + (i as f64) * 0.8, 4.0).expect("valid"))
-        .collect();
-    let corr = CorrelationMatrix::uniform(ns, rho).expect("valid rho");
-    let model = max_of(&stages, &corr);
-    let (mc_mean, mc_sd) = mc_max_moments(&stages, rho, trials, 0xF163 + ns as u64);
-    (
-        100.0 * (model.mean() - mc_mean).abs() / mc_mean,
-        100.0 * (model.sd() - mc_sd).abs() / mc_sd,
-    )
+/// A moment-form scenario: `ns` slightly staggered stages at correlation
+/// `rho`, like real stages.
+fn scenario(ns: usize, rho: f64, trials: u64) -> Scenario {
+    Scenario {
+        label: format!("ns{ns} rho{rho}"),
+        pipeline: PipelineSpec::Moments {
+            stages: (0..ns)
+                .map(|i| StageMoments {
+                    mu_ps: 200.0 + (i as f64) * 0.8,
+                    sigma_ps: 4.0,
+                })
+                .collect(),
+            rho,
+        },
+        variation: VariationSpec::Nominal,
+        trials,
+        yield_targets: vec![],
+        auto_target_sigmas: vec![],
+        backend: BackendSpec::Pipeline,
+        histogram_bins: 0,
+    }
 }
 
 fn main() {
     let trials = 400_000;
-    println!("Fig. 3 — modeling error of the Clark-based pipeline delay model\n");
+    println!("Fig. 3 — modeling error of the Clark-based pipeline delay model");
+    println!("(moment-form scenarios through the parallel sweep engine)\n");
+
+    let ns_axis: Vec<usize> = vec![2, 4, 6, 8, 12, 16, 20, 25, 30];
+    let rhos = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+    // Panel (b)'s rho = 0.0 point IS panel (a)'s ns = 8 point — reuse
+    // it instead of burning 400k duplicate trials.
+    let ns8 = ns_axis.iter().position(|&n| n == 8).expect("axis has 8");
+    let extra_rhos: Vec<f64> = rhos.iter().copied().filter(|&r| r != 0.0).collect();
+    let sweep = Sweep {
+        name: "fig3".to_owned(),
+        seed: 0xF163,
+        scenarios: ns_axis
+            .iter()
+            .map(|&ns| scenario(ns, 0.0, trials))
+            .chain(extra_rhos.iter().map(|&rho| scenario(8, rho, trials)))
+            .collect(),
+        grid: None,
+    };
+    let result = run_sweep(&sweep, &SweepOptions::default()).expect("valid spec");
+    let errors = |i: usize| {
+        let s = &result.scenarios[i];
+        let mc = s.mc.as_ref().expect("trials requested");
+        (
+            100.0 * (s.analytic.mean_ps - mc.mean_ps).abs() / mc.mean_ps,
+            100.0 * (s.analytic.sd_ps - mc.sd_ps).abs() / mc.sd_ps,
+        )
+    };
 
     // (a) vs number of stages at rho = 0.
-    let ns_axis: Vec<usize> = vec![2, 4, 6, 8, 12, 16, 20, 25, 30];
-    let mut mean_err = Vec::new();
-    let mut sd_err = Vec::new();
-    for &ns in &ns_axis {
-        let (me, se) = errors(ns, 0.0, trials);
+    let (mut mean_err, mut sd_err) = (Vec::new(), Vec::new());
+    for i in 0..ns_axis.len() {
+        let (me, se) = errors(i);
         mean_err.push(me);
         sd_err.push(se);
     }
@@ -70,11 +96,14 @@ fn main() {
     );
 
     // (b) vs correlation coefficient at ns = 8.
-    let rhos = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
-    let mut mean_err_r = Vec::new();
-    let mut sd_err_r = Vec::new();
+    let (mut mean_err_r, mut sd_err_r) = (Vec::new(), Vec::new());
     for &rho in &rhos {
-        let (me, se) = errors(8, rho, trials);
+        let i = if rho == 0.0 {
+            ns8
+        } else {
+            ns_axis.len() + extra_rhos.iter().position(|&r| r == rho).expect("listed")
+        };
+        let (me, se) = errors(i);
         mean_err_r.push(me);
         sd_err_r.push(se);
     }

@@ -15,8 +15,8 @@
 
 use vardelay_bench::render::xy_table;
 use vardelay_engine::{
-    run_sweep, GridSpec, LatchSpec, PipelineSpec, Scenario, StageMoments, Sweep, SweepOptions,
-    VariationSpec,
+    run_sweep, BackendSpec, GridSpec, LatchSpec, PipelineSpec, Scenario, StageMoments, Sweep,
+    SweepOptions, VariationSpec,
 };
 
 /// Runs an analytic-only sweep and returns each scenario's σ/μ.
@@ -43,6 +43,8 @@ fn analytic_scenario(label: String, pipeline: PipelineSpec, variation: Variation
         trials: 0,
         yield_targets: vec![],
         auto_target_sigmas: vec![],
+        backend: BackendSpec::Analytic,
+        histogram_bins: 0,
     }
 }
 
@@ -90,6 +92,8 @@ fn panel_a() {
             trials: 0,
             yield_targets: vec![],
             auto_target_sigmas: vec![],
+            backend: BackendSpec::Pipeline,
+            histogram_bins: 0,
         }),
     };
     let vars: Vec<f64> = run_sweep(&sweep, &SweepOptions::default())

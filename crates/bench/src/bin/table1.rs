@@ -8,16 +8,19 @@
 //! model-vs-MC agreement and yield tracking — are the reproduced result.
 //!
 //! The five configurations are one declarative [`Sweep`] executed by the
-//! parallel engine; the "Model" columns are the engine's `model_from_mc`
-//! (Clark's model on MC-measured stage moments, the paper's §2.4
-//! methodology), and the target is placed at `μ + 1.2σ` of the analytic
-//! model via `auto_target_sigmas`.
+//! parallel engine on its **netlist backend** (gate-level Monte-Carlo on
+//! the zero-allocation prepared path); the "Model" columns are the
+//! engine's `model_from_mc` (Clark's model on MC-measured stage moments,
+//! the paper's §2.4 methodology), the "a-priori" column is the engine's
+//! closed-form SSTA/Clark analytic summary — the quantity the `analytic`
+//! backend reports without any sampling — and the target is placed at
+//! `μ + 1.2σ` of the analytic model via `auto_target_sigmas`.
 //!
 //! Run: `cargo run --release -p vardelay-bench --bin table1`
 
 use vardelay_bench::render::{pct, TextTable};
 use vardelay_engine::{
-    run_sweep, LatchSpec, PipelineSpec, Scenario, Sweep, SweepOptions, VariationSpec,
+    run_sweep, BackendSpec, LatchSpec, PipelineSpec, Scenario, Sweep, SweepOptions, VariationSpec,
 };
 
 fn grid(stages: usize, depth: usize) -> PipelineSpec {
@@ -72,6 +75,8 @@ fn main() {
                 trials,
                 yield_targets: vec![],
                 auto_target_sigmas: vec![1.2],
+                backend: BackendSpec::Netlist,
+                histogram_bins: 0,
             })
             .collect(),
         grid: None,
@@ -89,9 +94,10 @@ fn main() {
         "Model yield %",
         "mu err %",
         "sigma err %",
+        "a-priori mu err %",
     ]);
 
-    println!("Table I — modeling vs Monte-Carlo for pipeline configurations ({trials} trials)\n");
+    println!("Table I — modeling vs gate-level Monte-Carlo (netlist backend, {trials} trials)\n");
     for s in &result.scenarios {
         let mc = s.mc.as_ref().expect("trials requested");
         let model = mc.model_from_mc.as_ref().expect("stage moments valid");
@@ -109,9 +115,15 @@ fn main() {
                 100.0 * (model.mean_ps - mc.mean_ps).abs() / mc.mean_ps
             ),
             format!("{:.2}", 100.0 * (model.sd_ps - mc.sd_ps).abs() / mc.sd_ps),
+            format!(
+                "{:.3}",
+                100.0 * (s.analytic.mean_ps - mc.mean_ps).abs() / mc.mean_ps
+            ),
         ]);
     }
     println!("{}", t.render());
+    println!("the last column is the a-priori SSTA/Clark model (what backend: analytic reports");
+    println!("with zero trials) against the gate-level MC — the paper's headline <1% agreement.");
     println!("shape check vs paper's Table I: mu errors < 0.2%; the model UNDER-estimates sigma");
     println!("for balanced independent stages (paper: 3.27 -> 2.72 on 5x8, a 17% gap; ours is");
     println!("the same direction and magnitude class), is near-exact for inter-die-dominated");

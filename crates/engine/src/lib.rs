@@ -10,13 +10,22 @@
 //! ## Pieces
 //!
 //! * [`spec`] — serializable [`Scenario`]/[`Sweep`] descriptions with
-//!   cartesian grid expansion and stable content-hash scenario IDs.
+//!   cartesian grid expansion, stable content-hash scenario IDs, a
+//!   spec-selected simulation [`BackendSpec`] and named [`CircuitSpec`]
+//!   workloads.
+//! * [`sim`] — the backend contract ([`sim::Simulator`]) and the three
+//!   shipped backends: staged-pipeline MC (original behavior),
+//!   gate-level MC on the allocation-free prepared path, and the
+//!   moment-form Gaussian sampler; the closed-form `analytic` backend
+//!   runs no trials at all.
 //! * [`seed`] — counter-based per-trial seeding
 //!   (`hash(scenario_id, trial_index)`), making every trial's RNG
 //!   stream independent of scheduling.
 //! * [`run`] — the `std::thread` + channel worker pool with in-order
 //!   streaming aggregation of [`vardelay_mc::PipelineBlockStats`]
-//!   blocks.
+//!   blocks and per-worker reusable trial workspaces.
+//! * [`plan`] — expand + validate + cost a spec without running it
+//!   (the CLI's `sweep validate`).
 //! * [`result`] — serializable per-scenario/per-sweep results.
 //! * [`design_space`] — declarative §2.5 permissible-region sweeps.
 //!
@@ -51,13 +60,20 @@
 #![warn(clippy::all)]
 
 pub mod design_space;
+pub mod plan;
 pub mod result;
 pub mod run;
 pub mod seed;
+pub mod sim;
 pub mod spec;
 
 pub use design_space::{design_space, DesignSpaceResult, DesignSpaceSpec};
+pub use plan::{plan_sweep, ScenarioPlan, SweepPlan};
 pub use result::{McSummary, ScenarioResult, SweepResult};
 pub use run::{run_sweep, EngineError, SweepOptions};
 pub use seed::trial_seed;
-pub use spec::{GridSpec, LatchSpec, PipelineSpec, Scenario, StageMoments, Sweep, VariationSpec};
+pub use sim::Simulator;
+pub use spec::{
+    BackendSpec, CircuitSpec, GridSpec, LatchSpec, PipelineSpec, Scenario, StageMoments, Sweep,
+    VariationSpec,
+};

@@ -1,0 +1,191 @@
+//! Sweep linting: expand, validate and cost a spec without running it.
+//!
+//! `vardelay sweep validate <spec.json>` drives [`plan_sweep`]: every
+//! scenario goes through the same preparation as a real run (spec
+//! validation, backend compatibility, analytic model construction,
+//! target resolution) but **zero trial blocks execute** — a spec error
+//! surfaces in milliseconds instead of after hours of Monte-Carlo.
+
+use serde::{Deserialize, Serialize};
+
+use crate::run::{prepare, EngineError, BLOCK_TRIALS};
+use crate::spec::{BackendSpec, Sweep};
+
+/// One validated scenario's footprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioPlan {
+    /// Content-hash scenario ID (hex) — what the run will report.
+    pub id: String,
+    /// Scenario label.
+    pub label: String,
+    /// Selected simulation backend.
+    pub backend: BackendSpec,
+    /// Pipeline stage count.
+    pub stages: usize,
+    /// Total gates across all stage netlists (0 for moment-form).
+    pub gates: usize,
+    /// Monte-Carlo trial budget.
+    pub trials: u64,
+    /// Scheduling blocks the worker pool will distribute.
+    pub blocks: u64,
+    /// Resolved yield-target count (explicit + analytic-derived).
+    pub targets: usize,
+}
+
+/// A fully validated sweep with its aggregate cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPlan {
+    /// Sweep name from the spec.
+    pub name: String,
+    /// Sweep seed from the spec.
+    pub seed: u64,
+    /// One entry per expanded scenario, in execution order.
+    pub scenarios: Vec<ScenarioPlan>,
+    /// Total Monte-Carlo trials across all scenarios.
+    pub total_trials: u64,
+    /// Total scheduling blocks (the worker pool's work-item count).
+    pub total_blocks: u64,
+}
+
+impl SweepPlan {
+    /// A fixed-width text report, one scenario per row plus totals.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sweep '{}' (seed {}): {} scenarios, {} trials in {} blocks",
+            self.name,
+            self.seed,
+            self.scenarios.len(),
+            self.total_trials,
+            self.total_blocks
+        );
+        let _ = writeln!(
+            out,
+            "\n{:<34} {:>9} {:>7} {:>7} {:>10} {:>8}",
+            "scenario", "backend", "stages", "gates", "trials", "blocks"
+        );
+        for s in &self.scenarios {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>9} {:>7} {:>7} {:>10} {:>8}",
+                s.label,
+                s.backend.keyword(),
+                s.stages,
+                s.gates,
+                s.trials,
+                s.blocks
+            );
+        }
+        out
+    }
+}
+
+/// Validates a sweep end to end and reports its footprint, running no
+/// trials.
+///
+/// # Errors
+///
+/// Returns the same [`EngineError`] a real [`crate::run_sweep`] would
+/// return for the first invalid scenario.
+pub fn plan_sweep(sweep: &Sweep) -> Result<SweepPlan, EngineError> {
+    let mut scenarios = Vec::new();
+    let mut total_trials = 0u64;
+    let mut total_blocks = 0u64;
+    for scenario in sweep.expand() {
+        // prepare() validates softly and already builds the netlists
+        // once; it carries the gate count out so the lint never builds
+        // (or panics on) anything prepare didn't.
+        let p = prepare(scenario, sweep.seed)?;
+        let (trials, blocks) = if p.sim.is_some() {
+            (p.scenario.trials, p.scenario.trials.div_ceil(BLOCK_TRIALS))
+        } else {
+            (0, 0)
+        };
+        total_trials += trials;
+        total_blocks += blocks;
+        scenarios.push(ScenarioPlan {
+            id: format!("{:016x}", p.id),
+            label: p.scenario.label.clone(),
+            backend: p.scenario.backend,
+            stages: p.scenario.pipeline.stage_count(),
+            gates: p.gates,
+            trials,
+            blocks,
+            targets: p.targets.len(),
+        });
+    }
+    Ok(SweepPlan {
+        name: sweep.name.clone(),
+        seed: sweep.seed,
+        scenarios,
+        total_trials,
+        total_blocks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_counts_trials_and_blocks() {
+        let plan = plan_sweep(&Sweep::example()).unwrap();
+        assert_eq!(plan.scenarios.len(), 20);
+        assert_eq!(
+            plan.total_trials,
+            4_000 + 2_000 + 18 * 2_000,
+            "explicit + grid budgets"
+        );
+        // 4000/256 = 16 blocks, 2000/256 = 8 blocks each.
+        assert_eq!(plan.total_blocks, 16 + 8 + 18 * 8);
+        let text = plan.render();
+        assert!(text.contains("20 scenarios"), "{text}");
+        assert!(text.contains("pipeline"), "{text}");
+    }
+
+    #[test]
+    fn plan_covers_netlist_and_analytic_backends() {
+        let plan = plan_sweep(&Sweep::example_netlist()).unwrap();
+        let netlist = plan
+            .scenarios
+            .iter()
+            .filter(|s| s.backend == BackendSpec::Netlist)
+            .count();
+        assert!(netlist >= 3, "template is netlist-centric");
+        let analytic = plan
+            .scenarios
+            .iter()
+            .find(|s| s.backend == BackendSpec::Analytic)
+            .expect("template carries an analytic twin");
+        assert_eq!(analytic.trials, 0);
+        assert_eq!(analytic.blocks, 0);
+        assert!(analytic.gates > 0, "gate-level even when closed-form");
+        // The chain twin pair shares a pipeline, so gate counts agree.
+        let mc_twin = &plan.scenarios[0];
+        assert_eq!(mc_twin.gates, analytic.gates);
+    }
+
+    #[test]
+    fn plan_rejects_what_the_runner_rejects() {
+        let mut sweep = Sweep::example_netlist();
+        sweep.scenarios[1].trials = 100; // analytic backend with trials
+        let err = plan_sweep(&sweep).unwrap_err();
+        assert!(err.to_string().contains("analytic"), "{err}");
+    }
+
+    #[test]
+    fn plan_reports_out_of_domain_circuits_softly() {
+        // The lint must never hit a generator assert: validation runs
+        // before any netlist is built for the gate count.
+        use crate::spec::{CircuitSpec, LatchSpec, PipelineSpec};
+        let mut sweep = Sweep::example_netlist();
+        sweep.scenarios[0].pipeline = PipelineSpec::Circuits {
+            stages: vec![CircuitSpec::Decoder { bits: 6 }],
+            latch: LatchSpec::Ideal,
+        };
+        let err = plan_sweep(&sweep).unwrap_err();
+        assert!(err.to_string().contains("decoder"), "{err}");
+    }
+}

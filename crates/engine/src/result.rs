@@ -6,8 +6,9 @@
 //! reproducibility contract (timing belongs on stderr, not in results).
 
 use serde::{Deserialize, Serialize};
+use vardelay_stats::Histogram;
 
-use crate::spec::Scenario;
+use crate::spec::{BackendSpec, Scenario};
 
 /// An analytic (closed-form) yield at one target.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -90,6 +91,10 @@ pub struct McSummary {
     /// Clark's model on the MC-measured stage moments, when they admit
     /// it (all stage σ finite).
     pub model_from_mc: Option<ModelFromMc>,
+    /// Fixed-range delay histogram, streamed through the block
+    /// accumulators when the scenario set `histogram_bins > 0` (bounds
+    /// from the analytic model, so the layout is spec-determined).
+    pub histogram: Option<Histogram>,
 }
 
 /// Everything computed for one scenario.
@@ -99,6 +104,9 @@ pub struct ScenarioResult {
     pub id: String,
     /// Scenario label.
     pub label: String,
+    /// The simulation backend that produced `mc` (echoed from the
+    /// scenario for convenient top-level filtering).
+    pub backend: BackendSpec,
     /// The input spec, echoed for self-describing results.
     pub scenario: Scenario,
     /// Resolved yield targets: explicit ones, then analytic-derived.

@@ -21,19 +21,17 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use vardelay_circuit::{CellLibrary, StagedPipeline};
+use vardelay_circuit::CellLibrary;
 use vardelay_core::{Pipeline, StageDelay};
-use vardelay_mc::{PipelineBlockStats, PipelineMc};
+use vardelay_mc::{HistogramSpec, PipelineBlockStats, PipelineMc, TrialWorkspace};
 use vardelay_ssta::SstaEngine;
 use vardelay_stats::{CorrelationMatrix, MultivariateNormal};
 
 use crate::result::{
     AnalyticSummary, McSummary, McYield, ModelFromMc, ScenarioResult, SweepResult, TargetYield,
 };
-use crate::seed::trial_seed;
-use crate::spec::{PipelineSpec, Scenario, Sweep, VariationSpec};
+use crate::sim::{GateLevelSim, MvnSim, Simulator, StagedMcSim};
+use crate::spec::{BackendSpec, PipelineSpec, Scenario, Sweep, VariationSpec};
 
 /// Sweep execution error: an invalid scenario spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +70,10 @@ pub const BLOCK_TRIALS: u64 = 256;
 /// budgets while keeping scheduling state negligible.
 pub const MAX_TRIALS: u64 = 100_000_000;
 
+/// Cap on a scenario's `histogram_bins` — enough for any plot while
+/// keeping block messages small.
+pub const MAX_HISTOGRAM_BINS: usize = 4_096;
+
 /// Worker-pool configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepOptions {
@@ -101,37 +103,27 @@ impl SweepOptions {
     }
 }
 
-/// How a prepared scenario's Monte-Carlo trials are generated.
-/// (Both variants boxed: one `McKind` exists per scenario, and keeping
-/// the enum a thin pointer keeps `Prepared` compact.)
-enum McKind {
-    /// Gate-level netlist trials through the full process sampler.
-    Netlist(Box<NetlistTrials>),
-    /// Joint-Gaussian stage-delay trials (moment-form scenarios).
-    Mvn(Box<MultivariateNormal>),
-}
-
-/// The pieces needed to run gate-level trials.
-struct NetlistTrials {
-    mc: PipelineMc,
-    staged: StagedPipeline,
-}
-
 /// A scenario with everything resolved and built, ready to execute.
-struct Prepared {
-    scenario: Scenario,
-    id: u64,
+pub(crate) struct Prepared {
+    pub(crate) scenario: Scenario,
+    pub(crate) id: u64,
     /// Explicit targets followed by analytic-derived ones.
-    targets: Vec<f64>,
+    pub(crate) targets: Vec<f64>,
     /// The analytic pipeline model (SSTA- or moments-based).
     analytic: Pipeline,
     /// Stage correlation used for `model_from_mc`.
     correlation: CorrelationMatrix,
     stage_count: usize,
-    mc: Option<McKind>,
+    /// Total gates across all stage netlists (0 for moment-form).
+    pub(crate) gates: usize,
+    /// The fixed-range histogram layout, when the scenario streams one.
+    histogram: Option<HistogramSpec>,
+    /// The simulation backend; `None` when the scenario is closed-form
+    /// only (zero trials, or the `analytic` backend).
+    pub(crate) sim: Option<Box<dyn Simulator>>,
 }
 
-fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, EngineError> {
+pub(crate) fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, EngineError> {
     let label = &scenario.label;
     // Validate before touching generators/process models (they assert on
     // out-of-domain values, and user JSON must fail softly) and before
@@ -171,10 +163,37 @@ fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, EngineError>
             scenario.trials
         )));
     }
+    // Backend compatibility: each mismatch would otherwise be silently
+    // ignored or panic deep in a generator.
+    if scenario.backend == BackendSpec::Analytic && scenario.trials > 0 {
+        return Err(EngineError::new(format!(
+            "scenario '{label}': the analytic backend is closed-form; set trials to 0 \
+             (pair it with a netlist-backend twin for model-vs-MC deltas)"
+        )));
+    }
+    if scenario.backend == BackendSpec::Netlist
+        && matches!(scenario.pipeline, PipelineSpec::Moments { .. })
+    {
+        return Err(EngineError::new(format!(
+            "scenario '{label}': the netlist backend times gates; Moments pipelines have \
+             none (use the pipeline backend)"
+        )));
+    }
+    if scenario.histogram_bins > 0 && scenario.trials == 0 {
+        return Err(EngineError::new(format!(
+            "scenario '{label}': a delay histogram needs Monte-Carlo trials"
+        )));
+    }
+    if scenario.histogram_bins > MAX_HISTOGRAM_BINS {
+        return Err(EngineError::new(format!(
+            "scenario '{label}': histogram_bins {} exceeds the cap of {MAX_HISTOGRAM_BINS}",
+            scenario.histogram_bins
+        )));
+    }
     let id = scenario.id(sweep_seed);
     let variation = scenario.variation.to_config();
 
-    let (analytic, correlation, mc) = match &scenario.pipeline {
+    let (analytic, correlation, gates, sim) = match &scenario.pipeline {
         PipelineSpec::Moments { stages, rho } => {
             let delays: Vec<StageDelay> = stages
                 .iter()
@@ -186,7 +205,7 @@ fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, EngineError>
             let pipe = Pipeline::equicorrelated(delays, *rho)
                 .map_err(|e| EngineError::new(format!("scenario '{label}': {e}")))?;
             let corr = pipe.correlation().clone();
-            let mc = if scenario.trials > 0 {
+            let sim: Option<Box<dyn Simulator>> = if scenario.trials > 0 {
                 let means: Vec<f64> = stages.iter().map(|m| m.mu_ps).collect();
                 let sds: Vec<f64> = stages.iter().map(|m| m.sigma_ps).collect();
                 let mvn =
@@ -195,16 +214,17 @@ fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, EngineError>
                             "scenario '{label}': moments not Monte-Carlo-samplable: {e}"
                         ))
                     })?;
-                Some(McKind::Mvn(Box::new(mvn)))
+                Some(Box::new(MvnSim::new(mvn)))
             } else {
                 None
             };
-            (pipe, corr, mc)
+            (pipe, corr, 0, sim)
         }
         spec => {
             let staged = spec
                 .build(label)
                 .expect("non-moment specs build a pipeline");
+            let gates = staged.total_gates();
             let engine = SstaEngine::new(CellLibrary::default(), variation, None);
             let timing = engine.analyze_pipeline(&staged);
             let delays: Vec<StageDelay> = timing
@@ -214,13 +234,17 @@ fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, EngineError>
                 .collect();
             let pipe = Pipeline::new(delays, timing.correlation.clone())
                 .map_err(|e| EngineError::new(format!("scenario '{label}': {e}")))?;
-            let mc = (scenario.trials > 0).then(|| {
-                McKind::Netlist(Box::new(NetlistTrials {
-                    mc: PipelineMc::new(CellLibrary::default(), variation, None),
-                    staged,
-                }))
-            });
-            (pipe, timing.correlation, mc)
+            let sim: Option<Box<dyn Simulator>> = if scenario.trials == 0 {
+                None
+            } else {
+                let mc = PipelineMc::new(CellLibrary::default(), variation, None);
+                match scenario.backend {
+                    BackendSpec::Pipeline => Some(Box::new(StagedMcSim::new(mc, staged))),
+                    BackendSpec::Netlist => Some(Box::new(GateLevelSim::new(&mc, &staged))),
+                    BackendSpec::Analytic => unreachable!("analytic backend rejects trials"),
+                }
+            };
+            (pipe, timing.correlation, gates, sim)
         }
     };
 
@@ -232,6 +256,18 @@ fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, EngineError>
             .iter()
             .map(|k| (d.mean() + k * d.sd()).round()),
     );
+    // Histogram bounds come from the analytic model — spec-determined,
+    // so the layout (and with it the result bytes) never depends on the
+    // trials themselves. ±6σ covers the exact max's right tail; the
+    // 1 ps floor keeps nominal (σ = 0) scenarios binnable.
+    let histogram = (scenario.histogram_bins > 0).then(|| {
+        let half = (6.0 * d.sd()).max(1.0);
+        HistogramSpec {
+            lo: d.mean() - half,
+            hi: d.mean() + half,
+            bins: scenario.histogram_bins,
+        }
+    });
 
     Ok(Prepared {
         stage_count: scenario.pipeline.stage_count(),
@@ -240,26 +276,20 @@ fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, EngineError>
         targets,
         analytic,
         correlation,
-        mc,
+        gates,
+        histogram,
+        sim,
     })
 }
 
 /// Runs one block of trials of one prepared scenario.
-fn run_block(p: &Prepared, trials: Range<u64>) -> PipelineBlockStats {
+fn run_block(p: &Prepared, ws: &mut TrialWorkspace, trials: Range<u64>) -> PipelineBlockStats {
     let mut stats = PipelineBlockStats::new(p.stage_count, &p.targets);
-    match p.mc.as_ref().expect("blocks only exist for MC scenarios") {
-        McKind::Netlist(n) => {
-            n.mc.run_block(&n.staged, trials, |t| trial_seed(p.id, t), &mut stats);
-        }
-        McKind::Mvn(mvn) => {
-            for t in trials {
-                let mut rng = StdRng::seed_from_u64(trial_seed(p.id, t));
-                let stages = mvn.sample(&mut rng);
-                let maxd = stages.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                stats.record(&stages, maxd);
-            }
-        }
+    if let Some(spec) = p.histogram {
+        stats = stats.with_histogram(spec);
     }
+    let sim = p.sim.as_ref().expect("blocks only exist for MC scenarios");
+    sim.run_block(ws, p.id, trials, &mut stats);
     stats
 }
 
@@ -320,7 +350,7 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepResult, Engi
     }
     let mut items = Vec::new();
     for (i, p) in prepared.iter().enumerate() {
-        if p.mc.is_some() {
+        if p.sim.is_some() {
             let mut b = 0usize;
             let mut start = 0u64;
             while start < p.scenario.trials {
@@ -339,10 +369,12 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepResult, Engi
     let mut mergers: Vec<InOrderMerger> = prepared.iter().map(|_| InOrderMerger::new()).collect();
     let workers = opts.workers.max(1).min(items.len().max(1));
     if workers <= 1 {
+        // One workspace serves every scenario in turn (grow-only).
+        let mut ws = TrialWorkspace::new();
         for item in &items {
             mergers[item.scenario].offer(
                 item.block,
-                run_block(&prepared[item.scenario], item.trials.clone()),
+                run_block(&prepared[item.scenario], &mut ws, item.trials.clone()),
             );
         }
     } else {
@@ -354,12 +386,18 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepResult, Engi
             let cursor = &cursor;
             for _ in 0..workers {
                 let tx = tx.clone();
-                scope.spawn(move || loop {
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(k) else { break };
-                    let stats = run_block(&prepared[item.scenario], item.trials.clone());
-                    if tx.send((item.scenario, item.block, stats)).is_err() {
-                        break; // receiver gone; nothing left to report
+                scope.spawn(move || {
+                    // Per-worker scratch: blocks of any scenario reuse
+                    // it, so steady-state workers allocate nothing.
+                    let mut ws = TrialWorkspace::new();
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(k) else { break };
+                        let stats =
+                            run_block(&prepared[item.scenario], &mut ws, item.trials.clone());
+                        if tx.send((item.scenario, item.block, stats)).is_err() {
+                            break; // receiver gone; nothing left to report
+                        }
                     }
                 });
             }
@@ -428,12 +466,14 @@ fn finalize(p: Prepared, stats: Option<PipelineBlockStats>) -> ScenarioResult {
                 })
                 .collect(),
             model_from_mc,
+            histogram: stats.histogram().cloned(),
         }
     });
 
     ScenarioResult {
         id: format!("{:016x}", p.id),
         label: p.scenario.label.clone(),
+        backend: p.scenario.backend,
         scenario: p.scenario,
         targets_ps: p.targets,
         analytic,
@@ -500,6 +540,8 @@ mod tests {
                     trials,
                     yield_targets: vec![110.0],
                     auto_target_sigmas: vec![1.0],
+                    backend: BackendSpec::Pipeline,
+                    histogram_bins: 0,
                 },
                 Scenario {
                     label: "grid".to_owned(),
@@ -513,6 +555,8 @@ mod tests {
                     trials,
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
+                    backend: BackendSpec::Pipeline,
+                    histogram_bins: 0,
                 },
             ],
             grid: None,

@@ -24,23 +24,16 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
-fn mix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 /// The seed of trial `trial` of scenario `scenario_id`.
 ///
 /// Counter-based: seeds depend only on the pair, so any partition of a
 /// scenario's trial range across blocks and workers reproduces the same
-/// per-trial streams. Two mix rounds keep adjacent trial indices
-/// statistically unrelated.
+/// per-trial streams. Two SplitMix64 rounds
+/// ([`vardelay_stats::counter_seed`], the workspace's one audited
+/// seeding finalizer) keep adjacent trial indices statistically
+/// unrelated.
 pub fn trial_seed(scenario_id: u64, trial: u64) -> u64 {
-    mix64(mix64(
-        scenario_id ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(trial.wrapping_add(1)),
-    ))
+    vardelay_stats::counter_seed(scenario_id, trial)
 }
 
 #[cfg(test)]

@@ -1,0 +1,193 @@
+//! The backend contract: how a prepared scenario turns trial blocks
+//! into statistics.
+//!
+//! The sweep runner is backend-generic. Everything scheduling-related —
+//! the fixed block partition, counter-based per-trial seeds, in-order
+//! merging — lives in [`crate::run`]; everything simulation-related
+//! lives behind [`Simulator`]. A backend receives the trial range and
+//! the scenario's content-hash ID, derives each trial's RNG stream with
+//! [`crate::seed::trial_seed`], and folds results into a
+//! [`PipelineBlockStats`]. Because seeds are a pure function of
+//! `(scenario_id, trial_index)`, any backend inherits the engine's
+//! worker-count-independence for free.
+//!
+//! Three backends ship:
+//!
+//! * [`MvnSim`] — joint-Gaussian stage-delay sampling for moment-form
+//!   scenarios (the `pipeline` backend's moments half).
+//! * [`StagedMcSim`] — gate-level trials through
+//!   [`vardelay_mc::PipelineMc`] (the `pipeline` backend's netlist
+//!   half; the engine's original code path, numerically unchanged).
+//! * [`GateLevelSim`] — the same physics on the allocation-free
+//!   prepared path ([`vardelay_mc::PreparedPipelineMc`]): per-worker
+//!   [`TrialWorkspace`] scratch buffers, loads and nominal delays
+//!   precomputed at prepare time, **zero heap allocation per trial**.
+//!
+//! The closed-form `analytic` backend needs no simulator at all — it
+//! contributes no trial blocks.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vardelay_circuit::StagedPipeline;
+use vardelay_mc::{PipelineBlockStats, PipelineMc, PreparedPipelineMc, TrialWorkspace};
+use vardelay_stats::MultivariateNormal;
+
+use crate::seed::trial_seed;
+
+/// A scenario's simulation backend, prepared and ready to run trial
+/// blocks.
+///
+/// Implementations must be deterministic functions of
+/// `(scenario_id, trial range)`: the same arguments must fold the same
+/// numbers into `stats` regardless of which worker calls, in what
+/// order, or what the workspace previously held. In particular, a
+/// backend that uses the workspace must size it itself (grow-only) —
+/// the runner hands every block an arbitrary previously-used `ws`.
+pub trait Simulator: Send + Sync {
+    /// Runs trials `trials.start..trials.end`, each seeded
+    /// `trial_seed(scenario_id, t)`, folding every trial into `stats`.
+    fn run_block(
+        &self,
+        ws: &mut TrialWorkspace,
+        scenario_id: u64,
+        trials: Range<u64>,
+        stats: &mut PipelineBlockStats,
+    );
+}
+
+/// Joint-Gaussian stage-delay trials for moment-form scenarios.
+pub struct MvnSim {
+    mvn: MultivariateNormal,
+}
+
+impl MvnSim {
+    /// Wraps a stage-delay joint distribution.
+    pub fn new(mvn: MultivariateNormal) -> Self {
+        MvnSim { mvn }
+    }
+}
+
+impl Simulator for MvnSim {
+    fn run_block(
+        &self,
+        _ws: &mut TrialWorkspace,
+        scenario_id: u64,
+        trials: Range<u64>,
+        stats: &mut PipelineBlockStats,
+    ) {
+        for t in trials {
+            let mut rng = StdRng::seed_from_u64(trial_seed(scenario_id, t));
+            let stages = self.mvn.sample(&mut rng);
+            let maxd = stages.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            stats.record(&stages, maxd);
+        }
+    }
+}
+
+/// Gate-level trials through [`PipelineMc`] — the engine's original
+/// netlist path, kept numerically identical behind the trait.
+pub struct StagedMcSim {
+    mc: PipelineMc,
+    staged: StagedPipeline,
+}
+
+impl StagedMcSim {
+    /// Pairs a runner with the pipeline it times.
+    pub fn new(mc: PipelineMc, staged: StagedPipeline) -> Self {
+        StagedMcSim { mc, staged }
+    }
+}
+
+impl Simulator for StagedMcSim {
+    fn run_block(
+        &self,
+        _ws: &mut TrialWorkspace,
+        scenario_id: u64,
+        trials: Range<u64>,
+        stats: &mut PipelineBlockStats,
+    ) {
+        self.mc
+            .run_block(&self.staged, trials, |t| trial_seed(scenario_id, t), stats);
+    }
+}
+
+/// Gate-level trials on the allocation-free prepared path.
+pub struct GateLevelSim {
+    prepared: PreparedPipelineMc,
+}
+
+impl GateLevelSim {
+    /// Compiles `staged` for workspace-reusing trials.
+    pub fn new(mc: &PipelineMc, staged: &StagedPipeline) -> Self {
+        GateLevelSim {
+            prepared: PreparedPipelineMc::new(mc, staged),
+        }
+    }
+}
+
+impl Simulator for GateLevelSim {
+    // PreparedPipelineMc::run_block sizes the workspace itself
+    // (grow-only), so any previously-used `ws` is acceptable here.
+    fn run_block(
+        &self,
+        ws: &mut TrialWorkspace,
+        scenario_id: u64,
+        trials: Range<u64>,
+        stats: &mut PipelineBlockStats,
+    ) {
+        self.prepared
+            .run_block(ws, trials, |t| trial_seed(scenario_id, t), stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_circuit::{CellLibrary, LatchParams};
+    use vardelay_process::VariationConfig;
+
+    /// The two gate-level backends are alternative implementations of
+    /// the same contract: identical seeds must give bit-identical
+    /// statistics. This is the guarantee that makes `backend: netlist`
+    /// a pure speed choice rather than a different experiment.
+    #[test]
+    fn staged_and_gate_level_backends_are_bit_identical() {
+        let staged = StagedPipeline::inverter_grid(4, 7, 1.0, LatchParams::tg_msff_70nm());
+        let mc = PipelineMc::new(
+            CellLibrary::default(),
+            VariationConfig::combined(20.0, 35.0, 15.0),
+            None,
+        );
+        let slow = StagedMcSim::new(mc.clone(), staged.clone());
+        let fast = GateLevelSim::new(&mc, &staged);
+
+        let id = 0xDA7E_2005_u64;
+        let targets = [150.0];
+        let mut a = PipelineBlockStats::new(4, &targets);
+        let mut b = PipelineBlockStats::new(4, &targets);
+        let mut ws = TrialWorkspace::new();
+        slow.run_block(&mut ws, id, 0..500, &mut a);
+        let mut ws2 = TrialWorkspace::new();
+        fast.run_block(&mut ws2, id, 0..500, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gate_level_workspace_reuse_spans_blocks() {
+        let staged = StagedPipeline::inverter_grid(2, 5, 1.0, LatchParams::ideal());
+        let mc = PipelineMc::new(
+            CellLibrary::default(),
+            VariationConfig::random_only(35.0),
+            None,
+        );
+        let sim = GateLevelSim::new(&mc, &staged);
+        let mut ws = TrialWorkspace::new();
+        let mut stats = PipelineBlockStats::new(2, &[]);
+        for b in 0..4u64 {
+            sim.run_block(&mut ws, 1, b * 64..(b + 1) * 64, &mut stats);
+        }
+        assert_eq!(ws.reuses(), 256, "no buffer may reallocate across blocks");
+    }
+}

@@ -8,12 +8,254 @@
 //! sizing × variation — the paper's depth/sizing/correlation exploration
 //! (Figs. 4–6, Tables I–III) in one declarative file.
 
-use serde::{Deserialize, Serialize};
-use vardelay_circuit::generators::inverter_chain;
-use vardelay_circuit::{LatchParams, StagedPipeline};
+use serde::{Deserialize, Serialize, Value};
+use vardelay_circuit::generators::{
+    alu_part1, alu_part2, decoder, inverter_chain, iscas, random_logic, RandomLogicConfig,
+};
+use vardelay_circuit::{LatchParams, Netlist, StagedPipeline};
 use vardelay_process::VariationConfig;
 
 use crate::seed::fnv1a64;
+
+/// Which simulator executes a scenario's trials.
+///
+/// Serialized in lowercase (`"backend": "netlist"`); omitted from the
+/// serialized form when it is the default, so pre-backend sweep specs
+/// keep both their JSON shape **and** their content-hash scenario IDs —
+/// an existing spec reproduces its historical results bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// The staged-pipeline Monte-Carlo substrate: joint-Gaussian stage
+    /// sampling for moment-form scenarios, [`vardelay_mc::PipelineMc`]
+    /// for gate-level ones. The engine's original behavior.
+    #[default]
+    Pipeline,
+    /// Gate-level Monte-Carlo on the allocation-free prepared path
+    /// ([`vardelay_mc::PreparedPipelineMc`]): every trial samples a die
+    /// through the process sampler and times real netlists with
+    /// workspace-reused buffers. Statistically identical to `Pipeline`
+    /// on the same circuits, and the backend of choice for large trial
+    /// budgets and [`CircuitSpec`] workloads.
+    Netlist,
+    /// Closed-form Clark/SSTA evaluation only — no sampling. Pairs with
+    /// a Monte-Carlo twin of the same scenario to put model-vs-MC deltas
+    /// in one sweep result. Requires `trials == 0`.
+    Analytic,
+}
+
+impl BackendSpec {
+    /// The lowercase spec keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            BackendSpec::Pipeline => "pipeline",
+            BackendSpec::Netlist => "netlist",
+            BackendSpec::Analytic => "analytic",
+        }
+    }
+
+    /// Parses a lowercase spec keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid keywords.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "pipeline" => Ok(BackendSpec::Pipeline),
+            "netlist" => Ok(BackendSpec::Netlist),
+            "analytic" => Ok(BackendSpec::Analytic),
+            other => Err(format!(
+                "unknown backend '{other}' (use pipeline|netlist|analytic)"
+            )),
+        }
+    }
+}
+
+impl Serialize for BackendSpec {
+    fn to_value(&self) -> Value {
+        Value::String(self.keyword().to_owned())
+    }
+}
+
+impl Deserialize for BackendSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::String(s) => BackendSpec::parse(s).map_err(serde::Error::new),
+            _ => Err(serde::Error::new("backend must be a string")),
+        }
+    }
+}
+
+/// A named combinational circuit, built by the generators in
+/// `vardelay-circuit` — how netlist-backend sweeps refer to concrete
+/// workloads (the paper's chains, the Fig. 6 ALU/decoder segments, the
+/// Table II/III ISCAS profiles, seeded random logic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CircuitSpec {
+    /// An inverter chain of the given logic depth.
+    Chain {
+        /// Number of inverters.
+        depth: usize,
+        /// Drive strength (multiple of minimum size).
+        size: f64,
+    },
+    /// ALU part I (propagate/generate + carry merge) of the Fig. 6
+    /// pipeline.
+    Alu1 {
+        /// Datapath width (positive multiple of 4).
+        width: usize,
+    },
+    /// ALU part II (carry expansion + sums) of the Fig. 6 pipeline.
+    Alu2 {
+        /// Datapath width (positive multiple of 4).
+        width: usize,
+    },
+    /// The Fig. 6 decoder stage.
+    Decoder {
+        /// Input bits (2 or 4).
+        bits: usize,
+    },
+    /// Seeded random levelized logic.
+    Random {
+        /// RNG seed — same seed, same netlist.
+        seed: u64,
+        /// Primary inputs.
+        inputs: usize,
+        /// Total gate count.
+        gates: usize,
+        /// Target logic depth (`<= gates`).
+        depth: usize,
+        /// Primary outputs.
+        outputs: usize,
+    },
+    /// A synthetic ISCAS85 equivalent.
+    Iscas {
+        /// Benchmark name: `c432`, `c1908`, `c2670`, or `c3540`.
+        name: String,
+    },
+}
+
+/// Per-circuit gate-count cap enforced by validation. Like
+/// [`crate::run::MAX_TRIALS`], this keeps a fat-fingered spec from
+/// allocating gigabytes during `prepare`/`sweep validate` — 1M gates is
+/// far beyond any paper workload (c3540, the largest ISCAS profile, is
+/// ~1.7k) while a 1M-gate netlist is still only tens of MB.
+pub const MAX_CIRCUIT_GATES: usize = 1_000_000;
+
+impl CircuitSpec {
+    /// Checks the spec is in-domain before any generator runs (the
+    /// generators assert on out-of-range parameters, and netlist
+    /// construction must not be reachable from absurd user JSON; both
+    /// must fail softly instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        let check_gates = |what: &str, n: usize| {
+            if n > MAX_CIRCUIT_GATES {
+                Err(format!(
+                    "{what} implies {n} gates, over the per-circuit cap of {MAX_CIRCUIT_GATES}"
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            CircuitSpec::Chain { depth, size } => {
+                if *depth == 0 {
+                    return Err("chain depth must be positive".to_owned());
+                }
+                check_gates("chain depth", *depth)?;
+                if !(size.is_finite() && *size > 0.0) {
+                    return Err(format!(
+                        "chain size must be finite and positive, got {size}"
+                    ));
+                }
+                Ok(())
+            }
+            CircuitSpec::Alu1 { width } | CircuitSpec::Alu2 { width } => {
+                if *width == 0 || width % 4 != 0 {
+                    return Err(format!(
+                        "alu width must be a positive multiple of 4, got {width}"
+                    ));
+                }
+                // ALU segments emit a small constant number of gates
+                // per bit; bound the width by the same gate budget.
+                check_gates("alu width x8", width.saturating_mul(8))
+            }
+            CircuitSpec::Decoder { bits } => {
+                if !(*bits == 2 || *bits == 4) {
+                    return Err(format!("decoder bits must be 2 or 4, got {bits}"));
+                }
+                Ok(())
+            }
+            CircuitSpec::Random {
+                inputs,
+                gates,
+                depth,
+                outputs,
+                ..
+            } => {
+                if *inputs == 0 || *gates == 0 || *depth == 0 || *outputs == 0 {
+                    return Err("random circuit counts must all be positive".to_owned());
+                }
+                if depth > gates {
+                    return Err(format!("random depth {depth} exceeds gate count {gates}"));
+                }
+                check_gates("random gate count", *gates)?;
+                check_gates("random input count", *inputs)?;
+                if outputs > gates {
+                    return Err(format!(
+                        "random outputs {outputs} exceed gate count {gates}"
+                    ));
+                }
+                Ok(())
+            }
+            CircuitSpec::Iscas { name } => match name.as_str() {
+                "c432" | "c1908" | "c2670" | "c3540" => Ok(()),
+                other => Err(format!(
+                    "unknown iscas benchmark '{other}' (use c432|c1908|c2670|c3540)"
+                )),
+            },
+        }
+    }
+
+    /// Builds the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-domain parameters — call
+    /// [`CircuitSpec::validate`] first on untrusted specs.
+    pub fn build(&self) -> Netlist {
+        match self {
+            CircuitSpec::Chain { depth, size } => inverter_chain(*depth, *size),
+            CircuitSpec::Alu1 { width } => alu_part1(*width),
+            CircuitSpec::Alu2 { width } => alu_part2(*width),
+            CircuitSpec::Decoder { bits } => decoder(*bits),
+            CircuitSpec::Random {
+                seed,
+                inputs,
+                gates,
+                depth,
+                outputs,
+            } => random_logic(&RandomLogicConfig {
+                name: format!("random_{seed:x}"),
+                inputs: *inputs,
+                gates: *gates,
+                depth: *depth,
+                outputs: *outputs,
+                seed: *seed,
+            }),
+            CircuitSpec::Iscas { name } => match name.as_str() {
+                "c432" => iscas::c432(),
+                "c1908" => iscas::c1908(),
+                "c2670" => iscas::c2670(),
+                "c3540" => iscas::c3540(),
+                other => panic!("unknown iscas benchmark '{other}'"),
+            },
+        }
+    }
+}
 
 /// A variation configuration in spec form (σVth components in mV).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -167,6 +409,15 @@ pub enum PipelineSpec {
         /// Latch selection.
         latch: LatchSpec,
     },
+    /// Stages named as concrete generated circuits — the way sweeps
+    /// describe heterogeneous pipelines (ALU–decoder, ISCAS chains,
+    /// random logic) instead of uniform inverter chains.
+    Circuits {
+        /// One circuit per pipeline stage, in order.
+        stages: Vec<CircuitSpec>,
+        /// Latch selection.
+        latch: LatchSpec,
+    },
 }
 
 impl PipelineSpec {
@@ -176,6 +427,7 @@ impl PipelineSpec {
             PipelineSpec::Moments { stages, .. } => stages.len(),
             PipelineSpec::InverterGrid { stages, .. } => *stages,
             PipelineSpec::InverterStages { depths, .. } => depths.len(),
+            PipelineSpec::Circuits { stages, .. } => stages.len(),
         }
     }
 
@@ -234,6 +486,15 @@ impl PipelineSpec {
                 }
                 check_size(*size)
             }
+            PipelineSpec::Circuits { stages, .. } => {
+                if stages.is_empty() {
+                    return Err("at least one stage is required".to_owned());
+                }
+                for (i, c) in stages.iter().enumerate() {
+                    c.validate().map_err(|e| format!("stage {i}: {e}"))?;
+                }
+                Ok(())
+            }
         }
     }
 
@@ -261,12 +522,18 @@ impl PipelineSpec {
                 depths.iter().map(|&nl| inverter_chain(nl, *size)).collect(),
                 latch.to_params(),
             )),
+            PipelineSpec::Circuits { stages, latch } => Some(StagedPipeline::new(
+                name,
+                stages.iter().map(CircuitSpec::build).collect(),
+                latch.to_params(),
+            )),
         }
     }
 }
 
-/// One point of the sweep: pipeline × variation × trial budget.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One point of the sweep: pipeline × variation × trial budget ×
+/// simulation backend.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Display label (also part of the scenario's content hash).
     pub label: String,
@@ -282,23 +549,112 @@ pub struct Scenario {
     /// `round(μ + k·σ)` for each listed `k` — the paper's practice of
     /// placing targets in the upper body of the distribution.
     pub auto_target_sigmas: Vec<f64>,
+    /// Which simulator runs the trials.
+    pub backend: BackendSpec,
+    /// When positive, stream a fixed-range histogram of the pipeline
+    /// delay (bounds derived from the analytic model) into the result —
+    /// distribution shape without retained samples.
+    pub histogram_bins: usize,
+}
+
+// Serialization is written by hand (the vendored serde derive has no
+// `#[serde(default)]`): `backend` and `histogram_bins` are *omitted*
+// when they hold their defaults and optional when reading. A
+// pre-backend spec therefore parses unchanged AND serializes to the
+// same bytes, which keeps its content-hash scenario IDs — and with them
+// every per-trial RNG stream — bit-stable across this engine revision.
+impl Serialize for Scenario {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("label".to_owned(), self.label.to_value()),
+            ("pipeline".to_owned(), self.pipeline.to_value()),
+            ("variation".to_owned(), self.variation.to_value()),
+            ("trials".to_owned(), self.trials.to_value()),
+            ("yield_targets".to_owned(), self.yield_targets.to_value()),
+            (
+                "auto_target_sigmas".to_owned(),
+                self.auto_target_sigmas.to_value(),
+            ),
+        ];
+        if self.backend != BackendSpec::default() {
+            fields.push(("backend".to_owned(), self.backend.to_value()));
+        }
+        if self.histogram_bins != 0 {
+            fields.push(("histogram_bins".to_owned(), self.histogram_bins.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        // The optional fields make typos dangerous: a misspelled
+        // `backend` would silently fall back to the default and run a
+        // different experiment. Reject unknown keys outright.
+        const KNOWN: [&str; 8] = [
+            "label",
+            "pipeline",
+            "variation",
+            "trials",
+            "yield_targets",
+            "auto_target_sigmas",
+            "backend",
+            "histogram_bins",
+        ];
+        if let Value::Object(fields) = v {
+            for (key, _) in fields {
+                if !KNOWN.contains(&key.as_str()) {
+                    return Err(serde::Error::new(format!(
+                        "unknown scenario field `{key}` (expected one of {})",
+                        KNOWN.join(", ")
+                    )));
+                }
+            }
+        }
+        let opt = |key: &str| v.get(key);
+        Ok(Scenario {
+            label: Deserialize::from_value(v.field("label")?)?,
+            pipeline: Deserialize::from_value(v.field("pipeline")?)?,
+            variation: Deserialize::from_value(v.field("variation")?)?,
+            trials: Deserialize::from_value(v.field("trials")?)?,
+            yield_targets: Deserialize::from_value(v.field("yield_targets")?)?,
+            auto_target_sigmas: Deserialize::from_value(v.field("auto_target_sigmas")?)?,
+            backend: opt("backend")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or_default(),
+            histogram_bins: opt("histogram_bins")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or(0),
+        })
+    }
 }
 
 impl Scenario {
     /// The scenario's stable content hash under a sweep seed.
     ///
-    /// Hashes the serialized spec, so any change to any field (or to the
-    /// sweep seed) changes every per-trial RNG stream, while re-ordering
-    /// scenarios inside the sweep changes nothing.
+    /// Hashes the serialized spec, so any change to any
+    /// *experiment-defining* field (or to the sweep seed) changes every
+    /// per-trial RNG stream, while re-ordering scenarios inside the
+    /// sweep changes nothing. Two fields are deliberately **excluded**:
+    /// `backend` and `histogram_bins` describe how trials are executed
+    /// and observed, not what is simulated — the gate-level backends
+    /// are bit-identical per seed, so flipping a spec from `pipeline`
+    /// to `netlist` (or adding a histogram) reproduces the exact same
+    /// Monte-Carlo numbers.
     pub fn id(&self, sweep_seed: u64) -> u64 {
-        let json = serde_json::to_string(self).expect("scenario specs are finite");
+        let mut identity = self.clone();
+        identity.backend = BackendSpec::default();
+        identity.histogram_bins = 0;
+        let json = serde_json::to_string(&identity).expect("scenario specs are finite");
         fnv1a64(json.as_bytes()) ^ sweep_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
     }
 }
 
 /// Cartesian scenario grid: stage counts × logic depths × sizes ×
 /// variations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridSpec {
     /// Pipeline stage counts `N_S` to sweep.
     pub stage_counts: Vec<usize>,
@@ -316,6 +672,85 @@ pub struct GridSpec {
     pub yield_targets: Vec<f64>,
     /// Analytic-derived targets (see [`Scenario::auto_target_sigmas`]).
     pub auto_target_sigmas: Vec<f64>,
+    /// Simulation backend stamped on every generated scenario.
+    pub backend: BackendSpec,
+    /// Histogram bins stamped on every generated scenario (0 = none).
+    pub histogram_bins: usize,
+}
+
+// Hand-written like Scenario's: defaults omitted on write (pre-backend
+// grid specs keep their bytes), optional on read, unknown keys rejected
+// so a misspelled field can never silently select the wrong simulator.
+impl Serialize for GridSpec {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("stage_counts".to_owned(), self.stage_counts.to_value()),
+            ("logic_depths".to_owned(), self.logic_depths.to_value()),
+            ("sizes".to_owned(), self.sizes.to_value()),
+            ("variations".to_owned(), self.variations.to_value()),
+            ("latch".to_owned(), self.latch.to_value()),
+            ("trials".to_owned(), self.trials.to_value()),
+            ("yield_targets".to_owned(), self.yield_targets.to_value()),
+            (
+                "auto_target_sigmas".to_owned(),
+                self.auto_target_sigmas.to_value(),
+            ),
+        ];
+        if self.backend != BackendSpec::default() {
+            fields.push(("backend".to_owned(), self.backend.to_value()));
+        }
+        if self.histogram_bins != 0 {
+            fields.push(("histogram_bins".to_owned(), self.histogram_bins.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for GridSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        const KNOWN: [&str; 10] = [
+            "stage_counts",
+            "logic_depths",
+            "sizes",
+            "variations",
+            "latch",
+            "trials",
+            "yield_targets",
+            "auto_target_sigmas",
+            "backend",
+            "histogram_bins",
+        ];
+        if let Value::Object(fields) = v {
+            for (key, _) in fields {
+                if !KNOWN.contains(&key.as_str()) {
+                    return Err(serde::Error::new(format!(
+                        "unknown grid field `{key}` (expected one of {})",
+                        KNOWN.join(", ")
+                    )));
+                }
+            }
+        }
+        Ok(GridSpec {
+            stage_counts: Deserialize::from_value(v.field("stage_counts")?)?,
+            logic_depths: Deserialize::from_value(v.field("logic_depths")?)?,
+            sizes: Deserialize::from_value(v.field("sizes")?)?,
+            variations: Deserialize::from_value(v.field("variations")?)?,
+            latch: Deserialize::from_value(v.field("latch")?)?,
+            trials: Deserialize::from_value(v.field("trials")?)?,
+            yield_targets: Deserialize::from_value(v.field("yield_targets")?)?,
+            auto_target_sigmas: Deserialize::from_value(v.field("auto_target_sigmas")?)?,
+            backend: v
+                .get("backend")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or_default(),
+            histogram_bins: v
+                .get("histogram_bins")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or(0),
+        })
+    }
 }
 
 impl GridSpec {
@@ -339,6 +774,8 @@ impl GridSpec {
                             trials: self.trials,
                             yield_targets: self.yield_targets.clone(),
                             auto_target_sigmas: self.auto_target_sigmas.clone(),
+                            backend: self.backend,
+                            histogram_bins: self.histogram_bins,
                         });
                     }
                 }
@@ -349,7 +786,7 @@ impl GridSpec {
 }
 
 /// A full sweep: explicit scenarios plus an optional grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sweep {
     /// Sweep name (reported in results).
     pub name: String,
@@ -359,6 +796,41 @@ pub struct Sweep {
     pub scenarios: Vec<Scenario>,
     /// Grid expansion appended after the explicit list.
     pub grid: Option<GridSpec>,
+}
+
+// Hand-written for the same reason as Scenario/GridSpec: a top-level
+// typo must fail the parse, not silently vanish.
+impl Serialize for Sweep {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".to_owned(), self.name.to_value()),
+            ("seed".to_owned(), self.seed.to_value()),
+            ("scenarios".to_owned(), self.scenarios.to_value()),
+            ("grid".to_owned(), self.grid.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Sweep {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        const KNOWN: [&str; 4] = ["name", "seed", "scenarios", "grid"];
+        if let Value::Object(fields) = v {
+            for (key, _) in fields {
+                if !KNOWN.contains(&key.as_str()) {
+                    return Err(serde::Error::new(format!(
+                        "unknown sweep field `{key}` (expected one of {})",
+                        KNOWN.join(", ")
+                    )));
+                }
+            }
+        }
+        Ok(Sweep {
+            name: Deserialize::from_value(v.field("name")?)?,
+            seed: Deserialize::from_value(v.field("seed")?)?,
+            scenarios: Deserialize::from_value(v.field("scenarios")?)?,
+            grid: Deserialize::from_value(v.field("grid")?)?,
+        })
+    }
 }
 
 impl Sweep {
@@ -424,6 +896,8 @@ impl Sweep {
                     trials: 4_000,
                     yield_targets: vec![215.0],
                     auto_target_sigmas: vec![1.2],
+                    backend: BackendSpec::Pipeline,
+                    histogram_bins: 0,
                 },
                 Scenario {
                     label: "5xvar".to_owned(),
@@ -436,6 +910,8 @@ impl Sweep {
                     trials: 2_000,
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
+                    backend: BackendSpec::Pipeline,
+                    histogram_bins: 0,
                 },
             ],
             grid: Some(GridSpec {
@@ -454,7 +930,118 @@ impl Sweep {
                 trials: 2_000,
                 yield_targets: vec![],
                 auto_target_sigmas: vec![1.2],
+                backend: BackendSpec::Pipeline,
+                histogram_bins: 0,
             }),
+        }
+    }
+
+    /// A ready-to-run **gate-level** example spec for the netlist
+    /// backend: the paper's Table-1 chain pipeline (with an analytic
+    /// twin for a model-vs-MC delta in one result file), the Fig. 6
+    /// ALU–decoder pipeline, an ISCAS profile, and seeded random logic.
+    pub fn example_netlist() -> Self {
+        let rand35 = VariationSpec::RandomOnly { sigma_mv: 35.0 };
+        let chain_5x8 = PipelineSpec::Circuits {
+            stages: vec![
+                CircuitSpec::Chain {
+                    depth: 8,
+                    size: 1.0,
+                };
+                5
+            ],
+            latch: LatchSpec::TgMsff70nm,
+        };
+        Sweep {
+            name: "netlist-example".to_owned(),
+            seed: 0x0E75,
+            scenarios: vec![
+                Scenario {
+                    label: "chain 5x8 (netlist MC)".to_owned(),
+                    pipeline: chain_5x8.clone(),
+                    variation: rand35,
+                    trials: 4_000,
+                    yield_targets: vec![],
+                    auto_target_sigmas: vec![1.2],
+                    backend: BackendSpec::Netlist,
+                    histogram_bins: 24,
+                },
+                Scenario {
+                    label: "chain 5x8 (analytic model)".to_owned(),
+                    pipeline: chain_5x8,
+                    variation: rand35,
+                    trials: 0,
+                    yield_targets: vec![],
+                    auto_target_sigmas: vec![1.2],
+                    backend: BackendSpec::Analytic,
+                    histogram_bins: 0,
+                },
+                Scenario {
+                    label: "alu-decoder 3-stage".to_owned(),
+                    pipeline: PipelineSpec::Circuits {
+                        stages: vec![
+                            CircuitSpec::Alu1 { width: 16 },
+                            CircuitSpec::Decoder { bits: 4 },
+                            CircuitSpec::Alu2 { width: 16 },
+                        ],
+                        latch: LatchSpec::TgMsff70nm,
+                    },
+                    variation: VariationSpec::Combined {
+                        inter_mv: 20.0,
+                        random_mv: 35.0,
+                        systematic_mv: 15.0,
+                    },
+                    trials: 2_000,
+                    yield_targets: vec![],
+                    auto_target_sigmas: vec![1.2],
+                    backend: BackendSpec::Netlist,
+                    histogram_bins: 0,
+                },
+                Scenario {
+                    label: "iscas c432".to_owned(),
+                    pipeline: PipelineSpec::Circuits {
+                        stages: vec![CircuitSpec::Iscas {
+                            name: "c432".to_owned(),
+                        }],
+                        latch: LatchSpec::Ideal,
+                    },
+                    variation: rand35,
+                    trials: 1_000,
+                    yield_targets: vec![],
+                    auto_target_sigmas: vec![1.2],
+                    backend: BackendSpec::Netlist,
+                    histogram_bins: 0,
+                },
+                Scenario {
+                    label: "random logic 2-stage".to_owned(),
+                    pipeline: PipelineSpec::Circuits {
+                        stages: vec![
+                            CircuitSpec::Random {
+                                seed: 7,
+                                inputs: 16,
+                                gates: 120,
+                                depth: 9,
+                                outputs: 8,
+                            },
+                            CircuitSpec::Random {
+                                seed: 8,
+                                inputs: 16,
+                                gates: 150,
+                                depth: 11,
+                                outputs: 8,
+                            },
+                        ],
+                        latch: LatchSpec::TgMsff70nm,
+                    },
+                    variation: rand35,
+                    trials: 1_000,
+                    yield_targets: vec![],
+                    auto_target_sigmas: vec![1.2],
+                    backend: BackendSpec::Netlist,
+                    histogram_bins: 0,
+                },
+            ],
+            grid: None,
         }
     }
 }
@@ -493,6 +1080,216 @@ mod tests {
         let mut tweaked = scenarios[2].clone();
         tweaked.trials += 1;
         assert_ne!(a, tweaked.id(sweep.seed));
+    }
+
+    #[test]
+    fn netlist_example_roundtrips_and_validates() {
+        let sweep = Sweep::example_netlist();
+        let back = Sweep::from_json(&sweep.to_json()).unwrap();
+        assert_eq!(sweep, back);
+        for s in sweep.expand() {
+            s.pipeline.validate().expect("template stays valid");
+        }
+        assert!(sweep.to_json().contains("\"backend\": \"netlist\""));
+    }
+
+    #[test]
+    fn pre_backend_specs_parse_and_keep_their_ids() {
+        // A spec written before the backend field existed must (a)
+        // still parse, defaulting to the pipeline backend, and (b)
+        // serialize back to the same bytes — which is what keeps its
+        // content-hash IDs, and with them all its RNG streams, stable.
+        let sweep = Sweep::example();
+        let json = sweep.to_json();
+        assert!(
+            !json.contains("backend") && !json.contains("histogram"),
+            "defaults must be omitted: {json}"
+        );
+        let back = Sweep::from_json(&json).unwrap();
+        assert_eq!(back.scenarios[0].backend, BackendSpec::Pipeline);
+        assert_eq!(back.scenarios[0].histogram_bins, 0);
+        assert_eq!(back.to_json(), json);
+
+        // Non-default fields serialize, but do NOT change the scenario
+        // ID: the backend is an execution strategy, not an experiment —
+        // switching a spec to the bit-identical netlist backend (or
+        // adding a histogram) must reproduce the same trial streams.
+        let mut tweaked = sweep.scenarios[1].clone();
+        let base_id = tweaked.id(7);
+        tweaked.backend = BackendSpec::Netlist;
+        tweaked.histogram_bins = 16;
+        let j = serde_json::to_string(&tweaked).unwrap();
+        assert!(j.contains("\"backend\""), "{j}");
+        assert_eq!(base_id, tweaked.id(7), "backend is not part of identity");
+        tweaked.trials += 1;
+        assert_ne!(base_id, tweaked.id(7), "the experiment itself still is");
+    }
+
+    #[test]
+    fn grid_selects_backend_and_rejects_unknown_fields() {
+        let mut sweep = Sweep::example();
+        sweep.scenarios.clear();
+        let grid = sweep.grid.as_mut().expect("example has a grid");
+        grid.backend = BackendSpec::Netlist;
+        grid.histogram_bins = 12;
+        // Expansion stamps the grid's backend onto every scenario.
+        for s in sweep.expand() {
+            assert_eq!(s.backend, BackendSpec::Netlist);
+            assert_eq!(s.histogram_bins, 12);
+        }
+        // …and the selection survives a JSON round trip.
+        let back = Sweep::from_json(&sweep.to_json()).unwrap();
+        assert_eq!(back, sweep);
+        // A typo'd grid key must fail the parse, not silently select
+        // the default backend.
+        let json = sweep.to_json().replace("\"backend\"", "\"backed\"");
+        let err = Sweep::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("backed"), "{err}");
+        // Same at the sweep's top level.
+        let json = Sweep::example().to_json().replace("\"seed\"", "\"sead\"");
+        assert!(Sweep::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn misspelled_scenario_fields_are_rejected() {
+        // `"backed": "netlist"` must not silently run the default
+        // backend — the validate lint exists to catch exactly this.
+        let mut sweep = Sweep::example();
+        sweep.grid = None;
+        sweep.scenarios.truncate(1);
+        let json = sweep.to_json().replace("\"trials\"", "\"trails\"");
+        let err = Sweep::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("trails"), "{err}");
+    }
+
+    #[test]
+    fn misspelled_nested_fields_are_rejected_too() {
+        // Unknown-key rejection must reach derived types: a stray key
+        // inside a circuit spec is a typo'd experiment, not noise.
+        let json = Sweep::example_netlist()
+            .to_json()
+            .replace("\"depth\": 8,", "\"depth\": 8, \"count\": 5,");
+        let err = Sweep::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("count"), "{err}");
+        // Same for a struct variant of VariationSpec.
+        let json = Sweep::example()
+            .to_json()
+            .replace("\"inter_mv\": 20.0,", "\"inter_mv\": 20.0, \"intra\": 1,");
+        assert!(Sweep::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn absurd_circuit_sizes_are_rejected() {
+        let too_big = [
+            CircuitSpec::Chain {
+                depth: MAX_CIRCUIT_GATES + 1,
+                size: 1.0,
+            },
+            CircuitSpec::Random {
+                seed: 1,
+                inputs: 8,
+                gates: MAX_CIRCUIT_GATES + 1,
+                depth: 5,
+                outputs: 4,
+            },
+            CircuitSpec::Alu1 { width: 200_000_000 },
+        ];
+        for c in &too_big {
+            let err = c.validate().unwrap_err();
+            assert!(err.contains("cap") || err.contains("multiple"), "{err}");
+        }
+        assert!(CircuitSpec::Random {
+            seed: 1,
+            inputs: 4,
+            gates: 10,
+            depth: 5,
+            outputs: 11,
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn backend_keywords_roundtrip() {
+        for b in [
+            BackendSpec::Pipeline,
+            BackendSpec::Netlist,
+            BackendSpec::Analytic,
+        ] {
+            assert_eq!(BackendSpec::parse(b.keyword()).unwrap(), b);
+        }
+        assert!(BackendSpec::parse("spice").is_err());
+    }
+
+    #[test]
+    fn circuit_specs_validate_and_build() {
+        let good = [
+            CircuitSpec::Chain {
+                depth: 4,
+                size: 1.0,
+            },
+            CircuitSpec::Alu1 { width: 8 },
+            CircuitSpec::Alu2 { width: 8 },
+            CircuitSpec::Decoder { bits: 4 },
+            CircuitSpec::Random {
+                seed: 1,
+                inputs: 8,
+                gates: 40,
+                depth: 6,
+                outputs: 4,
+            },
+            CircuitSpec::Iscas {
+                name: "c432".to_owned(),
+            },
+        ];
+        for c in &good {
+            c.validate().unwrap();
+            assert!(c.build().gate_count() > 0, "{c:?}");
+        }
+        let bad = [
+            CircuitSpec::Chain {
+                depth: 0,
+                size: 1.0,
+            },
+            CircuitSpec::Chain {
+                depth: 3,
+                size: f64::NAN,
+            },
+            CircuitSpec::Alu1 { width: 6 },
+            CircuitSpec::Decoder { bits: 3 },
+            CircuitSpec::Random {
+                seed: 1,
+                inputs: 8,
+                gates: 4,
+                depth: 6,
+                outputs: 4,
+            },
+            CircuitSpec::Iscas {
+                name: "c9999".to_owned(),
+            },
+        ];
+        for c in &bad {
+            assert!(c.validate().is_err(), "{c:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn circuits_pipeline_builds_heterogeneous_stages() {
+        let p = PipelineSpec::Circuits {
+            stages: vec![
+                CircuitSpec::Chain {
+                    depth: 3,
+                    size: 1.0,
+                },
+                CircuitSpec::Decoder { bits: 2 },
+            ],
+            latch: LatchSpec::Ideal,
+        };
+        p.validate().unwrap();
+        assert_eq!(p.stage_count(), 2);
+        let built = p.build("t").unwrap();
+        assert_eq!(built.stage_count(), 2);
+        assert!(built.total_gates() > 3);
     }
 
     #[test]

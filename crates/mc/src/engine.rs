@@ -7,7 +7,9 @@ use vardelay_process::spatial::SpatialGrid;
 use vardelay_process::{ProcessSampler, VariationConfig};
 use vardelay_ssta::sta::{arrival_times, DEFAULT_OUTPUT_LOAD};
 
-use crate::results::{McConfig, McResult};
+use vardelay_stats::counter_seed;
+
+use crate::results::{McConfig, PipelineBlockStats};
 
 /// Monte-Carlo runner for one combinational netlist.
 ///
@@ -54,6 +56,11 @@ impl NetlistMc {
         &self.sampler
     }
 
+    /// The configured primary-output load.
+    pub fn output_load(&self) -> f64 {
+        self.output_load
+    }
+
     /// One trial: returns the netlist delay for a freshly sampled die.
     ///
     /// Exposed so callers that need joint samples across netlists (the
@@ -94,44 +101,91 @@ impl NetlistMc {
             .fold(0.0, f64::max)
     }
 
-    /// Runs a full Monte-Carlo campaign over one netlist.
+    /// Runs trials `trials.start..trials.end` of a campaign whose
+    /// per-trial RNG streams are defined by `seed_of(trial_index)`,
+    /// folding each trial's netlist delay into `stats` (built for one
+    /// "stage": the netlist itself). Streaming — memory is O(1) in the
+    /// trial count — and counter-based, so any partition of a campaign's
+    /// trial range reproduces the same per-trial samples.
+    pub fn run_block(
+        &self,
+        netlist: &Netlist,
+        region: usize,
+        trials: std::ops::Range<u64>,
+        seed_of: impl Fn(u64) -> u64,
+        stats: &mut PipelineBlockStats,
+    ) {
+        for t in trials {
+            let mut rng = StdRng::seed_from_u64(seed_of(t));
+            let d = self.sample_delay(netlist, region, &mut rng);
+            stats.record(&[d], d);
+        }
+    }
+
+    /// Runs a full Monte-Carlo campaign over one netlist, streaming
+    /// trials through a block accumulator.
+    ///
+    /// Memory is O(`config.threads`), **not** O(`config.trials`) — a
+    /// 100M-trial campaign holds a handful of moment accumulators, never
+    /// a sample vector. Per-trial seeds are counter-based on
+    /// `(config.seed, trial index)`, so every trial's randomness is
+    /// independent of the thread count; the merged moments additionally
+    /// depend on the merge tree, so bit-stability is guaranteed for a
+    /// fixed `config` (callers needing bit-stability across *worker
+    /// counts* should drive [`NetlistMc::run_block`] with a fixed block
+    /// partition, as the sweep engine does).
     ///
     /// # Panics
     ///
     /// Panics if `config.trials == 0`.
-    pub fn run(&self, netlist: &Netlist, region: usize, config: &McConfig) -> McResult {
+    pub fn run(&self, netlist: &Netlist, region: usize, config: &McConfig) -> PipelineBlockStats {
         assert!(config.trials > 0, "need at least one trial");
+        let trials = config.trials as u64;
         let threads = config.effective_threads().min(config.trials);
+        let seed = config.seed;
         if threads == 1 {
-            let mut rng = StdRng::seed_from_u64(config.seed);
-            let samples = (0..config.trials)
-                .map(|_| self.sample_delay(netlist, region, &mut rng))
-                .collect();
-            return McResult::new(samples);
+            let mut stats = PipelineBlockStats::new(1, &[]);
+            self.run_block(
+                netlist,
+                region,
+                0..trials,
+                |t| counter_seed(seed, t),
+                &mut stats,
+            );
+            return stats;
         }
-        let chunk = config.trials / threads;
-        let rem = config.trials % threads;
-        let mut all = Vec::with_capacity(config.trials);
+        let chunk = trials / threads as u64;
+        let rem = trials % threads as u64;
+        let mut merged: Option<PipelineBlockStats> = None;
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for w in 0..threads {
-                let n = chunk + usize::from(w < rem);
-                let seed = config
-                    .seed
-                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
+            let mut start = 0u64;
+            for w in 0..threads as u64 {
+                let n = chunk + u64::from(w < rem);
+                let range = start..start + n;
+                start += n;
                 handles.push(scope.spawn(move |_| {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    (0..n)
-                        .map(|_| self.sample_delay(netlist, region, &mut rng))
-                        .collect::<Vec<f64>>()
+                    let mut stats = PipelineBlockStats::new(1, &[]);
+                    self.run_block(
+                        netlist,
+                        region,
+                        range,
+                        |t| counter_seed(seed, t),
+                        &mut stats,
+                    );
+                    stats
                 }));
             }
             for h in handles {
-                all.extend(h.join().expect("MC worker panicked"));
+                let stats = h.join().expect("MC worker panicked");
+                match &mut merged {
+                    None => merged = Some(stats),
+                    Some(acc) => acc.merge(&stats),
+                }
             }
         })
         .expect("MC thread scope failed");
-        McResult::new(all)
+        merged.expect("at least one worker ran")
     }
 }
 
@@ -152,8 +206,8 @@ mod tests {
         let c = inverter_chain(6, 1.0);
         let res = mc.run(&c, 0, &McConfig::quick(10, 1));
         let nominal = nominal_delay(&c, mc.library(), 1.0);
-        assert!((res.mean() - nominal).abs() < 1e-9);
-        assert!(res.sd() < 1e-12);
+        assert!((res.pipeline().mean() - nominal).abs() < 1e-9);
+        assert!(res.pipeline().sample_sd() < 1e-12);
     }
 
     #[test]
@@ -162,21 +216,22 @@ mod tests {
         let mc = runner(var);
         let c = inverter_chain(10, 1.0);
         let res = mc.run(&c, 0, &McConfig::quick(20_000, 7));
+        let (mean, sd) = (res.pipeline().mean(), res.pipeline().sample_sd());
         let ssta = SstaEngine::new(CellLibrary::default(), var, None)
             .with_output_load(1.0)
             .stage_delay(&c, 0);
         // Paper §2.4: mean error < 0.2%, sd error < 3% (plus MC noise and
         // the nonlinear-vs-linearized model gap).
         assert!(
-            ((res.mean() - ssta.mean()) / ssta.mean()).abs() < 0.01,
+            ((mean - ssta.mean()) / ssta.mean()).abs() < 0.01,
             "mean {} vs {}",
-            res.mean(),
+            mean,
             ssta.mean()
         );
         assert!(
-            ((res.sd() - ssta.sd()) / ssta.sd()).abs() < 0.08,
+            ((sd - ssta.sd()) / ssta.sd()).abs() < 0.08,
             "sd {} vs {}",
-            res.sd(),
+            sd,
             ssta.sd()
         );
     }
@@ -192,8 +247,25 @@ mod tests {
         };
         let a = mc.run(&c, 0, &cfg);
         let b = mc.run(&c, 0, &cfg);
-        assert_eq!(a.samples().len(), 1000);
-        assert_eq!(a.samples(), b.samples(), "same seed => same samples");
+        assert_eq!(a.trials(), 1000);
+        assert_eq!(a, b, "same config => same streamed statistics");
+        // Per-trial seeds are counter-based, so the *samples* are
+        // thread-count independent; only the merge tree differs.
+        let seq = mc.run(&c, 0, &McConfig { threads: 1, ..cfg });
+        assert!((seq.pipeline().mean() - a.pipeline().mean()).abs() < 1e-9);
+        assert_eq!(seq.pipeline().min(), a.pipeline().min());
+        assert_eq!(seq.pipeline().max(), a.pipeline().max());
+    }
+
+    #[test]
+    fn streaming_run_matches_manual_block_accumulation() {
+        // `run` must be exactly a fixed-partition drive of `run_block`.
+        let mc = runner(VariationConfig::combined(20.0, 35.0, 15.0));
+        let c = inverter_chain(4, 1.0);
+        let res = mc.run(&c, 0, &McConfig::quick(257, 5));
+        let mut want = PipelineBlockStats::new(1, &[]);
+        mc.run_block(&c, 0, 0..257, |t| counter_seed(5, t), &mut want);
+        assert_eq!(res, want);
     }
 
     #[test]
@@ -204,7 +276,7 @@ mod tests {
         // All gates shift together: sd/mean should be close to the per-gate
         // fractional sensitivity times sigma (no sqrt-N averaging).
         let s = mc.library().delay_vth_sensitivity() * 0.040;
-        let v = res.variability();
+        let v = res.pipeline().variability();
         assert!((v - s).abs() < 0.2 * s, "variability {v} vs sens {s}");
     }
 }

@@ -11,9 +11,12 @@
 //!
 //! * [`results`] — sample container with moments, quantiles, histograms,
 //!   yield estimates with confidence intervals.
-//! * [`engine`] — single-netlist Monte-Carlo.
+//! * [`engine`] — single-netlist Monte-Carlo (streaming, O(1) memory in
+//!   the trial count).
 //! * [`pipeline_mc`] — whole-pipeline Monte-Carlo (stage max + latch
 //!   overhead), multithreaded.
+//! * [`prepared`] — the allocation-free prepared/workspace variant of
+//!   the pipeline runner (the sweep engine's gate-level hot path).
 //!
 //! # Example
 //!
@@ -25,7 +28,7 @@
 //!
 //! let mc = NetlistMc::new(CellLibrary::default(), VariationConfig::random_only(35.0), None);
 //! let res = mc.run(&inverter_chain(8, 1.0), 0, &McConfig::quick(2_000, 1));
-//! assert!(res.stats().mean() > 0.0);
+//! assert!(res.pipeline().mean() > 0.0);
 //! ```
 
 #![deny(missing_docs)]
@@ -33,8 +36,10 @@
 
 pub mod engine;
 pub mod pipeline_mc;
+pub mod prepared;
 pub mod results;
 
 pub use engine::NetlistMc;
 pub use pipeline_mc::{PipelineMc, PipelineMcResult};
-pub use results::{McConfig, McResult, PipelineBlockStats, YieldEstimate};
+pub use prepared::{PreparedPipelineMc, TrialWorkspace};
+pub use results::{HistogramSpec, McConfig, McResult, PipelineBlockStats, YieldEstimate};

@@ -1,0 +1,365 @@
+//! Allocation-free gate-level Monte-Carlo: the sweep engine's hot path.
+//!
+//! [`PipelineMc::sample_trial`] allocates several vectors per trial (the
+//! die's region values, the per-gate slowdowns, the arrival-time array,
+//! the stage-delay vector) and re-evaluates every gate's load-dependent
+//! nominal delay from scratch. At sweep scale — millions of trials per
+//! scenario — that allocator traffic dominates. [`PreparedPipelineMc`]
+//! splits a trial into the parts that never change (topological order,
+//! loads, per-gate nominal delays, per-gate Pelgrom sigmas, stage
+//! regions — all precomputed once in `new`) and the parts that do (one
+//! [`TrialWorkspace`] of scratch buffers, reused across every trial a
+//! worker runs).
+//!
+//! The RNG consumption order and floating-point arithmetic are kept
+//! **identical** to [`PipelineMc`], so for the same per-trial seeds the
+//! prepared runner produces bit-identical statistics — a property the
+//! test suite asserts, which is what lets the sweep engine offer it as a
+//! backend without weakening any determinism guarantee.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vardelay_circuit::{CellLibrary, LatchParams, Netlist, StagedPipeline};
+use vardelay_process::{pelgrom_sigma, DieSample, ProcessSampler};
+use vardelay_ssta::sta::{arrival_times_into, nominal_gate_delays};
+use vardelay_stats::normal::sample_standard_normal;
+
+use crate::pipeline_mc::PipelineMc;
+use crate::results::PipelineBlockStats;
+
+/// One stage's precomputed timing data.
+#[derive(Debug, Clone)]
+struct PreparedStage {
+    netlist: Netlist,
+    /// Per-gate nominal delay under the stage's static loads (ps).
+    nominal: Vec<f64>,
+    /// Per-gate Pelgrom-scaled random σVth (V); empty when the variation
+    /// config has no random component (in which case no RNG is drawn per
+    /// gate, matching [`ProcessSampler::sample_gate_random`]).
+    rand_sigma: Vec<f64>,
+    /// Spatial region of the stage on the die.
+    region: usize,
+}
+
+/// Reusable per-worker scratch buffers for [`PreparedPipelineMc`].
+///
+/// Create one per worker thread with
+/// [`PreparedPipelineMc::workspace`] (or [`TrialWorkspace::new`] plus
+/// [`PreparedPipelineMc::prepare_workspace`], which is grow-only and may
+/// be re-used across scenarios). After the first trial warms the
+/// buffers, running further trials performs **no heap allocation** — the
+/// block runner debug-asserts that every buffer's storage is stable
+/// across a block.
+#[derive(Debug, Clone, Default)]
+pub struct TrialWorkspace {
+    /// iid standard normals for the spatial regions.
+    z: Vec<f64>,
+    /// The die sample (its region vector is reused).
+    die: DieSample,
+    /// Per-gate slowdown factors of the stage currently being timed.
+    slowdown: Vec<f64>,
+    /// Arrival times of the stage currently being timed.
+    at: Vec<f64>,
+    /// Per-stage delays of the current trial.
+    stage_delays: Vec<f64>,
+    /// Trials served since the buffers were last (re)allocated — the
+    /// observable half of the zero-allocation contract.
+    reuses: u64,
+}
+
+impl TrialWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        TrialWorkspace::default()
+    }
+
+    /// Trials served since the scratch buffers last (re)grew. A long
+    /// block run keeping this counter monotone is direct evidence the
+    /// hot path allocated nothing.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+}
+
+/// A [`StagedPipeline`] compiled for repeated zero-allocation trials.
+#[derive(Debug, Clone)]
+pub struct PreparedPipelineMc {
+    lib: CellLibrary,
+    sampler: ProcessSampler,
+    stages: Vec<PreparedStage>,
+    latch: LatchParams,
+}
+
+impl PreparedPipelineMc {
+    /// Compiles `pipeline` against the runner's library, variation and
+    /// output load: loads and per-gate nominal delays are evaluated once
+    /// here, never again per trial.
+    pub fn new(mc: &PipelineMc, pipeline: &StagedPipeline) -> Self {
+        let inner = mc.netlist_mc();
+        let lib = inner.library().clone();
+        let sampler = inner.sampler().clone();
+        let variation = *sampler.variation();
+        let stages = pipeline
+            .stages()
+            .iter()
+            .zip(pipeline.positions())
+            .map(|(netlist, pos)| {
+                let nominal = nominal_gate_delays(netlist, &lib, inner.output_load());
+                let rand_sigma = if variation.has_random() {
+                    netlist
+                        .gates()
+                        .iter()
+                        .map(|g| {
+                            pelgrom_sigma(
+                                variation.sigma_vth_rand_v(),
+                                g.size * g.kind.mismatch_area(),
+                            )
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                PreparedStage {
+                    netlist: netlist.clone(),
+                    nominal,
+                    rand_sigma,
+                    region: sampler.region_of(*pos),
+                }
+            })
+            .collect();
+        PreparedPipelineMc {
+            lib,
+            sampler,
+            stages,
+            latch: pipeline.latch(),
+        }
+    }
+
+    /// Number of pipeline stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Grows `ws` to fit this pipeline (no-op when already large
+    /// enough). Grow-only, so one workspace can serve interleaved blocks
+    /// of different scenarios without reallocating per block.
+    pub fn prepare_workspace(&self, ws: &mut TrialWorkspace) {
+        let grow = |v: &mut Vec<f64>, n: usize| {
+            if v.capacity() < n {
+                v.reserve(n - v.len());
+            }
+        };
+        let max_gates = self
+            .stages
+            .iter()
+            .map(|s| s.netlist.gate_count())
+            .max()
+            .unwrap_or(0);
+        let max_signals = self
+            .stages
+            .iter()
+            .map(|s| s.netlist.input_count() + s.netlist.gate_count())
+            .max()
+            .unwrap_or(0);
+        let regions = self.sampler.region_value_count();
+        let before = (
+            ws.z.capacity(),
+            ws.die.region_dvth.capacity(),
+            ws.slowdown.capacity(),
+            ws.at.capacity(),
+            ws.stage_delays.capacity(),
+        );
+        grow(&mut ws.z, regions);
+        grow(&mut ws.die.region_dvth, regions);
+        grow(&mut ws.slowdown, max_gates);
+        grow(&mut ws.at, max_signals);
+        grow(&mut ws.stage_delays, self.stages.len());
+        ws.stage_delays.resize(self.stages.len(), 0.0);
+        let after = (
+            ws.z.capacity(),
+            ws.die.region_dvth.capacity(),
+            ws.slowdown.capacity(),
+            ws.at.capacity(),
+            ws.stage_delays.capacity(),
+        );
+        if before != after {
+            ws.reuses = 0;
+        }
+    }
+
+    /// A fresh workspace sized for this pipeline.
+    pub fn workspace(&self) -> TrialWorkspace {
+        let mut ws = TrialWorkspace::new();
+        self.prepare_workspace(&mut ws);
+        ws
+    }
+
+    /// One trial into the workspace; returns the pipeline delay. The
+    /// per-stage delays are left in the workspace's stage buffer.
+    fn sample_trial(&self, ws: &mut TrialWorkspace, rng: &mut StdRng) -> f64 {
+        self.sampler.sample_die_into(rng, &mut ws.z, &mut ws.die);
+        let mut max_d = f64::NEG_INFINITY;
+        for (s, stage) in self.stages.iter().enumerate() {
+            let shared = ws.die.shared_dvth(if ws.die.region_dvth.is_empty() {
+                0
+            } else {
+                stage.region
+            });
+            ws.slowdown.clear();
+            if stage.rand_sigma.is_empty() {
+                let f = self.lib.vth_slowdown_factor(shared);
+                ws.slowdown.resize(stage.netlist.gate_count(), f);
+            } else {
+                ws.slowdown.extend(stage.rand_sigma.iter().map(|&sig| {
+                    let rand = sig * sample_standard_normal(rng);
+                    self.lib.vth_slowdown_factor(shared + rand)
+                }));
+            }
+            arrival_times_into(
+                &stage.netlist,
+                &stage.nominal,
+                Some(&ws.slowdown),
+                &mut ws.at,
+            );
+            let comb = stage
+                .netlist
+                .outputs()
+                .iter()
+                .map(|o| ws.at[o.0])
+                .fold(0.0, f64::max);
+            let overhead = self.latch.overhead_ps()
+                + self.latch.overhead_sigma_ps() * sample_standard_normal(rng);
+            let sd = comb + overhead;
+            max_d = max_d.max(sd);
+            ws.stage_delays[s] = sd;
+        }
+        ws.reuses += 1;
+        max_d
+    }
+
+    /// Runs trials `trials.start..trials.end` with per-trial seeds
+    /// `seed_of(trial_index)`, folding each trial into `stats` — the
+    /// [`crate::PipelineMc::run_block`] contract, minus the per-trial
+    /// allocations. Bit-identical to `PipelineMc` for the same seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` was built for a different stage count.
+    pub fn run_block(
+        &self,
+        ws: &mut TrialWorkspace,
+        trials: std::ops::Range<u64>,
+        seed_of: impl Fn(u64) -> u64,
+        stats: &mut PipelineBlockStats,
+    ) {
+        self.prepare_workspace(ws);
+        // The zero-allocation contract, made checkable: after the
+        // workspace is warm, no buffer may move for the rest of the
+        // block.
+        let fingerprint = |ws: &TrialWorkspace| {
+            (
+                ws.z.as_ptr(),
+                ws.die.region_dvth.as_ptr(),
+                ws.slowdown.as_ptr(),
+                ws.at.as_ptr(),
+                ws.stage_delays.as_ptr(),
+            )
+        };
+        let warm = fingerprint(ws);
+        for t in trials {
+            let mut rng = StdRng::seed_from_u64(seed_of(t));
+            let maxd = self.sample_trial(ws, &mut rng);
+            stats.record(&ws.stage_delays, maxd);
+            debug_assert_eq!(
+                fingerprint(ws),
+                warm,
+                "hot-path buffer reallocated mid-block"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_circuit::LatchParams;
+    use vardelay_process::VariationConfig;
+
+    fn pipe(ns: usize, nl: usize) -> StagedPipeline {
+        StagedPipeline::inverter_grid(ns, nl, 1.0, LatchParams::tg_msff_70nm())
+    }
+
+    fn seed_of(t: u64) -> u64 {
+        t.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(17)
+    }
+
+    /// The refactor's load-bearing property: the prepared runner is a
+    /// pure optimization of `PipelineMc::run_block` — same seeds, same
+    /// bits — under every variation mode.
+    #[test]
+    fn prepared_matches_pipeline_mc_bit_for_bit() {
+        for var in [
+            VariationConfig::none(),
+            VariationConfig::random_only(35.0),
+            VariationConfig::inter_only(40.0),
+            VariationConfig::combined(20.0, 35.0, 15.0),
+        ] {
+            let mc = PipelineMc::new(CellLibrary::default(), var, None);
+            let p = pipe(4, 6);
+            let prepared = PreparedPipelineMc::new(&mc, &p);
+
+            let targets = [150.0, 200.0];
+            let mut a = PipelineBlockStats::new(p.stage_count(), &targets);
+            mc.run_block(&p, 0..300, seed_of, &mut a);
+
+            let mut b = PipelineBlockStats::new(p.stage_count(), &targets);
+            let mut ws = prepared.workspace();
+            prepared.run_block(&mut ws, 0..300, seed_of, &mut b);
+
+            assert_eq!(a, b, "prepared path diverged under {var:?}");
+        }
+    }
+
+    #[test]
+    fn workspace_is_reused_across_blocks() {
+        let mc = PipelineMc::new(
+            CellLibrary::default(),
+            VariationConfig::combined(20.0, 35.0, 15.0),
+            None,
+        );
+        let p = pipe(3, 5);
+        let prepared = PreparedPipelineMc::new(&mc, &p);
+        let mut ws = prepared.workspace();
+        let mut stats = PipelineBlockStats::new(p.stage_count(), &[]);
+        prepared.run_block(&mut ws, 0..64, seed_of, &mut stats);
+        prepared.run_block(&mut ws, 64..128, seed_of, &mut stats);
+        assert_eq!(
+            ws.reuses(),
+            128,
+            "every trial after warm-up must reuse the buffers"
+        );
+        assert_eq!(stats.trials(), 128);
+    }
+
+    #[test]
+    fn workspace_grows_across_scenarios_without_losing_validity() {
+        let mc = PipelineMc::new(
+            CellLibrary::default(),
+            VariationConfig::random_only(35.0),
+            None,
+        );
+        let small = PreparedPipelineMc::new(&mc, &pipe(2, 3));
+        let large = PreparedPipelineMc::new(&mc, &pipe(5, 9));
+        let mut ws = small.workspace();
+        let mut s1 = PipelineBlockStats::new(2, &[]);
+        small.run_block(&mut ws, 0..32, seed_of, &mut s1);
+        // Re-using the same workspace for a bigger pipeline must grow it
+        // and still produce the reference numbers.
+        let mut s2 = PipelineBlockStats::new(5, &[]);
+        large.run_block(&mut ws, 0..32, seed_of, &mut s2);
+        let p = pipe(5, 9);
+        let mut want = PipelineBlockStats::new(5, &[]);
+        mc.run_block(&p, 0..32, seed_of, &mut want);
+        assert_eq!(s2, want);
+    }
+}

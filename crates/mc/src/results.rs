@@ -3,6 +3,23 @@
 use serde::{Deserialize, Serialize};
 use vardelay_stats::{cap_phi, Histogram, Quantiles, RunningStats};
 
+/// Optional fixed-range histogram attached to a block accumulator.
+///
+/// Streaming moments lose the distribution's *shape*; a fixed-range
+/// histogram (bounds chosen up front, e.g. from the analytic model)
+/// recovers it without retaining samples. Bin counts merge by integer
+/// addition, so the histogram is exact and order-independent — it never
+/// weakens the block-merge determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSpec {
+    /// Lower edge (ps).
+    pub lo: f64,
+    /// Upper edge (ps).
+    pub hi: f64,
+    /// Number of equal-width bins.
+    pub bins: usize,
+}
+
 /// Monte-Carlo run configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct McConfig {
@@ -104,6 +121,7 @@ pub struct PipelineBlockStats {
     stage_stats: Vec<RunningStats>,
     targets: Vec<f64>,
     successes: Vec<u64>,
+    histogram: Option<Histogram>,
 }
 
 impl PipelineBlockStats {
@@ -115,7 +133,18 @@ impl PipelineBlockStats {
             stage_stats: vec![RunningStats::new(); stages],
             targets: targets.to_vec(),
             successes: vec![0; targets.len()],
+            histogram: None,
         }
+    }
+
+    /// Adds a fixed-range histogram of the pipeline delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's range is empty or `bins == 0`.
+    pub fn with_histogram(mut self, spec: HistogramSpec) -> Self {
+        self.histogram = Some(Histogram::new(spec.lo, spec.hi, spec.bins));
+        self
     }
 
     /// Folds one trial into the block.
@@ -135,6 +164,9 @@ impl PipelineBlockStats {
         }
         for (ok, &t) in self.successes.iter_mut().zip(&self.targets) {
             *ok += u64::from(pipeline_delay <= t);
+        }
+        if let Some(h) = &mut self.histogram {
+            h.push(pipeline_delay);
         }
     }
 
@@ -157,6 +189,11 @@ impl PipelineBlockStats {
         for (acc, s) in self.successes.iter_mut().zip(&other.successes) {
             *acc += s;
         }
+        match (&mut self.histogram, &other.histogram) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => panic!("histogram configuration mismatch"),
+        }
     }
 
     /// Number of recorded trials.
@@ -177,6 +214,11 @@ impl PipelineBlockStats {
     /// The yield targets (ps) counted during recording.
     pub fn targets(&self) -> &[f64] {
         &self.targets
+    }
+
+    /// The streamed pipeline-delay histogram, when one was configured.
+    pub fn histogram(&self) -> Option<&Histogram> {
+        self.histogram.as_ref()
     }
 
     /// Yield estimate (with Wilson interval) at target index `i`.

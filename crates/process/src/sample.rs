@@ -16,7 +16,7 @@ use crate::variation::VariationConfig;
 
 /// One die's worth of shared variation: the inter-die shift and the
 /// per-region systematic shifts (all in volts of ΔVth).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DieSample {
     /// Inter-die ΔVth shared by every gate on the die (V).
     pub global_dvth: f64,
@@ -94,29 +94,63 @@ impl ProcessSampler {
 
     /// Draws the shared components for one die.
     pub fn sample_die<R: Rng + ?Sized>(&self, rng: &mut R) -> DieSample {
-        let global_dvth = if self.variation.has_inter() {
+        let mut die = DieSample {
+            global_dvth: 0.0,
+            region_dvth: Vec::new(),
+        };
+        let mut z = Vec::new();
+        self.sample_die_into(rng, &mut z, &mut die);
+        die
+    }
+
+    /// Number of correlated regions a [`DieSample`] from this sampler
+    /// carries (0 when no systematic component is configured).
+    pub fn region_value_count(&self) -> usize {
+        if self.variation.has_systematic() {
+            self.correlator
+                .as_ref()
+                .expect("systematic variation implies a grid")
+                .region_count()
+        } else {
+            0
+        }
+    }
+
+    /// Allocation-free variant of [`ProcessSampler::sample_die`]: draws
+    /// one die's shared components into `die`, using `z` as scratch for
+    /// the iid region normals. Both buffers are resized on first use and
+    /// reused untouched afterwards, so a Monte-Carlo loop that passes the
+    /// same buffers performs no per-trial heap allocation. The RNG
+    /// consumption and arithmetic are identical to `sample_die`, so the
+    /// two produce bit-identical samples from the same stream.
+    pub fn sample_die_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        z: &mut Vec<f64>,
+        die: &mut DieSample,
+    ) {
+        die.global_dvth = if self.variation.has_inter() {
             self.variation.sigma_vth_inter_v() * sample_standard_normal(rng)
         } else {
             0.0
         };
-        let region_dvth = if self.variation.has_systematic() {
+        if self.variation.has_systematic() {
             let corr = self
                 .correlator
                 .as_ref()
                 .expect("systematic variation implies a grid");
-            let z: Vec<f64> = (0..corr.region_count())
-                .map(|_| sample_standard_normal(rng))
-                .collect();
-            corr.correlate(&z)
-                .into_iter()
-                .map(|v| v * self.variation.sigma_vth_sys_v())
-                .collect()
+            z.resize(corr.region_count(), 0.0);
+            die.region_dvth.resize(corr.region_count(), 0.0);
+            for zi in z.iter_mut() {
+                *zi = sample_standard_normal(rng);
+            }
+            corr.correlate_into(z, &mut die.region_dvth);
+            let s = self.variation.sigma_vth_sys_v();
+            for v in &mut die.region_dvth {
+                *v *= s;
+            }
         } else {
-            Vec::new()
-        };
-        DieSample {
-            global_dvth,
-            region_dvth,
+            die.region_dvth.clear();
         }
     }
 

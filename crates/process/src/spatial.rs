@@ -172,6 +172,17 @@ impl SpatialCorrelator {
     pub fn correlate(&self, z: &[f64]) -> Vec<f64> {
         self.chol.transform(z)
     }
+
+    /// Allocation-free variant of [`SpatialCorrelator::correlate`]:
+    /// writes the correlated values into `out`. Bit-identical to
+    /// `correlate` for the same `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len()` or `out.len()` differ from `region_count()`.
+    pub fn correlate_into(&self, z: &[f64], out: &mut [f64]) {
+        self.chol.transform_into(z, out);
+    }
 }
 
 #[cfg(test)]

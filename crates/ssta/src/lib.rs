@@ -49,4 +49,7 @@ pub mod sta;
 pub use analysis::{PipelineTiming, SstaEngine};
 pub use canonical::CanonicalDelay;
 pub use path::{near_critical_count, top_k_paths, TimingPath};
-pub use sta::{critical_path, nominal_arrival_times, nominal_delay, DEFAULT_OUTPUT_LOAD};
+pub use sta::{
+    arrival_times_into, critical_path, nominal_arrival_times, nominal_delay, nominal_gate_delays,
+    DEFAULT_OUTPUT_LOAD,
+};

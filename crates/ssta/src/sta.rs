@@ -26,6 +26,51 @@ pub fn arrival_times(
     output_load: f64,
     slowdown: Option<&[f64]>,
 ) -> Vec<f64> {
+    let nominal = nominal_gate_delays(netlist, lib, output_load);
+    let mut at = Vec::new();
+    arrival_times_into(netlist, &nominal, slowdown, &mut at);
+    at
+}
+
+/// Per-gate nominal delays under the netlist's static loads — the
+/// load-dependent half of timing, which depends only on the netlist
+/// structure and sizing, never on a Monte-Carlo trial. Precompute once
+/// per netlist and feed [`arrival_times_into`] to keep per-trial timing
+/// free of both heap allocation and redundant delay-model evaluation.
+pub fn nominal_gate_delays(netlist: &Netlist, lib: &CellLibrary, output_load: f64) -> Vec<f64> {
+    let loads = netlist.loads(output_load);
+    netlist
+        .gates()
+        .iter()
+        .enumerate()
+        .map(|(i, g)| lib.nominal_delay(g.kind, g.size, loads[netlist.input_count() + i]))
+        .collect()
+}
+
+/// Allocation-free arrival-time propagation over precomputed
+/// [`nominal_gate_delays`].
+///
+/// `at` is resized on first use and reused untouched afterwards, so a
+/// Monte-Carlo loop passing the same buffer performs no per-trial heap
+/// allocation. The arithmetic (`d = nominal[i] * slowdown[i]`, max over
+/// fanins) is identical to [`arrival_times`], so the two are
+/// bit-identical for the same inputs.
+///
+/// # Panics
+///
+/// Panics if `nominal` or a `Some` `slowdown` have lengths different
+/// from the gate count.
+pub fn arrival_times_into(
+    netlist: &Netlist,
+    nominal: &[f64],
+    slowdown: Option<&[f64]>,
+    at: &mut Vec<f64>,
+) {
+    assert_eq!(
+        nominal.len(),
+        netlist.gate_count(),
+        "one nominal delay per gate required"
+    );
     if let Some(s) = slowdown {
         assert_eq!(
             s.len(),
@@ -33,12 +78,11 @@ pub fn arrival_times(
             "one slowdown factor per gate required"
         );
     }
-    let loads = netlist.loads(output_load);
-    let mut at = vec![0.0_f64; netlist.input_count() + netlist.gate_count()];
+    at.clear();
+    at.resize(netlist.input_count() + netlist.gate_count(), 0.0);
     for (i, g) in netlist.gates().iter().enumerate() {
         let out = netlist.input_count() + i;
-        let d0 = lib.nominal_delay(g.kind, g.size, loads[out]);
-        let d = d0 * slowdown.map_or(1.0, |s| s[i]);
+        let d = nominal[i] * slowdown.map_or(1.0, |s| s[i]);
         let t_in = g
             .fanins
             .iter()
@@ -46,7 +90,6 @@ pub fn arrival_times(
             .fold(f64::NEG_INFINITY, f64::max);
         at[out] = t_in + d;
     }
-    at
 }
 
 /// Nominal arrival times (no variation).

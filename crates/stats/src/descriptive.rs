@@ -323,6 +323,39 @@ impl Histogram {
         }
     }
 
+    /// Merges another histogram over the **same range and binning** —
+    /// integer count addition, so merging is exact and order-independent
+    /// (unlike floating-point moment merges). This is what lets the sweep
+    /// engine stream histograms through its block accumulators without
+    /// weakening its determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "histogram layout mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Lower edge of the range.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the range.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
     /// Bin counts.
     #[inline]
     pub fn counts(&self) -> &[u64] {

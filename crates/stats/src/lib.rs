@@ -13,6 +13,8 @@
 //! * [`correlation`] — validated correlation matrices and builders.
 //! * [`mvn`] — sampling from multivariate normal distributions.
 //! * [`descriptive`] — streaming moments (Welford), quantiles, histograms.
+//! * [`mix`] — SplitMix64 bit-mixing for counter-based Monte-Carlo
+//!   seeding (shared by the sweep engine and the MC runners).
 //! * [`ks`] — Kolmogorov–Smirnov distance between samples and a reference
 //!   distribution, used to validate analytical models against Monte-Carlo.
 //!
@@ -38,6 +40,7 @@ pub mod correlation;
 pub mod descriptive;
 pub mod ks;
 pub mod matrix;
+pub mod mix;
 pub mod mvn;
 pub mod normal;
 
@@ -45,5 +48,6 @@ pub use clark::{max_of, max_of_with_order, max_pair, MaxPairMoments};
 pub use correlation::CorrelationMatrix;
 pub use descriptive::{Histogram, Quantiles, RunningStats};
 pub use matrix::SymMatrix;
+pub use mix::{counter_seed, splitmix64_mix};
 pub use mvn::MultivariateNormal;
 pub use normal::{cap_phi, erf, erfc, inv_cap_phi, phi, Normal, NormalError};

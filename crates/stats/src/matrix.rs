@@ -246,10 +246,25 @@ impl Cholesky {
     ///
     /// Panics if `z.len() != dim()`.
     pub fn transform(&self, z: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.transform_into(z, &mut y);
+        y
+    }
+
+    /// Computes `y = L z` into a caller-provided buffer — the
+    /// allocation-free variant of [`Cholesky::transform`] used by
+    /// Monte-Carlo hot paths. Summation order is identical to
+    /// `transform`, so the two produce bit-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != dim()` or `y.len() != dim()`.
+    pub fn transform_into(&self, z: &[f64], y: &mut [f64]) {
         assert_eq!(z.len(), self.n, "vector length mismatch");
-        (0..self.n)
-            .map(|i| (0..=i).map(|j| self.l[i * self.n + j] * z[j]).sum())
-            .collect()
+        assert_eq!(y.len(), self.n, "output length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = (0..=i).map(|j| self.l[i * self.n + j] * z[j]).sum();
+        }
     }
 
     /// Reconstructs `L L^T` (mainly for testing/diagnostics).

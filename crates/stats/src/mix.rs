@@ -1,0 +1,53 @@
+//! Integer bit-mixing for counter-based seeding.
+//!
+//! Monte-Carlo code across the workspace derives per-trial RNG seeds as
+//! a pure function of `(campaign identity, trial index)` — the property
+//! that makes trial streams independent of scheduling. Both the sweep
+//! engine and the standalone Monte-Carlo runners build those seeds on
+//! the same audited finalizer below instead of carrying private forks.
+
+/// The SplitMix64 finalizer (Steele, Lea & Flood 2014): a full-avalanche
+/// 64-bit mix. Every output bit depends on every input bit, so nearby
+/// counters map to statistically unrelated seeds.
+#[inline]
+pub fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A counter-based seed for trial `trial` of a campaign identified by
+/// `id`: two mix rounds over the golden-ratio-spread pair. Used (with
+/// the campaign's own notion of identity) by the sweep engine and the
+/// Monte-Carlo runners.
+#[inline]
+pub fn counter_seed(id: u64, trial: u64) -> u64 {
+    splitmix64_mix(splitmix64_mix(
+        id ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(trial.wrapping_add(1)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_bijective_looking_and_stable() {
+        // Reference values pinned so seeding can never silently change:
+        // every Monte-Carlo number in the workspace depends on these.
+        assert_eq!(splitmix64_mix(0), 0);
+        assert_eq!(splitmix64_mix(1), 0x5692_161d_100b_05e5);
+        assert_ne!(splitmix64_mix(2), splitmix64_mix(3));
+    }
+
+    #[test]
+    fn counter_seeds_avalanche() {
+        let mut total = 0u32;
+        for t in 0..1000 {
+            total += (counter_seed(42, t) ^ counter_seed(42, t + 1)).count_ones();
+        }
+        let avg = f64::from(total) / 1000.0;
+        assert!((24.0..40.0).contains(&avg), "avg flipped bits {avg}");
+        assert_ne!(counter_seed(1, 5), counter_seed(2, 5));
+    }
+}

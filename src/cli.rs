@@ -55,9 +55,20 @@ USAGE:
       Run a scenario sweep (analytic model + Monte-Carlo) on the
       parallel engine. Results are bit-identical for any --workers.
       A summary table goes to stdout; full JSON results go to --out.
+      Each scenario picks its simulator with the backend field:
+      pipeline (staged-pipeline MC, the default), netlist (gate-level
+      MC on the zero-allocation hot path; supports CircuitSpec stages:
+      Chain/Alu1/Alu2/Decoder/Random/Iscas), or analytic (closed-form
+      SSTA/Clark, no trials).
 
-  vardelay sweep example
-      Print an example sweep spec (JSON) to adapt.
+  vardelay sweep validate <spec.json>
+      Lint a spec without running it: expand, validate every scenario,
+      and report the scenario count, trial total and block count.
+
+  vardelay sweep example [--backend netlist]
+      Print an example sweep spec (JSON) to adapt; --backend netlist
+      emits a gate-level template (circuit-spec pipelines, an analytic
+      model twin for model-vs-MC deltas).
 
   vardelay help
       This text.
@@ -276,6 +287,34 @@ pub fn sweep_cmd(spec_text: &str, mut opts: Vec<String>) -> Result<String, CliEr
     Ok(text)
 }
 
+/// `sweep validate` subcommand over already-loaded spec text: full
+/// validation and cost accounting, zero trials run.
+pub fn sweep_validate_cmd(spec_text: &str) -> Result<String, CliError> {
+    let sweep = vardelay_engine::Sweep::from_json(spec_text)
+        .map_err(|e| CliError(format!("invalid sweep spec: {e}")))?;
+    let plan = vardelay_engine::plan_sweep(&sweep)
+        .map_err(|e| CliError(format!("invalid sweep spec: {e}")))?;
+    Ok(format!("{}\nspec OK\n", plan.render()))
+}
+
+/// `sweep example` subcommand: the spec template for a backend.
+pub fn sweep_example_cmd(mut opts: Vec<String>) -> Result<String, CliError> {
+    let backend = take_opt(&mut opts, "--backend")?;
+    if !opts.is_empty() {
+        return Err(CliError(format!("unrecognized arguments: {opts:?}")));
+    }
+    let sweep = match backend.as_deref() {
+        None | Some("pipeline") => vardelay_engine::Sweep::example(),
+        Some("netlist") => vardelay_engine::Sweep::example_netlist(),
+        Some(other) => {
+            return Err(CliError(format!(
+                "no example for backend '{other}' (use pipeline|netlist)"
+            )))
+        }
+    };
+    Ok(sweep.to_json() + "\n")
+}
+
 /// Routes a full argument vector (without argv(0)); returns output text.
 pub fn run(args: Vec<String>) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
@@ -291,9 +330,17 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
         Some("yield") => yield_cmd(args[1..].to_vec()),
         Some("sweep") => match args.get(1).map(String::as_str) {
             None => Err(CliError(
-                "sweep requires a spec file (or `example`)".to_owned(),
+                "sweep requires a spec file (or `example`/`validate`)".to_owned(),
             )),
-            Some("example") => Ok(vardelay_engine::Sweep::example().to_json() + "\n"),
+            Some("example") => sweep_example_cmd(args[2..].to_vec()),
+            Some("validate") => {
+                let file = args
+                    .get(2)
+                    .ok_or_else(|| CliError("sweep validate requires a spec file".to_owned()))?;
+                let text = std::fs::read_to_string(file)
+                    .map_err(|e| CliError(format!("cannot read '{file}': {e}")))?;
+                sweep_validate_cmd(&text)
+            }
             Some(file) => {
                 let text = std::fs::read_to_string(file)
                     .map_err(|e| CliError(format!("cannot read '{file}': {e}")))?;
@@ -327,6 +374,45 @@ mod tests {
         let json = run(vec!["sweep".into(), "example".into()]).unwrap();
         let sweep = vardelay_engine::Sweep::from_json(&json).unwrap();
         assert!(sweep.expand().len() >= 16);
+    }
+
+    #[test]
+    fn sweep_example_netlist_emits_gate_level_template() {
+        let json = run(vec![
+            "sweep".into(),
+            "example".into(),
+            "--backend".into(),
+            "netlist".into(),
+        ])
+        .unwrap();
+        assert!(json.contains("\"backend\": \"netlist\""), "{json}");
+        assert!(json.contains("\"backend\": \"analytic\""), "{json}");
+        let sweep = vardelay_engine::Sweep::from_json(&json).unwrap();
+        assert!(vardelay_engine::plan_sweep(&sweep).is_ok());
+        assert!(run(vec![
+            "sweep".into(),
+            "example".into(),
+            "--backend".into(),
+            "spice".into()
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_validate_reports_without_running() {
+        let spec = vardelay_engine::Sweep::example_netlist().to_json();
+        let out = sweep_validate_cmd(&spec).unwrap();
+        assert!(out.contains("spec OK"), "{out}");
+        assert!(out.contains("netlist"), "{out}");
+        assert!(out.contains("analytic"), "{out}");
+        assert!(out.contains("blocks"), "{out}");
+        // Invalid specs are rejected with the engine's context.
+        let mut bad = vardelay_engine::Sweep::example_netlist();
+        bad.scenarios[1].trials = 5; // analytic backend with trials
+        let err = sweep_validate_cmd(&bad.to_json()).unwrap_err();
+        assert!(err.to_string().contains("analytic"), "{err}");
+        assert!(sweep_validate_cmd("not json").is_err());
+        assert!(run(vec!["sweep".into(), "validate".into()]).is_err());
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //!
 //! Generics and `#[serde(...)]` attributes are not supported; deriving on
 //! such an item fails with a compile error naming this limitation.
+//!
+//! One deliberate divergence from real serde's defaults: derived
+//! deserializers for named-field structs and struct variants **reject
+//! unknown keys** (like `#[serde(deny_unknown_fields)]`). Every format
+//! in this workspace is produced by this workspace, so an unknown key
+//! is always a typo — and for sweep specs a silently-dropped key can
+//! select the wrong experiment.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -263,6 +270,26 @@ fn gen_serialize(item: &Item) -> String {
     )
 }
 
+/// Generates a guard rejecting object keys outside `fields` — derived
+/// types deny unknown fields (unlike real serde's default) so a typo'd
+/// key fails the parse instead of silently vanishing. `expr` is the
+/// expression holding the candidate `&Value`.
+fn gen_known_fields_guard(type_name: &str, fields: &[String], expr: &str) -> String {
+    let list: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+    format!(
+        "if let ::serde::Value::Object(__obj_fields) = {expr} {{\n\
+             const __KNOWN: &[&str] = &[{}];\n\
+             for (__key, _) in __obj_fields {{\n\
+                 if !__KNOWN.contains(&__key.as_str()) {{\n\
+                     return ::std::result::Result::Err(::serde::Error::new(\n\
+                         ::std::format!(\"unknown field `{{__key}}` in {type_name}\")));\n\
+                 }}\n\
+             }}\n\
+         }}\n",
+        list.join(", ")
+    )
+}
+
 fn gen_deserialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.body {
@@ -272,7 +299,8 @@ fn gen_deserialize(item: &Item) -> String {
                 .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\")?)?"))
                 .collect();
             format!(
-                "::std::result::Result::Ok({name} {{ {} }})",
+                "{}::std::result::Result::Ok({name} {{ {} }})",
+                gen_known_fields_guard(name, fields, "__v"),
                 inits.join(", ")
             )
         }
@@ -335,7 +363,12 @@ fn gen_deserialize(item: &Item) -> String {
                                 })
                                 .collect();
                             Some(format!(
-                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                                "\"{vname}\" => {{ {} ::std::result::Result::Ok({name}::{vname} {{ {} }}) }},",
+                                gen_known_fields_guard(
+                                    &format!("{name}::{vname}"),
+                                    fields,
+                                    "__payload"
+                                ),
                                 inits.join(", ")
                             ))
                         }
