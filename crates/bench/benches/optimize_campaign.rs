@@ -1,0 +1,73 @@
+//! Criterion bench: per-campaign cost of the Fig. 9 sizing loop on the
+//! two in-loop yield backends.
+//!
+//! One ensure-yield run on a small 4-stage chain pipeline (the golden
+//! test's Table-II-style shape), timed end to end through
+//! `run_campaign` — frontier resolution, individual baseline, global
+//! flow, and Monte-Carlo verification included:
+//!
+//! * `campaign/analytic` — the paper flow: closed-form Clark/SSTA yield
+//!   inside the loop.
+//! * `campaign/netlist` — gate-level Monte-Carlo yield inside the loop
+//!   (1024 trials per evaluation on the prepared zero-allocation path);
+//!   the delta over `analytic` is the in-loop measurement cost.
+//!
+//! Determinism is asserted before timing: 1-worker and 4-worker
+//! campaign results must be byte-identical, or the numbers would not be
+//! comparable run to run.
+//!
+//! Run: `cargo bench -p vardelay-bench --bench optimize_campaign`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
+use vardelay_engine::{run_campaign, LatchSpec, PipelineSpec, SweepOptions, VariationSpec};
+use vardelay_opt::{OptimizationGoal, TargetDelayPolicy};
+
+fn campaign(backend: YieldBackendSpec) -> OptimizationCampaign {
+    OptimizationCampaign {
+        name: format!("bench-{}", backend.keyword()),
+        seed: 0xBE7C,
+        runs: vec![OptimizeSpec {
+            label: format!("chains ensure 80% ({})", backend.keyword()),
+            pipeline: PipelineSpec::InverterStages {
+                depths: vec![30, 29, 29, 29],
+                size: 1.0,
+                latch: LatchSpec::TgMsff70nm,
+            },
+            variation: VariationSpec::RandomOnly { sigma_mv: 35.0 },
+            yield_target: 0.80,
+            target_delay: TargetDelayPolicy::FrontierQuantile { q: 0.86, refine: 3 },
+            goal: OptimizationGoal::EnsureYield,
+            rounds: 3,
+            yield_backend: backend,
+            eval_trials: 1_024,
+            verify_trials: 4_096,
+        }],
+        grid: None,
+    }
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    for backend in [YieldBackendSpec::Analytic, YieldBackendSpec::Netlist] {
+        let spec = campaign(backend);
+        // The numbers are only comparable because the workload is a
+        // pure function of the spec: assert it.
+        let a = run_campaign(&spec, &SweepOptions::sequential()).unwrap();
+        let b = run_campaign(&spec, &SweepOptions::sequential().with_workers(4)).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "worker count must not matter");
+        assert_eq!(a.runs.len(), 1);
+
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backend.keyword()),
+            &spec,
+            |bch, spec| bch.iter(|| run_campaign(black_box(spec), &SweepOptions::sequential())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -3,82 +3,54 @@
 //!
 //! Setup (matching the paper's): the target delay is placed where the
 //! biggest stage (c3540) *cannot* reach the conventional per-stage yield
-//! allocation of `0.80^(1/4) = 94.6%` — its sizing frontier tops out in
-//! the mid-80s — so the individually-optimized flow under-yields at the
-//! pipeline level. The Fig. 9 global flow then compensates by buying
-//! extra yield in the stages where it is cheap (low `R_i`).
+//! allocation of `0.80^(1/4) = 94.6%` — the frontier-quantile policy
+//! pins it at the 86% quantile, the paper's 86.3% situation. In the
+//! paper the individually-optimized flow then under-yields at the
+//! pipeline level and the Fig. 9 global flow compensates by buying
+//! extra yield in the stages where it is cheap (low `R_i`); see the
+//! shape-check footer for how far our greedy sizer reproduces that
+//! contrast on these profiles.
+//!
+//! Since the engine grew optimization campaigns, this binary is a thin
+//! campaign driver: the frontier search, the individually-optimized
+//! baseline, the global flow and the Monte-Carlo "actual yield"
+//! cross-check (20k trials) all run through `vardelay_engine::optimize`
+//! — the same code path as `vardelay optimize <spec.json>`.
 //!
 //! Run: `cargo run --release -p vardelay-bench --bin table2`
 
+use vardelay_bench::iscas_pipeline_spec;
 use vardelay_bench::render::{pct, TextTable};
-use vardelay_bench::{library, to_core_pipeline};
-use vardelay_circuit::generators::iscas;
-use vardelay_circuit::{LatchParams, StagedPipeline};
-use vardelay_opt::sizing::{SizingConfig, StatisticalSizer};
-use vardelay_opt::{GlobalPipelineOptimizer, OptimizationGoal};
-use vardelay_process::VariationConfig;
-use vardelay_ssta::SstaEngine;
-use vardelay_stats::inv_cap_phi;
+use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
+use vardelay_engine::{run_campaign, SweepOptions, VariationSpec};
+use vardelay_opt::{OptimizationGoal, TargetDelayPolicy};
 
 fn main() {
-    let engine = SstaEngine::new(library(), VariationConfig::random_only(35.0), None);
-    let sizer = StatisticalSizer::new(engine.clone(), SizingConfig::default());
-    let opt = GlobalPipelineOptimizer::new(sizer).with_rounds(4);
-
-    let pipeline = StagedPipeline::new(
-        "iscas4",
-        iscas::table2_stages(),
-        LatchParams::tg_msff_70nm(),
-    );
-    let yield_target = 0.80;
-    let latch = pipeline.latch().overhead_ps();
-
-    // Pass 1: provisional individual optimization to locate the slowest
-    // stage's sizing frontier.
-    let t0 = engine.analyze_pipeline(&pipeline);
-    let slow_idx = (0..pipeline.stage_count())
-        .max_by(|&a, &b| {
-            t0.stage_delays[a]
-                .mean()
-                .partial_cmp(&t0.stage_delays[b].mean())
-                .expect("finite")
-        })
-        .expect("non-empty");
-    // Fixed-point search: tighten the target toward the point where the
-    // frontier stage's achievable marginal yield is ~86% — below the
-    // 94.6% allocation, like the paper's c3540 (86.3%). The greedy sizer
-    // is path-dependent, so each re-run can push the frontier slightly;
-    // iterate until the achieved yield stops exceeding ~90%.
-    let mut target = t0.stage_delays[slow_idx].mean() * 0.62;
-    let mut indiv = opt.optimize_individually(&pipeline, target, yield_target);
-    let mut t_ind = engine.analyze_pipeline(&indiv);
-    for _ in 0..4 {
-        let (mu_b, sd_b) = (
-            t_ind.stage_delays[slow_idx].mean() - latch,
-            t_ind.stage_delays[slow_idx].sd(),
-        );
-        target = mu_b + latch + inv_cap_phi(0.86) * sd_b;
-        // Warm-start from the previous baseline so the conventional flow
-        // gets the same optimization maturity as the global flow.
-        indiv = opt.optimize_individually(&indiv, target, yield_target);
-        t_ind = engine.analyze_pipeline(&indiv);
-        let y_slow = t_ind.stage_delays[slow_idx].cdf(target);
-        if (0.80..=0.90).contains(&y_slow) {
-            break;
-        }
-    }
+    let campaign = OptimizationCampaign {
+        name: "table2".to_owned(),
+        seed: 0x7AB2,
+        runs: vec![OptimizeSpec {
+            label: "iscas4 ensure 80%".to_owned(),
+            pipeline: iscas_pipeline_spec(),
+            variation: VariationSpec::RandomOnly { sigma_mv: 35.0 },
+            yield_target: 0.80,
+            target_delay: TargetDelayPolicy::table2(),
+            goal: OptimizationGoal::EnsureYield,
+            rounds: 4,
+            yield_backend: YieldBackendSpec::Analytic,
+            eval_trials: 2_048,
+            verify_trials: 20_000,
+        }],
+        grid: None,
+    };
+    let result = run_campaign(&campaign, &SweepOptions::default()).expect("campaign is valid");
+    let run = &result.runs[0];
+    let report = &run.report;
+    let target = run.target_ps;
+    let a_ind = report.pipeline_area_before;
 
     println!("Table II — ensuring Y_TARGET = 80% with small area penalty");
     println!("4-stage ISCAS85 pipeline, target delay {target:.0} ps\n");
-    let y_ind = to_core_pipeline(&t_ind).yield_at(target);
-    let a_ind: f64 = indiv.total_area();
-
-    // Proposed: Fig. 9 global flow, warm-started from the baseline (the
-    // algorithm's stated input is "the complete pipelined design with
-    // individual stages optimized").
-    let (glob, report) = opt.optimize(&indiv, target, yield_target, OptimizationGoal::EnsureYield);
-    let t_glob = engine.analyze_pipeline(&glob);
-    let a_glob: f64 = glob.total_area();
 
     let mut t = TextTable::new([
         "Stage logic",
@@ -88,21 +60,21 @@ fn main() {
         "Proposed yield %",
         "R slope",
     ]);
-    for (i, s) in pipeline.stages().iter().enumerate() {
+    for s in &report.stages {
         t.row([
-            s.name().to_owned(),
-            format!("{:.1}", 100.0 * indiv.stage_areas()[i] / a_ind),
-            pct(t_ind.stage_delays[i].cdf(target)),
-            format!("{:.1}", 100.0 * glob.stage_areas()[i] / a_ind),
-            pct(t_glob.stage_delays[i].cdf(target)),
-            format!("{:.2}", report.stages[i].slope),
+            s.name.clone(),
+            format!("{:.1}", 100.0 * s.area_before / a_ind),
+            pct(s.yield_before),
+            format!("{:.1}", 100.0 * s.area_after / a_ind),
+            pct(s.yield_after),
+            format!("{:.2}", s.slope),
         ]);
     }
     t.row([
         "Pipeline:".to_owned(),
         "100.0".to_owned(),
-        pct(y_ind),
-        format!("{:.1}", 100.0 * a_glob / a_ind),
+        pct(run.individual.analytic_yield),
+        format!("{:.1}", 100.0 * report.pipeline_area_after / a_ind),
         pct(report.pipeline_yield_after),
         "-".to_owned(),
     ]);
@@ -110,13 +82,27 @@ fn main() {
 
     println!(
         "yield: {} -> {} (target {}), area {:+.1}%",
-        pct(y_ind),
+        pct(run.individual.analytic_yield),
         pct(report.pipeline_yield_after),
-        pct(yield_target),
-        100.0 * (a_glob - a_ind) / a_ind
+        pct(report.yield_target),
+        100.0 * report.area_delta_fraction()
     );
-    println!("\nshape check vs paper's Table II: the conventional flow misses the pipeline");
-    println!("yield target because the frontier stage cannot reach its allocation; the global");
-    println!("flow reaches the target (paper: 73.9% -> 80.5%, +9 points) at a small area");
-    println!("change (paper: +2%).");
+    if let (Some(mi), Some(mg)) = (&run.individual.mc, &run.mc) {
+        println!(
+            "actual (MC, {} trials): {} -> {}  [model on measured moments: {} -> {}]",
+            mg.trials,
+            pct(mi.value),
+            pct(mg.value),
+            mi.model_from_mc.map_or("-".to_owned(), pct),
+            mg.model_from_mc.map_or("-".to_owned(), pct),
+        );
+    }
+    println!("\nshape check vs paper's Table II: the target sits where the frontier stage");
+    println!("(c3540) reaches only the 86% quantile — below its 94.6% allocation, the");
+    println!("paper's 86.3% setup. Whether the conventional flow then under-yields depends");
+    println!("on how far the remaining stages overshoot their allocation (our greedy sizer");
+    println!("overshoots on these profiles; when it does, the global flow keeps the input");
+    println!("rather than spending area). The classic failure->fix contrast (paper: 73.9%");
+    println!("-> 80.5% at +2% area) is pinned by the campaign golden test on a chain");
+    println!("pipeline, crates/engine/tests/optimize.rs.");
 }

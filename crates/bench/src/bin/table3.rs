@@ -1,71 +1,54 @@
 //! Table III: area reduction at a fixed 80% pipeline yield target on the
 //! 4-stage ISCAS85 pipeline.
 //!
-//! Setup: the target delay is relaxed enough that the conventional
-//! individually-optimized flow lands at/above the yield target with
-//! area to spare. The Fig. 9 global flow (goal: minimize area) then
-//! recovers area by relaxing the stages where delay is expensive
-//! (high `R_i` — the big ALU) and keeping the cheap stages fast.
+//! Setup: the target delay is relaxed to the slowest stage's ~97%
+//! sized-frontier quantile — every stage can meet its allocation and the
+//! conventional baseline over-delivers slightly. The Fig. 9 global flow
+//! (goal: minimize area) then recovers area by relaxing the stages where
+//! delay is expensive (high `R_i` — the big ALU) and keeping the cheap
+//! stages fast.
+//!
+//! Like `table2`, this binary is a campaign driver: the frontier
+//! placement that used to be an inline "~93% quantile" magic constant is
+//! now the shared, documented `TargetDelayPolicy::table3()` policy, and
+//! the whole experiment runs through `vardelay_engine::optimize` with a
+//! Monte-Carlo cross-check of both designs.
 //!
 //! Run: `cargo run --release -p vardelay-bench --bin table3`
 
+use vardelay_bench::iscas_pipeline_spec;
 use vardelay_bench::render::{pct, TextTable};
-use vardelay_bench::{library, to_core_pipeline};
-use vardelay_circuit::generators::iscas;
-use vardelay_circuit::{LatchParams, StagedPipeline};
-use vardelay_opt::sizing::{SizingConfig, StatisticalSizer};
-use vardelay_opt::{GlobalPipelineOptimizer, OptimizationGoal};
-use vardelay_process::VariationConfig;
-use vardelay_ssta::SstaEngine;
-use vardelay_stats::inv_cap_phi;
+use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
+use vardelay_engine::{run_campaign, SweepOptions, VariationSpec};
+use vardelay_opt::{OptimizationGoal, TargetDelayPolicy};
 
 fn main() {
-    let engine = SstaEngine::new(library(), VariationConfig::random_only(35.0), None);
-    let sizer = StatisticalSizer::new(engine.clone(), SizingConfig::default());
-    let opt = GlobalPipelineOptimizer::new(sizer).with_rounds(8);
-
-    let pipeline = StagedPipeline::new(
-        "iscas4",
-        iscas::table2_stages(),
-        LatchParams::tg_msff_70nm(),
-    );
-    let yield_target = 0.80;
-    let latch = pipeline.latch().overhead_ps();
-
-    // Locate the slowest stage's sizing frontier (as in table2), then
-    // relax: target at the frontier's ~93% quantile, so every stage can
-    // meet its allocation and the baseline over-delivers slightly.
-    let t0 = engine.analyze_pipeline(&pipeline);
-    let slow_idx = (0..pipeline.stage_count())
-        .max_by(|&a, &b| {
-            t0.stage_delays[a]
-                .mean()
-                .partial_cmp(&t0.stage_delays[b].mean())
-                .expect("finite")
-        })
-        .expect("non-empty");
-    let provisional = t0.stage_delays[slow_idx].mean() * 0.62;
-    let indiv1 = opt.optimize_individually(&pipeline, provisional, yield_target);
-    let t1 = engine.analyze_pipeline(&indiv1);
-    let (mu_b, sd_b) = (
-        t1.stage_delays[slow_idx].mean() - latch,
-        t1.stage_delays[slow_idx].sd(),
-    );
-    let target = mu_b + latch + inv_cap_phi(0.97) * sd_b;
+    let campaign = OptimizationCampaign {
+        name: "table3".to_owned(),
+        seed: 0x7AB3,
+        runs: vec![OptimizeSpec {
+            label: "iscas4 min-area at 80%".to_owned(),
+            pipeline: iscas_pipeline_spec(),
+            variation: VariationSpec::RandomOnly { sigma_mv: 35.0 },
+            yield_target: 0.80,
+            target_delay: TargetDelayPolicy::table3(),
+            goal: OptimizationGoal::MinimizeArea,
+            rounds: 8,
+            yield_backend: YieldBackendSpec::Analytic,
+            eval_trials: 2_048,
+            verify_trials: 20_000,
+        }],
+        grid: None,
+    };
+    let result = run_campaign(&campaign, &SweepOptions::default()).expect("campaign is valid");
+    let run = &result.runs[0];
+    let report = &run.report;
+    let target = run.target_ps;
+    let a_ind = report.pipeline_area_before;
+    let a_glob = report.pipeline_area_after;
 
     println!("Table III — area reduction for a target yield of 80%");
     println!("4-stage ISCAS85 pipeline, target delay {target:.0} ps\n");
-
-    // Baseline: individually optimized.
-    let indiv = opt.optimize_individually(&pipeline, target, yield_target);
-    let t_ind = engine.analyze_pipeline(&indiv);
-    let y_ind = to_core_pipeline(&t_ind).yield_at(target);
-    let a_ind: f64 = indiv.total_area();
-
-    // Proposed: minimize area subject to the same yield target.
-    let (glob, report) = opt.optimize(&indiv, target, yield_target, OptimizationGoal::MinimizeArea);
-    let t_glob = engine.analyze_pipeline(&glob);
-    let a_glob: f64 = glob.total_area();
 
     let mut t = TextTable::new([
         "Stage logic",
@@ -75,20 +58,20 @@ fn main() {
         "Proposed yield %",
         "R slope",
     ]);
-    for (i, s) in pipeline.stages().iter().enumerate() {
+    for s in &report.stages {
         t.row([
-            s.name().to_owned(),
-            format!("{:.1}", 100.0 * indiv.stage_areas()[i] / a_ind),
-            pct(t_ind.stage_delays[i].cdf(target)),
-            format!("{:.1}", 100.0 * glob.stage_areas()[i] / a_ind),
-            pct(t_glob.stage_delays[i].cdf(target)),
-            format!("{:.2}", report.stages[i].slope),
+            s.name.clone(),
+            format!("{:.1}", 100.0 * s.area_before / a_ind),
+            pct(s.yield_before),
+            format!("{:.1}", 100.0 * s.area_after / a_ind),
+            pct(s.yield_after),
+            format!("{:.2}", s.slope),
         ]);
     }
     t.row([
         "Pipeline:".to_owned(),
         "100.0".to_owned(),
-        pct(y_ind),
+        pct(run.individual.analytic_yield),
         format!("{:.1}", 100.0 * a_glob / a_ind),
         pct(report.pipeline_yield_after),
         "-".to_owned(),
@@ -98,16 +81,23 @@ fn main() {
     println!(
         "area: 100% -> {:.1}% ({:+.1}%) at yield {} -> {} (target {})",
         100.0 * a_glob / a_ind,
-        100.0 * (a_glob - a_ind) / a_ind,
-        pct(y_ind),
+        100.0 * report.area_delta_fraction(),
+        pct(run.individual.analytic_yield),
         pct(report.pipeline_yield_after),
-        pct(yield_target)
+        pct(report.yield_target)
     );
+    if let (Some(mi), Some(mg)) = (&run.individual.mc, &run.mc) {
+        println!(
+            "actual (MC, {} trials): {} -> {}  [model on measured moments: {} -> {}]",
+            mg.trials,
+            pct(mi.value),
+            pct(mg.value),
+            mi.model_from_mc.map_or("-".to_owned(), pct),
+            mg.model_from_mc.map_or("-".to_owned(), pct),
+        );
+    }
     // "Optimize area (hence, power)" — §4: the saved width is saved power.
-    let pw = vardelay_circuit::power::PowerParams::default();
-    let tech = library().tech().clone();
-    let p_ind = vardelay_circuit::power::pipeline_power(&indiv, &tech, &pw, 0.0);
-    let p_glob = vardelay_circuit::power::pipeline_power(&glob, &tech, &pw, 0.0);
+    let (p_ind, p_glob) = (&run.individual.power, &run.power);
     println!(
         "power (normalized): 100% -> {:.1}% (dynamic {:+.1}%, leakage {:+.1}%)",
         100.0 * p_glob.total() / p_ind.total(),

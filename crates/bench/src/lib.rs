@@ -15,6 +15,11 @@
 //! | `table2` | Table II: ensuring 80% yield with small area penalty |
 //! | `table3` | Table III: area reduction at fixed 80% yield |
 //!
+//! `table2`/`table3` drive the engine's optimization campaigns
+//! (`vardelay_engine::optimize`) — the same code path as
+//! `vardelay optimize <spec.json>` — so their frontier search, baseline
+//! and Monte-Carlo cross-check are the shared, tested implementations.
+//!
 //! The library half hosts the shared experiment fixtures (calibrated
 //! technology/variation presets) and plain-text rendering helpers.
 

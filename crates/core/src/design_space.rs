@@ -87,6 +87,17 @@ impl DesignSpace {
         crate::yield_model::max_sigma_for_yield(mu_ps, self.target_ps, y)
     }
 
+    /// The eq.-12 per-stage yield allocation `P_D^(1/Ns)` of this
+    /// space's pipeline yield target — what an optimization campaign
+    /// budgets each of `ns` stages before any global feedback runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns == 0`.
+    pub fn stage_allocation(&self, ns: usize) -> f64 {
+        crate::yield_model::stage_yield_target(self.yield_target, ns)
+    }
+
     /// Whether a stage with moments `(mu, sigma)` is admissible under the
     /// equality bound for `ns` stages.
     ///
@@ -228,6 +239,13 @@ mod tests {
         let ds = DesignSpace::new(200.0, 0.9).unwrap();
         assert!(ds.mu_upper_bound(10.0) < ds.mu_upper_bound(5.0));
         assert!(ds.mu_upper_bound(0.0) == 200.0);
+    }
+
+    #[test]
+    fn stage_allocation_matches_yield_model() {
+        let ds = DesignSpace::new(200.0, 0.8).unwrap();
+        let y = ds.stage_allocation(4);
+        assert!((y.powi(4) - 0.8).abs() < 1e-12);
     }
 
     #[test]

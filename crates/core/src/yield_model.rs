@@ -43,6 +43,19 @@ pub fn stage_yield_target(pipeline_yield: f64, ns: usize) -> f64 {
     pipeline_yield.powf(1.0 / ns as f64)
 }
 
+/// The sigma multiplier implied by the eq.-12 allocation:
+/// `κ = Φ⁻¹(Y^(1/Ns))`. A stage guard-banding its statistical delay as
+/// `μ + κ·σ ≤ T` meets its share of a pipeline yield target of `Y`
+/// across `Ns` equally-critical independent stages — the multiplier
+/// form the sizing flow (Fig. 9 steps 4–7) consumes directly.
+///
+/// # Panics
+///
+/// Panics if `pipeline_yield` is outside `(0, 1)` or `ns == 0`.
+pub fn stage_kappa(pipeline_yield: f64, ns: usize) -> f64 {
+    inv_cap_phi(stage_yield_target(pipeline_yield, ns))
+}
+
 /// The maximum σ a stage may have at mean `mu` to meet `target` with
 /// probability `y` (rearranged eq. 11: `σ ≤ (T − μ)/Φ⁻¹(y)`).
 ///
@@ -101,6 +114,17 @@ mod tests {
             assert!((y.powi(ns as i32) - 0.8).abs() < 1e-12);
             assert!(y > 0.8, "per-stage target stricter than pipeline");
         }
+    }
+
+    #[test]
+    fn stage_kappa_matches_allocation() {
+        for ns in [1usize, 2, 4, 8] {
+            let k = stage_kappa(0.8, ns);
+            let y = stage_yield_target(0.8, ns);
+            assert!((vardelay_stats::cap_phi(k) - y).abs() < 1e-12);
+        }
+        // More stages => stricter allocation => larger multiplier.
+        assert!(stage_kappa(0.8, 8) > stage_kappa(0.8, 2));
     }
 
     #[test]

@@ -24,9 +24,14 @@
 //! * [`run`] — the `std::thread` + channel worker pool with in-order
 //!   streaming aggregation of [`vardelay_mc::PipelineBlockStats`]
 //!   blocks and per-worker reusable trial workspaces.
+//! * [`optimize`] — optimization campaigns: the §4 / Fig. 9 yield-aware
+//!   sizing flow ([`vardelay_opt`]) as an engine workload, with a
+//!   pluggable in-loop yield backend (analytic Clark/SSTA vs gate-level
+//!   Monte-Carlo) and MC-verified yield in every result row.
 //! * [`plan`] — expand + validate + cost a spec without running it
-//!   (the CLI's `sweep validate`).
-//! * [`result`] — serializable per-scenario/per-sweep results.
+//!   (the CLI's `sweep validate` / `optimize validate`).
+//! * [`result`] — serializable per-scenario/per-sweep and per-run/
+//!   per-campaign results.
 //! * [`design_space`] — declarative §2.5 permissible-region sweeps.
 //!
 //! ## The determinism contract
@@ -60,6 +65,7 @@
 #![warn(clippy::all)]
 
 pub mod design_space;
+pub mod optimize;
 pub mod plan;
 pub mod result;
 pub mod run;
@@ -68,8 +74,13 @@ pub mod sim;
 pub mod spec;
 
 pub use design_space::{design_space, DesignSpaceResult, DesignSpaceSpec};
-pub use plan::{plan_sweep, ScenarioPlan, SweepPlan};
-pub use result::{McSummary, ScenarioResult, SweepResult};
+pub use optimize::{
+    run_campaign, OptimizationCampaign, OptimizeGridSpec, OptimizeSpec, YieldBackendSpec,
+};
+pub use plan::{plan_campaign, plan_sweep, CampaignPlan, RunPlan, ScenarioPlan, SweepPlan};
+pub use result::{
+    CampaignResult, McSummary, McVerification, OptimizationRunResult, ScenarioResult, SweepResult,
+};
 pub use run::{run_sweep, EngineError, SweepOptions};
 pub use seed::trial_seed;
 pub use sim::Simulator;

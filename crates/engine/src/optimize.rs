@@ -1,0 +1,869 @@
+//! Optimization campaigns: the Fig. 9 yield-aware sizing flow as a
+//! first-class engine workload.
+//!
+//! The paper's headline result is not the delay model but the global
+//! sizing flow built on it (§4, Tables II/III): reach a pipeline yield
+//! target at a small area cost where per-stage optimization fails, or
+//! recover area at constant yield. An [`OptimizationCampaign`] runs that
+//! flow at sweep scale — an explicit list of [`OptimizeSpec`] runs plus
+//! a cartesian [`OptimizeGridSpec`] over pipeline × yield target ×
+//! target-delay policy × goal × variation — through the same worker
+//! pool, content-hash IDs and counter-based seeding as scenario sweeps,
+//! producing streamed [`OptimizationRunResult`] rows.
+//!
+//! Every run carries **both** yield numbers the paper compares: the
+//! analytic Clark/SSTA prediction and the gate-level Monte-Carlo
+//! measurement (the Table II "actual yield" column), and the sizing
+//! loop itself can be driven by either via [`YieldBackendSpec`] — the
+//! optimization counterpart of a sweep scenario's simulation backend.
+//!
+//! ## Determinism
+//!
+//! A campaign's JSON results are byte-identical for any worker count:
+//! run IDs are content hashes of the serialized spec (namespaced by the
+//! campaign seed), every Monte-Carlo trial inside a run — in-loop yield
+//! evaluations and final verification alike — is counter-seeded from
+//! that ID, the sizer is deterministic, and results are assembled in
+//! expansion order.
+
+use vardelay_circuit::power::{pipeline_power, PowerParams};
+use vardelay_circuit::{CellLibrary, StagedPipeline};
+use vardelay_core::design_space::DesignSpace;
+use vardelay_core::stage_yield_target;
+use vardelay_mc::{PipelineBlockStats, PipelineMc, PreparedPipelineMc, TrialWorkspace};
+use vardelay_opt::{
+    AnalyticYieldEval, GlobalPipelineOptimizer, NetlistMcYieldEval, OptimizationGoal, SizingConfig,
+    StatisticalSizer, TargetDelayPolicy, MAX_EVAL_TRIALS,
+};
+use vardelay_ssta::SstaEngine;
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::result::{BaselineOutcome, CampaignResult, McVerification, OptimizationRunResult};
+use crate::run::{build_model_from_mc, dispatch, EngineError, SweepOptions, MAX_TRIALS};
+use crate::seed::{fnv1a64, trial_seed};
+use crate::spec::{PipelineSpec, VariationSpec};
+
+/// Which backend measures pipeline yield *inside* the sizing loop.
+///
+/// Serialized in lowercase and omitted when it is the default, like a
+/// scenario's `backend` field. Unlike that field, the yield backend is
+/// **experiment-defining**: Monte-Carlo feedback can steer the global
+/// budget adjustment differently than the analytic model, so it is part
+/// of the run's content hash.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum YieldBackendSpec {
+    /// The paper flow: closed-form Clark/SSTA yield (eq. 9).
+    #[default]
+    Analytic,
+    /// Gate-level Monte-Carlo on the prepared zero-allocation hot path,
+    /// `eval_trials` counter-seeded trials per yield query.
+    Netlist,
+}
+
+impl YieldBackendSpec {
+    /// The lowercase spec keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            YieldBackendSpec::Analytic => "analytic",
+            YieldBackendSpec::Netlist => "netlist",
+        }
+    }
+
+    /// Parses a lowercase spec keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid keywords.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "analytic" => Ok(YieldBackendSpec::Analytic),
+            "netlist" => Ok(YieldBackendSpec::Netlist),
+            other => Err(format!(
+                "unknown yield backend '{other}' (use analytic|netlist)"
+            )),
+        }
+    }
+}
+
+impl Serialize for YieldBackendSpec {
+    fn to_value(&self) -> Value {
+        Value::String(self.keyword().to_owned())
+    }
+}
+
+impl Deserialize for YieldBackendSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::String(s) => YieldBackendSpec::parse(s).map_err(serde::Error::new),
+            _ => Err(serde::Error::new("yield_backend must be a string")),
+        }
+    }
+}
+
+/// Default outer rounds of the global budget adjustment (Fig. 9 step 7).
+pub const DEFAULT_ROUNDS: usize = 4;
+
+/// Cap on a run's sizing rounds — each round re-sizes every stage, so
+/// this bounds a fat-fingered spec's compute the way `MAX_TRIALS` bounds
+/// a sweep's.
+pub const MAX_ROUNDS: usize = 64;
+
+/// Default Monte-Carlo trials per in-loop yield evaluation (netlist
+/// yield backend only).
+pub const DEFAULT_EVAL_TRIALS: u64 = 2_048;
+
+/// Default Monte-Carlo trials verifying the final (and baseline) yield.
+pub const DEFAULT_VERIFY_TRIALS: u64 = 4_096;
+
+/// One optimization run: a pipeline, a yield target, how the target
+/// delay is chosen, what the optimizer is asked to do, and how yield is
+/// measured while it does it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeSpec {
+    /// Display label (also part of the run's content hash).
+    pub label: String,
+    /// Pipeline construction (gate-level only — the sizer needs gates).
+    pub pipeline: PipelineSpec,
+    /// Process-variation configuration.
+    pub variation: VariationSpec,
+    /// Pipeline yield target in `(0, 1)` (e.g. `0.80` for Table II).
+    pub yield_target: f64,
+    /// How the target delay is chosen (absolute, or the Tables II/III
+    /// sized-frontier quantile).
+    pub target_delay: TargetDelayPolicy,
+    /// What the optimizer optimizes (Table II ensure-yield vs Table III
+    /// minimize-area).
+    pub goal: OptimizationGoal,
+    /// Outer sizing rounds (Fig. 9 step 7 repetitions).
+    pub rounds: usize,
+    /// Which backend measures pipeline yield inside the sizing loop.
+    pub yield_backend: YieldBackendSpec,
+    /// Monte-Carlo trials per in-loop yield query (netlist backend).
+    pub eval_trials: u64,
+    /// Monte-Carlo trials verifying the optimized and baseline designs
+    /// at the target (`0` skips verification).
+    pub verify_trials: u64,
+}
+
+// Hand-written like Scenario's serde: optional fields are omitted when
+// they hold their defaults and unknown keys are rejected, so a typo'd
+// field can never silently run a different optimization.
+impl Serialize for OptimizeSpec {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("label".to_owned(), self.label.to_value()),
+            ("pipeline".to_owned(), self.pipeline.to_value()),
+            ("variation".to_owned(), self.variation.to_value()),
+            ("yield_target".to_owned(), self.yield_target.to_value()),
+            ("target_delay".to_owned(), self.target_delay.to_value()),
+            ("goal".to_owned(), self.goal.to_value()),
+        ];
+        if self.rounds != DEFAULT_ROUNDS {
+            fields.push(("rounds".to_owned(), self.rounds.to_value()));
+        }
+        if self.yield_backend != YieldBackendSpec::default() {
+            fields.push(("yield_backend".to_owned(), self.yield_backend.to_value()));
+        }
+        if self.eval_trials != DEFAULT_EVAL_TRIALS {
+            fields.push(("eval_trials".to_owned(), self.eval_trials.to_value()));
+        }
+        if self.verify_trials != DEFAULT_VERIFY_TRIALS {
+            fields.push(("verify_trials".to_owned(), self.verify_trials.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for OptimizeSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        const KNOWN: [&str; 10] = [
+            "label",
+            "pipeline",
+            "variation",
+            "yield_target",
+            "target_delay",
+            "goal",
+            "rounds",
+            "yield_backend",
+            "eval_trials",
+            "verify_trials",
+        ];
+        if let Value::Object(fields) = v {
+            for (key, _) in fields {
+                if !KNOWN.contains(&key.as_str()) {
+                    return Err(serde::Error::new(format!(
+                        "unknown optimize field `{key}` (expected one of {})",
+                        KNOWN.join(", ")
+                    )));
+                }
+            }
+        }
+        let opt = |key: &str| v.get(key);
+        Ok(OptimizeSpec {
+            label: Deserialize::from_value(v.field("label")?)?,
+            pipeline: Deserialize::from_value(v.field("pipeline")?)?,
+            variation: Deserialize::from_value(v.field("variation")?)?,
+            yield_target: Deserialize::from_value(v.field("yield_target")?)?,
+            target_delay: Deserialize::from_value(v.field("target_delay")?)?,
+            goal: Deserialize::from_value(v.field("goal")?)?,
+            rounds: opt("rounds")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or(DEFAULT_ROUNDS),
+            yield_backend: opt("yield_backend")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or_default(),
+            eval_trials: opt("eval_trials")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or(DEFAULT_EVAL_TRIALS),
+            verify_trials: opt("verify_trials")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or(DEFAULT_VERIFY_TRIALS),
+        })
+    }
+}
+
+impl OptimizeSpec {
+    /// The run's stable content hash under a campaign seed.
+    ///
+    /// Unlike a sweep scenario (where the simulation backend is excluded
+    /// as a pure execution strategy), **every** field here defines the
+    /// experiment: the yield backend and its trial budget steer the
+    /// sizing trajectory, and the verification budget picks the
+    /// verification stream. Any change changes the ID, and with it every
+    /// Monte-Carlo stream the run consumes.
+    pub fn id(&self, campaign_seed: u64) -> u64 {
+        let json = serde_json::to_string(self).expect("optimize specs are finite");
+        fnv1a64(json.as_bytes()) ^ campaign_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+/// Cartesian run grid: pipelines × yield targets × target-delay policies
+/// × goals × variations, with shared execution knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeGridSpec {
+    /// Pipelines to optimize.
+    pub pipelines: Vec<PipelineSpec>,
+    /// Pipeline yield targets to sweep.
+    pub yield_targets: Vec<f64>,
+    /// Target-delay policies to sweep.
+    pub target_delays: Vec<TargetDelayPolicy>,
+    /// Optimization goals to sweep.
+    pub goals: Vec<OptimizationGoal>,
+    /// Variation configurations to sweep.
+    pub variations: Vec<VariationSpec>,
+    /// Outer sizing rounds stamped on every generated run.
+    pub rounds: usize,
+    /// In-loop yield backend stamped on every generated run.
+    pub yield_backend: YieldBackendSpec,
+    /// In-loop yield trials stamped on every generated run.
+    pub eval_trials: u64,
+    /// Verification trials stamped on every generated run.
+    pub verify_trials: u64,
+}
+
+impl Serialize for OptimizeGridSpec {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("pipelines".to_owned(), self.pipelines.to_value()),
+            ("yield_targets".to_owned(), self.yield_targets.to_value()),
+            ("target_delays".to_owned(), self.target_delays.to_value()),
+            ("goals".to_owned(), self.goals.to_value()),
+            ("variations".to_owned(), self.variations.to_value()),
+        ];
+        if self.rounds != DEFAULT_ROUNDS {
+            fields.push(("rounds".to_owned(), self.rounds.to_value()));
+        }
+        if self.yield_backend != YieldBackendSpec::default() {
+            fields.push(("yield_backend".to_owned(), self.yield_backend.to_value()));
+        }
+        if self.eval_trials != DEFAULT_EVAL_TRIALS {
+            fields.push(("eval_trials".to_owned(), self.eval_trials.to_value()));
+        }
+        if self.verify_trials != DEFAULT_VERIFY_TRIALS {
+            fields.push(("verify_trials".to_owned(), self.verify_trials.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for OptimizeGridSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        const KNOWN: [&str; 9] = [
+            "pipelines",
+            "yield_targets",
+            "target_delays",
+            "goals",
+            "variations",
+            "rounds",
+            "yield_backend",
+            "eval_trials",
+            "verify_trials",
+        ];
+        if let Value::Object(fields) = v {
+            for (key, _) in fields {
+                if !KNOWN.contains(&key.as_str()) {
+                    return Err(serde::Error::new(format!(
+                        "unknown optimize grid field `{key}` (expected one of {})",
+                        KNOWN.join(", ")
+                    )));
+                }
+            }
+        }
+        let opt = |key: &str| v.get(key);
+        Ok(OptimizeGridSpec {
+            pipelines: Deserialize::from_value(v.field("pipelines")?)?,
+            yield_targets: Deserialize::from_value(v.field("yield_targets")?)?,
+            target_delays: Deserialize::from_value(v.field("target_delays")?)?,
+            goals: Deserialize::from_value(v.field("goals")?)?,
+            variations: Deserialize::from_value(v.field("variations")?)?,
+            rounds: opt("rounds")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or(DEFAULT_ROUNDS),
+            yield_backend: opt("yield_backend")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or_default(),
+            eval_trials: opt("eval_trials")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or(DEFAULT_EVAL_TRIALS),
+            verify_trials: opt("verify_trials")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or(DEFAULT_VERIFY_TRIALS),
+        })
+    }
+}
+
+/// Short goal keyword for generated labels and plan rows.
+pub(crate) fn goal_keyword(goal: OptimizationGoal) -> &'static str {
+    match goal {
+        OptimizationGoal::EnsureYield => "ensure-yield",
+        OptimizationGoal::MinimizeArea => "min-area",
+    }
+}
+
+impl OptimizeGridSpec {
+    /// Expands the grid into concrete runs, in row-major order
+    /// (pipeline, then yield target, then target policy, then goal,
+    /// then variation).
+    pub fn expand(&self) -> Vec<OptimizeSpec> {
+        let mut out = Vec::new();
+        for pipeline in &self.pipelines {
+            for &yield_target in &self.yield_targets {
+                for &target_delay in &self.target_delays {
+                    for &goal in &self.goals {
+                        for &variation in &self.variations {
+                            out.push(OptimizeSpec {
+                                label: format!(
+                                    "{} y{:.0}% {} {} {}",
+                                    pipeline.label(),
+                                    100.0 * yield_target,
+                                    goal_keyword(goal),
+                                    target_delay.label(),
+                                    variation.label()
+                                ),
+                                pipeline: pipeline.clone(),
+                                variation,
+                                yield_target,
+                                target_delay,
+                                goal,
+                                rounds: self.rounds,
+                                yield_backend: self.yield_backend,
+                                eval_trials: self.eval_trials,
+                                verify_trials: self.verify_trials,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A full optimization campaign: explicit runs plus an optional grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationCampaign {
+    /// Campaign name (reported in results).
+    pub name: String,
+    /// Base seed namespacing every run's RNG streams.
+    pub seed: u64,
+    /// Explicit runs, executed first.
+    pub runs: Vec<OptimizeSpec>,
+    /// Grid expansion appended after the explicit list.
+    pub grid: Option<OptimizeGridSpec>,
+}
+
+impl Serialize for OptimizationCampaign {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".to_owned(), self.name.to_value()),
+            ("seed".to_owned(), self.seed.to_value()),
+            ("runs".to_owned(), self.runs.to_value()),
+            ("grid".to_owned(), self.grid.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for OptimizationCampaign {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        const KNOWN: [&str; 4] = ["name", "seed", "runs", "grid"];
+        if let Value::Object(fields) = v {
+            for (key, _) in fields {
+                if !KNOWN.contains(&key.as_str()) {
+                    return Err(serde::Error::new(format!(
+                        "unknown campaign field `{key}` (expected one of {})",
+                        KNOWN.join(", ")
+                    )));
+                }
+            }
+        }
+        Ok(OptimizationCampaign {
+            name: Deserialize::from_value(v.field("name")?)?,
+            seed: Deserialize::from_value(v.field("seed")?)?,
+            runs: Deserialize::from_value(v.field("runs")?)?,
+            grid: Deserialize::from_value(v.field("grid")?)?,
+        })
+    }
+}
+
+impl OptimizationCampaign {
+    /// All runs: the explicit list followed by the grid expansion.
+    pub fn expand(&self) -> Vec<OptimizeSpec> {
+        let mut out = self.runs.clone();
+        if let Some(grid) = &self.grid {
+            out.extend(grid.expand());
+        }
+        out
+    }
+
+    /// Parses a campaign spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse/shape error.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serializes the spec as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("campaign specs are finite")
+    }
+
+    /// A ready-to-run example campaign: a Table-II-style ensure-yield
+    /// run under both yield backends, plus a small grid crossing yield
+    /// targets with both goals on a heterogeneous chain pipeline.
+    pub fn example() -> Self {
+        let chains = PipelineSpec::InverterStages {
+            depths: vec![10, 8, 7, 6],
+            size: 1.0,
+            latch: crate::spec::LatchSpec::TgMsff70nm,
+        };
+        let rand35 = VariationSpec::RandomOnly { sigma_mv: 35.0 };
+        OptimizationCampaign {
+            name: "optimize-example".to_owned(),
+            seed: 0xF19, // Fig. 9
+            runs: vec![
+                OptimizeSpec {
+                    label: "4stg chains ensure 80% (analytic yield eval)".to_owned(),
+                    pipeline: chains.clone(),
+                    variation: rand35,
+                    yield_target: 0.80,
+                    target_delay: TargetDelayPolicy::FrontierQuantile { q: 0.86, refine: 2 },
+                    goal: OptimizationGoal::EnsureYield,
+                    rounds: 3,
+                    yield_backend: YieldBackendSpec::Analytic,
+                    eval_trials: DEFAULT_EVAL_TRIALS,
+                    verify_trials: DEFAULT_VERIFY_TRIALS,
+                },
+                OptimizeSpec {
+                    label: "4stg chains ensure 80% (netlist yield eval)".to_owned(),
+                    pipeline: chains,
+                    variation: rand35,
+                    yield_target: 0.80,
+                    target_delay: TargetDelayPolicy::FrontierQuantile { q: 0.86, refine: 2 },
+                    goal: OptimizationGoal::EnsureYield,
+                    rounds: 3,
+                    yield_backend: YieldBackendSpec::Netlist,
+                    eval_trials: 1_024,
+                    verify_trials: DEFAULT_VERIFY_TRIALS,
+                },
+            ],
+            grid: Some(OptimizeGridSpec {
+                pipelines: vec![PipelineSpec::Circuits {
+                    stages: vec![
+                        crate::spec::CircuitSpec::Chain {
+                            depth: 12,
+                            size: 1.0,
+                        },
+                        crate::spec::CircuitSpec::Chain {
+                            depth: 9,
+                            size: 1.0,
+                        },
+                        crate::spec::CircuitSpec::Chain {
+                            depth: 7,
+                            size: 1.0,
+                        },
+                    ],
+                    latch: crate::spec::LatchSpec::TgMsff70nm,
+                }],
+                yield_targets: vec![0.80, 0.90],
+                target_delays: vec![TargetDelayPolicy::FrontierQuantile { q: 0.90, refine: 1 }],
+                goals: vec![
+                    OptimizationGoal::EnsureYield,
+                    OptimizationGoal::MinimizeArea,
+                ],
+                variations: vec![rand35],
+                rounds: 2,
+                yield_backend: YieldBackendSpec::Analytic,
+                eval_trials: DEFAULT_EVAL_TRIALS,
+                verify_trials: 2_048,
+            }),
+        }
+    }
+}
+
+/// A run with everything validated and its footprint measured, ready to
+/// execute.
+#[derive(Debug)]
+pub(crate) struct PreparedRun {
+    pub(crate) spec: OptimizeSpec,
+    pub(crate) id: u64,
+    pub(crate) stages: usize,
+    /// Total gates across all stage netlists.
+    pub(crate) gates: usize,
+    /// The eq.-12 per-stage yield allocation `Y^(1/Ns)`.
+    pub(crate) stage_allocation: f64,
+    /// The built (unsized) pipeline — constructed once at prepare time,
+    /// reused by execution so netlist generation never runs twice.
+    pub(crate) pipeline: StagedPipeline,
+}
+
+pub(crate) fn prepare_run(spec: OptimizeSpec, seed: u64) -> Result<PreparedRun, EngineError> {
+    let label = &spec.label;
+    let fail = |msg: String| EngineError::new(format!("run '{label}': {msg}"));
+    spec.pipeline.validate().map_err(&fail)?;
+    if matches!(spec.pipeline, PipelineSpec::Moments { .. }) {
+        return Err(fail(
+            "optimization sizes gates; Moments pipelines have none (use a gate-level \
+             pipeline spec)"
+                .to_owned(),
+        ));
+    }
+    spec.variation
+        .validate()
+        .map_err(|e| fail(format!("variation: {e}")))?;
+    if !(spec.yield_target.is_finite() && spec.yield_target > 0.0 && spec.yield_target < 1.0) {
+        return Err(fail(format!(
+            "yield target must be in (0, 1), got {}",
+            spec.yield_target
+        )));
+    }
+    spec.target_delay
+        .validate()
+        .map_err(|e| fail(format!("target_delay: {e}")))?;
+    if !(1..=MAX_ROUNDS).contains(&spec.rounds) {
+        return Err(fail(format!(
+            "rounds must be in 1..={MAX_ROUNDS}, got {}",
+            spec.rounds
+        )));
+    }
+    if spec.eval_trials == 0 || spec.eval_trials > MAX_EVAL_TRIALS {
+        return Err(fail(format!(
+            "eval_trials must be in 1..={MAX_EVAL_TRIALS}, got {}",
+            spec.eval_trials
+        )));
+    }
+    if spec.verify_trials > MAX_TRIALS {
+        return Err(fail(format!(
+            "verify_trials {} exceeds the per-run cap of {MAX_TRIALS}",
+            spec.verify_trials
+        )));
+    }
+    let stages = spec.pipeline.stage_count();
+    // For absolute targets the admissibility region (eqs. 10–12) exists
+    // at prepare time — derive the allocation through it so the spec's
+    // (target, yield) pair is validated as a design space; frontier
+    // policies resolve their target at run time, so only the allocation
+    // itself is computable here.
+    let stage_allocation = match spec.target_delay {
+        TargetDelayPolicy::Absolute { ps } => DesignSpace::new(ps, spec.yield_target)
+            .map_err(|e| fail(format!("target/yield: {e}")))?
+            .stage_allocation(stages),
+        _ => stage_yield_target(spec.yield_target, stages),
+    };
+    // Built once here; plan reads its gate count, execution reuses it.
+    let pipeline = spec
+        .pipeline
+        .build(label)
+        .expect("gate-level specs build a pipeline");
+    let gates = pipeline.total_gates();
+    let id = spec.id(seed);
+    Ok(PreparedRun {
+        id,
+        stages,
+        gates,
+        stage_allocation,
+        pipeline,
+        spec,
+    })
+}
+
+/// Salt separating a run's final-design verification stream from its
+/// in-loop evaluation stream (which hashes the same run ID in
+/// `vardelay-opt`).
+const VERIFY_SALT: u64 = 0x7AB2_AC7A_1D1E_1D01; // "table 2 actual yield"
+/// Salt for the individually-optimized baseline's verification stream.
+const BASELINE_SALT: u64 = 0x7AB2_1D01_BA5E_0002;
+
+/// Executes one prepared run on the calling thread.
+fn execute_run(p: &PreparedRun, ws: &mut TrialWorkspace) -> OptimizationRunResult {
+    let spec = &p.spec;
+    let variation = spec.variation.to_config();
+    let lib = CellLibrary::default();
+    let engine = SstaEngine::new(lib.clone(), variation, None);
+    let sizer = StatisticalSizer::new(engine.clone(), SizingConfig::default());
+    let opt = GlobalPipelineOptimizer::new(sizer).with_rounds(spec.rounds);
+
+    // Resolve the target and the individually-optimized baseline (the
+    // Fig. 9 flow's stated input) from the pipeline prepare_run built.
+    let resolved = spec
+        .target_delay
+        .resolve(&opt, &p.pipeline, spec.yield_target);
+    let target = resolved.target_ps;
+
+    let mc = PipelineMc::new(lib, variation, None);
+    let (optimized, report) = match spec.yield_backend {
+        YieldBackendSpec::Analytic => opt.optimize_with(
+            &resolved.baseline,
+            target,
+            spec.yield_target,
+            spec.goal,
+            &AnalyticYieldEval,
+        ),
+        YieldBackendSpec::Netlist => {
+            let eval = NetlistMcYieldEval::new(mc.clone(), spec.eval_trials, p.id);
+            opt.optimize_with(
+                &resolved.baseline,
+                target,
+                spec.yield_target,
+                spec.goal,
+                &eval,
+            )
+        }
+    };
+
+    // Model-predicted yields (always present regardless of the in-loop
+    // backend) and MC verification — the Table II "actual yield" column
+    // — for both the optimized design and the baseline, on
+    // counter-seeded streams. Alongside the raw MC yield, each
+    // verification re-evaluates the analytic model on the MC-measured
+    // stage moments (§2.4: isolate the max-operator error from the
+    // stage-characterization error), like a sweep's `model_from_mc`.
+    let mut assess = |pipe: &vardelay_circuit::StagedPipeline, salt: u64| {
+        let timing = engine.analyze_pipeline(pipe);
+        let analytic = AnalyticYieldEval::yield_of(&timing, target);
+        let mc_check = (spec.verify_trials > 0).then(|| {
+            let prepared = PreparedPipelineMc::new(&mc, pipe);
+            let mut stats = PipelineBlockStats::new(pipe.stage_count(), &[target]);
+            let seed_of = |t| trial_seed(p.id ^ salt, t);
+            prepared.run_block(ws, 0..spec.verify_trials, seed_of, &mut stats);
+            let est = stats.yield_estimate(0);
+            let stage_means: Vec<f64> = stats.stage_stats().iter().map(|s| s.mean()).collect();
+            let stage_sds: Vec<f64> = stats.stage_stats().iter().map(|s| s.sample_sd()).collect();
+            let model_from_mc =
+                build_model_from_mc(&stage_means, &stage_sds, &timing.correlation, &[target])
+                    .map(|m| m.yields[0].value);
+            McVerification {
+                trials: spec.verify_trials,
+                value: est.value,
+                lo: est.lo,
+                hi: est.hi,
+                model_from_mc,
+            }
+        });
+        (analytic, mc_check)
+    };
+    let (analytic_after, mc_after) = assess(&optimized, VERIFY_SALT);
+    let (baseline_analytic, mc_baseline) = assess(&resolved.baseline, BASELINE_SALT);
+
+    // §4: "optimize area (hence, power)" — quote both designs' power so
+    // every campaign row makes the claim checkable.
+    let power_params = PowerParams::default();
+    let tech = engine.library().tech();
+    let power = |pipe: &StagedPipeline| pipeline_power(pipe, tech, &power_params, 0.0);
+
+    OptimizationRunResult {
+        id: format!("{:016x}", p.id),
+        label: spec.label.clone(),
+        spec: spec.clone(),
+        target_ps: target,
+        report,
+        analytic_yield_after: analytic_after,
+        power: power(&optimized),
+        mc: mc_after,
+        individual: BaselineOutcome {
+            area: resolved.baseline.total_area(),
+            power: power(&resolved.baseline),
+            analytic_yield: baseline_analytic,
+            met: baseline_analytic >= spec.yield_target,
+            mc: mc_baseline,
+        },
+    }
+}
+
+/// Executes an optimization campaign and assembles per-run results.
+///
+/// Results are byte-identical for any `opts.workers` — the spec
+/// (including its seed) alone determines every number.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] naming the first invalid run.
+pub fn run_campaign(
+    campaign: &OptimizationCampaign,
+    opts: &SweepOptions,
+) -> Result<CampaignResult, EngineError> {
+    let prepared: Vec<PreparedRun> = campaign
+        .expand()
+        .into_iter()
+        .map(|s| prepare_run(s, campaign.seed))
+        .collect::<Result<_, _>>()?;
+
+    let mut slots: Vec<Option<OptimizationRunResult>> = (0..prepared.len()).map(|_| None).collect();
+    dispatch(
+        prepared.len(),
+        opts.workers,
+        |k, ws| execute_run(&prepared[k], ws),
+        |k, result| slots[k] = Some(result),
+    );
+    Ok(CampaignResult {
+        name: campaign.name.clone(),
+        seed: campaign.seed,
+        runs: slots
+            .into_iter()
+            .map(|s| s.expect("every dispatched run reports"))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_roundtrips_and_omits_defaults() {
+        let c = OptimizationCampaign::example();
+        let json = c.to_json();
+        let back = OptimizationCampaign::from_json(&json).unwrap();
+        assert_eq!(c, back);
+        // The analytic run leaves default knobs out of its JSON …
+        assert!(!json.contains("\"eval_trials\": 2048"), "{json}");
+        // … while non-default ones serialize.
+        assert!(json.contains("\"yield_backend\": \"netlist\""), "{json}");
+        assert!(json.contains("\"eval_trials\": 1024"), "{json}");
+    }
+
+    #[test]
+    fn grid_expansion_counts_and_labels() {
+        let c = OptimizationCampaign::example();
+        let runs = c.expand();
+        // 2 explicit + 1 pipeline x 2 yield targets x 1 policy x 2 goals.
+        assert_eq!(runs.len(), 2 + 4);
+        assert!(runs[2].label.contains("circuits"), "{}", runs[2].label);
+        assert!(runs[2].label.contains("ensure-yield"), "{}", runs[2].label);
+        assert!(runs[5].label.contains("min-area"), "{}", runs[5].label);
+    }
+
+    #[test]
+    fn ids_depend_on_every_field_and_the_seed() {
+        let c = OptimizationCampaign::example();
+        let runs = c.expand();
+        let a = runs[0].id(c.seed);
+        assert_eq!(a, runs[0].clone().id(c.seed), "stable");
+        assert_ne!(a, runs[0].id(c.seed + 1), "seed-namespaced");
+        // Unlike sweep backends, the yield backend IS the experiment.
+        let mut tweaked = runs[0].clone();
+        tweaked.yield_backend = YieldBackendSpec::Netlist;
+        assert_ne!(a, tweaked.id(c.seed));
+        let mut tweaked = runs[0].clone();
+        tweaked.verify_trials += 1;
+        assert_ne!(a, tweaked.id(c.seed));
+    }
+
+    #[test]
+    fn prepare_rejects_out_of_domain_runs() {
+        let base = OptimizationCampaign::example().runs[0].clone();
+        let reject = |mutate: &dyn Fn(&mut OptimizeSpec), needle: &str| {
+            let mut s = base.clone();
+            mutate(&mut s);
+            let err = prepare_run(s, 1).unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        };
+        reject(
+            &|s| {
+                s.pipeline = PipelineSpec::Moments {
+                    stages: vec![crate::spec::StageMoments {
+                        mu_ps: 100.0,
+                        sigma_ps: 5.0,
+                    }],
+                    rho: 0.0,
+                }
+            },
+            "Moments",
+        );
+        reject(&|s| s.yield_target = 1.0, "yield target");
+        reject(&|s| s.yield_target = f64::NAN, "yield target");
+        reject(
+            &|s| s.target_delay = TargetDelayPolicy::Absolute { ps: -5.0 },
+            "target_delay",
+        );
+        reject(&|s| s.rounds = 0, "rounds");
+        reject(&|s| s.rounds = MAX_ROUNDS + 1, "rounds");
+        reject(&|s| s.eval_trials = 0, "eval_trials");
+        reject(&|s| s.verify_trials = MAX_TRIALS + 1, "verify_trials");
+        reject(
+            &|s| s.variation = VariationSpec::RandomOnly { sigma_mv: -1.0 },
+            "variation",
+        );
+    }
+
+    #[test]
+    fn prepare_measures_footprint_and_allocation() {
+        let mut spec = OptimizationCampaign::example().runs[0].clone();
+        let p = prepare_run(spec.clone(), 7).unwrap();
+        assert_eq!(p.stages, 4);
+        assert_eq!(p.gates, 10 + 8 + 7 + 6);
+        assert!((p.stage_allocation.powi(4) - 0.80).abs() < 1e-12);
+        // Absolute targets route through the design space (and its
+        // validation).
+        spec.target_delay = TargetDelayPolicy::Absolute { ps: 500.0 };
+        let p = prepare_run(spec, 7).unwrap();
+        assert!((p.stage_allocation.powi(4) - 0.80).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misspelled_campaign_fields_are_rejected() {
+        let json = OptimizationCampaign::example()
+            .to_json()
+            .replace("\"goal\"", "\"gaol\"");
+        let err = OptimizationCampaign::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("gaol"), "{err}");
+        let json = OptimizationCampaign::example()
+            .to_json()
+            .replace("\"yield_targets\"", "\"yield_tragets\"");
+        assert!(OptimizationCampaign::from_json(&json).is_err());
+        assert!(YieldBackendSpec::parse("spice").is_err());
+        for b in [YieldBackendSpec::Analytic, YieldBackendSpec::Netlist] {
+            assert_eq!(YieldBackendSpec::parse(b.keyword()).unwrap(), b);
+        }
+    }
+}

@@ -1,13 +1,18 @@
-//! Sweep linting: expand, validate and cost a spec without running it.
+//! Sweep and campaign linting: expand, validate and cost a spec without
+//! running it.
 //!
 //! `vardelay sweep validate <spec.json>` drives [`plan_sweep`]: every
 //! scenario goes through the same preparation as a real run (spec
 //! validation, backend compatibility, analytic model construction,
 //! target resolution) but **zero trial blocks execute** — a spec error
 //! surfaces in milliseconds instead of after hours of Monte-Carlo.
+//! `vardelay optimize validate` drives [`plan_campaign`] the same way:
+//! every run is validated and its footprint measured with **zero sizing
+//! passes and zero trials**.
 
 use serde::{Deserialize, Serialize};
 
+use crate::optimize::{goal_keyword, prepare_run, OptimizationCampaign, YieldBackendSpec};
 use crate::run::{prepare, EngineError, BLOCK_TRIALS};
 use crate::spec::{BackendSpec, Sweep};
 
@@ -125,6 +130,126 @@ pub fn plan_sweep(sweep: &Sweep) -> Result<SweepPlan, EngineError> {
     })
 }
 
+/// One validated optimization run's footprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunPlan {
+    /// Content-hash run ID (hex) — what the campaign will report.
+    pub id: String,
+    /// Run label.
+    pub label: String,
+    /// Pipeline stage count.
+    pub stages: usize,
+    /// Total gates across all stage netlists.
+    pub gates: usize,
+    /// Optimization goal keyword.
+    pub goal: String,
+    /// In-loop yield backend.
+    pub yield_backend: YieldBackendSpec,
+    /// Target-delay policy description.
+    pub target_delay: String,
+    /// Pipeline yield target.
+    pub yield_target: f64,
+    /// The eq.-12 per-stage yield allocation `Y^(1/Ns)`.
+    pub stage_allocation: f64,
+    /// The allocation's sigma multiplier `κ = Φ⁻¹(Y^(1/Ns))`.
+    pub stage_kappa: f64,
+    /// Outer sizing rounds.
+    pub rounds: usize,
+    /// In-loop yield trials per evaluation (netlist backend).
+    pub eval_trials: u64,
+    /// Final/baseline verification trials.
+    pub verify_trials: u64,
+}
+
+/// A fully validated campaign with its aggregate Monte-Carlo cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignPlan {
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Campaign seed from the spec.
+    pub seed: u64,
+    /// One entry per expanded run, in execution order.
+    pub runs: Vec<RunPlan>,
+    /// Total verification trials across all runs (optimized + baseline
+    /// designs).
+    pub total_verify_trials: u64,
+}
+
+impl CampaignPlan {
+    /// A fixed-width text report, one run per row plus totals.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign '{}' (seed {}): {} runs, {} verification trials",
+            self.name,
+            self.seed,
+            self.runs.len(),
+            self.total_verify_trials
+        );
+        let _ = writeln!(
+            out,
+            "\n{:<38} {:>6} {:>6} {:>12} {:>8} {:>7} {:>7} {:>6} {:>8}",
+            "run", "stages", "gates", "goal", "backend", "yield%", "alloc%", "rounds", "verify"
+        );
+        for r in &self.runs {
+            let _ = writeln!(
+                out,
+                "{:<38} {:>6} {:>6} {:>12} {:>8} {:>7.1} {:>7.1} {:>6} {:>8}",
+                r.label,
+                r.stages,
+                r.gates,
+                r.goal,
+                r.yield_backend.keyword(),
+                100.0 * r.yield_target,
+                100.0 * r.stage_allocation,
+                r.rounds,
+                r.verify_trials
+            );
+        }
+        out
+    }
+}
+
+/// Validates an optimization campaign end to end and reports its
+/// footprint, running no sizing passes and no trials.
+///
+/// # Errors
+///
+/// Returns the same [`EngineError`] a real [`crate::run_campaign`]
+/// would return for the first invalid run.
+pub fn plan_campaign(campaign: &OptimizationCampaign) -> Result<CampaignPlan, EngineError> {
+    let mut runs = Vec::new();
+    let mut total_verify_trials = 0u64;
+    for spec in campaign.expand() {
+        let p = prepare_run(spec, campaign.seed)?;
+        // Optimized + baseline designs are both verified.
+        total_verify_trials += 2 * p.spec.verify_trials;
+        runs.push(RunPlan {
+            id: format!("{:016x}", p.id),
+            label: p.spec.label.clone(),
+            stages: p.stages,
+            gates: p.gates,
+            goal: goal_keyword(p.spec.goal).to_owned(),
+            yield_backend: p.spec.yield_backend,
+            target_delay: p.spec.target_delay.label(),
+            yield_target: p.spec.yield_target,
+            stage_allocation: p.stage_allocation,
+            stage_kappa: vardelay_core::stage_kappa(p.spec.yield_target, p.stages),
+            rounds: p.spec.rounds,
+            eval_trials: p.spec.eval_trials,
+            verify_trials: p.spec.verify_trials,
+        });
+    }
+    Ok(CampaignPlan {
+        name: campaign.name.clone(),
+        seed: campaign.seed,
+        runs,
+        total_verify_trials,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +290,33 @@ mod tests {
         // The chain twin pair shares a pipeline, so gate counts agree.
         let mc_twin = &plan.scenarios[0];
         assert_eq!(mc_twin.gates, analytic.gates);
+    }
+
+    #[test]
+    fn plan_campaign_measures_without_optimizing() {
+        let plan = plan_campaign(&OptimizationCampaign::example()).unwrap();
+        assert_eq!(plan.runs.len(), 6);
+        assert_eq!(plan.runs[0].gates, 31);
+        assert!((plan.runs[0].stage_allocation.powi(4) - 0.80).abs() < 1e-12);
+        assert!(plan.runs[0].stage_kappa > 0.0);
+        let expected: u64 = OptimizationCampaign::example()
+            .expand()
+            .iter()
+            .map(|r| 2 * r.verify_trials)
+            .sum();
+        assert_eq!(plan.total_verify_trials, expected);
+        let text = plan.render();
+        assert!(text.contains("6 runs"), "{text}");
+        assert!(text.contains("ensure-yield"), "{text}");
+        assert!(text.contains("min-area"), "{text}");
+    }
+
+    #[test]
+    fn plan_campaign_rejects_what_the_runner_rejects() {
+        let mut c = OptimizationCampaign::example();
+        c.runs[0].rounds = 0;
+        let err = plan_campaign(&c).unwrap_err();
+        assert!(err.to_string().contains("rounds"), "{err}");
     }
 
     #[test]

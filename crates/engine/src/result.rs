@@ -6,8 +6,11 @@
 //! reproducibility contract (timing belongs on stderr, not in results).
 
 use serde::{Deserialize, Serialize};
+use vardelay_circuit::power::PowerReport;
+use vardelay_opt::OptimizationReport;
 use vardelay_stats::Histogram;
 
+use crate::optimize::OptimizeSpec;
 use crate::spec::{BackendSpec, Scenario};
 
 /// An analytic (closed-form) yield at one target.
@@ -126,6 +129,122 @@ pub struct SweepResult {
     pub seed: u64,
     /// Per-scenario results, in expansion order.
     pub scenarios: Vec<ScenarioResult>,
+}
+
+/// A Monte-Carlo cross-check of a design's pipeline yield at the run's
+/// target delay — the paper's Table II "actual yield" column, produced
+/// on the same prepared gate-level hot path (and with the same
+/// counter-based seeding) as a sweep's netlist backend.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McVerification {
+    /// Verification trials run.
+    pub trials: u64,
+    /// Fraction of trials meeting the target.
+    pub value: f64,
+    /// Lower bound of the 95% Wilson interval.
+    pub lo: f64,
+    /// Upper bound of the 95% Wilson interval.
+    pub hi: f64,
+    /// The analytic (eq. 4–9) yield re-evaluated on the *MC-measured*
+    /// stage moments — the paper's §2.4 discipline, isolating the
+    /// max-operator error from the stage-characterization error (absent
+    /// when a measured stage sigma is degenerate).
+    pub model_from_mc: Option<f64>,
+}
+
+/// The individually-optimized comparison design of one run (the
+/// "Individually Optimized" columns of Tables II/III): every stage sized
+/// against its eq.-12 allocation in isolation, no global feedback.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineOutcome {
+    /// Total combinational area.
+    pub area: f64,
+    /// Power breakdown at nominal Vth (normalized units) — §4's
+    /// "optimize area (hence, power)" made explicit.
+    pub power: PowerReport,
+    /// Analytic (Clark/SSTA) pipeline yield at the target.
+    pub analytic_yield: f64,
+    /// Whether the analytic yield meets the run's yield target.
+    pub met: bool,
+    /// MC-verified pipeline yield (absent when `verify_trials == 0`).
+    pub mc: Option<McVerification>,
+}
+
+/// Everything computed for one optimization run of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationRunResult {
+    /// Content-hash run ID (hex), stable across runs and orderings.
+    pub id: String,
+    /// Run label.
+    pub label: String,
+    /// The input spec, echoed for self-describing results.
+    pub spec: OptimizeSpec,
+    /// The resolved target delay (ps) — equal to the policy's `ps` for
+    /// absolute policies, frontier-derived otherwise.
+    pub target_ps: f64,
+    /// The Fig. 9 flow's Table II/III-style report. Its pipeline-yield
+    /// columns reflect the run's `yield_backend`; per-stage yields are
+    /// always analytic.
+    pub report: OptimizationReport,
+    /// Analytic (Clark/SSTA) pipeline yield of the optimized design at
+    /// the target — always present, so netlist-backend runs still carry
+    /// the model's prediction side by side.
+    pub analytic_yield_after: f64,
+    /// Power breakdown of the optimized design at nominal Vth
+    /// (normalized units; compare against `individual.power`).
+    pub power: PowerReport,
+    /// MC-verified pipeline yield of the optimized design (absent when
+    /// `verify_trials == 0`).
+    pub mc: Option<McVerification>,
+    /// The individually-optimized comparison design.
+    pub individual: BaselineOutcome,
+}
+
+/// Results of a whole optimization campaign, in run order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Campaign seed from the spec.
+    pub seed: u64,
+    /// Per-run results, in expansion order.
+    pub runs: Vec<OptimizationRunResult>,
+}
+
+impl CampaignResult {
+    /// Serializes as pretty JSON (the `--out` file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("results are finite")
+    }
+
+    /// A compact fixed-width text summary, one run per row.
+    pub fn summary_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<38} {:>8} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>4}",
+            "run", "T ps", "area%", "indiv Y%", "glob Y%", "model%", "mc Y%", "backend", "met"
+        );
+        for r in &self.runs {
+            let mc =
+                r.mc.map_or("-".to_owned(), |m| format!("{:.1}", 100.0 * m.value));
+            let _ = writeln!(
+                out,
+                "{:<38} {:>8.1} {:>7.1} {:>8.1} {:>8.1} {:>8.1} {:>8} {:>8} {:>4}",
+                r.label,
+                r.target_ps,
+                100.0 * (1.0 + r.report.area_delta_fraction()),
+                100.0 * r.individual.analytic_yield,
+                100.0 * r.report.pipeline_yield_after,
+                100.0 * r.analytic_yield_after,
+                mc,
+                r.spec.yield_backend.keyword(),
+                if r.report.met { "yes" } else { "NO" }
+            );
+        }
+        out
+    }
 }
 
 impl SweepResult {

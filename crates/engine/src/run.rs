@@ -30,7 +30,7 @@ use vardelay_stats::{CorrelationMatrix, MultivariateNormal};
 use crate::result::{
     AnalyticSummary, McSummary, McYield, ModelFromMc, ScenarioResult, SweepResult, TargetYield,
 };
-use crate::sim::{GateLevelSim, MvnSim, Simulator, StagedMcSim};
+use crate::sim::{MvnSim, Simulator};
 use crate::spec::{BackendSpec, PipelineSpec, Scenario, Sweep, VariationSpec};
 
 /// Sweep execution error: an invalid scenario spec.
@@ -101,6 +101,61 @@ impl SweepOptions {
         self.workers = workers.max(1);
         self
     }
+}
+
+/// The engine's shared worker pool: runs `items` indexed work functions
+/// over `workers` threads (on the calling thread when `workers <= 1`),
+/// feeding each finished result to `consume` on the calling thread as it
+/// arrives.
+///
+/// Work is claimed through an atomic cursor, so results arrive in
+/// arbitrary order — callers needing order must buffer (the sweep's
+/// in-order block merger, a campaign's run-indexed slot table). Each
+/// worker owns one grow-only [`TrialWorkspace`] reused across every
+/// item it claims, which is what keeps gate-level trial blocks
+/// allocation-free in the steady state. Determinism contract: `work`
+/// must be a pure function of its index, so the pool's scheduling can
+/// never leak into results.
+pub(crate) fn dispatch<T: Send>(
+    items: usize,
+    workers: usize,
+    work: impl Fn(usize, &mut TrialWorkspace) -> T + Sync,
+    mut consume: impl FnMut(usize, T),
+) {
+    let workers = workers.max(1).min(items.max(1));
+    if workers <= 1 {
+        let mut ws = TrialWorkspace::new();
+        for k in 0..items {
+            let out = work(k, &mut ws);
+            consume(k, out);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        let work = &work;
+        let cursor = &cursor;
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut ws = TrialWorkspace::new();
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= items {
+                        break;
+                    }
+                    if tx.send((k, work(k, &mut ws))).is_err() {
+                        break; // receiver gone; nothing left to report
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (k, out) in rx {
+            consume(k, out);
+        }
+    });
 }
 
 /// A scenario with everything resolved and built, ready to execute.
@@ -234,16 +289,10 @@ pub(crate) fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, E
                 .collect();
             let pipe = Pipeline::new(delays, timing.correlation.clone())
                 .map_err(|e| EngineError::new(format!("scenario '{label}': {e}")))?;
-            let sim: Option<Box<dyn Simulator>> = if scenario.trials == 0 {
-                None
-            } else {
+            let sim: Option<Box<dyn Simulator>> = (scenario.trials > 0).then(|| {
                 let mc = PipelineMc::new(CellLibrary::default(), variation, None);
-                match scenario.backend {
-                    BackendSpec::Pipeline => Some(Box::new(StagedMcSim::new(mc, staged))),
-                    BackendSpec::Netlist => Some(Box::new(GateLevelSim::new(&mc, &staged))),
-                    BackendSpec::Analytic => unreachable!("analytic backend rejects trials"),
-                }
-            };
+                crate::sim::gate_level_backend(scenario.backend, mc, staged)
+            });
             (pipe, timing.correlation, gates, sim)
         }
     };
@@ -367,46 +416,18 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepResult, Engi
     }
 
     let mut mergers: Vec<InOrderMerger> = prepared.iter().map(|_| InOrderMerger::new()).collect();
-    let workers = opts.workers.max(1).min(items.len().max(1));
-    if workers <= 1 {
-        // One workspace serves every scenario in turn (grow-only).
-        let mut ws = TrialWorkspace::new();
-        for item in &items {
-            mergers[item.scenario].offer(
-                item.block,
-                run_block(&prepared[item.scenario], &mut ws, item.trials.clone()),
-            );
-        }
-    } else {
-        let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, usize, PipelineBlockStats)>();
-        std::thread::scope(|scope| {
-            let items = &items;
-            let prepared = &prepared;
-            let cursor = &cursor;
-            for _ in 0..workers {
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    // Per-worker scratch: blocks of any scenario reuse
-                    // it, so steady-state workers allocate nothing.
-                    let mut ws = TrialWorkspace::new();
-                    loop {
-                        let k = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(k) else { break };
-                        let stats =
-                            run_block(&prepared[item.scenario], &mut ws, item.trials.clone());
-                        if tx.send((item.scenario, item.block, stats)).is_err() {
-                            break; // receiver gone; nothing left to report
-                        }
-                    }
-                });
-            }
-            drop(tx);
-            for (scenario, block, stats) in rx {
-                mergers[scenario].offer(block, stats);
-            }
-        });
-    }
+    dispatch(
+        items.len(),
+        opts.workers,
+        |k, ws| {
+            let item = &items[k];
+            run_block(&prepared[item.scenario], ws, item.trials.clone())
+        },
+        |k, stats| {
+            let item = &items[k];
+            mergers[item.scenario].offer(item.block, stats);
+        },
+    );
 
     let scenarios = prepared
         .into_iter()
@@ -481,7 +502,7 @@ fn finalize(p: Prepared, stats: Option<PipelineBlockStats>) -> ScenarioResult {
     }
 }
 
-fn build_model_from_mc(
+pub(crate) fn build_model_from_mc(
     means: &[f64],
     sds: &[f64],
     correlation: &CorrelationMatrix,

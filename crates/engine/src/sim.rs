@@ -35,6 +35,28 @@ use vardelay_mc::{PipelineBlockStats, PipelineMc, PreparedPipelineMc, TrialWorks
 use vardelay_stats::MultivariateNormal;
 
 use crate::seed::trial_seed;
+use crate::spec::BackendSpec;
+
+/// Builds the gate-level simulator a scenario's `backend` keyword
+/// selects for `staged` — the one place the spec-level backend choice
+/// is mapped onto an executable [`Simulator`].
+///
+/// # Panics
+///
+/// Panics on [`BackendSpec::Analytic`]: the closed-form backend runs no
+/// trials, so scenario preparation must never ask for a simulator for
+/// it (it rejects `trials > 0` first).
+pub(crate) fn gate_level_backend(
+    backend: BackendSpec,
+    mc: PipelineMc,
+    staged: StagedPipeline,
+) -> Box<dyn Simulator> {
+    match backend {
+        BackendSpec::Pipeline => Box::new(StagedMcSim::new(mc, staged)),
+        BackendSpec::Netlist => Box::new(GateLevelSim::new(&mc, &staged)),
+        BackendSpec::Analytic => unreachable!("the analytic backend rejects trials"),
+    }
+}
 
 /// A scenario's simulation backend, prepared and ready to run trial
 /// blocks.

@@ -431,6 +431,17 @@ impl PipelineSpec {
         }
     }
 
+    /// Short human-readable description, used when grids must invent
+    /// labels for generated scenarios/runs.
+    pub fn label(&self) -> String {
+        match self {
+            PipelineSpec::Moments { stages, .. } => format!("{}stg moments", stages.len()),
+            PipelineSpec::InverterGrid { stages, depth, .. } => format!("{stages}x{depth} grid"),
+            PipelineSpec::InverterStages { depths, .. } => format!("{}stg chains", depths.len()),
+            PipelineSpec::Circuits { stages, .. } => format!("{}stg circuits", stages.len()),
+        }
+    }
+
     /// Checks the spec is in-domain before any generator runs (the
     /// circuit generators assert on zero stages/depths and non-positive
     /// sizes; user-supplied JSON must fail softly instead).
@@ -475,6 +486,15 @@ impl PipelineSpec {
                         "stages and depth must be positive, got {stages}x{depth}"
                     ));
                 }
+                // Same gate budget as CircuitSpec: validation must stay
+                // millisecond-cheap, never build a fat-fingered netlist.
+                if stages.saturating_mul(*depth) > MAX_CIRCUIT_GATES {
+                    return Err(format!(
+                        "inverter grid {stages}x{depth} implies {} gates, over the cap of \
+                         {MAX_CIRCUIT_GATES}",
+                        stages.saturating_mul(*depth)
+                    ));
+                }
                 check_size(*size)
             }
             PipelineSpec::InverterStages { depths, size, .. } => {
@@ -483,6 +503,12 @@ impl PipelineSpec {
                 }
                 if depths.contains(&0) {
                     return Err("all stage depths must be positive".to_owned());
+                }
+                let total: usize = depths.iter().fold(0usize, |a, &d| a.saturating_add(d));
+                if total > MAX_CIRCUIT_GATES {
+                    return Err(format!(
+                        "inverter stages imply {total} gates, over the cap of {MAX_CIRCUIT_GATES}"
+                    ));
                 }
                 check_size(*size)
             }
@@ -1176,6 +1202,26 @@ mod tests {
             .to_json()
             .replace("\"inter_mv\": 20.0,", "\"inter_mv\": 20.0, \"intra\": 1,");
         assert!(Sweep::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn absurd_inverter_pipelines_are_rejected_before_building() {
+        // Validation (and with it `sweep validate`/`optimize validate`)
+        // must stay millisecond-cheap: an absurd depth fails the lint,
+        // it never reaches a netlist generator.
+        let grid = PipelineSpec::InverterGrid {
+            stages: 2_000,
+            depth: 2_000,
+            size: 1.0,
+            latch: LatchSpec::Ideal,
+        };
+        assert!(grid.validate().unwrap_err().contains("cap"));
+        let stages = PipelineSpec::InverterStages {
+            depths: vec![MAX_CIRCUIT_GATES, MAX_CIRCUIT_GATES],
+            size: 1.0,
+            latch: LatchSpec::Ideal,
+        };
+        assert!(stages.validate().unwrap_err().contains("cap"));
     }
 
     #[test]

@@ -237,6 +237,31 @@ impl PreparedPipelineMc {
         max_d
     }
 
+    /// Monte-Carlo pipeline yield at one target delay: runs the given
+    /// trial range and returns the fraction of trials whose pipeline
+    /// delay met `target_ps`, with its 95% Wilson interval. This is the
+    /// yield-at-target-delay evaluation the optimization campaigns use
+    /// both as a pluggable sizing-loop backend and to cross-check the
+    /// analytic yield prediction (the paper's Table II "actual yield"
+    /// column) — same hot path, same bit-reproducibility, as a sweep's
+    /// netlist backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is empty.
+    pub fn yield_at_target(
+        &self,
+        ws: &mut TrialWorkspace,
+        target_ps: f64,
+        trials: std::ops::Range<u64>,
+        seed_of: impl Fn(u64) -> u64,
+    ) -> crate::results::YieldEstimate {
+        assert!(!trials.is_empty(), "yield estimate needs trials");
+        let mut stats = PipelineBlockStats::new(self.stage_count(), &[target_ps]);
+        self.run_block(ws, trials, seed_of, &mut stats);
+        stats.yield_estimate(0)
+    }
+
     /// Runs trials `trials.start..trials.end` with per-trial seeds
     /// `seed_of(trial_index)`, folding each trial into `stats` — the
     /// [`crate::PipelineMc::run_block`] contract, minus the per-trial
@@ -318,6 +343,24 @@ mod tests {
 
             assert_eq!(a, b, "prepared path diverged under {var:?}");
         }
+    }
+
+    #[test]
+    fn yield_at_target_matches_block_stats() {
+        let mc = PipelineMc::new(
+            CellLibrary::default(),
+            VariationConfig::random_only(35.0),
+            None,
+        );
+        let p = pipe(3, 6);
+        let prepared = PreparedPipelineMc::new(&mc, &p);
+        let mut ws = prepared.workspace();
+        let target = 200.0;
+        let est = prepared.yield_at_target(&mut ws, target, 0..500, seed_of);
+        let mut want = PipelineBlockStats::new(p.stage_count(), &[target]);
+        mc.run_block(&p, 0..500, seed_of, &mut want);
+        assert_eq!(est, want.yield_estimate(0));
+        assert!(est.lo <= est.value && est.value <= est.hi);
     }
 
     #[test]

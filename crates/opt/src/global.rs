@@ -16,6 +16,7 @@ use vardelay_ssta::PipelineTiming;
 
 use crate::area_delay::AreaDelayCurve;
 use crate::sizing::StatisticalSizer;
+use crate::yield_eval::{AnalyticYieldEval, PipelineYieldEval};
 
 /// What the optimizer is asked to do (both variants minimize area subject
 /// to the yield constraint; they differ in the relaxation direction they
@@ -124,18 +125,6 @@ impl GlobalPipelineOptimizer {
         &self.sizer
     }
 
-    /// Pipeline yield (eq. 9) of a timing analysis at `target_ps`.
-    fn pipeline_yield(timing: &PipelineTiming, target_ps: f64) -> f64 {
-        let stages: Vec<StageDelay> = timing
-            .stage_delays
-            .iter()
-            .map(|n| StageDelay::from_normal(*n))
-            .collect();
-        Pipeline::new(stages, timing.correlation.clone())
-            .expect("timing produces consistent dimensions")
-            .yield_at(target_ps)
-    }
-
     /// Baseline flow: each stage sized independently against the eq.-12
     /// per-stage allocation `Y^(1/Ns)`, no global feedback — the
     /// "Individually Optimized" columns of Tables II/III.
@@ -166,11 +155,8 @@ impl GlobalPipelineOptimizer {
         out
     }
 
-    /// The Fig. 9 flow: slope-ordered, one-stage-at-a-time sizing with
-    /// full-pipeline statistical analysis between stages and a global
-    /// budget adjustment across rounds.
-    ///
-    /// Returns the optimized pipeline and the Table II/III-style report.
+    /// The Fig. 9 flow with the paper's analytic (Clark/SSTA) yield
+    /// evaluation — see [`GlobalPipelineOptimizer::optimize_with`].
     ///
     /// # Panics
     ///
@@ -182,6 +168,33 @@ impl GlobalPipelineOptimizer {
         yield_target: f64,
         goal: OptimizationGoal,
     ) -> (StagedPipeline, OptimizationReport) {
+        self.optimize_with(pipeline, target_ps, yield_target, goal, &AnalyticYieldEval)
+    }
+
+    /// The Fig. 9 flow: slope-ordered, one-stage-at-a-time sizing with
+    /// full-pipeline statistical analysis between stages and a global
+    /// budget adjustment across rounds.
+    ///
+    /// `eval` is the pipeline-yield measurement backend driving the
+    /// global feedback (and the report's pipeline-yield columns): the
+    /// analytic Clark/SSTA model reproduces the paper flow, while a
+    /// Monte-Carlo backend puts measured yield in the loop — the per-stage
+    /// sizing constraints stay SSTA-based either way (they need per-stage
+    /// `σ`, which only the analysis provides cheaply).
+    ///
+    /// Returns the optimized pipeline and the Table II/III-style report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `yield_target` is outside `(0, 1)`.
+    pub fn optimize_with(
+        &self,
+        pipeline: &StagedPipeline,
+        target_ps: f64,
+        yield_target: f64,
+        goal: OptimizationGoal,
+        eval: &dyn PipelineYieldEval,
+    ) -> (StagedPipeline, OptimizationReport) {
         assert!(
             yield_target > 0.0 && yield_target < 1.0,
             "yield target must be in (0, 1)"
@@ -192,7 +205,7 @@ impl GlobalPipelineOptimizer {
 
         // --- Step 1: initial analysis + area-delay slopes. ---
         let timing0 = engine.analyze_pipeline(pipeline);
-        let yield0 = Self::pipeline_yield(&timing0, target_ps);
+        let yield0 = eval.pipeline_yield(pipeline, &timing0, target_ps);
         let areas0 = pipeline.stage_areas();
         let y_stage = stage_yield_target(yield_target, ns);
 
@@ -225,7 +238,10 @@ impl GlobalPipelineOptimizer {
         // *expensive* (large R — area recovered with little yield loss).
         let mut work = pipeline.clone();
         let mut scale = vec![1.0_f64; ns];
-        let mut best: Option<(StagedPipeline, f64, f64)> = None; // (pipe, yield, area)
+        // The input design is the first candidate: on an infeasible
+        // target every sizing round can only churn, and the flow must
+        // then return its input unchanged rather than something worse.
+        let mut best: (StagedPipeline, f64, f64) = (pipeline.clone(), yield0, areas0.iter().sum());
 
         for _round in 0..self.rounds {
             for &si in &order {
@@ -240,28 +256,26 @@ impl GlobalPipelineOptimizer {
                     .size_stage(&work.stages()[si], region, budget, y_stage);
                 // Keep the incumbent sizing if it already meets this budget
                 // with less area — re-sizing is greedy and can churn.
-                let kappa = vardelay_stats::inv_cap_phi(y_stage);
-                let cur = self.sizer.engine().stage_delay(&work.stages()[si], region);
-                let cur_meets = cur.mean() + kappa * cur.sd() <= budget;
+                let cur_meets = self
+                    .sizer
+                    .stage_meets(&work.stages()[si], region, budget, y_stage);
                 if !(cur_meets && work.stages()[si].area() <= res.area) {
                     work.set_stage(si, res.netlist);
                 }
             }
             let timing = engine.analyze_pipeline(&work);
-            let y = Self::pipeline_yield(&timing, target_ps);
+            let y = eval.pipeline_yield(&work, &timing, target_ps);
             let area = work.total_area();
-            let better = match &best {
-                None => true,
-                Some((_, by, barea)) => {
-                    if y >= yield_target && *by >= yield_target {
-                        area < *barea
-                    } else {
-                        y > *by
-                    }
+            let better = {
+                let (_, by, barea) = &best;
+                if y >= yield_target && *by >= yield_target {
+                    area < *barea
+                } else {
+                    y > *by
                 }
             };
             if better {
-                best = Some((work.clone(), y, area));
+                best = (work.clone(), y, area);
             }
             // Step 7: adjust per-stage budgets along the slope ordering.
             // Steps are sized in units of each stage's delay sigma — a
@@ -293,7 +307,7 @@ impl GlobalPipelineOptimizer {
             }
         }
 
-        let (final_pipe, final_yield, _) = best.expect("at least one round always runs");
+        let (final_pipe, final_yield, _) = best;
         let timing_f = engine.analyze_pipeline(&final_pipe);
         let areas_f = final_pipe.stage_areas();
 
@@ -309,14 +323,16 @@ impl GlobalPipelineOptimizer {
         };
         let crit0 = criticality(&timing0);
         let crit_f = criticality(&timing_f);
+        let stage_y0 = timing0.stage_yields(target_ps);
+        let stage_yf = timing_f.stage_yields(target_ps);
 
         let stages = (0..ns)
             .map(|i| StageReport {
                 name: pipeline.stages()[i].name().to_owned(),
                 area_before: areas0[i],
                 area_after: areas_f[i],
-                yield_before: timing0.stage_delays[i].cdf(target_ps),
-                yield_after: timing_f.stage_delays[i].cdf(target_ps),
+                yield_before: stage_y0[i],
+                yield_after: stage_yf[i],
                 slope: slopes[i],
                 criticality_before: crit0[i],
                 criticality_after: crit_f[i],
@@ -416,7 +432,7 @@ mod tests {
 
         let indiv = opt.optimize_individually(&p, target, 0.80);
         let t_ind = opt.sizer().engine().analyze_pipeline(&indiv);
-        let y_ind = GlobalPipelineOptimizer::pipeline_yield(&t_ind, target);
+        let y_ind = AnalyticYieldEval::yield_of(&t_ind, target);
         let a_ind = indiv.total_area();
 
         let (glob, report) = opt.optimize(&p, target, 0.80, OptimizationGoal::MinimizeArea);

@@ -15,6 +15,13 @@
 //!   `R_i`, size one stage at a time against its share of the pipeline
 //!   yield budget, re-run full-pipeline statistical analysis after each
 //!   stage, and iterate. Produces the Table II/III reports.
+//! * [`yield_eval`] — the pluggable pipeline-yield backend of the loop:
+//!   the analytic Clark/SSTA model (the paper flow) or gate-level
+//!   Monte-Carlo on the prepared zero-allocation hot path, so campaigns
+//!   can emit model-predicted and MC-measured yield side by side.
+//! * [`target`] — target-delay selection ([`TargetDelayPolicy`]): an
+//!   absolute delay, or the Tables II/III sized-frontier quantile
+//!   previously hand-rolled by the bench binaries.
 //!
 //! # Example
 //!
@@ -44,7 +51,11 @@
 pub mod area_delay;
 pub mod global;
 pub mod sizing;
+pub mod target;
+pub mod yield_eval;
 
 pub use area_delay::AreaDelayCurve;
 pub use global::{GlobalPipelineOptimizer, OptimizationGoal, OptimizationReport};
 pub use sizing::{SizingConfig, SizingResult, StatisticalSizer};
+pub use target::{ResolvedTarget, TargetDelayPolicy};
+pub use yield_eval::{AnalyticYieldEval, NetlistMcYieldEval, PipelineYieldEval, MAX_EVAL_TRIALS};

@@ -137,6 +137,30 @@ impl StatisticalSizer {
         self.size_stage_kappa(netlist, region, target_ps, kappa)
     }
 
+    /// Whether `netlist`, as currently sized, already meets the
+    /// statistical constraint `μ + κ·σ ≤ budget_ps` at `stage_yield`
+    /// (`κ = Φ⁻¹(stage_yield)`) — the incumbent check the global flow
+    /// uses to avoid churning a stage the greedy sizer cannot improve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage_yield` is outside `(0, 1)`.
+    pub fn stage_meets(
+        &self,
+        netlist: &Netlist,
+        region: usize,
+        budget_ps: f64,
+        stage_yield: f64,
+    ) -> bool {
+        assert!(
+            stage_yield > 0.0 && stage_yield < 1.0,
+            "stage yield must be in (0, 1), got {stage_yield}"
+        );
+        let kappa = inv_cap_phi(stage_yield);
+        let d = self.engine.stage_delay(netlist, region);
+        d.mean() + kappa * d.sd() <= budget_ps
+    }
+
     /// Sizes with an explicit sigma multiplier `κ` (negative κ allowed —
     /// it relaxes the constraint below the mean, useful for
     /// area-recovery-only runs).

@@ -38,6 +38,13 @@ impl PipelineTiming {
     pub fn sds(&self) -> Vec<f64> {
         self.stage_delays.iter().map(Normal::sd).collect()
     }
+
+    /// Per-stage yields `Φ((T − μᵢ)/σᵢ)` at a target delay — the
+    /// yield-at-target evaluation the sizing flow (and the Table II/III
+    /// reports) read per stage.
+    pub fn stage_yields(&self, target_ps: f64) -> Vec<f64> {
+        self.stage_delays.iter().map(|n| n.cdf(target_ps)).collect()
+    }
 }
 
 /// The SSTA engine: a cell library, a variation model, and a spatial grid.

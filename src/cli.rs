@@ -9,6 +9,13 @@
 //!   netlist in `.bench` format.
 //! * `sweep <spec.json>` — run a scenario sweep on the parallel engine;
 //!   `sweep example` prints a ready-to-edit spec.
+//! * `optimize <spec.json>` — run a yield-aware sizing campaign (the
+//!   §4 / Fig. 9 flow) on the same engine; `optimize example` prints a
+//!   ready-to-edit campaign, `optimize validate` lints one.
+//!
+//! Every subcommand rejects unrecognized flags/arguments outright —
+//! like the spec files' unknown-key rejection, a typo'd option must
+//! fail loudly, never silently change (or skip) part of a run.
 //!
 //! All functions return the output text so they are unit-testable; `main`
 //! only routes arguments and prints.
@@ -69,6 +76,25 @@ USAGE:
       Print an example sweep spec (JSON) to adapt; --backend netlist
       emits a gate-level template (circuit-spec pipelines, an analytic
       model twin for model-vs-MC deltas).
+
+  vardelay optimize <spec.json> [--workers N] [--out results.json]
+      Run an optimization campaign: the paper's global yield-aware
+      sizing flow (Fig. 9) over every (pipeline x yield target x
+      target-delay policy x goal x variation) run in the spec, on the
+      parallel engine. Each run reports the individually-optimized
+      baseline, the global flow's result, the analytic yield
+      prediction and the MC-verified yield side by side. Results are
+      bit-identical for any --workers. The yield_backend field picks
+      what measures yield inside the sizing loop: analytic (Clark/SSTA,
+      the paper flow) or netlist (gate-level Monte-Carlo).
+
+  vardelay optimize validate <spec.json>
+      Lint a campaign spec without running it: expand, validate every
+      run, and report per-run footprint (stages, gates, goal, backend,
+      yield allocation) plus total verification trials.
+
+  vardelay optimize example
+      Print an example campaign spec (JSON) to adapt.
 
   vardelay help
       This text.
@@ -315,6 +341,81 @@ pub fn sweep_example_cmd(mut opts: Vec<String>) -> Result<String, CliError> {
     Ok(sweep.to_json() + "\n")
 }
 
+/// `optimize` subcommand over already-loaded campaign spec text.
+///
+/// Returns the summary table; when `--out` is given the full JSON
+/// results are written there (bit-identical for any worker count —
+/// timing goes to stderr only).
+pub fn optimize_cmd(spec_text: &str, mut opts: Vec<String>) -> Result<String, CliError> {
+    let workers = take_opt(&mut opts, "--workers")?
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| CliError(format!("invalid --workers: '{v}'")))
+        })
+        .transpose()?;
+    let out_path = take_opt(&mut opts, "--out")?;
+    if !opts.is_empty() {
+        return Err(CliError(format!("unrecognized arguments: {opts:?}")));
+    }
+
+    let campaign = vardelay_engine::OptimizationCampaign::from_json(spec_text)
+        .map_err(|e| CliError(format!("invalid campaign spec: {e}")))?;
+    let mut options = vardelay_engine::SweepOptions::default();
+    if let Some(w) = workers {
+        options = options.with_workers(w);
+    }
+    let started = std::time::Instant::now();
+    let result = vardelay_engine::run_campaign(&campaign, &options)
+        .map_err(|e| CliError(format!("campaign failed: {e}")))?;
+    eprintln!(
+        "campaign '{}': {} runs, {} workers, {:.3} s",
+        result.name,
+        result.runs.len(),
+        options.workers,
+        started.elapsed().as_secs_f64()
+    );
+
+    let mut text = format!(
+        "campaign '{}' — {} runs (seed {})\n\n{}",
+        result.name,
+        result.runs.len(),
+        result.seed,
+        result.summary_table()
+    );
+    if let Some(path) = out_path {
+        std::fs::write(&path, result.to_json())
+            .map_err(|e| CliError(format!("cannot write '{path}': {e}")))?;
+        use std::fmt::Write as _;
+        let _ = writeln!(text, "\nresults written to {path}");
+    }
+    Ok(text)
+}
+
+/// `optimize validate` subcommand: full validation and footprint
+/// accounting, zero sizing passes and zero trials run.
+pub fn optimize_validate_cmd(spec_text: &str) -> Result<String, CliError> {
+    let campaign = vardelay_engine::OptimizationCampaign::from_json(spec_text)
+        .map_err(|e| CliError(format!("invalid campaign spec: {e}")))?;
+    let plan = vardelay_engine::plan_campaign(&campaign)
+        .map_err(|e| CliError(format!("invalid campaign spec: {e}")))?;
+    Ok(format!("{}\nspec OK\n", plan.render()))
+}
+
+/// `optimize example` subcommand: the campaign spec template.
+pub fn optimize_example_cmd(opts: Vec<String>) -> Result<String, CliError> {
+    no_more_args("optimize example", &opts)?;
+    Ok(vardelay_engine::OptimizationCampaign::example().to_json() + "\n")
+}
+
+/// Rejects stray arguments after a subcommand that takes none.
+fn no_more_args(what: &str, rest: &[String]) -> Result<(), CliError> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError(format!("unrecognized {what} arguments: {rest:?}")))
+    }
+}
+
 /// Routes a full argument vector (without argv(0)); returns output text.
 pub fn run(args: Vec<String>) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
@@ -337,6 +438,7 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
                 let file = args
                     .get(2)
                     .ok_or_else(|| CliError("sweep validate requires a spec file".to_owned()))?;
+                no_more_args("sweep validate", &args[3..])?;
                 let text = std::fs::read_to_string(file)
                     .map_err(|e| CliError(format!("cannot read '{file}': {e}")))?;
                 sweep_validate_cmd(&text)
@@ -347,10 +449,31 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
                 sweep_cmd(&text, args[2..].to_vec())
             }
         },
+        Some("optimize") => match args.get(1).map(String::as_str) {
+            None => Err(CliError(
+                "optimize requires a spec file (or `example`/`validate`)".to_owned(),
+            )),
+            Some("example") => optimize_example_cmd(args[2..].to_vec()),
+            Some("validate") => {
+                let file = args
+                    .get(2)
+                    .ok_or_else(|| CliError("optimize validate requires a spec file".to_owned()))?;
+                no_more_args("optimize validate", &args[3..])?;
+                let text = std::fs::read_to_string(file)
+                    .map_err(|e| CliError(format!("cannot read '{file}': {e}")))?;
+                optimize_validate_cmd(&text)
+            }
+            Some(file) => {
+                let text = std::fs::read_to_string(file)
+                    .map_err(|e| CliError(format!("cannot read '{file}': {e}")))?;
+                optimize_cmd(&text, args[2..].to_vec())
+            }
+        },
         Some("generate") => {
             let which = args
                 .get(1)
                 .ok_or_else(|| CliError("generate requires a benchmark name".to_owned()))?;
+            no_more_args("generate", &args[2..])?;
             generate(which)
         }
         Some(other) => Err(CliError(format!("unknown subcommand '{other}'"))),
@@ -364,9 +487,72 @@ mod tests {
     #[test]
     fn help_lists_subcommands() {
         let h = help();
-        for cmd in ["analyze", "yield", "generate", "sweep"] {
+        for cmd in ["analyze", "yield", "generate", "sweep", "optimize"] {
             assert!(h.contains(cmd));
         }
+    }
+
+    #[test]
+    fn optimize_example_is_a_valid_campaign() {
+        let json = run(vec!["optimize".into(), "example".into()]).unwrap();
+        let campaign = vardelay_engine::OptimizationCampaign::from_json(&json).unwrap();
+        assert!(campaign.expand().len() >= 4);
+        assert!(vardelay_engine::plan_campaign(&campaign).is_ok());
+    }
+
+    #[test]
+    fn optimize_validate_reports_without_running() {
+        let spec = vardelay_engine::OptimizationCampaign::example().to_json();
+        let out = optimize_validate_cmd(&spec).unwrap();
+        assert!(out.contains("spec OK"), "{out}");
+        assert!(out.contains("ensure-yield"), "{out}");
+        assert!(out.contains("analytic"), "{out}");
+        assert!(out.contains("netlist"), "{out}");
+        // Invalid specs are rejected with the engine's context.
+        let mut bad = vardelay_engine::OptimizationCampaign::example();
+        bad.runs[0].rounds = 0;
+        let err = optimize_validate_cmd(&bad.to_json()).unwrap_err();
+        assert!(err.to_string().contains("rounds"), "{err}");
+        assert!(optimize_validate_cmd("not json").is_err());
+        assert!(run(vec!["optimize".into(), "validate".into()]).is_err());
+        assert!(run(vec!["optimize".into()]).is_err());
+    }
+
+    #[test]
+    fn optimize_cmd_runs_a_small_campaign() {
+        let mut campaign = vardelay_engine::OptimizationCampaign::example();
+        campaign.grid = None;
+        campaign.runs.truncate(1);
+        campaign.runs[0].rounds = 1;
+        campaign.runs[0].verify_trials = 256;
+        if let vardelay_opt::TargetDelayPolicy::FrontierQuantile { refine, .. } =
+            &mut campaign.runs[0].target_delay
+        {
+            *refine = 1;
+        }
+        let out = optimize_cmd(&campaign.to_json(), vec!["--workers".into(), "2".into()]).unwrap();
+        assert!(out.contains("1 runs"), "{out}");
+        assert!(out.contains("chains"), "{out}");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_everywhere() {
+        // A typo'd option must fail loudly, never be silently dropped.
+        let sweep_spec = vardelay_engine::Sweep::example().to_json();
+        assert!(sweep_cmd(&sweep_spec, vec!["--frob".into(), "1".into()]).is_err());
+        assert!(run(vec![
+            "sweep".into(),
+            "example".into(),
+            "--frob".into(),
+            "x".into()
+        ])
+        .is_err());
+        let campaign_spec = vardelay_engine::OptimizationCampaign::example().to_json();
+        assert!(optimize_cmd(&campaign_spec, vec!["--frob".into(), "1".into()]).is_err());
+        assert!(optimize_cmd(&campaign_spec, vec!["--workers".into(), "x".into()]).is_err());
+        assert!(run(vec!["optimize".into(), "example".into(), "--frob".into()]).is_err());
+        // Trailing junk after fixed-shape subcommands errors too.
+        assert!(run(vec!["generate".into(), "c432".into(), "--frob".into()]).is_err());
     }
 
     #[test]
@@ -413,6 +599,22 @@ mod tests {
         assert!(err.to_string().contains("analytic"), "{err}");
         assert!(sweep_validate_cmd("not json").is_err());
         assert!(run(vec!["sweep".into(), "validate".into()]).is_err());
+        // Stray arguments after the spec file are rejected before the
+        // file is even read.
+        assert!(run(vec![
+            "sweep".into(),
+            "validate".into(),
+            "spec.json".into(),
+            "--frob".into()
+        ])
+        .is_err());
+        assert!(run(vec![
+            "optimize".into(),
+            "validate".into(),
+            "spec.json".into(),
+            "extra".into()
+        ])
+        .is_err());
     }
 
     #[test]
