@@ -16,13 +16,28 @@
 //! campaign results must be byte-identical, or the numbers would not be
 //! comparable run to run.
 //!
+//! A second group, `flow`, isolates the **sizing flow proper** (frontier
+//! resolution + the Fig. 9 global loop, no Monte-Carlo verification) and
+//! times it on the old full-pass kernel vs the incremental kernel side
+//! by side — asserted bit-identical first. The distinction matters for
+//! reading the campaign numbers: a campaign's wall-clock also contains
+//! the final MC verification and the report's criticality sampling,
+//! whose trial-by-trial arithmetic is pinned by the byte-identity
+//! contract and therefore does not speed up with the kernel.
+//!
 //! Run: `cargo bench -p vardelay-bench --bench optimize_campaign`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vardelay_circuit::generators::inverter_chain;
+use vardelay_circuit::{CellLibrary, LatchParams, StagedPipeline};
 use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
 use vardelay_engine::{run_campaign, LatchSpec, PipelineSpec, SweepOptions, VariationSpec};
-use vardelay_opt::{OptimizationGoal, TargetDelayPolicy};
+use vardelay_opt::{
+    GlobalPipelineOptimizer, OptimizationGoal, SizingConfig, StatisticalSizer, TargetDelayPolicy,
+};
+use vardelay_process::VariationConfig;
+use vardelay_ssta::SstaEngine;
 
 fn campaign(backend: YieldBackendSpec) -> OptimizationCampaign {
     OptimizationCampaign {
@@ -69,5 +84,50 @@ fn bench_campaign(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_campaign);
+fn bench_flow(c: &mut Criterion) {
+    let engine = SstaEngine::new(
+        CellLibrary::default(),
+        VariationConfig::random_only(35.0),
+        None,
+    );
+    let incremental = StatisticalSizer::new(engine, SizingConfig::default());
+    let full = incremental.clone().with_full_pass_kernel();
+    let pipeline = StagedPipeline::new(
+        "bench",
+        vec![
+            inverter_chain(30, 1.0),
+            inverter_chain(29, 1.0),
+            inverter_chain(29, 1.0),
+            inverter_chain(29, 1.0),
+        ],
+        LatchParams::tg_msff_70nm(),
+    );
+    let policy = TargetDelayPolicy::FrontierQuantile { q: 0.86, refine: 3 };
+    let run = |sizer: &StatisticalSizer| {
+        let opt = GlobalPipelineOptimizer::new(sizer.clone()).with_rounds(3);
+        let resolved = policy.resolve(&opt, &pipeline, 0.80);
+        opt.optimize(
+            &resolved.baseline,
+            resolved.target_ps,
+            0.80,
+            OptimizationGoal::EnsureYield,
+        )
+    };
+
+    // Kernel equivalence, asserted before timing.
+    let (pa, ra) = run(&incremental);
+    let (pb, rb) = run(&full);
+    assert_eq!(pa.stages(), pb.stages(), "kernels diverged");
+    assert_eq!(ra.pipeline_yield_after, rb.pipeline_yield_after);
+
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(10);
+    group.bench_function("incremental", |bch| {
+        bch.iter(|| black_box(run(&incremental)))
+    });
+    group.bench_function("full_pass", |bch| bch.iter(|| black_box(run(&full))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_flow);
 criterion_main!(benches);

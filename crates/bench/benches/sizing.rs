@@ -1,4 +1,25 @@
-//! Criterion bench: statistical gate sizing of a stage.
+//! Criterion bench: statistical gate sizing of a stage, old vs new.
+//!
+//! `size_stage` is the Fig. 9 flow's inner loop and the dominant cost of
+//! optimization campaigns' sizing phase. Two kernels are timed side by
+//! side on the same 200-gate fixture:
+//!
+//! * `sizing/incremental` — the production path: persistent
+//!   [`vardelay_ssta::StageTimer`] (dirty-cone nominal timing with
+//!   journaled speculate/rollback) plus [`vardelay_ssta::StageSsta`]
+//!   (dirty-cone canonical SSTA) drive candidate scoring and the
+//!   corrective loop.
+//! * `sizing/full_pass` — the pre-incremental reference kernel: a fresh
+//!   O(n) arrival-time pass per candidate and a from-scratch SSTA per
+//!   corrective iteration.
+//!
+//! The two are asserted **bit-identical** before timing (same sized
+//! netlist, same move count, same moments) — the incremental kernel is
+//! a pure speedup, which is what lets campaign JSON stay byte-stable
+//! across the refactor. A `retime` group times the raw kernel: one
+//! resize+retime probe, full pass vs dirty cone.
+//!
+//! Run: `cargo bench -p vardelay-bench --bench sizing`
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -6,7 +27,19 @@ use vardelay_circuit::generators::{random_logic, RandomLogicConfig};
 use vardelay_circuit::CellLibrary;
 use vardelay_opt::sizing::{SizingConfig, StatisticalSizer};
 use vardelay_process::VariationConfig;
-use vardelay_ssta::SstaEngine;
+use vardelay_ssta::sta::arrival_times;
+use vardelay_ssta::{SstaEngine, StageTimer};
+
+fn bench_stage() -> vardelay_circuit::Netlist {
+    random_logic(&RandomLogicConfig {
+        name: "bench_stage".into(),
+        inputs: 24,
+        gates: 200,
+        depth: 14,
+        outputs: 12,
+        seed: 77,
+    })
+}
 
 fn bench_size_stage(c: &mut Criterion) {
     let engine = SstaEngine::new(
@@ -14,24 +47,69 @@ fn bench_size_stage(c: &mut Criterion) {
         VariationConfig::random_only(35.0),
         None,
     );
-    let sizer = StatisticalSizer::new(engine.clone(), SizingConfig::default());
-    let stage = random_logic(&RandomLogicConfig {
-        name: "bench_stage".into(),
-        inputs: 24,
-        gates: 200,
-        depth: 14,
-        outputs: 12,
-        seed: 77,
-    });
+    let incremental = StatisticalSizer::new(engine.clone(), SizingConfig::default());
+    let full = incremental.clone().with_full_pass_kernel();
+    let stage = bench_stage();
     let d0 = engine.stage_delay(&stage, 0);
     let target = d0.mean() * 0.92;
+
+    // The determinism contract, asserted before any timing: the two
+    // kernels must agree bit for bit, or the numbers would not be
+    // comparable (and campaign bytes would have drifted).
+    let a = incremental.size_stage(&stage, 0, target, 0.9);
+    let b = full.size_stage(&stage, 0, target, 0.9);
+    assert_eq!(a.netlist, b.netlist, "kernels diverged");
+    assert_eq!(a.moves, b.moves);
+    assert_eq!(a.stat_delay_ps, b.stat_delay_ps);
+
     let mut group = c.benchmark_group("sizing");
     group.sample_size(10);
-    group.bench_function("size_stage_200g", |b| {
-        b.iter(|| sizer.size_stage(black_box(&stage), 0, black_box(target), 0.9))
+    group.bench_function("incremental", |bch| {
+        bch.iter(|| incremental.size_stage(black_box(&stage), 0, black_box(target), 0.9))
+    });
+    group.bench_function("full_pass", |bch| {
+        bch.iter(|| full.size_stage(black_box(&stage), 0, black_box(target), 0.9))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_size_stage);
+fn bench_retime_kernel(c: &mut Criterion) {
+    let lib = CellLibrary::default();
+    let stage = bench_stage();
+    let gi = stage.gate_count() / 2;
+
+    let mut group = c.benchmark_group("retime");
+    // One probe = apply a size, re-time, undo — the candidate-scoring
+    // primitive the sizer runs thousands of times per stage.
+    group.bench_function("full_pass", |bch| {
+        let mut work = stage.clone();
+        bch.iter(|| {
+            let s = work.gates()[gi].size;
+            work.set_gate_size(gi, s * 1.15);
+            let at = arrival_times(&work, &lib, 3.0, None);
+            work.set_gate_size(gi, s);
+            black_box(at[at.len() - 1])
+        })
+    });
+    let mut timer = StageTimer::new(stage.clone(), &lib, 3.0);
+    group.bench_function("incremental", |bch| {
+        bch.iter(|| {
+            let s = timer.size_of(gi);
+            timer.try_size(gi, s * 1.15);
+            let d = timer.delay();
+            timer.rollback();
+            black_box(d)
+        })
+    });
+    group.finish();
+
+    // Sanity: all those speculate/rollback probes must leave the benched
+    // timer bit-identical to a from-scratch pass.
+    assert_eq!(
+        timer.arrivals(),
+        &arrival_times(&stage, &lib, 3.0, None)[..]
+    );
+}
+
+criterion_group!(benches, bench_size_stage, bench_retime_kernel);
 criterion_main!(benches);

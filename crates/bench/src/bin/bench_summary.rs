@@ -1,0 +1,186 @@
+//! Machine-readable performance summary: writes `BENCH_4.json`.
+//!
+//! CI runs this after the criterion benches so the perf trajectory is
+//! tracked as data, not just as log lines: campaign wall-clock per
+//! backend, sizing throughput on both kernels (the old-vs-new ratio is
+//! the incremental kernel's headline), raw retime-probe cost, and the
+//! Monte-Carlo verification throughput in trials/sec. Timings are the
+//! median of `SAMPLES` runs on a warmed process.
+//!
+//! Usage: `cargo run --release -p vardelay-bench --bin bench_summary
+//! [out.json]` (default `BENCH_4.json`).
+
+use std::time::Instant;
+
+use vardelay_circuit::generators::{inverter_chain, random_logic, RandomLogicConfig};
+use vardelay_circuit::{CellLibrary, LatchParams, StagedPipeline};
+use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
+use vardelay_engine::{run_campaign, LatchSpec, PipelineSpec, SweepOptions, VariationSpec};
+use vardelay_mc::{PipelineBlockStats, PipelineMc, PreparedPipelineMc};
+use vardelay_opt::{OptimizationGoal, SizingConfig, StatisticalSizer, TargetDelayPolicy};
+use vardelay_process::VariationConfig;
+use vardelay_ssta::sta::arrival_times;
+use vardelay_ssta::{SstaEngine, StageTimer};
+
+/// Timing samples per measurement (median reported).
+const SAMPLES: usize = 5;
+
+/// Median wall-clock of `f` in milliseconds over [`SAMPLES`] runs.
+fn median_ms(mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+fn campaign(backend: YieldBackendSpec) -> OptimizationCampaign {
+    OptimizationCampaign {
+        name: format!("bench-{}", backend.keyword()),
+        seed: 0xBE7C,
+        runs: vec![OptimizeSpec {
+            label: format!("chains ensure 80% ({})", backend.keyword()),
+            pipeline: PipelineSpec::InverterStages {
+                depths: vec![30, 29, 29, 29],
+                size: 1.0,
+                latch: LatchSpec::TgMsff70nm,
+            },
+            variation: VariationSpec::RandomOnly { sigma_mv: 35.0 },
+            yield_target: 0.80,
+            target_delay: TargetDelayPolicy::FrontierQuantile { q: 0.86, refine: 3 },
+            goal: OptimizationGoal::EnsureYield,
+            rounds: 3,
+            yield_backend: backend,
+            eval_trials: 1_024,
+            verify_trials: 4_096,
+        }],
+        grid: None,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_4.json".to_owned());
+
+    // --- Campaign wall-clock per backend (determinism asserted). ---
+    let mut campaign_ms = Vec::new();
+    for backend in [YieldBackendSpec::Analytic, YieldBackendSpec::Netlist] {
+        let spec = campaign(backend);
+        let a = run_campaign(&spec, &SweepOptions::sequential()).unwrap();
+        let b = run_campaign(&spec, &SweepOptions::sequential().with_workers(4)).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "worker count must not matter");
+        let ms = median_ms(|| {
+            std::hint::black_box(run_campaign(&spec, &SweepOptions::sequential()).unwrap());
+        });
+        campaign_ms.push((backend.keyword(), ms));
+    }
+
+    // --- Sizing throughput: incremental vs full-pass kernel. ---
+    let engine = SstaEngine::new(
+        CellLibrary::default(),
+        VariationConfig::random_only(35.0),
+        None,
+    );
+    let incremental = StatisticalSizer::new(engine.clone(), SizingConfig::default());
+    let full = incremental.clone().with_full_pass_kernel();
+    let stage = random_logic(&RandomLogicConfig {
+        name: "bench_stage".into(),
+        inputs: 24,
+        gates: 200,
+        depth: 14,
+        outputs: 12,
+        seed: 77,
+    });
+    let target = engine.stage_delay(&stage, 0).mean() * 0.92;
+    let ra = incremental.size_stage(&stage, 0, target, 0.9);
+    let rb = full.size_stage(&stage, 0, target, 0.9);
+    assert_eq!(ra.netlist, rb.netlist, "kernels diverged");
+    let size_inc_ms = median_ms(|| {
+        std::hint::black_box(incremental.size_stage(&stage, 0, target, 0.9));
+    });
+    let size_full_ms = median_ms(|| {
+        std::hint::black_box(full.size_stage(&stage, 0, target, 0.9));
+    });
+
+    // --- Raw retime probe (candidate-scoring primitive). ---
+    let lib = CellLibrary::default();
+    let mut timer = StageTimer::new(stage.clone(), &lib, 3.0);
+    let gi = stage.gate_count() / 2;
+    let probes = 20_000u32;
+    let probe_inc_ms = median_ms(|| {
+        for _ in 0..probes {
+            let s = timer.size_of(gi);
+            timer.try_size(gi, s * 1.15);
+            std::hint::black_box(timer.delay());
+            timer.rollback();
+        }
+    }) / probes as f64;
+    let mut work = stage.clone();
+    let probes_full = 500u32;
+    let probe_full_ms = median_ms(|| {
+        for _ in 0..probes_full {
+            let s = work.gates()[gi].size;
+            work.set_gate_size(gi, s * 1.15);
+            std::hint::black_box(arrival_times(&work, &lib, 3.0, None));
+            work.set_gate_size(gi, s);
+        }
+    }) / probes_full as f64;
+    assert_eq!(
+        timer.arrivals(),
+        &arrival_times(&stage, &lib, 3.0, None)[..],
+        "probe loop must leave timing bit-identical"
+    );
+
+    // --- Verification MC throughput (bit-frozen trial arithmetic). ---
+    let var = VariationConfig::random_only(35.0);
+    let mc = PipelineMc::new(CellLibrary::default(), var, None);
+    let pipe = StagedPipeline::new(
+        "verify",
+        vec![
+            inverter_chain(30, 1.0),
+            inverter_chain(29, 1.0),
+            inverter_chain(29, 1.0),
+            inverter_chain(29, 1.0),
+        ],
+        LatchParams::tg_msff_70nm(),
+    );
+    let prepared = PreparedPipelineMc::new(&mc, &pipe);
+    let mut ws = prepared.workspace();
+    let trials = 8_192u64;
+    let verify_ms = median_ms(|| {
+        let mut stats = PipelineBlockStats::new(pipe.stage_count(), &[150.0]);
+        prepared.run_block(&mut ws, 0..trials, |t| t ^ 0xBE7C, &mut stats);
+        std::hint::black_box(stats);
+    });
+    let trials_per_sec = trials as f64 / (verify_ms / 1e3);
+
+    // Hand-rendered JSON: fixed key order, no dependency on map
+    // iteration, so the artifact diffs cleanly between PRs.
+    let json = format!(
+        "{{\n  \"pr\": 4,\n  \"campaign_ms\": {{\n    \"{}\": {:.3},\n    \"{}\": {:.3}\n  }},\n  \
+         \"sizing\": {{\n    \"size_stage_200g_ms\": {:.4},\n    \"size_stage_200g_full_pass_ms\": {:.4},\n    \
+         \"kernel_speedup\": {:.3}\n  }},\n  \"retime_probe\": {{\n    \"incremental_us\": {:.3},\n    \
+         \"full_pass_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"mc_verification\": {{\n    \
+         \"trials_per_sec\": {:.0}\n  }}\n}}",
+        campaign_ms[0].0,
+        campaign_ms[0].1,
+        campaign_ms[1].0,
+        campaign_ms[1].1,
+        size_inc_ms,
+        size_full_ms,
+        size_full_ms / size_inc_ms,
+        probe_inc_ms * 1e3,
+        probe_full_ms * 1e3,
+        probe_full_ms / probe_inc_ms,
+        trials_per_sec,
+    );
+    std::fs::write(&out_path, &json).expect("write summary");
+    println!("{json}");
+    println!();
+    println!("wrote {out_path}");
+}

@@ -51,4 +51,6 @@ pub mod yield_model;
 pub use error::CoreError;
 pub use pipeline::Pipeline;
 pub use stage::StageDelay;
-pub use yield_model::{stage_kappa, stage_yield_target, yield_gaussian, yield_independent};
+pub use yield_model::{
+    stage_kappa, stage_yield_target, yield_correlated, yield_gaussian, yield_independent,
+};

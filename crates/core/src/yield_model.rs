@@ -1,6 +1,6 @@
 //! Yield estimation (eqs. 7–9) and per-stage yield allocation.
 
-use vardelay_stats::{cap_phi, inv_cap_phi, Normal};
+use vardelay_stats::{cap_phi, inv_cap_phi, max_of, CorrelationMatrix, Normal};
 
 /// Exact yield for independent Gaussian stages (eq. 8):
 /// `P_D = Π_i Φ((T − μᵢ)/σᵢ)`.
@@ -19,6 +19,22 @@ pub fn yield_independent(stages: &[Normal], target_ps: f64) -> f64 {
 /// `pipeline_delay` is the Clark-approximated distribution of `T_P`.
 pub fn yield_gaussian(pipeline_delay: &Normal, target_ps: f64) -> f64 {
     pipeline_delay.cdf(target_ps)
+}
+
+/// Gaussian-approximation pipeline yield (eq. 9) computed directly from
+/// borrowed stage moments and their correlation matrix: Clark max over
+/// the stages, then `Φ((T − μ_T)/σ_T)`.
+///
+/// This is the same number as [`crate::Pipeline::yield_at`] on the same
+/// moments, without constructing a [`crate::Pipeline`] (which clones the
+/// correlation matrix and re-validates dimensions) — the borrow-based
+/// path in-loop evaluators use for repeated yield queries.
+///
+/// # Panics
+///
+/// Panics if `stages` is empty or the correlation dimension differs.
+pub fn yield_correlated(stages: &[Normal], correlation: &CorrelationMatrix, target_ps: f64) -> f64 {
+    yield_gaussian(&max_of(stages, correlation), target_ps)
 }
 
 /// Per-stage yield target so that `Ns` independent, equally-critical
@@ -105,6 +121,23 @@ mod tests {
         let stages = [n(200.0, 0.0), n(100.0, 5.0)];
         assert_eq!(yield_independent(&stages, 199.0), 0.0);
         assert!((yield_independent(&stages, 201.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlated_yield_matches_pipeline_model() {
+        let stages = vec![n(200.0, 5.0), n(195.0, 8.0), n(198.0, 3.0)];
+        let corr = CorrelationMatrix::uniform(3, 0.4).unwrap();
+        let p = crate::Pipeline::new(
+            stages
+                .iter()
+                .map(|s| crate::StageDelay::from_normal(*s))
+                .collect(),
+            corr.clone(),
+        )
+        .unwrap();
+        for t in [200.0, 205.0, 215.0] {
+            assert_eq!(yield_correlated(&stages, &corr, t), p.yield_at(t));
+        }
     }
 
     #[test]

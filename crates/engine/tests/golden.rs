@@ -1,0 +1,40 @@
+//! Campaign-golden byte identity: the checked-in result file was
+//! generated **before** the incremental timing kernel landed, so this
+//! test is the refactor's contract made executable — the kernel (and
+//! any future timing-path optimization) must reproduce campaign JSON
+//! byte for byte, at any worker count, or it is not a pure optimization.
+//!
+//! To regenerate after an *intentional* experiment change (new spec
+//! fields, different defaults — anything that legitimately changes the
+//! bytes), run:
+//!
+//! ```text
+//! cargo run --release -- optimize crates/engine/tests/golden/campaign_spec.json \
+//!     --out crates/engine/tests/golden/campaign_result.json
+//! ```
+//!
+//! and say so in the PR — a diff in this file's fixtures is an
+//! experiment change, never a by-product.
+
+use vardelay_engine::optimize::{run_campaign, OptimizationCampaign};
+use vardelay_engine::SweepOptions;
+
+const SPEC: &str = include_str!("golden/campaign_spec.json");
+const GOLDEN: &str = include_str!("golden/campaign_result.json");
+
+#[test]
+fn campaign_result_bytes_are_frozen() {
+    let campaign = OptimizationCampaign::from_json(SPEC).expect("golden spec parses");
+    // Covers both yield backends (the spec has one run on each), the
+    // frontier-quantile target resolution, and MC verification.
+    for workers in [1usize, 4] {
+        let res = run_campaign(&campaign, &SweepOptions::sequential().with_workers(workers))
+            .expect("golden campaign runs");
+        assert_eq!(
+            res.to_json(),
+            GOLDEN,
+            "campaign bytes drifted at {workers} workers — the timing kernel is no longer \
+             a pure optimization (see this test's module docs before regenerating)"
+        );
+    }
+}

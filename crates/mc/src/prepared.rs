@@ -20,6 +20,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vardelay_circuit::{CellLibrary, LatchParams, Netlist, StagedPipeline};
+use vardelay_process::spatial::DiePosition;
 use vardelay_process::{pelgrom_sigma, DieSample, ProcessSampler};
 use vardelay_ssta::sta::{arrival_times_into, nominal_gate_delays};
 use vardelay_stats::normal::sample_standard_normal;
@@ -88,6 +89,7 @@ pub struct PreparedPipelineMc {
     sampler: ProcessSampler,
     stages: Vec<PreparedStage>,
     latch: LatchParams,
+    output_load: f64,
 }
 
 impl PreparedPipelineMc {
@@ -98,40 +100,89 @@ impl PreparedPipelineMc {
         let inner = mc.netlist_mc();
         let lib = inner.library().clone();
         let sampler = inner.sampler().clone();
-        let variation = *sampler.variation();
+        let output_load = inner.output_load();
         let stages = pipeline
             .stages()
             .iter()
             .zip(pipeline.positions())
-            .map(|(netlist, pos)| {
-                let nominal = nominal_gate_delays(netlist, &lib, inner.output_load());
-                let rand_sigma = if variation.has_random() {
-                    netlist
-                        .gates()
-                        .iter()
-                        .map(|g| {
-                            pelgrom_sigma(
-                                variation.sigma_vth_rand_v(),
-                                g.size * g.kind.mismatch_area(),
-                            )
-                        })
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-                PreparedStage {
-                    netlist: netlist.clone(),
-                    nominal,
-                    rand_sigma,
-                    region: sampler.region_of(*pos),
-                }
-            })
+            .map(|(netlist, pos)| Self::prepare_stage(&lib, &sampler, output_load, netlist, *pos))
             .collect();
         PreparedPipelineMc {
             lib,
             sampler,
             stages,
             latch: pipeline.latch(),
+            output_load,
+        }
+    }
+
+    /// Compiles one stage: the per-gate precomputation `new` and
+    /// `reprepare` share.
+    fn prepare_stage(
+        lib: &CellLibrary,
+        sampler: &ProcessSampler,
+        output_load: f64,
+        netlist: &Netlist,
+        pos: DiePosition,
+    ) -> PreparedStage {
+        let variation = sampler.variation();
+        let nominal = nominal_gate_delays(netlist, lib, output_load);
+        let rand_sigma = if variation.has_random() {
+            netlist
+                .gates()
+                .iter()
+                .map(|g| {
+                    pelgrom_sigma(
+                        variation.sigma_vth_rand_v(),
+                        g.size * g.kind.mismatch_area(),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        PreparedStage {
+            netlist: netlist.clone(),
+            nominal,
+            rand_sigma,
+            region: sampler.region_of(pos),
+        }
+    }
+
+    /// Re-prepares against `pipeline`, recompiling **only the stages
+    /// whose netlist changed** since the last (re)prepare — the
+    /// change-driven path for callers like the Fig. 9 sizing loop, which
+    /// queries Monte-Carlo yield on a pipeline that differs from the
+    /// previous query in at most a few stages. Stages that compare equal
+    /// keep their precomputed loads, nominal delays and Pelgrom sigmas
+    /// (which are pure functions of the netlist, so the reuse is
+    /// bit-exact); a stage-count change falls back to a full rebuild.
+    pub fn reprepare(&mut self, pipeline: &StagedPipeline) {
+        self.latch = pipeline.latch();
+        if self.stages.len() != pipeline.stage_count() {
+            self.stages = pipeline
+                .stages()
+                .iter()
+                .zip(pipeline.positions())
+                .map(|(netlist, pos)| {
+                    Self::prepare_stage(&self.lib, &self.sampler, self.output_load, netlist, *pos)
+                })
+                .collect();
+            return;
+        }
+        for (i, (netlist, pos)) in pipeline
+            .stages()
+            .iter()
+            .zip(pipeline.positions())
+            .enumerate()
+        {
+            let region = self.sampler.region_of(*pos);
+            if self.stages[i].netlist != *netlist {
+                self.stages[i] =
+                    Self::prepare_stage(&self.lib, &self.sampler, self.output_load, netlist, *pos);
+            } else if self.stages[i].region != region {
+                self.stages[i].region = region;
+            }
         }
     }
 
@@ -361,6 +412,45 @@ mod tests {
         mc.run_block(&p, 0..500, seed_of, &mut want);
         assert_eq!(est, want.yield_estimate(0));
         assert!(est.lo <= est.value && est.value <= est.hi);
+    }
+
+    /// `reprepare` is a pure optimization of building a fresh prepared
+    /// pipeline: after mutating some stages, the re-prepared runner
+    /// produces bit-identical statistics to a from-scratch compile.
+    #[test]
+    fn reprepare_matches_fresh_compile_bit_for_bit() {
+        let mc = PipelineMc::new(
+            CellLibrary::default(),
+            VariationConfig::combined(20.0, 35.0, 15.0),
+            None,
+        );
+        let p0 = pipe(4, 6);
+        let mut prepared = PreparedPipelineMc::new(&mc, &p0);
+
+        // Resize one stage; leave the rest untouched.
+        let mut p1 = p0.clone();
+        let mut s2 = p1.stages()[2].clone();
+        s2.scale_sizes(1.7);
+        p1.set_stage(2, s2);
+        prepared.reprepare(&p1);
+
+        let fresh = PreparedPipelineMc::new(&mc, &p1);
+        let mut a = PipelineBlockStats::new(4, &[150.0]);
+        let mut b = PipelineBlockStats::new(4, &[150.0]);
+        prepared.run_block(&mut prepared.workspace(), 0..200, seed_of, &mut a);
+        fresh.run_block(&mut fresh.workspace(), 0..200, seed_of, &mut b);
+        assert_eq!(a, b, "reprepared stage diverged from fresh compile");
+
+        // A stage-count change falls back to a full rebuild.
+        let p5 = pipe(5, 6);
+        prepared.reprepare(&p5);
+        assert_eq!(prepared.stage_count(), 5);
+        let fresh5 = PreparedPipelineMc::new(&mc, &p5);
+        let mut a = PipelineBlockStats::new(5, &[150.0]);
+        let mut b = PipelineBlockStats::new(5, &[150.0]);
+        prepared.run_block(&mut prepared.workspace(), 0..200, seed_of, &mut a);
+        fresh5.run_block(&mut fresh5.workspace(), 0..200, seed_of, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use vardelay_circuit::StagedPipeline;
 use vardelay_core::balance::order_by_slope;
 use vardelay_core::yield_model::stage_yield_target;
 use vardelay_core::{Pipeline, StageDelay};
-use vardelay_ssta::PipelineTiming;
+use vardelay_ssta::{PipelineTiming, PipelineTimingCache};
 
 use crate::area_delay::AreaDelayCurve;
 use crate::sizing::StatisticalSizer;
@@ -204,7 +204,12 @@ impl GlobalPipelineOptimizer {
         let latch_overhead = pipeline.latch().overhead_ps();
 
         // --- Step 1: initial analysis + area-delay slopes. ---
-        let timing0 = engine.analyze_pipeline(pipeline);
+        // Timing is served by a per-stage canonical cache for the whole
+        // flow: each round only re-analyzes the stages whose netlist it
+        // actually replaced and recombines the Clark max / correlation
+        // matrix from cached moments (bit-identical to the full pass).
+        let mut cache = PipelineTimingCache::new();
+        let timing0 = cache.analyze(engine, pipeline);
         let yield0 = eval.pipeline_yield(pipeline, &timing0, target_ps);
         let areas0 = pipeline.stage_areas();
         let y_stage = stage_yield_target(yield_target, ns);
@@ -255,15 +260,17 @@ impl GlobalPipelineOptimizer {
                     .sizer
                     .size_stage(&work.stages()[si], region, budget, y_stage);
                 // Keep the incumbent sizing if it already meets this budget
-                // with less area — re-sizing is greedy and can churn.
-                let cur_meets = self
-                    .sizer
-                    .stage_meets(&work.stages()[si], region, budget, y_stage);
+                // with less area — re-sizing is greedy and can churn. The
+                // incumbent's moments come from the cache (it was analyzed
+                // when last touched), skipping a full SSTA pass.
+                let cur = cache.stage_delay(engine, &work, si);
+                let cur_meets = StatisticalSizer::moments_meet(&cur, budget, y_stage);
                 if !(cur_meets && work.stages()[si].area() <= res.area) {
                     work.set_stage(si, res.netlist);
+                    cache.invalidate_stage(si);
                 }
             }
-            let timing = engine.analyze_pipeline(&work);
+            let timing = cache.analyze(engine, &work);
             let y = eval.pipeline_yield(&work, &timing, target_ps);
             let area = work.total_area();
             let better = {

@@ -23,7 +23,7 @@
 use std::cell::{Cell, RefCell};
 
 use vardelay_circuit::StagedPipeline;
-use vardelay_core::{Pipeline, StageDelay};
+use vardelay_core::yield_correlated;
 use vardelay_mc::{PipelineMc, PreparedPipelineMc, TrialWorkspace};
 use vardelay_ssta::PipelineTiming;
 use vardelay_stats::counter_seed;
@@ -58,15 +58,16 @@ pub struct AnalyticYieldEval;
 impl AnalyticYieldEval {
     /// Eq.-9 pipeline yield of a timing analysis at `target_ps` — the
     /// shared analytic evaluation also used for campaign predictions.
+    ///
+    /// Borrow-based: the Clark max runs directly over the analysis's
+    /// stage moments and correlation matrix, with no matrix clone and no
+    /// intermediate [`vardelay_core::Pipeline`] construction — this is
+    /// an in-loop query, called once per sizing round per candidate
+    /// design. (The previous implementation rebuilt a `Pipeline` per
+    /// call; `StageDelay` wraps `Normal` transparently, so the number is
+    /// bit-identical.)
     pub fn yield_of(timing: &PipelineTiming, target_ps: f64) -> f64 {
-        let stages: Vec<StageDelay> = timing
-            .stage_delays
-            .iter()
-            .map(|n| StageDelay::from_normal(*n))
-            .collect();
-        Pipeline::new(stages, timing.correlation.clone())
-            .expect("timing produces consistent dimensions")
-            .yield_at(target_ps)
+        yield_correlated(&timing.stage_delays, &timing.correlation, target_ps)
     }
 }
 
@@ -100,20 +101,23 @@ const EVAL_TRIAL_BITS: u32 = 20;
 /// Gate-level Monte-Carlo yield evaluation on the prepared zero-
 /// allocation hot path.
 ///
-/// Every call compiles the candidate pipeline (sizes change between
-/// calls, so nominal delays and Pelgrom sigmas must be re-derived) and
-/// runs `trials` counter-seeded trials; the evaluation index advances on
-/// each call, giving every sizing-loop query its own reproducible
-/// stream.
+/// Calls are change-driven: the compiled pipeline is kept between yield
+/// queries and [`PreparedPipelineMc::reprepare`] recompiles only the
+/// stages whose netlist actually changed since the previous query — in
+/// the Fig. 9 loop that is typically the one stage the sizer just
+/// touched, not the whole design. Each call runs `trials` counter-seeded
+/// trials; the evaluation index advances per call, giving every
+/// sizing-loop query its own reproducible stream.
 #[derive(Debug)]
 pub struct NetlistMcYieldEval {
     mc: PipelineMc,
     trials: u64,
     run_id: u64,
     evals: Cell<u64>,
-    /// Grow-only scratch reused across yield queries (the prepared
-    /// pipeline must be rebuilt per call — sizes change — but the
-    /// trial buffers need not be).
+    /// The compiled pipeline of the previous query, re-prepared in place
+    /// (stage-wise) on each call.
+    prepared: RefCell<Option<PreparedPipelineMc>>,
+    /// Grow-only scratch reused across yield queries.
     ws: RefCell<TrialWorkspace>,
 }
 
@@ -134,6 +138,7 @@ impl NetlistMcYieldEval {
             trials,
             run_id,
             evals: Cell::new(0),
+            prepared: RefCell::new(None),
             ws: RefCell::new(TrialWorkspace::new()),
         }
     }
@@ -153,7 +158,14 @@ impl PipelineYieldEval for NetlistMcYieldEval {
     ) -> f64 {
         let e = self.evals.get();
         self.evals.set(e + 1);
-        let prepared = PreparedPipelineMc::new(&self.mc, pipeline);
+        let mut slot = self.prepared.borrow_mut();
+        let prepared = match slot.as_mut() {
+            Some(p) => {
+                p.reprepare(pipeline);
+                p
+            }
+            None => slot.insert(PreparedPipelineMc::new(&self.mc, pipeline)),
+        };
         let mut ws = self.ws.borrow_mut();
         prepared
             .yield_at_target(&mut ws, target_ps, 0..self.trials, |t| {

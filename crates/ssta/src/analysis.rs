@@ -109,6 +109,11 @@ impl SstaEngine {
         self.output_load
     }
 
+    /// The shared factor basis (for the incremental analyzer).
+    pub(crate) fn basis(&self) -> &FactorBasis {
+        &self.basis
+    }
+
     /// Canonical arrival time of every signal in a stage netlist placed in
     /// spatial region `region`.
     ///

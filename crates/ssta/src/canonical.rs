@@ -190,6 +190,19 @@ impl CanonicalDelay {
     ///
     /// Panics if factor counts differ.
     pub fn max(&self, other: &CanonicalDelay) -> CanonicalDelay {
+        let mut out = self.clone();
+        out.max_assign(other);
+        out
+    }
+
+    /// In-place Clark max `self = max(self, other)` — the allocation-free
+    /// form of [`CanonicalDelay::max`], bit-identical to it (the tilt
+    /// writes each shared coefficient from its own index only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if factor counts differ.
+    pub fn max_assign(&mut self, other: &CanonicalDelay) {
         assert_eq!(
             self.shared.len(),
             other.shared.len(),
@@ -206,28 +219,62 @@ impl CanonicalDelay {
         } else {
             cap_phi(m.alpha)
         };
-        let mut shared: Vec<f64> = self
-            .shared
-            .iter()
-            .zip(&other.shared)
-            .map(|(a, b)| t * a + (1.0 - t) * b)
-            .collect();
-        let shared_var: f64 = shared.iter().map(|a| a * a).sum();
-        let indep = if shared_var <= m.variance {
+        for (a, b) in self.shared.iter_mut().zip(&other.shared) {
+            *a = t * *a + (1.0 - t) * b;
+        }
+        let shared_var: f64 = self.shared.iter().map(|a| a * a).sum();
+        self.indep = if shared_var <= m.variance {
             (m.variance - shared_var).sqrt()
         } else {
             // Scale shared down to match the total variance exactly.
             let scale = (m.variance / shared_var).sqrt();
-            for a in &mut shared {
+            for a in &mut self.shared {
                 *a *= scale;
             }
             0.0
         };
-        CanonicalDelay {
-            mean: m.mean,
-            shared,
-            indep,
+        self.mean = m.mean;
+    }
+
+    /// In-place exact sum `self += other` — the allocation-free form of
+    /// [`CanonicalDelay::add`], bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if factor counts differ.
+    pub fn add_assign(&mut self, other: &CanonicalDelay) {
+        assert_eq!(
+            self.shared.len(),
+            other.shared.len(),
+            "canonical delays must share one factor basis"
+        );
+        self.mean += other.mean;
+        for (a, b) in self.shared.iter_mut().zip(&other.shared) {
+            *a += b;
         }
+        self.indep = (self.indep * self.indep + other.indep * other.indep).sqrt();
+    }
+
+    /// Capacity-reusing copy (the `Vec::clone_from` a derived `Clone`
+    /// does not provide): overwrites `self` with `other` without
+    /// allocating when the factor counts already match.
+    pub fn copy_from(&mut self, other: &CanonicalDelay) {
+        self.mean = other.mean;
+        self.indep = other.indep;
+        self.shared.clear();
+        self.shared.extend_from_slice(&other.shared);
+    }
+
+    /// Overwrites `self` with a zeroed `factors`-slot canonical delay of
+    /// mean `mean` and private sd `indep`, returning the shared slice
+    /// for the caller to fill — the in-place counterpart of
+    /// [`CanonicalDelay::new`] used by the incremental gate-delay path.
+    pub(crate) fn assign_parts(&mut self, mean: f64, indep: f64, factors: usize) -> &mut [f64] {
+        self.mean = mean;
+        self.indep = indep;
+        self.shared.clear();
+        self.shared.resize(factors, 0.0);
+        &mut self.shared
     }
 
     /// Max over a non-empty iterator of canonical delays.

@@ -82,9 +82,33 @@ impl FactorBasis {
         c_load: f64,
         region: usize,
     ) -> CanonicalDelay {
+        let mut out = self.zero();
+        self.gate_delay_into(&mut out, lib, variation, kind, size, c_load, region);
+        out
+    }
+
+    /// [`FactorBasis::gate_delay`] written into an existing canonical
+    /// delay, reusing its shared-vector capacity — the allocation-free
+    /// form for incremental re-analysis. Bit-identical to `gate_delay`.
+    ///
+    /// # Panics
+    ///
+    /// See [`FactorBasis::gate_delay`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn gate_delay_into(
+        &self,
+        out: &mut CanonicalDelay,
+        lib: &CellLibrary,
+        variation: &VariationConfig,
+        kind: GateKind,
+        size: f64,
+        c_load: f64,
+        region: usize,
+    ) {
         let d0 = lib.nominal_delay(kind, size, c_load);
         let s = lib.delay_vth_sensitivity();
-        let mut shared = vec![0.0; self.factor_count];
+        let indep = d0 * s * lib.sigma_vth_random(kind, size, variation.sigma_vth_rand_v());
+        let shared = out.assign_parts(d0, indep, self.factor_count);
         shared[0] = d0 * s * variation.sigma_vth_inter_v();
         if let Some(chol) = &self.region_chol {
             assert!(region < chol.dim(), "region {region} out of range");
@@ -95,8 +119,6 @@ impl FactorBasis {
                 shared[1 + j] = sys * chol.get(region, j);
             }
         }
-        let indep = d0 * s * lib.sigma_vth_random(kind, size, variation.sigma_vth_rand_v());
-        CanonicalDelay::new(d0, shared, indep)
     }
 }
 

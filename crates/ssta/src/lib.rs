@@ -18,6 +18,11 @@
 //! * [`analysis`] — the block-based SSTA engine: arrival-time propagation
 //!   through a netlist, whole-pipeline analysis producing stage moments and
 //!   the stage correlation matrix.
+//! * [`incremental`] — the change-driven timing kernel: [`StageTimer`]
+//!   keeps a stage's loads/delays/arrivals materialized and repropagates
+//!   only the dirty cone of a resize (bit-identical to the full pass),
+//!   and [`PipelineTimingCache`] recombines whole-pipeline analysis from
+//!   cached per-stage canonicals.
 //!
 //! # Example
 //!
@@ -43,11 +48,13 @@
 pub mod analysis;
 pub mod canonical;
 pub mod gate_delay;
+pub mod incremental;
 pub mod path;
 pub mod sta;
 
 pub use analysis::{PipelineTiming, SstaEngine};
 pub use canonical::CanonicalDelay;
+pub use incremental::{PipelineTimingCache, StageSsta, StageTimer};
 pub use path::{near_critical_count, top_k_paths, TimingPath};
 pub use sta::{
     arrival_times_into, critical_path, nominal_arrival_times, nominal_delay, nominal_gate_delays,

@@ -6,7 +6,7 @@ use vardelay_circuit::CellLibrary;
 use vardelay_process::VariationConfig;
 use vardelay_ssta::canonical::CanonicalDelay;
 use vardelay_ssta::sta::{arrival_times, nominal_delay};
-use vardelay_ssta::SstaEngine;
+use vardelay_ssta::{SstaEngine, StageSsta, StageTimer};
 
 fn canon() -> impl Strategy<Value = CanonicalDelay> {
     (
@@ -101,6 +101,89 @@ proptest! {
         let slowed = arrival_times(&n, &lib, 3.0, Some(&vec![f; n.gate_count()]));
         for (b, s) in base.iter().zip(&slowed) {
             prop_assert!((*s - b * f).abs() < 1e-6 * s.max(1.0), "{s} vs {}", b * f);
+        }
+    }
+
+    // The incremental kernel's bit-identity contract: across random
+    // netlists and random resize sequences, `StageTimer`'s arrivals are
+    // bit-equal to a from-scratch `arrival_times` pass after every
+    // single move.
+    #[test]
+    fn stage_timer_is_bit_identical_to_full_pass(
+        seed in any::<u64>(),
+        moves in proptest::collection::vec((any::<u64>(), 0.5..8.0_f64), 1..24)
+    ) {
+        let lib = CellLibrary::default();
+        let mut reference = random_logic(&RandomLogicConfig::new("inc", seed));
+        let mut timer = StageTimer::new(reference.clone(), &lib, 3.0);
+        for (raw, size) in moves {
+            let gi = (raw % 65536) as usize % reference.gate_count();
+            timer.set_size(gi, size);
+            reference.set_gate_size(gi, size);
+            let want = arrival_times(&reference, &lib, 3.0, None);
+            prop_assert_eq!(timer.arrivals(), &want[..]);
+            prop_assert_eq!(timer.delay(), nominal_delay(&reference, &lib, 3.0));
+        }
+        prop_assert_eq!(timer.into_netlist(), reference);
+    }
+
+    // Undo — both the journaled speculative rollback and a plain
+    // resize back to the previous value — restores the timer to the
+    // exact pre-move bits.
+    #[test]
+    fn stage_timer_undo_is_exact(
+        seed in any::<u64>(),
+        probes in proptest::collection::vec((any::<u64>(), 0.5..8.0_f64), 1..16)
+    ) {
+        let lib = CellLibrary::default();
+        let netlist = random_logic(&RandomLogicConfig::new("undo", seed));
+        let mut timer = StageTimer::new(netlist.clone(), &lib, 3.0);
+        let at0 = timer.arrivals().to_vec();
+        let loads0 = timer.loads().to_vec();
+        for (raw, size) in probes {
+            let gi = (raw % 65536) as usize % netlist.gate_count();
+            let s = timer.size_of(gi);
+            // Journaled speculate + rollback.
+            timer.try_size(gi, size);
+            timer.rollback();
+            prop_assert_eq!(timer.arrivals(), &at0[..]);
+            prop_assert_eq!(timer.loads(), &loads0[..]);
+            prop_assert_eq!(timer.size_of(gi), s);
+            // Propagated apply + inverse apply.
+            timer.set_size(gi, size);
+            timer.set_size(gi, s);
+            prop_assert_eq!(timer.arrivals(), &at0[..]);
+            prop_assert_eq!(timer.loads(), &loads0[..]);
+        }
+        prop_assert_eq!(timer.netlist(), &netlist);
+    }
+
+    // The statistical mirror of the contract: `StageSsta`'s incremental
+    // canonical analysis reproduces the engine's from-scratch
+    // `stage_delay` bit for bit across random resize sequences.
+    #[test]
+    fn stage_ssta_is_bit_identical_to_engine(
+        seed in any::<u64>(),
+        moves in proptest::collection::vec((any::<u64>(), 0.5..8.0_f64), 1..12)
+    ) {
+        let engine = SstaEngine::new(
+            CellLibrary::default(),
+            VariationConfig::combined(20.0, 35.0, 15.0),
+            None,
+        );
+        let mut reference = random_logic(&RandomLogicConfig::new("issta", seed));
+        let mut timer = StageTimer::new(
+            reference.clone(),
+            engine.library(),
+            engine.output_load(),
+        );
+        let mut ssta = StageSsta::new(&engine, &timer, 3);
+        prop_assert_eq!(ssta.stage_delay(&timer), engine.stage_delay(&reference, 3));
+        for (raw, size) in moves {
+            let gi = (raw % 65536) as usize % reference.gate_count();
+            timer.set_size(gi, size);
+            reference.set_gate_size(gi, size);
+            prop_assert_eq!(ssta.stage_delay(&timer), engine.stage_delay(&reference, 3));
         }
     }
 
