@@ -1,4 +1,4 @@
-//! Machine-readable performance summary: writes `BENCH_4.json`.
+//! Machine-readable performance summary: writes `BENCH_5.json`.
 //!
 //! CI runs this after the criterion benches so the perf trajectory is
 //! tracked as data, not just as log lines: campaign wall-clock per
@@ -7,11 +7,19 @@
 //! Monte-Carlo verification throughput in trials/sec. Timings are the
 //! median of `SAMPLES` runs on a warmed process.
 //!
+//! With `--baseline <prev.json>` the run also **gates regressions**:
+//! if the incremental-kernel speedup or the MC verification throughput
+//! fell more than [`REGRESSION_TOLERANCE`] below the checked-in
+//! previous BENCH file, the process exits non-zero and CI fails.
+//! Ratios (speedups) are machine-independent; trials/sec is noisy
+//! across hosts, which is why the tolerance is a generous 20%.
+//!
 //! Usage: `cargo run --release -p vardelay-bench --bin bench_summary
-//! [out.json]` (default `BENCH_4.json`).
+//! [out.json] [--baseline prev.json]` (default out `BENCH_5.json`).
 
 use std::time::Instant;
 
+use serde::Deserialize as _;
 use vardelay_circuit::generators::{inverter_chain, random_logic, RandomLogicConfig};
 use vardelay_circuit::{CellLibrary, LatchParams, StagedPipeline};
 use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
@@ -62,10 +70,50 @@ fn campaign(backend: YieldBackendSpec) -> OptimizationCampaign {
     }
 }
 
+/// Allowed fractional drop versus the baseline before CI fails.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Reads one numeric metric out of a parsed BENCH file.
+fn metric(v: &serde::Value, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("baseline is missing `{}`", path.join(".")));
+    }
+    f64::from_value(cur).unwrap_or_else(|_| panic!("baseline `{}` is not a number", path.join(".")))
+}
+
+/// Fails the process if a lower-is-worse metric regressed beyond
+/// tolerance.
+fn gate(name: &str, current: f64, baseline: f64) -> bool {
+    let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
+    let ok = current >= floor;
+    println!(
+        "gate {name}: current {current:.3} vs baseline {baseline:.3} (floor {floor:.3}) — {}",
+        if ok { "ok" } else { "REGRESSED" }
+    );
+    ok
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".to_owned());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = match args.iter().position(|a| a == "--baseline") {
+        Some(i) => {
+            args.remove(i);
+            if i >= args.len() {
+                eprintln!("--baseline requires a file");
+                std::process::exit(2);
+            }
+            Some(args.remove(i))
+        }
+        None => None,
+    };
+    if args.len() > 1 {
+        eprintln!("usage: bench_summary [out.json] [--baseline prev.json]");
+        std::process::exit(2);
+    }
+    let out_path = args.pop().unwrap_or_else(|| "BENCH_5.json".to_owned());
 
     // --- Campaign wall-clock per backend (determinism asserted). ---
     let mut campaign_ms = Vec::new();
@@ -162,7 +210,7 @@ fn main() {
     // Hand-rendered JSON: fixed key order, no dependency on map
     // iteration, so the artifact diffs cleanly between PRs.
     let json = format!(
-        "{{\n  \"pr\": 4,\n  \"campaign_ms\": {{\n    \"{}\": {:.3},\n    \"{}\": {:.3}\n  }},\n  \
+        "{{\n  \"pr\": 5,\n  \"campaign_ms\": {{\n    \"{}\": {:.3},\n    \"{}\": {:.3}\n  }},\n  \
          \"sizing\": {{\n    \"size_stage_200g_ms\": {:.4},\n    \"size_stage_200g_full_pass_ms\": {:.4},\n    \
          \"kernel_speedup\": {:.3}\n  }},\n  \"retime_probe\": {{\n    \"incremental_us\": {:.3},\n    \
          \"full_pass_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"mc_verification\": {{\n    \
@@ -183,4 +231,30 @@ fn main() {
     println!("{json}");
     println!();
     println!("wrote {out_path}");
+
+    // Regression gate against the checked-in previous BENCH file.
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline '{path}': {e}"));
+        let base: serde::Value =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("baseline '{path}': {e}"));
+        println!();
+        let speedup_ok = gate(
+            "sizing.kernel_speedup",
+            size_full_ms / size_inc_ms,
+            metric(&base, &["sizing", "kernel_speedup"]),
+        );
+        let mc_ok = gate(
+            "mc_verification.trials_per_sec",
+            trials_per_sec,
+            metric(&base, &["mc_verification", "trials_per_sec"]),
+        );
+        if !(speedup_ok && mc_ok) {
+            eprintln!(
+                "performance regressed >{:.0}% vs {path}",
+                100.0 * REGRESSION_TOLERANCE
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -9,6 +9,14 @@
 //!
 //! ## Pieces
 //!
+//! * [`workload`] — **the unified execution layer**: the [`Workload`]
+//!   trait (expand a spec into content-hash-identified units, run each
+//!   unit in deterministic steps, fold results into a report) and the
+//!   one pipeline every workload runs through —
+//!   [`workload::run_workload`] / [`workload::run_units`] — with
+//!   deterministic sharding ([`Shard`]), JSONL checkpoint streaming
+//!   ([`workload::checkpoint_line`]) and byte-exact resume
+//!   ([`Checkpoint`]).
 //! * [`spec`] — serializable [`Scenario`]/[`Sweep`] descriptions with
 //!   cartesian grid expansion, stable content-hash scenario IDs, a
 //!   spec-selected simulation [`BackendSpec`] and named [`CircuitSpec`]
@@ -21,28 +29,31 @@
 //! * [`seed`] — counter-based per-trial seeding
 //!   (`hash(scenario_id, trial_index)`), making every trial's RNG
 //!   stream independent of scheduling.
-//! * [`run`] — the `std::thread` + channel worker pool with in-order
-//!   streaming aggregation of [`vardelay_mc::PipelineBlockStats`]
-//!   blocks and per-worker reusable trial workspaces.
-//! * [`optimize`] — optimization campaigns: the §4 / Fig. 9 yield-aware
-//!   sizing flow ([`vardelay_opt`]) as an engine workload, with a
-//!   pluggable in-loop yield backend (analytic Clark/SSTA vs gate-level
-//!   Monte-Carlo) and MC-verified yield in every result row.
-//! * [`plan`] — expand + validate + cost a spec without running it
-//!   (the CLI's `sweep validate` / `optimize validate`).
+//! * [`run`] — the sweep's [`Workload`] impl (scenario units, 256-trial
+//!   block steps) plus the shared `std::thread` + channel worker pool
+//!   with per-worker reusable trial workspaces.
+//! * [`optimize`] — the campaign's [`Workload`] impl: the §4 / Fig. 9
+//!   yield-aware sizing flow ([`vardelay_opt`]) as an engine workload,
+//!   with a pluggable in-loop yield backend (analytic Clark/SSTA vs
+//!   gate-level Monte-Carlo) and MC-verified yield in every result row.
+//! * [`plan`] — expand + validate + cost a spec without running it:
+//!   `sweep validate` and `optimize validate` are two spellings of one
+//!   [`workload::plan_workload`] implementation.
 //! * [`result`] — serializable per-scenario/per-sweep and per-run/
 //!   per-campaign results.
 //! * [`design_space`] — declarative §2.5 permissible-region sweeps.
 //!
 //! ## The determinism contract
 //!
-//! For a fixed sweep spec (including its `seed`), [`run::run_sweep`]
+//! For a fixed spec (including its `seed`), the unified pipeline
 //! produces **bit-identical** results at any worker count. Three
-//! mechanisms combine to guarantee it: content-hash scenario IDs,
-//! counter-based per-trial seeds, and merging fixed-size trial blocks
-//! strictly in block order (floating-point reduction is only
-//! reproducible when the fold tree is fixed, so the engine fixes it —
-//! see [`run::BLOCK_TRIALS`]).
+//! mechanisms combine to guarantee it: content-hash unit IDs,
+//! counter-based per-trial seeds, and folding fixed-size steps strictly
+//! in step order (floating-point reduction is only reproducible when
+//! the fold tree is fixed, so the engine fixes it — see
+//! [`run::BLOCK_TRIALS`]). The same purity is what makes `--shard i/n`
+//! partitioning, JSONL checkpointing and `--resume` **byte-exact**: a
+//! unit's result bytes never depend on which process computed it.
 //!
 //! ## Example
 //!
@@ -72,6 +83,7 @@ pub mod run;
 pub mod seed;
 pub mod sim;
 pub mod spec;
+pub mod workload;
 
 pub use design_space::{design_space, DesignSpaceResult, DesignSpaceSpec};
 pub use optimize::{
@@ -87,4 +99,8 @@ pub use sim::Simulator;
 pub use spec::{
     BackendSpec, CircuitSpec, GridSpec, LatchSpec, PipelineSpec, Scenario, StageMoments, Sweep,
     VariationSpec,
+};
+pub use workload::{
+    checkpoint_line, plan_workload, run_units, run_workload, Checkpoint, Shard, Workload,
+    WorkloadOptions, WorkloadPlan, WorkloadReport, WorkloadStats,
 };

@@ -39,10 +39,12 @@ use vardelay_ssta::SstaEngine;
 
 use serde::{Deserialize, Serialize, Value};
 
+use crate::plan::{CampaignPlan, RunPlan};
 use crate::result::{BaselineOutcome, CampaignResult, McVerification, OptimizationRunResult};
-use crate::run::{build_model_from_mc, dispatch, EngineError, SweepOptions, MAX_TRIALS};
+use crate::run::{build_model_from_mc, EngineError, SweepOptions, MAX_TRIALS};
 use crate::seed::{fnv1a64, trial_seed};
 use crate::spec::{PipelineSpec, VariationSpec};
+use crate::workload::{run_workload, Workload, WorkloadOptions};
 
 /// Which backend measures pipeline yield *inside* the sizing loop.
 ///
@@ -532,9 +534,10 @@ impl OptimizationCampaign {
 }
 
 /// A run with everything validated and its footprint measured, ready to
-/// execute.
+/// execute — the campaign's [`Workload`] unit. Construction is
+/// crate-internal (through [`Workload::prepare`]).
 #[derive(Debug)]
-pub(crate) struct PreparedRun {
+pub struct PreparedRun {
     pub(crate) spec: OptimizeSpec,
     pub(crate) id: u64,
     pub(crate) stages: usize,
@@ -720,10 +723,125 @@ fn execute_run(p: &PreparedRun, ws: &mut TrialWorkspace) -> OptimizationRunResul
     }
 }
 
+/// A campaign is a [`Workload`]: units are prepared optimization runs,
+/// each executing in a single step (the whole Fig. 9 sizing flow plus
+/// verification), and the report is the familiar [`CampaignResult`].
+/// The unified pipeline gives campaigns the same worker pool, `--shard`
+/// partitioning and checkpoint/resume as sweeps.
+impl Workload for OptimizationCampaign {
+    type Unit = PreparedRun;
+    type StepOut = OptimizationRunResult;
+    type Acc = Option<OptimizationRunResult>;
+    type UnitResult = OptimizationRunResult;
+    type Report = CampaignResult;
+    type UnitPlan = RunPlan;
+    type Plan = CampaignPlan;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn unit_noun(&self) -> &'static str {
+        "run"
+    }
+
+    fn prepare(&self) -> Result<Vec<PreparedRun>, EngineError> {
+        self.expand()
+            .into_iter()
+            .map(|s| prepare_run(s, self.seed))
+            .collect()
+    }
+
+    fn unit_key(&self, unit: &PreparedRun) -> u64 {
+        // Unlike a sweep scenario, a run's ID already hashes every
+        // spec field (the yield backend is experiment-defining), so it
+        // doubles as the journal key.
+        unit.id
+    }
+
+    fn unit_steps(&self, _unit: &PreparedRun) -> usize {
+        // The sizing flow is sequential by nature (each round feeds the
+        // next); a run parallelizes across the campaign, not within.
+        1
+    }
+
+    fn init_acc(&self, _unit: &PreparedRun) -> Option<OptimizationRunResult> {
+        None
+    }
+
+    fn run_step(
+        &self,
+        unit: &PreparedRun,
+        _step: usize,
+        ws: &mut TrialWorkspace,
+    ) -> OptimizationRunResult {
+        execute_run(unit, ws)
+    }
+
+    fn fold_step(
+        &self,
+        _unit: &PreparedRun,
+        acc: &mut Option<OptimizationRunResult>,
+        out: OptimizationRunResult,
+    ) {
+        *acc = Some(out);
+    }
+
+    fn finish_unit(
+        &self,
+        _unit: &PreparedRun,
+        acc: Option<OptimizationRunResult>,
+    ) -> OptimizationRunResult {
+        acc.expect("a run's single step folded")
+    }
+
+    fn assemble(&self, results: Vec<OptimizationRunResult>) -> CampaignResult {
+        CampaignResult {
+            name: self.name.clone(),
+            seed: self.seed,
+            runs: results,
+        }
+    }
+
+    fn plan_unit(&self, unit: &PreparedRun) -> RunPlan {
+        RunPlan {
+            id: format!("{:016x}", unit.id),
+            label: unit.spec.label.clone(),
+            stages: unit.stages,
+            gates: unit.gates,
+            goal: goal_keyword(unit.spec.goal).to_owned(),
+            yield_backend: unit.spec.yield_backend,
+            target_delay: unit.spec.target_delay.label(),
+            yield_target: unit.spec.yield_target,
+            stage_allocation: unit.stage_allocation,
+            stage_kappa: vardelay_core::stage_kappa(unit.spec.yield_target, unit.stages),
+            rounds: unit.spec.rounds,
+            eval_trials: unit.spec.eval_trials,
+            verify_trials: unit.spec.verify_trials,
+        }
+    }
+
+    fn assemble_plan(&self, rows: Vec<RunPlan>) -> CampaignPlan {
+        // Optimized + baseline designs are both verified.
+        let total_verify_trials = rows.iter().map(|r| 2 * r.verify_trials).sum();
+        CampaignPlan {
+            name: self.name.clone(),
+            seed: self.seed,
+            runs: rows,
+            total_verify_trials,
+        }
+    }
+}
+
 /// Executes an optimization campaign and assembles per-run results.
 ///
-/// Results are byte-identical for any `opts.workers` — the spec
-/// (including its seed) alone determines every number.
+/// Thin wrapper over the unified [`run_workload`] pipeline. Results are
+/// byte-identical for any `opts.workers` — the spec (including its
+/// seed) alone determines every number.
 ///
 /// # Errors
 ///
@@ -732,27 +850,10 @@ pub fn run_campaign(
     campaign: &OptimizationCampaign,
     opts: &SweepOptions,
 ) -> Result<CampaignResult, EngineError> {
-    let prepared: Vec<PreparedRun> = campaign
-        .expand()
-        .into_iter()
-        .map(|s| prepare_run(s, campaign.seed))
-        .collect::<Result<_, _>>()?;
-
-    let mut slots: Vec<Option<OptimizationRunResult>> = (0..prepared.len()).map(|_| None).collect();
-    dispatch(
-        prepared.len(),
-        opts.workers,
-        |k, ws| execute_run(&prepared[k], ws),
-        |k, result| slots[k] = Some(result),
-    );
-    Ok(CampaignResult {
-        name: campaign.name.clone(),
-        seed: campaign.seed,
-        runs: slots
-            .into_iter()
-            .map(|s| s.expect("every dispatched run reports"))
-            .collect(),
-    })
+    run_workload(
+        campaign,
+        &WorkloadOptions::sequential().with_workers(opts.workers),
+    )
 }
 
 #[cfg(test)]

@@ -1,20 +1,22 @@
 //! Sweep and campaign linting: expand, validate and cost a spec without
 //! running it.
 //!
-//! `vardelay sweep validate <spec.json>` drives [`plan_sweep`]: every
-//! scenario goes through the same preparation as a real run (spec
-//! validation, backend compatibility, analytic model construction,
-//! target resolution) but **zero trial blocks execute** — a spec error
-//! surfaces in milliseconds instead of after hours of Monte-Carlo.
-//! `vardelay optimize validate` drives [`plan_campaign`] the same way:
-//! every run is validated and its footprint measured with **zero sizing
-//! passes and zero trials**.
+//! Both `vardelay sweep validate <spec.json>` and `vardelay optimize
+//! validate <spec.json>` drive the **same** implementation —
+//! [`crate::workload::plan_workload`] over the spec's [`Workload`]
+//! impl: every unit goes through the same preparation as a real run
+//! (spec validation, backend compatibility, analytic model
+//! construction, target resolution) but **zero trial blocks, sizing
+//! passes or trials execute** — a spec error surfaces in milliseconds
+//! instead of after hours of Monte-Carlo. [`plan_sweep`] and
+//! [`plan_campaign`] are thin per-workload spellings of that one path.
 
 use serde::{Deserialize, Serialize};
 
-use crate::optimize::{goal_keyword, prepare_run, OptimizationCampaign, YieldBackendSpec};
-use crate::run::{prepare, EngineError, BLOCK_TRIALS};
+use crate::optimize::{OptimizationCampaign, YieldBackendSpec};
+use crate::run::EngineError;
 use crate::spec::{BackendSpec, Sweep};
+use crate::workload::{plan_workload, WorkloadPlan};
 
 /// One validated scenario's footprint.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -87,47 +89,21 @@ impl SweepPlan {
     }
 }
 
+impl WorkloadPlan for SweepPlan {
+    fn render(&self) -> String {
+        SweepPlan::render(self)
+    }
+}
+
 /// Validates a sweep end to end and reports its footprint, running no
-/// trials.
+/// trials — [`plan_workload`] under the sweep spelling.
 ///
 /// # Errors
 ///
 /// Returns the same [`EngineError`] a real [`crate::run_sweep`] would
 /// return for the first invalid scenario.
 pub fn plan_sweep(sweep: &Sweep) -> Result<SweepPlan, EngineError> {
-    let mut scenarios = Vec::new();
-    let mut total_trials = 0u64;
-    let mut total_blocks = 0u64;
-    for scenario in sweep.expand() {
-        // prepare() validates softly and already builds the netlists
-        // once; it carries the gate count out so the lint never builds
-        // (or panics on) anything prepare didn't.
-        let p = prepare(scenario, sweep.seed)?;
-        let (trials, blocks) = if p.sim.is_some() {
-            (p.scenario.trials, p.scenario.trials.div_ceil(BLOCK_TRIALS))
-        } else {
-            (0, 0)
-        };
-        total_trials += trials;
-        total_blocks += blocks;
-        scenarios.push(ScenarioPlan {
-            id: format!("{:016x}", p.id),
-            label: p.scenario.label.clone(),
-            backend: p.scenario.backend,
-            stages: p.scenario.pipeline.stage_count(),
-            gates: p.gates,
-            trials,
-            blocks,
-            targets: p.targets.len(),
-        });
-    }
-    Ok(SweepPlan {
-        name: sweep.name.clone(),
-        seed: sweep.seed,
-        scenarios,
-        total_trials,
-        total_blocks,
-    })
+    plan_workload(sweep)
 }
 
 /// One validated optimization run's footprint.
@@ -212,42 +188,22 @@ impl CampaignPlan {
     }
 }
 
+impl WorkloadPlan for CampaignPlan {
+    fn render(&self) -> String {
+        CampaignPlan::render(self)
+    }
+}
+
 /// Validates an optimization campaign end to end and reports its
-/// footprint, running no sizing passes and no trials.
+/// footprint, running no sizing passes and no trials —
+/// [`plan_workload`] under the optimize spelling.
 ///
 /// # Errors
 ///
 /// Returns the same [`EngineError`] a real [`crate::run_campaign`]
 /// would return for the first invalid run.
 pub fn plan_campaign(campaign: &OptimizationCampaign) -> Result<CampaignPlan, EngineError> {
-    let mut runs = Vec::new();
-    let mut total_verify_trials = 0u64;
-    for spec in campaign.expand() {
-        let p = prepare_run(spec, campaign.seed)?;
-        // Optimized + baseline designs are both verified.
-        total_verify_trials += 2 * p.spec.verify_trials;
-        runs.push(RunPlan {
-            id: format!("{:016x}", p.id),
-            label: p.spec.label.clone(),
-            stages: p.stages,
-            gates: p.gates,
-            goal: goal_keyword(p.spec.goal).to_owned(),
-            yield_backend: p.spec.yield_backend,
-            target_delay: p.spec.target_delay.label(),
-            yield_target: p.spec.yield_target,
-            stage_allocation: p.stage_allocation,
-            stage_kappa: vardelay_core::stage_kappa(p.spec.yield_target, p.stages),
-            rounds: p.spec.rounds,
-            eval_trials: p.spec.eval_trials,
-            verify_trials: p.spec.verify_trials,
-        });
-    }
-    Ok(CampaignPlan {
-        name: campaign.name.clone(),
-        seed: campaign.seed,
-        runs,
-        total_verify_trials,
-    })
+    plan_workload(campaign)
 }
 
 #[cfg(test)]

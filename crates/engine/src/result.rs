@@ -12,6 +12,7 @@ use vardelay_stats::Histogram;
 
 use crate::optimize::OptimizeSpec;
 use crate::spec::{BackendSpec, Scenario};
+use crate::workload::WorkloadReport;
 
 /// An analytic (closed-form) yield at one target.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -244,6 +245,34 @@ impl CampaignResult {
             );
         }
         out
+    }
+}
+
+impl WorkloadReport for CampaignResult {
+    fn to_json(&self) -> String {
+        CampaignResult::to_json(self)
+    }
+
+    fn summary_table(&self) -> String {
+        CampaignResult::summary_table(self)
+    }
+
+    fn unit_count(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+impl WorkloadReport for SweepResult {
+    fn to_json(&self) -> String {
+        SweepResult::to_json(self)
+    }
+
+    fn summary_table(&self) -> String {
+        SweepResult::summary_table(self)
+    }
+
+    fn unit_count(&self) -> usize {
+        self.scenarios.len()
     }
 }
 

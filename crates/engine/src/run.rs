@@ -1,24 +1,24 @@
-//! The sweep runner: scenario preparation, the worker pool, and
-//! streaming aggregation.
+//! The sweep's execution pieces — scenario preparation, trial-block
+//! scheduling — plus the engine's shared worker pool.
 //!
 //! ## Execution model
 //!
-//! A sweep expands to scenarios; each scenario's Monte-Carlo budget is
-//! chunked into fixed-size **trial blocks**. Blocks are the scheduling
-//! unit: a pool of `std::thread` workers pulls `(scenario, block)` work
-//! items from a shared cursor and sends finished
-//! [`PipelineBlockStats`] back over an `mpsc` channel. The main thread
-//! merges each scenario's blocks **in block order** the moment they
-//! become contiguous, so memory stays O(scenarios + in-flight blocks)
-//! and the merged moments are bit-identical to a sequential run
-//! regardless of worker count or arrival order.
+//! A sweep is a [`crate::workload::Workload`]: it expands to scenario
+//! units, and each unit's Monte-Carlo budget is chunked into fixed-size
+//! **trial blocks** — the unit's steps, and the pool's scheduling
+//! grain. A pool of `std::thread` workers pulls steps from a shared
+//! cursor and sends finished [`PipelineBlockStats`] back over an `mpsc`
+//! channel; the unified runner ([`crate::workload::run_units`]) merges
+//! each scenario's blocks **in block order** the moment they become
+//! contiguous, so memory stays O(scenarios + in-flight blocks) and the
+//! merged moments are bit-identical to a sequential run regardless of
+//! worker count or arrival order.
 //!
 //! Per-trial RNG streams are counter-based (see [`crate::seed`]), so
 //! the chunking itself has no effect on any trial's randomness.
 
-use std::collections::BTreeMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use vardelay_circuit::CellLibrary;
@@ -27,18 +27,24 @@ use vardelay_mc::{HistogramSpec, PipelineBlockStats, PipelineMc, TrialWorkspace}
 use vardelay_ssta::SstaEngine;
 use vardelay_stats::{CorrelationMatrix, MultivariateNormal};
 
+use crate::plan::{ScenarioPlan, SweepPlan};
 use crate::result::{
     AnalyticSummary, McSummary, McYield, ModelFromMc, ScenarioResult, SweepResult, TargetYield,
 };
+use crate::seed::fnv1a64;
 use crate::sim::{MvnSim, Simulator};
 use crate::spec::{BackendSpec, PipelineSpec, Scenario, Sweep, VariationSpec};
+use crate::workload::{run_workload, Workload, WorkloadOptions};
 
 /// Sweep execution error: an invalid scenario spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineError(String);
 
 impl EngineError {
-    pub(crate) fn new(msg: impl Into<String>) -> Self {
+    /// Creates an error from a message (sink callbacks handed to
+    /// [`crate::workload::run_units`] surface their I/O failures this
+    /// way).
+    pub fn new(msg: impl Into<String>) -> Self {
         EngineError(msg.into())
     }
 }
@@ -109,38 +115,50 @@ impl SweepOptions {
 /// arrives.
 ///
 /// Work is claimed through an atomic cursor, so results arrive in
-/// arbitrary order — callers needing order must buffer (the sweep's
-/// in-order block merger, a campaign's run-indexed slot table). Each
+/// arbitrary order — callers needing order must buffer (the workload
+/// runner's in-order step folder). Each
 /// worker owns one grow-only [`TrialWorkspace`] reused across every
 /// item it claims, which is what keeps gate-level trial blocks
 /// allocation-free in the steady state. Determinism contract: `work`
 /// must be a pure function of its index, so the pool's scheduling can
 /// never leak into results.
+///
+/// `consume` returning `false` cancels the pool: workers stop claiming
+/// new items (items already executing still finish and are consumed),
+/// so a sink failure doesn't burn hours of Monte-Carlo whose results
+/// have nowhere to go.
 pub(crate) fn dispatch<T: Send>(
     items: usize,
     workers: usize,
     work: impl Fn(usize, &mut TrialWorkspace) -> T + Sync,
-    mut consume: impl FnMut(usize, T),
+    mut consume: impl FnMut(usize, T) -> bool,
 ) {
     let workers = workers.max(1).min(items.max(1));
     if workers <= 1 {
         let mut ws = TrialWorkspace::new();
         for k in 0..items {
             let out = work(k, &mut ws);
-            consume(k, out);
+            if !consume(k, out) {
+                return;
+            }
         }
         return;
     }
     let cursor = AtomicUsize::new(0);
+    let cancel = AtomicBool::new(false);
     let (tx, rx) = mpsc::channel::<(usize, T)>();
     std::thread::scope(|scope| {
         let work = &work;
         let cursor = &cursor;
+        let cancel = &cancel;
         for _ in 0..workers {
             let tx = tx.clone();
             scope.spawn(move || {
                 let mut ws = TrialWorkspace::new();
                 loop {
+                    if cancel.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
                     if k >= items {
                         break;
@@ -153,13 +171,17 @@ pub(crate) fn dispatch<T: Send>(
         }
         drop(tx);
         for (k, out) in rx {
-            consume(k, out);
+            if !consume(k, out) {
+                cancel.store(true, Ordering::Relaxed);
+            }
         }
     });
 }
 
-/// A scenario with everything resolved and built, ready to execute.
-pub(crate) struct Prepared {
+/// A scenario with everything resolved and built, ready to execute —
+/// the sweep's [`Workload`] unit. Construction is crate-internal
+/// (through [`Workload::prepare`]).
+pub struct Prepared {
     pub(crate) scenario: Scenario,
     pub(crate) id: u64,
     /// Explicit targets followed by analytic-derived ones.
@@ -342,106 +364,148 @@ fn run_block(p: &Prepared, ws: &mut TrialWorkspace, trials: Range<u64>) -> Pipel
     stats
 }
 
-/// Merges blocks strictly in block order, buffering out-of-order
-/// arrivals — the streaming half of the determinism contract.
-struct InOrderMerger {
-    merged: Option<PipelineBlockStats>,
-    next_block: usize,
-    pending: BTreeMap<usize, PipelineBlockStats>,
-}
+/// A sweep is a [`Workload`]: units are prepared scenarios, steps are
+/// fixed-size trial blocks folded in block order, and the report is the
+/// familiar [`SweepResult`]. Every production feature of the unified
+/// pipeline — worker pools, `--shard`, checkpoint/resume — applies to
+/// sweeps through this impl.
+impl Workload for Sweep {
+    type Unit = Prepared;
+    type StepOut = PipelineBlockStats;
+    type Acc = Option<PipelineBlockStats>;
+    type UnitResult = ScenarioResult;
+    type Report = SweepResult;
+    type UnitPlan = ScenarioPlan;
+    type Plan = SweepPlan;
 
-impl InOrderMerger {
-    fn new() -> Self {
-        InOrderMerger {
-            merged: None,
-            next_block: 0,
-            pending: BTreeMap::new(),
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn unit_noun(&self) -> &'static str {
+        "scenario"
+    }
+
+    fn prepare(&self) -> Result<Vec<Prepared>, EngineError> {
+        self.expand()
+            .into_iter()
+            .map(|s| prepare(s, self.seed))
+            .collect()
+    }
+
+    fn unit_key(&self, unit: &Prepared) -> u64 {
+        // NOT the scenario ID: the ID deliberately excludes `backend`
+        // and `histogram_bins` (execution strategy — flipping them
+        // replays identical trial streams), but the journal key must
+        // distinguish two such twins because their *result bytes*
+        // differ (echoed spec, histogram field). Hash the full spec.
+        let json = serde_json::to_string(&unit.scenario).expect("prepared scenarios are finite");
+        fnv1a64(json.as_bytes()) ^ self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    fn unit_steps(&self, unit: &Prepared) -> usize {
+        if unit.sim.is_some() {
+            usize::try_from(unit.scenario.trials.div_ceil(BLOCK_TRIALS))
+                .expect("MAX_TRIALS bounds the block count")
+        } else {
+            0
         }
     }
 
-    fn offer(&mut self, block: usize, stats: PipelineBlockStats) {
-        self.pending.insert(block, stats);
-        while let Some(stats) = self.pending.remove(&self.next_block) {
-            match &mut self.merged {
-                None => self.merged = Some(stats),
-                Some(acc) => acc.merge(&stats),
-            }
-            self.next_block += 1;
+    fn init_acc(&self, _unit: &Prepared) -> Option<PipelineBlockStats> {
+        None
+    }
+
+    fn run_step(
+        &self,
+        unit: &Prepared,
+        step: usize,
+        ws: &mut TrialWorkspace,
+    ) -> PipelineBlockStats {
+        let start = step as u64 * BLOCK_TRIALS;
+        let end = (start + BLOCK_TRIALS).min(unit.scenario.trials);
+        run_block(unit, ws, start..end)
+    }
+
+    fn fold_step(
+        &self,
+        _unit: &Prepared,
+        acc: &mut Option<PipelineBlockStats>,
+        out: PipelineBlockStats,
+    ) {
+        match acc {
+            None => *acc = Some(out),
+            Some(merged) => merged.merge(&out),
         }
     }
 
-    fn finish(self) -> Option<PipelineBlockStats> {
-        assert!(self.pending.is_empty(), "missing blocks before finish");
-        self.merged
+    fn finish_unit(&self, unit: &Prepared, acc: Option<PipelineBlockStats>) -> ScenarioResult {
+        finalize(unit, acc)
+    }
+
+    fn assemble(&self, results: Vec<ScenarioResult>) -> SweepResult {
+        SweepResult {
+            name: self.name.clone(),
+            seed: self.seed,
+            scenarios: results,
+        }
+    }
+
+    fn plan_unit(&self, unit: &Prepared) -> ScenarioPlan {
+        let (trials, blocks) = if unit.sim.is_some() {
+            (
+                unit.scenario.trials,
+                unit.scenario.trials.div_ceil(BLOCK_TRIALS),
+            )
+        } else {
+            (0, 0)
+        };
+        ScenarioPlan {
+            id: format!("{:016x}", unit.id),
+            label: unit.scenario.label.clone(),
+            backend: unit.scenario.backend,
+            stages: unit.scenario.pipeline.stage_count(),
+            gates: unit.gates,
+            trials,
+            blocks,
+            targets: unit.targets.len(),
+        }
+    }
+
+    fn assemble_plan(&self, rows: Vec<ScenarioPlan>) -> SweepPlan {
+        let total_trials = rows.iter().map(|r| r.trials).sum();
+        let total_blocks = rows.iter().map(|r| r.blocks).sum();
+        SweepPlan {
+            name: self.name.clone(),
+            seed: self.seed,
+            scenarios: rows,
+            total_trials,
+            total_blocks,
+        }
     }
 }
 
 /// Executes a sweep and assembles per-scenario results.
 ///
-/// Results are bit-identical for any `opts.workers` — the spec
-/// (including its seed) alone determines every number.
+/// Thin wrapper over the unified [`run_workload`] pipeline. Results are
+/// bit-identical for any `opts.workers` — the spec (including its seed)
+/// alone determines every number.
 ///
 /// # Errors
 ///
 /// Returns an [`EngineError`] naming the first invalid scenario.
 pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepResult, EngineError> {
-    let prepared: Vec<Prepared> = sweep
-        .expand()
-        .into_iter()
-        .map(|s| prepare(s, sweep.seed))
-        .collect::<Result<_, _>>()?;
-
-    let block = BLOCK_TRIALS;
-    struct Item {
-        scenario: usize,
-        block: usize,
-        trials: Range<u64>,
-    }
-    let mut items = Vec::new();
-    for (i, p) in prepared.iter().enumerate() {
-        if p.sim.is_some() {
-            let mut b = 0usize;
-            let mut start = 0u64;
-            while start < p.scenario.trials {
-                let end = (start + block).min(p.scenario.trials);
-                items.push(Item {
-                    scenario: i,
-                    block: b,
-                    trials: start..end,
-                });
-                b += 1;
-                start = end;
-            }
-        }
-    }
-
-    let mut mergers: Vec<InOrderMerger> = prepared.iter().map(|_| InOrderMerger::new()).collect();
-    dispatch(
-        items.len(),
-        opts.workers,
-        |k, ws| {
-            let item = &items[k];
-            run_block(&prepared[item.scenario], ws, item.trials.clone())
-        },
-        |k, stats| {
-            let item = &items[k];
-            mergers[item.scenario].offer(item.block, stats);
-        },
-    );
-
-    let scenarios = prepared
-        .into_iter()
-        .zip(mergers)
-        .map(|(p, m)| finalize(p, m.finish()))
-        .collect();
-    Ok(SweepResult {
-        name: sweep.name.clone(),
-        seed: sweep.seed,
-        scenarios,
-    })
+    run_workload(
+        sweep,
+        &WorkloadOptions::sequential().with_workers(opts.workers),
+    )
 }
 
-fn finalize(p: Prepared, stats: Option<PipelineBlockStats>) -> ScenarioResult {
+fn finalize(p: &Prepared, stats: Option<PipelineBlockStats>) -> ScenarioResult {
     let d = p.analytic.delay_distribution();
     let analytic = AnalyticSummary {
         mean_ps: d.mean(),
@@ -495,8 +559,8 @@ fn finalize(p: Prepared, stats: Option<PipelineBlockStats>) -> ScenarioResult {
         id: format!("{:016x}", p.id),
         label: p.scenario.label.clone(),
         backend: p.scenario.backend,
-        scenario: p.scenario,
-        targets_ps: p.targets,
+        scenario: p.scenario.clone(),
+        targets_ps: p.targets.clone(),
         analytic,
         mc,
     }

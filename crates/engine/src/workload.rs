@@ -1,0 +1,600 @@
+//! The unified workload layer: one execution pipeline for every batch
+//! experiment the engine runs.
+//!
+//! The paper's experiments all share one shape — expand a spec into
+//! independent, content-hash-identified **units**, run them
+//! deterministically, merge the per-unit results into a report. Scenario
+//! sweeps and optimization campaigns used to implement that shape twice;
+//! [`Workload`] implements it once, and both plug in:
+//!
+//! | workload | unit | step | unit result |
+//! |---|---|---|---|
+//! | [`crate::Sweep`] | a prepared scenario | one 256-trial MC block | [`crate::ScenarioResult`] |
+//! | [`crate::OptimizationCampaign`] | a prepared run | the whole sizing flow | [`crate::OptimizationRunResult`] |
+//!
+//! A unit expands into **steps** — the worker pool's scheduling grain —
+//! whose outputs are folded strictly in step order (the floating-point
+//! merge-tree half of the determinism contract). When a unit's last step
+//! folds, the unit finishes into its serializable result.
+//!
+//! ## Sharding, checkpointing, resume
+//!
+//! Because every unit result is a pure function of `(spec, seed)` — via
+//! content-hash unit IDs and counter-based per-trial seeds — three
+//! production features fall out of the one pipeline **byte-exactly**:
+//!
+//! * **Sharding** ([`Shard`]): shard `i/n` owns exactly the units whose
+//!   journal key ([`Workload::unit_key`], a content hash of the unit's
+//!   full sub-spec) satisfies `key % n == i - 1`. The partition depends
+//!   only on the spec, so disjoint machines can run disjoint shards and
+//!   the merged union of their outputs is bitwise identical to a single
+//!   unsharded run.
+//! * **Checkpointing**: every completed unit result can be streamed out
+//!   as one JSONL line ([`checkpoint_line`]) the moment it completes.
+//! * **Resume** ([`Checkpoint`]): a run handed a checkpoint skips every
+//!   unit whose ID appears in it and splices the stored result into the
+//!   final report. Since the stored JSON round-trips floats bit-exactly
+//!   (shortest-roundtrip printing), a killed-then-resumed run's output
+//!   is byte-identical to an uninterrupted one — and resuming from the
+//!   concatenated checkpoints of `n` shard runs **is** the shard merge.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize, Value};
+use vardelay_mc::TrialWorkspace;
+
+use crate::run::{dispatch, EngineError};
+
+/// A batch experiment the engine can execute: how to expand a spec into
+/// identified units, run each unit in deterministic steps, and fold
+/// everything back into a report.
+///
+/// Implementations must keep the determinism contract: every method
+/// must be a pure function of the spec (`self`) and its arguments, so
+/// scheduling, sharding and resume can never leak into results.
+pub trait Workload: Sync {
+    /// A prepared, validated unit of work (shared read-only with the
+    /// worker pool).
+    type Unit: Send + Sync;
+    /// Output of one step of one unit.
+    type StepOut: Send;
+    /// Per-unit accumulator step outputs fold into, in step order.
+    type Acc;
+    /// A completed unit's serializable result — the checkpoint /
+    /// stream / resume currency.
+    type UnitResult: Serialize + Deserialize + Clone + PartialEq + Send;
+    /// The aggregate report assembled from unit results in expansion
+    /// order.
+    type Report;
+    /// One validated unit's footprint row (the `validate` lint).
+    type UnitPlan;
+    /// The aggregate plan assembled from footprint rows.
+    type Plan;
+
+    /// Workload name (reported in results and logs).
+    fn name(&self) -> &str;
+    /// Base seed namespacing every unit's RNG streams.
+    fn seed(&self) -> u64;
+    /// What a unit is called in user-facing text (`"scenario"`,
+    /// `"run"`).
+    fn unit_noun(&self) -> &'static str;
+
+    /// Expands and validates the spec into executable units, in
+    /// expansion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] naming the first invalid unit.
+    fn prepare(&self) -> Result<Vec<Self::Unit>, EngineError>;
+    /// The unit's stable content hash over its **full** sub-spec — the
+    /// shard partition and checkpoint key.
+    ///
+    /// This may be broader than the unit's RNG identity: a sweep
+    /// scenario's ID deliberately excludes execution-strategy fields
+    /// (`backend`, `histogram_bins`) so flipping them replays the same
+    /// trial streams, but two such twins still produce different
+    /// *result bytes* (the spec is echoed in the result). The journal
+    /// key must distinguish any two units whose results could differ,
+    /// so it hashes everything.
+    fn unit_key(&self, unit: &Self::Unit) -> u64;
+    /// How many scheduling steps the unit expands into (0 finishes the
+    /// unit from its empty accumulator, running nothing).
+    fn unit_steps(&self, unit: &Self::Unit) -> usize;
+    /// A fresh accumulator for the unit.
+    fn init_acc(&self, unit: &Self::Unit) -> Self::Acc;
+    /// Runs one step. Must be a pure function of `(unit, step)`; the
+    /// workspace is arbitrary reusable scratch.
+    fn run_step(&self, unit: &Self::Unit, step: usize, ws: &mut TrialWorkspace) -> Self::StepOut;
+    /// Folds a step output into the accumulator. Called strictly in
+    /// step order — this *is* the fixed floating-point merge tree.
+    fn fold_step(&self, unit: &Self::Unit, acc: &mut Self::Acc, out: Self::StepOut);
+    /// Turns a fully folded unit into its result.
+    fn finish_unit(&self, unit: &Self::Unit, acc: Self::Acc) -> Self::UnitResult;
+    /// Assembles the report from unit results in expansion order.
+    fn assemble(&self, results: Vec<Self::UnitResult>) -> Self::Report;
+    /// Measures one unit's footprint without running it.
+    fn plan_unit(&self, unit: &Self::Unit) -> Self::UnitPlan;
+    /// Assembles the plan from footprint rows in expansion order.
+    fn assemble_plan(&self, rows: Vec<Self::UnitPlan>) -> Self::Plan;
+}
+
+/// The CLI-facing hooks of a workload's aggregate report.
+pub trait WorkloadReport {
+    /// Serializes as pretty JSON (the `--out` file format).
+    fn to_json(&self) -> String;
+    /// A compact fixed-width text summary, one unit per row.
+    fn summary_table(&self) -> String;
+    /// Number of unit results in the report.
+    fn unit_count(&self) -> usize;
+}
+
+/// The CLI-facing hook of a workload's validation plan.
+pub trait WorkloadPlan {
+    /// A fixed-width text report, one unit per row plus totals.
+    fn render(&self) -> String;
+}
+
+/// One shard of a deterministically partitioned workload.
+///
+/// Shard `i/n` (1-based in user syntax) owns exactly the units whose
+/// journal key ([`Workload::unit_key`]) satisfies `key % n == i - 1`.
+/// The rule uses only the spec-derived key, so every shard computes the
+/// same partition independently, and the union of all shards is exactly
+/// the unsharded unit set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// 0-based shard index (`i - 1`).
+    index: u64,
+    /// Total shard count `n`.
+    count: u64,
+}
+
+impl Shard {
+    /// Builds shard `index1/count` from the 1-based user syntax.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `count == 0` and `index1` outside `1..=count`.
+    pub fn new(index1: u64, count: u64) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be positive".to_owned());
+        }
+        if index1 == 0 || index1 > count {
+            return Err(format!("shard index {index1} is not in 1..={count}"));
+        }
+        Ok(Shard {
+            index: index1 - 1,
+            count,
+        })
+    }
+
+    /// Parses the CLI syntax `i/n` (e.g. `--shard 2/3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the expected syntax or range.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard '{s}' is not of the form i/n"))?;
+        let parse = |what: &str, v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| format!("invalid shard {what} '{v}'"))
+        };
+        Shard::new(parse("index", i)?, parse("count", n)?)
+    }
+
+    /// Whether this shard owns the unit with the given content-hash ID.
+    pub fn owns(&self, unit_id: u64) -> bool {
+        unit_id % self.count == self.index
+    }
+
+    /// The 1-based `i/n` display form.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.index + 1, self.count)
+    }
+}
+
+/// Formats one completed unit as a checkpoint / stream line:
+/// `{"unit":"<016x id>","result":<compact result JSON>}`.
+///
+/// Compact serialization uses shortest-roundtrip float printing, so
+/// parsing the line back yields bit-identical numbers — the property
+/// that makes resume byte-exact.
+pub fn checkpoint_line<R: Serialize>(id: u64, result: &R) -> String {
+    let line = Value::Object(vec![
+        ("unit".to_owned(), Value::String(format!("{id:016x}"))),
+        ("result".to_owned(), result.to_value()),
+    ]);
+    serde_json::to_string(&line).expect("unit results are finite")
+}
+
+/// A parsed checkpoint: completed unit results keyed by content-hash
+/// unit ID, as written by [`checkpoint_line`] (one JSON object per
+/// line).
+#[derive(Debug, Clone, Default)]
+pub struct Checkpoint<R> {
+    map: HashMap<u64, R>,
+    torn_tail: bool,
+}
+
+impl<R> Checkpoint<R> {
+    /// An empty checkpoint (resuming from it runs everything).
+    pub fn new() -> Self {
+        Checkpoint {
+            map: HashMap::new(),
+            torn_tail: false,
+        }
+    }
+
+    /// Number of distinct completed units recorded.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no completed units are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether the final line was unparseable and skipped — the
+    /// signature of a process killed mid-write. Earlier malformed lines
+    /// are corruption and fail the parse instead.
+    pub fn torn_tail(&self) -> bool {
+        self.torn_tail
+    }
+
+    /// The stored result for a unit, if it completed.
+    pub fn get(&self, unit_id: u64) -> Option<&R> {
+        self.map.get(&unit_id)
+    }
+}
+
+impl<R: Deserialize> Checkpoint<R> {
+    /// Parses checkpoint text (one [`checkpoint_line`] per line; blank
+    /// lines ignored; duplicate IDs keep the last occurrence).
+    ///
+    /// A malformed **final** line is tolerated and flagged via
+    /// [`Checkpoint::torn_tail`]: a killed process may have died
+    /// mid-append, and losing that one unit merely re-runs it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] naming the first malformed non-final
+    /// line — corruption anywhere else must not silently drop work.
+    pub fn parse(text: &str) -> Result<Self, EngineError> {
+        let mut ckpt = Checkpoint::new();
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        for (k, &(lineno, line)) in lines.iter().enumerate() {
+            match parse_checkpoint_line(line) {
+                Ok((id, result)) => {
+                    ckpt.map.insert(id, result);
+                }
+                Err(e) if k + 1 == lines.len() => {
+                    // Torn tail: the write was cut mid-line.
+                    let _ = e;
+                    ckpt.torn_tail = true;
+                }
+                Err(e) => {
+                    return Err(EngineError::new(format!(
+                        "checkpoint line {}: {e}",
+                        lineno + 1
+                    )));
+                }
+            }
+        }
+        Ok(ckpt)
+    }
+}
+
+fn parse_checkpoint_line<R: Deserialize>(line: &str) -> Result<(u64, R), serde::Error> {
+    let v: Value = serde_json::from_str(line)?;
+    let id_hex: String = Deserialize::from_value(v.field("unit")?)?;
+    let id = u64::from_str_radix(&id_hex, 16)
+        .map_err(|_| serde::Error::new(format!("invalid unit id '{id_hex}'")))?;
+    let result = R::from_value(v.field("result")?)?;
+    Ok((id, result))
+}
+
+/// Execution options for [`run_workload`] / [`run_units`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadOptions<'a, R> {
+    /// Worker threads; 1 runs everything on the calling thread. Never
+    /// affects results, only wall-clock time.
+    pub workers: usize,
+    /// Run only the units this shard owns (`None` runs all).
+    pub shard: Option<Shard>,
+    /// Completed units to splice in instead of re-running.
+    pub resume: Option<&'a Checkpoint<R>>,
+}
+
+impl<R> WorkloadOptions<'_, R> {
+    /// Sequential execution of every unit, no resume.
+    pub fn sequential() -> Self {
+        WorkloadOptions {
+            workers: 1,
+            shard: None,
+            resume: None,
+        }
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Restricts execution to one shard.
+    #[must_use]
+    pub fn with_shard(mut self, shard: Shard) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+}
+
+impl<'a, R> WorkloadOptions<'a, R> {
+    /// Splices in previously completed units from a checkpoint.
+    #[must_use]
+    pub fn with_resume(mut self, checkpoint: &'a Checkpoint<R>) -> Self {
+        self.resume = Some(checkpoint);
+        self
+    }
+}
+
+/// What a [`run_units`] call did: unit counts by disposition, plus the
+/// expansion-order IDs needed to reassemble a report from streamed
+/// lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadStats {
+    /// Units this run was responsible for (after shard selection).
+    pub units: usize,
+    /// Units spliced from the resume checkpoint (not re-run).
+    pub resumed: usize,
+    /// Units actually executed.
+    pub executed: usize,
+    /// Scheduling steps dispatched to the worker pool.
+    pub steps: usize,
+    /// Journal keys ([`Workload::unit_key`]) of this run's units, in
+    /// expansion order — what reassembles a report from streamed lines.
+    pub keys: Vec<u64>,
+}
+
+/// In-step-order folding of one unit's step outputs, buffering
+/// out-of-order arrivals — the streaming half of the determinism
+/// contract, shared by every workload.
+struct Folding<A, S> {
+    acc: A,
+    next: usize,
+    total: usize,
+    pending: BTreeMap<usize, S>,
+}
+
+/// The unified execution pipeline: expands a workload into units,
+/// applies shard selection and resume splicing, schedules the remaining
+/// steps over the shared worker pool, folds step outputs in order, and
+/// hands every completed unit — resumed or executed — to `sink` exactly
+/// once.
+///
+/// `sink(slot, unit_key, result, resumed)` is called on the calling
+/// thread; `slot` is the unit's index in (sharded) expansion order.
+/// Resumed and zero-step units sink before any parallel step runs;
+/// executed units sink in completion order. A sink error cancels the
+/// pool — workers stop claiming new steps, steps already executing
+/// finish and are folded but no further unit sinks — and the error is
+/// returned once the pool drains.
+///
+/// This function retains **no** unit results — callers stream them out
+/// (checkpoint files, `--out` JSONL) or collect them ([`run_workload`]).
+///
+/// # Errors
+///
+/// Returns the first preparation ([`Workload::prepare`]) or sink error.
+pub fn run_units<W: Workload>(
+    w: &W,
+    opts: &WorkloadOptions<'_, W::UnitResult>,
+    mut sink: impl FnMut(usize, u64, W::UnitResult, bool) -> Result<(), EngineError>,
+) -> Result<WorkloadStats, EngineError> {
+    let mut units = w.prepare()?;
+    if let Some(shard) = opts.shard {
+        units.retain(|u| shard.owns(w.unit_key(u)));
+    }
+    let keys: Vec<u64> = units.iter().map(|u| w.unit_key(u)).collect();
+    let mut stats = WorkloadStats {
+        units: units.len(),
+        resumed: 0,
+        executed: 0,
+        steps: 0,
+        keys,
+    };
+
+    // Resolve what runs: resumed units splice their stored result,
+    // zero-step units finish from their empty accumulator, everything
+    // else schedules its steps on the pool.
+    struct Item {
+        unit: usize,
+        step: usize,
+    }
+    let mut items: Vec<Item> = Vec::new();
+    let mut foldings: Vec<Option<Folding<W::Acc, W::StepOut>>> = Vec::with_capacity(units.len());
+    for (i, u) in units.iter().enumerate() {
+        let key = stats.keys[i];
+        if let Some(result) = opts.resume.and_then(|c| c.get(key)) {
+            stats.resumed += 1;
+            foldings.push(None);
+            sink(i, key, result.clone(), true)?;
+            continue;
+        }
+        stats.executed += 1;
+        let total = w.unit_steps(u);
+        if total == 0 {
+            foldings.push(None);
+            sink(i, key, w.finish_unit(u, w.init_acc(u)), false)?;
+            continue;
+        }
+        stats.steps += total;
+        items.extend((0..total).map(|step| Item { unit: i, step }));
+        foldings.push(Some(Folding {
+            acc: w.init_acc(u),
+            next: 0,
+            total,
+            pending: BTreeMap::new(),
+        }));
+    }
+
+    let mut sink_err: Option<EngineError> = None;
+    dispatch(
+        items.len(),
+        opts.workers,
+        |k, ws| {
+            let item = &items[k];
+            w.run_step(&units[item.unit], item.step, ws)
+        },
+        |k, out| {
+            let item = &items[k];
+            let f = foldings[item.unit].as_mut().expect("scheduled units fold");
+            f.pending.insert(item.step, out);
+            while let Some(out) = f.pending.remove(&f.next) {
+                w.fold_step(&units[item.unit], &mut f.acc, out);
+                f.next += 1;
+            }
+            if f.next == f.total {
+                let f = foldings[item.unit].take().expect("folded once");
+                assert!(f.pending.is_empty(), "steps beyond the unit's total");
+                let result = w.finish_unit(&units[item.unit], f.acc);
+                if sink_err.is_none() {
+                    if let Err(e) = sink(item.unit, stats.keys[item.unit], result, false) {
+                        sink_err = Some(e);
+                    }
+                }
+            }
+            // `false` after a sink failure cancels unclaimed steps —
+            // their results would have nowhere to go.
+            sink_err.is_none()
+        },
+    );
+    match sink_err {
+        Some(e) => Err(e),
+        None => Ok(stats),
+    }
+}
+
+/// Runs a workload to completion and assembles its aggregate report.
+///
+/// The report is bit-identical for any `opts.workers`, and — because
+/// unit results are pure functions of the spec — splicing resumed units
+/// or restricting to a shard changes *which* units appear, never their
+/// bytes.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] naming the first invalid unit.
+pub fn run_workload<W: Workload>(
+    w: &W,
+    opts: &WorkloadOptions<'_, W::UnitResult>,
+) -> Result<W::Report, EngineError> {
+    let mut slots: Vec<Option<W::UnitResult>> = Vec::new();
+    run_units(w, opts, |slot, _id, result, _resumed| {
+        if slots.len() <= slot {
+            slots.resize_with(slot + 1, || None);
+        }
+        slots[slot] = Some(result);
+        Ok(())
+    })?;
+    Ok(w.assemble(
+        slots
+            .into_iter()
+            .map(|s| s.expect("every unit sinks exactly once"))
+            .collect(),
+    ))
+}
+
+/// Validates a workload end to end and reports its footprint, running
+/// nothing — the engine half of `sweep validate` / `optimize validate`,
+/// shared by both spellings.
+///
+/// # Errors
+///
+/// Returns the same [`EngineError`] a real run would return for the
+/// first invalid unit.
+pub fn plan_workload<W: Workload>(w: &W) -> Result<W::Plan, EngineError> {
+    let units = w.prepare()?;
+    let rows = units.iter().map(|u| w.plan_unit(u)).collect();
+    Ok(w.assemble_plan(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_syntax_roundtrips_and_validates() {
+        let s = Shard::parse("2/3").unwrap();
+        assert_eq!(s.label(), "2/3");
+        assert!(s.owns(1) && !s.owns(0) && !s.owns(2));
+        assert_eq!(Shard::parse("1/1").unwrap(), Shard::new(1, 1).unwrap());
+        for bad in ["0/3", "4/3", "2", "a/b", "1/0", "/", ""] {
+            assert!(Shard::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn shards_partition_every_id() {
+        for n in 1..=5u64 {
+            let shards: Vec<Shard> = (1..=n).map(|i| Shard::new(i, n).unwrap()).collect();
+            for id in (0..1000u64).chain([u64::MAX, u64::MAX - 7]) {
+                let owners = shards.iter().filter(|s| s.owns(id)).count();
+                assert_eq!(owners, 1, "id {id} must have exactly one owner among {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_lines_roundtrip_bit_exactly() {
+        // f64 fields must survive the line format with identical bits —
+        // the property resume's byte-identity rests on.
+        let result = vec![
+            1.0f64,
+            -0.0,
+            1e-300,
+            12_345.678_901_234_5,
+            f64::MIN_POSITIVE,
+        ];
+        let line = checkpoint_line(0xDEAD_BEEF_0123_4567, &result);
+        assert!(line.starts_with("{\"unit\":\"deadbeef01234567\""), "{line}");
+        assert!(!line.contains('\n'), "one line per unit");
+        let ckpt: Checkpoint<Vec<f64>> = Checkpoint::parse(&line).unwrap();
+        let back = ckpt.get(0xDEAD_BEEF_0123_4567).unwrap();
+        assert_eq!(result.len(), back.len());
+        for (a, b) in result.iter().zip(back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} round-tripped as {b}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_tolerates_a_torn_tail_only() {
+        let full = checkpoint_line(1, &1.5f64);
+        let torn = format!("{full}\n{}", &checkpoint_line(2, &2.5f64)[..10]);
+        let ckpt: Checkpoint<f64> = Checkpoint::parse(&torn).unwrap();
+        assert_eq!(ckpt.len(), 1);
+        assert!(ckpt.torn_tail());
+        assert!(ckpt.get(1).is_some() && ckpt.get(2).is_none());
+
+        // The same damage mid-file is corruption, not a kill signature.
+        let corrupt = format!("{}\n{}", &full[..10], checkpoint_line(2, &2.5f64));
+        let err = Checkpoint::<f64>::parse(&corrupt).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+
+        // Blank lines and duplicate IDs (last wins) are fine.
+        let dup = format!("{full}\n\n{}\n", checkpoint_line(1, &9.5f64));
+        let ckpt: Checkpoint<f64> = Checkpoint::parse(&dup).unwrap();
+        assert_eq!(ckpt.len(), 1);
+        assert!(!ckpt.torn_tail());
+        assert_eq!(*ckpt.get(1).unwrap(), 9.5);
+        assert!(Checkpoint::<f64>::parse("").unwrap().is_empty());
+    }
+}

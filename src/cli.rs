@@ -7,11 +7,16 @@
 //!   from stage moments (the paper's core model, eq. 4–9).
 //! * `generate <c432|c1908|c2670|c3540|chain:N>` — emit a benchmark
 //!   netlist in `.bench` format.
-//! * `sweep <spec.json>` — run a scenario sweep on the parallel engine;
-//!   `sweep example` prints a ready-to-edit spec.
+//! * `sweep <spec.json>` — run a scenario sweep on the unified workload
+//!   engine; `sweep example` prints a ready-to-edit spec.
 //! * `optimize <spec.json>` — run a yield-aware sizing campaign (the
 //!   §4 / Fig. 9 flow) on the same engine; `optimize example` prints a
 //!   ready-to-edit campaign, `optimize validate` lints one.
+//!
+//! Both workload subcommands share one driver ([`run_workload_cmd`])
+//! and one set of production flags: `--workers`, `--out` (incremental
+//! JSONL stream + atomic aggregate), `--shard i/n`, `--checkpoint`,
+//! `--resume` — all byte-exact by the engine's determinism contract.
 //!
 //! Every subcommand rejects unrecognized flags/arguments outright —
 //! like the spec files' unknown-key rejection, a typo'd option must
@@ -21,10 +26,15 @@
 //! only routes arguments and prints.
 
 use std::fmt::Write as _;
+use std::io::Write as _;
 
 use vardelay_circuit::generators::{inverter_chain, iscas};
 use vardelay_circuit::{parse_bench, write_bench, CellLibrary, Netlist};
 use vardelay_core::{Pipeline, StageDelay};
+use vardelay_engine::{
+    checkpoint_line, plan_workload, run_units, Checkpoint, EngineError, Shard, Workload,
+    WorkloadOptions, WorkloadPlan, WorkloadReport,
+};
 use vardelay_process::VariationConfig;
 use vardelay_ssta::SstaEngine;
 use vardelay_stats::CorrelationMatrix;
@@ -59,14 +69,30 @@ USAGE:
       Emit a benchmark netlist in .bench format on stdout.
 
   vardelay sweep <spec.json> [--workers N] [--out results.json]
+                 [--shard i/n] [--checkpoint f.jsonl] [--resume f.jsonl]
       Run a scenario sweep (analytic model + Monte-Carlo) on the
-      parallel engine. Results are bit-identical for any --workers.
-      A summary table goes to stdout; full JSON results go to --out.
-      Each scenario picks its simulator with the backend field:
-      pipeline (staged-pipeline MC, the default), netlist (gate-level
-      MC on the zero-allocation hot path; supports CircuitSpec stages:
-      Chain/Alu1/Alu2/Decoder/Random/Iscas), or analytic (closed-form
-      SSTA/Clark, no trials).
+      unified workload engine. Results are bit-identical for any
+      --workers. A summary table goes to stdout; completed scenarios
+      stream to --out as JSONL and the final aggregate JSON atomically
+      replaces it. Each scenario picks its simulator with the backend
+      field: pipeline (staged-pipeline MC, the default), netlist
+      (gate-level MC on the zero-allocation hot path; supports
+      CircuitSpec stages: Chain/Alu1/Alu2/Decoder/Random/Iscas), or
+      analytic (closed-form SSTA/Clark, no trials).
+
+      Production flags (shared with optimize; all byte-exact thanks to
+      content-hash unit keys + counter-based seeding):
+        --shard i/n       run only the units whose journal key k (a
+                          content hash of the unit's full sub-spec;
+                          equal to the printed run id for campaigns)
+                          satisfies k % n == i-1; the union of all
+                          shards equals an unsharded run bit for bit
+        --checkpoint f    journal each completed unit to f (JSONL) the
+                          moment it finishes
+        --resume f        skip units already in f, splicing their
+                          stored results; new completions append to f.
+                          Resuming from the concatenated checkpoints of
+                          all n shards IS the shard merge.
 
   vardelay sweep validate <spec.json>
       Lint a spec without running it: expand, validate every scenario,
@@ -78,15 +104,18 @@ USAGE:
       model twin for model-vs-MC deltas).
 
   vardelay optimize <spec.json> [--workers N] [--out results.json]
+                    [--shard i/n] [--checkpoint f.jsonl] [--resume f.jsonl]
       Run an optimization campaign: the paper's global yield-aware
       sizing flow (Fig. 9) over every (pipeline x yield target x
       target-delay policy x goal x variation) run in the spec, on the
-      parallel engine. Each run reports the individually-optimized
-      baseline, the global flow's result, the analytic yield
-      prediction and the MC-verified yield side by side. Results are
-      bit-identical for any --workers. The yield_backend field picks
-      what measures yield inside the sizing loop: analytic (Clark/SSTA,
-      the paper flow) or netlist (gate-level Monte-Carlo).
+      same unified workload engine as sweeps — including --shard,
+      --checkpoint and --resume (see sweep above). Each run reports
+      the individually-optimized baseline, the global flow's result,
+      the analytic yield prediction and the MC-verified yield side by
+      side. Results are bit-identical for any --workers. The
+      yield_backend field picks what measures yield inside the sizing
+      loop: analytic (Clark/SSTA, the paper flow) or netlist
+      (gate-level Monte-Carlo).
 
   vardelay optimize validate <spec.json>
       Lint a campaign spec without running it: expand, validate every
@@ -263,54 +292,259 @@ pub fn generate(which: &str) -> Result<String, CliError> {
     Ok(write_bench(&netlist))
 }
 
-/// `sweep` subcommand over already-loaded spec text.
-///
-/// Returns the summary table; when `out` is given the full JSON results
-/// are written there (the JSON artifact is bit-identical for any worker
-/// count — timing goes to stderr only).
-pub fn sweep_cmd(spec_text: &str, mut opts: Vec<String>) -> Result<String, CliError> {
+/// Workload execution flags shared by every workload subcommand
+/// (`sweep`, `optimize`): the unified engine pipeline behind both means
+/// one parser — and one feature set — serves all of them.
+struct WorkloadArgs {
+    workers: Option<usize>,
+    out: Option<String>,
+    shard: Option<Shard>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
+}
+
+fn take_workload_args(mut opts: Vec<String>) -> Result<WorkloadArgs, CliError> {
     let workers = take_opt(&mut opts, "--workers")?
         .map(|v| {
             v.parse::<usize>()
                 .map_err(|_| CliError(format!("invalid --workers: '{v}'")))
         })
         .transpose()?;
-    let out_path = take_opt(&mut opts, "--out")?;
+    let out = take_opt(&mut opts, "--out")?;
+    let shard = take_opt(&mut opts, "--shard")?
+        .map(|v| Shard::parse(&v).map_err(|e| CliError(format!("invalid --shard: {e}"))))
+        .transpose()?;
+    let checkpoint = take_opt(&mut opts, "--checkpoint")?;
+    let resume = take_opt(&mut opts, "--resume")?;
     if !opts.is_empty() {
         return Err(CliError(format!("unrecognized arguments: {opts:?}")));
     }
+    Ok(WorkloadArgs {
+        workers,
+        out,
+        shard,
+        checkpoint,
+        resume,
+    })
+}
 
-    let sweep = vardelay_engine::Sweep::from_json(spec_text)
-        .map_err(|e| CliError(format!("invalid sweep spec: {e}")))?;
-    let mut options = vardelay_engine::SweepOptions::default();
-    if let Some(w) = workers {
-        options = options.with_workers(w);
+/// Writes `contents` to `path` atomically (temp file + rename), so an
+/// aggregate result file is never observable half-written.
+fn write_atomic(path: &str, contents: &str) -> Result<(), CliError> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents).map_err(|e| CliError(format!("cannot write '{tmp}': {e}")))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| CliError(format!("cannot move '{tmp}' to '{path}': {e}")))?;
+    Ok(())
+}
+
+/// The one driver behind `vardelay sweep <spec>` and `vardelay optimize
+/// <spec>`: runs any [`Workload`] through the unified engine pipeline.
+///
+/// * `--workers N` — pool size; never changes any result byte.
+/// * `--shard i/n` — run only the units with `id % n == i-1`; the union
+///   of all shards' outputs is bitwise identical to an unsharded run.
+/// * `--checkpoint f` — journal every completed unit to `f` (JSONL) the
+///   moment it finishes.
+/// * `--resume f` — skip units recorded in `f`, splicing their stored
+///   results byte-exactly; new completions are appended to `f` so
+///   repeated kill/resume cycles keep extending one journal.
+/// * `--out f` — stream completed units to `f` incrementally (JSONL),
+///   then atomically replace it with the aggregate report. Nothing is
+///   buffered in memory during the run; a killed run leaves a valid
+///   resume journal at `f`.
+fn run_workload_cmd<W>(kind: &str, w: &W, args: WorkloadArgs) -> Result<String, CliError>
+where
+    W: Workload,
+    W::Report: WorkloadReport,
+{
+    let io_err = |path: &str, e: &dyn std::fmt::Display| CliError(format!("'{path}': {e}"));
+    let resume_ckpt: Option<Checkpoint<W::UnitResult>> = match &args.resume {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+            let ckpt = Checkpoint::parse(&text)
+                .map_err(|e| CliError(format!("invalid checkpoint '{path}': {e}")))?;
+            if ckpt.torn_tail() {
+                eprintln!(
+                    "note: '{path}' ends in a torn line (killed mid-write?); that unit re-runs"
+                );
+            }
+            // Repair before appending (we append to the resume file
+            // when no separate --checkpoint is given): a new line
+            // written after a torn fragment — or after a final line
+            // whose trailing newline the kill cut off — would fuse two
+            // lines into mid-file corruption, which a later resume
+            // rightly rejects. Normalize the journal to exactly its
+            // complete, newline-terminated lines.
+            if args.checkpoint.is_none() {
+                let mut lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+                if ckpt.torn_tail() {
+                    lines.pop();
+                }
+                let repaired: String = lines.iter().flat_map(|l| [*l, "\n"]).collect();
+                if repaired != text {
+                    std::fs::write(path, repaired).map_err(|e| io_err(path, &e))?;
+                }
+            }
+            Some(ckpt)
+        }
+        None => None,
+    };
+
+    let mut options: WorkloadOptions<'_, W::UnitResult> = WorkloadOptions::sequential()
+        .with_workers(
+            args.workers
+                .unwrap_or(vardelay_engine::SweepOptions::default().workers),
+        );
+    if let Some(shard) = args.shard {
+        options = options.with_shard(shard);
     }
+    if let Some(ckpt) = &resume_ckpt {
+        options = options.with_resume(ckpt);
+    }
+
+    // Sinks. The journal (`--checkpoint`, or the `--resume` file itself)
+    // persists after the run; the `--out` stream is replaced by the
+    // aggregate at the end. When resuming into the same journal, only
+    // newly executed units are appended (their lines are already there).
+    let open = |path: &str, append: bool| -> Result<std::io::BufWriter<std::fs::File>, CliError> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(append)
+            .write(true)
+            .truncate(!append)
+            .open(path)
+            .map_err(|e| io_err(path, &e))?;
+        Ok(std::io::BufWriter::new(file))
+    };
+    let journal_path = args.checkpoint.as_ref().or(args.resume.as_ref());
+    let journal_appends = args.checkpoint.is_none() && args.resume.is_some();
+    let mut journal = journal_path
+        .map(|p| open(p, journal_appends).map(|f| (p.clone(), f)))
+        .transpose()?;
+    let mut out_stream = args
+        .out
+        .as_ref()
+        .map(|p| open(p, false).map(|f| (p.clone(), f)))
+        .transpose()?;
+
+    // Results are retained in memory only when there is no `--out`
+    // stream to reassemble the aggregate from afterwards.
+    let mut kept: Vec<Option<W::UnitResult>> = Vec::new();
+    let retain = args.out.is_none();
+
     let started = std::time::Instant::now();
-    let result = vardelay_engine::run_sweep(&sweep, &options)
-        .map_err(|e| CliError(format!("sweep failed: {e}")))?;
+    let stats = run_units(w, &options, |slot, id, result, resumed| {
+        let journal_skips = resumed && journal_appends;
+        let line = (out_stream.is_some() || (journal.is_some() && !journal_skips))
+            .then(|| checkpoint_line(id, &result));
+        if let Some((path, f)) = &mut journal {
+            if !journal_skips {
+                writeln!(
+                    f,
+                    "{}",
+                    line.as_deref().expect("line built for the journal")
+                )
+                .and_then(|()| f.flush())
+                .map_err(|e| EngineError::new(format!("'{path}': {e}")))?;
+            }
+        }
+        if let Some((path, f)) = &mut out_stream {
+            writeln!(f, "{}", line.as_deref().expect("line built for the stream"))
+                .and_then(|()| f.flush())
+                .map_err(|e| EngineError::new(format!("'{path}': {e}")))?;
+        }
+        if retain {
+            if kept.len() <= slot {
+                kept.resize_with(slot + 1, || None);
+            }
+            kept[slot] = Some(result);
+        }
+        Ok(())
+    })
+    .map_err(|e| CliError(format!("{kind} failed: {e}")))?;
+    drop(journal);
+    drop(out_stream);
+
+    let noun = w.unit_noun();
+    let shard_note = args
+        .shard
+        .map_or(String::new(), |s| format!(", shard {}", s.label()));
+    let resumed_note = if stats.resumed > 0 {
+        format!(", {} resumed", stats.resumed)
+    } else {
+        String::new()
+    };
     eprintln!(
-        "sweep '{}': {} scenarios, {} workers, {:.3} s",
-        result.name,
-        result.scenarios.len(),
+        "{kind} '{}': {} {noun}s{shard_note}{resumed_note}, {} workers, {:.3} s",
+        w.name(),
+        stats.units,
         options.workers,
         started.elapsed().as_secs_f64()
     );
 
+    // Assemble the aggregate: from memory, or — when it was streamed —
+    // by reading the JSONL back, so the run itself buffered nothing.
+    let report: W::Report = if let Some(path) = &args.out {
+        let text = std::fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+        let ckpt: Checkpoint<W::UnitResult> = Checkpoint::parse(&text)
+            .map_err(|e| CliError(format!("re-reading stream '{path}': {e}")))?;
+        let results = stats
+            .keys
+            .iter()
+            .map(|&id| {
+                ckpt.get(id)
+                    .cloned()
+                    .ok_or_else(|| CliError(format!("stream '{path}' lost unit {id:016x}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        w.assemble(results)
+    } else {
+        w.assemble(
+            kept.into_iter()
+                .map(|r| r.expect("every unit sinks exactly once"))
+                .collect(),
+        )
+    };
+
     let mut text = format!(
-        "sweep '{}' — {} scenarios (seed {})\n\n{}",
-        result.name,
-        result.scenarios.len(),
-        result.seed,
-        result.summary_table()
+        "{kind} '{}' — {} {noun}s (seed {})\n\n{}",
+        w.name(),
+        report.unit_count(),
+        w.seed(),
+        report.summary_table()
     );
-    if let Some(path) = out_path {
-        std::fs::write(&path, result.to_json())
-            .map_err(|e| CliError(format!("cannot write '{path}': {e}")))?;
-        use std::fmt::Write as _;
+    if let Some(path) = &args.out {
+        write_atomic(path, &report.to_json())?;
         let _ = writeln!(text, "\nresults written to {path}");
     }
     Ok(text)
+}
+
+/// The one driver behind `sweep validate` and `optimize validate`: full
+/// validation and footprint accounting for any [`Workload`], zero
+/// trials or sizing passes run.
+fn validate_workload_cmd<W>(kind: &str, w: &W) -> Result<String, CliError>
+where
+    W: Workload,
+    W::Plan: WorkloadPlan,
+{
+    let plan = plan_workload(w).map_err(|e| CliError(format!("invalid {kind} spec: {e}")))?;
+    Ok(format!("{}\nspec OK\n", plan.render()))
+}
+
+/// `sweep` subcommand over already-loaded spec text.
+///
+/// Returns the summary table; when `--out` is given the full JSON
+/// results are written there (the JSON artifact is bit-identical for
+/// any worker count — timing goes to stderr only). See
+/// [`run_workload_cmd`] for the shared `--shard` / `--checkpoint` /
+/// `--resume` flags.
+pub fn sweep_cmd(spec_text: &str, opts: Vec<String>) -> Result<String, CliError> {
+    let args = take_workload_args(opts)?;
+    let sweep = vardelay_engine::Sweep::from_json(spec_text)
+        .map_err(|e| CliError(format!("invalid sweep spec: {e}")))?;
+    run_workload_cmd("sweep", &sweep, args)
 }
 
 /// `sweep validate` subcommand over already-loaded spec text: full
@@ -318,9 +552,7 @@ pub fn sweep_cmd(spec_text: &str, mut opts: Vec<String>) -> Result<String, CliEr
 pub fn sweep_validate_cmd(spec_text: &str) -> Result<String, CliError> {
     let sweep = vardelay_engine::Sweep::from_json(spec_text)
         .map_err(|e| CliError(format!("invalid sweep spec: {e}")))?;
-    let plan = vardelay_engine::plan_sweep(&sweep)
-        .map_err(|e| CliError(format!("invalid sweep spec: {e}")))?;
-    Ok(format!("{}\nspec OK\n", plan.render()))
+    validate_workload_cmd("sweep", &sweep)
 }
 
 /// `sweep example` subcommand: the spec template for a backend.
@@ -345,50 +577,13 @@ pub fn sweep_example_cmd(mut opts: Vec<String>) -> Result<String, CliError> {
 ///
 /// Returns the summary table; when `--out` is given the full JSON
 /// results are written there (bit-identical for any worker count —
-/// timing goes to stderr only).
-pub fn optimize_cmd(spec_text: &str, mut opts: Vec<String>) -> Result<String, CliError> {
-    let workers = take_opt(&mut opts, "--workers")?
-        .map(|v| {
-            v.parse::<usize>()
-                .map_err(|_| CliError(format!("invalid --workers: '{v}'")))
-        })
-        .transpose()?;
-    let out_path = take_opt(&mut opts, "--out")?;
-    if !opts.is_empty() {
-        return Err(CliError(format!("unrecognized arguments: {opts:?}")));
-    }
-
+/// timing goes to stderr only). See [`run_workload_cmd`] for the shared
+/// `--shard` / `--checkpoint` / `--resume` flags.
+pub fn optimize_cmd(spec_text: &str, opts: Vec<String>) -> Result<String, CliError> {
+    let args = take_workload_args(opts)?;
     let campaign = vardelay_engine::OptimizationCampaign::from_json(spec_text)
         .map_err(|e| CliError(format!("invalid campaign spec: {e}")))?;
-    let mut options = vardelay_engine::SweepOptions::default();
-    if let Some(w) = workers {
-        options = options.with_workers(w);
-    }
-    let started = std::time::Instant::now();
-    let result = vardelay_engine::run_campaign(&campaign, &options)
-        .map_err(|e| CliError(format!("campaign failed: {e}")))?;
-    eprintln!(
-        "campaign '{}': {} runs, {} workers, {:.3} s",
-        result.name,
-        result.runs.len(),
-        options.workers,
-        started.elapsed().as_secs_f64()
-    );
-
-    let mut text = format!(
-        "campaign '{}' — {} runs (seed {})\n\n{}",
-        result.name,
-        result.runs.len(),
-        result.seed,
-        result.summary_table()
-    );
-    if let Some(path) = out_path {
-        std::fs::write(&path, result.to_json())
-            .map_err(|e| CliError(format!("cannot write '{path}': {e}")))?;
-        use std::fmt::Write as _;
-        let _ = writeln!(text, "\nresults written to {path}");
-    }
-    Ok(text)
+    run_workload_cmd("campaign", &campaign, args)
 }
 
 /// `optimize validate` subcommand: full validation and footprint
@@ -396,9 +591,7 @@ pub fn optimize_cmd(spec_text: &str, mut opts: Vec<String>) -> Result<String, Cl
 pub fn optimize_validate_cmd(spec_text: &str) -> Result<String, CliError> {
     let campaign = vardelay_engine::OptimizationCampaign::from_json(spec_text)
         .map_err(|e| CliError(format!("invalid campaign spec: {e}")))?;
-    let plan = vardelay_engine::plan_campaign(&campaign)
-        .map_err(|e| CliError(format!("invalid campaign spec: {e}")))?;
-    Ok(format!("{}\nspec OK\n", plan.render()))
+    validate_workload_cmd("campaign", &campaign)
 }
 
 /// `optimize example` subcommand: the campaign spec template.
@@ -553,6 +746,124 @@ mod tests {
         assert!(run(vec!["optimize".into(), "example".into(), "--frob".into()]).is_err());
         // Trailing junk after fixed-shape subcommands errors too.
         assert!(run(vec!["generate".into(), "c432".into(), "--frob".into()]).is_err());
+        // Malformed workload flags fail loudly as well.
+        assert!(sweep_cmd(&sweep_spec, vec!["--shard".into(), "0/2".into()]).is_err());
+        assert!(sweep_cmd(&sweep_spec, vec!["--shard".into(), "nope".into()]).is_err());
+        assert!(sweep_cmd(&sweep_spec, vec!["--resume".into(), "/no/such/file".into()]).is_err());
+    }
+
+    /// A scratch path under the test temp dir, unique per name.
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("vardelay-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn shard_checkpoint_resume_flags_merge_byte_identically() {
+        // The CLI recipe end to end: shard runs journal to checkpoints,
+        // a resume run over the concatenated journals emits the merged
+        // aggregate — byte-identical to the unsharded run.
+        let mut sweep = vardelay_engine::Sweep::example();
+        sweep.grid = None;
+        for s in &mut sweep.scenarios {
+            s.trials = 300;
+        }
+        let spec = sweep.to_json();
+
+        let full = tmp("full.json");
+        sweep_cmd(&spec, vec!["--out".into(), full.clone()]).unwrap();
+
+        let mut merged_lines = String::new();
+        for i in 1..=2 {
+            let ckpt = tmp(&format!("shard{i}.jsonl"));
+            let out = sweep_cmd(
+                &spec,
+                vec![
+                    "--shard".into(),
+                    format!("{i}/2"),
+                    "--checkpoint".into(),
+                    ckpt.clone(),
+                ],
+            )
+            .unwrap();
+            assert!(out.contains("scenarios"), "{out}");
+            merged_lines.push_str(&std::fs::read_to_string(&ckpt).unwrap());
+        }
+        let all = tmp("all.jsonl");
+        std::fs::write(&all, &merged_lines).unwrap();
+
+        let merged = tmp("merged.json");
+        let out = sweep_cmd(
+            &spec,
+            vec!["--resume".into(), all, "--out".into(), merged.clone()],
+        )
+        .unwrap();
+        assert!(out.contains("2 scenarios"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&full).unwrap(),
+            std::fs::read_to_string(&merged).unwrap(),
+            "shard-merge must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn resume_appends_new_completions_to_the_journal() {
+        let mut sweep = vardelay_engine::Sweep::example();
+        sweep.grid = None;
+        for s in &mut sweep.scenarios {
+            s.trials = 300;
+        }
+        let spec = sweep.to_json();
+
+        let journal = tmp("journal.jsonl");
+        sweep_cmd(&spec, vec!["--checkpoint".into(), journal.clone()]).unwrap();
+        let lines: Vec<String> = std::fs::read_to_string(&journal)
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        assert_eq!(lines.len(), 2, "one journal line per scenario");
+
+        // "Kill": keep the first line only; resume extends the journal
+        // back to completeness (no duplicate for the resumed unit).
+        std::fs::write(&journal, format!("{}\n", lines[0])).unwrap();
+        sweep_cmd(&spec, vec!["--resume".into(), journal.clone()]).unwrap();
+        let after = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(
+            after.lines().count(),
+            2,
+            "journal grew by the new unit only"
+        );
+        assert!(after.starts_with(&lines[0]), "resumed line left in place");
+
+        // A kill mid-append leaves a torn fragment; resuming must drop
+        // it (re-running that unit) rather than fuse appended lines
+        // onto it — the journal stays parseable for the NEXT resume.
+        std::fs::write(
+            &journal,
+            format!("{}\n{}", lines[0], &lines[1][..lines[1].len() / 2]),
+        )
+        .unwrap();
+        sweep_cmd(&spec, vec!["--resume".into(), journal.clone()]).unwrap();
+        let after = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(
+            after.lines().count(),
+            2,
+            "torn fragment dropped, unit re-ran"
+        );
+        sweep_cmd(&spec, vec!["--resume".into(), journal.clone()]).unwrap();
+
+        // Subtler kill: the last line's bytes all made it but its
+        // trailing newline didn't. The line parses (no torn tail), but
+        // appending straight after it would fuse two lines — the
+        // journal must be normalized before the append.
+        std::fs::write(&journal, format!("{}\n{}", lines[0], lines[1])).unwrap();
+        sweep_cmd(&spec, vec!["--resume".into(), journal.clone()]).unwrap();
+        let after = std::fs::read_to_string(&journal).unwrap();
+        assert!(after.ends_with('\n'), "journal normalized");
+        assert_eq!(after.lines().count(), 2, "both units resumed, no fusion");
+        sweep_cmd(&spec, vec!["--resume".into(), journal.clone()]).unwrap();
     }
 
     #[test]

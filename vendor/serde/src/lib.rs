@@ -112,6 +112,21 @@ fn type_err<T>(want: &str, got: &Value) -> Result<T, Error> {
     Err(Error::new(format!("expected {want}, found {kind}")))
 }
 
+// The value model is trivially its own wire form (real serde_json's
+// `Value` has the same property) — callers that need to embed raw JSON
+// fragments, like the engine's checkpoint lines, rely on it.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
