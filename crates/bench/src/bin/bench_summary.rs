@@ -1,11 +1,14 @@
-//! Machine-readable performance summary: writes `BENCH_5.json`.
+//! Machine-readable performance summary: writes `BENCH_6.json`.
 //!
 //! CI runs this after the criterion benches so the perf trajectory is
 //! tracked as data, not just as log lines: campaign wall-clock per
-//! backend, sizing throughput on both kernels (the old-vs-new ratio is
-//! the incremental kernel's headline), raw retime-probe cost, and the
-//! Monte-Carlo verification throughput in trials/sec. Timings are the
-//! median of `SAMPLES` runs on a warmed process.
+//! backend **with its phase breakdown** (sizing / criticality / MC
+//! verification ms, attributed by the `vardelay-obs` metrics layer
+//! instead of hand-placed timers), sizing throughput on both kernels
+//! (the old-vs-new ratio is the incremental kernel's headline), raw
+//! retime-probe cost, and the Monte-Carlo verification throughput in
+//! trials/sec. Timings are the median of `SAMPLES` runs on a warmed
+//! process.
 //!
 //! With `--baseline <prev.json>` the run also **gates regressions**:
 //! if the incremental-kernel speedup or the MC verification throughput
@@ -15,7 +18,7 @@
 //! across hosts, which is why the tolerance is a generous 20%.
 //!
 //! Usage: `cargo run --release -p vardelay-bench --bin bench_summary
-//! [out.json] [--baseline prev.json]` (default out `BENCH_5.json`).
+//! [out.json] [--baseline prev.json]` (default out `BENCH_6.json`).
 
 use std::time::Instant;
 
@@ -44,6 +47,39 @@ fn median_ms(mut f: impl FnMut()) -> f64 {
         .collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
     times[times.len() / 2]
+}
+
+/// Phase attribution of one campaign run, read off the obs aggregate.
+struct CampaignSample {
+    wall_ms: f64,
+    sizing_ms: f64,
+    criticality_ms: f64,
+    mc_verify_ms: f64,
+}
+
+/// Runs `f` under a recording session [`SAMPLES`] times and returns the
+/// median-wall-clock sample with its phase breakdown. The span overhead
+/// is in the nanoseconds per sizing move — noise at campaign scale —
+/// and identical across PRs, so medians stay comparable.
+fn median_traced(mut f: impl FnMut()) -> CampaignSample {
+    let ns_to_ms = |ns: u64| ns as f64 / 1e6;
+    let mut samples: Vec<CampaignSample> = (0..SAMPLES)
+        .map(|_| {
+            let session = vardelay_obs::Session::start();
+            let t = Instant::now();
+            f();
+            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            let agg = vardelay_obs::aggregate(&session.finish());
+            CampaignSample {
+                wall_ms,
+                sizing_ms: ns_to_ms(agg.phase_ns("opt/size_stage")),
+                criticality_ms: ns_to_ms(agg.phase_ns("opt/criticality")),
+                mc_verify_ms: ns_to_ms(agg.phase_ns("mc/verify")),
+            }
+        })
+        .collect();
+    samples.sort_by(|a, b| a.wall_ms.partial_cmp(&b.wall_ms).expect("finite times"));
+    samples.remove(samples.len() / 2)
 }
 
 fn campaign(backend: YieldBackendSpec) -> OptimizationCampaign {
@@ -113,19 +149,29 @@ fn main() {
         eprintln!("usage: bench_summary [out.json] [--baseline prev.json]");
         std::process::exit(2);
     }
-    let out_path = args.pop().unwrap_or_else(|| "BENCH_5.json".to_owned());
+    let out_path = args.pop().unwrap_or_else(|| "BENCH_6.json".to_owned());
 
-    // --- Campaign wall-clock per backend (determinism asserted). ---
-    let mut campaign_ms = Vec::new();
+    // --- Campaign wall-clock + phase breakdown per backend. ---
+    // Determinism is asserted both across worker counts and across the
+    // traced/untraced boundary: recording spans must not change bytes.
+    let mut campaign_samples = Vec::new();
     for backend in [YieldBackendSpec::Analytic, YieldBackendSpec::Netlist] {
         let spec = campaign(backend);
         let a = run_campaign(&spec, &SweepOptions::sequential()).unwrap();
         let b = run_campaign(&spec, &SweepOptions::sequential().with_workers(4)).unwrap();
         assert_eq!(a.to_json(), b.to_json(), "worker count must not matter");
-        let ms = median_ms(|| {
+        let session = vardelay_obs::Session::start();
+        let traced = run_campaign(&spec, &SweepOptions::sequential()).unwrap();
+        drop(session.finish());
+        assert_eq!(
+            a.to_json(),
+            traced.to_json(),
+            "tracing must not change bytes"
+        );
+        let sample = median_traced(|| {
             std::hint::black_box(run_campaign(&spec, &SweepOptions::sequential()).unwrap());
         });
-        campaign_ms.push((backend.keyword(), ms));
+        campaign_samples.push((backend.keyword(), sample));
     }
 
     // --- Sizing throughput: incremental vs full-pass kernel. ---
@@ -209,16 +255,28 @@ fn main() {
 
     // Hand-rendered JSON: fixed key order, no dependency on map
     // iteration, so the artifact diffs cleanly between PRs.
+    let phase_block = |s: &CampaignSample| {
+        format!(
+            "{{\n      \"sizing\": {:.3},\n      \"criticality\": {:.3},\n      \
+             \"mc_verify\": {:.3}\n    }}",
+            s.sizing_ms, s.criticality_ms, s.mc_verify_ms
+        )
+    };
     let json = format!(
-        "{{\n  \"pr\": 5,\n  \"campaign_ms\": {{\n    \"{}\": {:.3},\n    \"{}\": {:.3}\n  }},\n  \
+        "{{\n  \"pr\": 6,\n  \"campaign_ms\": {{\n    \"{}\": {:.3},\n    \"{}\": {:.3}\n  }},\n  \
+         \"campaign_phases_ms\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \
          \"sizing\": {{\n    \"size_stage_200g_ms\": {:.4},\n    \"size_stage_200g_full_pass_ms\": {:.4},\n    \
          \"kernel_speedup\": {:.3}\n  }},\n  \"retime_probe\": {{\n    \"incremental_us\": {:.3},\n    \
          \"full_pass_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"mc_verification\": {{\n    \
          \"trials_per_sec\": {:.0}\n  }}\n}}",
-        campaign_ms[0].0,
-        campaign_ms[0].1,
-        campaign_ms[1].0,
-        campaign_ms[1].1,
+        campaign_samples[0].0,
+        campaign_samples[0].1.wall_ms,
+        campaign_samples[1].0,
+        campaign_samples[1].1.wall_ms,
+        campaign_samples[0].0,
+        phase_block(&campaign_samples[0].1),
+        campaign_samples[1].0,
+        phase_block(&campaign_samples[1].1),
         size_inc_ms,
         size_full_ms,
         size_full_ms / size_inc_ms,

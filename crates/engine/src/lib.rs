@@ -101,6 +101,6 @@ pub use spec::{
     VariationSpec,
 };
 pub use workload::{
-    checkpoint_line, plan_workload, run_units, run_workload, Checkpoint, Shard, Workload,
-    WorkloadOptions, WorkloadPlan, WorkloadReport, WorkloadStats,
+    checkpoint_line, plan_workload, run_units, run_workload, Checkpoint, Progress, ProgressUpdate,
+    Shard, Workload, WorkloadOptions, WorkloadPlan, WorkloadReport, WorkloadStats,
 };

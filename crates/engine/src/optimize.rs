@@ -638,29 +638,34 @@ fn execute_run(p: &PreparedRun, ws: &mut TrialWorkspace) -> OptimizationRunResul
 
     // Resolve the target and the individually-optimized baseline (the
     // Fig. 9 flow's stated input) from the pipeline prepare_run built.
-    let resolved = spec
-        .target_delay
-        .resolve(&opt, &p.pipeline, spec.yield_target);
+    let resolved = {
+        let _sp = vardelay_obs::span("opt", "resolve_target").key(p.id);
+        spec.target_delay
+            .resolve(&opt, &p.pipeline, spec.yield_target)
+    };
     let target = resolved.target_ps;
 
     let mc = PipelineMc::new(lib, variation, None);
-    let (optimized, report) = match spec.yield_backend {
-        YieldBackendSpec::Analytic => opt.optimize_with(
-            &resolved.baseline,
-            target,
-            spec.yield_target,
-            spec.goal,
-            &AnalyticYieldEval,
-        ),
-        YieldBackendSpec::Netlist => {
-            let eval = NetlistMcYieldEval::new(mc.clone(), spec.eval_trials, p.id);
-            opt.optimize_with(
+    let (optimized, report) = {
+        let _sp = vardelay_obs::span("opt", "flow").key(p.id);
+        match spec.yield_backend {
+            YieldBackendSpec::Analytic => opt.optimize_with(
                 &resolved.baseline,
                 target,
                 spec.yield_target,
                 spec.goal,
-                &eval,
-            )
+                &AnalyticYieldEval,
+            ),
+            YieldBackendSpec::Netlist => {
+                let eval = NetlistMcYieldEval::new(mc.clone(), spec.eval_trials, p.id);
+                opt.optimize_with(
+                    &resolved.baseline,
+                    target,
+                    spec.yield_target,
+                    spec.goal,
+                    &eval,
+                )
+            }
         }
     };
 
@@ -675,10 +680,14 @@ fn execute_run(p: &PreparedRun, ws: &mut TrialWorkspace) -> OptimizationRunResul
         let timing = engine.analyze_pipeline(pipe);
         let analytic = AnalyticYieldEval::yield_of(&timing, target);
         let mc_check = (spec.verify_trials > 0).then(|| {
+            let _sp = vardelay_obs::span("mc", "verify")
+                .key(p.id)
+                .value(spec.verify_trials as f64);
             let prepared = PreparedPipelineMc::new(&mc, pipe);
             let mut stats = PipelineBlockStats::new(pipe.stage_count(), &[target]);
             let seed_of = |t| trial_seed(p.id ^ salt, t);
             prepared.run_block(ws, 0..spec.verify_trials, seed_of, &mut stats);
+            vardelay_obs::counter("trials", spec.verify_trials);
             let est = stats.yield_estimate(0);
             let stage_means: Vec<f64> = stats.stage_stats().iter().map(|s| s.mean()).collect();
             let stage_sds: Vec<f64> = stats.stage_stats().iter().map(|s| s.sample_sd()).collect();
@@ -767,6 +776,18 @@ impl Workload for OptimizationCampaign {
         // The sizing flow is sequential by nature (each round feeds the
         // next); a run parallelizes across the campaign, not within.
         1
+    }
+
+    fn step_trials(&self, unit: &PreparedRun, _step: usize) -> u64 {
+        // Display-only ETA estimate: two verification streams (the
+        // optimized design and the baseline), plus the in-loop netlist
+        // MC evaluations when that backend is selected.
+        let spec = &unit.spec;
+        let in_loop = match spec.yield_backend {
+            YieldBackendSpec::Analytic => 0,
+            YieldBackendSpec::Netlist => spec.eval_trials.saturating_mul(spec.rounds as u64 + 1),
+        };
+        spec.verify_trials.saturating_mul(2).saturating_add(in_loop)
     }
 
     fn init_acc(&self, _unit: &PreparedRun) -> Option<OptimizationRunResult> {

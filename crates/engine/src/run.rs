@@ -135,9 +135,13 @@ pub(crate) fn dispatch<T: Send>(
 ) {
     let workers = workers.max(1).min(items.max(1));
     if workers <= 1 {
+        let _worker = vardelay_obs::span("pool", "worker").value(0.0);
         let mut ws = TrialWorkspace::new();
         for k in 0..items {
-            let out = work(k, &mut ws);
+            let out = {
+                let _exec = vardelay_obs::span("pool", "exec");
+                work(k, &mut ws)
+            };
             if !consume(k, out) {
                 return;
             }
@@ -151,26 +155,43 @@ pub(crate) fn dispatch<T: Send>(
         let work = &work;
         let cursor = &cursor;
         let cancel = &cancel;
-        for _ in 0..workers {
+        for wi in 0..workers {
             let tx = tx.clone();
             scope.spawn(move || {
-                let mut ws = TrialWorkspace::new();
-                loop {
-                    if cancel.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    if k >= items {
-                        break;
-                    }
-                    if tx.send((k, work(k, &mut ws))).is_err() {
-                        break; // receiver gone; nothing left to report
+                {
+                    let _worker = vardelay_obs::span("pool", "worker").value(wi as f64);
+                    let mut ws = TrialWorkspace::new();
+                    loop {
+                        if cancel.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        if k >= items {
+                            break;
+                        }
+                        let out = {
+                            let _exec = vardelay_obs::span("pool", "exec");
+                            work(k, &mut ws)
+                        };
+                        if tx.send((k, out)).is_err() {
+                            break; // receiver gone; nothing left to report
+                        }
                     }
                 }
+                // The scope unblocks when this closure returns, before
+                // thread-local destructors run — flush now so a session
+                // finishing right after the pool cannot miss this
+                // thread's buffer.
+                vardelay_obs::flush_thread();
             });
         }
         drop(tx);
-        for (k, out) in rx {
+        loop {
+            let received = {
+                let _wait = vardelay_obs::span("pool", "recv_wait");
+                rx.recv()
+            };
+            let Ok((k, out)) = received else { break };
             if !consume(k, out) {
                 cancel.store(true, Ordering::Relaxed);
             }
@@ -355,12 +376,15 @@ pub(crate) fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, E
 
 /// Runs one block of trials of one prepared scenario.
 fn run_block(p: &Prepared, ws: &mut TrialWorkspace, trials: Range<u64>) -> PipelineBlockStats {
+    let n = trials.end.saturating_sub(trials.start);
+    let _sp = vardelay_obs::span("mc", "block").key(p.id).value(n as f64);
     let mut stats = PipelineBlockStats::new(p.stage_count, &p.targets);
     if let Some(spec) = p.histogram {
         stats = stats.with_histogram(spec);
     }
     let sim = p.sim.as_ref().expect("blocks only exist for MC scenarios");
     sim.run_block(ws, p.id, trials, &mut stats);
+    vardelay_obs::counter("trials", n);
     stats
 }
 
@@ -414,6 +438,11 @@ impl Workload for Sweep {
         } else {
             0
         }
+    }
+
+    fn step_trials(&self, unit: &Prepared, step: usize) -> u64 {
+        let start = step as u64 * BLOCK_TRIALS;
+        (start + BLOCK_TRIALS).min(unit.scenario.trials) - start
     }
 
     fn init_acc(&self, _unit: &Prepared) -> Option<PipelineBlockStats> {

@@ -100,6 +100,12 @@ pub trait Workload: Sync {
     /// How many scheduling steps the unit expands into (0 finishes the
     /// unit from its empty accumulator, running nothing).
     fn unit_steps(&self, unit: &Self::Unit) -> usize;
+    /// Approximate Monte-Carlo trials one step will execute — feeds
+    /// progress/ETA display only and must never affect results.
+    /// Defaults to 0 (unknown).
+    fn step_trials(&self, _unit: &Self::Unit, _step: usize) -> u64 {
+        0
+    }
     /// A fresh accumulator for the unit.
     fn init_acc(&self, unit: &Self::Unit) -> Self::Acc;
     /// Runs one step. Must be a pure function of `(unit, step)`; the
@@ -300,8 +306,34 @@ fn parse_checkpoint_line<R: Deserialize>(line: &str) -> Result<(u64, R), serde::
     Ok((id, result))
 }
 
+/// Live progress observer for [`run_units`] — called on the calling
+/// thread after each unit disposition and step completion. Strictly
+/// observational: implementations must not feed anything back into
+/// execution.
+pub trait Progress {
+    /// Receives the latest cumulative progress snapshot.
+    fn update(&self, p: &ProgressUpdate);
+}
+
+/// A cumulative progress snapshot (totals are fixed for the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressUpdate {
+    /// Units completed so far (resumed, zero-step, or executed).
+    pub units_done: usize,
+    /// Units this run is responsible for.
+    pub units_total: usize,
+    /// Scheduled steps completed so far.
+    pub steps_done: usize,
+    /// Scheduled steps in the whole run (excludes resumed units).
+    pub steps_total: usize,
+    /// Estimated Monte-Carlo trials completed ([`Workload::step_trials`]).
+    pub trials_done: u64,
+    /// Estimated trials the scheduled steps will run in total.
+    pub trials_total: u64,
+}
+
 /// Execution options for [`run_workload`] / [`run_units`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct WorkloadOptions<'a, R> {
     /// Worker threads; 1 runs everything on the calling thread. Never
     /// affects results, only wall-clock time.
@@ -310,6 +342,19 @@ pub struct WorkloadOptions<'a, R> {
     pub shard: Option<Shard>,
     /// Completed units to splice in instead of re-running.
     pub resume: Option<&'a Checkpoint<R>>,
+    /// Live progress observer (display only; never affects results).
+    pub progress: Option<&'a dyn Progress>,
+}
+
+impl<R> std::fmt::Debug for WorkloadOptions<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadOptions")
+            .field("workers", &self.workers)
+            .field("shard", &self.shard)
+            .field("resume_units", &self.resume.map(Checkpoint::len))
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
 }
 
 impl<R> WorkloadOptions<'_, R> {
@@ -319,6 +364,7 @@ impl<R> WorkloadOptions<'_, R> {
             workers: 1,
             shard: None,
             resume: None,
+            progress: None,
         }
     }
 
@@ -342,6 +388,13 @@ impl<'a, R> WorkloadOptions<'a, R> {
     #[must_use]
     pub fn with_resume(mut self, checkpoint: &'a Checkpoint<R>) -> Self {
         self.resume = Some(checkpoint);
+        self
+    }
+
+    /// Attaches a live progress observer.
+    #[must_use]
+    pub fn with_progress(mut self, progress: &'a dyn Progress) -> Self {
+        self.progress = Some(progress);
         self
     }
 }
@@ -418,13 +471,17 @@ pub fn run_units<W: Workload>(
     struct Item {
         unit: usize,
         step: usize,
+        trials: u64,
     }
     let mut items: Vec<Item> = Vec::new();
     let mut foldings: Vec<Option<Folding<W::Acc, W::StepOut>>> = Vec::with_capacity(units.len());
+    let mut units_done = 0usize;
     for (i, u) in units.iter().enumerate() {
         let key = stats.keys[i];
         if let Some(result) = opts.resume.and_then(|c| c.get(key)) {
             stats.resumed += 1;
+            units_done += 1;
+            vardelay_obs::instant("unit", "resumed", Some(key));
             foldings.push(None);
             sink(i, key, result.clone(), true)?;
             continue;
@@ -432,12 +489,17 @@ pub fn run_units<W: Workload>(
         stats.executed += 1;
         let total = w.unit_steps(u);
         if total == 0 {
+            units_done += 1;
             foldings.push(None);
             sink(i, key, w.finish_unit(u, w.init_acc(u)), false)?;
             continue;
         }
         stats.steps += total;
-        items.extend((0..total).map(|step| Item { unit: i, step }));
+        items.extend((0..total).map(|step| Item {
+            unit: i,
+            step,
+            trials: w.step_trials(u, step),
+        }));
         foldings.push(Some(Folding {
             acc: w.init_acc(u),
             next: 0,
@@ -446,32 +508,63 @@ pub fn run_units<W: Workload>(
         }));
     }
 
+    let trials_total: u64 = items.iter().map(|it| it.trials).sum();
+    let mut steps_done = 0usize;
+    let mut trials_done = 0u64;
+    let report_progress = |units_done: usize, steps_done: usize, trials_done: u64| {
+        if let Some(p) = opts.progress {
+            p.update(&ProgressUpdate {
+                units_done,
+                units_total: stats.units,
+                steps_done,
+                steps_total: stats.steps,
+                trials_done,
+                trials_total,
+            });
+        }
+    };
+    report_progress(units_done, steps_done, trials_done);
+
     let mut sink_err: Option<EngineError> = None;
     dispatch(
         items.len(),
         opts.workers,
         |k, ws| {
             let item = &items[k];
+            let _sp = vardelay_obs::span("step", w.unit_noun())
+                .key(stats.keys[item.unit])
+                .value(item.step as f64);
             w.run_step(&units[item.unit], item.step, ws)
         },
         |k, out| {
             let item = &items[k];
             let f = foldings[item.unit].as_mut().expect("scheduled units fold");
             f.pending.insert(item.step, out);
-            while let Some(out) = f.pending.remove(&f.next) {
-                w.fold_step(&units[item.unit], &mut f.acc, out);
-                f.next += 1;
+            {
+                let _fold = vardelay_obs::span("pool", "fold");
+                while let Some(out) = f.pending.remove(&f.next) {
+                    w.fold_step(&units[item.unit], &mut f.acc, out);
+                    f.next += 1;
+                }
             }
+            steps_done += 1;
+            trials_done += item.trials;
             if f.next == f.total {
                 let f = foldings[item.unit].take().expect("folded once");
                 assert!(f.pending.is_empty(), "steps beyond the unit's total");
-                let result = w.finish_unit(&units[item.unit], f.acc);
+                let key = stats.keys[item.unit];
+                let result = {
+                    let _finish = vardelay_obs::span("unit", "finish").key(key);
+                    w.finish_unit(&units[item.unit], f.acc)
+                };
+                units_done += 1;
                 if sink_err.is_none() {
-                    if let Err(e) = sink(item.unit, stats.keys[item.unit], result, false) {
+                    if let Err(e) = sink(item.unit, key, result, false) {
                         sink_err = Some(e);
                     }
                 }
             }
+            report_progress(units_done, steps_done, trials_done);
             // `false` after a sink failure cancels unclaimed steps —
             // their results would have nowhere to go.
             sink_err.is_none()

@@ -214,23 +214,26 @@ impl GlobalPipelineOptimizer {
         let areas0 = pipeline.stage_areas();
         let y_stage = stage_yield_target(yield_target, ns);
 
-        let slopes: Vec<f64> = (0..ns)
-            .map(|i| {
-                let region = engine
-                    .grid()
-                    .map_or(0, |g| g.region_of(pipeline.positions()[i]));
-                let d_now = timing0.stage_delays[i].mean();
-                let targets = [d_now * 0.92, d_now * 1.0, d_now * 1.12];
-                let curve = AreaDelayCurve::generate(
-                    &self.sizer,
-                    &pipeline.stages()[i],
-                    region,
-                    &targets,
-                    y_stage,
-                );
-                curve.normalized_slope(d_now).unwrap_or(1.0)
-            })
-            .collect();
+        let slopes: Vec<f64> = {
+            let _sp = vardelay_obs::span("opt", "sizing_probes").value(ns as f64);
+            (0..ns)
+                .map(|i| {
+                    let region = engine
+                        .grid()
+                        .map_or(0, |g| g.region_of(pipeline.positions()[i]));
+                    let d_now = timing0.stage_delays[i].mean();
+                    let targets = [d_now * 0.92, d_now * 1.0, d_now * 1.12];
+                    let curve = AreaDelayCurve::generate(
+                        &self.sizer,
+                        &pipeline.stages()[i],
+                        region,
+                        &targets,
+                        y_stage,
+                    );
+                    curve.normalized_slope(d_now).unwrap_or(1.0)
+                })
+                .collect()
+        };
 
         // --- Step 2: order stages by slope (cheap delay first). ---
         let order = order_by_slope(&slopes);
@@ -319,6 +322,7 @@ impl GlobalPipelineOptimizer {
         let areas_f = final_pipe.stage_areas();
 
         let criticality = |timing: &PipelineTiming| -> Vec<f64> {
+            let _sp = vardelay_obs::span("opt", "criticality").value(20_000.0);
             let stages: Vec<StageDelay> = timing
                 .stage_delays
                 .iter()

@@ -242,6 +242,7 @@ impl StatisticalSizer {
         target_ps: f64,
         kappa: f64,
     ) -> SizingResult {
+        let _sp = vardelay_obs::span("opt", "size_stage").value(netlist.gate_count() as f64);
         match self.kernel {
             SizingKernel::Incremental => {
                 self.size_stage_kappa_incremental(netlist, region, target_ps, kappa)
@@ -305,6 +306,7 @@ impl StatisticalSizer {
         // Corrective loop: the guard band uses the σ from the start of each
         // pass, which drifts as sizes change. Enforce the true statistical
         // constraint directly for the last few percent.
+        let _corr = vardelay_obs::span("opt", "corrective");
         let mut corrective = 0usize;
         while corrective < cfg.max_upsize_iters {
             let stat = ssta.stage_delay(&timer);
@@ -328,6 +330,7 @@ impl StatisticalSizer {
             moves += 1;
             corrective += 1;
         }
+        drop(_corr);
 
         let stat = ssta.stage_delay(&timer);
         let stat_delay = stat.mean() + kappa * stat.sd();
@@ -546,6 +549,7 @@ impl StatisticalSizer {
             }
         }
 
+        let _corr = vardelay_obs::span("opt", "corrective");
         let mut corrective = 0usize;
         while corrective < cfg.max_upsize_iters {
             let stat = self.engine.stage_delay(&work, region);
@@ -561,6 +565,7 @@ impl StatisticalSizer {
             moves += 1;
             corrective += 1;
         }
+        drop(_corr);
 
         let stat = self.engine.stage_delay(&work, region);
         let stat_delay = stat.mean() + kappa * stat.sd();

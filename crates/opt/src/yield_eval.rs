@@ -156,6 +156,9 @@ impl PipelineYieldEval for NetlistMcYieldEval {
         _timing: &PipelineTiming,
         target_ps: f64,
     ) -> f64 {
+        let _sp = vardelay_obs::span("opt", "yield_eval")
+            .key(self.run_id)
+            .value(self.trials as f64);
         let e = self.evals.get();
         self.evals.set(e + 1);
         let mut slot = self.prepared.borrow_mut();
@@ -167,11 +170,13 @@ impl PipelineYieldEval for NetlistMcYieldEval {
             None => slot.insert(PreparedPipelineMc::new(&self.mc, pipeline)),
         };
         let mut ws = self.ws.borrow_mut();
-        prepared
+        let y = prepared
             .yield_at_target(&mut ws, target_ps, 0..self.trials, |t| {
                 counter_seed(self.run_id ^ EVAL_SALT, (e << EVAL_TRIAL_BITS) | t)
             })
-            .value
+            .value;
+        vardelay_obs::counter("trials", self.trials);
+        y
     }
 
     fn label(&self) -> &'static str {

@@ -16,7 +16,12 @@
 //! Both workload subcommands share one driver ([`run_workload_cmd`])
 //! and one set of production flags: `--workers`, `--out` (incremental
 //! JSONL stream + atomic aggregate), `--shard i/n`, `--checkpoint`,
-//! `--resume` — all byte-exact by the engine's determinism contract.
+//! `--resume` — all byte-exact by the engine's determinism contract —
+//! plus the out-of-band observability flags `--trace` (Chrome trace
+//! JSON), `--metrics` (aggregated phase/counter JSON) and `--progress`
+//! (live stderr line), none of which can change a result byte. The
+//! `report` subcommand (see [`crate::report`]) prints the phase
+//! breakdown of a `--trace`/`--metrics` file.
 //!
 //! Every subcommand rejects unrecognized flags/arguments outright —
 //! like the spec files' unknown-key rejection, a typo'd option must
@@ -94,6 +99,19 @@ USAGE:
                           Resuming from the concatenated checkpoints of
                           all n shards IS the shard merge.
 
+      Observability flags (shared with optimize; strictly out-of-band —
+      result bytes, journals and --out files are bit-identical with and
+      without them, at any worker/shard count):
+        --trace f         write a Chrome trace-event JSON of the run
+                          (open at https://ui.perfetto.dev or in
+                          chrome://tracing)
+        --metrics f       write aggregated metrics JSON: wall time per
+                          phase, trials/s, worker utilization, units
+                          executed vs resumed-from-journal
+        --progress        live single-line progress on stderr (units,
+                          steps, trials/s, ETA), throttled; never
+                          touches stdout or the --out/journal streams
+
   vardelay sweep validate <spec.json>
       Lint a spec without running it: expand, validate every scenario,
       and report the scenario count, trial total and block count.
@@ -125,6 +143,11 @@ USAGE:
   vardelay optimize example
       Print an example campaign spec (JSON) to adapt.
 
+  vardelay report <trace.json|metrics.json>
+      Print the phase breakdown table of a --trace or --metrics file:
+      wall time per phase (count, total, mean, share of wall), trial
+      throughput, worker utilization, units executed vs resumed.
+
   vardelay help
       This text.
 "
@@ -142,6 +165,16 @@ fn take_opt(args: &mut Vec<String>, key: &str) -> Result<Option<String>, CliErro
         Ok(Some(v))
     } else {
         Ok(None)
+    }
+}
+
+/// Parses a bare `--flag` (no value) out of an argument list.
+fn take_flag(args: &mut Vec<String>, key: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == key) {
+        args.remove(i);
+        true
+    } else {
+        false
     }
 }
 
@@ -301,6 +334,9 @@ struct WorkloadArgs {
     shard: Option<Shard>,
     checkpoint: Option<String>,
     resume: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
+    progress: bool,
 }
 
 fn take_workload_args(mut opts: Vec<String>) -> Result<WorkloadArgs, CliError> {
@@ -316,6 +352,9 @@ fn take_workload_args(mut opts: Vec<String>) -> Result<WorkloadArgs, CliError> {
         .transpose()?;
     let checkpoint = take_opt(&mut opts, "--checkpoint")?;
     let resume = take_opt(&mut opts, "--resume")?;
+    let trace = take_opt(&mut opts, "--trace")?;
+    let metrics = take_opt(&mut opts, "--metrics")?;
+    let progress = take_flag(&mut opts, "--progress");
     if !opts.is_empty() {
         return Err(CliError(format!("unrecognized arguments: {opts:?}")));
     }
@@ -325,7 +364,104 @@ fn take_workload_args(mut opts: Vec<String>) -> Result<WorkloadArgs, CliError> {
         shard,
         checkpoint,
         resume,
+        trace,
+        metrics,
+        progress,
     })
+}
+
+/// Live single-line progress on stderr (`--progress`).
+///
+/// Strictly observational: it reads the engine's [`ProgressUpdate`]s and
+/// writes only to stderr, so it can never perturb results, `--out`
+/// streams or checkpoint journals (which go to files / stdout). Updates
+/// are throttled to one repaint per 100 ms; the line is erased before
+/// the run summary prints so the two never interleave.
+struct StderrProgress {
+    started: std::time::Instant,
+    last_print: std::cell::Cell<Option<std::time::Instant>>,
+    last_len: std::cell::Cell<usize>,
+}
+
+impl StderrProgress {
+    fn new() -> Self {
+        StderrProgress {
+            started: std::time::Instant::now(),
+            last_print: std::cell::Cell::new(None),
+            last_len: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Erases the progress line so subsequent stderr output starts clean.
+    fn clear(&self) {
+        use std::io::Write as _;
+        if self.last_len.get() > 0 {
+            eprint!("\r{}\r", " ".repeat(self.last_len.get()));
+            let _ = std::io::stderr().flush();
+            self.last_len.set(0);
+        }
+    }
+}
+
+/// `12345678` -> `12.3M`, for the progress line's trial counts.
+fn human(n: u64) -> String {
+    let f = n as f64;
+    if f >= 10e6 {
+        format!("{:.1}M", f / 1e6)
+    } else if f >= 10e3 {
+        format!("{:.1}k", f / 1e3)
+    } else {
+        format!("{n}")
+    }
+}
+
+impl vardelay_engine::Progress for StderrProgress {
+    fn update(&self, p: &vardelay_engine::ProgressUpdate) {
+        use std::io::Write as _;
+        let now = std::time::Instant::now();
+        let done = p.steps_done >= p.steps_total;
+        // Throttle repaints, but always paint the final state.
+        if !done {
+            if let Some(last) = self.last_print.get() {
+                if now.duration_since(last).as_millis() < 100 {
+                    return;
+                }
+            }
+        }
+        self.last_print.set(Some(now));
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            p.trials_done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let frac = if p.trials_total > 0 {
+            p.trials_done as f64 / p.trials_total as f64
+        } else if p.steps_total > 0 {
+            p.steps_done as f64 / p.steps_total as f64
+        } else {
+            1.0
+        };
+        let eta = if frac > 0.0 && frac < 1.0 {
+            format!(", eta {:.0}s", elapsed * (1.0 - frac) / frac)
+        } else {
+            String::new()
+        };
+        let line = format!(
+            "  {}/{} units, {}/{} trials ({:.0}%), {} trials/s{eta}",
+            p.units_done,
+            p.units_total,
+            human(p.trials_done),
+            human(p.trials_total),
+            100.0 * frac,
+            human(rate.round().max(0.0) as u64),
+        );
+        // Pad over the previous (possibly longer) line before `\r`.
+        let pad = self.last_len.get().saturating_sub(line.len());
+        eprint!("\r{line}{}", " ".repeat(pad));
+        let _ = std::io::stderr().flush();
+        self.last_len.set(line.len());
+    }
 }
 
 /// Writes `contents` to `path` atomically (temp file + rename), so an
@@ -359,6 +495,11 @@ where
     W::Report: WorkloadReport,
 {
     let io_err = |path: &str, e: &dyn std::fmt::Display| CliError(format!("'{path}': {e}"));
+    // Recording is on only when asked for; otherwise every span/counter
+    // call in the engine is a single relaxed atomic load. Either way the
+    // instrumentation is out-of-band: result bytes are identical.
+    let session =
+        (args.trace.is_some() || args.metrics.is_some()).then(vardelay_obs::Session::start);
     let resume_ckpt: Option<Checkpoint<W::UnitResult>> = match &args.resume {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
@@ -391,6 +532,7 @@ where
         None => None,
     };
 
+    let progress = args.progress.then(StderrProgress::new);
     let mut options: WorkloadOptions<'_, W::UnitResult> = WorkloadOptions::sequential()
         .with_workers(
             args.workers
@@ -401,6 +543,9 @@ where
     }
     if let Some(ckpt) = &resume_ckpt {
         options = options.with_resume(ckpt);
+    }
+    if let Some(p) = &progress {
+        options = options.with_progress(p);
     }
 
     // Sinks. The journal (`--checkpoint`, or the `--resume` file itself)
@@ -440,6 +585,7 @@ where
             .then(|| checkpoint_line(id, &result));
         if let Some((path, f)) = &mut journal {
             if !journal_skips {
+                let _sp = vardelay_obs::span("io", "journal").key(id);
                 writeln!(
                     f,
                     "{}",
@@ -450,6 +596,7 @@ where
             }
         }
         if let Some((path, f)) = &mut out_stream {
+            let _sp = vardelay_obs::span("io", "stream").key(id);
             writeln!(f, "{}", line.as_deref().expect("line built for the stream"))
                 .and_then(|()| f.flush())
                 .map_err(|e| EngineError::new(format!("'{path}': {e}")))?;
@@ -463,8 +610,12 @@ where
         Ok(())
     })
     .map_err(|e| CliError(format!("{kind} failed: {e}")))?;
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     drop(journal);
     drop(out_stream);
+    if let Some(p) = &progress {
+        p.clear();
+    }
 
     let noun = w.unit_noun();
     let shard_note = args
@@ -482,6 +633,21 @@ where
         options.workers,
         started.elapsed().as_secs_f64()
     );
+    let torn_tail = resume_ckpt.as_ref().is_some_and(Checkpoint::torn_tail);
+    if args.resume.is_some() {
+        let torn = if torn_tail {
+            " (torn tail normalized)"
+        } else {
+            ""
+        };
+        eprintln!(
+            "resume: {} {noun}s spliced from journal, {} executed{torn}",
+            stats.resumed, stats.executed
+        );
+    }
+    // Stop recording before the aggregate reassembly below: the
+    // recording covers exactly the run.
+    let recording = session.map(vardelay_obs::Session::finish);
 
     // Assemble the aggregate: from memory, or — when it was streamed —
     // by reading the JSONL back, so the run itself buffered nothing.
@@ -517,6 +683,29 @@ where
     if let Some(path) = &args.out {
         write_atomic(path, &report.to_json())?;
         let _ = writeln!(text, "\nresults written to {path}");
+    }
+    if let Some(rec) = &recording {
+        if let Some(path) = &args.trace {
+            let trace = vardelay_obs::chrome_trace(rec, &format!("vardelay {kind} '{}'", w.name()));
+            write_atomic(path, &trace)?;
+            let _ = writeln!(text, "\ntrace written to {path}");
+        }
+        if let Some(path) = &args.metrics {
+            let info = vardelay_obs::RunInfo {
+                kind,
+                name: w.name(),
+                workers: options.workers,
+                wall_ms,
+                units_total: stats.units,
+                units_executed: stats.executed,
+                units_resumed: stats.resumed,
+                torn_tail_normalized: torn_tail,
+                steps: stats.steps,
+            };
+            let metrics = vardelay_obs::metrics_json(&info, &vardelay_obs::aggregate(rec));
+            write_atomic(path, &metrics)?;
+            let _ = writeln!(text, "\nmetrics written to {path}");
+        }
     }
     Ok(text)
 }
@@ -662,6 +851,15 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
                 optimize_cmd(&text, args[2..].to_vec())
             }
         },
+        Some("report") => {
+            let file = args.get(1).ok_or_else(|| {
+                CliError("report requires a --trace or --metrics file".to_owned())
+            })?;
+            no_more_args("report", &args[2..])?;
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| CliError(format!("cannot read '{file}': {e}")))?;
+            crate::report::report_cmd(file, &text)
+        }
         Some("generate") => {
             let which = args
                 .get(1)
@@ -864,6 +1062,111 @@ mod tests {
         assert!(after.ends_with('\n'), "journal normalized");
         assert_eq!(after.lines().count(), 2, "both units resumed, no fusion");
         sweep_cmd(&spec, vec!["--resume".into(), journal.clone()]).unwrap();
+    }
+
+    #[test]
+    fn observability_flags_are_out_of_band() {
+        // The hard invariant: --trace/--metrics/--progress may not
+        // change a single result byte.
+        let mut sweep = vardelay_engine::Sweep::example();
+        sweep.grid = None;
+        for s in &mut sweep.scenarios {
+            s.trials = 300;
+        }
+        let spec = sweep.to_json();
+
+        let plain = tmp("plain.json");
+        sweep_cmd(&spec, vec!["--out".into(), plain.clone()]).unwrap();
+
+        let traced = tmp("traced.json");
+        let trace = tmp("trace.json");
+        let metrics = tmp("metrics.json");
+        let out = sweep_cmd(
+            &spec,
+            vec![
+                "--out".into(),
+                traced.clone(),
+                "--trace".into(),
+                trace.clone(),
+                "--metrics".into(),
+                metrics.clone(),
+                "--progress".into(),
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("trace written to"), "{out}");
+        assert!(out.contains("metrics written to"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&plain).unwrap(),
+            std::fs::read_to_string(&traced).unwrap(),
+            "tracing must not change result bytes"
+        );
+
+        // Both artifacts are valid JSON of their respective schemas and
+        // the report subcommand renders each. (Concurrent tests in this
+        // process may add spans of their own while recording is on —
+        // assert presence, not exact counts.)
+        let tv: serde::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(tv.get("traceEvents").is_some());
+        let mv: serde::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(mv.get("phases").is_some());
+        assert_eq!(mv.get("kind"), Some(&serde::Value::String("sweep".into())));
+
+        let r = run(vec!["report".into(), metrics]).unwrap();
+        assert!(r.contains("mc/block"), "{r}");
+        assert!(r.contains("wall time"), "{r}");
+        let r = run(vec!["report".into(), trace]).unwrap();
+        assert!(r.contains("mc/block"), "{r}");
+
+        // report's own argument errors.
+        assert!(run(vec!["report".into()]).is_err());
+        assert!(run(vec!["report".into(), "/no/such/file".into()]).is_err());
+        assert!(
+            run(vec!["report".into(), plain]).is_err(),
+            "not a trace/metrics file"
+        );
+    }
+
+    #[test]
+    fn metrics_count_resumed_vs_executed_units() {
+        let mut sweep = vardelay_engine::Sweep::example();
+        sweep.grid = None;
+        for s in &mut sweep.scenarios {
+            s.trials = 300;
+        }
+        let spec = sweep.to_json();
+
+        let journal = tmp("resume-metrics.jsonl");
+        sweep_cmd(&spec, vec!["--checkpoint".into(), journal.clone()]).unwrap();
+        let first = std::fs::read_to_string(&journal)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .to_owned();
+        std::fs::write(&journal, format!("{first}\n")).unwrap();
+
+        let metrics = tmp("resume-metrics.json");
+        sweep_cmd(
+            &spec,
+            vec![
+                "--resume".into(),
+                journal,
+                "--metrics".into(),
+                metrics.clone(),
+            ],
+        )
+        .unwrap();
+        let mv: serde::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        let units = mv.get("units").expect("units section");
+        assert_eq!(units.get("resumed"), units.get("executed"), "1 and 1");
+        assert_eq!(
+            units.get("total"),
+            Some(&serde::Value::Number(serde::Number::U64(2)))
+        );
     }
 
     #[test]

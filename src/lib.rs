@@ -23,6 +23,7 @@
 //! | [`core`] | `vardelay-core` | pipeline distribution, yield, design space |
 //! | [`opt`] | `vardelay-opt` | yield-constrained sizing + global flow |
 //! | [`engine`] | `vardelay-engine` | parallel scenario sweeps, deterministic seeding |
+//! | [`obs`] | `vardelay-obs` | out-of-band tracing, phase metrics, progress |
 //!
 //! ## Quickstart
 //!
@@ -52,11 +53,13 @@
 #![warn(clippy::all)]
 
 pub mod cli;
+pub mod report;
 
 pub use vardelay_circuit as circuit;
 pub use vardelay_core as core;
 pub use vardelay_engine as engine;
 pub use vardelay_mc as mc;
+pub use vardelay_obs as obs;
 pub use vardelay_opt as opt;
 pub use vardelay_process as process;
 pub use vardelay_ssta as ssta;
