@@ -22,8 +22,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vardelay_circuit::{CellLibrary, LatchParams, StagedPipeline};
 use vardelay_engine::{
-    run_sweep, BackendSpec, CircuitSpec, LatchSpec, PipelineSpec, Scenario, Sweep, SweepOptions,
-    VariationSpec,
+    run_sweep, BackendSpec, CircuitSpec, KernelSpec, LatchSpec, PipelineSpec, Scenario, Sweep,
+    SweepOptions, VariationSpec,
 };
 use vardelay_mc::{PipelineBlockStats, PipelineMc, PreparedPipelineMc};
 use vardelay_process::VariationConfig;
@@ -74,6 +74,7 @@ fn bench_trial(c: &mut Criterion) {
 
 fn chain_scenario(backend: BackendSpec) -> Scenario {
     Scenario {
+        kernel: KernelSpec::default(),
         label: format!("5x8 {}", backend.keyword()),
         pipeline: PipelineSpec::Circuits {
             stages: vec![

@@ -32,7 +32,9 @@ use std::hint::black_box;
 use vardelay_circuit::generators::inverter_chain;
 use vardelay_circuit::{CellLibrary, LatchParams, StagedPipeline};
 use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
-use vardelay_engine::{run_campaign, LatchSpec, PipelineSpec, SweepOptions, VariationSpec};
+use vardelay_engine::{
+    run_campaign, KernelSpec, LatchSpec, PipelineSpec, SweepOptions, VariationSpec,
+};
 use vardelay_opt::{
     GlobalPipelineOptimizer, OptimizationGoal, SizingConfig, StatisticalSizer, TargetDelayPolicy,
 };
@@ -56,6 +58,7 @@ fn campaign(backend: YieldBackendSpec) -> OptimizationCampaign {
             goal: OptimizationGoal::EnsureYield,
             rounds: 3,
             yield_backend: backend,
+            kernel: KernelSpec::default(),
             eval_trials: 1_024,
             verify_trials: 4_096,
         }],

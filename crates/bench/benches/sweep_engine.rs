@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vardelay_engine::{
-    run_sweep, BackendSpec, GridSpec, LatchSpec, Sweep, SweepOptions, VariationSpec,
+    run_sweep, BackendSpec, GridSpec, KernelSpec, LatchSpec, Sweep, SweepOptions, VariationSpec,
 };
 
 fn bench_sweep(c: &mut Criterion) {
@@ -35,6 +35,7 @@ fn bench_sweep(c: &mut Criterion) {
             yield_targets: vec![],
             auto_target_sigmas: vec![1.2],
             backend: BackendSpec::Pipeline,
+            kernel: KernelSpec::default(),
             histogram_bins: 0,
         }),
     };

@@ -1,4 +1,4 @@
-//! Machine-readable performance summary: writes `BENCH_6.json`.
+//! Machine-readable performance summary: writes `BENCH_7.json`.
 //!
 //! CI runs this after the criterion benches so the perf trajectory is
 //! tracked as data, not just as log lines: campaign wall-clock per
@@ -7,7 +7,8 @@
 //! instead of hand-placed timers), sizing throughput on both kernels
 //! (the old-vs-new ratio is the incremental kernel's headline), raw
 //! retime-probe cost, and the Monte-Carlo verification throughput in
-//! trials/sec. Timings are the median of `SAMPLES` runs on a warmed
+//! trials/sec on **both trial kernels** (the v2/v1 ratio is this PR's
+//! headline). Timings are the median of `SAMPLES` runs on a warmed
 //! process.
 //!
 //! With `--baseline <prev.json>` the run also **gates regressions**:
@@ -15,10 +16,13 @@
 //! fell more than [`REGRESSION_TOLERANCE`] below the checked-in
 //! previous BENCH file, the process exits non-zero and CI fails.
 //! Ratios (speedups) are machine-independent; trials/sec is noisy
-//! across hosts, which is why the tolerance is a generous 20%.
+//! across hosts, which is why the tolerance is a generous 20%. The v2
+//! batch kernel additionally gates **forward**: its throughput must be
+//! at least [`V2_SPEEDUP_FLOOR`]× the baseline's v1 rate, measured in
+//! the same process so host noise cancels.
 //!
 //! Usage: `cargo run --release -p vardelay-bench --bin bench_summary
-//! [out.json] [--baseline prev.json]` (default out `BENCH_6.json`).
+//! [out.json] [--baseline prev.json]` (default out `BENCH_7.json`).
 
 use std::time::Instant;
 
@@ -26,8 +30,10 @@ use serde::Deserialize as _;
 use vardelay_circuit::generators::{inverter_chain, random_logic, RandomLogicConfig};
 use vardelay_circuit::{CellLibrary, LatchParams, StagedPipeline};
 use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
-use vardelay_engine::{run_campaign, LatchSpec, PipelineSpec, SweepOptions, VariationSpec};
-use vardelay_mc::{PipelineBlockStats, PipelineMc, PreparedPipelineMc};
+use vardelay_engine::{
+    run_campaign, KernelSpec, LatchSpec, PipelineSpec, SweepOptions, VariationSpec,
+};
+use vardelay_mc::{PipelineBlockStats, PipelineMc, PreparedPipelineMc, TrialKernel};
 use vardelay_opt::{OptimizationGoal, SizingConfig, StatisticalSizer, TargetDelayPolicy};
 use vardelay_process::VariationConfig;
 use vardelay_ssta::sta::arrival_times;
@@ -99,6 +105,7 @@ fn campaign(backend: YieldBackendSpec) -> OptimizationCampaign {
             goal: OptimizationGoal::EnsureYield,
             rounds: 3,
             yield_backend: backend,
+            kernel: KernelSpec::default(),
             eval_trials: 1_024,
             verify_trials: 4_096,
         }],
@@ -108,6 +115,11 @@ fn campaign(backend: YieldBackendSpec) -> OptimizationCampaign {
 
 /// Allowed fractional drop versus the baseline before CI fails.
 const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// The v2 batch kernel must clear this multiple of the v1 trial rate.
+/// Both rates are measured in the same process on the same pipeline,
+/// so the ratio is host-independent even though each rate is not.
+const V2_SPEEDUP_FLOOR: f64 = 3.0;
 
 /// Reads one numeric metric out of a parsed BENCH file.
 fn metric(v: &serde::Value, path: &[&str]) -> f64 {
@@ -149,7 +161,7 @@ fn main() {
         eprintln!("usage: bench_summary [out.json] [--baseline prev.json]");
         std::process::exit(2);
     }
-    let out_path = args.pop().unwrap_or_else(|| "BENCH_6.json".to_owned());
+    let out_path = args.pop().unwrap_or_else(|| "BENCH_7.json".to_owned());
 
     // --- Campaign wall-clock + phase breakdown per backend. ---
     // Determinism is asserted both across worker counts and across the
@@ -253,6 +265,22 @@ fn main() {
     });
     let trials_per_sec = trials as f64 / (verify_ms / 1e3);
 
+    // --- v2 batch-kernel throughput, same pipeline, same process. ---
+    let mc_v2 = PipelineMc::new(
+        CellLibrary::default(),
+        VariationConfig::random_only(35.0),
+        None,
+    )
+    .with_kernel(TrialKernel::V2);
+    let prepared_v2 = PreparedPipelineMc::new(&mc_v2, &pipe);
+    let mut ws_v2 = prepared_v2.workspace();
+    let verify_v2_ms = median_ms(|| {
+        let mut stats = PipelineBlockStats::new(pipe.stage_count(), &[150.0]);
+        prepared_v2.run_block(&mut ws_v2, 0..trials, |t| t ^ 0xBE7C, &mut stats);
+        std::hint::black_box(stats);
+    });
+    let trials_per_sec_v2 = trials as f64 / (verify_v2_ms / 1e3);
+
     // Hand-rendered JSON: fixed key order, no dependency on map
     // iteration, so the artifact diffs cleanly between PRs.
     let phase_block = |s: &CampaignSample| {
@@ -263,12 +291,13 @@ fn main() {
         )
     };
     let json = format!(
-        "{{\n  \"pr\": 6,\n  \"campaign_ms\": {{\n    \"{}\": {:.3},\n    \"{}\": {:.3}\n  }},\n  \
+        "{{\n  \"pr\": 7,\n  \"campaign_ms\": {{\n    \"{}\": {:.3},\n    \"{}\": {:.3}\n  }},\n  \
          \"campaign_phases_ms\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \
          \"sizing\": {{\n    \"size_stage_200g_ms\": {:.4},\n    \"size_stage_200g_full_pass_ms\": {:.4},\n    \
          \"kernel_speedup\": {:.3}\n  }},\n  \"retime_probe\": {{\n    \"incremental_us\": {:.3},\n    \
          \"full_pass_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"mc_verification\": {{\n    \
-         \"trials_per_sec\": {:.0}\n  }}\n}}",
+         \"trials_per_sec\": {:.0},\n    \"kernel_v2_trials_per_sec\": {:.0},\n    \
+         \"kernel_v2_speedup\": {:.2}\n  }}\n}}",
         campaign_samples[0].0,
         campaign_samples[0].1.wall_ms,
         campaign_samples[1].0,
@@ -284,6 +313,8 @@ fn main() {
         probe_full_ms * 1e3,
         probe_full_ms / probe_inc_ms,
         trials_per_sec,
+        trials_per_sec_v2,
+        trials_per_sec_v2 / trials_per_sec,
     );
     std::fs::write(&out_path, &json).expect("write summary");
     println!("{json}");
@@ -307,7 +338,19 @@ fn main() {
             trials_per_sec,
             metric(&base, &["mc_verification", "trials_per_sec"]),
         );
-        if !(speedup_ok && mc_ok) {
+        // Forward gate: the batch kernel must clear 3x the baseline's
+        // v1 rate. The baseline rate and both current rates ran on
+        // hosts of the same class; the generous margin between the
+        // floor and the measured ratio absorbs residual host noise.
+        let base_v1 = metric(&base, &["mc_verification", "trials_per_sec"]);
+        let v2_floor = V2_SPEEDUP_FLOOR * base_v1;
+        let v2_ok = trials_per_sec_v2 >= v2_floor;
+        println!(
+            "gate mc_verification.kernel_v2_trials_per_sec: current {trials_per_sec_v2:.0} vs \
+             floor {v2_floor:.0} ({V2_SPEEDUP_FLOOR}x baseline v1) — {}",
+            if v2_ok { "ok" } else { "TOO SLOW" }
+        );
+        if !(speedup_ok && mc_ok && v2_ok) {
             eprintln!(
                 "performance regressed >{:.0}% vs {path}",
                 100.0 * REGRESSION_TOLERANCE

@@ -14,7 +14,8 @@
 
 use vardelay_bench::render::histogram_vs_normal;
 use vardelay_engine::{
-    run_sweep, BackendSpec, LatchSpec, PipelineSpec, Scenario, Sweep, SweepOptions, VariationSpec,
+    run_sweep, BackendSpec, KernelSpec, LatchSpec, PipelineSpec, Scenario, Sweep, SweepOptions,
+    VariationSpec,
 };
 use vardelay_stats::Normal;
 
@@ -58,6 +59,7 @@ fn main() {
                 yield_targets: vec![],
                 auto_target_sigmas: vec![],
                 backend: BackendSpec::Netlist,
+                kernel: KernelSpec::default(),
                 histogram_bins: 28,
             })
             .collect(),

@@ -11,7 +11,7 @@
 
 use vardelay_bench::render::xy_table;
 use vardelay_engine::{
-    run_sweep, BackendSpec, PipelineSpec, Scenario, StageMoments, Sweep, SweepOptions,
+    run_sweep, BackendSpec, KernelSpec, PipelineSpec, Scenario, StageMoments, Sweep, SweepOptions,
     VariationSpec,
 };
 
@@ -34,6 +34,7 @@ fn scenario(ns: usize, rho: f64, trials: u64) -> Scenario {
         yield_targets: vec![],
         auto_target_sigmas: vec![],
         backend: BackendSpec::Pipeline,
+        kernel: KernelSpec::default(),
         histogram_bins: 0,
     }
 }

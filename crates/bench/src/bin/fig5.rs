@@ -15,8 +15,8 @@
 
 use vardelay_bench::render::xy_table;
 use vardelay_engine::{
-    run_sweep, BackendSpec, GridSpec, LatchSpec, PipelineSpec, Scenario, StageMoments, Sweep,
-    SweepOptions, VariationSpec,
+    run_sweep, BackendSpec, GridSpec, KernelSpec, LatchSpec, PipelineSpec, Scenario, StageMoments,
+    Sweep, SweepOptions, VariationSpec,
 };
 
 /// Runs an analytic-only sweep and returns each scenario's σ/μ.
@@ -44,6 +44,7 @@ fn analytic_scenario(label: String, pipeline: PipelineSpec, variation: Variation
         yield_targets: vec![],
         auto_target_sigmas: vec![],
         backend: BackendSpec::Analytic,
+        kernel: KernelSpec::default(),
         histogram_bins: 0,
     }
 }
@@ -93,6 +94,7 @@ fn panel_a() {
             yield_targets: vec![],
             auto_target_sigmas: vec![],
             backend: BackendSpec::Pipeline,
+            kernel: KernelSpec::default(),
             histogram_bins: 0,
         }),
     };

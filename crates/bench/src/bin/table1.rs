@@ -20,7 +20,8 @@
 
 use vardelay_bench::render::{pct, TextTable};
 use vardelay_engine::{
-    run_sweep, BackendSpec, LatchSpec, PipelineSpec, Scenario, Sweep, SweepOptions, VariationSpec,
+    run_sweep, BackendSpec, KernelSpec, LatchSpec, PipelineSpec, Scenario, Sweep, SweepOptions,
+    VariationSpec,
 };
 
 fn grid(stages: usize, depth: usize) -> PipelineSpec {
@@ -76,6 +77,7 @@ fn main() {
                 yield_targets: vec![],
                 auto_target_sigmas: vec![1.2],
                 backend: BackendSpec::Netlist,
+                kernel: KernelSpec::default(),
                 histogram_bins: 0,
             })
             .collect(),

@@ -22,7 +22,7 @@
 use vardelay_bench::iscas_pipeline_spec;
 use vardelay_bench::render::{pct, TextTable};
 use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
-use vardelay_engine::{run_campaign, SweepOptions, VariationSpec};
+use vardelay_engine::{run_campaign, KernelSpec, SweepOptions, VariationSpec};
 use vardelay_opt::{OptimizationGoal, TargetDelayPolicy};
 
 fn main() {
@@ -38,6 +38,7 @@ fn main() {
             goal: OptimizationGoal::EnsureYield,
             rounds: 4,
             yield_backend: YieldBackendSpec::Analytic,
+            kernel: KernelSpec::default(),
             eval_trials: 2_048,
             verify_trials: 20_000,
         }],

@@ -19,7 +19,7 @@
 use vardelay_bench::iscas_pipeline_spec;
 use vardelay_bench::render::{pct, TextTable};
 use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
-use vardelay_engine::{run_campaign, SweepOptions, VariationSpec};
+use vardelay_engine::{run_campaign, KernelSpec, SweepOptions, VariationSpec};
 use vardelay_opt::{OptimizationGoal, TargetDelayPolicy};
 
 fn main() {
@@ -35,6 +35,7 @@ fn main() {
             goal: OptimizationGoal::MinimizeArea,
             rounds: 8,
             yield_backend: YieldBackendSpec::Analytic,
+            kernel: KernelSpec::default(),
             eval_trials: 2_048,
             verify_trials: 20_000,
         }],

@@ -113,6 +113,48 @@ impl CellLibrary {
         assert!(dvth < od, "threshold shift {dvth} V reaches the supply");
         (od / (od - dvth)).powf(self.tech.alpha())
     }
+
+    /// The **v2-kernel** slowdown factor: same quantity as
+    /// [`CellLibrary::vth_slowdown_factor`] evaluated through the frozen
+    /// polynomial kernels of [`vardelay_process::slowdown_factor_approx`]
+    /// (relative error below `2e-7` over the certified range, exact
+    /// `powf` fallback outside it). Not bit-identical to the exact form —
+    /// selecting it is a kernel-contract change, not a drop-in swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shift pushes the threshold past the supply.
+    #[inline]
+    pub fn vth_slowdown_factor_v2(&self, dvth: f64) -> f64 {
+        vardelay_process::slowdown_factor_approx(self.tech.overdrive(), self.tech.alpha(), dvth)
+    }
+
+    /// Bulk v2 slowdown factors:
+    /// `out[i] = vth_slowdown_factor_v2(shared + sigmas[i] * z[i])`,
+    /// bit-identical per element, evaluated through the vectorizable
+    /// structure-of-arrays passes of
+    /// [`vardelay_process::slowdown_factors_approx_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    #[inline]
+    pub fn vth_slowdown_factors_v2_into(
+        &self,
+        shared: f64,
+        sigmas: &[f64],
+        z: &[f64],
+        out: &mut [f64],
+    ) {
+        vardelay_process::slowdown_factors_approx_into(
+            self.tech.overdrive(),
+            self.tech.alpha(),
+            shared,
+            sigmas,
+            z,
+            out,
+        );
+    }
 }
 
 impl Default for CellLibrary {
@@ -155,6 +197,18 @@ mod tests {
             let exact = l.vth_slowdown_factor(dvth);
             let lin = 1.0 + s * dvth;
             assert!(((exact - lin) / exact).abs() < 0.002, "dvth {dvth}");
+        }
+    }
+
+    #[test]
+    fn v2_slowdown_tracks_exact_form() {
+        let l = lib();
+        let mut dvth = -0.25;
+        while dvth <= 0.25 {
+            let exact = l.vth_slowdown_factor(dvth);
+            let v2 = l.vth_slowdown_factor_v2(dvth);
+            assert!(((v2 - exact) / exact).abs() < 2e-7, "dvth {dvth}");
+            dvth += 1e-3;
         }
     }
 

@@ -199,6 +199,43 @@ impl Pipeline {
         }
         wins.into_iter().map(|w| w as f64 / trials as f64).collect()
     }
+
+    /// The **v2-kernel** criticality estimator: the same win-counting
+    /// Monte-Carlo as [`Pipeline::criticality_probabilities`], but the
+    /// joint samples come from the batch pair-producing Box–Muller fill
+    /// ([`MultivariateNormal::sample_into_v2`]) and the per-trial
+    /// allocations are hoisted into reused buffers. Deterministic given
+    /// `seed`; *not* byte-compatible with the v1 estimator — selecting
+    /// it is a kernel-contract change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or the correlation matrix is not PSD.
+    pub fn criticality_probabilities_v2(&self, trials: usize, seed: u64) -> Vec<f64> {
+        assert!(trials > 0, "need at least one trial");
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let means: Vec<f64> = self.stages.iter().map(StageDelay::mean).collect();
+        let sds: Vec<f64> = self.stages.iter().map(StageDelay::sd).collect();
+        let mvn = MultivariateNormal::from_correlation(&means, &sds, &self.correlation)
+            .expect("stage correlation matrix must be PSD");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut wins = vec![0usize; self.stages.len()];
+        let mut z = Vec::new();
+        let mut x = Vec::new();
+        for _ in 0..trials {
+            mvn.sample_into_v2(&mut rng, &mut z, &mut x);
+            let (mut argmax, mut best) = (0usize, f64::NEG_INFINITY);
+            for (i, &v) in x.iter().enumerate() {
+                if v > best {
+                    best = v;
+                    argmax = i;
+                }
+            }
+            wins[argmax] += 1;
+        }
+        wins.into_iter().map(|w| w as f64 / trials as f64).collect()
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +320,22 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-12);
         assert!(c[1] > 0.8, "slow stage dominates: {c:?}");
         assert!(c[1] > c[0] && c[1] > c[2]);
+    }
+
+    #[test]
+    fn criticality_v2_is_deterministic_and_agrees_with_v1() {
+        let p =
+            Pipeline::independent(vec![sd(190.0, 5.0), sd(205.0, 5.0), sd(195.0, 5.0)]).unwrap();
+        let v1 = p.criticality_probabilities(20_000, 3);
+        let v2 = p.criticality_probabilities_v2(20_000, 3);
+        assert_eq!(v2, p.criticality_probabilities_v2(20_000, 3));
+        let total: f64 = v2.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Different stream, same distribution: win fractions agree to MC
+        // accuracy (binomial sd at n = 20k is under 0.004).
+        for (a, b) in v1.iter().zip(&v2) {
+            assert!((a - b).abs() < 0.02, "v1 {a} vs v2 {b}");
+        }
     }
 
     #[test]

@@ -97,8 +97,8 @@ pub use run::{run_sweep, EngineError, SweepOptions};
 pub use seed::trial_seed;
 pub use sim::Simulator;
 pub use spec::{
-    BackendSpec, CircuitSpec, GridSpec, LatchSpec, PipelineSpec, Scenario, StageMoments, Sweep,
-    VariationSpec,
+    BackendSpec, CircuitSpec, GridSpec, KernelSpec, LatchSpec, PipelineSpec, Scenario,
+    StageMoments, Sweep, VariationSpec,
 };
 pub use workload::{
     checkpoint_line, plan_workload, run_units, run_workload, Checkpoint, Progress, ProgressUpdate,

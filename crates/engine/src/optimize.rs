@@ -43,7 +43,7 @@ use crate::plan::{CampaignPlan, RunPlan};
 use crate::result::{BaselineOutcome, CampaignResult, McVerification, OptimizationRunResult};
 use crate::run::{build_model_from_mc, EngineError, SweepOptions, MAX_TRIALS};
 use crate::seed::{fnv1a64, trial_seed};
-use crate::spec::{PipelineSpec, VariationSpec};
+use crate::spec::{KernelSpec, PipelineSpec, VariationSpec};
 use crate::workload::{run_workload, Workload, WorkloadOptions};
 
 /// Which backend measures pipeline yield *inside* the sizing loop.
@@ -141,6 +141,9 @@ pub struct OptimizeSpec {
     pub rounds: usize,
     /// Which backend measures pipeline yield inside the sizing loop.
     pub yield_backend: YieldBackendSpec,
+    /// Which trial-kernel contract runs every Monte-Carlo surface of
+    /// the run (in-loop evaluation, criticality, verification).
+    pub kernel: KernelSpec,
     /// Monte-Carlo trials per in-loop yield query (netlist backend).
     pub eval_trials: u64,
     /// Monte-Carlo trials verifying the optimized and baseline designs
@@ -167,6 +170,9 @@ impl Serialize for OptimizeSpec {
         if self.yield_backend != YieldBackendSpec::default() {
             fields.push(("yield_backend".to_owned(), self.yield_backend.to_value()));
         }
+        if self.kernel != KernelSpec::default() {
+            fields.push(("kernel".to_owned(), self.kernel.to_value()));
+        }
         if self.eval_trials != DEFAULT_EVAL_TRIALS {
             fields.push(("eval_trials".to_owned(), self.eval_trials.to_value()));
         }
@@ -179,7 +185,7 @@ impl Serialize for OptimizeSpec {
 
 impl Deserialize for OptimizeSpec {
     fn from_value(v: &Value) -> Result<Self, serde::Error> {
-        const KNOWN: [&str; 10] = [
+        const KNOWN: [&str; 11] = [
             "label",
             "pipeline",
             "variation",
@@ -188,6 +194,7 @@ impl Deserialize for OptimizeSpec {
             "goal",
             "rounds",
             "yield_backend",
+            "kernel",
             "eval_trials",
             "verify_trials",
         ];
@@ -217,6 +224,10 @@ impl Deserialize for OptimizeSpec {
                 .map(Deserialize::from_value)
                 .transpose()?
                 .unwrap_or_default(),
+            kernel: opt("kernel")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or_default(),
             eval_trials: opt("eval_trials")
                 .map(Deserialize::from_value)
                 .transpose()?
@@ -233,13 +244,17 @@ impl OptimizeSpec {
     /// The run's stable content hash under a campaign seed.
     ///
     /// Unlike a sweep scenario (where the simulation backend is excluded
-    /// as a pure execution strategy), **every** field here defines the
-    /// experiment: the yield backend and its trial budget steer the
-    /// sizing trajectory, and the verification budget picks the
-    /// verification stream. Any change changes the ID, and with it every
-    /// Monte-Carlo stream the run consumes.
+    /// as a pure execution strategy), almost **every** field here
+    /// defines the experiment: the yield backend and its trial budget
+    /// steer the sizing trajectory, and the verification budget picks
+    /// the verification stream. The one exception is `kernel` — like a
+    /// scenario's backend it is excluded so both kernels derive
+    /// identical per-trial RNG seeds from identical spec content (the
+    /// arithmetic differs, under each kernel's own frozen contract).
     pub fn id(&self, campaign_seed: u64) -> u64 {
-        let json = serde_json::to_string(self).expect("optimize specs are finite");
+        let mut identity = self.clone();
+        identity.kernel = KernelSpec::default();
+        let json = serde_json::to_string(&identity).expect("optimize specs are finite");
         fnv1a64(json.as_bytes()) ^ campaign_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
     }
 }
@@ -262,6 +277,8 @@ pub struct OptimizeGridSpec {
     pub rounds: usize,
     /// In-loop yield backend stamped on every generated run.
     pub yield_backend: YieldBackendSpec,
+    /// Trial-kernel contract stamped on every generated run.
+    pub kernel: KernelSpec,
     /// In-loop yield trials stamped on every generated run.
     pub eval_trials: u64,
     /// Verification trials stamped on every generated run.
@@ -283,6 +300,9 @@ impl Serialize for OptimizeGridSpec {
         if self.yield_backend != YieldBackendSpec::default() {
             fields.push(("yield_backend".to_owned(), self.yield_backend.to_value()));
         }
+        if self.kernel != KernelSpec::default() {
+            fields.push(("kernel".to_owned(), self.kernel.to_value()));
+        }
         if self.eval_trials != DEFAULT_EVAL_TRIALS {
             fields.push(("eval_trials".to_owned(), self.eval_trials.to_value()));
         }
@@ -295,7 +315,7 @@ impl Serialize for OptimizeGridSpec {
 
 impl Deserialize for OptimizeGridSpec {
     fn from_value(v: &Value) -> Result<Self, serde::Error> {
-        const KNOWN: [&str; 9] = [
+        const KNOWN: [&str; 10] = [
             "pipelines",
             "yield_targets",
             "target_delays",
@@ -303,6 +323,7 @@ impl Deserialize for OptimizeGridSpec {
             "variations",
             "rounds",
             "yield_backend",
+            "kernel",
             "eval_trials",
             "verify_trials",
         ];
@@ -328,6 +349,10 @@ impl Deserialize for OptimizeGridSpec {
                 .transpose()?
                 .unwrap_or(DEFAULT_ROUNDS),
             yield_backend: opt("yield_backend")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or_default(),
+            kernel: opt("kernel")
                 .map(Deserialize::from_value)
                 .transpose()?
                 .unwrap_or_default(),
@@ -378,6 +403,7 @@ impl OptimizeGridSpec {
                                 goal,
                                 rounds: self.rounds,
                                 yield_backend: self.yield_backend,
+                                kernel: self.kernel,
                                 eval_trials: self.eval_trials,
                                 verify_trials: self.verify_trials,
                             });
@@ -483,6 +509,7 @@ impl OptimizationCampaign {
                     goal: OptimizationGoal::EnsureYield,
                     rounds: 3,
                     yield_backend: YieldBackendSpec::Analytic,
+                    kernel: KernelSpec::default(),
                     eval_trials: DEFAULT_EVAL_TRIALS,
                     verify_trials: DEFAULT_VERIFY_TRIALS,
                 },
@@ -495,6 +522,7 @@ impl OptimizationCampaign {
                     goal: OptimizationGoal::EnsureYield,
                     rounds: 3,
                     yield_backend: YieldBackendSpec::Netlist,
+                    kernel: KernelSpec::default(),
                     eval_trials: 1_024,
                     verify_trials: DEFAULT_VERIFY_TRIALS,
                 },
@@ -526,6 +554,7 @@ impl OptimizationCampaign {
                 variations: vec![rand35],
                 rounds: 2,
                 yield_backend: YieldBackendSpec::Analytic,
+                kernel: KernelSpec::default(),
                 eval_trials: DEFAULT_EVAL_TRIALS,
                 verify_trials: 2_048,
             }),
@@ -634,7 +663,9 @@ fn execute_run(p: &PreparedRun, ws: &mut TrialWorkspace) -> OptimizationRunResul
     let lib = CellLibrary::default();
     let engine = SstaEngine::new(lib.clone(), variation, None);
     let sizer = StatisticalSizer::new(engine.clone(), SizingConfig::default());
-    let opt = GlobalPipelineOptimizer::new(sizer).with_rounds(spec.rounds);
+    let opt = GlobalPipelineOptimizer::new(sizer)
+        .with_rounds(spec.rounds)
+        .with_kernel(spec.kernel.to_kernel());
 
     // Resolve the target and the individually-optimized baseline (the
     // Fig. 9 flow's stated input) from the pipeline prepare_run built.
@@ -645,7 +676,7 @@ fn execute_run(p: &PreparedRun, ws: &mut TrialWorkspace) -> OptimizationRunResul
     };
     let target = resolved.target_ps;
 
-    let mc = PipelineMc::new(lib, variation, None);
+    let mc = PipelineMc::new(lib, variation, None).with_kernel(spec.kernel.to_kernel());
     let (optimized, report) = {
         let _sp = vardelay_obs::span("opt", "flow").key(p.id);
         match spec.yield_backend {
@@ -680,14 +711,18 @@ fn execute_run(p: &PreparedRun, ws: &mut TrialWorkspace) -> OptimizationRunResul
         let timing = engine.analyze_pipeline(pipe);
         let analytic = AnalyticYieldEval::yield_of(&timing, target);
         let mc_check = (spec.verify_trials > 0).then(|| {
-            let _sp = vardelay_obs::span("mc", "verify")
+            let (span_name, counter_name) = match spec.kernel {
+                KernelSpec::V1 => ("verify", "trials"),
+                KernelSpec::V2 => ("verify_v2", "trials_v2"),
+            };
+            let _sp = vardelay_obs::span("mc", span_name)
                 .key(p.id)
                 .value(spec.verify_trials as f64);
             let prepared = PreparedPipelineMc::new(&mc, pipe);
             let mut stats = PipelineBlockStats::new(pipe.stage_count(), &[target]);
             let seed_of = |t| trial_seed(p.id ^ salt, t);
             prepared.run_block(ws, 0..spec.verify_trials, seed_of, &mut stats);
-            vardelay_obs::counter("trials", spec.verify_trials);
+            vardelay_obs::counter(counter_name, spec.verify_trials);
             let est = stats.yield_estimate(0);
             let stage_means: Vec<f64> = stats.stage_stats().iter().map(|s| s.mean()).collect();
             let stage_sds: Vec<f64> = stats.stage_stats().iter().map(|s| s.sample_sd()).collect();
@@ -766,10 +801,12 @@ impl Workload for OptimizationCampaign {
     }
 
     fn unit_key(&self, unit: &PreparedRun) -> u64 {
-        // Unlike a sweep scenario, a run's ID already hashes every
-        // spec field (the yield backend is experiment-defining), so it
-        // doubles as the journal key.
-        unit.id
+        // NOT the run ID: the ID deliberately excludes `kernel` (so
+        // both kernels derive identical trial seeds), but the journal
+        // key must distinguish two kernel twins because their result
+        // bytes differ. Hash the full spec, like a sweep's unit key.
+        let json = serde_json::to_string(&unit.spec).expect("prepared runs are finite");
+        fnv1a64(json.as_bytes()) ^ self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
     }
 
     fn unit_steps(&self, _unit: &PreparedRun) -> usize {
@@ -836,6 +873,12 @@ impl Workload for OptimizationCampaign {
             gates: unit.gates,
             goal: goal_keyword(unit.spec.goal).to_owned(),
             yield_backend: unit.spec.yield_backend,
+            kernel: unit.spec.kernel,
+            est_trial_cost: crate::plan::estimated_trial_cost(
+                unit.spec.kernel,
+                unit.gates,
+                unit.stages,
+            ),
             target_delay: unit.spec.target_delay.label(),
             yield_target: unit.spec.yield_target,
             stage_allocation: unit.stage_allocation,

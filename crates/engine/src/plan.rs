@@ -15,8 +15,31 @@ use serde::{Deserialize, Serialize};
 
 use crate::optimize::{OptimizationCampaign, YieldBackendSpec};
 use crate::run::EngineError;
-use crate::spec::{BackendSpec, Sweep};
+use crate::spec::{BackendSpec, KernelSpec, Sweep};
 use crate::workload::{plan_workload, WorkloadPlan};
+
+/// Relative per-gate trial cost of the v1 kernel (the unit of the
+/// plan's `cost` column).
+pub const KERNEL_COST_WEIGHT_V1: f64 = 1.0;
+
+/// Relative per-gate trial cost of the v2 batch kernel, calibrated on
+/// the benchmark inverter-chain pipeline (`BENCH_7.json`): v2 sustains
+/// ≈3.5× v1's trials/s there, so each of its gate evaluations is
+/// weighted by the reciprocal.
+pub const KERNEL_COST_WEIGHT_V2: f64 = 1.0 / 3.5;
+
+/// Estimated relative cost of one Monte-Carlo trial: gate evaluations
+/// (stage count for moment-form scenarios, which time no gates)
+/// weighted by the kernel's calibrated per-gate cost. Comparable
+/// across rows of one plan — not a wall-clock prediction.
+pub fn estimated_trial_cost(kernel: KernelSpec, gates: usize, stages: usize) -> f64 {
+    let work = if gates > 0 { gates } else { stages } as f64;
+    let weight = match kernel {
+        KernelSpec::V1 => KERNEL_COST_WEIGHT_V1,
+        KernelSpec::V2 => KERNEL_COST_WEIGHT_V2,
+    };
+    work * weight
+}
 
 /// One validated scenario's footprint.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,6 +50,8 @@ pub struct ScenarioPlan {
     pub label: String,
     /// Selected simulation backend.
     pub backend: BackendSpec,
+    /// Selected trial-kernel contract.
+    pub kernel: KernelSpec,
     /// Pipeline stage count.
     pub stages: usize,
     /// Total gates across all stage netlists (0 for moment-form).
@@ -37,6 +62,8 @@ pub struct ScenarioPlan {
     pub blocks: u64,
     /// Resolved yield-target count (explicit + analytic-derived).
     pub targets: usize,
+    /// Estimated relative cost per trial (see [`estimated_trial_cost`]).
+    pub est_trial_cost: f64,
 }
 
 /// A fully validated sweep with its aggregate cost.
@@ -70,19 +97,21 @@ impl SweepPlan {
         );
         let _ = writeln!(
             out,
-            "\n{:<34} {:>9} {:>7} {:>7} {:>10} {:>8}",
-            "scenario", "backend", "stages", "gates", "trials", "blocks"
+            "\n{:<34} {:>9} {:>6} {:>7} {:>7} {:>10} {:>8} {:>10}",
+            "scenario", "backend", "kernel", "stages", "gates", "trials", "blocks", "cost/trial"
         );
         for s in &self.scenarios {
             let _ = writeln!(
                 out,
-                "{:<34} {:>9} {:>7} {:>7} {:>10} {:>8}",
+                "{:<34} {:>9} {:>6} {:>7} {:>7} {:>10} {:>8} {:>10.1}",
                 s.label,
                 s.backend.keyword(),
+                s.kernel.keyword(),
                 s.stages,
                 s.gates,
                 s.trials,
-                s.blocks
+                s.blocks,
+                s.est_trial_cost
             );
         }
         out
@@ -121,6 +150,11 @@ pub struct RunPlan {
     pub goal: String,
     /// In-loop yield backend.
     pub yield_backend: YieldBackendSpec,
+    /// Selected trial-kernel contract.
+    pub kernel: KernelSpec,
+    /// Estimated relative cost per Monte-Carlo trial (see
+    /// [`estimated_trial_cost`]).
+    pub est_trial_cost: f64,
     /// Target-delay policy description.
     pub target_delay: String,
     /// Pipeline yield target.
@@ -166,22 +200,34 @@ impl CampaignPlan {
         );
         let _ = writeln!(
             out,
-            "\n{:<38} {:>6} {:>6} {:>12} {:>8} {:>7} {:>7} {:>6} {:>8}",
-            "run", "stages", "gates", "goal", "backend", "yield%", "alloc%", "rounds", "verify"
+            "\n{:<38} {:>6} {:>6} {:>12} {:>8} {:>6} {:>7} {:>7} {:>6} {:>8} {:>10}",
+            "run",
+            "stages",
+            "gates",
+            "goal",
+            "backend",
+            "kernel",
+            "yield%",
+            "alloc%",
+            "rounds",
+            "verify",
+            "cost/trial"
         );
         for r in &self.runs {
             let _ = writeln!(
                 out,
-                "{:<38} {:>6} {:>6} {:>12} {:>8} {:>7.1} {:>7.1} {:>6} {:>8}",
+                "{:<38} {:>6} {:>6} {:>12} {:>8} {:>6} {:>7.1} {:>7.1} {:>6} {:>8} {:>10.1}",
                 r.label,
                 r.stages,
                 r.gates,
                 r.goal,
                 r.yield_backend.keyword(),
+                r.kernel.keyword(),
                 100.0 * r.yield_target,
                 100.0 * r.stage_allocation,
                 r.rounds,
-                r.verify_trials
+                r.verify_trials,
+                r.est_trial_cost
             );
         }
         out

@@ -312,7 +312,9 @@ pub(crate) fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, E
                             "scenario '{label}': moments not Monte-Carlo-samplable: {e}"
                         ))
                     })?;
-                Some(Box::new(MvnSim::new(mvn)))
+                Some(Box::new(
+                    MvnSim::new(mvn).with_kernel(scenario.kernel.to_kernel()),
+                ))
             } else {
                 None
             };
@@ -333,7 +335,8 @@ pub(crate) fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, E
             let pipe = Pipeline::new(delays, timing.correlation.clone())
                 .map_err(|e| EngineError::new(format!("scenario '{label}': {e}")))?;
             let sim: Option<Box<dyn Simulator>> = (scenario.trials > 0).then(|| {
-                let mc = PipelineMc::new(CellLibrary::default(), variation, None);
+                let mc = PipelineMc::new(CellLibrary::default(), variation, None)
+                    .with_kernel(scenario.kernel.to_kernel());
                 crate::sim::gate_level_backend(scenario.backend, mc, staged)
             });
             (pipe, timing.correlation, gates, sim)
@@ -377,14 +380,22 @@ pub(crate) fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, E
 /// Runs one block of trials of one prepared scenario.
 fn run_block(p: &Prepared, ws: &mut TrialWorkspace, trials: Range<u64>) -> PipelineBlockStats {
     let n = trials.end.saturating_sub(trials.start);
-    let _sp = vardelay_obs::span("mc", "block").key(p.id).value(n as f64);
+    // Per-kernel span/counter names let `vardelay report` attribute
+    // Monte-Carlo time (and trial counts) to each kernel contract.
+    let (span_name, counter_name) = match p.scenario.kernel {
+        crate::spec::KernelSpec::V1 => ("block", "trials"),
+        crate::spec::KernelSpec::V2 => ("block_v2", "trials_v2"),
+    };
+    let _sp = vardelay_obs::span("mc", span_name)
+        .key(p.id)
+        .value(n as f64);
     let mut stats = PipelineBlockStats::new(p.stage_count, &p.targets);
     if let Some(spec) = p.histogram {
         stats = stats.with_histogram(spec);
     }
     let sim = p.sim.as_ref().expect("blocks only exist for MC scenarios");
     sim.run_block(ws, p.id, trials, &mut stats);
-    vardelay_obs::counter("trials", n);
+    vardelay_obs::counter(counter_name, n);
     stats
 }
 
@@ -497,11 +508,17 @@ impl Workload for Sweep {
             id: format!("{:016x}", unit.id),
             label: unit.scenario.label.clone(),
             backend: unit.scenario.backend,
+            kernel: unit.scenario.kernel,
             stages: unit.scenario.pipeline.stage_count(),
             gates: unit.gates,
             trials,
             blocks,
             targets: unit.targets.len(),
+            est_trial_cost: crate::plan::estimated_trial_cost(
+                unit.scenario.kernel,
+                unit.gates,
+                unit.scenario.pipeline.stage_count(),
+            ),
         }
     }
 
@@ -624,7 +641,7 @@ pub(crate) fn build_model_from_mc(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{LatchSpec, PipelineSpec, StageMoments, VariationSpec};
+    use crate::spec::{KernelSpec, LatchSpec, PipelineSpec, StageMoments, VariationSpec};
 
     fn tiny_sweep(trials: u64) -> Sweep {
         Sweep {
@@ -655,6 +672,7 @@ mod tests {
                     yield_targets: vec![110.0],
                     auto_target_sigmas: vec![1.0],
                     backend: BackendSpec::Pipeline,
+                    kernel: KernelSpec::default(),
                     histogram_bins: 0,
                 },
                 Scenario {
@@ -670,6 +688,7 @@ mod tests {
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Pipeline,
+                    kernel: KernelSpec::default(),
                     histogram_bins: 0,
                 },
             ],

@@ -31,7 +31,9 @@ use std::ops::Range;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vardelay_circuit::StagedPipeline;
-use vardelay_mc::{PipelineBlockStats, PipelineMc, PreparedPipelineMc, TrialWorkspace};
+use vardelay_mc::{
+    PipelineBlockStats, PipelineMc, PreparedPipelineMc, TrialKernel, TrialWorkspace, V2_LANES,
+};
 use vardelay_stats::MultivariateNormal;
 
 use crate::seed::trial_seed;
@@ -82,12 +84,25 @@ pub trait Simulator: Send + Sync {
 /// Joint-Gaussian stage-delay trials for moment-form scenarios.
 pub struct MvnSim {
     mvn: MultivariateNormal,
+    kernel: TrialKernel,
 }
 
 impl MvnSim {
-    /// Wraps a stage-delay joint distribution.
+    /// Wraps a stage-delay joint distribution (v1 trial kernel).
     pub fn new(mvn: MultivariateNormal) -> Self {
-        MvnSim { mvn }
+        MvnSim {
+            mvn,
+            kernel: TrialKernel::default(),
+        }
+    }
+
+    /// Selects the trial-kernel contract. `v2` draws its iid normals
+    /// through the batch pair-producing Box–Muller fill and folds
+    /// statistics over [`V2_LANES`] lanes — same seeds, different
+    /// (frozen) bytes.
+    pub fn with_kernel(mut self, kernel: TrialKernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 }
 
@@ -99,11 +114,36 @@ impl Simulator for MvnSim {
         trials: Range<u64>,
         stats: &mut PipelineBlockStats,
     ) {
-        for t in trials {
-            let mut rng = StdRng::seed_from_u64(trial_seed(scenario_id, t));
-            let stages = self.mvn.sample(&mut rng);
-            let maxd = stages.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            stats.record(&stages, maxd);
+        match self.kernel {
+            TrialKernel::V1 => {
+                for t in trials {
+                    let mut rng = StdRng::seed_from_u64(trial_seed(scenario_id, t));
+                    let stages = self.mvn.sample(&mut rng);
+                    let maxd = stages.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    stats.record(&stages, maxd);
+                }
+            }
+            TrialKernel::V2 => {
+                // Lane-folded accumulation: trial t lands in lane
+                // t % V2_LANES (a pure function of the global index, so
+                // the fold tree is identical for any worker count), and
+                // lanes merge in ascending order at block end. The
+                // runner's fixed block partition makes this the same
+                // merge tree for every execution shape.
+                let mut lanes: Vec<PipelineBlockStats> =
+                    (0..V2_LANES).map(|_| stats.fresh_like()).collect();
+                let mut z = Vec::new();
+                let mut x = Vec::new();
+                for t in trials {
+                    let mut rng = StdRng::seed_from_u64(trial_seed(scenario_id, t));
+                    self.mvn.sample_into_v2(&mut rng, &mut z, &mut x);
+                    let maxd = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    lanes[(t % V2_LANES as u64) as usize].record(&x, maxd);
+                }
+                for lane in &lanes {
+                    stats.merge(lane);
+                }
+            }
         }
     }
 }

@@ -85,6 +85,76 @@ impl Deserialize for BackendSpec {
     }
 }
 
+/// Which **trial-kernel contract** executes a scenario's Monte-Carlo
+/// arithmetic (see `vardelay_mc::TrialKernel`).
+///
+/// Serialized in lowercase (`"kernel": "v2"`); omitted from the
+/// serialized form when it is the default, so pre-kernel sweep specs
+/// keep both their JSON shape **and** their content-hash scenario IDs.
+/// Like `backend`, the kernel is excluded from scenario identity: the
+/// same spec content and sweep seed derive the same per-trial RNG
+/// seeds under either kernel — only the trial arithmetic (and hence
+/// the result bytes) differs, and each kernel is byte-stable against
+/// itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum KernelSpec {
+    /// The original scalar trial kernel — every historical result's
+    /// byte contract.
+    #[default]
+    V1,
+    /// The batch structure-of-arrays kernel: pair-producing Box–Muller
+    /// die sampling, inverse-CDF gate normals, polynomial slowdown
+    /// factors, lane-folded statistics. 3–5× the trial throughput of
+    /// `v1` under its own (equally frozen) byte contract.
+    V2,
+}
+
+impl KernelSpec {
+    /// The lowercase spec keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            KernelSpec::V1 => "v1",
+            KernelSpec::V2 => "v2",
+        }
+    }
+
+    /// Parses a lowercase spec keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid keywords.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "v1" => Ok(KernelSpec::V1),
+            "v2" => Ok(KernelSpec::V2),
+            other => Err(format!("unknown kernel '{other}' (use v1|v2)")),
+        }
+    }
+
+    /// The `vardelay-mc` kernel this spec keyword selects.
+    pub fn to_kernel(self) -> vardelay_mc::TrialKernel {
+        match self {
+            KernelSpec::V1 => vardelay_mc::TrialKernel::V1,
+            KernelSpec::V2 => vardelay_mc::TrialKernel::V2,
+        }
+    }
+}
+
+impl Serialize for KernelSpec {
+    fn to_value(&self) -> Value {
+        Value::String(self.keyword().to_owned())
+    }
+}
+
+impl Deserialize for KernelSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::String(s) => KernelSpec::parse(s).map_err(serde::Error::new),
+            _ => Err(serde::Error::new("kernel must be a string")),
+        }
+    }
+}
+
 /// A named combinational circuit, built by the generators in
 /// `vardelay-circuit` — how netlist-backend sweeps refer to concrete
 /// workloads (the paper's chains, the Fig. 6 ALU/decoder segments, the
@@ -577,6 +647,8 @@ pub struct Scenario {
     pub auto_target_sigmas: Vec<f64>,
     /// Which simulator runs the trials.
     pub backend: BackendSpec,
+    /// Which trial-kernel contract runs the trials.
+    pub kernel: KernelSpec,
     /// When positive, stream a fixed-range histogram of the pipeline
     /// delay (bounds derived from the analytic model) into the result —
     /// distribution shape without retained samples.
@@ -605,6 +677,9 @@ impl Serialize for Scenario {
         if self.backend != BackendSpec::default() {
             fields.push(("backend".to_owned(), self.backend.to_value()));
         }
+        if self.kernel != KernelSpec::default() {
+            fields.push(("kernel".to_owned(), self.kernel.to_value()));
+        }
         if self.histogram_bins != 0 {
             fields.push(("histogram_bins".to_owned(), self.histogram_bins.to_value()));
         }
@@ -617,7 +692,7 @@ impl Deserialize for Scenario {
         // The optional fields make typos dangerous: a misspelled
         // `backend` would silently fall back to the default and run a
         // different experiment. Reject unknown keys outright.
-        const KNOWN: [&str; 8] = [
+        const KNOWN: [&str; 9] = [
             "label",
             "pipeline",
             "variation",
@@ -625,6 +700,7 @@ impl Deserialize for Scenario {
             "yield_targets",
             "auto_target_sigmas",
             "backend",
+            "kernel",
             "histogram_bins",
         ];
         if let Value::Object(fields) = v {
@@ -649,6 +725,10 @@ impl Deserialize for Scenario {
                 .map(Deserialize::from_value)
                 .transpose()?
                 .unwrap_or_default(),
+            kernel: opt("kernel")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or_default(),
             histogram_bins: opt("histogram_bins")
                 .map(Deserialize::from_value)
                 .transpose()?
@@ -663,15 +743,18 @@ impl Scenario {
     /// Hashes the serialized spec, so any change to any
     /// *experiment-defining* field (or to the sweep seed) changes every
     /// per-trial RNG stream, while re-ordering scenarios inside the
-    /// sweep changes nothing. Two fields are deliberately **excluded**:
-    /// `backend` and `histogram_bins` describe how trials are executed
-    /// and observed, not what is simulated — the gate-level backends
-    /// are bit-identical per seed, so flipping a spec from `pipeline`
-    /// to `netlist` (or adding a histogram) reproduces the exact same
-    /// Monte-Carlo numbers.
+    /// sweep changes nothing. Three fields are deliberately
+    /// **excluded**: `backend`, `kernel` and `histogram_bins` describe
+    /// how trials are executed and observed, not what is simulated —
+    /// the gate-level backends are bit-identical per seed, so flipping
+    /// a spec from `pipeline` to `netlist` (or adding a histogram)
+    /// reproduces the exact same Monte-Carlo numbers, and flipping the
+    /// kernel keeps every per-trial RNG seed (only the trial arithmetic
+    /// changes, under its own frozen contract).
     pub fn id(&self, sweep_seed: u64) -> u64 {
         let mut identity = self.clone();
         identity.backend = BackendSpec::default();
+        identity.kernel = KernelSpec::default();
         identity.histogram_bins = 0;
         let json = serde_json::to_string(&identity).expect("scenario specs are finite");
         fnv1a64(json.as_bytes()) ^ sweep_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -700,6 +783,8 @@ pub struct GridSpec {
     pub auto_target_sigmas: Vec<f64>,
     /// Simulation backend stamped on every generated scenario.
     pub backend: BackendSpec,
+    /// Trial-kernel contract stamped on every generated scenario.
+    pub kernel: KernelSpec,
     /// Histogram bins stamped on every generated scenario (0 = none).
     pub histogram_bins: usize,
 }
@@ -725,6 +810,9 @@ impl Serialize for GridSpec {
         if self.backend != BackendSpec::default() {
             fields.push(("backend".to_owned(), self.backend.to_value()));
         }
+        if self.kernel != KernelSpec::default() {
+            fields.push(("kernel".to_owned(), self.kernel.to_value()));
+        }
         if self.histogram_bins != 0 {
             fields.push(("histogram_bins".to_owned(), self.histogram_bins.to_value()));
         }
@@ -734,7 +822,7 @@ impl Serialize for GridSpec {
 
 impl Deserialize for GridSpec {
     fn from_value(v: &Value) -> Result<Self, serde::Error> {
-        const KNOWN: [&str; 10] = [
+        const KNOWN: [&str; 11] = [
             "stage_counts",
             "logic_depths",
             "sizes",
@@ -744,6 +832,7 @@ impl Deserialize for GridSpec {
             "yield_targets",
             "auto_target_sigmas",
             "backend",
+            "kernel",
             "histogram_bins",
         ];
         if let Value::Object(fields) = v {
@@ -767,6 +856,11 @@ impl Deserialize for GridSpec {
             auto_target_sigmas: Deserialize::from_value(v.field("auto_target_sigmas")?)?,
             backend: v
                 .get("backend")
+                .map(Deserialize::from_value)
+                .transpose()?
+                .unwrap_or_default(),
+            kernel: v
+                .get("kernel")
                 .map(Deserialize::from_value)
                 .transpose()?
                 .unwrap_or_default(),
@@ -801,6 +895,7 @@ impl GridSpec {
                             yield_targets: self.yield_targets.clone(),
                             auto_target_sigmas: self.auto_target_sigmas.clone(),
                             backend: self.backend,
+                            kernel: self.kernel,
                             histogram_bins: self.histogram_bins,
                         });
                     }
@@ -923,6 +1018,7 @@ impl Sweep {
                     yield_targets: vec![215.0],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Pipeline,
+                    kernel: KernelSpec::default(),
                     histogram_bins: 0,
                 },
                 Scenario {
@@ -937,6 +1033,7 @@ impl Sweep {
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Pipeline,
+                    kernel: KernelSpec::default(),
                     histogram_bins: 0,
                 },
             ],
@@ -957,6 +1054,7 @@ impl Sweep {
                 yield_targets: vec![],
                 auto_target_sigmas: vec![1.2],
                 backend: BackendSpec::Pipeline,
+                kernel: KernelSpec::default(),
                 histogram_bins: 0,
             }),
         }
@@ -990,6 +1088,7 @@ impl Sweep {
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Netlist,
+                    kernel: KernelSpec::default(),
                     histogram_bins: 24,
                 },
                 Scenario {
@@ -1000,6 +1099,7 @@ impl Sweep {
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Analytic,
+                    kernel: KernelSpec::default(),
                     histogram_bins: 0,
                 },
                 Scenario {
@@ -1021,6 +1121,7 @@ impl Sweep {
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Netlist,
+                    kernel: KernelSpec::default(),
                     histogram_bins: 0,
                 },
                 Scenario {
@@ -1036,6 +1137,7 @@ impl Sweep {
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Netlist,
+                    kernel: KernelSpec::default(),
                     histogram_bins: 0,
                 },
                 Scenario {
@@ -1064,6 +1166,7 @@ impl Sweep {
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Netlist,
+                    kernel: KernelSpec::default(),
                     histogram_bins: 0,
                 },
             ],
@@ -1149,6 +1252,50 @@ mod tests {
         assert_eq!(base_id, tweaked.id(7), "backend is not part of identity");
         tweaked.trials += 1;
         assert_ne!(base_id, tweaked.id(7), "the experiment itself still is");
+    }
+
+    #[test]
+    fn kernel_field_roundtrips_and_is_excluded_from_identity() {
+        // Pre-kernel specs: the default is omitted on write, so an old
+        // spec keeps its bytes (and its content-hash IDs).
+        let sweep = Sweep::example();
+        let json = sweep.to_json();
+        assert!(!json.contains("kernel"), "default must be omitted: {json}");
+        let back = Sweep::from_json(&json).unwrap();
+        assert_eq!(back.scenarios[0].kernel, KernelSpec::V1);
+
+        // Selecting v2 serializes, round-trips, and — like the backend
+        // — does NOT change the scenario ID: both kernels derive the
+        // same per-trial seeds from the same spec content.
+        let mut tweaked = sweep.scenarios[1].clone();
+        let base_id = tweaked.id(7);
+        tweaked.kernel = KernelSpec::V2;
+        let j = serde_json::to_string(&tweaked).unwrap();
+        assert!(j.contains("\"kernel\":\"v2\""), "{j}");
+        let back: Scenario = serde_json::from_str(&j).unwrap();
+        assert_eq!(tweaked, back);
+        assert_eq!(base_id, tweaked.id(7), "kernel is not part of identity");
+    }
+
+    #[test]
+    fn unknown_kernel_keyword_is_rejected_listing_the_valid_set() {
+        let err = KernelSpec::parse("v3").unwrap_err();
+        assert_eq!(err, "unknown kernel 'v3' (use v1|v2)");
+        let mut sweep = Sweep::example();
+        let json = sweep
+            .to_json()
+            .replace("\"trials\": 4000", "\"trials\": 4000, \"kernel\": \"fast\"");
+        let err = Sweep::from_json(&json).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unknown kernel 'fast' (use v1|v2)"),
+            "{err}"
+        );
+        // And a grid stamps its kernel onto every generated scenario.
+        sweep.grid.as_mut().unwrap().kernel = KernelSpec::V2;
+        assert!(sweep.expand()[2..]
+            .iter()
+            .all(|s| s.kernel == KernelSpec::V2));
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! gate-level Monte-Carlo in the paper's Table-1 regime.
 
 use vardelay_engine::{
-    run_sweep, BackendSpec, CircuitSpec, LatchSpec, PipelineSpec, Scenario, Sweep, SweepOptions,
-    VariationSpec,
+    run_sweep, BackendSpec, CircuitSpec, KernelSpec, LatchSpec, PipelineSpec, Scenario, Sweep,
+    SweepOptions, VariationSpec,
 };
 
 fn chain_5x8() -> PipelineSpec {
@@ -22,6 +22,7 @@ fn chain_5x8() -> PipelineSpec {
 
 fn scenario(label: &str, backend: BackendSpec, trials: u64) -> Scenario {
     Scenario {
+        kernel: KernelSpec::default(),
         label: label.to_owned(),
         pipeline: chain_5x8(),
         variation: VariationSpec::RandomOnly { sigma_mv: 35.0 },
@@ -178,6 +179,7 @@ fn backend_mismatches_are_rejected_with_context() {
         yield_targets: vec![],
         auto_target_sigmas: vec![],
         backend: BackendSpec::Netlist,
+        kernel: KernelSpec::default(),
         histogram_bins: 0,
     };
     let err = run_sweep(&sweep, &SweepOptions::sequential()).unwrap_err();

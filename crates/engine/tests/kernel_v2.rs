@@ -1,0 +1,260 @@
+//! The versioned-kernel determinism contract, end to end.
+//!
+//! `kernel: "v2"` selects the batch trial kernel. The contract it must
+//! honor is the same one every other execution-strategy field honors:
+//!
+//! * v2 is byte-identical **to itself** at any worker count, under
+//!   `--shard i/n` merge, across a kill-then-resume splice, and with or
+//!   without tracing;
+//! * v2 agrees with v1 **statistically** (same per-trial seeds, same
+//!   distributions, different arithmetic), never byte-for-byte;
+//! * flipping a scenario to v2 changes nothing about any v1 scenario's
+//!   bytes — the two kernels share no mutable state;
+//! * kernel twins (specs identical except `kernel`) share a scenario ID
+//!   by design, yet journal keys keep their results distinct on resume.
+
+use vardelay_engine::optimize::OptimizationCampaign;
+use vardelay_engine::workload::{
+    checkpoint_line, run_units, run_workload, Checkpoint, Shard, Workload, WorkloadOptions,
+};
+use vardelay_engine::{run_sweep, KernelSpec, Sweep, SweepOptions};
+
+/// The example sweep with every scenario flipped to the v2 kernel and
+/// the trial budget shrunk but still spanning several blocks.
+fn v2_sweep() -> Sweep {
+    let mut sweep = Sweep::example();
+    for s in &mut sweep.scenarios {
+        s.trials = 600;
+        s.kernel = KernelSpec::V2;
+    }
+    if let Some(grid) = sweep.grid.as_mut() {
+        grid.trials = 600;
+        grid.kernel = KernelSpec::V2;
+    }
+    sweep
+}
+
+/// A small all-v2 campaign (seconds, not minutes, in debug builds).
+fn v2_campaign() -> OptimizationCampaign {
+    let mut campaign = OptimizationCampaign::example();
+    campaign.grid = None;
+    campaign.runs.truncate(2);
+    for run in &mut campaign.runs {
+        run.verify_trials = 256;
+        run.eval_trials = 256;
+        run.rounds = 1;
+        run.kernel = KernelSpec::V2;
+        if let vardelay_opt::TargetDelayPolicy::FrontierQuantile { refine, .. } =
+            &mut run.target_delay
+        {
+            *refine = 1;
+        }
+    }
+    campaign
+}
+
+/// Runs a workload collecting its checkpoint lines, exactly as the CLI
+/// journals them.
+fn journal<W: Workload>(
+    w: &W,
+    opts: &WorkloadOptions<'_, W::UnitResult>,
+) -> (String, vardelay_engine::workload::WorkloadStats) {
+    let mut lines = String::new();
+    let stats = run_units(w, opts, |_slot, id, result, _resumed| {
+        lines.push_str(&checkpoint_line(id, &result));
+        lines.push('\n');
+        Ok(())
+    })
+    .expect("workload runs");
+    (lines, stats)
+}
+
+#[test]
+fn v2_sweep_bit_identical_across_worker_counts() {
+    let sweep = v2_sweep();
+    let baseline = run_sweep(&sweep, &SweepOptions::sequential()).unwrap();
+    let baseline_json = baseline.to_json();
+    for workers in [2, 8] {
+        let run = run_sweep(&sweep, &SweepOptions { workers }).unwrap();
+        assert_eq!(
+            baseline_json,
+            run.to_json(),
+            "v2 results at {workers} workers differ from sequential"
+        );
+    }
+}
+
+#[test]
+fn v2_campaign_bit_identical_across_worker_counts() {
+    let campaign = v2_campaign();
+    let baseline = run_workload(&campaign, &WorkloadOptions::sequential())
+        .unwrap()
+        .to_json();
+    let run = run_workload(&campaign, &WorkloadOptions::sequential().with_workers(8)).unwrap();
+    assert_eq!(baseline, run.to_json(), "v2 campaign differs at 8 workers");
+}
+
+/// 3-shard merge: the documented shard-then-resume recipe reproduces
+/// the unsharded v2 output byte for byte.
+#[test]
+fn v2_three_shard_merge_is_bitwise_identical() {
+    let sweep = v2_sweep();
+    let unsharded = run_workload(&sweep, &WorkloadOptions::sequential())
+        .expect("unsharded run")
+        .to_json();
+    let total_units = sweep.prepare().expect("spec is valid").len();
+
+    let n = 3u64;
+    let mut merged_lines = String::new();
+    let mut unit_sum = 0;
+    for i in 1..=n {
+        let shard = Shard::new(i, n).unwrap();
+        let (lines, stats) = journal(&sweep, &WorkloadOptions::sequential().with_shard(shard));
+        unit_sum += stats.units;
+        merged_lines.push_str(&lines);
+    }
+    assert_eq!(unit_sum, total_units, "shards partition the unit set");
+
+    let ckpt: Checkpoint<<Sweep as Workload>::UnitResult> =
+        Checkpoint::parse(&merged_lines).expect("journals parse");
+    let merged =
+        run_workload(&sweep, &WorkloadOptions::sequential().with_resume(&ckpt)).expect("merge run");
+    assert_eq!(
+        merged.to_json(),
+        unsharded,
+        "merged 3-shard v2 output must be bitwise identical"
+    );
+}
+
+/// Kill-then-resume: a truncated v2 journal resumes to bytes identical
+/// to the uninterrupted run.
+#[test]
+fn v2_kill_and_resume_is_byte_identical() {
+    let sweep = v2_sweep();
+    let uninterrupted = run_workload(&sweep, &WorkloadOptions::sequential())
+        .unwrap()
+        .to_json();
+    let (lines, stats) = journal(&sweep, &WorkloadOptions::sequential());
+    let keep = 2;
+    assert!(stats.units > keep, "test must leave work to resume");
+    let prefix: String = lines.lines().take(keep).flat_map(|l| [l, "\n"]).collect();
+    let ckpt: Checkpoint<<Sweep as Workload>::UnitResult> =
+        Checkpoint::parse(&prefix).expect("prefix parses");
+    let resumed = run_workload(&sweep, &WorkloadOptions::sequential().with_resume(&ckpt)).unwrap();
+    assert_eq!(resumed.to_json(), uninterrupted);
+}
+
+/// Tracing is out of band for v2 exactly as for v1.
+#[test]
+fn v2_bytes_identical_with_and_without_tracing() {
+    let mut sweep = v2_sweep();
+    sweep.grid = None; // keep the traced run quick
+    let plain = run_workload(&sweep, &WorkloadOptions::sequential())
+        .unwrap()
+        .to_json();
+    let session = vardelay_obs::Session::start();
+    let traced = run_workload(&sweep, &WorkloadOptions::sequential())
+        .unwrap()
+        .to_json();
+    let rec = session.finish();
+    assert_eq!(plain, traced, "tracing changed v2 result bytes");
+    // v2 emits its own span + counter names so throughput is
+    // attributable per kernel.
+    let agg = vardelay_obs::aggregate(&rec);
+    assert!(
+        agg.phases.contains_key("mc/block_v2"),
+        "v2 blocks must be recorded under mc/block_v2"
+    );
+    assert!(agg.counter("trials_v2") > 0, "v2 trials counter missing");
+}
+
+/// v1 and v2 see the same per-trial seeds and distributions, so their
+/// estimates agree statistically — but the arithmetic differs, so the
+/// bytes must not collide.
+#[test]
+fn v1_and_v2_agree_statistically_but_not_bitwise() {
+    let mut v1 = Sweep::example();
+    v1.grid = None;
+    for s in &mut v1.scenarios {
+        s.trials = 4000;
+    }
+    let mut v2 = v1.clone();
+    for s in &mut v2.scenarios {
+        s.kernel = KernelSpec::V2;
+    }
+
+    let a = run_sweep(&v1, &SweepOptions::sequential()).unwrap();
+    let b = run_sweep(&v2, &SweepOptions::sequential()).unwrap();
+    for (x, y) in a.scenarios.iter().zip(&b.scenarios) {
+        assert_eq!(x.analytic, y.analytic, "analytic model is kernel-free");
+        let (mx, my) = (x.mc.as_ref().unwrap(), y.mc.as_ref().unwrap());
+        assert_ne!(
+            mx.mean_ps, my.mean_ps,
+            "{}: kernels share arithmetic, contract is vacuous",
+            x.label
+        );
+        let rel = (mx.mean_ps - my.mean_ps).abs() / mx.mean_ps;
+        assert!(rel < 0.02, "{}: v1/v2 mean disagree: {rel}", x.label);
+        let rels = (mx.sd_ps - my.sd_ps).abs() / mx.sd_ps;
+        assert!(rels < 0.10, "{}: v1/v2 sigma disagree: {rels}", x.label);
+    }
+}
+
+/// Flipping one scenario to v2 must leave every v1 scenario's bytes
+/// untouched (kernels share no state, and `kernel` is excluded from
+/// identity so seeds never move).
+#[test]
+fn v2_presence_leaves_v1_scenarios_byte_unchanged() {
+    let mut sweep = Sweep::example();
+    sweep.grid = None;
+    for s in &mut sweep.scenarios {
+        s.trials = 600;
+    }
+    let pure = run_sweep(&sweep, &SweepOptions::sequential()).unwrap();
+
+    let mut mixed = sweep.clone();
+    let mut twin = mixed.scenarios[0].clone();
+    twin.label = format!("{} (v2)", twin.label);
+    twin.kernel = KernelSpec::V2;
+    mixed.scenarios.push(twin);
+    let run = run_sweep(&mixed, &SweepOptions::sequential()).unwrap();
+
+    for (x, y) in pure.scenarios.iter().zip(&run.scenarios) {
+        assert_eq!(
+            x, y,
+            "{}: v1 bytes moved when a v2 scenario joined",
+            x.label
+        );
+    }
+}
+
+/// Kernel twins — scenarios identical except `kernel` — share a
+/// scenario ID (same seeds by construction) but the journal key must
+/// keep their results distinct, or resume would splice one kernel's
+/// numbers into the other's slot.
+#[test]
+fn kernel_twins_share_id_but_resume_byte_identically() {
+    let mut sweep = Sweep::example();
+    sweep.grid = None;
+    sweep.scenarios.truncate(1);
+    sweep.scenarios[0].trials = 300;
+    let mut twin = sweep.scenarios[0].clone();
+    twin.kernel = KernelSpec::V2;
+    assert_eq!(
+        sweep.scenarios[0].id(sweep.seed),
+        twin.id(sweep.seed),
+        "precondition: kernel twins share the scenario ID"
+    );
+    sweep.scenarios.push(twin);
+
+    let (lines, stats) = journal(&sweep, &WorkloadOptions::sequential());
+    assert_eq!(stats.units, 2);
+    assert_ne!(stats.keys[0], stats.keys[1], "journal keys stay distinct");
+
+    let uninterrupted = run_workload(&sweep, &WorkloadOptions::sequential())
+        .unwrap()
+        .to_json();
+    let ckpt: Checkpoint<<Sweep as Workload>::UnitResult> = Checkpoint::parse(&lines).unwrap();
+    let resumed = run_workload(&sweep, &WorkloadOptions::sequential().with_resume(&ckpt)).unwrap();
+    assert_eq!(resumed.to_json(), uninterrupted);
+}

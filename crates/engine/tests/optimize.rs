@@ -3,7 +3,7 @@
 
 use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
 use vardelay_engine::spec::{LatchSpec, PipelineSpec, VariationSpec};
-use vardelay_engine::{plan_campaign, run_campaign, SweepOptions};
+use vardelay_engine::{plan_campaign, run_campaign, KernelSpec, SweepOptions};
 use vardelay_opt::{OptimizationGoal, TargetDelayPolicy};
 
 /// The golden Table-II-style operating point.
@@ -32,6 +32,7 @@ fn table2_style(backend: YieldBackendSpec) -> OptimizeSpec {
         goal: OptimizationGoal::EnsureYield,
         rounds: 4,
         yield_backend: backend,
+        kernel: KernelSpec::default(),
         eval_trials: 2_048,
         verify_trials: 32_768,
     }

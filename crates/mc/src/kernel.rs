@@ -1,0 +1,68 @@
+//! The versioned Monte-Carlo trial-kernel contract.
+//!
+//! A *trial kernel* is the complete recipe that turns a per-trial seed
+//! into recorded statistics: how uniforms become normals, how slowdown
+//! factors are evaluated, and in what order partial statistics merge.
+//! Each kernel version is a **determinism contract**: for a fixed spec
+//! and version, result bytes are invariant across worker counts, shard
+//! splits, resume splices, and tracing. A faster kernel is therefore a
+//! *new version* — never a silent change to an existing one — and two
+//! versions agree only statistically (same distributions within Monte-
+//! Carlo error), not byte-for-byte.
+//!
+//! The kernel version is deliberately **excluded from scenario identity
+//! hashes**, exactly like the execution backend: identity pins *what is
+//! simulated* (and the per-trial seed derivation, which all kernels
+//! share), while the kernel pins *how the arithmetic runs*. Results land
+//! in distinct journal entries per kernel, but a spec's seeds never move
+//! when the kernel changes.
+
+/// Which trial-kernel contract a Monte-Carlo runner executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrialKernel {
+    /// The original scalar kernel: one Box–Muller normal at a time
+    /// (cosine half only), exact `powf` slowdown factors, sequential
+    /// statistics accumulation. Every result byte produced before
+    /// kernels were versioned is a V1 byte.
+    #[default]
+    V1,
+    /// The batch kernel: structure-of-arrays sampling with pair-
+    /// producing Box–Muller for die-level normals, one-uniform
+    /// inverse-CDF normals per gate, frozen polynomial
+    /// `exp(α·ln(od/(od−ΔVth)))` slowdown factors, and statistics
+    /// folded through [`V2_LANES`] lanes in a fixed merge order.
+    V2,
+}
+
+impl TrialKernel {
+    /// Stable lowercase name (`"v1"` / `"v2"`), used in specs, spans and
+    /// reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrialKernel::V1 => "v1",
+            TrialKernel::V2 => "v2",
+        }
+    }
+}
+
+/// Number of statistics lanes in the v2 kernel's fixed merge tree.
+///
+/// v2 accumulates trial `t` into lane `t % V2_LANES` and folds the lanes
+/// in ascending lane order at the end of every block. The lane count and
+/// fold order are **part of the v2 contract**: floating-point merging is
+/// order-sensitive, so freezing the tree is what makes v2 byte-identical
+/// to itself at any worker count, shard split, or resume point (all of
+/// which preserve block boundaries).
+pub const V2_LANES: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_default() {
+        assert_eq!(TrialKernel::default(), TrialKernel::V1);
+        assert_eq!(TrialKernel::V1.name(), "v1");
+        assert_eq!(TrialKernel::V2.name(), "v2");
+    }
+}

@@ -17,6 +17,9 @@
 //!   overhead), multithreaded.
 //! * [`prepared`] — the allocation-free prepared/workspace variant of
 //!   the pipeline runner (the sweep engine's gate-level hot path).
+//! * [`kernel`] — the versioned trial-kernel contract: v1 (scalar
+//!   Box–Muller + exact `powf`) and v2 (batch sampling + frozen
+//!   polynomial slowdown + lane-folded statistics).
 //!
 //! # Example
 //!
@@ -35,11 +38,13 @@
 #![warn(clippy::all)]
 
 pub mod engine;
+pub mod kernel;
 pub mod pipeline_mc;
 pub mod prepared;
 pub mod results;
 
 pub use engine::NetlistMc;
+pub use kernel::{TrialKernel, V2_LANES};
 pub use pipeline_mc::{PipelineMc, PipelineMcResult};
 pub use prepared::{PreparedPipelineMc, TrialWorkspace};
 pub use results::{HistogramSpec, McConfig, McResult, PipelineBlockStats, YieldEstimate};

@@ -10,6 +10,7 @@ use vardelay_stats::normal::sample_standard_normal;
 use vardelay_stats::RunningStats;
 
 use crate::engine::NetlistMc;
+use crate::kernel::TrialKernel;
 use crate::results::{McConfig, McResult, PipelineBlockStats};
 
 /// Results of a pipeline Monte-Carlo campaign.
@@ -45,13 +46,15 @@ impl PipelineMcResult {
 #[derive(Debug, Clone)]
 pub struct PipelineMc {
     inner: NetlistMc,
+    kernel: TrialKernel,
 }
 
 impl PipelineMc {
-    /// Creates a runner.
+    /// Creates a runner (v1 trial kernel).
     pub fn new(lib: CellLibrary, variation: VariationConfig, grid: Option<SpatialGrid>) -> Self {
         PipelineMc {
             inner: NetlistMc::new(lib, variation, grid),
+            kernel: TrialKernel::default(),
         }
     }
 
@@ -63,6 +66,18 @@ impl PipelineMc {
     pub fn with_output_load(mut self, load: f64) -> Self {
         self.inner = self.inner.with_output_load(load);
         self
+    }
+
+    /// Selects the trial-kernel contract for block runs; prepared
+    /// runners compiled from this runner inherit it.
+    pub fn with_kernel(mut self, kernel: TrialKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The selected trial-kernel contract.
+    pub fn kernel(&self) -> TrialKernel {
+        self.kernel
     }
 
     /// Access to the single-netlist runner.
@@ -98,6 +113,12 @@ impl PipelineMc {
     /// range is split into blocks; with a fixed block partition and
     /// in-order merging this is what gives the sweep engine's worker
     /// pool worker-count-independent output.
+    ///
+    /// Under the v2 kernel the block is delegated to a freshly compiled
+    /// [`crate::PreparedPipelineMc`] (which defines the v2 arithmetic),
+    /// so both runners produce the same v2 bytes per seed — the same
+    /// equivalence the v1 kernel maintains, at the cost of a per-call
+    /// compile. Hot paths should hold a prepared runner directly.
     pub fn run_block(
         &self,
         pipeline: &StagedPipeline,
@@ -105,10 +126,19 @@ impl PipelineMc {
         seed_of: impl Fn(u64) -> u64,
         stats: &mut PipelineBlockStats,
     ) {
-        for t in trials {
-            let mut rng = StdRng::seed_from_u64(seed_of(t));
-            let (stages, maxd) = self.sample_trial(pipeline, &mut rng);
-            stats.record(&stages, maxd);
+        match self.kernel {
+            TrialKernel::V1 => {
+                for t in trials {
+                    let mut rng = StdRng::seed_from_u64(seed_of(t));
+                    let (stages, maxd) = self.sample_trial(pipeline, &mut rng);
+                    stats.record(&stages, maxd);
+                }
+            }
+            TrialKernel::V2 => {
+                let prepared = crate::PreparedPipelineMc::new(self, pipeline);
+                let mut ws = prepared.workspace();
+                prepared.run_block(&mut ws, trials, seed_of, stats);
+            }
         }
     }
 

@@ -23,8 +23,10 @@ use vardelay_circuit::{CellLibrary, LatchParams, Netlist, StagedPipeline};
 use vardelay_process::spatial::DiePosition;
 use vardelay_process::{pelgrom_sigma, DieSample, ProcessSampler};
 use vardelay_ssta::sta::{arrival_times_into, nominal_gate_delays};
+use vardelay_stats::batch::{fill_standard_normals_inv_cdf, sample_standard_normal_inv_cdf};
 use vardelay_stats::normal::sample_standard_normal;
 
+use crate::kernel::{TrialKernel, V2_LANES};
 use crate::pipeline_mc::PipelineMc;
 use crate::results::PipelineBlockStats;
 
@@ -53,10 +55,14 @@ struct PreparedStage {
 /// across a block.
 #[derive(Debug, Clone, Default)]
 pub struct TrialWorkspace {
-    /// iid standard normals for the spatial regions.
+    /// iid standard normals for the spatial regions (the v2 kernel also
+    /// uses one extra slot for the inter-die draw).
     z: Vec<f64>,
     /// The die sample (its region vector is reused).
     die: DieSample,
+    /// Per-gate standard normals of the stage currently being timed
+    /// (v2 kernel only — v1 draws them inline).
+    normals: Vec<f64>,
     /// Per-gate slowdown factors of the stage currently being timed.
     slowdown: Vec<f64>,
     /// Arrival times of the stage currently being timed.
@@ -88,8 +94,12 @@ pub struct PreparedPipelineMc {
     lib: CellLibrary,
     sampler: ProcessSampler,
     stages: Vec<PreparedStage>,
+    /// Total per-gate random-σ count across all stages: the length of
+    /// the single up-front normal fill the v2 kernel performs per trial.
+    rand_total: usize,
     latch: LatchParams,
     output_load: f64,
+    kernel: TrialKernel,
 }
 
 impl PreparedPipelineMc {
@@ -106,14 +116,23 @@ impl PreparedPipelineMc {
             .iter()
             .zip(pipeline.positions())
             .map(|(netlist, pos)| Self::prepare_stage(&lib, &sampler, output_load, netlist, *pos))
-            .collect();
+            .collect::<Vec<PreparedStage>>();
+        let rand_total = stages.iter().map(|s| s.rand_sigma.len()).sum();
         PreparedPipelineMc {
             lib,
             sampler,
             stages,
+            rand_total,
             latch: pipeline.latch(),
             output_load,
+            kernel: mc.kernel(),
         }
+    }
+
+    /// The trial-kernel contract this runner executes (inherited from
+    /// the [`PipelineMc`] it was compiled from).
+    pub fn kernel(&self) -> TrialKernel {
+        self.kernel
     }
 
     /// Compiles one stage: the per-gate precomputation `new` and
@@ -168,6 +187,7 @@ impl PreparedPipelineMc {
                     Self::prepare_stage(&self.lib, &self.sampler, self.output_load, netlist, *pos)
                 })
                 .collect();
+            self.rand_total = self.stages.iter().map(|s| s.rand_sigma.len()).sum();
             return;
         }
         for (i, (netlist, pos)) in pipeline
@@ -184,6 +204,7 @@ impl PreparedPipelineMc {
                 self.stages[i].region = region;
             }
         }
+        self.rand_total = self.stages.iter().map(|s| s.rand_sigma.len()).sum();
     }
 
     /// Number of pipeline stages.
@@ -216,12 +237,16 @@ impl PreparedPipelineMc {
         let before = (
             ws.z.capacity(),
             ws.die.region_dvth.capacity(),
+            ws.normals.capacity(),
             ws.slowdown.capacity(),
             ws.at.capacity(),
             ws.stage_delays.capacity(),
         );
-        grow(&mut ws.z, regions);
+        // +1: the v2 kernel shares the buffer between the inter-die draw
+        // and the region draws.
+        grow(&mut ws.z, regions + 1);
         grow(&mut ws.die.region_dvth, regions);
+        grow(&mut ws.normals, max_gates.max(self.rand_total));
         grow(&mut ws.slowdown, max_gates);
         grow(&mut ws.at, max_signals);
         grow(&mut ws.stage_delays, self.stages.len());
@@ -229,6 +254,7 @@ impl PreparedPipelineMc {
         let after = (
             ws.z.capacity(),
             ws.die.region_dvth.capacity(),
+            ws.normals.capacity(),
             ws.slowdown.capacity(),
             ws.at.capacity(),
             ws.stage_delays.capacity(),
@@ -288,6 +314,73 @@ impl PreparedPipelineMc {
         max_d
     }
 
+    /// One **v2-kernel** trial into the workspace; returns the pipeline
+    /// delay. Same spec semantics as [`Self::sample_trial`] — same seed
+    /// derivation, same component model, same deterministic timing — but
+    /// batch-shaped arithmetic: the die's normals come from one pair-
+    /// producing Box–Muller fill, each stage's per-gate normals from a
+    /// structure-of-arrays inverse-CDF fill (one uniform per gate), the
+    /// slowdown factor from the frozen polynomial kernels, and the latch
+    /// overhead normal is drawn **only when the latch has jitter** (v1
+    /// draws and discards it when sigma is zero).
+    fn sample_trial_v2(&self, ws: &mut TrialWorkspace, rng: &mut StdRng) -> f64 {
+        self.sampler.sample_die_into_v2(rng, &mut ws.z, &mut ws.die);
+        // One up-front inverse-CDF fill covers every stage's per-gate
+        // normals (one u64 each, stage order). Each normal depends only
+        // on its own u64, so the values are identical to per-stage fills
+        // — batching just amortizes the fill's fixed costs. Latch
+        // overhead draws (below) consume the RNG *after* this block.
+        ws.normals.resize(self.rand_total, 0.0);
+        fill_standard_normals_inv_cdf(rng, &mut ws.normals);
+        let latch_sigma = self.latch.overhead_sigma_ps();
+        let mut max_d = f64::NEG_INFINITY;
+        let mut rand_off = 0usize;
+        for (s, stage) in self.stages.iter().enumerate() {
+            let shared = ws.die.shared_dvth(if ws.die.region_dvth.is_empty() {
+                0
+            } else {
+                stage.region
+            });
+            if stage.rand_sigma.is_empty() {
+                ws.slowdown.clear();
+                let f = self.lib.vth_slowdown_factor_v2(shared);
+                ws.slowdown.resize(stage.netlist.gate_count(), f);
+            } else {
+                let gates = stage.rand_sigma.len();
+                let z = &ws.normals[rand_off..rand_off + gates];
+                rand_off += gates;
+                ws.slowdown.resize(gates, 0.0);
+                self.lib.vth_slowdown_factors_v2_into(
+                    shared,
+                    &stage.rand_sigma,
+                    z,
+                    &mut ws.slowdown,
+                );
+            }
+            arrival_times_into(
+                &stage.netlist,
+                &stage.nominal,
+                Some(&ws.slowdown),
+                &mut ws.at,
+            );
+            let comb = stage
+                .netlist
+                .outputs()
+                .iter()
+                .map(|o| ws.at[o.0])
+                .fold(0.0, f64::max);
+            let mut overhead = self.latch.overhead_ps();
+            if latch_sigma != 0.0 {
+                overhead += latch_sigma * sample_standard_normal_inv_cdf(rng);
+            }
+            let sd = comb + overhead;
+            max_d = max_d.max(sd);
+            ws.stage_delays[s] = sd;
+        }
+        ws.reuses += 1;
+        max_d
+    }
+
     /// Monte-Carlo pipeline yield at one target delay: runs the given
     /// trial range and returns the fraction of trials whose pipeline
     /// delay met `target_ps`, with its 95% Wilson interval. This is the
@@ -316,7 +409,13 @@ impl PreparedPipelineMc {
     /// Runs trials `trials.start..trials.end` with per-trial seeds
     /// `seed_of(trial_index)`, folding each trial into `stats` — the
     /// [`crate::PipelineMc::run_block`] contract, minus the per-trial
-    /// allocations. Bit-identical to `PipelineMc` for the same seeds.
+    /// allocations. Under the v1 kernel this is bit-identical to
+    /// `PipelineMc` for the same seeds; under the v2 kernel trial `t`
+    /// is accumulated into lane `t % V2_LANES` and the lanes are folded
+    /// into `stats` in ascending lane order at the end of the call, so
+    /// v2 output is a pure function of the trial range — identical
+    /// however the campaign splits ranges across workers or shards, as
+    /// long as the block boundaries themselves are fixed.
     ///
     /// # Panics
     ///
@@ -336,21 +435,43 @@ impl PreparedPipelineMc {
             (
                 ws.z.as_ptr(),
                 ws.die.region_dvth.as_ptr(),
+                ws.normals.as_ptr(),
                 ws.slowdown.as_ptr(),
                 ws.at.as_ptr(),
                 ws.stage_delays.as_ptr(),
             )
         };
         let warm = fingerprint(ws);
-        for t in trials {
-            let mut rng = StdRng::seed_from_u64(seed_of(t));
-            let maxd = self.sample_trial(ws, &mut rng);
-            stats.record(&ws.stage_delays, maxd);
-            debug_assert_eq!(
-                fingerprint(ws),
-                warm,
-                "hot-path buffer reallocated mid-block"
-            );
+        match self.kernel {
+            TrialKernel::V1 => {
+                for t in trials {
+                    let mut rng = StdRng::seed_from_u64(seed_of(t));
+                    let maxd = self.sample_trial(ws, &mut rng);
+                    stats.record(&ws.stage_delays, maxd);
+                    debug_assert_eq!(
+                        fingerprint(ws),
+                        warm,
+                        "hot-path buffer reallocated mid-block"
+                    );
+                }
+            }
+            TrialKernel::V2 => {
+                let mut lanes: Vec<PipelineBlockStats> =
+                    (0..V2_LANES).map(|_| stats.fresh_like()).collect();
+                for t in trials {
+                    let mut rng = StdRng::seed_from_u64(seed_of(t));
+                    let maxd = self.sample_trial_v2(ws, &mut rng);
+                    lanes[(t % V2_LANES as u64) as usize].record(&ws.stage_delays, maxd);
+                    debug_assert_eq!(
+                        fingerprint(ws),
+                        warm,
+                        "hot-path buffer reallocated mid-block"
+                    );
+                }
+                for lane in &lanes {
+                    stats.merge(lane);
+                }
+            }
         }
     }
 }
@@ -471,6 +592,95 @@ mod tests {
             128,
             "every trial after warm-up must reuse the buffers"
         );
+        assert_eq!(stats.trials(), 128);
+    }
+
+    /// The v2 contract in miniature: a block's v2 bytes are a pure
+    /// function of its trial range — fresh or reused workspace, prepared
+    /// or unprepared runner, the same range produces identical bits.
+    #[test]
+    fn v2_block_bytes_are_a_pure_function_of_the_range() {
+        for var in [
+            VariationConfig::none(),
+            VariationConfig::random_only(35.0),
+            VariationConfig::inter_only(40.0),
+            VariationConfig::combined(20.0, 35.0, 15.0),
+        ] {
+            let mc =
+                PipelineMc::new(CellLibrary::default(), var, None).with_kernel(TrialKernel::V2);
+            let p = pipe(4, 6);
+            let prepared = PreparedPipelineMc::new(&mc, &p);
+            assert_eq!(prepared.kernel(), TrialKernel::V2);
+
+            let targets = [150.0, 200.0];
+            let mut a = PipelineBlockStats::new(p.stage_count(), &targets);
+            let mut ws = prepared.workspace();
+            prepared.run_block(&mut ws, 256..512, seed_of, &mut a);
+
+            // Same range again, same (now warm) workspace.
+            let mut b = PipelineBlockStats::new(p.stage_count(), &targets);
+            prepared.run_block(&mut ws, 256..512, seed_of, &mut b);
+            assert_eq!(a, b, "v2 block not reproducible under {var:?}");
+
+            // The unprepared runner delegates to the same v2 arithmetic.
+            let mut c = PipelineBlockStats::new(p.stage_count(), &targets);
+            mc.run_block(&p, 256..512, seed_of, &mut c);
+            assert_eq!(a, c, "PipelineMc v2 diverged from prepared under {var:?}");
+        }
+    }
+
+    /// v1 and v2 are different byte streams drawn from the same
+    /// distributions: means and sigmas must agree within Monte-Carlo
+    /// error at matched trial counts, and the bytes must differ (if they
+    /// didn't, v2 would not need to be a separate contract).
+    #[test]
+    fn v2_statistically_matches_v1() {
+        let var = VariationConfig::combined(20.0, 35.0, 15.0);
+        let mc1 = PipelineMc::new(CellLibrary::default(), var, None);
+        let mc2 = PipelineMc::new(CellLibrary::default(), var, None).with_kernel(TrialKernel::V2);
+        let p = pipe(4, 6);
+        let p1 = PreparedPipelineMc::new(&mc1, &p);
+        let p2 = PreparedPipelineMc::new(&mc2, &p);
+        let n = 40_000u64;
+        let target = [115.0];
+        let mut s1 = PipelineBlockStats::new(p.stage_count(), &target);
+        let mut s2 = PipelineBlockStats::new(p.stage_count(), &target);
+        p1.run_block(&mut p1.workspace(), 0..n, seed_of, &mut s1);
+        p2.run_block(&mut p2.workspace(), 0..n, seed_of, &mut s2);
+        assert_ne!(s1, s2, "the kernels must be distinct byte streams");
+
+        let (m1, m2) = (s1.pipeline().mean(), s2.pipeline().mean());
+        let (d1, d2) = (s1.pipeline().sample_sd(), s2.pipeline().sample_sd());
+        // Means of two independent n-trial estimates differ by
+        // ~sd·sqrt(2/n); allow 5 of those.
+        let tol = 5.0 * d1 * (2.0 / n as f64).sqrt();
+        assert!((m1 - m2).abs() < tol, "means {m1} vs {m2} (tol {tol})");
+        assert!((d1 - d2).abs() / d1 < 0.05, "sds {d1} vs {d2}");
+        let (y1, y2) = (s1.yield_estimate(0), s2.yield_estimate(0));
+        assert!(
+            y1.lo <= y2.hi && y2.lo <= y1.hi,
+            "yield CIs disjoint: {y1:?} vs {y2:?}"
+        );
+        for (a, b) in s1.stage_stats().iter().zip(s2.stage_stats()) {
+            assert!((a.mean() - b.mean()).abs() < 5.0 * a.sample_sd() * (2.0 / n as f64).sqrt());
+        }
+    }
+
+    #[test]
+    fn v2_workspace_is_reused_across_blocks() {
+        let mc = PipelineMc::new(
+            CellLibrary::default(),
+            VariationConfig::combined(20.0, 35.0, 15.0),
+            None,
+        )
+        .with_kernel(TrialKernel::V2);
+        let p = pipe(3, 5);
+        let prepared = PreparedPipelineMc::new(&mc, &p);
+        let mut ws = prepared.workspace();
+        let mut stats = PipelineBlockStats::new(p.stage_count(), &[]);
+        prepared.run_block(&mut ws, 0..64, seed_of, &mut stats);
+        prepared.run_block(&mut ws, 64..128, seed_of, &mut stats);
+        assert_eq!(ws.reuses(), 128, "v2 hot path must not reallocate");
         assert_eq!(stats.trials(), 128);
     }
 

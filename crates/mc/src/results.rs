@@ -147,6 +147,23 @@ impl PipelineBlockStats {
         self
     }
 
+    /// An empty accumulator with this block's exact configuration —
+    /// stage count, targets, and histogram range/binning — so the result
+    /// can always be [`PipelineBlockStats::merge`]d back into `self`.
+    /// This is how the v2 kernel builds its per-lane accumulators.
+    pub fn fresh_like(&self) -> Self {
+        PipelineBlockStats {
+            pipeline: RunningStats::new(),
+            stage_stats: vec![RunningStats::new(); self.stage_stats.len()],
+            targets: self.targets.clone(),
+            successes: vec![0; self.successes.len()],
+            histogram: self
+                .histogram
+                .as_ref()
+                .map(|h| Histogram::new(h.lo(), h.hi(), h.counts().len())),
+        }
+    }
+
     /// Folds one trial into the block.
     ///
     /// # Panics

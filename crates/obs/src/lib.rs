@@ -606,8 +606,16 @@ pub fn metrics_json(info: &RunInfo<'_>, agg: &Aggregate) -> String {
         info.units_total, info.units_executed, info.units_resumed, info.torn_tail_normalized,
     ));
     out.push_str(&format!("  \"steps\": {},\n", info.steps));
-    let trials = agg.counter("trials");
+    // Trials are counted per kernel version ("trials" = v1, "trials_v2"
+    // = v2) so throughput can be attributed to the kernel that produced
+    // it; the top-level totals fold both together.
+    let trials_v1 = agg.counter("trials");
+    let trials_v2 = agg.counter("trials_v2");
+    let trials = trials_v1 + trials_v2;
     out.push_str(&format!("  \"trials\": {trials},\n"));
+    out.push_str(&format!(
+        "  \"trials_by_kernel\": {{\"v1\": {trials_v1}, \"v2\": {trials_v2}}},\n"
+    ));
     let tps = if info.wall_ms > 0.0 {
         trials as f64 / (info.wall_ms / 1.0e3)
     } else {
@@ -815,6 +823,8 @@ mod tests {
         {
             let _sp = span("mc", "block").value(256.0);
             counter("trials", 256);
+            let _sp2 = span("mc", "block_v2").value(512.0);
+            counter("trials_v2", 512);
         }
         let rec = s.finish();
         let agg = aggregate(&rec);
@@ -834,7 +844,11 @@ mod tests {
         assert!(json.contains("\"resumed\": 1"));
         assert!(json.contains("\"torn_tail_normalized\": true"));
         assert!(json.contains("\"mc/block\""));
-        assert!(json.contains("\"trials\": 256"));
+        assert!(json.contains("\"mc/block_v2\""));
+        // The top-level total folds both kernels' trial counters; the
+        // per-kernel split is reported alongside.
+        assert!(json.contains("\"trials\": 768"));
+        assert!(json.contains("\"trials_by_kernel\": {\"v1\": 256, \"v2\": 512}"));
     }
 
     #[test]

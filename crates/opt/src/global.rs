@@ -12,6 +12,7 @@ use vardelay_circuit::StagedPipeline;
 use vardelay_core::balance::order_by_slope;
 use vardelay_core::yield_model::stage_yield_target;
 use vardelay_core::{Pipeline, StageDelay};
+use vardelay_mc::TrialKernel;
 use vardelay_ssta::{PipelineTiming, PipelineTimingCache};
 
 use crate::area_delay::AreaDelayCurve;
@@ -97,6 +98,9 @@ pub struct GlobalPipelineOptimizer {
     /// Relative margin above the yield target considered "just right"
     /// before area recovery kicks in.
     yield_margin: f64,
+    /// Trial-kernel contract for the optimizer's own Monte-Carlo
+    /// surfaces (currently the stage-criticality estimate).
+    kernel: TrialKernel,
 }
 
 impl GlobalPipelineOptimizer {
@@ -106,7 +110,16 @@ impl GlobalPipelineOptimizer {
             sizer,
             rounds: 4,
             yield_margin: 0.02,
+            kernel: TrialKernel::default(),
         }
+    }
+
+    /// Selects the trial-kernel contract for the optimizer's Monte-Carlo
+    /// surfaces. Reports stay deterministic for either choice but are
+    /// not byte-compatible across kernels.
+    pub fn with_kernel(mut self, kernel: TrialKernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Sets the number of global rounds.
@@ -322,15 +335,21 @@ impl GlobalPipelineOptimizer {
         let areas_f = final_pipe.stage_areas();
 
         let criticality = |timing: &PipelineTiming| -> Vec<f64> {
-            let _sp = vardelay_obs::span("opt", "criticality").value(20_000.0);
+            let span_name = match self.kernel {
+                TrialKernel::V1 => "criticality",
+                TrialKernel::V2 => "criticality_v2",
+            };
+            let _sp = vardelay_obs::span("opt", span_name).value(20_000.0);
             let stages: Vec<StageDelay> = timing
                 .stage_delays
                 .iter()
                 .map(|n| StageDelay::from_normal(*n))
                 .collect();
-            Pipeline::new(stages, timing.correlation.clone())
-                .expect("dims")
-                .criticality_probabilities(20_000, 0xC817)
+            let p = Pipeline::new(stages, timing.correlation.clone()).expect("dims");
+            match self.kernel {
+                TrialKernel::V1 => p.criticality_probabilities(20_000, 0xC817),
+                TrialKernel::V2 => p.criticality_probabilities_v2(20_000, 0xC817),
+            }
         };
         let crit0 = criticality(&timing0);
         let crit_f = criticality(&timing_f);
@@ -427,6 +446,33 @@ mod tests {
         );
         assert!(report.met);
         assert_eq!(report.stages.len(), 4);
+    }
+
+    #[test]
+    fn v2_kernel_criticality_agrees_with_v1_to_mc_accuracy() {
+        let p = small_pipeline();
+        let opt1 = optimizer();
+        let opt2 = optimizer().with_kernel(TrialKernel::V2);
+        let timing = opt1.sizer().engine().analyze_pipeline(&p);
+        let slowest = timing
+            .stage_delays
+            .iter()
+            .map(|d| d.mean())
+            .fold(0.0, f64::max);
+        let (_, r1) = opt1.optimize(&p, slowest, 0.80, OptimizationGoal::EnsureYield);
+        let (_, r2) = opt2.optimize(&p, slowest, 0.80, OptimizationGoal::EnsureYield);
+        // The sizing trajectory is kernel-independent here (criticality is
+        // report-only); only the criticality estimates differ, and only by
+        // Monte-Carlo noise.
+        assert_eq!(r1.pipeline_yield_after, r2.pipeline_yield_after);
+        for (a, b) in r1.stages.iter().zip(&r2.stages) {
+            assert!(
+                (a.criticality_after - b.criticality_after).abs() < 0.02,
+                "v1 {} vs v2 {}",
+                a.criticality_after,
+                b.criticality_after
+            );
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::cell::{Cell, RefCell};
 
 use vardelay_circuit::StagedPipeline;
 use vardelay_core::yield_correlated;
-use vardelay_mc::{PipelineMc, PreparedPipelineMc, TrialWorkspace};
+use vardelay_mc::{PipelineMc, PreparedPipelineMc, TrialKernel, TrialWorkspace};
 use vardelay_ssta::PipelineTiming;
 use vardelay_stats::counter_seed;
 
@@ -156,7 +156,13 @@ impl PipelineYieldEval for NetlistMcYieldEval {
         _timing: &PipelineTiming,
         target_ps: f64,
     ) -> f64 {
-        let _sp = vardelay_obs::span("opt", "yield_eval")
+        // Per-kernel span/counter names keep v1 and v2 Monte-Carlo time
+        // separately attributable in `vardelay report` / `--metrics`.
+        let (span_name, counter_name) = match self.mc.kernel() {
+            TrialKernel::V1 => ("yield_eval", "trials"),
+            TrialKernel::V2 => ("yield_eval_v2", "trials_v2"),
+        };
+        let _sp = vardelay_obs::span("opt", span_name)
             .key(self.run_id)
             .value(self.trials as f64);
         let e = self.evals.get();
@@ -175,7 +181,7 @@ impl PipelineYieldEval for NetlistMcYieldEval {
                 counter_seed(self.run_id ^ EVAL_SALT, (e << EVAL_TRIAL_BITS) | t)
             })
             .value;
-        vardelay_obs::counter("trials", self.trials);
+        vardelay_obs::counter(counter_name, self.trials);
         y
     }
 

@@ -43,7 +43,7 @@ pub mod spatial;
 pub mod tech;
 pub mod variation;
 
-pub use delay_model::AlphaPowerDelay;
+pub use delay_model::{slowdown_factor_approx, slowdown_factors_approx_into, AlphaPowerDelay};
 pub use pelgrom::pelgrom_sigma;
 pub use sample::{DieSample, ProcessSampler};
 pub use spatial::{SpatialCorrelator, SpatialGrid};

@@ -8,6 +8,7 @@
 
 use rand::Rng;
 
+use vardelay_stats::batch::fill_standard_normals_bm;
 use vardelay_stats::normal::sample_standard_normal;
 
 use crate::pelgrom::pelgrom_sigma;
@@ -154,6 +155,51 @@ impl ProcessSampler {
         }
     }
 
+    /// The **v2-kernel** die sampler: same component semantics as
+    /// [`ProcessSampler::sample_die_into`] (inter-die shift first, then
+    /// the correlated region values), but every normal comes from one
+    /// batch pair-producing Box–Muller fill over the whole die — the
+    /// inter-die draw and the iid region draws share lanes, consuming
+    /// `2·ceil(count/2)` uniforms total instead of `2·count`. Different
+    /// (but equally deterministic) bytes than the v1 sampler; `z` must
+    /// be the same scratch buffer across calls for the zero-allocation
+    /// contract, and is sized to `region_count + 1` here.
+    pub fn sample_die_into_v2<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        z: &mut Vec<f64>,
+        die: &mut DieSample,
+    ) {
+        let n_inter = usize::from(self.variation.has_inter());
+        let regions = self.region_value_count();
+        if n_inter + regions == 0 {
+            die.global_dvth = 0.0;
+            die.region_dvth.clear();
+            return;
+        }
+        z.resize(n_inter + regions, 0.0);
+        fill_standard_normals_bm(rng, z);
+        die.global_dvth = if n_inter == 1 {
+            self.variation.sigma_vth_inter_v() * z[0]
+        } else {
+            0.0
+        };
+        if regions > 0 {
+            let corr = self
+                .correlator
+                .as_ref()
+                .expect("systematic variation implies a grid");
+            die.region_dvth.resize(regions, 0.0);
+            corr.correlate_into(&z[n_inter..], &mut die.region_dvth);
+            let s = self.variation.sigma_vth_sys_v();
+            for v in &mut die.region_dvth {
+                *v *= s;
+            }
+        } else {
+            die.region_dvth.clear();
+        }
+    }
+
     /// Draws the independent random ΔVth (V) for one gate of size factor
     /// `x` (Pelgrom scaling).
     ///
@@ -246,6 +292,32 @@ mod tests {
             .map(|_| s.sample_die(&mut rng).region_dvth[0])
             .collect();
         assert!((stats.sample_sd() - 0.015).abs() < 5e-4);
+    }
+
+    #[test]
+    fn v2_die_sampler_matches_component_moments() {
+        // Same semantics as the v1 sampler — inter-die sd, per-region
+        // sd — just a different (pair-Box–Muller) normal source.
+        let s = ProcessSampler::new(VariationConfig::combined(20.0, 35.0, 15.0), None);
+        let mut rng = StdRng::seed_from_u64(0x2D1E);
+        let mut z = Vec::new();
+        let mut die = DieSample::default();
+        let mut inter = RunningStats::new();
+        let mut region0 = RunningStats::new();
+        for _ in 0..30_000 {
+            s.sample_die_into_v2(&mut rng, &mut z, &mut die);
+            inter.push(die.global_dvth);
+            region0.push(die.region_dvth[0]);
+        }
+        assert!((inter.sample_sd() - 0.020).abs() < 5e-4, "{inter}");
+        assert!((region0.sample_sd() - 0.015).abs() < 5e-4, "{region0}");
+        assert!(inter.mean().abs() < 5e-4);
+
+        // No variation: nothing drawn, nothing allocated.
+        let none = ProcessSampler::new(VariationConfig::none(), None);
+        none.sample_die_into_v2(&mut rng, &mut z, &mut die);
+        assert_eq!(die.global_dvth, 0.0);
+        assert!(die.region_dvth.is_empty());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`descriptive`] — streaming moments (Welford), quantiles, histograms.
 //! * [`mix`] — SplitMix64 bit-mixing for counter-based Monte-Carlo
 //!   seeding (shared by the sweep engine and the MC runners).
+//! * [`batch`] — batch-shaped normal samplers (pair-producing
+//!   Box–Muller, pinned-coefficient inverse-CDF) and frozen polynomial
+//!   `ln`/`exp` kernels for the versioned v2 Monte-Carlo trial kernel.
 //! * [`ks`] — Kolmogorov–Smirnov distance between samples and a reference
 //!   distribution, used to validate analytical models against Monte-Carlo.
 //!
@@ -35,6 +38,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod clark;
 pub mod correlation;
 pub mod descriptive;
@@ -44,6 +48,10 @@ pub mod mix;
 pub mod mvn;
 pub mod normal;
 
+pub use batch::{
+    exp_approx, fill_standard_normals_bm, fill_standard_normals_inv_cdf, ln_one_minus,
+    sample_standard_normal_inv_cdf, standard_normal_inv_cdf, uniform_open_from_u64,
+};
 pub use clark::{max_of, max_of_with_order, max_pair, MaxPairMoments};
 pub use correlation::CorrelationMatrix;
 pub use descriptive::{Histogram, Quantiles, RunningStats};

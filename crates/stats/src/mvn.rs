@@ -126,6 +126,46 @@ impl MultivariateNormal {
         y
     }
 
+    /// Allocation-free variant of [`MultivariateNormal::sample`]: draws
+    /// one correlated vector into `out`, using `z` as scratch for the
+    /// iid normals. Both buffers are resized on first use; the RNG
+    /// consumption and arithmetic are identical to `sample`, so the two
+    /// produce bit-identical vectors from the same stream.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, z: &mut Vec<f64>, out: &mut Vec<f64>) {
+        z.resize(self.dim(), 0.0);
+        out.resize(self.dim(), 0.0);
+        for zi in z.iter_mut() {
+            *zi = sample_standard_normal(rng);
+        }
+        self.chol.transform_into(z, out);
+        for (yi, mi) in out.iter_mut().zip(&self.mean) {
+            *yi += mi;
+        }
+    }
+
+    /// The **v2-kernel** correlated sampler: like
+    /// [`MultivariateNormal::sample_into`] but the iid normals come from
+    /// the batch pair-producing Box–Muller fill
+    /// ([`crate::batch::fill_standard_normals_bm`]) — half of v1's
+    /// uniform consumption, different (but equally deterministic) bytes.
+    /// Used by Monte-Carlo surfaces that run under the versioned `v2`
+    /// trial-kernel contract; v1 callers must keep using `sample` /
+    /// `sample_into`.
+    pub fn sample_into_v2<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        z: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
+        z.resize(self.dim(), 0.0);
+        out.resize(self.dim(), 0.0);
+        crate::batch::fill_standard_normals_bm(rng, z);
+        self.chol.transform_into(z, out);
+        for (yi, mi) in out.iter_mut().zip(&self.mean) {
+            *yi += mi;
+        }
+    }
+
     /// Draws `n` samples, returned row-wise.
     pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Vec<f64>> {
         (0..n).map(|_| self.sample(rng)).collect()
@@ -220,6 +260,46 @@ mod tests {
             xs.iter().map(|s| (s[0] - m0) * (s[1] - m1)).sum::<f64>() / (xs.len() as f64 - 1.0);
         let rho = cov01 / (st.sd[0] * st.sd[1]);
         assert!((rho - 0.6).abs() < 0.02, "rho {rho}");
+    }
+
+    #[test]
+    fn sample_into_matches_sample_bit_for_bit() {
+        let corr = CorrelationMatrix::uniform(3, 0.4).unwrap();
+        let mvn = MultivariateNormal::from_correlation(&[1.0, 2.0, 3.0], &[0.5, 1.0, 2.0], &corr)
+            .unwrap();
+        let mut r1 = StdRng::seed_from_u64(17);
+        let mut r2 = StdRng::seed_from_u64(17);
+        let (mut z, mut out) = (Vec::new(), Vec::new());
+        for _ in 0..50 {
+            let want = mvn.sample(&mut r1);
+            mvn.sample_into(&mut r2, &mut z, &mut out);
+            assert_eq!(want, out);
+        }
+    }
+
+    #[test]
+    fn v2_sampler_matches_moments() {
+        let corr = CorrelationMatrix::uniform(2, 0.7).unwrap();
+        let mvn = MultivariateNormal::from_correlation(&[5.0, -5.0], &[2.0, 3.0], &corr).unwrap();
+        let mut rng = StdRng::seed_from_u64(0x52);
+        let (mut z, mut out) = (Vec::new(), Vec::new());
+        let mut xs = Vec::new();
+        for _ in 0..60_000 {
+            mvn.sample_into_v2(&mut rng, &mut z, &mut out);
+            xs.push(out.clone());
+        }
+        let st = sample_stats(&xs);
+        assert!((st.mean[0] - 5.0).abs() < 0.03, "mean {:?}", st.mean);
+        assert!((st.mean[1] - -5.0).abs() < 0.05, "mean {:?}", st.mean);
+        assert!((st.sd[0] - 2.0).abs() < 0.03, "sd {:?}", st.sd);
+        assert!((st.sd[1] - 3.0).abs() < 0.05, "sd {:?}", st.sd);
+        let cov: f64 = xs
+            .iter()
+            .map(|s| (s[0] - st.mean[0]) * (s[1] - st.mean[1]))
+            .sum::<f64>()
+            / (xs.len() as f64 - 1.0);
+        let rho = cov / (st.sd[0] * st.sd[1]);
+        assert!((rho - 0.7).abs() < 0.02, "rho {rho}");
     }
 
     #[test]

@@ -83,7 +83,13 @@ USAGE:
       field: pipeline (staged-pipeline MC, the default), netlist
       (gate-level MC on the zero-allocation hot path; supports
       CircuitSpec stages: Chain/Alu1/Alu2/Decoder/Random/Iscas), or
-      analytic (closed-form SSTA/Clark, no trials).
+      analytic (closed-form SSTA/Clark, no trials). The kernel field
+      picks the versioned trial-kernel contract: v1 (the default
+      scalar kernel, the historical byte contract) or v2 (the batch
+      kernel, 3-5x the trials/s under its own frozen byte contract).
+      Either kernel is byte-identical to itself at any --workers,
+      --shard split or resume; kernel (like backend) is excluded from
+      scenario identity, so both derive the same per-trial seeds.
 
       Production flags (shared with optimize; all byte-exact thanks to
       content-hash unit keys + counter-based seeding):
@@ -114,12 +120,16 @@ USAGE:
 
   vardelay sweep validate <spec.json>
       Lint a spec without running it: expand, validate every scenario,
-      and report the scenario count, trial total and block count.
+      and report the scenario count, trial total and block count plus
+      each scenario's backend, kernel version and estimated relative
+      cost per trial (gate evaluations weighted by the kernel's
+      calibrated speed).
 
-  vardelay sweep example [--backend netlist]
+  vardelay sweep example [--backend netlist] [--kernel v1|v2]
       Print an example sweep spec (JSON) to adapt; --backend netlist
       emits a gate-level template (circuit-spec pipelines, an analytic
-      model twin for model-vs-MC deltas).
+      model twin for model-vs-MC deltas); --kernel v2 stamps the batch
+      trial kernel onto every scenario.
 
   vardelay optimize <spec.json> [--workers N] [--out results.json]
                     [--shard i/n] [--checkpoint f.jsonl] [--resume f.jsonl]
@@ -133,12 +143,15 @@ USAGE:
       side. Results are bit-identical for any --workers. The
       yield_backend field picks what measures yield inside the sizing
       loop: analytic (Clark/SSTA, the paper flow) or netlist
-      (gate-level Monte-Carlo).
+      (gate-level Monte-Carlo). The kernel field (v1|v2) picks the
+      trial-kernel contract for every Monte-Carlo surface of a run:
+      in-loop evaluation, stage criticality and final verification.
 
   vardelay optimize validate <spec.json>
       Lint a campaign spec without running it: expand, validate every
       run, and report per-run footprint (stages, gates, goal, backend,
-      yield allocation) plus total verification trials.
+      kernel version, yield allocation, estimated relative cost per
+      trial) plus total verification trials.
 
   vardelay optimize example
       Print an example campaign spec (JSON) to adapt.
@@ -744,13 +757,15 @@ pub fn sweep_validate_cmd(spec_text: &str) -> Result<String, CliError> {
     validate_workload_cmd("sweep", &sweep)
 }
 
-/// `sweep example` subcommand: the spec template for a backend.
+/// `sweep example` subcommand: the spec template for a backend,
+/// optionally stamped with a trial-kernel version (`--kernel v2`).
 pub fn sweep_example_cmd(mut opts: Vec<String>) -> Result<String, CliError> {
     let backend = take_opt(&mut opts, "--backend")?;
+    let kernel = take_opt(&mut opts, "--kernel")?;
     if !opts.is_empty() {
         return Err(CliError(format!("unrecognized arguments: {opts:?}")));
     }
-    let sweep = match backend.as_deref() {
+    let mut sweep = match backend.as_deref() {
         None | Some("pipeline") => vardelay_engine::Sweep::example(),
         Some("netlist") => vardelay_engine::Sweep::example_netlist(),
         Some(other) => {
@@ -759,6 +774,15 @@ pub fn sweep_example_cmd(mut opts: Vec<String>) -> Result<String, CliError> {
             )))
         }
     };
+    if let Some(k) = kernel.as_deref() {
+        let k = vardelay_engine::KernelSpec::parse(k).map_err(CliError)?;
+        for s in &mut sweep.scenarios {
+            s.kernel = k;
+        }
+        if let Some(grid) = sweep.grid.as_mut() {
+            grid.kernel = k;
+        }
+    }
     Ok(sweep.to_json() + "\n")
 }
 

@@ -100,7 +100,10 @@ fn render(
     ));
     for (name, v) in counters {
         out.push_str(&format!("counter {name}: {v}\n"));
-        if name == "trials" && wall_ms > 0.0 {
+        // Trial counters are per kernel version: "trials" is the v1
+        // kernel, "trials_v2" the batch kernel. Both get a wall-rate
+        // line so per-kernel throughput is visible side by side.
+        if (name == "trials" || name == "trials_v2") && wall_ms > 0.0 {
             out.push_str(&format!(
                 "counter {name} rate: {:.0}/s of wall\n",
                 *v / (wall_ms / 1e3)
@@ -157,6 +160,13 @@ fn from_metrics(v: &Value) -> Result<String, CliError> {
     }
     if let Some(rate) = get_num(v, "trials_per_sec") {
         extra.push(format!("trials/s (recorded): {rate:.0}"));
+    }
+    if let Some(by_kernel) = v.get("trials_by_kernel") {
+        let v1 = get_num(by_kernel, "v1").unwrap_or(0.0);
+        let v2 = get_num(by_kernel, "v2").unwrap_or(0.0);
+        if v1 > 0.0 || v2 > 0.0 {
+            extra.push(format!("trials by kernel: v1 {v1:.0}, v2 {v2:.0}"));
+        }
     }
     if let Some(Value::Array(ws)) = v.get("worker_util") {
         for w in ws {
@@ -267,12 +277,14 @@ mod tests {
         let text = r#"{
             "kind": "campaign", "name": "t", "workers": 2, "wall_ms": 100.0,
             "units": {"total": 3, "executed": 2, "resumed": 1, "torn_tail_normalized": true},
-            "steps": 2, "trials": 4000, "trials_per_sec": 40000.0,
+            "steps": 2, "trials": 4000,
+            "trials_by_kernel": {"v1": 1000, "v2": 3000},
+            "trials_per_sec": 40000.0,
             "phases": {
                 "mc/verify": {"count": 4, "total_ms": 60.0, "mean_us": 15000.0, "value_sum": 4000.0},
                 "opt/size_stage": {"count": 9, "total_ms": 30.0, "mean_us": 3333.3, "value_sum": 90.0}
             },
-            "counters": {"trials": 4000},
+            "counters": {"trials": 1000, "trials_v2": 3000},
             "worker_util": [{"tid": 1, "lifetime_ms": 100.0, "busy_ms": 90.0, "utilization": 0.9}],
             "events_dropped": 0
         }"#;
@@ -282,6 +294,11 @@ mod tests {
         assert!(out.contains("60.000"), "{out}");
         assert!(out.contains("3 total, 2 executed, 1 resumed"), "{out}");
         assert!(out.contains("torn tail normalized"), "{out}");
+        assert!(out.contains("trials by kernel: v1 1000, v2 3000"), "{out}");
+        assert!(
+            out.contains("counter trials_v2 rate: 30000/s of wall"),
+            "{out}"
+        );
         assert!(out.contains("worker tid 1"), "{out}");
         // mc/verify (60 ms) sorts above opt/size_stage (30 ms).
         let verify_at = out.find("mc/verify").expect("row");
