@@ -1,4 +1,4 @@
-//! Machine-readable performance summary: writes `BENCH_7.json`.
+//! Machine-readable performance summary: writes `BENCH_8.json`.
 //!
 //! CI runs this after the criterion benches so the perf trajectory is
 //! tracked as data, not just as log lines: campaign wall-clock per
@@ -21,17 +21,25 @@
 //! at least [`V2_SPEEDUP_FLOOR`]× the baseline's v1 rate, measured in
 //! the same process so host noise cancels.
 //!
+//! This PR's headline is the **result cache**: a warm campaign rerun
+//! against a populated content-addressed store must reproduce the cold
+//! bytes exactly while costing at most [`WARM_FRACTION_CEILING`] of the
+//! cold wall-clock. The fraction is a same-process ratio, so it gates
+//! unconditionally — no baseline file needed.
+//!
 //! Usage: `cargo run --release -p vardelay-bench --bin bench_summary
-//! [out.json] [--baseline prev.json]` (default out `BENCH_7.json`).
+//! [out.json] [--baseline prev.json]` (default out `BENCH_8.json`).
 
 use std::time::Instant;
 
 use serde::Deserialize as _;
+use vardelay_cache::{ResultStore, UnitCache};
 use vardelay_circuit::generators::{inverter_chain, random_logic, RandomLogicConfig};
 use vardelay_circuit::{CellLibrary, LatchParams, StagedPipeline};
 use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
 use vardelay_engine::{
-    run_campaign, KernelSpec, LatchSpec, PipelineSpec, SweepOptions, VariationSpec,
+    run_campaign, run_workload, KernelSpec, LatchSpec, PipelineSpec, SweepOptions, VariationSpec,
+    WorkloadOptions,
 };
 use vardelay_mc::{PipelineBlockStats, PipelineMc, PreparedPipelineMc, TrialKernel};
 use vardelay_opt::{OptimizationGoal, SizingConfig, StatisticalSizer, TargetDelayPolicy};
@@ -121,6 +129,11 @@ const REGRESSION_TOLERANCE: f64 = 0.20;
 /// so the ratio is host-independent even though each rate is not.
 const V2_SPEEDUP_FLOOR: f64 = 3.0;
 
+/// A warm (fully cached) campaign rerun may cost at most this fraction
+/// of the cold run's wall-clock. Both sides are measured in the same
+/// process, so the ratio gates unconditionally.
+const WARM_FRACTION_CEILING: f64 = 0.25;
+
 /// Reads one numeric metric out of a parsed BENCH file.
 fn metric(v: &serde::Value, path: &[&str]) -> f64 {
     let mut cur = v;
@@ -161,7 +174,7 @@ fn main() {
         eprintln!("usage: bench_summary [out.json] [--baseline prev.json]");
         std::process::exit(2);
     }
-    let out_path = args.pop().unwrap_or_else(|| "BENCH_7.json".to_owned());
+    let out_path = args.pop().unwrap_or_else(|| "BENCH_8.json".to_owned());
 
     // --- Campaign wall-clock + phase breakdown per backend. ---
     // Determinism is asserted both across worker counts and across the
@@ -185,6 +198,46 @@ fn main() {
         });
         campaign_samples.push((backend.keyword(), sample));
     }
+
+    // --- Result cache: cold vs warm campaign (incremental recompute). ---
+    // Cold runs start from an empty store (populate + execute); warm
+    // runs serve every unit from the store. Warm bytes must equal a
+    // plain uncached run's bytes, at a 100% hit rate.
+    let cache_spec = campaign(YieldBackendSpec::Analytic);
+    let cache_dir =
+        std::env::temp_dir().join(format!("vardelay-bench-cache-{}", std::process::id()));
+    let cache_cold_ms = median_ms(|| {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let cache = UnitCache::new(ResultStore::open(&cache_dir).expect("open cache"));
+        let opts = WorkloadOptions::sequential().with_cache(&cache);
+        std::hint::black_box(run_workload(&cache_spec, &opts).expect("cold cached run"));
+    });
+    // The final cold iteration left a fully populated store behind.
+    let cache_warm_ms = median_ms(|| {
+        let cache = UnitCache::new(ResultStore::open(&cache_dir).expect("open cache"));
+        let opts = WorkloadOptions::sequential().with_cache(&cache);
+        std::hint::black_box(run_workload(&cache_spec, &opts).expect("warm cached run"));
+    });
+    let session = vardelay_obs::Session::start();
+    let cache = UnitCache::new(ResultStore::open(&cache_dir).expect("open cache"));
+    let warm = run_workload(
+        &cache_spec,
+        &WorkloadOptions::sequential().with_cache(&cache),
+    )
+    .expect("warm cached run");
+    let agg = vardelay_obs::aggregate(&session.finish());
+    let (hits, misses) = (agg.counter("cache/hit"), agg.counter("cache/miss"));
+    assert_eq!(misses, 0, "warm run must be all hits");
+    let cache_hit_rate = hits as f64 / (hits + misses) as f64;
+    assert_eq!(
+        warm.to_json(),
+        run_campaign(&cache_spec, &SweepOptions::sequential())
+            .expect("uncached run")
+            .to_json(),
+        "warm cache run must reproduce uncached bytes"
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let warm_fraction = cache_warm_ms / cache_cold_ms;
 
     // --- Sizing throughput: incremental vs full-pass kernel. ---
     let engine = SstaEngine::new(
@@ -291,8 +344,10 @@ fn main() {
         )
     };
     let json = format!(
-        "{{\n  \"pr\": 7,\n  \"campaign_ms\": {{\n    \"{}\": {:.3},\n    \"{}\": {:.3}\n  }},\n  \
+        "{{\n  \"pr\": 8,\n  \"campaign_ms\": {{\n    \"{}\": {:.3},\n    \"{}\": {:.3}\n  }},\n  \
          \"campaign_phases_ms\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \
+         \"result_cache\": {{\n    \"campaign_cold_ms\": {:.3},\n    \"campaign_warm_ms\": {:.3},\n    \
+         \"warm_fraction\": {:.4},\n    \"hit_rate\": {:.4}\n  }},\n  \
          \"sizing\": {{\n    \"size_stage_200g_ms\": {:.4},\n    \"size_stage_200g_full_pass_ms\": {:.4},\n    \
          \"kernel_speedup\": {:.3}\n  }},\n  \"retime_probe\": {{\n    \"incremental_us\": {:.3},\n    \
          \"full_pass_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"mc_verification\": {{\n    \
@@ -306,6 +361,10 @@ fn main() {
         phase_block(&campaign_samples[0].1),
         campaign_samples[1].0,
         phase_block(&campaign_samples[1].1),
+        cache_cold_ms,
+        cache_warm_ms,
+        warm_fraction,
+        cache_hit_rate,
         size_inc_ms,
         size_full_ms,
         size_full_ms / size_inc_ms,
@@ -320,6 +379,20 @@ fn main() {
     println!("{json}");
     println!();
     println!("wrote {out_path}");
+
+    // Unconditional gate: warm reruns must stay an order cheaper than
+    // cold ones, or the cache stopped earning its keep.
+    let warm_ok = warm_fraction <= WARM_FRACTION_CEILING;
+    println!();
+    println!(
+        "gate result_cache.warm_fraction: current {warm_fraction:.4} vs ceiling \
+         {WARM_FRACTION_CEILING} — {}",
+        if warm_ok { "ok" } else { "TOO SLOW" }
+    );
+    if !warm_ok {
+        eprintln!("warm cached rerun cost more than {WARM_FRACTION_CEILING}x the cold run");
+        std::process::exit(1);
+    }
 
     // Regression gate against the checked-in previous BENCH file.
     if let Some(path) = baseline_path {

@@ -1,0 +1,166 @@
+//! The engine's one JSONL journal-line implementation.
+//!
+//! Three subsystems persist results as append-only JSONL logs: the
+//! `--checkpoint`/`--resume` journals ([`crate::workload::Checkpoint`]),
+//! the `--out` incremental stream, and the persistent result cache's
+//! segment files (`vardelay-cache`, which builds on this module). They
+//! all share one failure model — a process may be killed mid-append —
+//! and therefore one recovery contract:
+//!
+//! * a malformed **final** line is a kill signature (**torn tail**):
+//!   tolerated, flagged, and the lost record merely re-runs;
+//! * a malformed line anywhere **else** is corruption: a hard error,
+//!   because silently dropping mid-file work could splice a wrong or
+//!   partial result set;
+//! * before a log is appended to again it must be **normalized** to
+//!   exactly its complete, newline-terminated lines — appending after a
+//!   torn fragment (or after a final line whose trailing newline the
+//!   kill cut off) would fuse two records into mid-file corruption that
+//!   the *next* reader correctly refuses.
+//!
+//! This module implements that contract once; [`scan_jsonl`] is the
+//! shared parser/splicer and [`normalize_jsonl`] the shared repair.
+
+use crate::run::EngineError;
+
+/// One successfully parsed line of a JSONL journal.
+#[derive(Debug, Clone)]
+pub struct JournalLine<T> {
+    /// 0-based line number in the original text (blank lines counted).
+    pub lineno: usize,
+    /// Byte offset of the line's first byte in the original text —
+    /// what lets an indexing reader (the result cache) later seek back
+    /// to a record's payload without re-parsing the file.
+    pub offset: usize,
+    /// The parsed record.
+    pub value: T,
+}
+
+/// The outcome of scanning a JSONL journal: every parsed record in file
+/// order, plus whether the final line was a torn fragment.
+#[derive(Debug, Clone)]
+pub struct JournalScan<T> {
+    /// Parsed records in file order.
+    pub lines: Vec<JournalLine<T>>,
+    /// Whether the final non-blank line failed to parse and was skipped
+    /// — the signature of a process killed mid-append. Earlier
+    /// malformed lines are corruption and fail the scan instead.
+    pub torn_tail: bool,
+}
+
+/// Parses a JSONL journal with the engine's torn-tail contract: blank
+/// lines are ignored, a malformed final line sets
+/// [`JournalScan::torn_tail`], and a malformed line anywhere else is a
+/// hard error naming the 1-based line.
+///
+/// `parse` is the per-line record codec; its error string is embedded
+/// in the scan error for mid-file corruption.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] of the form `line N: <parse error>` for
+/// the first malformed non-final line.
+pub fn scan_jsonl<T>(
+    text: &str,
+    mut parse: impl FnMut(&str) -> Result<T, String>,
+) -> Result<JournalScan<T>, EngineError> {
+    let base = text.as_ptr() as usize;
+    let lines: Vec<(usize, usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(lineno, l)| (lineno, l.as_ptr() as usize - base, l))
+        .collect();
+    let mut scan = JournalScan {
+        lines: Vec::with_capacity(lines.len()),
+        torn_tail: false,
+    };
+    for (k, &(lineno, offset, line)) in lines.iter().enumerate() {
+        match parse(line) {
+            Ok(value) => scan.lines.push(JournalLine {
+                lineno,
+                offset,
+                value,
+            }),
+            Err(_) if k + 1 == lines.len() => {
+                // Torn tail: the write was cut mid-line.
+                scan.torn_tail = true;
+            }
+            Err(e) => {
+                return Err(EngineError::new(format!("line {}: {e}", lineno + 1)));
+            }
+        }
+    }
+    Ok(scan)
+}
+
+/// Normalizes a JSONL journal to exactly its complete,
+/// newline-terminated lines so it is safe to append to: blank lines go,
+/// the torn final fragment goes when `drop_torn_tail` is set, and the
+/// last line regains the trailing newline a kill may have cut off.
+///
+/// Returns `Some(repaired text)` when the journal needs rewriting,
+/// `None` when it is already in normal form.
+#[must_use]
+pub fn normalize_jsonl(text: &str, drop_torn_tail: bool) -> Option<String> {
+    let mut lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if drop_torn_tail {
+        lines.pop();
+    }
+    let repaired: String = lines.iter().flat_map(|l| [*l, "\n"]).collect();
+    (repaired != text).then_some(repaired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_int(line: &str) -> Result<i64, String> {
+        line.trim().parse::<i64>().map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn scan_reports_lines_with_offsets() {
+        let scan = scan_jsonl("10\n\n20\n30\n", parse_int).unwrap();
+        assert!(!scan.torn_tail);
+        let values: Vec<i64> = scan.lines.iter().map(|l| l.value).collect();
+        assert_eq!(values, [10, 20, 30]);
+        let linenos: Vec<usize> = scan.lines.iter().map(|l| l.lineno).collect();
+        assert_eq!(linenos, [0, 2, 3], "blank lines keep their line number");
+        let offsets: Vec<usize> = scan.lines.iter().map(|l| l.offset).collect();
+        assert_eq!(offsets, [0, 4, 7], "byte offsets of each line start");
+    }
+
+    #[test]
+    fn torn_final_line_is_flagged_not_fatal() {
+        let scan = scan_jsonl("10\n2x", parse_int).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.lines.len(), 1);
+        // The same damage mid-file is corruption, named by line.
+        let err = scan_jsonl("1x\n20\n", parse_int).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        // An empty log is a valid, empty scan.
+        let scan = scan_jsonl("", parse_int).unwrap();
+        assert!(scan.lines.is_empty() && !scan.torn_tail);
+    }
+
+    #[test]
+    fn normalize_repairs_exactly_the_append_hazards() {
+        // Already normal: no rewrite.
+        assert_eq!(normalize_jsonl("10\n20\n", false), None);
+        // Missing final newline (kill cut it off): restored.
+        assert_eq!(
+            normalize_jsonl("10\n20", false).as_deref(),
+            Some("10\n20\n")
+        );
+        // Torn fragment: dropped when the scan said so.
+        assert_eq!(normalize_jsonl("10\n2x", true).as_deref(), Some("10\n"));
+        // Blank padding lines: squeezed out.
+        assert_eq!(
+            normalize_jsonl("10\n\n20\n", false).as_deref(),
+            Some("10\n20\n")
+        );
+        // Dropping the tail of an empty log is a no-op, not a panic.
+        assert_eq!(normalize_jsonl("", true), None);
+    }
+}

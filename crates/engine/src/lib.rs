@@ -76,6 +76,7 @@
 #![warn(clippy::all)]
 
 pub mod design_space;
+pub mod journal;
 pub mod optimize;
 pub mod plan;
 pub mod result;
@@ -102,5 +103,6 @@ pub use spec::{
 };
 pub use workload::{
     checkpoint_line, plan_workload, run_units, run_workload, Checkpoint, Progress, ProgressUpdate,
-    Shard, Workload, WorkloadOptions, WorkloadPlan, WorkloadReport, WorkloadStats,
+    ResultCache, Shard, UnitOrigin, Workload, WorkloadOptions, WorkloadPlan, WorkloadReport,
+    WorkloadStats, CONTRACT_VERSION,
 };

@@ -43,6 +43,7 @@ use std::collections::{BTreeMap, HashMap};
 use serde::{Deserialize, Serialize, Value};
 use vardelay_mc::TrialWorkspace;
 
+use crate::journal;
 use crate::run::{dispatch, EngineError};
 
 /// A batch experiment the engine can execute: how to expand a spec into
@@ -269,29 +270,15 @@ impl<R: Deserialize> Checkpoint<R> {
     /// Returns an [`EngineError`] naming the first malformed non-final
     /// line — corruption anywhere else must not silently drop work.
     pub fn parse(text: &str) -> Result<Self, EngineError> {
+        let scan = journal::scan_jsonl(text, |line| {
+            parse_checkpoint_line(line).map_err(|e| e.to_string())
+        })
+        .map_err(|e| EngineError::new(format!("checkpoint {e}")))?;
         let mut ckpt = Checkpoint::new();
-        let lines: Vec<(usize, &str)> = text
-            .lines()
-            .enumerate()
-            .filter(|(_, l)| !l.trim().is_empty())
-            .collect();
-        for (k, &(lineno, line)) in lines.iter().enumerate() {
-            match parse_checkpoint_line(line) {
-                Ok((id, result)) => {
-                    ckpt.map.insert(id, result);
-                }
-                Err(e) if k + 1 == lines.len() => {
-                    // Torn tail: the write was cut mid-line.
-                    let _ = e;
-                    ckpt.torn_tail = true;
-                }
-                Err(e) => {
-                    return Err(EngineError::new(format!(
-                        "checkpoint line {}: {e}",
-                        lineno + 1
-                    )));
-                }
-            }
+        ckpt.torn_tail = scan.torn_tail;
+        for line in scan.lines {
+            let (id, result) = line.value;
+            ckpt.map.insert(id, result);
         }
         Ok(ckpt)
     }
@@ -304,6 +291,59 @@ fn parse_checkpoint_line<R: Deserialize>(line: &str) -> Result<(u64, R), serde::
         .map_err(|_| serde::Error::new(format!("invalid unit id '{id_hex}'")))?;
     let result = R::from_value(v.field("result")?)?;
     Ok((id, result))
+}
+
+/// Version of the engine's determinism contract.
+///
+/// Result bytes are a pure function of `(unit_key, contract version)`:
+/// the key fixes the spec and seeds, the contract version fixes the
+/// algorithms behind them (counter-based seeding, the fixed fold tree,
+/// kernel numerics). Any change that alters result bytes for an
+/// existing key — however small — **must** bump this constant; the
+/// persistent result cache stores it with every record and treats a
+/// mismatch as a miss, so a bump invalidates every cached result at
+/// once without touching the store.
+pub const CONTRACT_VERSION: u32 = 1;
+
+/// A persistent, content-addressed store of completed unit results,
+/// keyed by [`Workload::unit_key`] — the hook `--cache DIR` plugs into
+/// [`run_units`].
+///
+/// Unlike a resume [`Checkpoint`] (per-run, typed, fully parsed up
+/// front), a cache is global and queried per unit: before scheduling a
+/// unit the pipeline calls [`ResultCache::fetch`] and splices a hit
+/// exactly like a resumed unit; after executing a unit it calls
+/// [`ResultCache::store`]. Implementations must only return results
+/// recorded under the current [`CONTRACT_VERSION`] — both methods take
+/// `&self`, so a read-write store needs interior mutability.
+pub trait ResultCache<R> {
+    /// The stored result for a unit, if present and valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] for store corruption (a missing unit
+    /// is `Ok(None)`, never an error).
+    fn fetch(&self, key: u64) -> Result<Option<R>, EngineError>;
+    /// Records an executed unit's result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] when the record cannot be durably
+    /// appended.
+    fn store(&self, key: u64, result: &R) -> Result<(), EngineError>;
+}
+
+/// Where a completed unit's result came from — the sink's provenance
+/// tag, which is all that distinguishes a unit that ran from one that
+/// was spliced (the bytes never differ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitOrigin {
+    /// The unit was executed by this run.
+    Executed,
+    /// The unit was spliced from the resume journal ([`Checkpoint`]).
+    Journal,
+    /// The unit was spliced from the persistent result cache.
+    Cache,
 }
 
 /// Live progress observer for [`run_units`] — called on the calling
@@ -342,6 +382,9 @@ pub struct WorkloadOptions<'a, R> {
     pub shard: Option<Shard>,
     /// Completed units to splice in instead of re-running.
     pub resume: Option<&'a Checkpoint<R>>,
+    /// Persistent result cache consulted for units the resume journal
+    /// lacks; executed units are recorded back into it.
+    pub cache: Option<&'a dyn ResultCache<R>>,
     /// Live progress observer (display only; never affects results).
     pub progress: Option<&'a dyn Progress>,
 }
@@ -352,6 +395,7 @@ impl<R> std::fmt::Debug for WorkloadOptions<'_, R> {
             .field("workers", &self.workers)
             .field("shard", &self.shard)
             .field("resume_units", &self.resume.map(Checkpoint::len))
+            .field("cache", &self.cache.is_some())
             .field("progress", &self.progress.is_some())
             .finish()
     }
@@ -364,6 +408,7 @@ impl<R> WorkloadOptions<'_, R> {
             workers: 1,
             shard: None,
             resume: None,
+            cache: None,
             progress: None,
         }
     }
@@ -391,6 +436,13 @@ impl<'a, R> WorkloadOptions<'a, R> {
         self
     }
 
+    /// Consults (and records into) a persistent result cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: &'a dyn ResultCache<R>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Attaches a live progress observer.
     #[must_use]
     pub fn with_progress(mut self, progress: &'a dyn Progress) -> Self {
@@ -408,6 +460,8 @@ pub struct WorkloadStats {
     pub units: usize,
     /// Units spliced from the resume checkpoint (not re-run).
     pub resumed: usize,
+    /// Units spliced from the persistent result cache (not re-run).
+    pub cached: usize,
     /// Units actually executed.
     pub executed: usize,
     /// Scheduling steps dispatched to the worker pool.
@@ -433,13 +487,21 @@ struct Folding<A, S> {
 /// hands every completed unit — resumed or executed — to `sink` exactly
 /// once.
 ///
-/// `sink(slot, unit_key, result, resumed)` is called on the calling
+/// `sink(slot, unit_key, result, origin)` is called on the calling
 /// thread; `slot` is the unit's index in (sharded) expansion order.
-/// Resumed and zero-step units sink before any parallel step runs;
-/// executed units sink in completion order. A sink error cancels the
-/// pool — workers stop claiming new steps, steps already executing
-/// finish and are folded but no further unit sinks — and the error is
-/// returned once the pool drains.
+/// Spliced ([`UnitOrigin::Journal`] / [`UnitOrigin::Cache`]) and
+/// zero-step units sink before any parallel step runs; executed units
+/// sink in completion order. A sink error cancels the pool — workers
+/// stop claiming new steps, steps already executing finish and are
+/// folded but no further unit sinks — and the error is returned once
+/// the pool drains.
+///
+/// With a cache attached ([`WorkloadOptions::cache`]), units are
+/// resolved in strict precedence order — resume journal, then cache,
+/// then execution — so a unit present in both journal and cache sinks
+/// exactly once, from the journal. Every *executed* unit is recorded
+/// back into the cache before it sinks; spliced units are not
+/// re-recorded.
 ///
 /// This function retains **no** unit results — callers stream them out
 /// (checkpoint files, `--out` JSONL) or collect them ([`run_workload`]).
@@ -450,7 +512,7 @@ struct Folding<A, S> {
 pub fn run_units<W: Workload>(
     w: &W,
     opts: &WorkloadOptions<'_, W::UnitResult>,
-    mut sink: impl FnMut(usize, u64, W::UnitResult, bool) -> Result<(), EngineError>,
+    mut sink: impl FnMut(usize, u64, W::UnitResult, UnitOrigin) -> Result<(), EngineError>,
 ) -> Result<WorkloadStats, EngineError> {
     let mut units = w.prepare()?;
     if let Some(shard) = opts.shard {
@@ -460,6 +522,7 @@ pub fn run_units<W: Workload>(
     let mut stats = WorkloadStats {
         units: units.len(),
         resumed: 0,
+        cached: 0,
         executed: 0,
         steps: 0,
         keys,
@@ -483,7 +546,17 @@ pub fn run_units<W: Workload>(
             units_done += 1;
             vardelay_obs::instant("unit", "resumed", Some(key));
             foldings.push(None);
-            sink(i, key, result.clone(), true)?;
+            sink(i, key, result.clone(), UnitOrigin::Journal)?;
+            continue;
+        }
+        // The cache is consulted only for units the journal lacks, so
+        // `--resume` + `--cache` can never splice a unit twice.
+        if let Some(result) = opts.cache.map(|c| c.fetch(key)).transpose()?.flatten() {
+            stats.cached += 1;
+            units_done += 1;
+            vardelay_obs::instant("unit", "cached", Some(key));
+            foldings.push(None);
+            sink(i, key, result, UnitOrigin::Cache)?;
             continue;
         }
         stats.executed += 1;
@@ -491,7 +564,11 @@ pub fn run_units<W: Workload>(
         if total == 0 {
             units_done += 1;
             foldings.push(None);
-            sink(i, key, w.finish_unit(u, w.init_acc(u)), false)?;
+            let result = w.finish_unit(u, w.init_acc(u));
+            if let Some(cache) = opts.cache {
+                cache.store(key, &result)?;
+            }
+            sink(i, key, result, UnitOrigin::Executed)?;
             continue;
         }
         stats.steps += total;
@@ -559,7 +636,13 @@ pub fn run_units<W: Workload>(
                 };
                 units_done += 1;
                 if sink_err.is_none() {
-                    if let Err(e) = sink(item.unit, key, result, false) {
+                    let recorded = match opts.cache {
+                        Some(cache) => cache.store(key, &result),
+                        None => Ok(()),
+                    };
+                    if let Err(e) =
+                        recorded.and_then(|()| sink(item.unit, key, result, UnitOrigin::Executed))
+                    {
                         sink_err = Some(e);
                     }
                 }
@@ -591,7 +674,7 @@ pub fn run_workload<W: Workload>(
     opts: &WorkloadOptions<'_, W::UnitResult>,
 ) -> Result<W::Report, EngineError> {
     let mut slots: Vec<Option<W::UnitResult>> = Vec::new();
-    run_units(w, opts, |slot, _id, result, _resumed| {
+    run_units(w, opts, |slot, _id, result, _origin| {
         if slots.len() <= slot {
             slots.resize_with(slot + 1, || None);
         }

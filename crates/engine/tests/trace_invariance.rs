@@ -247,6 +247,7 @@ fn metrics_json_reports_phases_and_unit_accounting() {
         units_total: stats.units,
         units_executed: stats.executed,
         units_resumed: stats.resumed,
+        units_cached: stats.cached,
         torn_tail_normalized: false,
         steps: stats.steps,
     };

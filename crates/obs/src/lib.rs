@@ -582,6 +582,8 @@ pub struct RunInfo<'a> {
     pub units_executed: usize,
     /// Units spliced from a resume journal.
     pub units_resumed: usize,
+    /// Units spliced from the persistent result cache.
+    pub units_cached: usize,
     /// Whether a torn journal tail was normalized during resume.
     pub torn_tail_normalized: bool,
     /// Total steps executed.
@@ -602,10 +604,27 @@ pub fn metrics_json(info: &RunInfo<'_>, agg: &Aggregate) -> String {
     out.push_str(&format!("  \"workers\": {},\n", info.workers));
     out.push_str(&format!("  \"wall_ms\": {:.3},\n", info.wall_ms));
     out.push_str(&format!(
-        "  \"units\": {{\"total\": {}, \"executed\": {}, \"resumed\": {}, \"torn_tail_normalized\": {}}},\n",
-        info.units_total, info.units_executed, info.units_resumed, info.torn_tail_normalized,
+        "  \"units\": {{\"total\": {}, \"executed\": {}, \"resumed\": {}, \"cached\": {}, \"torn_tail_normalized\": {}}},\n",
+        info.units_total,
+        info.units_executed,
+        info.units_resumed,
+        info.units_cached,
+        info.torn_tail_normalized,
     ));
     out.push_str(&format!("  \"steps\": {},\n", info.steps));
+    // The result cache's effectiveness, from its own counters: lookups
+    // split into hits and misses, plus the result bytes served instead
+    // of recomputed.
+    let (hits, misses) = (agg.counter("cache/hit"), agg.counter("cache/miss"));
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}, \"bytes_saved\": {}}},\n",
+        agg.counter("cache/bytes_saved"),
+    ));
     // Trials are counted per kernel version ("trials" = v1, "trials_v2"
     // = v2) so throughput can be attributed to the kernel that produced
     // it; the top-level totals fold both together.
@@ -836,12 +855,17 @@ mod tests {
             units_total: 4,
             units_executed: 3,
             units_resumed: 1,
+            units_cached: 0,
             torn_tail_normalized: true,
             steps: 12,
         };
         let json = metrics_json(&info, &agg);
         assert!(json.contains("\"kind\": \"sweep\""));
         assert!(json.contains("\"resumed\": 1"));
+        assert!(json.contains("\"cached\": 0"));
+        assert!(json.contains(
+            "\"cache\": {\"hits\": 0, \"misses\": 0, \"hit_rate\": 0.0000, \"bytes_saved\": 0}"
+        ));
         assert!(json.contains("\"torn_tail_normalized\": true"));
         assert!(json.contains("\"mc/block\""));
         assert!(json.contains("\"mc/block_v2\""));

@@ -33,12 +33,13 @@
 use std::fmt::Write as _;
 use std::io::Write as _;
 
+use vardelay_cache::{compact_dir, verify_dir, ResultStore, UnitCache};
 use vardelay_circuit::generators::{inverter_chain, iscas};
 use vardelay_circuit::{parse_bench, write_bench, CellLibrary, Netlist};
 use vardelay_core::{Pipeline, StageDelay};
 use vardelay_engine::{
     checkpoint_line, plan_workload, run_units, Checkpoint, EngineError, Shard, Workload,
-    WorkloadOptions, WorkloadPlan, WorkloadReport,
+    WorkloadOptions, WorkloadPlan, WorkloadReport, CONTRACT_VERSION,
 };
 use vardelay_process::VariationConfig;
 use vardelay_ssta::SstaEngine;
@@ -104,6 +105,18 @@ USAGE:
                           stored results; new completions append to f.
                           Resuming from the concatenated checkpoints of
                           all n shards IS the shard merge.
+        --cache DIR       persistent content-addressed result cache:
+                          before executing a unit, look its content-hash
+                          key up in DIR and splice the stored result
+                          byte-exactly (like --resume, but global and
+                          shared across specs and runs); record every
+                          executed unit back. Composes with --shard,
+                          --checkpoint and --resume; units found in the
+                          resume journal are never double-spliced (the
+                          journal wins). Safe for concurrent processes
+                          (one append-only segment per writer, fsync'd
+                          records). See `vardelay cache` for
+                          maintenance.
 
       Observability flags (shared with optimize; strictly out-of-band —
       result bytes, journals and --out files are bit-identical with and
@@ -118,12 +131,13 @@ USAGE:
                           steps, trials/s, ETA), throttled; never
                           touches stdout or the --out/journal streams
 
-  vardelay sweep validate <spec.json>
+  vardelay sweep validate <spec.json> [--cache DIR]
       Lint a spec without running it: expand, validate every scenario,
       and report the scenario count, trial total and block count plus
       each scenario's backend, kernel version and estimated relative
       cost per trial (gate evaluations weighted by the kernel's
-      calibrated speed).
+      calibrated speed). With --cache DIR, also report how many units
+      are already cached vs to execute and the adjusted cost estimate.
 
   vardelay sweep example [--backend netlist] [--kernel v1|v2]
       Print an example sweep spec (JSON) to adapt; --backend netlist
@@ -147,19 +161,31 @@ USAGE:
       trial-kernel contract for every Monte-Carlo surface of a run:
       in-loop evaluation, stage criticality and final verification.
 
-  vardelay optimize validate <spec.json>
+  vardelay optimize validate <spec.json> [--cache DIR]
       Lint a campaign spec without running it: expand, validate every
       run, and report per-run footprint (stages, gates, goal, backend,
       kernel version, yield allocation, estimated relative cost per
-      trial) plus total verification trials.
+      trial) plus total verification trials. With --cache DIR, also
+      report cached-vs-to-execute runs and the adjusted cost estimate.
 
   vardelay optimize example
       Print an example campaign spec (JSON) to adapt.
 
+  vardelay cache <stats|verify|compact> DIR [--max-bytes N]
+      Maintain a --cache result store. stats: segment/record/byte
+      counts per contract version. verify: re-read every record and
+      check its checksum (exits nonzero on corruption). compact: merge
+      segments keeping the newest record per unit, drop superseded,
+      stale-contract and corrupt records, and — with --max-bytes N —
+      evict whole least-recently-used segments until the store fits
+      the budget. Invalidation needs no command at all: bumping the
+      engine contract version turns every old record into a miss.
+
   vardelay report <trace.json|metrics.json>
       Print the phase breakdown table of a --trace or --metrics file:
       wall time per phase (count, total, mean, share of wall), trial
-      throughput, worker utilization, units executed vs resumed.
+      throughput, worker utilization, units executed vs resumed vs
+      cached, and the result-cache hit rate.
 
   vardelay help
       This text.
@@ -347,6 +373,7 @@ struct WorkloadArgs {
     shard: Option<Shard>,
     checkpoint: Option<String>,
     resume: Option<String>,
+    cache: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
     progress: bool,
@@ -365,6 +392,7 @@ fn take_workload_args(mut opts: Vec<String>) -> Result<WorkloadArgs, CliError> {
         .transpose()?;
     let checkpoint = take_opt(&mut opts, "--checkpoint")?;
     let resume = take_opt(&mut opts, "--resume")?;
+    let cache = take_opt(&mut opts, "--cache")?;
     let trace = take_opt(&mut opts, "--trace")?;
     let metrics = take_opt(&mut opts, "--metrics")?;
     let progress = take_flag(&mut opts, "--progress");
@@ -377,6 +405,7 @@ fn take_workload_args(mut opts: Vec<String>) -> Result<WorkloadArgs, CliError> {
         shard,
         checkpoint,
         resume,
+        cache,
         trace,
         metrics,
         progress,
@@ -531,12 +560,9 @@ where
             // rightly rejects. Normalize the journal to exactly its
             // complete, newline-terminated lines.
             if args.checkpoint.is_none() {
-                let mut lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
-                if ckpt.torn_tail() {
-                    lines.pop();
-                }
-                let repaired: String = lines.iter().flat_map(|l| [*l, "\n"]).collect();
-                if repaired != text {
+                if let Some(repaired) =
+                    vardelay_engine::journal::normalize_jsonl(&text, ckpt.torn_tail())
+                {
                     std::fs::write(path, repaired).map_err(|e| io_err(path, &e))?;
                 }
             }
@@ -544,6 +570,19 @@ where
         }
         None => None,
     };
+
+    // The persistent result cache (read-write: hits splice, executed
+    // units are recorded back). Declared before `options`, which
+    // borrows it for the run.
+    let cache: Option<UnitCache> = args
+        .cache
+        .as_deref()
+        .map(|dir| {
+            ResultStore::open(std::path::Path::new(dir))
+                .map(UnitCache::new)
+                .map_err(|e| CliError(format!("cannot open cache: {e}")))
+        })
+        .transpose()?;
 
     let progress = args.progress.then(StderrProgress::new);
     let mut options: WorkloadOptions<'_, W::UnitResult> = WorkloadOptions::sequential()
@@ -556,6 +595,9 @@ where
     }
     if let Some(ckpt) = &resume_ckpt {
         options = options.with_resume(ckpt);
+    }
+    if let Some(c) = &cache {
+        options = options.with_cache(c);
     }
     if let Some(p) = &progress {
         options = options.with_progress(p);
@@ -592,8 +634,10 @@ where
     let retain = args.out.is_none();
 
     let started = std::time::Instant::now();
-    let stats = run_units(w, &options, |slot, id, result, resumed| {
-        let journal_skips = resumed && journal_appends;
+    let stats = run_units(w, &options, |slot, id, result, origin| {
+        // Only journal-spliced units already have their line in the
+        // append-mode journal; cache-spliced units are new to it.
+        let journal_skips = origin == vardelay_engine::UnitOrigin::Journal && journal_appends;
         let line = (out_stream.is_some() || (journal.is_some() && !journal_skips))
             .then(|| checkpoint_line(id, &result));
         if let Some((path, f)) = &mut journal {
@@ -639,8 +683,13 @@ where
     } else {
         String::new()
     };
+    let cached_note = if stats.cached > 0 {
+        format!(", {} cached", stats.cached)
+    } else {
+        String::new()
+    };
     eprintln!(
-        "{kind} '{}': {} {noun}s{shard_note}{resumed_note}, {} workers, {:.3} s",
+        "{kind} '{}': {} {noun}s{shard_note}{resumed_note}{cached_note}, {} workers, {:.3} s",
         w.name(),
         stats.units,
         options.workers,
@@ -656,6 +705,18 @@ where
         eprintln!(
             "resume: {} {noun}s spliced from journal, {} executed{torn}",
             stats.resumed, stats.executed
+        );
+    }
+    if args.cache.is_some() {
+        let lookups = stats.cached + stats.executed;
+        let rate = if lookups > 0 {
+            100.0 * stats.cached as f64 / lookups as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "cache: {} of {lookups} {noun}s served from cache ({rate:.0}% hit rate), {} executed and recorded",
+            stats.cached, stats.executed
         );
     }
     // Stop recording before the aggregate reassembly below: the
@@ -712,6 +773,7 @@ where
                 units_total: stats.units,
                 units_executed: stats.executed,
                 units_resumed: stats.resumed,
+                units_cached: stats.cached,
                 torn_tail_normalized: torn_tail,
                 steps: stats.steps,
             };
@@ -725,14 +787,60 @@ where
 
 /// The one driver behind `sweep validate` and `optimize validate`: full
 /// validation and footprint accounting for any [`Workload`], zero
-/// trials or sizing passes run.
-fn validate_workload_cmd<W>(kind: &str, w: &W) -> Result<String, CliError>
+/// trials or sizing passes run. With a cache directory, additionally
+/// reports how much of the workload is already cached and the adjusted
+/// cost estimate for what remains.
+fn validate_workload_cmd<W>(kind: &str, w: &W, cache_dir: Option<&str>) -> Result<String, CliError>
 where
     W: Workload,
     W::Plan: WorkloadPlan,
 {
     let plan = plan_workload(w).map_err(|e| CliError(format!("invalid {kind} spec: {e}")))?;
-    Ok(format!("{}\nspec OK\n", plan.render()))
+    let mut out = plan.render();
+    if let Some(dir) = cache_dir {
+        // A missing cache dir is simply cold, not an error: validate
+        // must never create state.
+        let path = std::path::Path::new(dir);
+        let store = path
+            .is_dir()
+            .then(|| ResultStore::open_read_only(path))
+            .transpose()
+            .map_err(|e| CliError(format!("cannot open cache: {e}")))?;
+        let units = w
+            .prepare()
+            .map_err(|e| CliError(format!("invalid {kind} spec: {e}")))?;
+        let est_trials =
+            |u: &W::Unit| -> u64 { (0..w.unit_steps(u)).map(|s| w.step_trials(u, s)).sum() };
+        let mut cached = 0usize;
+        let (mut trials_all, mut trials_todo) = (0u64, 0u64);
+        for u in &units {
+            let t = est_trials(u);
+            trials_all += t;
+            if store
+                .as_ref()
+                .is_some_and(|s| s.contains(w.unit_key(u), CONTRACT_VERSION))
+            {
+                cached += 1;
+            } else {
+                trials_todo += t;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\ncache '{dir}': {cached} of {} {}s cached, {} to execute",
+            units.len(),
+            w.unit_noun(),
+            units.len() - cached
+        );
+        if trials_all > 0 {
+            let _ = writeln!(
+                out,
+                "adjusted cost: {trials_todo} of {trials_all} est. trials ({:.0}% of cold)",
+                100.0 * trials_todo as f64 / trials_all as f64
+            );
+        }
+    }
+    Ok(format!("{out}\nspec OK\n"))
 }
 
 /// `sweep` subcommand over already-loaded spec text.
@@ -750,11 +858,14 @@ pub fn sweep_cmd(spec_text: &str, opts: Vec<String>) -> Result<String, CliError>
 }
 
 /// `sweep validate` subcommand over already-loaded spec text: full
-/// validation and cost accounting, zero trials run.
-pub fn sweep_validate_cmd(spec_text: &str) -> Result<String, CliError> {
+/// validation and cost accounting, zero trials run. `--cache DIR` adds
+/// the cached-vs-to-execute breakdown.
+pub fn sweep_validate_cmd(spec_text: &str, mut opts: Vec<String>) -> Result<String, CliError> {
+    let cache = take_opt(&mut opts, "--cache")?;
+    no_more_args("sweep validate", &opts)?;
     let sweep = vardelay_engine::Sweep::from_json(spec_text)
         .map_err(|e| CliError(format!("invalid sweep spec: {e}")))?;
-    validate_workload_cmd("sweep", &sweep)
+    validate_workload_cmd("sweep", &sweep, cache.as_deref())
 }
 
 /// `sweep example` subcommand: the spec template for a backend,
@@ -800,17 +911,136 @@ pub fn optimize_cmd(spec_text: &str, opts: Vec<String>) -> Result<String, CliErr
 }
 
 /// `optimize validate` subcommand: full validation and footprint
-/// accounting, zero sizing passes and zero trials run.
-pub fn optimize_validate_cmd(spec_text: &str) -> Result<String, CliError> {
+/// accounting, zero sizing passes and zero trials run. `--cache DIR`
+/// adds the cached-vs-to-execute breakdown.
+pub fn optimize_validate_cmd(spec_text: &str, mut opts: Vec<String>) -> Result<String, CliError> {
+    let cache = take_opt(&mut opts, "--cache")?;
+    no_more_args("optimize validate", &opts)?;
     let campaign = vardelay_engine::OptimizationCampaign::from_json(spec_text)
         .map_err(|e| CliError(format!("invalid campaign spec: {e}")))?;
-    validate_workload_cmd("campaign", &campaign)
+    validate_workload_cmd("campaign", &campaign, cache.as_deref())
 }
 
 /// `optimize example` subcommand: the campaign spec template.
 pub fn optimize_example_cmd(opts: Vec<String>) -> Result<String, CliError> {
     no_more_args("optimize example", &opts)?;
     Ok(vardelay_engine::OptimizationCampaign::example().to_json() + "\n")
+}
+
+/// `cache` subcommand: maintenance for a persistent result-cache
+/// directory. `stats` summarizes, `verify` checksums every record
+/// (nonzero exit on corruption), `compact` merges segments, drops
+/// superseded/stale-contract records, and applies an optional
+/// `--max-bytes` LRU budget.
+pub fn cache_cmd(args: &[String]) -> Result<String, CliError> {
+    let usage =
+        || CliError("usage: vardelay cache <stats|verify|compact> DIR [--max-bytes N]".to_owned());
+    let action = args.first().ok_or_else(usage)?.as_str();
+    let mut opts: Vec<String> = args[1..].to_vec();
+    let max_bytes = take_opt(&mut opts, "--max-bytes")?;
+    if opts.len() != 1 {
+        return Err(usage());
+    }
+    let dir = std::path::PathBuf::from(&opts[0]);
+    if max_bytes.is_some() && action != "compact" {
+        return Err(CliError(format!(
+            "--max-bytes only applies to `cache compact`, not `cache {action}`"
+        )));
+    }
+    match action {
+        "stats" => {
+            let store = ResultStore::open_read_only(&dir)
+                .map_err(|e| CliError(format!("cannot open cache: {e}")))?;
+            let s = store.stats();
+            let mut out = format!(
+                "cache '{}': {} segment(s), {} record(s), {} live unit(s), {} bytes\n",
+                dir.display(),
+                s.segments,
+                s.records,
+                s.live_units,
+                s.bytes
+            );
+            for (contract, n) in &s.contracts {
+                let current = if *contract == CONTRACT_VERSION {
+                    " (current)"
+                } else {
+                    ""
+                };
+                let _ = writeln!(out, "  contract v{contract}: {n} record(s){current}");
+            }
+            if s.torn_segments > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {} torn segment(s) — final record lost to an interrupted write; run `vardelay cache compact` to trim",
+                    s.torn_segments
+                );
+            }
+            Ok(out)
+        }
+        "verify" => {
+            let report =
+                verify_dir(&dir).map_err(|e| CliError(format!("cannot verify cache: {e}")))?;
+            if !report.corrupt.is_empty() {
+                let mut msg = format!(
+                    "cache '{}': {} corrupt record(s) out of {}:\n",
+                    dir.display(),
+                    report.corrupt.len(),
+                    report.corrupt.len() + report.valid_records
+                );
+                for line in &report.corrupt {
+                    let _ = writeln!(msg, "  {line}");
+                }
+                msg.push_str("run `vardelay cache compact` after investigating, or delete the damaged segment(s)");
+                return Err(CliError(msg));
+            }
+            let torn = if report.torn_segments > 0 {
+                format!(", {} torn tail(s) tolerated", report.torn_segments)
+            } else {
+                String::new()
+            };
+            Ok(format!(
+                "cache '{}': {} segment(s), {} record(s) verified{torn}\ncache OK\n",
+                dir.display(),
+                report.segments,
+                report.valid_records
+            ))
+        }
+        "compact" => {
+            let budget = max_bytes
+                .map(|s| {
+                    s.parse::<u64>().map_err(|_| {
+                        CliError(format!("--max-bytes expects a byte count, got '{s}'"))
+                    })
+                })
+                .transpose()?;
+            let report = compact_dir(&dir, CONTRACT_VERSION, budget)
+                .map_err(|e| CliError(format!("cannot compact cache: {e}")))?;
+            let mut out = format!(
+                "cache '{}': {} -> {} segment(s), {} -> {} bytes\n",
+                dir.display(),
+                report.segments_before,
+                report.segments_after,
+                report.bytes_before,
+                report.bytes_after
+            );
+            let _ = writeln!(
+                out,
+                "kept {} record(s), dropped {} superseded/stale record(s)",
+                report.kept_records, report.dropped_records
+            );
+            if report.evicted_segments > 0 {
+                let _ = writeln!(
+                    out,
+                    "evicted {} least-recently-used segment(s) to meet the byte budget",
+                    report.evicted_segments
+                );
+            }
+            Ok(out)
+        }
+        other => Err(CliError(format!(
+            "unknown cache action '{other}' (expected stats, verify or compact)"
+        ))),
+    }
 }
 
 /// Rejects stray arguments after a subcommand that takes none.
@@ -844,10 +1074,9 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
                 let file = args
                     .get(2)
                     .ok_or_else(|| CliError("sweep validate requires a spec file".to_owned()))?;
-                no_more_args("sweep validate", &args[3..])?;
                 let text = std::fs::read_to_string(file)
                     .map_err(|e| CliError(format!("cannot read '{file}': {e}")))?;
-                sweep_validate_cmd(&text)
+                sweep_validate_cmd(&text, args[3..].to_vec())
             }
             Some(file) => {
                 let text = std::fs::read_to_string(file)
@@ -864,10 +1093,9 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
                 let file = args
                     .get(2)
                     .ok_or_else(|| CliError("optimize validate requires a spec file".to_owned()))?;
-                no_more_args("optimize validate", &args[3..])?;
                 let text = std::fs::read_to_string(file)
                     .map_err(|e| CliError(format!("cannot read '{file}': {e}")))?;
-                optimize_validate_cmd(&text)
+                optimize_validate_cmd(&text, args[3..].to_vec())
             }
             Some(file) => {
                 let text = std::fs::read_to_string(file)
@@ -875,6 +1103,7 @@ pub fn run(args: Vec<String>) -> Result<String, CliError> {
                 optimize_cmd(&text, args[2..].to_vec())
             }
         },
+        Some("cache") => cache_cmd(&args[1..]),
         Some("report") => {
             let file = args.get(1).ok_or_else(|| {
                 CliError("report requires a --trace or --metrics file".to_owned())
@@ -918,7 +1147,7 @@ mod tests {
     #[test]
     fn optimize_validate_reports_without_running() {
         let spec = vardelay_engine::OptimizationCampaign::example().to_json();
-        let out = optimize_validate_cmd(&spec).unwrap();
+        let out = optimize_validate_cmd(&spec, vec![]).unwrap();
         assert!(out.contains("spec OK"), "{out}");
         assert!(out.contains("ensure-yield"), "{out}");
         assert!(out.contains("analytic"), "{out}");
@@ -926,9 +1155,9 @@ mod tests {
         // Invalid specs are rejected with the engine's context.
         let mut bad = vardelay_engine::OptimizationCampaign::example();
         bad.runs[0].rounds = 0;
-        let err = optimize_validate_cmd(&bad.to_json()).unwrap_err();
+        let err = optimize_validate_cmd(&bad.to_json(), vec![]).unwrap_err();
         assert!(err.to_string().contains("rounds"), "{err}");
-        assert!(optimize_validate_cmd("not json").is_err());
+        assert!(optimize_validate_cmd("not json", vec![]).is_err());
         assert!(run(vec!["optimize".into(), "validate".into()]).is_err());
         assert!(run(vec!["optimize".into()]).is_err());
     }
@@ -1193,6 +1422,318 @@ mod tests {
         );
     }
 
+    /// A small two-scenario sweep used by the cache tests.
+    fn cache_test_sweep() -> vardelay_engine::Sweep {
+        let mut sweep = vardelay_engine::Sweep::example();
+        sweep.grid = None;
+        for s in &mut sweep.scenarios {
+            s.trials = 300;
+        }
+        sweep
+    }
+
+    /// A fresh cache directory under the test temp dir.
+    fn cache_dir(name: &str) -> String {
+        let dir = tmp(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn metrics_units(path: &str) -> (u64, u64, u64) {
+        let v: serde::Value =
+            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        let n = |v: &serde::Value, key: &str| match v.get(key) {
+            Some(&serde::Value::Number(serde::Number::U64(u))) => u,
+            other => panic!("units.{key} missing or non-integer: {other:?}"),
+        };
+        let units = v.get("units").expect("units section");
+        (
+            n(units, "executed"),
+            n(units, "resumed"),
+            n(units, "cached"),
+        )
+    }
+
+    #[test]
+    fn cache_cold_then_warm_is_byte_identical_and_executes_nothing() {
+        let spec = cache_test_sweep().to_json();
+        let dir = cache_dir("cache-warm");
+
+        let cold = tmp("cache-cold.json");
+        let out = sweep_cmd(
+            &spec,
+            vec!["--out".into(), cold.clone(), "--cache".into(), dir.clone()],
+        )
+        .unwrap();
+        assert!(out.contains("2 scenarios"), "{out}");
+
+        // Warm run at a different worker count: zero units execute and
+        // the aggregate bytes match the cold run exactly.
+        let warm = tmp("cache-warm.json");
+        let metrics = tmp("cache-warm-metrics.json");
+        let out = sweep_cmd(
+            &spec,
+            vec![
+                "--out".into(),
+                warm.clone(),
+                "--cache".into(),
+                dir.clone(),
+                "--workers".into(),
+                "8".into(),
+                "--metrics".into(),
+                metrics.clone(),
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("2 scenarios"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&cold).unwrap(),
+            std::fs::read_to_string(&warm).unwrap(),
+            "warm cache run must reproduce cold bytes"
+        );
+        assert_eq!(metrics_units(&metrics), (0, 0, 2), "warm run executes 0");
+        let mv: serde::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        let cache = mv.get("cache").expect("cache section");
+        assert_eq!(
+            cache.get("hits"),
+            Some(&serde::Value::Number(serde::Number::U64(2))),
+            "{mv:?}"
+        );
+
+        // `validate --cache` sees the same thing without running.
+        let v = sweep_validate_cmd(&spec, vec!["--cache".into(), dir.clone()]).unwrap();
+        assert!(v.contains("2 of 2 scenarios cached, 0 to execute"), "{v}");
+        assert!(v.contains("adjusted cost: 0 of 600"), "{v}");
+        // A cold validate against a missing dir reports all-miss.
+        let v = sweep_validate_cmd(&spec, vec!["--cache".into(), cache_dir("cache-none")]).unwrap();
+        assert!(v.contains("0 of 2 scenarios cached, 2 to execute"), "{v}");
+        assert!(v.contains("adjusted cost: 600 of 600"), "{v}");
+    }
+
+    #[test]
+    fn cache_hits_cross_spec_files_but_not_kernel_twins() {
+        let sweep = cache_test_sweep();
+        let dir = cache_dir("cache-twins");
+        sweep_cmd(&sweep.to_json(), vec!["--cache".into(), dir.clone()]).unwrap();
+
+        // A different spec file sharing one scenario hits on it: unit
+        // identity is the scenario itself, not the file it came from.
+        let mut other = sweep.clone();
+        other.name = "other-sweep".to_owned();
+        other.scenarios.truncate(1);
+        let metrics = tmp("cache-cross.json");
+        sweep_cmd(
+            &other.to_json(),
+            vec![
+                "--cache".into(),
+                dir.clone(),
+                "--metrics".into(),
+                metrics.clone(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(metrics_units(&metrics), (0, 0, 1), "cross-file hit");
+
+        // The same scenario under the v2 kernel is a different byte
+        // contract — it must MISS, not serve v1 bytes.
+        let mut twin = other.clone();
+        twin.scenarios[0].kernel = vardelay_engine::KernelSpec::V2;
+        let metrics = tmp("cache-twin.json");
+        sweep_cmd(
+            &twin.to_json(),
+            vec![
+                "--cache".into(),
+                dir.clone(),
+                "--metrics".into(),
+                metrics.clone(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(metrics_units(&metrics), (1, 0, 0), "kernel twin misses");
+    }
+
+    #[test]
+    fn journal_entries_win_over_cache_entries() {
+        // --resume + --cache together must not double-splice: a unit
+        // present in BOTH the journal and the cache counts once, as
+        // resumed — the journal is the per-run source of truth.
+        let spec = cache_test_sweep().to_json();
+        let dir = cache_dir("cache-journal");
+
+        let journal = tmp("cache-journal.jsonl");
+        let full = tmp("cache-journal-full.json");
+        sweep_cmd(
+            &spec,
+            vec![
+                "--cache".into(),
+                dir.clone(),
+                "--checkpoint".into(),
+                journal.clone(),
+                "--out".into(),
+                full.clone(),
+            ],
+        )
+        .unwrap();
+
+        let metrics = tmp("cache-journal-metrics.json");
+        let merged = tmp("cache-journal-merged.json");
+        sweep_cmd(
+            &spec,
+            vec![
+                "--cache".into(),
+                dir.clone(),
+                "--resume".into(),
+                journal,
+                "--out".into(),
+                merged.clone(),
+                "--metrics".into(),
+                metrics.clone(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(metrics_units(&metrics), (0, 2, 0), "journal wins");
+        assert_eq!(
+            std::fs::read_to_string(&full).unwrap(),
+            std::fs::read_to_string(&merged).unwrap(),
+        );
+    }
+
+    #[test]
+    fn shard_resume_cache_composition_is_byte_identical() {
+        let spec = cache_test_sweep().to_json();
+        let full = tmp("cache-shard-full.json");
+        sweep_cmd(&spec, vec!["--out".into(), full.clone()]).unwrap();
+
+        // Sharded cold runs populate one shared cache dir.
+        let dir = cache_dir("cache-shard");
+        let mut merged_lines = String::new();
+        for i in 1..=2 {
+            let ckpt = tmp(&format!("cache-shard{i}.jsonl"));
+            sweep_cmd(
+                &spec,
+                vec![
+                    "--shard".into(),
+                    format!("{i}/2"),
+                    "--cache".into(),
+                    dir.clone(),
+                    "--checkpoint".into(),
+                    ckpt.clone(),
+                ],
+            )
+            .unwrap();
+            merged_lines.push_str(&std::fs::read_to_string(&ckpt).unwrap());
+        }
+        let all = tmp("cache-shard-all.jsonl");
+        std::fs::write(&all, &merged_lines).unwrap();
+
+        // The merge run composes --resume with --cache; and a plain
+        // warm run serves everything from the cache alone.
+        let merged = tmp("cache-shard-merged.json");
+        sweep_cmd(
+            &spec,
+            vec![
+                "--resume".into(),
+                all,
+                "--cache".into(),
+                dir.clone(),
+                "--out".into(),
+                merged.clone(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&full).unwrap(),
+            std::fs::read_to_string(&merged).unwrap(),
+        );
+        let warm = tmp("cache-shard-warm.json");
+        let metrics = tmp("cache-shard-metrics.json");
+        sweep_cmd(
+            &spec,
+            vec![
+                "--cache".into(),
+                dir,
+                "--out".into(),
+                warm.clone(),
+                "--metrics".into(),
+                metrics.clone(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(metrics_units(&metrics), (0, 0, 2), "shards filled cache");
+        assert_eq!(
+            std::fs::read_to_string(&full).unwrap(),
+            std::fs::read_to_string(&warm).unwrap(),
+        );
+    }
+
+    #[test]
+    fn cache_subcommand_stats_verify_compact() {
+        let spec = cache_test_sweep().to_json();
+        let dir = cache_dir("cache-cmd");
+        sweep_cmd(&spec, vec!["--cache".into(), dir.clone()]).unwrap();
+
+        let out = run(vec!["cache".into(), "stats".into(), dir.clone()]).unwrap();
+        assert!(out.contains("2 record(s), 2 live unit(s)"), "{out}");
+        assert!(out.contains("(current)"), "{out}");
+        let out = run(vec!["cache".into(), "verify".into(), dir.clone()]).unwrap();
+        assert!(out.contains("cache OK"), "{out}");
+
+        // Flip one payload byte: verify fails loudly with the unit key.
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| {
+                let n = p.file_name().unwrap().to_string_lossy().into_owned();
+                n.starts_with("seg-") && n.ends_with(".jsonl")
+            })
+            .expect("a segment file");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x01;
+        std::fs::write(&seg, bytes).unwrap();
+        let err = run(vec!["cache".into(), "verify".into(), dir.clone()]).unwrap_err();
+        assert!(err.to_string().contains("corrupt record"), "{err}");
+
+        // Compact drops the damaged record; verify is clean again and a
+        // warm run transparently re-executes the lost unit.
+        let out = run(vec!["cache".into(), "compact".into(), dir.clone()]).unwrap();
+        assert!(out.contains("dropped"), "{out}");
+        let out = run(vec!["cache".into(), "verify".into(), dir.clone()]).unwrap();
+        assert!(out.contains("cache OK"), "{out}");
+        let metrics = tmp("cache-cmd-metrics.json");
+        sweep_cmd(
+            &spec,
+            vec![
+                "--cache".into(),
+                dir.clone(),
+                "--metrics".into(),
+                metrics.clone(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(metrics_units(&metrics), (1, 0, 1), "lost unit re-ran");
+
+        // Argument errors.
+        assert!(run(vec!["cache".into()]).is_err());
+        assert!(run(vec!["cache".into(), "stats".into()]).is_err());
+        assert!(run(vec!["cache".into(), "frob".into(), dir.clone()]).is_err());
+        assert!(run(vec![
+            "cache".into(),
+            "stats".into(),
+            dir,
+            "--max-bytes".into(),
+            "1".into()
+        ])
+        .is_err());
+        assert!(run(vec![
+            "cache".into(),
+            "stats".into(),
+            cache_dir("cache-missing")
+        ])
+        .is_err());
+    }
+
     #[test]
     fn sweep_example_is_a_valid_spec() {
         let json = run(vec!["sweep".into(), "example".into()]).unwrap();
@@ -1225,7 +1766,7 @@ mod tests {
     #[test]
     fn sweep_validate_reports_without_running() {
         let spec = vardelay_engine::Sweep::example_netlist().to_json();
-        let out = sweep_validate_cmd(&spec).unwrap();
+        let out = sweep_validate_cmd(&spec, vec![]).unwrap();
         assert!(out.contains("spec OK"), "{out}");
         assert!(out.contains("netlist"), "{out}");
         assert!(out.contains("analytic"), "{out}");
@@ -1233,12 +1774,12 @@ mod tests {
         // Invalid specs are rejected with the engine's context.
         let mut bad = vardelay_engine::Sweep::example_netlist();
         bad.scenarios[1].trials = 5; // analytic backend with trials
-        let err = sweep_validate_cmd(&bad.to_json()).unwrap_err();
+        let err = sweep_validate_cmd(&bad.to_json(), vec![]).unwrap_err();
         assert!(err.to_string().contains("analytic"), "{err}");
-        assert!(sweep_validate_cmd("not json").is_err());
+        assert!(sweep_validate_cmd("not json", vec![]).is_err());
+        assert!(sweep_validate_cmd(&spec, vec!["--frob".into()]).is_err());
         assert!(run(vec!["sweep".into(), "validate".into()]).is_err());
-        // Stray arguments after the spec file are rejected before the
-        // file is even read.
+        // Stray arguments after the spec file are still rejected.
         assert!(run(vec![
             "sweep".into(),
             "validate".into(),

@@ -146,17 +146,35 @@ fn from_metrics(v: &Value) -> Result<String, CliError> {
     }
     let mut extra = Vec::new();
     if let Some(units) = v.get("units") {
+        let cached = get_num(units, "cached").unwrap_or(0.0);
         extra.push(format!(
-            "units: {} total, {} executed, {} resumed from journal{}",
+            "units: {} total, {} executed, {} resumed from journal{}{}",
             get_num(units, "total").unwrap_or(0.0),
             get_num(units, "executed").unwrap_or(0.0),
             get_num(units, "resumed").unwrap_or(0.0),
+            if cached > 0.0 {
+                format!(", {cached} from cache")
+            } else {
+                String::new()
+            },
             if units.get("torn_tail_normalized") == Some(&Value::Bool(true)) {
                 " (torn tail normalized)"
             } else {
                 ""
             }
         ));
+    }
+    if let Some(cache) = v.get("cache") {
+        let hits = get_num(cache, "hits").unwrap_or(0.0);
+        let misses = get_num(cache, "misses").unwrap_or(0.0);
+        // Cache-less runs carry an all-zero section; say nothing then.
+        if hits + misses > 0.0 {
+            extra.push(format!(
+                "cache: {hits} hits, {misses} misses ({:.1}% hit rate), {} result bytes served from cache",
+                100.0 * get_num(cache, "hit_rate").unwrap_or(0.0),
+                get_num(cache, "bytes_saved").unwrap_or(0.0),
+            ));
+        }
     }
     if let Some(rate) = get_num(v, "trials_per_sec") {
         extra.push(format!("trials/s (recorded): {rate:.0}"));
@@ -276,7 +294,8 @@ mod tests {
     fn metrics_report_renders_phases_and_units() {
         let text = r#"{
             "kind": "campaign", "name": "t", "workers": 2, "wall_ms": 100.0,
-            "units": {"total": 3, "executed": 2, "resumed": 1, "torn_tail_normalized": true},
+            "units": {"total": 6, "executed": 2, "resumed": 1, "cached": 3, "torn_tail_normalized": true},
+            "cache": {"hits": 3, "misses": 2, "hit_rate": 0.6, "bytes_saved": 420},
             "steps": 2, "trials": 4000,
             "trials_by_kernel": {"v1": 1000, "v2": 3000},
             "trials_per_sec": 40000.0,
@@ -292,8 +311,15 @@ mod tests {
         assert!(out.contains("campaign 't'"), "{out}");
         assert!(out.contains("mc/verify"), "{out}");
         assert!(out.contains("60.000"), "{out}");
-        assert!(out.contains("3 total, 2 executed, 1 resumed"), "{out}");
+        assert!(
+            out.contains("6 total, 2 executed, 1 resumed from journal, 3 from cache"),
+            "{out}"
+        );
         assert!(out.contains("torn tail normalized"), "{out}");
+        assert!(
+            out.contains("cache: 3 hits, 2 misses (60.0% hit rate), 420 result bytes"),
+            "{out}"
+        );
         assert!(out.contains("trials by kernel: v1 1000, v2 3000"), "{out}");
         assert!(
             out.contains("counter trials_v2 rate: 30000/s of wall"),
