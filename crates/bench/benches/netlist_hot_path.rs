@@ -23,7 +23,7 @@ use std::hint::black_box;
 use vardelay_circuit::{CellLibrary, LatchParams, StagedPipeline};
 use vardelay_engine::{
     run_sweep, BackendSpec, CircuitSpec, KernelSpec, LatchSpec, PipelineSpec, Scenario, Sweep,
-    SweepOptions, VariationSpec,
+    SweepOptions, TrialPlanSpec, VariationSpec,
 };
 use vardelay_mc::{PipelineBlockStats, PipelineMc, PreparedPipelineMc};
 use vardelay_process::VariationConfig;
@@ -92,6 +92,7 @@ fn chain_scenario(backend: BackendSpec) -> Scenario {
             systematic_mv: 15.0,
         },
         trials: 4_000,
+        trial_plan: TrialPlanSpec::default(),
         yield_targets: vec![],
         auto_target_sigmas: vec![1.2],
         backend,

@@ -33,7 +33,7 @@ use vardelay_circuit::generators::inverter_chain;
 use vardelay_circuit::{CellLibrary, LatchParams, StagedPipeline};
 use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
 use vardelay_engine::{
-    run_campaign, KernelSpec, LatchSpec, PipelineSpec, SweepOptions, VariationSpec,
+    run_campaign, KernelSpec, LatchSpec, PipelineSpec, SweepOptions, TrialPlanSpec, VariationSpec,
 };
 use vardelay_opt::{
     GlobalPipelineOptimizer, OptimizationGoal, SizingConfig, StatisticalSizer, TargetDelayPolicy,
@@ -61,6 +61,7 @@ fn campaign(backend: YieldBackendSpec) -> OptimizationCampaign {
             kernel: KernelSpec::default(),
             eval_trials: 1_024,
             verify_trials: 4_096,
+            verify_plan: TrialPlanSpec::default(),
         }],
         grid: None,
     }

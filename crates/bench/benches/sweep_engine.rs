@@ -10,7 +10,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vardelay_engine::{
-    run_sweep, BackendSpec, GridSpec, KernelSpec, LatchSpec, Sweep, SweepOptions, VariationSpec,
+    run_sweep, BackendSpec, GridSpec, KernelSpec, LatchSpec, Sweep, SweepOptions, TrialPlanSpec,
+    VariationSpec,
 };
 
 fn bench_sweep(c: &mut Criterion) {
@@ -32,6 +33,7 @@ fn bench_sweep(c: &mut Criterion) {
             ],
             latch: LatchSpec::TgMsff70nm,
             trials: 2_000,
+            trial_plan: TrialPlanSpec::default(),
             yield_targets: vec![],
             auto_target_sigmas: vec![1.2],
             backend: BackendSpec::Pipeline,

@@ -1,4 +1,4 @@
-//! Machine-readable performance summary: writes `BENCH_8.json`.
+//! Machine-readable performance summary: writes `BENCH_9.json`.
 //!
 //! CI runs this after the criterion benches so the perf trajectory is
 //! tracked as data, not just as log lines: campaign wall-clock per
@@ -21,14 +21,23 @@
 //! at least [`V2_SPEEDUP_FLOOR`]× the baseline's v1 rate, measured in
 //! the same process so host noise cancels.
 //!
-//! This PR's headline is the **result cache**: a warm campaign rerun
+//! The **result cache** gates carry forward: a warm campaign rerun
 //! against a populated content-addressed store must reproduce the cold
 //! bytes exactly while costing at most [`WARM_FRACTION_CEILING`] of the
 //! cold wall-clock. The fraction is a same-process ratio, so it gates
 //! unconditionally — no baseline file needed.
 //!
+//! This PR's headline is the **trial-plan** section: variance-reduction
+//! factors of the stratified / Sobol / antithetic sampling plans versus
+//! plain Monte-Carlo at a matched trial budget (stratified and Sobol
+//! must clear [`PLAN_VRF_FLOOR`]×, i.e. ≥4× fewer trials at the same
+//! confidence), plus a high-sigma demonstration: at the same 4k-trial
+//! budget, statistical blockade resolves a 99.9% yield target whose
+//! plain-MC confidence interval straddles the target. Both are
+//! same-process seed-deterministic ratios, so they gate unconditionally.
+//!
 //! Usage: `cargo run --release -p vardelay-bench --bin bench_summary
-//! [out.json] [--baseline prev.json]` (default out `BENCH_8.json`).
+//! [out.json] [--baseline prev.json]` (default out `BENCH_9.json`).
 
 use std::time::Instant;
 
@@ -38,14 +47,17 @@ use vardelay_circuit::generators::{inverter_chain, random_logic, RandomLogicConf
 use vardelay_circuit::{CellLibrary, LatchParams, StagedPipeline};
 use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
 use vardelay_engine::{
-    run_campaign, run_workload, KernelSpec, LatchSpec, PipelineSpec, SweepOptions, VariationSpec,
-    WorkloadOptions,
+    run_campaign, run_workload, KernelSpec, LatchSpec, PipelineSpec, SweepOptions, TrialPlanSpec,
+    VariationSpec, WorkloadOptions,
 };
-use vardelay_mc::{PipelineBlockStats, PipelineMc, PreparedPipelineMc, TrialKernel};
+use vardelay_mc::{
+    PipelineBlockStats, PipelineMc, PreparedPipelineMc, TrialKernel, TrialPlan, TrialStrategy,
+};
 use vardelay_opt::{OptimizationGoal, SizingConfig, StatisticalSizer, TargetDelayPolicy};
 use vardelay_process::VariationConfig;
 use vardelay_ssta::sta::arrival_times;
 use vardelay_ssta::{SstaEngine, StageTimer};
+use vardelay_stats::counter_seed;
 
 /// Timing samples per measurement (median reported).
 const SAMPLES: usize = 5;
@@ -116,6 +128,7 @@ fn campaign(backend: YieldBackendSpec) -> OptimizationCampaign {
             kernel: KernelSpec::default(),
             eval_trials: 1_024,
             verify_trials: 4_096,
+            verify_plan: TrialPlanSpec::default(),
         }],
         grid: None,
     }
@@ -133,6 +146,20 @@ const V2_SPEEDUP_FLOOR: f64 = 3.0;
 /// of the cold run's wall-clock. Both sides are measured in the same
 /// process, so the ratio gates unconditionally.
 const WARM_FRACTION_CEILING: f64 = 0.25;
+
+/// Stratified and Sobol plans must cut the yield-estimator variance by
+/// at least this factor versus plain MC at a matched budget — the
+/// "≥4x fewer trials at the same confidence" headline. The ratio is
+/// seed-deterministic and same-process, so it gates unconditionally.
+const PLAN_VRF_FLOOR: f64 = 4.0;
+
+/// z for a 90% one-sided body yield target (Phi^-1(0.90)).
+const Z_BODY: f64 = 1.2816;
+
+/// z for the 99.95% high-sigma target (Phi^-1(0.9995)) — close enough
+/// to the 99.9% decision line that plain MC cannot separate the two at
+/// a few thousand trials, while blockade can.
+const Z_HIGH_SIGMA: f64 = 3.2905;
 
 /// Reads one numeric metric out of a parsed BENCH file.
 fn metric(v: &serde::Value, path: &[&str]) -> f64 {
@@ -174,7 +201,7 @@ fn main() {
         eprintln!("usage: bench_summary [out.json] [--baseline prev.json]");
         std::process::exit(2);
     }
-    let out_path = args.pop().unwrap_or_else(|| "BENCH_8.json".to_owned());
+    let out_path = args.pop().unwrap_or_else(|| "BENCH_9.json".to_owned());
 
     // --- Campaign wall-clock + phase breakdown per backend. ---
     // Determinism is asserted both across worker counts and across the
@@ -334,6 +361,92 @@ fn main() {
     });
     let trials_per_sec_v2 = trials as f64 / (verify_v2_ms / 1e3);
 
+    // --- Trial plans: variance reduction at a matched budget. ---
+    // Inter-die-dominant variation, where die-level stratification and
+    // QMC have the most structure to exploit: the yield estimator's
+    // variance across independent replicates (distinct seeds, identical
+    // budget) is the efficiency currency — VRF x means plain MC needs
+    // x times the trials for the same confidence interval.
+    let plans_var = VariationConfig::combined(40.0, 10.0, 0.0);
+    let mc_plans = PipelineMc::new(CellLibrary::default(), plans_var, None);
+    let plans_pipe = StagedPipeline::new(
+        "plans",
+        vec![
+            inverter_chain(10, 1.0),
+            inverter_chain(8, 1.0),
+            inverter_chain(9, 1.0),
+            inverter_chain(7, 1.0),
+        ],
+        LatchParams::tg_msff_70nm(),
+    );
+    let prepared_plans = PreparedPipelineMc::new(&mc_plans, &plans_pipe);
+    let mut ws_plans = prepared_plans.workspace();
+    let mut probe = PipelineBlockStats::new(plans_pipe.stage_count(), &[]);
+    prepared_plans.run_block(
+        &mut ws_plans,
+        0..8_192,
+        |t| counter_seed(0xA5ED, t),
+        &mut probe,
+    );
+    let (mu, sd) = (probe.pipeline().mean(), probe.pipeline().sample_sd());
+    let body_target = mu + Z_BODY * sd;
+
+    let plan_budget = 1_024u64;
+    let plan_replicates = 24u64;
+    let mut yield_variance = |plan: Option<TrialPlan>| -> f64 {
+        let mut est = vardelay_stats::RunningStats::new();
+        for r in 0..plan_replicates {
+            let mut stats = PipelineBlockStats::new(plans_pipe.stage_count(), &[body_target]);
+            let seed_of = |t: u64| counter_seed(0xA5ED ^ (r + 1), t);
+            match plan {
+                None => {
+                    prepared_plans.run_block(&mut ws_plans, 0..plan_budget, seed_of, &mut stats)
+                }
+                Some(p) => prepared_plans.run_block_plan(
+                    &mut ws_plans,
+                    0..plan_budget,
+                    seed_of,
+                    p,
+                    &mut stats,
+                ),
+            }
+            est.push(stats.yield_estimate(0).value);
+        }
+        est.sample_variance()
+    };
+    let var_plain = yield_variance(None);
+    let vrf_antithetic = var_plain / yield_variance(Some(TrialPlan::of(TrialStrategy::Antithetic)));
+    let vrf_stratified = var_plain / yield_variance(Some(TrialPlan::of(TrialStrategy::Stratified)));
+    let vrf_sobol = var_plain / yield_variance(Some(TrialPlan::of(TrialStrategy::Sobol)));
+
+    // --- High-sigma: blockade resolves 99.9% where plain MC cannot. ---
+    // Both estimators get the same 4k-trial budget against a target in
+    // the far tail. Plain MC sees a handful of failures and its
+    // interval straddles the 0.999 decision line; the blockade plan's
+    // reweighted tail estimate is an order of magnitude tighter and
+    // pins the yield to one side of it.
+    let hs_target = mu + Z_HIGH_SIGMA * sd;
+    let hs_budget = 4_096u64;
+    let hs_seed = |t: u64| counter_seed(0x515A, t);
+    let mut plain_hs = PipelineBlockStats::new(plans_pipe.stage_count(), &[hs_target]);
+    prepared_plans.run_block(&mut ws_plans, 0..hs_budget, hs_seed, &mut plain_hs);
+    let plain_hs_yield = plain_hs.yield_estimate(0).value;
+    let plain_hs_hw = plain_hs.yield_half_width(0);
+    let mut blockade_hs =
+        PipelineBlockStats::new(plans_pipe.stage_count(), &[hs_target]).with_weighted_tail();
+    prepared_plans.run_block_plan(
+        &mut ws_plans,
+        0..hs_budget,
+        hs_seed,
+        TrialPlan::of(TrialStrategy::Blockade),
+        &mut blockade_hs,
+    );
+    let blockade_hs_yield = blockade_hs.weighted_yield_estimate(0).value;
+    let blockade_hs_hw = blockade_hs.yield_half_width(0);
+    let resolves = |y: f64, hw: f64| y - hw > 0.999 || y + hw < 0.999;
+    let plain_resolves = resolves(plain_hs_yield, plain_hs_hw);
+    let blockade_resolves = resolves(blockade_hs_yield, blockade_hs_hw);
+
     // Hand-rendered JSON: fixed key order, no dependency on map
     // iteration, so the artifact diffs cleanly between PRs.
     let phase_block = |s: &CampaignSample| {
@@ -343,8 +456,17 @@ fn main() {
             s.sizing_ms, s.criticality_ms, s.mc_verify_ms
         )
     };
+    let trial_plans_block = format!(
+        "{{\n    \"budget_trials\": {plan_budget},\n    \"replicates\": {plan_replicates},\n    \
+         \"vrf_antithetic\": {vrf_antithetic:.2},\n    \"vrf_stratified\": {vrf_stratified:.2},\n    \
+         \"vrf_sobol\": {vrf_sobol:.2},\n    \"high_sigma\": {{\n      \"target_yield\": 0.999,\n      \
+         \"budget_trials\": {hs_budget},\n      \"plain_yield\": {plain_hs_yield:.6},\n      \
+         \"plain_half_width\": {plain_hs_hw:.6},\n      \"plain_resolves\": {plain_resolves},\n      \
+         \"blockade_yield\": {blockade_hs_yield:.6},\n      \"blockade_half_width\": {blockade_hs_hw:.6},\n      \
+         \"blockade_resolves\": {blockade_resolves}\n    }}\n  }}"
+    );
     let json = format!(
-        "{{\n  \"pr\": 8,\n  \"campaign_ms\": {{\n    \"{}\": {:.3},\n    \"{}\": {:.3}\n  }},\n  \
+        "{{\n  \"pr\": 9,\n  \"campaign_ms\": {{\n    \"{}\": {:.3},\n    \"{}\": {:.3}\n  }},\n  \
          \"campaign_phases_ms\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \
          \"result_cache\": {{\n    \"campaign_cold_ms\": {:.3},\n    \"campaign_warm_ms\": {:.3},\n    \
          \"warm_fraction\": {:.4},\n    \"hit_rate\": {:.4}\n  }},\n  \
@@ -352,7 +474,7 @@ fn main() {
          \"kernel_speedup\": {:.3}\n  }},\n  \"retime_probe\": {{\n    \"incremental_us\": {:.3},\n    \
          \"full_pass_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"mc_verification\": {{\n    \
          \"trials_per_sec\": {:.0},\n    \"kernel_v2_trials_per_sec\": {:.0},\n    \
-         \"kernel_v2_speedup\": {:.2}\n  }}\n}}",
+         \"kernel_v2_speedup\": {:.2}\n  }},\n  \"trial_plans\": {}\n}}",
         campaign_samples[0].0,
         campaign_samples[0].1.wall_ms,
         campaign_samples[1].0,
@@ -374,6 +496,7 @@ fn main() {
         trials_per_sec,
         trials_per_sec_v2,
         trials_per_sec_v2 / trials_per_sec,
+        trial_plans_block,
     );
     std::fs::write(&out_path, &json).expect("write summary");
     println!("{json}");
@@ -391,6 +514,33 @@ fn main() {
     );
     if !warm_ok {
         eprintln!("warm cached rerun cost more than {WARM_FRACTION_CEILING}x the cold run");
+        std::process::exit(1);
+    }
+
+    // Unconditional trial-plan gates: the variance-reduction headline
+    // (≥4x fewer trials at matched confidence for the die-structured
+    // plans) and the high-sigma resolution demo. Seed-deterministic
+    // same-process ratios — no baseline needed.
+    let mut plans_ok = true;
+    for (name, vrf) in [
+        ("trial_plans.vrf_stratified", vrf_stratified),
+        ("trial_plans.vrf_sobol", vrf_sobol),
+    ] {
+        let ok = vrf >= PLAN_VRF_FLOOR;
+        plans_ok &= ok;
+        println!(
+            "gate {name}: current {vrf:.2} vs floor {PLAN_VRF_FLOOR} — {}",
+            if ok { "ok" } else { "TOO LITTLE REDUCTION" }
+        );
+    }
+    let hs_ok = blockade_resolves && !plain_resolves && blockade_hs_hw < plain_hs_hw;
+    println!(
+        "gate trial_plans.high_sigma: blockade resolves 0.999 (hw {blockade_hs_hw:.6}) while \
+         plain does not (hw {plain_hs_hw:.6}) — {}",
+        if hs_ok { "ok" } else { "FAILED" }
+    );
+    if !(plans_ok && hs_ok) {
+        eprintln!("trial-plan efficiency gates failed");
         std::process::exit(1);
     }
 

@@ -15,7 +15,7 @@
 use vardelay_bench::render::histogram_vs_normal;
 use vardelay_engine::{
     run_sweep, BackendSpec, KernelSpec, LatchSpec, PipelineSpec, Scenario, Sweep, SweepOptions,
-    VariationSpec,
+    TrialPlanSpec, VariationSpec,
 };
 use vardelay_stats::Normal;
 
@@ -56,6 +56,7 @@ fn main() {
                 pipeline: pipeline.clone(),
                 variation: *variation,
                 trials,
+                trial_plan: TrialPlanSpec::default(),
                 yield_targets: vec![],
                 auto_target_sigmas: vec![],
                 backend: BackendSpec::Netlist,

@@ -12,7 +12,7 @@
 use vardelay_bench::render::xy_table;
 use vardelay_engine::{
     run_sweep, BackendSpec, KernelSpec, PipelineSpec, Scenario, StageMoments, Sweep, SweepOptions,
-    VariationSpec,
+    TrialPlanSpec, VariationSpec,
 };
 
 /// A moment-form scenario: `ns` slightly staggered stages at correlation
@@ -31,6 +31,7 @@ fn scenario(ns: usize, rho: f64, trials: u64) -> Scenario {
         },
         variation: VariationSpec::Nominal,
         trials,
+        trial_plan: TrialPlanSpec::default(),
         yield_targets: vec![],
         auto_target_sigmas: vec![],
         backend: BackendSpec::Pipeline,

@@ -16,7 +16,7 @@
 use vardelay_bench::render::xy_table;
 use vardelay_engine::{
     run_sweep, BackendSpec, GridSpec, KernelSpec, LatchSpec, PipelineSpec, Scenario, StageMoments,
-    Sweep, SweepOptions, VariationSpec,
+    Sweep, SweepOptions, TrialPlanSpec, VariationSpec,
 };
 
 /// Runs an analytic-only sweep and returns each scenario's σ/μ.
@@ -41,6 +41,7 @@ fn analytic_scenario(label: String, pipeline: PipelineSpec, variation: Variation
         pipeline,
         variation,
         trials: 0,
+        trial_plan: TrialPlanSpec::default(),
         yield_targets: vec![],
         auto_target_sigmas: vec![],
         backend: BackendSpec::Analytic,
@@ -91,6 +92,7 @@ fn panel_a() {
             variations: variations.iter().map(|(_, v)| *v).collect(),
             latch: LatchSpec::Ideal,
             trials: 0,
+            trial_plan: TrialPlanSpec::default(),
             yield_targets: vec![],
             auto_target_sigmas: vec![],
             backend: BackendSpec::Pipeline,

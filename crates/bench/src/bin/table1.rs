@@ -21,7 +21,7 @@
 use vardelay_bench::render::{pct, TextTable};
 use vardelay_engine::{
     run_sweep, BackendSpec, KernelSpec, LatchSpec, PipelineSpec, Scenario, Sweep, SweepOptions,
-    VariationSpec,
+    TrialPlanSpec, VariationSpec,
 };
 
 fn grid(stages: usize, depth: usize) -> PipelineSpec {
@@ -74,6 +74,7 @@ fn main() {
                 pipeline,
                 variation,
                 trials,
+                trial_plan: TrialPlanSpec::default(),
                 yield_targets: vec![],
                 auto_target_sigmas: vec![1.2],
                 backend: BackendSpec::Netlist,

@@ -22,7 +22,7 @@
 use vardelay_bench::iscas_pipeline_spec;
 use vardelay_bench::render::{pct, TextTable};
 use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
-use vardelay_engine::{run_campaign, KernelSpec, SweepOptions, VariationSpec};
+use vardelay_engine::{run_campaign, KernelSpec, SweepOptions, TrialPlanSpec, VariationSpec};
 use vardelay_opt::{OptimizationGoal, TargetDelayPolicy};
 
 fn main() {
@@ -41,6 +41,7 @@ fn main() {
             kernel: KernelSpec::default(),
             eval_trials: 2_048,
             verify_trials: 20_000,
+            verify_plan: TrialPlanSpec::default(),
         }],
         grid: None,
     };

@@ -99,7 +99,7 @@ pub use seed::trial_seed;
 pub use sim::Simulator;
 pub use spec::{
     BackendSpec, CircuitSpec, GridSpec, KernelSpec, LatchSpec, PipelineSpec, Scenario,
-    StageMoments, Sweep, VariationSpec,
+    StageMoments, StrategySpec, Sweep, TrialPlanSpec, VariationSpec, MAX_SHIFT_SIGMAS,
 };
 pub use workload::{
     checkpoint_line, plan_workload, run_units, run_workload, Checkpoint, Progress, ProgressUpdate,

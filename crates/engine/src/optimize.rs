@@ -43,7 +43,10 @@ use crate::plan::{CampaignPlan, RunPlan};
 use crate::result::{BaselineOutcome, CampaignResult, McVerification, OptimizationRunResult};
 use crate::run::{build_model_from_mc, EngineError, SweepOptions, MAX_TRIALS};
 use crate::seed::{fnv1a64, trial_seed};
-use crate::spec::{KernelSpec, PipelineSpec, VariationSpec};
+use crate::spec::{
+    trials_from_value, trials_to_value, KernelSpec, PipelineSpec, StrategySpec, TrialPlanSpec,
+    VariationSpec,
+};
 use crate::workload::{run_workload, Workload, WorkloadOptions};
 
 /// Which backend measures pipeline yield *inside* the sizing loop.
@@ -147,8 +150,15 @@ pub struct OptimizeSpec {
     /// Monte-Carlo trials per in-loop yield query (netlist backend).
     pub eval_trials: u64,
     /// Monte-Carlo trials verifying the optimized and baseline designs
-    /// at the target (`0` skips verification).
+    /// at the target (`0` skips verification). When `verify_plan`
+    /// requests a confidence half-width, this is a **ceiling**:
+    /// verification stops at the first chunk boundary where the 95%
+    /// interval is tight enough.
     pub verify_trials: u64,
+    /// Trial plan for the verification streams (the in-loop evaluation
+    /// always runs plain MC). Serialized inside `verify_trials`, the
+    /// way a scenario's plan rides inside `trials`.
+    pub verify_plan: TrialPlanSpec,
 }
 
 // Hand-written like Scenario's serde: optional fields are omitted when
@@ -176,8 +186,11 @@ impl Serialize for OptimizeSpec {
         if self.eval_trials != DEFAULT_EVAL_TRIALS {
             fields.push(("eval_trials".to_owned(), self.eval_trials.to_value()));
         }
-        if self.verify_trials != DEFAULT_VERIFY_TRIALS {
-            fields.push(("verify_trials".to_owned(), self.verify_trials.to_value()));
+        if self.verify_trials != DEFAULT_VERIFY_TRIALS || !self.verify_plan.is_default() {
+            fields.push((
+                "verify_trials".to_owned(),
+                trials_to_value(self.verify_trials, &self.verify_plan),
+            ));
         }
         Value::Object(fields)
     }
@@ -209,6 +222,10 @@ impl Deserialize for OptimizeSpec {
             }
         }
         let opt = |key: &str| v.get(key);
+        let (verify_trials, verify_plan) = match opt("verify_trials") {
+            Some(v) => trials_from_value(v)?,
+            None => (DEFAULT_VERIFY_TRIALS, TrialPlanSpec::default()),
+        };
         Ok(OptimizeSpec {
             label: Deserialize::from_value(v.field("label")?)?,
             pipeline: Deserialize::from_value(v.field("pipeline")?)?,
@@ -232,10 +249,8 @@ impl Deserialize for OptimizeSpec {
                 .map(Deserialize::from_value)
                 .transpose()?
                 .unwrap_or(DEFAULT_EVAL_TRIALS),
-            verify_trials: opt("verify_trials")
-                .map(Deserialize::from_value)
-                .transpose()?
-                .unwrap_or(DEFAULT_VERIFY_TRIALS),
+            verify_trials,
+            verify_plan,
         })
     }
 }
@@ -247,13 +262,15 @@ impl OptimizeSpec {
     /// as a pure execution strategy), almost **every** field here
     /// defines the experiment: the yield backend and its trial budget
     /// steer the sizing trajectory, and the verification budget picks
-    /// the verification stream. The one exception is `kernel` — like a
-    /// scenario's backend it is excluded so both kernels derive
-    /// identical per-trial RNG seeds from identical spec content (the
-    /// arithmetic differs, under each kernel's own frozen contract).
+    /// the verification stream. The exceptions are `kernel` and
+    /// `verify_plan` — like a scenario's backend they are execution
+    /// contracts, excluded so contract twins derive identical per-trial
+    /// RNG seeds from identical spec content (the arithmetic over those
+    /// seeds differs, under each contract's own frozen rules).
     pub fn id(&self, campaign_seed: u64) -> u64 {
         let mut identity = self.clone();
         identity.kernel = KernelSpec::default();
+        identity.verify_plan = TrialPlanSpec::default();
         let json = serde_json::to_string(&identity).expect("optimize specs are finite");
         fnv1a64(json.as_bytes()) ^ campaign_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
     }
@@ -283,6 +300,8 @@ pub struct OptimizeGridSpec {
     pub eval_trials: u64,
     /// Verification trials stamped on every generated run.
     pub verify_trials: u64,
+    /// Verification trial plan stamped on every generated run.
+    pub verify_plan: TrialPlanSpec,
 }
 
 impl Serialize for OptimizeGridSpec {
@@ -306,8 +325,11 @@ impl Serialize for OptimizeGridSpec {
         if self.eval_trials != DEFAULT_EVAL_TRIALS {
             fields.push(("eval_trials".to_owned(), self.eval_trials.to_value()));
         }
-        if self.verify_trials != DEFAULT_VERIFY_TRIALS {
-            fields.push(("verify_trials".to_owned(), self.verify_trials.to_value()));
+        if self.verify_trials != DEFAULT_VERIFY_TRIALS || !self.verify_plan.is_default() {
+            fields.push((
+                "verify_trials".to_owned(),
+                trials_to_value(self.verify_trials, &self.verify_plan),
+            ));
         }
         Value::Object(fields)
     }
@@ -338,6 +360,10 @@ impl Deserialize for OptimizeGridSpec {
             }
         }
         let opt = |key: &str| v.get(key);
+        let (verify_trials, verify_plan) = match opt("verify_trials") {
+            Some(v) => trials_from_value(v)?,
+            None => (DEFAULT_VERIFY_TRIALS, TrialPlanSpec::default()),
+        };
         Ok(OptimizeGridSpec {
             pipelines: Deserialize::from_value(v.field("pipelines")?)?,
             yield_targets: Deserialize::from_value(v.field("yield_targets")?)?,
@@ -360,10 +386,8 @@ impl Deserialize for OptimizeGridSpec {
                 .map(Deserialize::from_value)
                 .transpose()?
                 .unwrap_or(DEFAULT_EVAL_TRIALS),
-            verify_trials: opt("verify_trials")
-                .map(Deserialize::from_value)
-                .transpose()?
-                .unwrap_or(DEFAULT_VERIFY_TRIALS),
+            verify_trials,
+            verify_plan,
         })
     }
 }
@@ -406,6 +430,7 @@ impl OptimizeGridSpec {
                                 kernel: self.kernel,
                                 eval_trials: self.eval_trials,
                                 verify_trials: self.verify_trials,
+                                verify_plan: self.verify_plan,
                             });
                         }
                     }
@@ -486,6 +511,51 @@ impl OptimizationCampaign {
         serde_json::to_string_pretty(self).expect("campaign specs are finite")
     }
 
+    /// A ready-to-run **high-sigma** example campaign: ensure a 99.9%
+    /// pipeline yield under inter-die-dominant variation, verified with
+    /// the statistical-blockade (mean-shifted importance sampling) trial
+    /// plan to a requested 0.1% confidence half-width. At this target a
+    /// plain-MC verification of the same budget resolves nothing — the
+    /// failure event is too rare — which is exactly the regime the
+    /// blockade plan exists for. The `vardelay optimize example
+    /// --high-sigma` template.
+    pub fn example_high_sigma() -> Self {
+        OptimizationCampaign {
+            name: "blockade-yield-example".to_owned(),
+            seed: 0xB10C, // "bloc(kade)"
+            runs: vec![OptimizeSpec {
+                label: "4stg chains ensure 99.9% (blockade verify)".to_owned(),
+                pipeline: PipelineSpec::InverterStages {
+                    depths: vec![10, 8, 7, 6],
+                    size: 1.0,
+                    latch: crate::spec::LatchSpec::TgMsff70nm,
+                },
+                variation: VariationSpec::Combined {
+                    inter_mv: 40.0,
+                    random_mv: 10.0,
+                    systematic_mv: 0.0,
+                },
+                yield_target: 0.999,
+                target_delay: TargetDelayPolicy::FrontierQuantile {
+                    q: 0.9995,
+                    refine: 2,
+                },
+                goal: OptimizationGoal::EnsureYield,
+                rounds: 2,
+                yield_backend: YieldBackendSpec::Analytic,
+                kernel: KernelSpec::default(),
+                eval_trials: DEFAULT_EVAL_TRIALS,
+                verify_trials: 32_768,
+                verify_plan: TrialPlanSpec {
+                    strategy: StrategySpec::Blockade,
+                    shift_sigmas: None,
+                    ci_half_width: Some(0.001),
+                },
+            }],
+            grid: None,
+        }
+    }
+
     /// A ready-to-run example campaign: a Table-II-style ensure-yield
     /// run under both yield backends, plus a small grid crossing yield
     /// targets with both goals on a heterogeneous chain pipeline.
@@ -512,6 +582,7 @@ impl OptimizationCampaign {
                     kernel: KernelSpec::default(),
                     eval_trials: DEFAULT_EVAL_TRIALS,
                     verify_trials: DEFAULT_VERIFY_TRIALS,
+                    verify_plan: TrialPlanSpec::default(),
                 },
                 OptimizeSpec {
                     label: "4stg chains ensure 80% (netlist yield eval)".to_owned(),
@@ -525,6 +596,7 @@ impl OptimizationCampaign {
                     kernel: KernelSpec::default(),
                     eval_trials: 1_024,
                     verify_trials: DEFAULT_VERIFY_TRIALS,
+                    verify_plan: TrialPlanSpec::default(),
                 },
             ],
             grid: Some(OptimizeGridSpec {
@@ -557,6 +629,7 @@ impl OptimizationCampaign {
                 kernel: KernelSpec::default(),
                 eval_trials: DEFAULT_EVAL_TRIALS,
                 verify_trials: 2_048,
+                verify_plan: TrialPlanSpec::default(),
             }),
         }
     }
@@ -619,6 +692,47 @@ pub(crate) fn prepare_run(spec: OptimizeSpec, seed: u64) -> Result<PreparedRun, 
             "verify_trials {} exceeds the per-run cap of {MAX_TRIALS}",
             spec.verify_trials
         )));
+    }
+    spec.verify_plan
+        .validate()
+        .map_err(|e| fail(format!("verify_trials: {e}")))?;
+    let vstrategy = spec.verify_plan.strategy;
+    if vstrategy != StrategySpec::Plain {
+        if spec.verify_trials == 0 {
+            return Err(fail(format!(
+                "the '{}' verification strategy shapes Monte-Carlo draws, but \
+                 verify_trials is 0 (verification is skipped)",
+                vstrategy.keyword()
+            )));
+        }
+        // Same gate-level domain rules as a sweep scenario's trial plan:
+        // die-level strategies need die-level variation dimensions.
+        let cfg = spec.variation.to_config();
+        match vstrategy {
+            StrategySpec::Blockade if !cfg.has_inter() => {
+                return Err(fail(
+                    "blockade verification shifts the inter-die component, but the \
+                     variation has none (use an inter_only or combined variation)"
+                        .to_owned(),
+                ));
+            }
+            StrategySpec::Stratified | StrategySpec::Sobol
+                if !(cfg.has_inter() || cfg.has_systematic()) =>
+            {
+                return Err(fail(format!(
+                    "the '{}' verification strategy stratifies die-level \
+                     (inter-die/systematic) dimensions, but the variation has none",
+                    vstrategy.keyword()
+                )));
+            }
+            StrategySpec::Antithetic if spec.variation == VariationSpec::Nominal => {
+                return Err(fail(
+                    "antithetic pairing reflects variation draws; a Nominal run has none"
+                        .to_owned(),
+                ));
+            }
+            _ => {}
+        }
     }
     let stages = spec.pipeline.stage_count();
     // For absolute targets the admissibility region (eqs. 10–12) exists
@@ -707,30 +821,84 @@ fn execute_run(p: &PreparedRun, ws: &mut TrialWorkspace) -> OptimizationRunResul
     // verification re-evaluates the analytic model on the MC-measured
     // stage moments (§2.4: isolate the max-operator error from the
     // stage-characterization error), like a sweep's `model_from_mc`.
+    let vplan = spec.verify_plan.to_plan();
     let mut assess = |pipe: &vardelay_circuit::StagedPipeline, salt: u64| {
         let timing = engine.analyze_pipeline(pipe);
         let analytic = AnalyticYieldEval::yield_of(&timing, target);
         let mc_check = (spec.verify_trials > 0).then(|| {
-            let (span_name, counter_name) = match spec.kernel {
-                KernelSpec::V1 => ("verify", "trials"),
-                KernelSpec::V2 => ("verify_v2", "trials_v2"),
+            use crate::spec::KernelSpec as K;
+            use crate::spec::StrategySpec as S;
+            let strategy = spec.verify_plan.strategy;
+            let (span_name, kernel_counter) = match (spec.kernel, strategy) {
+                (K::V1, S::Plain) => ("verify", "trials"),
+                (K::V2, S::Plain) => ("verify_v2", "trials_v2"),
+                (K::V1, S::Antithetic) => ("verify_antithetic", "trials"),
+                (K::V2, S::Antithetic) => ("verify_antithetic_v2", "trials_v2"),
+                (K::V1, S::Stratified) => ("verify_stratified", "trials"),
+                (K::V2, S::Stratified) => ("verify_stratified_v2", "trials_v2"),
+                (K::V1, S::Sobol) => ("verify_sobol", "trials"),
+                (K::V2, S::Sobol) => ("verify_sobol_v2", "trials_v2"),
+                (K::V1, S::Blockade) => ("verify_blockade", "trials"),
+                (K::V2, S::Blockade) => ("verify_blockade_v2", "trials_v2"),
+            };
+            let strategy_counter = match strategy {
+                S::Plain => None,
+                S::Antithetic => Some("trials_antithetic"),
+                S::Stratified => Some("trials_stratified"),
+                S::Sobol => Some("trials_sobol"),
+                S::Blockade => Some("trials_blockade"),
             };
             let _sp = vardelay_obs::span("mc", span_name)
                 .key(p.id)
                 .value(spec.verify_trials as f64);
             let prepared = PreparedPipelineMc::new(&mc, pipe);
-            let mut stats = PipelineBlockStats::new(pipe.stage_count(), &[target]);
             let seed_of = |t| trial_seed(p.id ^ salt, t);
-            prepared.run_block(ws, 0..spec.verify_trials, seed_of, &mut stats);
-            vardelay_obs::counter(counter_name, spec.verify_trials);
-            let est = stats.yield_estimate(0);
-            let stage_means: Vec<f64> = stats.stage_stats().iter().map(|s| s.mean()).collect();
-            let stage_sds: Vec<f64> = stats.stage_stats().iter().map(|s| s.sample_sd()).collect();
-            let model_from_mc =
+            // Plain verification keeps the exact pre-plan fixed-budget
+            // path (and its bytes). Variance-reduced plans route through
+            // the chunked CI-driven loop with `verify_trials` as the
+            // ceiling.
+            let (trials_run, stats) = if vplan.is_plain() {
+                let mut stats = PipelineBlockStats::new(pipe.stage_count(), &[target]);
+                prepared.run_block(ws, 0..spec.verify_trials, seed_of, &mut stats);
+                (spec.verify_trials, stats)
+            } else {
+                let v = vardelay_opt::verify_yield(
+                    &prepared,
+                    ws,
+                    vplan,
+                    spec.verify_trials,
+                    spec.verify_plan.ci_half_width,
+                    seed_of,
+                    pipe.stage_count(),
+                    &[target],
+                );
+                (v.trials, v.stats)
+            };
+            vardelay_obs::counter(kernel_counter, trials_run);
+            if let Some(name) = strategy_counter {
+                vardelay_obs::counter(name, trials_run);
+            }
+            let weighted = stats.has_weighted_tail();
+            let est = if weighted {
+                vardelay_obs::counter("ess", stats.effective_samples().round() as u64);
+                stats.weighted_yield_estimate(0)
+            } else {
+                stats.yield_estimate(0)
+            };
+            // A mean-shifted (blockade) sample's stage moments estimate
+            // the shifted distribution; re-fitting the analytic model to
+            // them would be biased, so that cross-check is suppressed.
+            let model_from_mc = if weighted {
+                None
+            } else {
+                let stage_means: Vec<f64> = stats.stage_stats().iter().map(|s| s.mean()).collect();
+                let stage_sds: Vec<f64> =
+                    stats.stage_stats().iter().map(|s| s.sample_sd()).collect();
                 build_model_from_mc(&stage_means, &stage_sds, &timing.correlation, &[target])
-                    .map(|m| m.yields[0].value);
+                    .map(|m| m.yields[0].value)
+            };
             McVerification {
-                trials: spec.verify_trials,
+                trials: trials_run,
                 value: est.value,
                 lo: est.lo,
                 hi: est.hi,
@@ -874,8 +1042,10 @@ impl Workload for OptimizationCampaign {
             goal: goal_keyword(unit.spec.goal).to_owned(),
             yield_backend: unit.spec.yield_backend,
             kernel: unit.spec.kernel,
+            strategy: unit.spec.verify_plan.label(),
             est_trial_cost: crate::plan::estimated_trial_cost(
                 unit.spec.kernel,
+                unit.spec.verify_plan.strategy,
                 unit.gates,
                 unit.stages,
             ),
@@ -1013,6 +1183,70 @@ mod tests {
         spec.target_delay = TargetDelayPolicy::Absolute { ps: 500.0 };
         let p = prepare_run(spec, 7).unwrap();
         assert!((p.stage_allocation.powi(4) - 0.80).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_plan_roundtrips_and_is_an_execution_contract() {
+        use crate::workload::Workload;
+        let mut c = OptimizationCampaign::example();
+        c.runs[0].verify_plan = TrialPlanSpec {
+            strategy: StrategySpec::Antithetic,
+            shift_sigmas: None,
+            ci_half_width: Some(0.01),
+        };
+        let json = c.to_json();
+        assert!(json.contains("\"strategy\": \"antithetic\""), "{json}");
+        assert!(json.contains("\"ci_half_width\": 0.01"), "{json}");
+        let back = OptimizationCampaign::from_json(&json).unwrap();
+        assert_eq!(c, back);
+        // Like `kernel`, the verify plan never moves the run ID (twins
+        // share per-trial seed streams) …
+        let mut plain = c.runs[0].clone();
+        plain.verify_plan = TrialPlanSpec::default();
+        assert_eq!(c.runs[0].id(c.seed), plain.id(c.seed));
+        // … but twins get distinct journal/cache keys, because their
+        // result bytes legitimately differ.
+        let a = prepare_run(c.runs[0].clone(), c.seed).unwrap();
+        let b = prepare_run(plain, c.seed).unwrap();
+        assert_eq!(a.id, b.id);
+        assert_ne!(c.unit_key(&a), c.unit_key(&b));
+    }
+
+    #[test]
+    fn prepare_rejects_out_of_domain_verify_plans() {
+        let base = OptimizationCampaign::example().runs[0].clone();
+        let reject = |mutate: &dyn Fn(&mut OptimizeSpec), needle: &str| {
+            let mut s = base.clone();
+            mutate(&mut s);
+            let err = prepare_run(s, 1).unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        };
+        // The example runs use random-only variation: no inter-die or
+        // systematic dimension for die-level strategies to act on.
+        reject(
+            &|s| s.verify_plan.strategy = StrategySpec::Blockade,
+            "inter-die",
+        );
+        reject(
+            &|s| s.verify_plan.strategy = StrategySpec::Stratified,
+            "stratifies die-level",
+        );
+        reject(
+            &|s| s.verify_plan.strategy = StrategySpec::Sobol,
+            "stratifies die-level",
+        );
+        reject(
+            &|s| {
+                s.verify_plan.strategy = StrategySpec::Antithetic;
+                s.verify_trials = 0;
+            },
+            "verify_trials is 0",
+        );
+        reject(&|s| s.verify_plan.shift_sigmas = Some(2.0), "shift_sigmas");
+        reject(
+            &|s| s.verify_plan.ci_half_width = Some(0.75),
+            "ci_half_width",
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::optimize::{OptimizationCampaign, YieldBackendSpec};
 use crate::run::EngineError;
-use crate::spec::{BackendSpec, KernelSpec, Sweep};
+use crate::spec::{BackendSpec, KernelSpec, StrategySpec, Sweep};
 use crate::workload::{plan_workload, WorkloadPlan};
 
 /// Relative per-gate trial cost of the v1 kernel (the unit of the
@@ -28,17 +28,42 @@ pub const KERNEL_COST_WEIGHT_V1: f64 = 1.0;
 /// weighted by the reciprocal.
 pub const KERNEL_COST_WEIGHT_V2: f64 = 1.0 / 3.5;
 
+/// Relative per-trial overhead multiplier of each trial strategy: the
+/// draw-shaping work (keyed permutations, Sobol point generation,
+/// likelihood-ratio weights) on top of the kernel's gate evaluations.
+/// Small by design — the win of a variance-reducing plan is *fewer
+/// trials*, not cheaper ones.
+pub fn strategy_cost_weight(strategy: StrategySpec) -> f64 {
+    match strategy {
+        StrategySpec::Plain => 1.0,
+        // Pairing only remaps seeds and flips signs.
+        StrategySpec::Antithetic => 1.0,
+        // Keyed Feistel permutation + quantile per leading dimension.
+        StrategySpec::Stratified => 1.05,
+        // Direction-number XOR fold + quantile per leading dimension.
+        StrategySpec::Sobol => 1.1,
+        // One likelihood-ratio exponential per trial.
+        StrategySpec::Blockade => 1.05,
+    }
+}
+
 /// Estimated relative cost of one Monte-Carlo trial: gate evaluations
 /// (stage count for moment-form scenarios, which time no gates)
-/// weighted by the kernel's calibrated per-gate cost. Comparable
-/// across rows of one plan — not a wall-clock prediction.
-pub fn estimated_trial_cost(kernel: KernelSpec, gates: usize, stages: usize) -> f64 {
+/// weighted by the kernel's calibrated per-gate cost and the trial
+/// strategy's shaping overhead. Comparable across rows of one plan —
+/// not a wall-clock prediction.
+pub fn estimated_trial_cost(
+    kernel: KernelSpec,
+    strategy: StrategySpec,
+    gates: usize,
+    stages: usize,
+) -> f64 {
     let work = if gates > 0 { gates } else { stages } as f64;
     let weight = match kernel {
         KernelSpec::V1 => KERNEL_COST_WEIGHT_V1,
         KernelSpec::V2 => KERNEL_COST_WEIGHT_V2,
     };
-    work * weight
+    work * weight * strategy_cost_weight(strategy)
 }
 
 /// One validated scenario's footprint.
@@ -52,6 +77,9 @@ pub struct ScenarioPlan {
     pub backend: BackendSpec,
     /// Selected trial-kernel contract.
     pub kernel: KernelSpec,
+    /// Selected trial-plan strategy (human-readable label; includes the
+    /// blockade shift when customized).
+    pub strategy: String,
     /// Pipeline stage count.
     pub stages: usize,
     /// Total gates across all stage netlists (0 for moment-form).
@@ -97,16 +125,25 @@ impl SweepPlan {
         );
         let _ = writeln!(
             out,
-            "\n{:<34} {:>9} {:>6} {:>7} {:>7} {:>10} {:>8} {:>10}",
-            "scenario", "backend", "kernel", "stages", "gates", "trials", "blocks", "cost/trial"
+            "\n{:<34} {:>9} {:>6} {:>10} {:>7} {:>7} {:>10} {:>8} {:>10}",
+            "scenario",
+            "backend",
+            "kernel",
+            "strategy",
+            "stages",
+            "gates",
+            "trials",
+            "blocks",
+            "cost/trial"
         );
         for s in &self.scenarios {
             let _ = writeln!(
                 out,
-                "{:<34} {:>9} {:>6} {:>7} {:>7} {:>10} {:>8} {:>10.1}",
+                "{:<34} {:>9} {:>6} {:>10} {:>7} {:>7} {:>10} {:>8} {:>10.1}",
                 s.label,
                 s.backend.keyword(),
                 s.kernel.keyword(),
+                s.strategy,
                 s.stages,
                 s.gates,
                 s.trials,
@@ -152,6 +189,8 @@ pub struct RunPlan {
     pub yield_backend: YieldBackendSpec,
     /// Selected trial-kernel contract.
     pub kernel: KernelSpec,
+    /// Verification trial-plan strategy (human-readable label).
+    pub strategy: String,
     /// Estimated relative cost per Monte-Carlo trial (see
     /// [`estimated_trial_cost`]).
     pub est_trial_cost: f64,
@@ -200,13 +239,14 @@ impl CampaignPlan {
         );
         let _ = writeln!(
             out,
-            "\n{:<38} {:>6} {:>6} {:>12} {:>8} {:>6} {:>7} {:>7} {:>6} {:>8} {:>10}",
+            "\n{:<38} {:>6} {:>6} {:>12} {:>8} {:>6} {:>10} {:>7} {:>7} {:>6} {:>8} {:>10}",
             "run",
             "stages",
             "gates",
             "goal",
             "backend",
             "kernel",
+            "strategy",
             "yield%",
             "alloc%",
             "rounds",
@@ -216,13 +256,14 @@ impl CampaignPlan {
         for r in &self.runs {
             let _ = writeln!(
                 out,
-                "{:<38} {:>6} {:>6} {:>12} {:>8} {:>6} {:>7.1} {:>7.1} {:>6} {:>8} {:>10.1}",
+                "{:<38} {:>6} {:>6} {:>12} {:>8} {:>6} {:>10} {:>7.1} {:>7.1} {:>6} {:>8} {:>10.1}",
                 r.label,
                 r.stages,
                 r.gates,
                 r.goal,
                 r.yield_backend.keyword(),
                 r.kernel.keyword(),
+                r.strategy,
                 100.0 * r.yield_target,
                 100.0 * r.stage_allocation,
                 r.rounds,

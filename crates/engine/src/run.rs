@@ -33,7 +33,7 @@ use crate::result::{
 };
 use crate::seed::fnv1a64;
 use crate::sim::{MvnSim, Simulator};
-use crate::spec::{BackendSpec, PipelineSpec, Scenario, Sweep, VariationSpec};
+use crate::spec::{BackendSpec, PipelineSpec, Scenario, StrategySpec, Sweep, VariationSpec};
 use crate::workload::{run_workload, Workload, WorkloadOptions};
 
 /// Sweep execution error: an invalid scenario spec.
@@ -288,6 +288,64 @@ pub(crate) fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, E
             scenario.histogram_bins
         )));
     }
+    scenario
+        .trial_plan
+        .validate()
+        .map_err(|e| EngineError::new(format!("scenario '{label}': trials: {e}")))?;
+    if scenario.trial_plan.ci_half_width.is_some() {
+        return Err(EngineError::new(format!(
+            "scenario '{label}': ci_half_width applies to campaign verification \
+             (verify_trials); scenarios always run their full trial budget"
+        )));
+    }
+    let strategy = scenario.trial_plan.strategy;
+    if strategy != StrategySpec::Plain {
+        if scenario.trials == 0 {
+            return Err(EngineError::new(format!(
+                "scenario '{label}': the '{}' trial strategy shapes Monte-Carlo draws; \
+                 set trials > 0",
+                strategy.keyword()
+            )));
+        }
+        // Gate-level strategies act on die-level variation dimensions;
+        // a variation mix without them would make the plan a silent
+        // no-op (or, for blockade, shift nothing while still
+        // reweighting). Moment-form pipelines always expose their
+        // stage dimensions, so they accept every strategy.
+        if !matches!(scenario.pipeline, PipelineSpec::Moments { .. }) {
+            let cfg = scenario.variation.to_config();
+            match strategy {
+                StrategySpec::Blockade if !cfg.has_inter() => {
+                    return Err(EngineError::new(format!(
+                        "scenario '{label}': blockade shifts the inter-die component, but \
+                         the variation has none (use an inter_only or combined variation)"
+                    )));
+                }
+                StrategySpec::Stratified | StrategySpec::Sobol
+                    if !(cfg.has_inter() || cfg.has_systematic()) =>
+                {
+                    return Err(EngineError::new(format!(
+                        "scenario '{label}': the '{}' strategy stratifies die-level \
+                         (inter-die/systematic) dimensions, but the variation has none",
+                        strategy.keyword()
+                    )));
+                }
+                StrategySpec::Antithetic if scenario.variation == VariationSpec::Nominal => {
+                    return Err(EngineError::new(format!(
+                        "scenario '{label}': antithetic pairing reflects variation draws; \
+                         a Nominal scenario has none"
+                    )));
+                }
+                _ => {}
+            }
+        }
+    }
+    if scenario.trial_plan.to_plan().is_weighted() && scenario.histogram_bins > 0 {
+        return Err(EngineError::new(format!(
+            "scenario '{label}': histograms stream raw (mean-shifted) blockade samples, \
+             which would misrepresent the unshifted distribution; drop histogram_bins"
+        )));
+    }
     let id = scenario.id(sweep_seed);
     let variation = scenario.variation.to_config();
 
@@ -313,7 +371,9 @@ pub(crate) fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, E
                         ))
                     })?;
                 Some(Box::new(
-                    MvnSim::new(mvn).with_kernel(scenario.kernel.to_kernel()),
+                    MvnSim::new(mvn)
+                        .with_kernel(scenario.kernel.to_kernel())
+                        .with_plan(scenario.trial_plan.to_plan()),
                 ))
             } else {
                 None
@@ -337,7 +397,12 @@ pub(crate) fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, E
             let sim: Option<Box<dyn Simulator>> = (scenario.trials > 0).then(|| {
                 let mc = PipelineMc::new(CellLibrary::default(), variation, None)
                     .with_kernel(scenario.kernel.to_kernel());
-                crate::sim::gate_level_backend(scenario.backend, mc, staged)
+                crate::sim::gate_level_backend(
+                    scenario.backend,
+                    mc,
+                    staged,
+                    scenario.trial_plan.to_plan(),
+                )
             });
             (pipe, timing.correlation, gates, sim)
         }
@@ -380,11 +445,31 @@ pub(crate) fn prepare(scenario: Scenario, sweep_seed: u64) -> Result<Prepared, E
 /// Runs one block of trials of one prepared scenario.
 fn run_block(p: &Prepared, ws: &mut TrialWorkspace, trials: Range<u64>) -> PipelineBlockStats {
     let n = trials.end.saturating_sub(trials.start);
-    // Per-kernel span/counter names let `vardelay report` attribute
-    // Monte-Carlo time (and trial counts) to each kernel contract.
-    let (span_name, counter_name) = match p.scenario.kernel {
-        crate::spec::KernelSpec::V1 => ("block", "trials"),
-        crate::spec::KernelSpec::V2 => ("block_v2", "trials_v2"),
+    // Per-kernel (and per-strategy) span/counter names let `vardelay
+    // report` attribute Monte-Carlo time and trial counts to each
+    // contract. `span`/`counter` take &'static str, so the names are
+    // fixed literals selected by match.
+    use crate::spec::KernelSpec as K;
+    use crate::spec::StrategySpec as S;
+    let strategy = p.scenario.trial_plan.strategy;
+    let (span_name, kernel_counter) = match (p.scenario.kernel, strategy) {
+        (K::V1, S::Plain) => ("block", "trials"),
+        (K::V2, S::Plain) => ("block_v2", "trials_v2"),
+        (K::V1, S::Antithetic) => ("block_antithetic", "trials"),
+        (K::V2, S::Antithetic) => ("block_antithetic_v2", "trials_v2"),
+        (K::V1, S::Stratified) => ("block_stratified", "trials"),
+        (K::V2, S::Stratified) => ("block_stratified_v2", "trials_v2"),
+        (K::V1, S::Sobol) => ("block_sobol", "trials"),
+        (K::V2, S::Sobol) => ("block_sobol_v2", "trials_v2"),
+        (K::V1, S::Blockade) => ("block_blockade", "trials"),
+        (K::V2, S::Blockade) => ("block_blockade_v2", "trials_v2"),
+    };
+    let strategy_counter = match strategy {
+        S::Plain => None,
+        S::Antithetic => Some("trials_antithetic"),
+        S::Stratified => Some("trials_stratified"),
+        S::Sobol => Some("trials_sobol"),
+        S::Blockade => Some("trials_blockade"),
     };
     let _sp = vardelay_obs::span("mc", span_name)
         .key(p.id)
@@ -393,9 +478,15 @@ fn run_block(p: &Prepared, ws: &mut TrialWorkspace, trials: Range<u64>) -> Pipel
     if let Some(spec) = p.histogram {
         stats = stats.with_histogram(spec);
     }
+    if p.scenario.trial_plan.to_plan().is_weighted() {
+        stats = stats.with_weighted_tail();
+    }
     let sim = p.sim.as_ref().expect("blocks only exist for MC scenarios");
     sim.run_block(ws, p.id, trials, &mut stats);
-    vardelay_obs::counter(counter_name, n);
+    vardelay_obs::counter(kernel_counter, n);
+    if let Some(name) = strategy_counter {
+        vardelay_obs::counter(name, n);
+    }
     stats
 }
 
@@ -509,6 +600,7 @@ impl Workload for Sweep {
             label: unit.scenario.label.clone(),
             backend: unit.scenario.backend,
             kernel: unit.scenario.kernel,
+            strategy: unit.scenario.trial_plan.label(),
             stages: unit.scenario.pipeline.stage_count(),
             gates: unit.gates,
             trials,
@@ -516,6 +608,7 @@ impl Workload for Sweep {
             targets: unit.targets.len(),
             est_trial_cost: crate::plan::estimated_trial_cost(
                 unit.scenario.kernel,
+                unit.scenario.trial_plan.strategy,
                 unit.gates,
                 unit.scenario.pipeline.stage_count(),
             ),
@@ -572,8 +665,21 @@ fn finalize(p: &Prepared, stats: Option<PipelineBlockStats>) -> ScenarioResult {
         let pd = stats.pipeline();
         let stage_means: Vec<f64> = stats.stage_stats().iter().map(|s| s.mean()).collect();
         let stage_sds: Vec<f64> = stats.stage_stats().iter().map(|s| s.sample_sd()).collect();
-        let model_from_mc =
-            build_model_from_mc(&stage_means, &stage_sds, &p.correlation, &p.targets);
+        // Weighted (blockade) runs: the raw moments describe the
+        // *mean-shifted* sampling distribution, so re-deriving Clark's
+        // model from them would be biased — suppress it, and take the
+        // yields from the reweighted estimator instead. The effective
+        // sample size is surfaced through the metrics layer (`ess`
+        // counter) rather than the byte-stable result schema.
+        let weighted = stats.has_weighted_tail();
+        let model_from_mc = if weighted {
+            None
+        } else {
+            build_model_from_mc(&stage_means, &stage_sds, &p.correlation, &p.targets)
+        };
+        if weighted {
+            vardelay_obs::counter("ess", stats.effective_samples().round() as u64);
+        }
         McSummary {
             trials: stats.trials(),
             mean_ps: pd.mean(),
@@ -587,7 +693,11 @@ fn finalize(p: &Prepared, stats: Option<PipelineBlockStats>) -> ScenarioResult {
             stage_sds,
             yields: (0..p.targets.len())
                 .map(|i| {
-                    let y = stats.yield_estimate(i);
+                    let y = if weighted {
+                        stats.weighted_yield_estimate(i)
+                    } else {
+                        stats.yield_estimate(i)
+                    };
                     McYield {
                         target_ps: p.targets[i],
                         value: y.value,
@@ -641,7 +751,9 @@ pub(crate) fn build_model_from_mc(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{KernelSpec, LatchSpec, PipelineSpec, StageMoments, VariationSpec};
+    use crate::spec::{
+        KernelSpec, LatchSpec, PipelineSpec, StageMoments, TrialPlanSpec, VariationSpec,
+    };
 
     fn tiny_sweep(trials: u64) -> Sweep {
         Sweep {
@@ -669,6 +781,7 @@ mod tests {
                     },
                     variation: VariationSpec::Nominal,
                     trials,
+                    trial_plan: TrialPlanSpec::default(),
                     yield_targets: vec![110.0],
                     auto_target_sigmas: vec![1.0],
                     backend: BackendSpec::Pipeline,
@@ -685,6 +798,7 @@ mod tests {
                     },
                     variation: VariationSpec::RandomOnly { sigma_mv: 35.0 },
                     trials,
+                    trial_plan: TrialPlanSpec::default(),
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Pipeline,

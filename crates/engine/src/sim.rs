@@ -32,7 +32,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vardelay_circuit::StagedPipeline;
 use vardelay_mc::{
-    PipelineBlockStats, PipelineMc, PreparedPipelineMc, TrialKernel, TrialWorkspace, V2_LANES,
+    PipelineBlockStats, PipelineMc, PlanSampler, PreparedPipelineMc, TrialKernel, TrialPlan,
+    TrialWorkspace, V2_LANES,
 };
 use vardelay_stats::MultivariateNormal;
 
@@ -52,10 +53,11 @@ pub(crate) fn gate_level_backend(
     backend: BackendSpec,
     mc: PipelineMc,
     staged: StagedPipeline,
+    plan: TrialPlan,
 ) -> Box<dyn Simulator> {
     match backend {
-        BackendSpec::Pipeline => Box::new(StagedMcSim::new(mc, staged)),
-        BackendSpec::Netlist => Box::new(GateLevelSim::new(&mc, &staged)),
+        BackendSpec::Pipeline => Box::new(StagedMcSim::new(mc, staged).with_plan(plan)),
+        BackendSpec::Netlist => Box::new(GateLevelSim::new(&mc, &staged).with_plan(plan)),
         BackendSpec::Analytic => unreachable!("the analytic backend rejects trials"),
     }
 }
@@ -85,14 +87,17 @@ pub trait Simulator: Send + Sync {
 pub struct MvnSim {
     mvn: MultivariateNormal,
     kernel: TrialKernel,
+    plan: TrialPlan,
 }
 
 impl MvnSim {
-    /// Wraps a stage-delay joint distribution (v1 trial kernel).
+    /// Wraps a stage-delay joint distribution (v1 trial kernel, plain
+    /// trial plan).
     pub fn new(mvn: MultivariateNormal) -> Self {
         MvnSim {
             mvn,
             kernel: TrialKernel::default(),
+            plan: TrialPlan::plain(),
         }
     }
 
@@ -104,6 +109,71 @@ impl MvnSim {
         self.kernel = kernel;
         self
     }
+
+    /// Selects the trial-plan contract shaping the draws. The plain
+    /// plan routes through the exact historical code path (byte-inert);
+    /// any other plan shapes the leading stage dimensions per its own
+    /// frozen contract.
+    pub fn with_plan(mut self, plan: TrialPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    fn run_block_plan(&self, scenario_id: u64, trials: Range<u64>, stats: &mut PipelineBlockStats) {
+        let mut ps = PlanSampler::new(self.plan, self.mvn.dim(), trial_seed(scenario_id, 0));
+        let weighted = self.plan.is_weighted();
+        let mut z = Vec::new();
+        let mut x = Vec::new();
+        match self.kernel {
+            TrialKernel::V1 => {
+                for t in trials {
+                    let (seed_index, sign) = ps.prepare_trial(t);
+                    let mut rng = StdRng::seed_from_u64(trial_seed(scenario_id, seed_index));
+                    let w = self.mvn.sample_into_plan(
+                        &mut rng,
+                        sign,
+                        ps.lead(),
+                        ps.shift(),
+                        &mut z,
+                        &mut x,
+                    );
+                    let maxd = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    if weighted {
+                        stats.record_weighted(&x, maxd, w);
+                    } else {
+                        stats.record(&x, maxd);
+                    }
+                }
+            }
+            TrialKernel::V2 => {
+                // Same lane-folded merge tree as the plain v2 path.
+                let mut lanes: Vec<PipelineBlockStats> =
+                    (0..V2_LANES).map(|_| stats.fresh_like()).collect();
+                for t in trials {
+                    let (seed_index, sign) = ps.prepare_trial(t);
+                    let mut rng = StdRng::seed_from_u64(trial_seed(scenario_id, seed_index));
+                    let w = self.mvn.sample_into_v2_plan(
+                        &mut rng,
+                        sign,
+                        ps.lead(),
+                        ps.shift(),
+                        &mut z,
+                        &mut x,
+                    );
+                    let maxd = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let lane = &mut lanes[(t % V2_LANES as u64) as usize];
+                    if weighted {
+                        lane.record_weighted(&x, maxd, w);
+                    } else {
+                        lane.record(&x, maxd);
+                    }
+                }
+                for lane in &lanes {
+                    stats.merge(lane);
+                }
+            }
+        }
+    }
 }
 
 impl Simulator for MvnSim {
@@ -114,6 +184,9 @@ impl Simulator for MvnSim {
         trials: Range<u64>,
         stats: &mut PipelineBlockStats,
     ) {
+        if !self.plan.is_plain() {
+            return self.run_block_plan(scenario_id, trials, stats);
+        }
         match self.kernel {
             TrialKernel::V1 => {
                 for t in trials {
@@ -153,12 +226,24 @@ impl Simulator for MvnSim {
 pub struct StagedMcSim {
     mc: PipelineMc,
     staged: StagedPipeline,
+    plan: TrialPlan,
 }
 
 impl StagedMcSim {
-    /// Pairs a runner with the pipeline it times.
+    /// Pairs a runner with the pipeline it times (plain trial plan).
     pub fn new(mc: PipelineMc, staged: StagedPipeline) -> Self {
-        StagedMcSim { mc, staged }
+        StagedMcSim {
+            mc,
+            staged,
+            plan: TrialPlan::plain(),
+        }
+    }
+
+    /// Selects the trial-plan contract (the plain plan keeps the exact
+    /// historical code path).
+    pub fn with_plan(mut self, plan: TrialPlan) -> Self {
+        self.plan = plan;
+        self
     }
 }
 
@@ -170,22 +255,38 @@ impl Simulator for StagedMcSim {
         trials: Range<u64>,
         stats: &mut PipelineBlockStats,
     ) {
-        self.mc
-            .run_block(&self.staged, trials, |t| trial_seed(scenario_id, t), stats);
+        // run_block_plan routes the plain plan straight to the
+        // historical run_block — byte-inert by construction.
+        self.mc.run_block_plan(
+            &self.staged,
+            trials,
+            |t| trial_seed(scenario_id, t),
+            self.plan,
+            stats,
+        );
     }
 }
 
 /// Gate-level trials on the allocation-free prepared path.
 pub struct GateLevelSim {
     prepared: PreparedPipelineMc,
+    plan: TrialPlan,
 }
 
 impl GateLevelSim {
-    /// Compiles `staged` for workspace-reusing trials.
+    /// Compiles `staged` for workspace-reusing trials (plain plan).
     pub fn new(mc: &PipelineMc, staged: &StagedPipeline) -> Self {
         GateLevelSim {
             prepared: PreparedPipelineMc::new(mc, staged),
+            plan: TrialPlan::plain(),
         }
+    }
+
+    /// Selects the trial-plan contract (the plain plan keeps the exact
+    /// historical code path).
+    pub fn with_plan(mut self, plan: TrialPlan) -> Self {
+        self.plan = plan;
+        self
     }
 }
 
@@ -200,7 +301,7 @@ impl Simulator for GateLevelSim {
         stats: &mut PipelineBlockStats,
     ) {
         self.prepared
-            .run_block(ws, trials, |t| trial_seed(scenario_id, t), stats);
+            .run_block_plan(ws, trials, |t| trial_seed(scenario_id, t), self.plan, stats);
     }
 }
 

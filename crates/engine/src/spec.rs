@@ -155,6 +155,238 @@ impl Deserialize for KernelSpec {
     }
 }
 
+/// Which **trial-plan contract** shapes a scenario's Monte-Carlo draws
+/// (see `vardelay_mc::TrialStrategy`): how the counter-based per-trial
+/// streams are turned into samples, orthogonal to the kernel that
+/// executes the arithmetic.
+///
+/// Like `kernel`, the strategy is excluded from scenario identity — it
+/// changes how draws are shaped, not what is simulated — and each
+/// strategy is a versioned deterministic contract, byte-stable against
+/// itself at any worker/shard/resume configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StrategySpec {
+    /// Independent per-trial draws — every historical result's byte
+    /// contract.
+    #[default]
+    Plain,
+    /// Antithetic pairs: trial `2k+1` negates every normal of trial
+    /// `2k`.
+    Antithetic,
+    /// Latin-hypercube stratification of the leading (die-level)
+    /// dimensions, one stratum per trial per 256-trial block.
+    Stratified,
+    /// Scrambled Sobol quasi-Monte-Carlo points on the leading
+    /// dimensions, indexed by global trial number.
+    Sobol,
+    /// Statistical blockade: mean-shifted inter-die sampling with
+    /// likelihood-ratio reweighting, for deep-tail yield targets.
+    Blockade,
+}
+
+impl StrategySpec {
+    /// The lowercase spec keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            StrategySpec::Plain => "plain",
+            StrategySpec::Antithetic => "antithetic",
+            StrategySpec::Stratified => "stratified",
+            StrategySpec::Sobol => "sobol",
+            StrategySpec::Blockade => "blockade",
+        }
+    }
+
+    /// Parses a lowercase spec keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid keywords.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "plain" => Ok(StrategySpec::Plain),
+            "antithetic" => Ok(StrategySpec::Antithetic),
+            "stratified" => Ok(StrategySpec::Stratified),
+            "sobol" => Ok(StrategySpec::Sobol),
+            "blockade" => Ok(StrategySpec::Blockade),
+            other => Err(format!(
+                "unknown trial strategy '{other}' (use plain|antithetic|stratified|sobol|blockade)"
+            )),
+        }
+    }
+
+    /// The `vardelay-mc` strategy this spec keyword selects.
+    pub fn to_strategy(self) -> vardelay_mc::TrialStrategy {
+        match self {
+            StrategySpec::Plain => vardelay_mc::TrialStrategy::Plain,
+            StrategySpec::Antithetic => vardelay_mc::TrialStrategy::Antithetic,
+            StrategySpec::Stratified => vardelay_mc::TrialStrategy::Stratified,
+            StrategySpec::Sobol => vardelay_mc::TrialStrategy::Sobol,
+            StrategySpec::Blockade => vardelay_mc::TrialStrategy::Blockade,
+        }
+    }
+}
+
+impl Serialize for StrategySpec {
+    fn to_value(&self) -> Value {
+        Value::String(self.keyword().to_owned())
+    }
+}
+
+impl Deserialize for StrategySpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::String(s) => StrategySpec::parse(s).map_err(serde::Error::new),
+            _ => Err(serde::Error::new("trial strategy must be a string")),
+        }
+    }
+}
+
+/// Maximum accepted blockade mean shift, in sigmas. Past this the
+/// likelihood-ratio weights degenerate (ESS collapses) long before any
+/// realistic yield target justifies the shift.
+pub const MAX_SHIFT_SIGMAS: f64 = 8.0;
+
+/// A trial-plan selection in spec form: strategy plus its optional
+/// tuning knobs.
+///
+/// Serialized *inside* the `trials` (or `verify_trials`) value: the
+/// default plan keeps the plain number form — existing specs keep both
+/// their JSON shape and their content-hash IDs — while any other plan
+/// widens it to `{"count": N, "strategy": "...", ...}`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrialPlanSpec {
+    /// The sampling strategy.
+    pub strategy: StrategySpec,
+    /// Blockade mean shift in sigmas of the inter-die component
+    /// (blockade only; `None` uses the contract default).
+    pub shift_sigmas: Option<f64>,
+    /// Target 95% confidence half-width on the verified yield: lets a
+    /// variance-reducing plan stop early once the interval is tight
+    /// enough, with the trial count as a ceiling. Campaign verification
+    /// only — scenarios always run their full budget.
+    pub ci_half_width: Option<f64>,
+}
+
+impl TrialPlanSpec {
+    /// Whether this is the default (plain, no knobs) plan — the form
+    /// that serializes as a bare trial count.
+    pub fn is_default(&self) -> bool {
+        *self == TrialPlanSpec::default()
+    }
+
+    /// The `vardelay-mc` plan this spec selects.
+    pub fn to_plan(&self) -> vardelay_mc::TrialPlan {
+        let mut plan = vardelay_mc::TrialPlan::of(self.strategy.to_strategy());
+        if let Some(s) = self.shift_sigmas {
+            plan.shift_sigmas = s;
+        }
+        plan
+    }
+
+    /// Short human-readable description (the strategy keyword, plus the
+    /// shift for blockade plans).
+    pub fn label(&self) -> String {
+        match (self.strategy, self.shift_sigmas) {
+            (StrategySpec::Blockade, Some(s)) => format!("blockade(shift {s}σ)"),
+            (s, _) => s.keyword().to_owned(),
+        }
+    }
+
+    /// Checks the knob/strategy combination is in-domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(s) = self.shift_sigmas {
+            if self.strategy != StrategySpec::Blockade {
+                return Err(format!(
+                    "shift_sigmas applies only to the blockade strategy, not '{}'",
+                    self.strategy.keyword()
+                ));
+            }
+            if !(s.is_finite() && s > 0.0 && s <= MAX_SHIFT_SIGMAS) {
+                return Err(format!(
+                    "shift_sigmas must be finite in (0, {MAX_SHIFT_SIGMAS}], got {s}"
+                ));
+            }
+        }
+        if let Some(hw) = self.ci_half_width {
+            if self.strategy == StrategySpec::Plain {
+                return Err(
+                    "ci_half_width requires a non-plain trial strategy (plain runs keep the \
+                     historical fixed-budget contract)"
+                        .to_owned(),
+                );
+            }
+            if !(hw.is_finite() && hw > 0.0 && hw < 0.5) {
+                return Err(format!(
+                    "ci_half_width must be finite in (0, 0.5), got {hw}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serializes a trial budget with its plan: the bare count when the
+/// plan is the default (existing specs keep their bytes), else an
+/// object carrying the strategy and its knobs.
+pub(crate) fn trials_to_value(count: u64, plan: &TrialPlanSpec) -> Value {
+    if plan.is_default() {
+        return count.to_value();
+    }
+    let mut fields = vec![
+        ("count".to_owned(), count.to_value()),
+        ("strategy".to_owned(), plan.strategy.to_value()),
+    ];
+    if let Some(s) = plan.shift_sigmas {
+        fields.push(("shift_sigmas".to_owned(), s.to_value()));
+    }
+    if let Some(hw) = plan.ci_half_width {
+        fields.push(("ci_half_width".to_owned(), hw.to_value()));
+    }
+    Value::Object(fields)
+}
+
+/// Parses a trial budget in either form: a bare count (plain plan) or
+/// `{"count": N, "strategy": "...", "shift_sigmas"?: S,
+/// "ci_half_width"?: H}`. Unknown keys are rejected, like every other
+/// spec object.
+pub(crate) fn trials_from_value(v: &Value) -> Result<(u64, TrialPlanSpec), serde::Error> {
+    if let Value::Object(fields) = v {
+        const KNOWN: [&str; 4] = ["count", "strategy", "shift_sigmas", "ci_half_width"];
+        for (key, _) in fields {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(serde::Error::new(format!(
+                    "unknown trials field `{key}` (expected one of {})",
+                    KNOWN.join(", ")
+                )));
+            }
+        }
+        let count = Deserialize::from_value(v.field("count")?)?;
+        let strategy = Deserialize::from_value(v.field("strategy")?)?;
+        let shift_sigmas = v
+            .get("shift_sigmas")
+            .map(Deserialize::from_value)
+            .transpose()?;
+        let ci_half_width = v
+            .get("ci_half_width")
+            .map(Deserialize::from_value)
+            .transpose()?;
+        Ok((
+            count,
+            TrialPlanSpec {
+                strategy,
+                shift_sigmas,
+                ci_half_width,
+            },
+        ))
+    } else {
+        Ok((Deserialize::from_value(v)?, TrialPlanSpec::default()))
+    }
+}
+
 /// A named combinational circuit, built by the generators in
 /// `vardelay-circuit` — how netlist-backend sweeps refer to concrete
 /// workloads (the paper's chains, the Fig. 6 ALU/decoder segments, the
@@ -639,6 +871,9 @@ pub struct Scenario {
     pub variation: VariationSpec,
     /// Monte-Carlo trials; `0` evaluates the analytic model only.
     pub trials: u64,
+    /// Trial-plan contract shaping the Monte-Carlo draws (serialized
+    /// inside the `trials` value; the default keeps the bare count).
+    pub trial_plan: TrialPlanSpec,
     /// Absolute yield targets (ps).
     pub yield_targets: Vec<f64>,
     /// Additional targets derived from the analytic model as
@@ -667,7 +902,10 @@ impl Serialize for Scenario {
             ("label".to_owned(), self.label.to_value()),
             ("pipeline".to_owned(), self.pipeline.to_value()),
             ("variation".to_owned(), self.variation.to_value()),
-            ("trials".to_owned(), self.trials.to_value()),
+            (
+                "trials".to_owned(),
+                trials_to_value(self.trials, &self.trial_plan),
+            ),
             ("yield_targets".to_owned(), self.yield_targets.to_value()),
             (
                 "auto_target_sigmas".to_owned(),
@@ -714,11 +952,13 @@ impl Deserialize for Scenario {
             }
         }
         let opt = |key: &str| v.get(key);
+        let (trials, trial_plan) = trials_from_value(v.field("trials")?)?;
         Ok(Scenario {
             label: Deserialize::from_value(v.field("label")?)?,
             pipeline: Deserialize::from_value(v.field("pipeline")?)?,
             variation: Deserialize::from_value(v.field("variation")?)?,
-            trials: Deserialize::from_value(v.field("trials")?)?,
+            trials,
+            trial_plan,
             yield_targets: Deserialize::from_value(v.field("yield_targets")?)?,
             auto_target_sigmas: Deserialize::from_value(v.field("auto_target_sigmas")?)?,
             backend: opt("backend")
@@ -743,18 +983,22 @@ impl Scenario {
     /// Hashes the serialized spec, so any change to any
     /// *experiment-defining* field (or to the sweep seed) changes every
     /// per-trial RNG stream, while re-ordering scenarios inside the
-    /// sweep changes nothing. Three fields are deliberately
-    /// **excluded**: `backend`, `kernel` and `histogram_bins` describe
-    /// how trials are executed and observed, not what is simulated —
-    /// the gate-level backends are bit-identical per seed, so flipping
-    /// a spec from `pipeline` to `netlist` (or adding a histogram)
-    /// reproduces the exact same Monte-Carlo numbers, and flipping the
-    /// kernel keeps every per-trial RNG seed (only the trial arithmetic
-    /// changes, under its own frozen contract).
+    /// sweep changes nothing. Four fields are deliberately
+    /// **excluded**: `backend`, `kernel`, `trial_plan` and
+    /// `histogram_bins` describe how trials are executed and observed,
+    /// not what is simulated — the gate-level backends are
+    /// bit-identical per seed, so flipping a spec from `pipeline` to
+    /// `netlist` (or adding a histogram) reproduces the exact same
+    /// Monte-Carlo numbers; flipping the kernel or the trial plan keeps
+    /// every per-trial RNG seed (only how the streams become draws
+    /// changes, each under its own frozen contract). Strategy twins
+    /// still get distinct *unit keys* — those hash the full serialized
+    /// spec — so caches and journals never conflate them.
     pub fn id(&self, sweep_seed: u64) -> u64 {
         let mut identity = self.clone();
         identity.backend = BackendSpec::default();
         identity.kernel = KernelSpec::default();
+        identity.trial_plan = TrialPlanSpec::default();
         identity.histogram_bins = 0;
         let json = serde_json::to_string(&identity).expect("scenario specs are finite");
         fnv1a64(json.as_bytes()) ^ sweep_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -777,6 +1021,9 @@ pub struct GridSpec {
     pub latch: LatchSpec,
     /// Monte-Carlo trials per scenario; `0` for analytic-only.
     pub trials: u64,
+    /// Trial-plan contract stamped on every generated scenario
+    /// (serialized inside the `trials` value).
+    pub trial_plan: TrialPlanSpec,
     /// Absolute yield targets (ps) evaluated for every scenario.
     pub yield_targets: Vec<f64>,
     /// Analytic-derived targets (see [`Scenario::auto_target_sigmas`]).
@@ -800,7 +1047,10 @@ impl Serialize for GridSpec {
             ("sizes".to_owned(), self.sizes.to_value()),
             ("variations".to_owned(), self.variations.to_value()),
             ("latch".to_owned(), self.latch.to_value()),
-            ("trials".to_owned(), self.trials.to_value()),
+            (
+                "trials".to_owned(),
+                trials_to_value(self.trials, &self.trial_plan),
+            ),
             ("yield_targets".to_owned(), self.yield_targets.to_value()),
             (
                 "auto_target_sigmas".to_owned(),
@@ -845,13 +1095,15 @@ impl Deserialize for GridSpec {
                 }
             }
         }
+        let (trials, trial_plan) = trials_from_value(v.field("trials")?)?;
         Ok(GridSpec {
             stage_counts: Deserialize::from_value(v.field("stage_counts")?)?,
             logic_depths: Deserialize::from_value(v.field("logic_depths")?)?,
             sizes: Deserialize::from_value(v.field("sizes")?)?,
             variations: Deserialize::from_value(v.field("variations")?)?,
             latch: Deserialize::from_value(v.field("latch")?)?,
-            trials: Deserialize::from_value(v.field("trials")?)?,
+            trials,
+            trial_plan,
             yield_targets: Deserialize::from_value(v.field("yield_targets")?)?,
             auto_target_sigmas: Deserialize::from_value(v.field("auto_target_sigmas")?)?,
             backend: v
@@ -892,6 +1144,7 @@ impl GridSpec {
                             },
                             variation,
                             trials: self.trials,
+                            trial_plan: self.trial_plan,
                             yield_targets: self.yield_targets.clone(),
                             auto_target_sigmas: self.auto_target_sigmas.clone(),
                             backend: self.backend,
@@ -1015,6 +1268,7 @@ impl Sweep {
                     },
                     variation: VariationSpec::Nominal,
                     trials: 4_000,
+                    trial_plan: TrialPlanSpec::default(),
                     yield_targets: vec![215.0],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Pipeline,
@@ -1030,6 +1284,7 @@ impl Sweep {
                     },
                     variation: VariationSpec::RandomOnly { sigma_mv: 35.0 },
                     trials: 2_000,
+                    trial_plan: TrialPlanSpec::default(),
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Pipeline,
@@ -1051,12 +1306,91 @@ impl Sweep {
                 ],
                 latch: LatchSpec::TgMsff70nm,
                 trials: 2_000,
+                trial_plan: TrialPlanSpec::default(),
                 yield_targets: vec![],
                 auto_target_sigmas: vec![1.2],
                 backend: BackendSpec::Pipeline,
                 kernel: KernelSpec::default(),
                 histogram_bins: 0,
             }),
+        }
+    }
+
+    /// A ready-to-run example spec exercising one trial-plan strategy:
+    /// an inter-die-dominant variation mix (the regime where leading-
+    /// dimension variance reduction pays), one gate-level and one
+    /// moment-form scenario, both stamped with `strategy`, with a
+    /// high-sigma auto target alongside the body target so yield CIs
+    /// show the plan's effect. The `vardelay sweep example --strategy`
+    /// template.
+    pub fn example_trial_plan(strategy: StrategySpec) -> Self {
+        let plan = TrialPlanSpec {
+            strategy,
+            shift_sigmas: None,
+            ci_half_width: None,
+        };
+        // Inter-die 40 mV over random 10 mV: most delay variance rides
+        // the shared die-level dimension that stratified/Sobol/blockade
+        // plans shape.
+        let inter_heavy = VariationSpec::Combined {
+            inter_mv: 40.0,
+            random_mv: 10.0,
+            systematic_mv: 0.0,
+        };
+        Sweep {
+            name: format!("{}-example", strategy.keyword()),
+            seed: 0x7B1A, // "trial plans"
+            scenarios: vec![
+                Scenario {
+                    label: format!("5stg chains inter-heavy ({})", strategy.keyword()),
+                    pipeline: PipelineSpec::InverterStages {
+                        depths: vec![6, 8, 7, 9, 8],
+                        size: 1.0,
+                        latch: LatchSpec::TgMsff70nm,
+                    },
+                    variation: inter_heavy,
+                    trials: 4_096,
+                    trial_plan: plan,
+                    yield_targets: vec![],
+                    auto_target_sigmas: vec![1.2, 3.0],
+                    backend: BackendSpec::Pipeline,
+                    kernel: KernelSpec::default(),
+                    histogram_bins: 0,
+                },
+                Scenario {
+                    label: format!("moments 4-stage rho 0.5 ({})", strategy.keyword()),
+                    pipeline: PipelineSpec::Moments {
+                        stages: vec![
+                            StageMoments {
+                                mu_ps: 190.0,
+                                sigma_ps: 9.0,
+                            },
+                            StageMoments {
+                                mu_ps: 201.0,
+                                sigma_ps: 11.0,
+                            },
+                            StageMoments {
+                                mu_ps: 195.0,
+                                sigma_ps: 10.0,
+                            },
+                            StageMoments {
+                                mu_ps: 185.0,
+                                sigma_ps: 8.0,
+                            },
+                        ],
+                        rho: 0.5,
+                    },
+                    variation: VariationSpec::Nominal,
+                    trials: 4_096,
+                    trial_plan: plan,
+                    yield_targets: vec![],
+                    auto_target_sigmas: vec![1.2, 3.0],
+                    backend: BackendSpec::Pipeline,
+                    kernel: KernelSpec::default(),
+                    histogram_bins: 0,
+                },
+            ],
+            grid: None,
         }
     }
 
@@ -1085,6 +1419,7 @@ impl Sweep {
                     pipeline: chain_5x8.clone(),
                     variation: rand35,
                     trials: 4_000,
+                    trial_plan: TrialPlanSpec::default(),
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Netlist,
@@ -1096,6 +1431,7 @@ impl Sweep {
                     pipeline: chain_5x8,
                     variation: rand35,
                     trials: 0,
+                    trial_plan: TrialPlanSpec::default(),
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Analytic,
@@ -1118,6 +1454,7 @@ impl Sweep {
                         systematic_mv: 15.0,
                     },
                     trials: 2_000,
+                    trial_plan: TrialPlanSpec::default(),
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Netlist,
@@ -1134,6 +1471,7 @@ impl Sweep {
                     },
                     variation: rand35,
                     trials: 1_000,
+                    trial_plan: TrialPlanSpec::default(),
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Netlist,
@@ -1163,6 +1501,7 @@ impl Sweep {
                     },
                     variation: rand35,
                     trials: 1_000,
+                    trial_plan: TrialPlanSpec::default(),
                     yield_targets: vec![],
                     auto_target_sigmas: vec![1.2],
                     backend: BackendSpec::Netlist,

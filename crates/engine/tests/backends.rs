@@ -4,7 +4,7 @@
 
 use vardelay_engine::{
     run_sweep, BackendSpec, CircuitSpec, KernelSpec, LatchSpec, PipelineSpec, Scenario, Sweep,
-    SweepOptions, VariationSpec,
+    SweepOptions, TrialPlanSpec, VariationSpec,
 };
 
 fn chain_5x8() -> PipelineSpec {
@@ -27,6 +27,7 @@ fn scenario(label: &str, backend: BackendSpec, trials: u64) -> Scenario {
         pipeline: chain_5x8(),
         variation: VariationSpec::RandomOnly { sigma_mv: 35.0 },
         trials,
+        trial_plan: TrialPlanSpec::default(),
         yield_targets: vec![],
         auto_target_sigmas: vec![1.2],
         backend,
@@ -176,6 +177,7 @@ fn backend_mismatches_are_rejected_with_context() {
         },
         variation: VariationSpec::Nominal,
         trials: 100,
+        trial_plan: TrialPlanSpec::default(),
         yield_targets: vec![],
         auto_target_sigmas: vec![],
         backend: BackendSpec::Netlist,

@@ -3,7 +3,7 @@
 
 use vardelay_engine::optimize::{OptimizationCampaign, OptimizeSpec, YieldBackendSpec};
 use vardelay_engine::spec::{LatchSpec, PipelineSpec, VariationSpec};
-use vardelay_engine::{plan_campaign, run_campaign, KernelSpec, SweepOptions};
+use vardelay_engine::{plan_campaign, run_campaign, KernelSpec, SweepOptions, TrialPlanSpec};
 use vardelay_opt::{OptimizationGoal, TargetDelayPolicy};
 
 /// The golden Table-II-style operating point.
@@ -35,6 +35,7 @@ fn table2_style(backend: YieldBackendSpec) -> OptimizeSpec {
         kernel: KernelSpec::default(),
         eval_trials: 2_048,
         verify_trials: 32_768,
+        verify_plan: TrialPlanSpec::default(),
     }
 }
 

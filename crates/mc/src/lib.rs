@@ -20,6 +20,9 @@
 //! * [`kernel`] — the versioned trial-kernel contract: v1 (scalar
 //!   Box–Muller + exact `powf`) and v2 (batch sampling + frozen
 //!   polynomial slowdown + lane-folded statistics).
+//! * [`strategy`] — the versioned trial-plan contracts (antithetic,
+//!   stratified, Sobol QMC, statistical blockade): how the counter-based
+//!   streams are shaped into draws, orthogonal to the kernel.
 //!
 //! # Example
 //!
@@ -42,9 +45,11 @@ pub mod kernel;
 pub mod pipeline_mc;
 pub mod prepared;
 pub mod results;
+pub mod strategy;
 
 pub use engine::NetlistMc;
 pub use kernel::{TrialKernel, V2_LANES};
 pub use pipeline_mc::{PipelineMc, PipelineMcResult};
 pub use prepared::{PreparedPipelineMc, TrialWorkspace};
 pub use results::{HistogramSpec, McConfig, McResult, PipelineBlockStats, YieldEstimate};
+pub use strategy::{PlanSampler, TrialPlan, TrialStrategy, DEFAULT_SHIFT_SIGMAS, STRATA_BLOCK};

@@ -142,6 +142,29 @@ impl PipelineMc {
         }
     }
 
+    /// Runs a trial range under a [`crate::TrialPlan`] — the plan-aware
+    /// variant of [`PipelineMc::run_block`]. The plain plan routes to
+    /// `run_block` itself (byte-frozen); any other plan delegates to a
+    /// freshly compiled [`crate::PreparedPipelineMc`], which defines the
+    /// plan arithmetic for both kernels — so the prepared and unprepared
+    /// runners produce the same plan bytes per seed. Hot paths should
+    /// hold a prepared runner directly.
+    pub fn run_block_plan(
+        &self,
+        pipeline: &StagedPipeline,
+        trials: std::ops::Range<u64>,
+        seed_of: impl Fn(u64) -> u64,
+        plan: crate::TrialPlan,
+        stats: &mut PipelineBlockStats,
+    ) {
+        if plan.is_plain() {
+            return self.run_block(pipeline, trials, seed_of, stats);
+        }
+        let prepared = crate::PreparedPipelineMc::new(self, pipeline);
+        let mut ws = prepared.workspace();
+        prepared.run_block_plan(&mut ws, trials, seed_of, plan, stats);
+    }
+
     /// Runs a full campaign.
     ///
     /// # Panics

@@ -29,6 +29,7 @@ use vardelay_stats::normal::sample_standard_normal;
 use crate::kernel::{TrialKernel, V2_LANES};
 use crate::pipeline_mc::PipelineMc;
 use crate::results::PipelineBlockStats;
+use crate::strategy::{PlanSampler, TrialPlan};
 
 /// One stage's precomputed timing data.
 #[derive(Debug, Clone)]
@@ -381,6 +382,137 @@ impl PreparedPipelineMc {
         max_d
     }
 
+    /// Number of die-level standard-normal dims one trial draws (the
+    /// inter-die normal plus the correlated-region normals) — the dims a
+    /// stratified or Sobol trial plan overrides.
+    pub fn die_dims(&self) -> usize {
+        usize::from(self.sampler.variation().has_inter()) + self.sampler.region_value_count()
+    }
+
+    /// One **plan-modified** v1 trial: [`Self::sample_trial`] with the
+    /// strategy overlay (antithetic `sign` on every produced normal,
+    /// `lead` overrides on the die-level dims, inter-die mean `shift`).
+    /// Returns `(pipeline delay, importance weight)`.
+    fn sample_trial_plan(
+        &self,
+        ws: &mut TrialWorkspace,
+        rng: &mut StdRng,
+        sign: f64,
+        lead: &[f64],
+        shift: f64,
+    ) -> (f64, f64) {
+        let weight =
+            self.sampler
+                .sample_die_into_plan(rng, sign, lead, shift, &mut ws.z, &mut ws.die);
+        let mut max_d = f64::NEG_INFINITY;
+        for (s, stage) in self.stages.iter().enumerate() {
+            let shared = ws.die.shared_dvth(if ws.die.region_dvth.is_empty() {
+                0
+            } else {
+                stage.region
+            });
+            ws.slowdown.clear();
+            if stage.rand_sigma.is_empty() {
+                let f = self.lib.vth_slowdown_factor(shared);
+                ws.slowdown.resize(stage.netlist.gate_count(), f);
+            } else {
+                ws.slowdown.extend(stage.rand_sigma.iter().map(|&sig| {
+                    let rand = sig * (sign * sample_standard_normal(rng));
+                    self.lib.vth_slowdown_factor(shared + rand)
+                }));
+            }
+            arrival_times_into(
+                &stage.netlist,
+                &stage.nominal,
+                Some(&ws.slowdown),
+                &mut ws.at,
+            );
+            let comb = stage
+                .netlist
+                .outputs()
+                .iter()
+                .map(|o| ws.at[o.0])
+                .fold(0.0, f64::max);
+            let overhead = self.latch.overhead_ps()
+                + self.latch.overhead_sigma_ps() * (sign * sample_standard_normal(rng));
+            let sd = comb + overhead;
+            max_d = max_d.max(sd);
+            ws.stage_delays[s] = sd;
+        }
+        ws.reuses += 1;
+        (max_d, weight)
+    }
+
+    /// One **plan-modified** v2 trial: [`Self::sample_trial_v2`] with
+    /// the strategy overlay. Returns `(pipeline delay, importance
+    /// weight)`.
+    fn sample_trial_v2_plan(
+        &self,
+        ws: &mut TrialWorkspace,
+        rng: &mut StdRng,
+        sign: f64,
+        lead: &[f64],
+        shift: f64,
+    ) -> (f64, f64) {
+        let weight =
+            self.sampler
+                .sample_die_into_v2_plan(rng, sign, lead, shift, &mut ws.z, &mut ws.die);
+        ws.normals.resize(self.rand_total, 0.0);
+        fill_standard_normals_inv_cdf(rng, &mut ws.normals);
+        if sign != 1.0 {
+            for n in ws.normals.iter_mut() {
+                *n *= sign;
+            }
+        }
+        let latch_sigma = self.latch.overhead_sigma_ps();
+        let mut max_d = f64::NEG_INFINITY;
+        let mut rand_off = 0usize;
+        for (s, stage) in self.stages.iter().enumerate() {
+            let shared = ws.die.shared_dvth(if ws.die.region_dvth.is_empty() {
+                0
+            } else {
+                stage.region
+            });
+            if stage.rand_sigma.is_empty() {
+                ws.slowdown.clear();
+                let f = self.lib.vth_slowdown_factor_v2(shared);
+                ws.slowdown.resize(stage.netlist.gate_count(), f);
+            } else {
+                let gates = stage.rand_sigma.len();
+                let z = &ws.normals[rand_off..rand_off + gates];
+                rand_off += gates;
+                ws.slowdown.resize(gates, 0.0);
+                self.lib.vth_slowdown_factors_v2_into(
+                    shared,
+                    &stage.rand_sigma,
+                    z,
+                    &mut ws.slowdown,
+                );
+            }
+            arrival_times_into(
+                &stage.netlist,
+                &stage.nominal,
+                Some(&ws.slowdown),
+                &mut ws.at,
+            );
+            let comb = stage
+                .netlist
+                .outputs()
+                .iter()
+                .map(|o| ws.at[o.0])
+                .fold(0.0, f64::max);
+            let mut overhead = self.latch.overhead_ps();
+            if latch_sigma != 0.0 {
+                overhead += latch_sigma * (sign * sample_standard_normal_inv_cdf(rng));
+            }
+            let sd = comb + overhead;
+            max_d = max_d.max(sd);
+            ws.stage_delays[s] = sd;
+        }
+        ws.reuses += 1;
+        (max_d, weight)
+    }
+
     /// Monte-Carlo pipeline yield at one target delay: runs the given
     /// trial range and returns the fraction of trials whose pipeline
     /// delay met `target_ps`, with its 95% Wilson interval. This is the
@@ -467,6 +599,81 @@ impl PreparedPipelineMc {
                         warm,
                         "hot-path buffer reallocated mid-block"
                     );
+                }
+                for lane in &lanes {
+                    stats.merge(lane);
+                }
+            }
+        }
+    }
+
+    /// Runs a trial range under a [`TrialPlan`] — the plan-aware variant
+    /// of [`Self::run_block`].
+    ///
+    /// The **plain** plan routes to [`Self::run_block`] itself (the
+    /// byte-frozen path: plain bytes are contractually inert whether or
+    /// not the plan machinery is compiled in). A non-plain plan derives
+    /// each trial's modifications from a [`PlanSampler`] keyed on
+    /// `seed_of(0)` — a pure function of the spec, so all workers,
+    /// shards, and resumed runs agree — and otherwise preserves the
+    /// kernel contract unchanged (v1 scalar order; v2 lane folding, with
+    /// weighted sums merging by addition per lane).
+    ///
+    /// Weighted plans ([`TrialPlan::is_weighted`]) require `stats` built
+    /// with [`PipelineBlockStats::with_weighted_tail`]; unweighted plans
+    /// require it absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` was built for a different stage count or its
+    /// weighted-tail configuration does not match the plan.
+    pub fn run_block_plan(
+        &self,
+        ws: &mut TrialWorkspace,
+        trials: std::ops::Range<u64>,
+        seed_of: impl Fn(u64) -> u64,
+        plan: TrialPlan,
+        stats: &mut PipelineBlockStats,
+    ) {
+        if plan.is_plain() {
+            return self.run_block(ws, trials, seed_of, stats);
+        }
+        assert_eq!(
+            stats.has_weighted_tail(),
+            plan.is_weighted(),
+            "stats weighted-tail configuration does not match the plan"
+        );
+        self.prepare_workspace(ws);
+        let mut ps = PlanSampler::new(plan, self.die_dims(), seed_of(0));
+        let weighted = plan.is_weighted();
+        match self.kernel {
+            TrialKernel::V1 => {
+                for t in trials {
+                    let (seed_index, sign) = ps.prepare_trial(t);
+                    let mut rng = StdRng::seed_from_u64(seed_of(seed_index));
+                    let (maxd, w) =
+                        self.sample_trial_plan(ws, &mut rng, sign, ps.lead(), ps.shift());
+                    if weighted {
+                        stats.record_weighted(&ws.stage_delays, maxd, w);
+                    } else {
+                        stats.record(&ws.stage_delays, maxd);
+                    }
+                }
+            }
+            TrialKernel::V2 => {
+                let mut lanes: Vec<PipelineBlockStats> =
+                    (0..V2_LANES).map(|_| stats.fresh_like()).collect();
+                for t in trials {
+                    let (seed_index, sign) = ps.prepare_trial(t);
+                    let mut rng = StdRng::seed_from_u64(seed_of(seed_index));
+                    let (maxd, w) =
+                        self.sample_trial_v2_plan(ws, &mut rng, sign, ps.lead(), ps.shift());
+                    let lane = &mut lanes[(t % V2_LANES as u64) as usize];
+                    if weighted {
+                        lane.record_weighted(&ws.stage_delays, maxd, w);
+                    } else {
+                        lane.record(&ws.stage_delays, maxd);
+                    }
                 }
                 for lane in &lanes {
                     stats.merge(lane);
@@ -682,6 +889,111 @@ mod tests {
         prepared.run_block(&mut ws, 64..128, seed_of, &mut stats);
         assert_eq!(ws.reuses(), 128, "v2 hot path must not reallocate");
         assert_eq!(stats.trials(), 128);
+    }
+
+    /// The trial-plan contract in miniature: for every strategy × kernel,
+    /// a block's bytes are a pure function of the trial range, the
+    /// unprepared runner delegates to the same arithmetic, and the bytes
+    /// are never the plain bytes.
+    #[test]
+    fn plan_blocks_are_reproducible_and_never_plain_bytes() {
+        use crate::strategy::{TrialPlan, TrialStrategy};
+        let var = VariationConfig::combined(30.0, 15.0, 10.0);
+        for strategy in [
+            TrialStrategy::Antithetic,
+            TrialStrategy::Stratified,
+            TrialStrategy::Sobol,
+            TrialStrategy::Blockade,
+        ] {
+            for kernel in [TrialKernel::V1, TrialKernel::V2] {
+                let mc = PipelineMc::new(CellLibrary::default(), var, None).with_kernel(kernel);
+                let p = pipe(3, 5);
+                let prepared = PreparedPipelineMc::new(&mc, &p);
+                let plan = TrialPlan::of(strategy);
+                let targets = [150.0];
+                let make = || {
+                    let s = PipelineBlockStats::new(p.stage_count(), &targets);
+                    if plan.is_weighted() {
+                        s.with_weighted_tail()
+                    } else {
+                        s
+                    }
+                };
+                let mut a = make();
+                let mut ws = prepared.workspace();
+                prepared.run_block_plan(&mut ws, 0..256, seed_of, plan, &mut a);
+                // Same range, warm workspace: identical bytes.
+                let mut b = make();
+                prepared.run_block_plan(&mut ws, 0..256, seed_of, plan, &mut b);
+                assert_eq!(a, b, "{strategy:?}/{kernel:?} not reproducible");
+                // The unprepared runner produces the same plan bytes.
+                let mut c = make();
+                mc.run_block_plan(&p, 0..256, seed_of, plan, &mut c);
+                assert_eq!(a, c, "PipelineMc diverged for {strategy:?}/{kernel:?}");
+                // Never the plain bytes.
+                let mut plain = PipelineBlockStats::new(p.stage_count(), &targets);
+                prepared.run_block(&mut prepared.workspace(), 0..256, seed_of, &mut plain);
+                assert_ne!(
+                    a.pipeline(),
+                    plain.pipeline(),
+                    "{strategy:?}/{kernel:?} produced plain bytes"
+                );
+            }
+        }
+    }
+
+    /// Every strategy estimates the same distribution as plain MC:
+    /// yields agree at matched confidence intervals, and the weighted
+    /// (blockade) estimator reports its effective sample size.
+    #[test]
+    fn plan_statistics_agree_with_plain_at_matched_cis() {
+        use crate::strategy::{TrialPlan, TrialStrategy};
+        let var = VariationConfig::combined(30.0, 15.0, 0.0);
+        let mc = PipelineMc::new(CellLibrary::default(), var, None).with_kernel(TrialKernel::V2);
+        let p = pipe(3, 5);
+        let prepared = PreparedPipelineMc::new(&mc, &p);
+        let n = 8192u64;
+        let mut plain = PipelineBlockStats::new(p.stage_count(), &[]);
+        prepared.run_block(&mut prepared.workspace(), 0..n, seed_of, &mut plain);
+        // Variance reduction compares at a ~90% target; the blockade
+        // (whose shift targets the deep tail) compares at mean + 3σ,
+        // the regime it exists for.
+        let targets = [
+            plain.pipeline().mean() + 1.3 * plain.pipeline().sample_sd(),
+            plain.pipeline().mean() + 3.0 * plain.pipeline().sample_sd(),
+        ];
+        let mut plain = PipelineBlockStats::new(p.stage_count(), &targets);
+        prepared.run_block(&mut prepared.workspace(), 0..n, seed_of, &mut plain);
+        for strategy in [
+            TrialStrategy::Antithetic,
+            TrialStrategy::Stratified,
+            TrialStrategy::Sobol,
+            TrialStrategy::Blockade,
+        ] {
+            let plan = TrialPlan::of(strategy);
+            let mut s = PipelineBlockStats::new(p.stage_count(), &targets);
+            if plan.is_weighted() {
+                s = s.with_weighted_tail();
+            }
+            prepared.run_block_plan(&mut prepared.workspace(), 0..n, seed_of, plan, &mut s);
+            let idx = usize::from(plan.is_weighted());
+            let py = plain.yield_estimate(idx);
+            let y = if plan.is_weighted() {
+                s.weighted_yield_estimate(idx)
+            } else {
+                s.yield_estimate(idx)
+            };
+            assert!(
+                y.lo <= py.hi && py.lo <= y.hi,
+                "{strategy:?} yield CI {y:?} disjoint from plain {py:?}"
+            );
+            if plan.is_weighted() {
+                let ess = s.effective_samples();
+                assert!(ess > 0.0 && ess < n as f64, "blockade ESS {ess}");
+            } else {
+                assert_eq!(s.effective_samples(), s.trials() as f64);
+            }
+        }
     }
 
     #[test]

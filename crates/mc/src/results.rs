@@ -1,7 +1,9 @@
 //! Monte-Carlo configuration and result containers.
 
 use serde::{Deserialize, Serialize};
-use vardelay_stats::{cap_phi, Histogram, Quantiles, RunningStats};
+use vardelay_stats::{
+    cap_phi, effective_sample_size, weighted_fraction_ci, Histogram, Quantiles, RunningStats,
+};
 
 /// Optional fixed-range histogram attached to a block accumulator.
 ///
@@ -106,6 +108,32 @@ impl YieldEstimate {
     }
 }
 
+/// Running importance-sampling sums for the weighted tail estimator.
+///
+/// Tracked per block when a reweighted trial plan (statistical
+/// blockade) is active: total weight, total squared weight, and the
+/// same sums restricted to *failing* trials (`delay > target`) for each
+/// yield target. Sums merge by addition, so the weighted estimator
+/// inherits the block-merge determinism contract unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WeightedTail {
+    sum_w: f64,
+    sum_w2: f64,
+    fail_w: Vec<f64>,
+    fail_w2: Vec<f64>,
+}
+
+impl WeightedTail {
+    fn new(targets: usize) -> Self {
+        WeightedTail {
+            sum_w: 0.0,
+            sum_w2: 0.0,
+            fail_w: vec![0.0; targets],
+            fail_w2: vec![0.0; targets],
+        }
+    }
+}
+
 /// Streaming statistics of a block of pipeline Monte-Carlo trials —
 /// the unit of work the sweep engine fans out across workers.
 ///
@@ -122,6 +150,7 @@ pub struct PipelineBlockStats {
     targets: Vec<f64>,
     successes: Vec<u64>,
     histogram: Option<Histogram>,
+    weighted: Option<WeightedTail>,
 }
 
 impl PipelineBlockStats {
@@ -134,7 +163,18 @@ impl PipelineBlockStats {
             targets: targets.to_vec(),
             successes: vec![0; targets.len()],
             histogram: None,
+            weighted: None,
         }
+    }
+
+    /// Enables the weighted (importance-sampling) tail accumulator.
+    ///
+    /// Blocks fed by a reweighted trial plan call
+    /// [`PipelineBlockStats::record_weighted`] and read yields back via
+    /// [`PipelineBlockStats::weighted_yield_estimate`].
+    pub fn with_weighted_tail(mut self) -> Self {
+        self.weighted = Some(WeightedTail::new(self.targets.len()));
+        self
     }
 
     /// Adds a fixed-range histogram of the pipeline delay.
@@ -161,6 +201,10 @@ impl PipelineBlockStats {
                 .histogram
                 .as_ref()
                 .map(|h| Histogram::new(h.lo(), h.hi(), h.counts().len())),
+            weighted: self
+                .weighted
+                .as_ref()
+                .map(|_| WeightedTail::new(self.targets.len())),
         }
     }
 
@@ -187,6 +231,33 @@ impl PipelineBlockStats {
         }
     }
 
+    /// Folds one *weighted* trial into the block.
+    ///
+    /// The unweighted moments, success counts, and histogram are updated
+    /// exactly as [`PipelineBlockStats::record`] does — they describe
+    /// the *sampled* (e.g. mean-shifted) distribution — while the
+    /// importance weight `w` feeds the reweighted tail sums that
+    /// estimate the unshifted yields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weighted tail accumulator was not enabled.
+    pub fn record_weighted(&mut self, stage_delays: &[f64], pipeline_delay: f64, w: f64) {
+        self.record(stage_delays, pipeline_delay);
+        let tail = self
+            .weighted
+            .as_mut()
+            .expect("record_weighted requires with_weighted_tail");
+        tail.sum_w += w;
+        tail.sum_w2 += w * w;
+        for (i, &t) in self.targets.iter().enumerate() {
+            if pipeline_delay > t {
+                tail.fail_w[i] += w;
+                tail.fail_w2[i] += w * w;
+            }
+        }
+    }
+
     /// Merges a block of later trials into this one.
     ///
     /// # Panics
@@ -210,6 +281,20 @@ impl PipelineBlockStats {
             (Some(a), Some(b)) => a.merge(b),
             (None, None) => {}
             _ => panic!("histogram configuration mismatch"),
+        }
+        match (&mut self.weighted, &other.weighted) {
+            (Some(a), Some(b)) => {
+                a.sum_w += b.sum_w;
+                a.sum_w2 += b.sum_w2;
+                for (acc, s) in a.fail_w.iter_mut().zip(&b.fail_w) {
+                    *acc += s;
+                }
+                for (acc, s) in a.fail_w2.iter_mut().zip(&b.fail_w2) {
+                    *acc += s;
+                }
+            }
+            (None, None) => {}
+            _ => panic!("weighted-tail configuration mismatch"),
         }
     }
 
@@ -245,6 +330,72 @@ impl PipelineBlockStats {
     /// Panics if `i` is out of range or no trials were recorded.
     pub fn yield_estimate(&self, i: usize) -> YieldEstimate {
         YieldEstimate::from_counts(self.successes[i] as usize, self.trials() as usize)
+    }
+
+    /// Whether the weighted tail accumulator is enabled.
+    pub fn has_weighted_tail(&self) -> bool {
+        self.weighted.is_some()
+    }
+
+    /// Reweighted (importance-sampling) yield estimate at target `i`:
+    /// `1 - p_fail` under the unnormalized unbiased estimator
+    /// `p_fail = (sum of failing weights) / trials`, with a 95%
+    /// interval from the sample variance of the weighted indicator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range, no trials were recorded, or the
+    /// weighted tail accumulator was not enabled.
+    pub fn weighted_yield_estimate(&self, i: usize) -> YieldEstimate {
+        assert!(
+            self.trials() > 0,
+            "yield estimate requires at least one trial"
+        );
+        let tail = self
+            .weighted
+            .as_ref()
+            .expect("weighted_yield_estimate requires with_weighted_tail");
+        let (p_fail, hw) =
+            weighted_fraction_ci(self.trials() as f64, tail.fail_w[i], tail.fail_w2[i]);
+        let value = 1.0 - p_fail;
+        YieldEstimate {
+            value,
+            lo: (value - hw).max(0.0),
+            hi: (value + hw).min(1.0),
+            trials: self.trials() as usize,
+        }
+    }
+
+    /// 95% half-width of the yield estimate at target `i`, *before* the
+    /// interval is clamped to `[0, 1]` — the quantity a CI-driven
+    /// verification loop compares against its tolerance (clamping would
+    /// understate the uncertainty of near-0/near-1 yields and stop the
+    /// loop too early). Routes through the weighted estimator when the
+    /// weighted tail is enabled, else the binomial normal approximation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn yield_half_width(&self, i: usize) -> f64 {
+        let n = self.trials() as f64;
+        match &self.weighted {
+            Some(t) => weighted_fraction_ci(n, t.fail_w[i], t.fail_w2[i]).1,
+            None => {
+                // All weights are 1, so the weighted formula reduces to
+                // the unweighted binomial half-width Z·√(p(1−p)/n).
+                let fails = (self.trials() - self.successes[i]) as f64;
+                weighted_fraction_ci(n, fails, fails).1
+            }
+        }
+    }
+
+    /// Kish effective sample size of the recorded trials: equals the
+    /// raw trial count when no weighted tail is active (all weights 1).
+    pub fn effective_samples(&self) -> f64 {
+        match &self.weighted {
+            Some(t) => effective_sample_size(t.sum_w, t.sum_w2),
+            None => self.trials() as f64,
+        }
     }
 }
 

@@ -635,6 +635,32 @@ pub fn metrics_json(info: &RunInfo<'_>, agg: &Aggregate) -> String {
     out.push_str(&format!(
         "  \"trials_by_kernel\": {{\"v1\": {trials_v1}, \"v2\": {trials_v2}}},\n"
     ));
+    // Trial-plan attribution: each non-plain strategy counts its trials
+    // under its own counter (in addition to the kernel counter above);
+    // plain is the remainder. The "ess" counter is the summed Kish
+    // effective sample size of weighted (blockade) runs.
+    let by_strategy: Vec<(&str, u64)> = [
+        ("antithetic", "trials_antithetic"),
+        ("stratified", "trials_stratified"),
+        ("sobol", "trials_sobol"),
+        ("blockade", "trials_blockade"),
+    ]
+    .iter()
+    .map(|&(label, counter)| (label, agg.counter(counter)))
+    .collect();
+    let shaped: u64 = by_strategy.iter().map(|&(_, n)| n).sum();
+    out.push_str(&format!(
+        "  \"trials_by_strategy\": {{\"plain\": {}",
+        trials.saturating_sub(shaped)
+    ));
+    for (label, n) in &by_strategy {
+        out.push_str(&format!(", \"{label}\": {n}"));
+    }
+    out.push_str("},\n");
+    let ess = agg.counter("ess");
+    if ess > 0 {
+        out.push_str(&format!("  \"effective_samples\": {ess},\n"));
+    }
     let tps = if info.wall_ms > 0.0 {
         trials as f64 / (info.wall_ms / 1.0e3)
     } else {
@@ -844,6 +870,10 @@ mod tests {
             counter("trials", 256);
             let _sp2 = span("mc", "block_v2").value(512.0);
             counter("trials_v2", 512);
+            let _sp3 = span("mc", "block_stratified").value(256.0);
+            counter("trials", 256);
+            counter("trials_stratified", 256);
+            counter("ess", 100);
         }
         let rec = s.finish();
         let agg = aggregate(&rec);
@@ -871,8 +901,15 @@ mod tests {
         assert!(json.contains("\"mc/block_v2\""));
         // The top-level total folds both kernels' trial counters; the
         // per-kernel split is reported alongside.
-        assert!(json.contains("\"trials\": 768"));
-        assert!(json.contains("\"trials_by_kernel\": {\"v1\": 256, \"v2\": 512}"));
+        assert!(json.contains("\"trials\": 1024"));
+        assert!(json.contains("\"trials_by_kernel\": {\"v1\": 512, \"v2\": 512}"));
+        // Strategy attribution: the stratified trials came out of the
+        // kernel totals, plain is the remainder.
+        assert!(json.contains(
+            "\"trials_by_strategy\": {\"plain\": 768, \"antithetic\": 0, \
+             \"stratified\": 256, \"sobol\": 0, \"blockade\": 0}"
+        ));
+        assert!(json.contains("\"effective_samples\": 100"));
     }
 
     #[test]

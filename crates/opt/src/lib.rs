@@ -22,6 +22,9 @@
 //! * [`target`] — target-delay selection ([`TargetDelayPolicy`]): an
 //!   absolute delay, or the Tables II/III sized-frontier quantile
 //!   previously hand-rolled by the bench binaries.
+//! * [`verify`] — CI-driven chunked Monte-Carlo yield verification:
+//!   variance-reduced trial plans stop at a requested confidence
+//!   half-width instead of always spending the full budget.
 //!
 //! # Example
 //!
@@ -52,10 +55,12 @@ pub mod area_delay;
 pub mod global;
 pub mod sizing;
 pub mod target;
+pub mod verify;
 pub mod yield_eval;
 
 pub use area_delay::AreaDelayCurve;
 pub use global::{GlobalPipelineOptimizer, OptimizationGoal, OptimizationReport};
 pub use sizing::{SizingConfig, SizingResult, StatisticalSizer};
 pub use target::{ResolvedTarget, TargetDelayPolicy};
+pub use verify::{verify_yield, VerifiedYield, VERIFY_CHUNK_TRIALS};
 pub use yield_eval::{AnalyticYieldEval, NetlistMcYieldEval, PipelineYieldEval, MAX_EVAL_TRIALS};

@@ -10,6 +10,7 @@ use rand::Rng;
 
 use vardelay_stats::batch::fill_standard_normals_bm;
 use vardelay_stats::normal::sample_standard_normal;
+use vardelay_stats::strata::mean_shift_weight;
 
 use crate::pelgrom::pelgrom_sigma;
 use crate::spatial::{DiePosition, SpatialCorrelator, SpatialGrid};
@@ -153,6 +154,130 @@ impl ProcessSampler {
         } else {
             die.region_dvth.clear();
         }
+    }
+
+    /// The **trial-plan** die sampler (v1 kernel): the strategy-modified
+    /// variant of [`ProcessSampler::sample_die_into`]. The RNG is
+    /// consumed exactly as the plain sampler does (one draw per die-level
+    /// dim, in the same order) and the modifications are overlaid on the
+    /// stream:
+    ///
+    /// * each die-level standard normal becomes
+    ///   `sign * lead.get(dim).unwrap_or(drawn)` — `lead` carries the
+    ///   stratified/Sobol overrides for the leading dims (dim 0 is the
+    ///   inter-die normal when configured, then the region normals), and
+    ///   `sign` is the antithetic reflection (always `1.0` when `lead`
+    ///   is non-empty);
+    /// * when `shift != 0` and an inter-die component is configured, the
+    ///   inter-die normal is mean-shifted by `shift` sigmas and the
+    ///   trial's importance weight (the returned value) is the
+    ///   likelihood ratio `exp(-shift·z - shift²/2)`; otherwise the
+    ///   weight is `1.0`.
+    pub fn sample_die_into_plan<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sign: f64,
+        lead: &[f64],
+        shift: f64,
+        z: &mut Vec<f64>,
+        die: &mut DieSample,
+    ) -> f64 {
+        let mut weight = 1.0;
+        let mut dim = 0usize;
+        die.global_dvth = if self.variation.has_inter() {
+            let drawn = sample_standard_normal(rng);
+            let mut n0 = sign * lead.get(dim).copied().unwrap_or(drawn);
+            dim += 1;
+            if shift != 0.0 {
+                weight = mean_shift_weight(shift, n0);
+                n0 += shift;
+            }
+            self.variation.sigma_vth_inter_v() * n0
+        } else {
+            0.0
+        };
+        if self.variation.has_systematic() {
+            let corr = self
+                .correlator
+                .as_ref()
+                .expect("systematic variation implies a grid");
+            z.resize(corr.region_count(), 0.0);
+            die.region_dvth.resize(corr.region_count(), 0.0);
+            for zi in z.iter_mut() {
+                let drawn = sample_standard_normal(rng);
+                *zi = sign * lead.get(dim).copied().unwrap_or(drawn);
+                dim += 1;
+            }
+            corr.correlate_into(z, &mut die.region_dvth);
+            let s = self.variation.sigma_vth_sys_v();
+            for v in &mut die.region_dvth {
+                *v *= s;
+            }
+        } else {
+            die.region_dvth.clear();
+        }
+        weight
+    }
+
+    /// The **trial-plan** die sampler under the v2 kernel: fills the
+    /// die-level normals exactly as [`ProcessSampler::sample_die_into_v2`]
+    /// (one batch Box–Muller fill), then overlays the plan modifications
+    /// — leading-dim overrides, antithetic sign, inter-die mean shift —
+    /// with the same semantics as
+    /// [`ProcessSampler::sample_die_into_plan`]. Returns the trial's
+    /// importance weight.
+    pub fn sample_die_into_v2_plan<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sign: f64,
+        lead: &[f64],
+        shift: f64,
+        z: &mut Vec<f64>,
+        die: &mut DieSample,
+    ) -> f64 {
+        let n_inter = usize::from(self.variation.has_inter());
+        let regions = self.region_value_count();
+        if n_inter + regions == 0 {
+            die.global_dvth = 0.0;
+            die.region_dvth.clear();
+            return 1.0;
+        }
+        z.resize(n_inter + regions, 0.0);
+        fill_standard_normals_bm(rng, z);
+        for (zi, &l) in z.iter_mut().zip(lead) {
+            *zi = l;
+        }
+        if sign != 1.0 {
+            for zi in z.iter_mut() {
+                *zi *= sign;
+            }
+        }
+        let mut weight = 1.0;
+        die.global_dvth = if n_inter == 1 {
+            let mut n0 = z[0];
+            if shift != 0.0 {
+                weight = mean_shift_weight(shift, n0);
+                n0 += shift;
+            }
+            self.variation.sigma_vth_inter_v() * n0
+        } else {
+            0.0
+        };
+        if regions > 0 {
+            let corr = self
+                .correlator
+                .as_ref()
+                .expect("systematic variation implies a grid");
+            die.region_dvth.resize(regions, 0.0);
+            corr.correlate_into(&z[n_inter..], &mut die.region_dvth);
+            let s = self.variation.sigma_vth_sys_v();
+            for v in &mut die.region_dvth {
+                *v *= s;
+            }
+        } else {
+            die.region_dvth.clear();
+        }
+        weight
     }
 
     /// The **v2-kernel** die sampler: same component semantics as
@@ -318,6 +443,83 @@ mod tests {
         none.sample_die_into_v2(&mut rng, &mut z, &mut die);
         assert_eq!(die.global_dvth, 0.0);
         assert!(die.region_dvth.is_empty());
+    }
+
+    #[test]
+    fn plan_sampler_with_identity_mods_matches_plain_bit_for_bit() {
+        // sign 1, no overrides, no shift: the plan sampler must replay
+        // the plain stream exactly (weight 1, identical bits) under both
+        // kernels' fills.
+        let s = ProcessSampler::new(VariationConfig::combined(20.0, 35.0, 15.0), None);
+        let mut za = Vec::new();
+        let mut zb = Vec::new();
+        let mut a = DieSample::default();
+        let mut b = DieSample::default();
+        for seed in 0..20u64 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            s.sample_die_into(&mut r1, &mut za, &mut a);
+            let w = s.sample_die_into_plan(&mut r2, 1.0, &[], 0.0, &mut zb, &mut b);
+            assert_eq!(w, 1.0);
+            assert_eq!(a, b);
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            s.sample_die_into_v2(&mut r1, &mut za, &mut a);
+            let w = s.sample_die_into_v2_plan(&mut r2, 1.0, &[], 0.0, &mut zb, &mut b);
+            assert_eq!(w, 1.0);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn antithetic_sign_reflects_every_die_component() {
+        // The die is linear in its standard normals, so sign -1 must
+        // negate the inter-die shift and every region value exactly.
+        let s = ProcessSampler::new(VariationConfig::combined(20.0, 0.0, 15.0), None);
+        let mut za = Vec::new();
+        let mut zb = Vec::new();
+        let mut a = DieSample::default();
+        let mut b = DieSample::default();
+        for seed in [3u64, 0xA5A5] {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            s.sample_die_into_plan(&mut r1, 1.0, &[], 0.0, &mut za, &mut a);
+            s.sample_die_into_plan(&mut r2, -1.0, &[], 0.0, &mut zb, &mut b);
+            assert_eq!(a.global_dvth, -b.global_dvth);
+            for (x, y) in a.region_dvth.iter().zip(&b.region_dvth) {
+                assert_eq!(*x, -*y, "region values must reflect");
+            }
+        }
+    }
+
+    #[test]
+    fn lead_overrides_replace_the_leading_dims() {
+        let s = ProcessSampler::new(VariationConfig::inter_only(40.0), None);
+        let mut z = Vec::new();
+        let mut die = DieSample::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = s.sample_die_into_plan(&mut rng, 1.0, &[2.5], 0.0, &mut z, &mut die);
+        assert_eq!(w, 1.0);
+        assert!((die.global_dvth - 0.040 * 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn blockade_shift_carries_the_likelihood_ratio() {
+        let s = ProcessSampler::new(VariationConfig::inter_only(40.0), None);
+        let shift = 3.0;
+        let mut z = Vec::new();
+        let mut plain = DieSample::default();
+        let mut shifted = DieSample::default();
+        for seed in 0..50u64 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            s.sample_die_into(&mut r1, &mut z, &mut plain);
+            let w = s.sample_die_into_plan(&mut r2, 1.0, &[], shift, &mut z, &mut shifted);
+            let z0 = plain.global_dvth / 0.040;
+            assert!((shifted.global_dvth - 0.040 * (z0 + shift)).abs() < 1e-12);
+            let want = vardelay_stats::mean_shift_weight(shift, z0);
+            assert!((w - want).abs() / want < 1e-9, "weight {w} vs {want}");
+        }
     }
 
     #[test]

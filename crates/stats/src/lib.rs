@@ -20,6 +20,10 @@
 //!   `ln`/`exp` kernels for the versioned v2 Monte-Carlo trial kernel.
 //! * [`ks`] — Kolmogorov–Smirnov distance between samples and a reference
 //!   distribution, used to validate analytical models against Monte-Carlo.
+//! * [`sobol`] — hand-rolled Sobol low-discrepancy sequences with
+//!   counter-based digital-shift scrambling for the QMC trial plan.
+//! * [`strata`] — stratified-sampling permutations and the reweighted
+//!   (importance-sampling) estimator math for the trial-plan contracts.
 //!
 //! # Example
 //!
@@ -47,6 +51,8 @@ pub mod matrix;
 pub mod mix;
 pub mod mvn;
 pub mod normal;
+pub mod sobol;
+pub mod strata;
 
 pub use batch::{
     exp_approx, fill_standard_normals_bm, fill_standard_normals_inv_cdf, ln_one_minus,
@@ -59,3 +65,8 @@ pub use matrix::SymMatrix;
 pub use mix::{counter_seed, splitmix64_mix};
 pub use mvn::MultivariateNormal;
 pub use normal::{cap_phi, erf, erfc, inv_cap_phi, phi, Normal, NormalError};
+pub use sobol::{sobol_shift, SobolSequence, SOBOL_MAX_DIMS};
+pub use strata::{
+    effective_sample_size, mean_shift_weight, permute256, stratified_uniform, stratum_key,
+    weighted_fraction_ci,
+};

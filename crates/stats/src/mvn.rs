@@ -166,6 +166,81 @@ impl MultivariateNormal {
         }
     }
 
+    /// The **trial-plan** correlated sampler: like
+    /// [`MultivariateNormal::sample_into`] but with the strategy
+    /// modifications overlaid on the iid normals before the Cholesky
+    /// transform — each `z_d` becomes `sign * lead.get(d).unwrap_or(drawn)`
+    /// (the RNG is consumed exactly as the plain sampler), and when
+    /// `shift != 0` the first normal is mean-shifted by `shift` with the
+    /// likelihood-ratio weight returned. The plain plan must keep using
+    /// `sample` / `sample_into`, whose bytes are frozen.
+    pub fn sample_into_plan<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sign: f64,
+        lead: &[f64],
+        shift: f64,
+        z: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> f64 {
+        z.resize(self.dim(), 0.0);
+        out.resize(self.dim(), 0.0);
+        for (d, zi) in z.iter_mut().enumerate() {
+            let drawn = sample_standard_normal(rng);
+            *zi = sign * lead.get(d).copied().unwrap_or(drawn);
+        }
+        let weight = self.apply_shift(shift, z);
+        self.chol.transform_into(z, out);
+        for (yi, mi) in out.iter_mut().zip(&self.mean) {
+            *yi += mi;
+        }
+        weight
+    }
+
+    /// The **trial-plan** sampler under the v2 kernel: the batch
+    /// Box–Muller fill of [`MultivariateNormal::sample_into_v2`] with the
+    /// same modification overlay as
+    /// [`MultivariateNormal::sample_into_plan`]. Returns the trial's
+    /// importance weight.
+    pub fn sample_into_v2_plan<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sign: f64,
+        lead: &[f64],
+        shift: f64,
+        z: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> f64 {
+        z.resize(self.dim(), 0.0);
+        out.resize(self.dim(), 0.0);
+        crate::batch::fill_standard_normals_bm(rng, z);
+        for (zi, &l) in z.iter_mut().zip(lead) {
+            *zi = l;
+        }
+        if sign != 1.0 {
+            for zi in z.iter_mut() {
+                *zi *= sign;
+            }
+        }
+        let weight = self.apply_shift(shift, z);
+        self.chol.transform_into(z, out);
+        for (yi, mi) in out.iter_mut().zip(&self.mean) {
+            *yi += mi;
+        }
+        weight
+    }
+
+    /// Mean-shifts `z[0]` by `shift` sigmas and returns the likelihood
+    /// ratio (1.0 when `shift == 0` or the distribution is empty).
+    fn apply_shift(&self, shift: f64, z: &mut [f64]) -> f64 {
+        if shift == 0.0 || z.is_empty() {
+            return 1.0;
+        }
+        let w = crate::strata::mean_shift_weight(shift, z[0]);
+        z[0] += shift;
+        w
+    }
+
     /// Draws `n` samples, returned row-wise.
     pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Vec<f64>> {
         (0..n).map(|_| self.sample(rng)).collect()
@@ -300,6 +375,53 @@ mod tests {
             / (xs.len() as f64 - 1.0);
         let rho = cov / (st.sd[0] * st.sd[1]);
         assert!((rho - 0.7).abs() < 0.02, "rho {rho}");
+    }
+
+    #[test]
+    fn plan_sampler_with_identity_mods_matches_plain_bit_for_bit() {
+        let corr = CorrelationMatrix::uniform(3, 0.5).unwrap();
+        let mvn = MultivariateNormal::from_correlation(&[1.0, 2.0, 3.0], &[0.5, 1.0, 2.0], &corr)
+            .unwrap();
+        let (mut z, mut a, mut b) = (Vec::new(), Vec::new(), Vec::new());
+        for seed in 0..20u64 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            mvn.sample_into(&mut r1, &mut z, &mut a);
+            let w = mvn.sample_into_plan(&mut r2, 1.0, &[], 0.0, &mut z, &mut b);
+            assert_eq!(w, 1.0);
+            assert_eq!(a, b);
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            mvn.sample_into_v2(&mut r1, &mut z, &mut a);
+            let w = mvn.sample_into_v2_plan(&mut r2, 1.0, &[], 0.0, &mut z, &mut b);
+            assert_eq!(w, 1.0);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn plan_sampler_reflects_and_shifts() {
+        let corr = CorrelationMatrix::uniform(2, 0.3).unwrap();
+        let mvn = MultivariateNormal::from_correlation(&[10.0, 20.0], &[1.0, 2.0], &corr).unwrap();
+        let (mut z, mut a, mut b) = (Vec::new(), Vec::new(), Vec::new());
+        // Antithetic reflection symmetry: the reflected draw mirrors the
+        // original around the mean, exactly.
+        let mut r1 = StdRng::seed_from_u64(77);
+        let mut r2 = StdRng::seed_from_u64(77);
+        mvn.sample_into_plan(&mut r1, 1.0, &[], 0.0, &mut z, &mut a);
+        mvn.sample_into_plan(&mut r2, -1.0, &[], 0.0, &mut z, &mut b);
+        for ((x, y), m) in a.iter().zip(&b).zip([10.0, 20.0]) {
+            assert!(((x - m) + (y - m)).abs() < 1e-12, "{x} and {y} around {m}");
+        }
+        // Lead override pins the first normal.
+        let mut r = StdRng::seed_from_u64(5);
+        mvn.sample_into_plan(&mut r, 1.0, &[1.5, -0.5], 0.0, &mut z, &mut a);
+        let mut r = StdRng::seed_from_u64(5);
+        let w = mvn.sample_into_plan(&mut r, 1.0, &[1.5, -0.5], 2.0, &mut z, &mut b);
+        // Shift moves z0 by 2 sigmas through the Cholesky first column
+        // and carries the likelihood ratio of the pre-shift normal.
+        assert!((w - crate::strata::mean_shift_weight(2.0, 1.5)).abs() < 1e-12);
+        assert!(b[0] > a[0]);
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Sobol low-discrepancy sequences with counter-based digital-shift
+//! scrambling.
+//!
+//! The quasi-Monte-Carlo trial plan replaces the leading (die-level)
+//! standard-normal draws of each trial with quantile-transformed Sobol
+//! points. The sequence is generated from hand-rolled direction numbers
+//! (primitive polynomials over GF(2) with odd initial values, the
+//! classic Sobol'/Joe–Kuo construction), so no external tables or crates
+//! are needed. Points are addressed randomly by *global trial index* via
+//! the binary-expansion XOR form — not the Gray-code increment form — so
+//! any shard can produce its own slice of the sequence without
+//! coordination, matching the counter-based seeding discipline used
+//! everywhere else in the workspace.
+//!
+//! Scrambling is a per-dimension digital shift (XOR with a fixed 32-bit
+//! mask derived from the scenario's counter stream). A digital shift
+//! preserves the net structure of the sequence — and therefore its
+//! low-discrepancy guarantees — while decorrelating scenarios that share
+//! a trial plan.
+
+use crate::mix::splitmix64_mix;
+
+/// Number of dimensions the embedded direction-number table supports.
+///
+/// Trial plans cap the quasi-random (or stratified) dimensions at this
+/// value; deeper dimensions fall back to the plain counter-based stream,
+/// which is where QMC stops paying off anyway.
+pub const SOBOL_MAX_DIMS: usize = 16;
+
+/// Bits of precision per coordinate (and the index-space limit `2^32`).
+const SOBOL_BITS: usize = 32;
+
+/// Primitive polynomial + initial direction numbers for one dimension:
+/// `(degree s, interior coefficients a, m_1..m_s)`. The first dimension
+/// (van der Corput) is handled specially and is not listed here.
+///
+/// Polynomials are primitive over GF(2) (`a` encodes the coefficients of
+/// `x^{s-1}..x^1`; leading and trailing coefficients are implicit 1s) and
+/// every `m_i` is odd with `m_i < 2^i`, the two conditions the Sobol'
+/// construction requires.
+const DIRECTION_SEEDS: [(u32, u32, [u32; 6]); SOBOL_MAX_DIMS - 1] = [
+    (1, 0, [1, 0, 0, 0, 0, 0]),
+    (2, 1, [1, 3, 0, 0, 0, 0]),
+    (3, 1, [1, 3, 1, 0, 0, 0]),
+    (3, 2, [1, 1, 1, 0, 0, 0]),
+    (4, 1, [1, 1, 3, 3, 0, 0]),
+    (4, 4, [1, 3, 5, 13, 0, 0]),
+    (5, 2, [1, 1, 5, 5, 17, 0]),
+    (5, 4, [1, 1, 5, 5, 5, 0]),
+    (5, 7, [1, 1, 7, 11, 19, 0]),
+    (5, 11, [1, 1, 5, 1, 1, 0]),
+    (5, 13, [1, 1, 1, 3, 11, 0]),
+    (5, 14, [1, 3, 5, 5, 31, 0]),
+    (6, 1, [1, 3, 3, 9, 7, 49]),
+    (6, 13, [1, 1, 1, 15, 21, 21]),
+    (6, 16, [1, 3, 1, 13, 27, 49]),
+];
+
+/// Direction numbers for up to [`SOBOL_MAX_DIMS`] dimensions, expanded
+/// once at construction from the embedded seeds.
+#[derive(Debug, Clone)]
+pub struct SobolSequence {
+    /// `v[dim][bit]`: the direction number XORed in when `bit` of the
+    /// point index is set.
+    v: Vec<[u32; SOBOL_BITS]>,
+}
+
+impl SobolSequence {
+    /// Expands direction numbers for `dims` dimensions (clamped to
+    /// [`SOBOL_MAX_DIMS`]).
+    #[must_use]
+    pub fn new(dims: usize) -> Self {
+        let dims = dims.min(SOBOL_MAX_DIMS);
+        let mut v = Vec::with_capacity(dims);
+        for dim in 0..dims {
+            v.push(direction_numbers(dim));
+        }
+        Self { v }
+    }
+
+    /// Number of dimensions this table covers.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.v.len()
+    }
+
+    /// The raw 32-bit Sobol coordinate for `(dim, index)`.
+    ///
+    /// Random access: XORs the direction numbers selected by the binary
+    /// expansion of `index`, so shards can evaluate disjoint index
+    /// ranges independently. Indices at or above `2^32` wrap (the
+    /// workspace trial cap sits far below that).
+    #[must_use]
+    pub fn point_u32(&self, dim: usize, index: u64) -> u32 {
+        let mut bits = index as u32;
+        let table = &self.v[dim];
+        let mut x = 0u32;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            x ^= table[j];
+            bits &= bits - 1;
+        }
+        x
+    }
+
+    /// The digitally-shifted coordinate mapped into the open unit
+    /// interval: `((x ^ shift) + 0.5) / 2^32`, never exactly 0 or 1, so
+    /// it is safe to feed straight into a quantile function.
+    #[must_use]
+    pub fn scrambled_uniform(&self, dim: usize, index: u64, shift: u32) -> f64 {
+        (f64::from(self.point_u32(dim, index) ^ shift) + 0.5) * (1.0 / 4_294_967_296.0)
+    }
+}
+
+/// A per-dimension 32-bit digital-shift mask derived from a scenario
+/// stream key, so two scenarios sharing a Sobol plan still draw
+/// decorrelated point sets.
+#[must_use]
+pub fn sobol_shift(stream_key: u64, dim: usize) -> u32 {
+    (splitmix64_mix(stream_key ^ 0x0005_0B01_D1F7_u64.wrapping_add(dim as u64)) >> 32) as u32
+}
+
+/// Expands the direction numbers for one dimension.
+fn direction_numbers(dim: usize) -> [u32; SOBOL_BITS] {
+    let mut m = [0u32; SOBOL_BITS];
+    if dim == 0 {
+        // Van der Corput in base 2: m_i = 1 for all i.
+        m = [1; SOBOL_BITS];
+    } else {
+        let (s, a, seeds) = DIRECTION_SEEDS[dim - 1];
+        let s = s as usize;
+        m[..s].copy_from_slice(&seeds[..s]);
+        for i in s..SOBOL_BITS {
+            // m_i = m_{i-s} ^ (m_{i-s} << s) ^ sum_k a_k (m_{i-k} << k)
+            let mut mi = m[i - s] ^ (m[i - s] << s);
+            for k in 1..s {
+                if (a >> (s - 1 - k)) & 1 == 1 {
+                    mi ^= m[i - k] << k;
+                }
+            }
+            m[i] = mi;
+        }
+    }
+    let mut v = [0u32; SOBOL_BITS];
+    for (i, vi) in v.iter_mut().enumerate() {
+        *vi = m[i] << (SOBOL_BITS - 1 - i);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_seeds_satisfy_sobol_preconditions() {
+        for (s, a, seeds) in DIRECTION_SEEDS {
+            assert!(a < (1 << (s.saturating_sub(1)).max(1)) || s == 1);
+            for (i, &mi) in seeds[..s as usize].iter().enumerate() {
+                assert_eq!(mi % 2, 1, "m_{} must be odd", i + 1);
+                assert!(mi < (2 << i), "m_{} = {mi} out of range", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn first_dimension_is_van_der_corput() {
+        let s = SobolSequence::new(1);
+        // Index i reversed in base 2: 1 -> 0.5, 2 -> 0.25, 3 -> 0.75.
+        assert_eq!(s.point_u32(0, 0), 0);
+        assert_eq!(s.point_u32(0, 1), 1 << 31);
+        assert_eq!(s.point_u32(0, 2), 1 << 30);
+        assert_eq!(s.point_u32(0, 3), (1 << 31) | (1 << 30));
+    }
+
+    #[test]
+    fn every_dimension_equidistributes_dyadic_intervals() {
+        // The defining (0, m, 1)-net property in each single dimension:
+        // the first 2^k points land exactly once in each of the 2^k
+        // dyadic subintervals. This holds for any valid Sobol'
+        // direction-number set and fails for a broken recurrence.
+        let s = SobolSequence::new(SOBOL_MAX_DIMS);
+        for dim in 0..s.dims() {
+            let k = 6u32;
+            let cells = 1u64 << k;
+            let mut seen = vec![0u32; cells as usize];
+            for i in 0..cells {
+                let cell = (u64::from(s.point_u32(dim, i)) * cells) >> 32;
+                seen[cell as usize] += 1;
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "dim {dim} not equidistributed: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairs_of_dimensions_stratify_jointly() {
+        // 2-d projections of a (t,s)-net fill a coarse grid far more
+        // evenly than iid uniforms: with 256 points on a 4x4 grid every
+        // cell must be hit close to 16 times.
+        let s = SobolSequence::new(SOBOL_MAX_DIMS);
+        for da in 0..s.dims() {
+            for db in (da + 1)..s.dims() {
+                let mut cells = [0u32; 16];
+                for i in 0..256u64 {
+                    let a = (u64::from(s.point_u32(da, i)) * 4) >> 32;
+                    let b = (u64::from(s.point_u32(db, i)) * 4) >> 32;
+                    cells[(a * 4 + b) as usize] += 1;
+                }
+                for (c, &n) in cells.iter().enumerate() {
+                    assert!((8..=24).contains(&n), "dims ({da},{db}) cell {c}: {n} hits");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn digital_shift_preserves_equidistribution() {
+        let s = SobolSequence::new(4);
+        let shift = sobol_shift(0xDEAD_BEEF, 2);
+        let cells = 64u64;
+        let mut seen = vec![0u32; cells as usize];
+        for i in 0..cells {
+            let u = s.scrambled_uniform(2, i, shift);
+            assert!(u > 0.0 && u < 1.0);
+            let cell = (u * cells as f64) as usize;
+            seen[cell] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn sobol_beats_plain_mc_on_a_smooth_integrand() {
+        // Integrate f(u) = prod_d (1 + (u_d - 0.5)) over [0,1]^6; the
+        // exact value is 1. QMC error at n = 4096 must beat the plain
+        // counter-based MC estimate by a wide margin (ISSUE 9 satellite:
+        // low-discrepancy bound vs plain MC on a known integrand).
+        const DIMS: usize = 6;
+        const N: u64 = 4096;
+        let s = SobolSequence::new(DIMS);
+        let shifts: Vec<u32> = (0..DIMS).map(|d| sobol_shift(7, d)).collect();
+        let mut qmc = 0.0;
+        let mut mc = 0.0;
+        for i in 0..N {
+            let mut fq = 1.0;
+            let mut fm = 1.0;
+            for (d, &shift) in shifts.iter().enumerate() {
+                fq *= 1.0 + (s.scrambled_uniform(d, i, shift) - 0.5);
+                let raw = splitmix64_mix(crate::mix::counter_seed(11, i) ^ (d as u64) << 40);
+                fm *= 1.0 + (crate::batch::uniform_open_from_u64(raw) - 0.5);
+            }
+            qmc += fq;
+            mc += fm;
+        }
+        let qmc_err = (qmc / N as f64 - 1.0).abs();
+        let mc_err = (mc / N as f64 - 1.0).abs();
+        assert!(
+            qmc_err * 4.0 < mc_err,
+            "qmc {qmc_err:.2e} vs mc {mc_err:.2e}"
+        );
+        assert!(qmc_err < 2e-3, "qmc error too large: {qmc_err:.2e}");
+    }
+}

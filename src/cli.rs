@@ -134,16 +134,21 @@ USAGE:
   vardelay sweep validate <spec.json> [--cache DIR]
       Lint a spec without running it: expand, validate every scenario,
       and report the scenario count, trial total and block count plus
-      each scenario's backend, kernel version and estimated relative
-      cost per trial (gate evaluations weighted by the kernel's
-      calibrated speed). With --cache DIR, also report how many units
-      are already cached vs to execute and the adjusted cost estimate.
+      each scenario's backend, kernel version, trial strategy and
+      estimated relative cost per trial (gate evaluations weighted by
+      the kernel's calibrated speed and the strategy's overhead). A
+      spec naming an unknown strategy is rejected with the valid set.
+      With --cache DIR, also report how many units are already cached
+      vs to execute and the adjusted cost estimate.
 
   vardelay sweep example [--backend netlist] [--kernel v1|v2]
+                         [--strategy antithetic|stratified|sobol|blockade]
       Print an example sweep spec (JSON) to adapt; --backend netlist
       emits a gate-level template (circuit-spec pipelines, an analytic
       model twin for model-vs-MC deltas); --kernel v2 stamps the batch
-      trial kernel onto every scenario.
+      trial kernel onto every scenario; --strategy emits an inter-die-
+      heavy template exercising that trial plan (scenario `trials` may
+      be a bare count or an object with count/strategy/shift_sigmas).
 
   vardelay optimize <spec.json> [--workers N] [--out results.json]
                     [--shard i/n] [--checkpoint f.jsonl] [--resume f.jsonl]
@@ -164,12 +169,19 @@ USAGE:
   vardelay optimize validate <spec.json> [--cache DIR]
       Lint a campaign spec without running it: expand, validate every
       run, and report per-run footprint (stages, gates, goal, backend,
-      kernel version, yield allocation, estimated relative cost per
-      trial) plus total verification trials. With --cache DIR, also
-      report cached-vs-to-execute runs and the adjusted cost estimate.
+      kernel version, verification trial strategy, yield allocation,
+      estimated relative cost per trial) plus total verification
+      trials. A spec naming an unknown strategy is rejected with the
+      valid set. With --cache DIR, also report cached-vs-to-execute
+      runs and the adjusted cost estimate.
 
-  vardelay optimize example
-      Print an example campaign spec (JSON) to adapt.
+  vardelay optimize example [--high-sigma]
+      Print an example campaign spec (JSON) to adapt. --high-sigma
+      emits a statistical-blockade template: a 99.9% yield target
+      verified by mean-shifted importance sampling to a requested
+      confidence half-width (verify_trials becomes an object with
+      count/strategy/ci_half_width, and the count turns into a
+      ceiling rather than a fixed budget).
 
   vardelay cache <stats|verify|compact> DIR [--max-bytes N]
       Maintain a --cache result store. stats: segment/record/byte
@@ -184,8 +196,9 @@ USAGE:
   vardelay report <trace.json|metrics.json>
       Print the phase breakdown table of a --trace or --metrics file:
       wall time per phase (count, total, mean, share of wall), trial
-      throughput, worker utilization, units executed vs resumed vs
-      cached, and the result-cache hit rate.
+      throughput, trials by kernel and by strategy (with the effective
+      sample size for weighted runs), worker utilization, units
+      executed vs resumed vs cached, and the result-cache hit rate.
 
   vardelay help
       This text.
@@ -869,17 +882,28 @@ pub fn sweep_validate_cmd(spec_text: &str, mut opts: Vec<String>) -> Result<Stri
 }
 
 /// `sweep example` subcommand: the spec template for a backend,
-/// optionally stamped with a trial-kernel version (`--kernel v2`).
+/// optionally stamped with a trial-kernel version (`--kernel v2`), or a
+/// trial-plan template (`--strategy antithetic|stratified|sobol|blockade`).
 pub fn sweep_example_cmd(mut opts: Vec<String>) -> Result<String, CliError> {
     let backend = take_opt(&mut opts, "--backend")?;
     let kernel = take_opt(&mut opts, "--kernel")?;
+    let strategy = take_opt(&mut opts, "--strategy")?;
     if !opts.is_empty() {
         return Err(CliError(format!("unrecognized arguments: {opts:?}")));
     }
-    let mut sweep = match backend.as_deref() {
-        None | Some("pipeline") => vardelay_engine::Sweep::example(),
-        Some("netlist") => vardelay_engine::Sweep::example_netlist(),
-        Some(other) => {
+    if strategy.is_some() && backend.is_some() {
+        return Err(CliError(
+            "--strategy emits its own template; it cannot be combined with --backend".to_owned(),
+        ));
+    }
+    let mut sweep = match (strategy.as_deref(), backend.as_deref()) {
+        (Some(s), _) => {
+            let s = vardelay_engine::StrategySpec::parse(s).map_err(CliError)?;
+            vardelay_engine::Sweep::example_trial_plan(s)
+        }
+        (None, None | Some("pipeline")) => vardelay_engine::Sweep::example(),
+        (None, Some("netlist")) => vardelay_engine::Sweep::example_netlist(),
+        (None, Some(other)) => {
             return Err(CliError(format!(
                 "no example for backend '{other}' (use pipeline|netlist)"
             )))
@@ -922,9 +946,17 @@ pub fn optimize_validate_cmd(spec_text: &str, mut opts: Vec<String>) -> Result<S
 }
 
 /// `optimize example` subcommand: the campaign spec template.
-pub fn optimize_example_cmd(opts: Vec<String>) -> Result<String, CliError> {
+/// `--high-sigma` swaps in the statistical-blockade 99.9%-yield
+/// template instead.
+pub fn optimize_example_cmd(mut opts: Vec<String>) -> Result<String, CliError> {
+    let high_sigma = take_flag(&mut opts, "--high-sigma");
     no_more_args("optimize example", &opts)?;
-    Ok(vardelay_engine::OptimizationCampaign::example().to_json() + "\n")
+    let campaign = if high_sigma {
+        vardelay_engine::OptimizationCampaign::example_high_sigma()
+    } else {
+        vardelay_engine::OptimizationCampaign::example()
+    };
+    Ok(campaign.to_json() + "\n")
 }
 
 /// `cache` subcommand: maintenance for a persistent result-cache
@@ -1551,6 +1583,19 @@ mod tests {
         )
         .unwrap();
         assert_eq!(metrics_units(&metrics), (1, 0, 0), "kernel twin misses");
+
+        // Likewise a trial-plan twin: the same scenario under a
+        // variance-reduction strategy produces different bytes by
+        // contract, so it must MISS rather than serve plain-MC bytes.
+        let mut plan_twin = other.clone();
+        plan_twin.scenarios[0].trial_plan.strategy = vardelay_engine::StrategySpec::Stratified;
+        let metrics = tmp("cache-plan-twin.json");
+        sweep_cmd(
+            &plan_twin.to_json(),
+            vec!["--cache".into(), dir, "--metrics".into(), metrics.clone()],
+        )
+        .unwrap();
+        assert_eq!(metrics_units(&metrics), (1, 0, 0), "strategy twin misses");
     }
 
     #[test]
@@ -1761,6 +1806,63 @@ mod tests {
             "spice".into()
         ])
         .is_err());
+    }
+
+    #[test]
+    fn sweep_example_strategy_emits_trial_plan_template() {
+        for strategy in ["antithetic", "stratified", "sobol", "blockade"] {
+            let json = run(vec![
+                "sweep".into(),
+                "example".into(),
+                "--strategy".into(),
+                strategy.into(),
+            ])
+            .unwrap();
+            assert!(
+                json.contains(&format!("\"strategy\": \"{strategy}\"")),
+                "{json}"
+            );
+            let sweep = vardelay_engine::Sweep::from_json(&json).unwrap();
+            assert!(vardelay_engine::plan_sweep(&sweep).is_ok(), "{strategy}");
+        }
+        // Unknown strategies are rejected with the valid set.
+        let err = run(vec![
+            "sweep".into(),
+            "example".into(),
+            "--strategy".into(),
+            "latin".into(),
+        ])
+        .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("plain|antithetic|stratified|sobol|blockade"),
+            "{err}"
+        );
+        // --strategy picks its own template; --backend conflicts.
+        assert!(run(vec![
+            "sweep".into(),
+            "example".into(),
+            "--strategy".into(),
+            "sobol".into(),
+            "--backend".into(),
+            "netlist".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn optimize_example_high_sigma_is_a_blockade_campaign() {
+        let json = run(vec![
+            "optimize".into(),
+            "example".into(),
+            "--high-sigma".into(),
+        ])
+        .unwrap();
+        assert!(json.contains("\"strategy\": \"blockade\""), "{json}");
+        assert!(json.contains("\"ci_half_width\": 0.001"), "{json}");
+        let campaign = vardelay_engine::OptimizationCampaign::from_json(&json).unwrap();
+        assert!(vardelay_engine::plan_campaign(&campaign).is_ok());
+        assert_eq!(campaign.runs[0].yield_target, 0.999);
     }
 
     #[test]

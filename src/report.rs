@@ -186,6 +186,28 @@ fn from_metrics(v: &Value) -> Result<String, CliError> {
             extra.push(format!("trials by kernel: v1 {v1:.0}, v2 {v2:.0}"));
         }
     }
+    if let Some(Value::Object(fields)) = v.get("trials_by_strategy") {
+        // Only worth a line when some plan other than plain actually ran.
+        let shaped: f64 = fields
+            .iter()
+            .filter(|(name, _)| name != "plain")
+            .filter_map(|(_, n)| num(n))
+            .sum();
+        if shaped > 0.0 {
+            let parts: Vec<String> = fields
+                .iter()
+                .filter_map(|(name, n)| num(n).map(|n| (name, n)))
+                .filter(|&(_, n)| n > 0.0)
+                .map(|(name, n)| format!("{name} {n:.0}"))
+                .collect();
+            extra.push(format!("trials by strategy: {}", parts.join(", ")));
+        }
+    }
+    if let Some(ess) = get_num(v, "effective_samples") {
+        // Present only for weighted (blockade) runs: raw trial count vs
+        // the Kish effective sample size their weights amount to.
+        extra.push(format!("effective sample size (weighted runs): {ess:.0}"));
+    }
     if let Some(Value::Array(ws)) = v.get("worker_util") {
         for w in ws {
             extra.push(format!(
@@ -298,6 +320,8 @@ mod tests {
             "cache": {"hits": 3, "misses": 2, "hit_rate": 0.6, "bytes_saved": 420},
             "steps": 2, "trials": 4000,
             "trials_by_kernel": {"v1": 1000, "v2": 3000},
+            "trials_by_strategy": {"plain": 3000, "antithetic": 0, "stratified": 0, "sobol": 0, "blockade": 1000},
+            "effective_samples": 380,
             "trials_per_sec": 40000.0,
             "phases": {
                 "mc/verify": {"count": 4, "total_ms": 60.0, "mean_us": 15000.0, "value_sum": 4000.0},
@@ -321,6 +345,14 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("trials by kernel: v1 1000, v2 3000"), "{out}");
+        assert!(
+            out.contains("trials by strategy: plain 3000, blockade 1000"),
+            "{out}"
+        );
+        assert!(
+            out.contains("effective sample size (weighted runs): 380"),
+            "{out}"
+        );
         assert!(
             out.contains("counter trials_v2 rate: 30000/s of wall"),
             "{out}"
