@@ -1,4 +1,4 @@
-//! Machine-readable performance summary: writes `BENCH_9.json`.
+//! Machine-readable performance summary: writes `BENCH_10.json`.
 //!
 //! CI runs this after the criterion benches so the perf trajectory is
 //! tracked as data, not just as log lines: campaign wall-clock per
@@ -7,9 +7,19 @@
 //! instead of hand-placed timers), sizing throughput on both kernels
 //! (the old-vs-new ratio is the incremental kernel's headline), raw
 //! retime-probe cost, and the Monte-Carlo verification throughput in
-//! trials/sec on **both trial kernels** (the v2/v1 ratio is this PR's
-//! headline). Timings are the median of `SAMPLES` runs on a warmed
-//! process.
+//! trials/sec on **all three trial kernels**. Timings are the median
+//! of `SAMPLES` runs on a warmed process.
+//!
+//! This PR's headline is the **v3 wide kernel + pooled verification**
+//! section: the lane-major structure-of-arrays kernel must clear
+//! [`V3_OVER_V2_FLOOR`]× the v2 rate measured in the same process
+//! (host noise cancels, so the ratio gates unconditionally), and the
+//! `mc_verify_parallel` block times the v3 chunked verification fold
+//! sequentially vs through the worker pool. The pooled bytes are
+//! asserted identical to the sequential fold **unconditionally**; the
+//! wall-clock speedup is only gated (≥[`MC_VERIFY_PARALLEL_FLOOR`]×)
+//! when the host actually has ≥4 cores — on a single-core runner the
+//! pool cannot manifest a speedup and the entry is informational.
 //!
 //! With `--baseline <prev.json>` the run also **gates regressions**:
 //! if the incremental-kernel speedup or the MC verification throughput
@@ -27,17 +37,15 @@
 //! cold wall-clock. The fraction is a same-process ratio, so it gates
 //! unconditionally — no baseline file needed.
 //!
-//! This PR's headline is the **trial-plan** section: variance-reduction
-//! factors of the stratified / Sobol / antithetic sampling plans versus
-//! plain Monte-Carlo at a matched trial budget (stratified and Sobol
-//! must clear [`PLAN_VRF_FLOOR`]×, i.e. ≥4× fewer trials at the same
-//! confidence), plus a high-sigma demonstration: at the same 4k-trial
-//! budget, statistical blockade resolves a 99.9% yield target whose
-//! plain-MC confidence interval straddles the target. Both are
-//! same-process seed-deterministic ratios, so they gate unconditionally.
+//! The **trial-plan** gates carry forward: variance-reduction factors
+//! of the stratified / Sobol / antithetic sampling plans versus plain
+//! Monte-Carlo at a matched trial budget (stratified and Sobol must
+//! clear [`PLAN_VRF_FLOOR`]×), plus the high-sigma blockade
+//! demonstration. Both are same-process seed-deterministic ratios, so
+//! they gate unconditionally.
 //!
 //! Usage: `cargo run --release -p vardelay-bench --bin bench_summary
-//! [out.json] [--baseline prev.json]` (default out `BENCH_9.json`).
+//! [out.json] [--baseline prev.json]` (default out `BENCH_10.json`).
 
 use std::time::Instant;
 
@@ -142,6 +150,17 @@ const REGRESSION_TOLERANCE: f64 = 0.20;
 /// so the ratio is host-independent even though each rate is not.
 const V2_SPEEDUP_FLOOR: f64 = 3.0;
 
+/// The v3 wide kernel must clear this multiple of the v2 rate, same
+/// process, same pipeline — an unconditional single-thread gate (the
+/// lane-major layout must pay for itself before any pooling).
+const V3_OVER_V2_FLOOR: f64 = 1.5;
+
+/// Pooled v3 verification must be at least this much faster than the
+/// sequential fold — gated only on hosts with ≥4 cores, where the pool
+/// has hardware to spread over. The byte-identity of the pooled fold
+/// is asserted on every host regardless.
+const MC_VERIFY_PARALLEL_FLOOR: f64 = 2.0;
+
 /// A warm (fully cached) campaign rerun may cost at most this fraction
 /// of the cold run's wall-clock. Both sides are measured in the same
 /// process, so the ratio gates unconditionally.
@@ -201,7 +220,7 @@ fn main() {
         eprintln!("usage: bench_summary [out.json] [--baseline prev.json]");
         std::process::exit(2);
     }
-    let out_path = args.pop().unwrap_or_else(|| "BENCH_9.json".to_owned());
+    let out_path = args.pop().unwrap_or_else(|| "BENCH_10.json".to_owned());
 
     // --- Campaign wall-clock + phase breakdown per backend. ---
     // Determinism is asserted both across worker counts and across the
@@ -361,6 +380,64 @@ fn main() {
     });
     let trials_per_sec_v2 = trials as f64 / (verify_v2_ms / 1e3);
 
+    // --- v3 wide-kernel throughput, same pipeline, same process. ---
+    let mc_v3 = PipelineMc::new(
+        CellLibrary::default(),
+        VariationConfig::random_only(35.0),
+        None,
+    )
+    .with_kernel(TrialKernel::V3);
+    let prepared_v3 = PreparedPipelineMc::new(&mc_v3, &pipe);
+    let mut ws_v3 = prepared_v3.workspace();
+    let verify_v3_ms = median_ms(|| {
+        let mut stats = PipelineBlockStats::new(pipe.stage_count(), &[150.0]);
+        prepared_v3.run_block(&mut ws_v3, 0..trials, |t| t ^ 0xBE7C, &mut stats);
+        std::hint::black_box(stats);
+    });
+    let trials_per_sec_v3 = trials as f64 / (verify_v3_ms / 1e3);
+
+    // --- Pooled v3 verification: sequential fold vs the worker pool. ---
+    // Bytes must match on every host; the speedup is only meaningful
+    // (and only gated) when there are cores to spread over.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool_budget = 16_384u64;
+    let pool_seed = |t: u64| counter_seed(0xBE7C, t);
+    let pooled_verify = |workers: usize| {
+        vardelay_engine::verify_yield_pooled(
+            &prepared_v3,
+            TrialPlan::plain(),
+            pool_budget,
+            None,
+            pool_seed,
+            pipe.stage_count(),
+            &[150.0],
+            workers,
+            0,
+        )
+    };
+    let sequential_v = pooled_verify(1);
+    let parallel_v = pooled_verify(cores);
+    let verify_digest = |v: &vardelay_opt::VerifiedYield| {
+        (
+            v.trials,
+            v.stats.yield_estimate(0).value.to_bits(),
+            v.stats.pipeline().mean().to_bits(),
+            v.stats.pipeline().sample_sd().to_bits(),
+        )
+    };
+    assert_eq!(
+        verify_digest(&sequential_v),
+        verify_digest(&parallel_v),
+        "pooled verification must reproduce the sequential fold bit-for-bit"
+    );
+    let verify_seq_ms = median_ms(|| {
+        std::hint::black_box(pooled_verify(1));
+    });
+    let verify_par_ms = median_ms(|| {
+        std::hint::black_box(pooled_verify(cores));
+    });
+    let verify_parallel_speedup = verify_seq_ms / verify_par_ms;
+
     // --- Trial plans: variance reduction at a matched budget. ---
     // Inter-die-dominant variation, where die-level stratification and
     // QMC have the most structure to exploit: the yield estimator's
@@ -466,7 +543,7 @@ fn main() {
          \"blockade_resolves\": {blockade_resolves}\n    }}\n  }}"
     );
     let json = format!(
-        "{{\n  \"pr\": 9,\n  \"campaign_ms\": {{\n    \"{}\": {:.3},\n    \"{}\": {:.3}\n  }},\n  \
+        "{{\n  \"pr\": 10,\n  \"campaign_ms\": {{\n    \"{}\": {:.3},\n    \"{}\": {:.3}\n  }},\n  \
          \"campaign_phases_ms\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \
          \"result_cache\": {{\n    \"campaign_cold_ms\": {:.3},\n    \"campaign_warm_ms\": {:.3},\n    \
          \"warm_fraction\": {:.4},\n    \"hit_rate\": {:.4}\n  }},\n  \
@@ -474,7 +551,11 @@ fn main() {
          \"kernel_speedup\": {:.3}\n  }},\n  \"retime_probe\": {{\n    \"incremental_us\": {:.3},\n    \
          \"full_pass_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"mc_verification\": {{\n    \
          \"trials_per_sec\": {:.0},\n    \"kernel_v2_trials_per_sec\": {:.0},\n    \
-         \"kernel_v2_speedup\": {:.2}\n  }},\n  \"trial_plans\": {}\n}}",
+         \"kernel_v2_speedup\": {:.2},\n    \"kernel_v3_trials_per_sec\": {:.0},\n    \
+         \"kernel_v3_over_v2\": {:.2}\n  }},\n  \"mc_verify_parallel\": {{\n    \
+         \"cores\": {},\n    \"budget_trials\": {},\n    \"sequential_ms\": {:.3},\n    \
+         \"parallel_ms\": {:.3},\n    \"speedup\": {:.2},\n    \"bytes_identical\": true\n  }},\n  \
+         \"trial_plans\": {}\n}}",
         campaign_samples[0].0,
         campaign_samples[0].1.wall_ms,
         campaign_samples[1].0,
@@ -496,6 +577,13 @@ fn main() {
         trials_per_sec,
         trials_per_sec_v2,
         trials_per_sec_v2 / trials_per_sec,
+        trials_per_sec_v3,
+        trials_per_sec_v3 / trials_per_sec_v2,
+        cores,
+        pool_budget,
+        verify_seq_ms,
+        verify_par_ms,
+        verify_parallel_speedup,
         trial_plans_block,
     );
     std::fs::write(&out_path, &json).expect("write summary");
@@ -542,6 +630,42 @@ fn main() {
     if !(plans_ok && hs_ok) {
         eprintln!("trial-plan efficiency gates failed");
         std::process::exit(1);
+    }
+
+    // Unconditional v3 gate: the wide kernel must beat the batch kernel
+    // in the same process, single-threaded — lane-major layout has to
+    // pay for itself before any pooling enters the picture.
+    let v3_over_v2 = trials_per_sec_v3 / trials_per_sec_v2;
+    let v3_ok = v3_over_v2 >= V3_OVER_V2_FLOOR;
+    println!(
+        "gate mc_verification.kernel_v3_over_v2: current {v3_over_v2:.2} vs floor \
+         {V3_OVER_V2_FLOOR} — {}",
+        if v3_ok { "ok" } else { "TOO SLOW" }
+    );
+    if !v3_ok {
+        eprintln!("v3 kernel did not clear {V3_OVER_V2_FLOOR}x the v2 rate");
+        std::process::exit(1);
+    }
+
+    // Pooled-verification speedup gate: only meaningful where the pool
+    // has cores to spread over (byte-identity was already asserted
+    // unconditionally above).
+    if cores >= 4 {
+        let par_ok = verify_parallel_speedup >= MC_VERIFY_PARALLEL_FLOOR;
+        println!(
+            "gate mc_verify_parallel.speedup: current {verify_parallel_speedup:.2} vs floor \
+             {MC_VERIFY_PARALLEL_FLOOR} ({cores} cores) — {}",
+            if par_ok { "ok" } else { "TOO SLOW" }
+        );
+        if !par_ok {
+            eprintln!("pooled v3 verification did not clear {MC_VERIFY_PARALLEL_FLOOR}x");
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "gate mc_verify_parallel.speedup: skipped ({cores} core(s) — no hardware to \
+             parallelize over; bytes_identical asserted)"
+        );
     }
 
     // Regression gate against the checked-in previous BENCH file.

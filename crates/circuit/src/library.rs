@@ -129,6 +129,20 @@ impl CellLibrary {
         vardelay_process::slowdown_factor_approx(self.tech.overdrive(), self.tech.alpha(), dvth)
     }
 
+    /// The **v3-kernel** scalar slowdown factor: the FMA-fused twin of
+    /// [`CellLibrary::vth_slowdown_factor_v2`], element-wise identical
+    /// to [`CellLibrary::vth_slowdown_factors_v3_shift_into`] on a
+    /// one-element slice. Agrees with the v2 form to ~1e-12 relative but
+    /// is never bit-interchangeable with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shift pushes the threshold past the supply.
+    #[inline]
+    pub fn vth_slowdown_factor_v3(&self, dvth: f64) -> f64 {
+        vardelay_process::slowdown_factor_approx_fma(self.tech.overdrive(), self.tech.alpha(), dvth)
+    }
+
     /// Bulk v2 slowdown factors:
     /// `out[i] = vth_slowdown_factor_v2(shared + sigmas[i] * z[i])`,
     /// bit-identical per element, evaluated through the vectorizable
@@ -152,6 +166,32 @@ impl CellLibrary {
             shared,
             sigmas,
             z,
+            out,
+        );
+    }
+
+    /// Shift-major v3 slowdown factors for a whole stage's
+    /// `gates × lanes` block in one call:
+    /// `out[i] = slowdown_factor_approx_fma(shift[i])`, bit-identical
+    /// per element, evaluated through
+    /// [`vardelay_process::slowdown_factors_shift_approx_into`]. The
+    /// caller builds `shift = shared + sigma·z` while transposing the
+    /// per-trial normal rows, which amortizes the polynomial pass's
+    /// range scans and call overhead over the whole stage. The
+    /// per-element arithmetic is the v3 FMA-fused twin of the frozen v2
+    /// kernel: same coefficients, fused rounding schedule — it agrees
+    /// with v2 to ~1e-13 relative but is deliberately never
+    /// bit-interchangeable with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    #[inline]
+    pub fn vth_slowdown_factors_v3_shift_into(&self, shift: &[f64], out: &mut [f64]) {
+        vardelay_process::slowdown_factors_shift_approx_into(
+            self.tech.overdrive(),
+            self.tech.alpha(),
+            shift,
             out,
         );
     }

@@ -236,6 +236,43 @@ impl Pipeline {
         }
         wins.into_iter().map(|w| w as f64 / trials as f64).collect()
     }
+
+    /// The **v3-kernel** criticality estimator: identical win-counting
+    /// loop to [`Pipeline::criticality_probabilities_v2`], but the joint
+    /// samples come from the batch inverse-CDF fill
+    /// ([`MultivariateNormal::sample_into_v3`]) — the wide kernel's
+    /// normal source. Deterministic given `seed`; a distinct byte stream
+    /// from both v1 and v2 (win counts are integers, so the lane-fold
+    /// part of the v3 contract does not apply here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or the correlation matrix is not PSD.
+    pub fn criticality_probabilities_v3(&self, trials: usize, seed: u64) -> Vec<f64> {
+        assert!(trials > 0, "need at least one trial");
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let means: Vec<f64> = self.stages.iter().map(StageDelay::mean).collect();
+        let sds: Vec<f64> = self.stages.iter().map(StageDelay::sd).collect();
+        let mvn = MultivariateNormal::from_correlation(&means, &sds, &self.correlation)
+            .expect("stage correlation matrix must be PSD");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut wins = vec![0usize; self.stages.len()];
+        let mut z = Vec::new();
+        let mut x = Vec::new();
+        for _ in 0..trials {
+            mvn.sample_into_v3(&mut rng, &mut z, &mut x);
+            let (mut argmax, mut best) = (0usize, f64::NEG_INFINITY);
+            for (i, &v) in x.iter().enumerate() {
+                if v > best {
+                    best = v;
+                    argmax = i;
+                }
+            }
+            wins[argmax] += 1;
+        }
+        wins.into_iter().map(|w| w as f64 / trials as f64).collect()
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,10 @@
 //!   yield-aware sizing flow ([`vardelay_opt`]) as an engine workload,
 //!   with a pluggable in-loop yield backend (analytic Clark/SSTA vs
 //!   gate-level Monte-Carlo) and MC-verified yield in every result row.
+//! * [`verify`] — pool-parallel Monte-Carlo verification for the v3
+//!   trial kernel: the chunk-wise fold contract that lets a campaign's
+//!   verification trials fan out across the worker pool while staying
+//!   bit-identical to the sequential fold at any worker count.
 //! * [`plan`] — expand + validate + cost a spec without running it:
 //!   `sweep validate` and `optimize validate` are two spellings of one
 //!   [`workload::plan_workload`] implementation.
@@ -84,6 +88,7 @@ pub mod run;
 pub mod seed;
 pub mod sim;
 pub mod spec;
+pub mod verify;
 pub mod workload;
 
 pub use design_space::{design_space, DesignSpaceResult, DesignSpaceSpec};
@@ -101,8 +106,9 @@ pub use spec::{
     BackendSpec, CircuitSpec, GridSpec, KernelSpec, LatchSpec, PipelineSpec, Scenario,
     StageMoments, StrategySpec, Sweep, TrialPlanSpec, VariationSpec, MAX_SHIFT_SIGMAS,
 };
+pub use verify::verify_yield_pooled;
 pub use workload::{
     checkpoint_line, plan_workload, run_units, run_workload, Checkpoint, Progress, ProgressUpdate,
-    ResultCache, Shard, UnitOrigin, Workload, WorkloadOptions, WorkloadPlan, WorkloadReport,
-    WorkloadStats, CONTRACT_VERSION,
+    ResultCache, Shard, StepContext, UnitOrigin, Workload, WorkloadOptions, WorkloadPlan,
+    WorkloadReport, WorkloadStats, CONTRACT_VERSION,
 };

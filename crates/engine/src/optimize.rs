@@ -47,7 +47,7 @@ use crate::spec::{
     trials_from_value, trials_to_value, KernelSpec, PipelineSpec, StrategySpec, TrialPlanSpec,
     VariationSpec,
 };
-use crate::workload::{run_workload, Workload, WorkloadOptions};
+use crate::workload::{run_workload, StepContext, Workload, WorkloadOptions};
 
 /// Which backend measures pipeline yield *inside* the sizing loop.
 ///
@@ -770,8 +770,15 @@ const VERIFY_SALT: u64 = 0x7AB2_AC7A_1D1E_1D01; // "table 2 actual yield"
 /// Salt for the individually-optimized baseline's verification stream.
 const BASELINE_SALT: u64 = 0x7AB2_1D01_BA5E_0002;
 
-/// Executes one prepared run on the calling thread.
-fn execute_run(p: &PreparedRun, ws: &mut TrialWorkspace) -> OptimizationRunResult {
+/// Executes one prepared run on the calling thread. `verify_workers`
+/// sizes the nested pool the v3 kernel's verification chunks dispatch
+/// to (1 keeps everything on this thread); it never affects result
+/// bytes.
+fn execute_run(
+    p: &PreparedRun,
+    ws: &mut TrialWorkspace,
+    verify_workers: usize,
+) -> OptimizationRunResult {
     let spec = &p.spec;
     let variation = spec.variation.to_config();
     let lib = CellLibrary::default();
@@ -840,6 +847,11 @@ fn execute_run(p: &PreparedRun, ws: &mut TrialWorkspace) -> OptimizationRunResul
                 (K::V2, S::Sobol) => ("verify_sobol_v2", "trials_v2"),
                 (K::V1, S::Blockade) => ("verify_blockade", "trials"),
                 (K::V2, S::Blockade) => ("verify_blockade_v2", "trials_v2"),
+                (K::V3, S::Plain) => ("verify_v3", "trials_v3"),
+                (K::V3, S::Antithetic) => ("verify_antithetic_v3", "trials_v3"),
+                (K::V3, S::Stratified) => ("verify_stratified_v3", "trials_v3"),
+                (K::V3, S::Sobol) => ("verify_sobol_v3", "trials_v3"),
+                (K::V3, S::Blockade) => ("verify_blockade_v3", "trials_v3"),
             };
             let strategy_counter = match strategy {
                 S::Plain => None,
@@ -856,8 +868,28 @@ fn execute_run(p: &PreparedRun, ws: &mut TrialWorkspace) -> OptimizationRunResul
             // Plain verification keeps the exact pre-plan fixed-budget
             // path (and its bytes). Variance-reduced plans route through
             // the chunked CI-driven loop with `verify_trials` as the
-            // ceiling.
-            let (trials_run, stats) = if vplan.is_plain() {
+            // ceiling. The v3 kernel's chunk-wise fold contract instead
+            // fans every plan out across the worker pool (bit-identical
+            // to the sequential fold at any worker count); plain plans
+            // still run the full budget — the CI stop rule only applies
+            // to variance-reduced plans, like the other kernels.
+            let (trials_run, stats) = if spec.kernel == K::V3 {
+                let ci = (!vplan.is_plain())
+                    .then_some(spec.verify_plan.ci_half_width)
+                    .flatten();
+                let v = crate::verify::verify_yield_pooled(
+                    &prepared,
+                    vplan,
+                    spec.verify_trials,
+                    ci,
+                    seed_of,
+                    pipe.stage_count(),
+                    &[target],
+                    verify_workers,
+                    p.id,
+                );
+                (v.trials, v.stats)
+            } else if vplan.is_plain() {
                 let mut stats = PipelineBlockStats::new(pipe.stage_count(), &[target]);
                 prepared.run_block(ws, 0..spec.verify_trials, seed_of, &mut stats);
                 (spec.verify_trials, stats)
@@ -1004,8 +1036,13 @@ impl Workload for OptimizationCampaign {
         unit: &PreparedRun,
         _step: usize,
         ws: &mut TrialWorkspace,
+        ctx: StepContext,
     ) -> OptimizationRunResult {
-        execute_run(unit, ws)
+        // A campaign's runs are single-step units, so on a one-run
+        // campaign the outer pool collapses to the calling thread and
+        // the full worker budget flows to the run's nested
+        // verification dispatch.
+        execute_run(unit, ws, ctx.workers)
     }
 
     fn fold_step(

@@ -28,6 +28,12 @@ pub const KERNEL_COST_WEIGHT_V1: f64 = 1.0;
 /// weighted by the reciprocal.
 pub const KERNEL_COST_WEIGHT_V2: f64 = 1.0 / 3.5;
 
+/// Relative per-gate trial cost of the v3 wide kernel, calibrated on
+/// the benchmark inverter-chain pipeline (`BENCH_10.json`): the
+/// lane-major pass layout sustains ≈2× v2's trials/s there, so each of
+/// its gate evaluations costs half of v2's.
+pub const KERNEL_COST_WEIGHT_V3: f64 = KERNEL_COST_WEIGHT_V2 / 2.0;
+
 /// Relative per-trial overhead multiplier of each trial strategy: the
 /// draw-shaping work (keyed permutations, Sobol point generation,
 /// likelihood-ratio weights) on top of the kernel's gate evaluations.
@@ -62,6 +68,7 @@ pub fn estimated_trial_cost(
     let weight = match kernel {
         KernelSpec::V1 => KERNEL_COST_WEIGHT_V1,
         KernelSpec::V2 => KERNEL_COST_WEIGHT_V2,
+        KernelSpec::V3 => KERNEL_COST_WEIGHT_V3,
     };
     work * weight * strategy_cost_weight(strategy)
 }

@@ -33,7 +33,7 @@ use rand::SeedableRng;
 use vardelay_circuit::StagedPipeline;
 use vardelay_mc::{
     PipelineBlockStats, PipelineMc, PlanSampler, PreparedPipelineMc, TrialKernel, TrialPlan,
-    TrialWorkspace, V2_LANES,
+    TrialWorkspace, V2_LANES, V3_LANES,
 };
 use vardelay_stats::MultivariateNormal;
 
@@ -172,6 +172,34 @@ impl MvnSim {
                     stats.merge(lane);
                 }
             }
+            TrialKernel::V3 => {
+                // The wide kernel's MVN surface: inverse-CDF normal
+                // source, V3_LANES-wide merge tree, same plan overlay.
+                let mut lanes: Vec<PipelineBlockStats> =
+                    (0..V3_LANES).map(|_| stats.fresh_like()).collect();
+                for t in trials {
+                    let (seed_index, sign) = ps.prepare_trial(t);
+                    let mut rng = StdRng::seed_from_u64(trial_seed(scenario_id, seed_index));
+                    let w = self.mvn.sample_into_v3_plan(
+                        &mut rng,
+                        sign,
+                        ps.lead(),
+                        ps.shift(),
+                        &mut z,
+                        &mut x,
+                    );
+                    let maxd = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let lane = &mut lanes[(t % V3_LANES as u64) as usize];
+                    if weighted {
+                        lane.record_weighted(&x, maxd, w);
+                    } else {
+                        lane.record(&x, maxd);
+                    }
+                }
+                for lane in &lanes {
+                    stats.merge(lane);
+                }
+            }
         }
     }
 }
@@ -212,6 +240,24 @@ impl Simulator for MvnSim {
                     self.mvn.sample_into_v2(&mut rng, &mut z, &mut x);
                     let maxd = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                     lanes[(t % V2_LANES as u64) as usize].record(&x, maxd);
+                }
+                for lane in &lanes {
+                    stats.merge(lane);
+                }
+            }
+            TrialKernel::V3 => {
+                // Same fixed merge-tree construction as v2, widened to
+                // V3_LANES and drawing through the batch inverse-CDF
+                // fill (the wide kernel's normal source).
+                let mut lanes: Vec<PipelineBlockStats> =
+                    (0..V3_LANES).map(|_| stats.fresh_like()).collect();
+                let mut z = Vec::new();
+                let mut x = Vec::new();
+                for t in trials {
+                    let mut rng = StdRng::seed_from_u64(trial_seed(scenario_id, t));
+                    self.mvn.sample_into_v3(&mut rng, &mut z, &mut x);
+                    let maxd = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    lanes[(t % V3_LANES as u64) as usize].record(&x, maxd);
                 }
                 for lane in &lanes {
                     stats.merge(lane);

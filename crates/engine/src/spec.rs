@@ -104,17 +104,42 @@ pub enum KernelSpec {
     V1,
     /// The batch structure-of-arrays kernel: pair-producing Box–Muller
     /// die sampling, inverse-CDF gate normals, polynomial slowdown
-    /// factors, lane-folded statistics. 3–5× the trial throughput of
+    /// factors, lane-folded statistics. ~3.5× the trial throughput of
     /// `v1` under its own (equally frozen) byte contract.
     V2,
+    /// The wide lane-major kernel: all normals of a 16-trial pass are
+    /// generated up front (batch inverse-CDF, die draws included), then
+    /// every stage and gate is visited once per pass over contiguous
+    /// per-lane rows; statistics fold over 16 lanes. Higher throughput
+    /// than `v2` under its own (equally frozen) byte contract, and the
+    /// only kernel whose campaign verification fans out across the
+    /// worker pool.
+    V3,
 }
 
 impl KernelSpec {
+    /// Every kernel keyword, oldest first — mirrors
+    /// `vardelay_mc::TrialKernel::ALL`, so help text and parse errors
+    /// derived from this list can never go stale against the kernel
+    /// enum.
+    pub const ALL: [KernelSpec; 3] = [KernelSpec::V1, KernelSpec::V2, KernelSpec::V3];
+
+    /// The valid keyword set as a `|`-separated list (`"v1|v2|v3"`),
+    /// for help text and error messages.
+    pub fn keyword_list() -> String {
+        Self::ALL
+            .iter()
+            .map(|k| k.keyword())
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+
     /// The lowercase spec keyword.
     pub fn keyword(self) -> &'static str {
         match self {
             KernelSpec::V1 => "v1",
             KernelSpec::V2 => "v2",
+            KernelSpec::V3 => "v3",
         }
     }
 
@@ -124,11 +149,11 @@ impl KernelSpec {
     ///
     /// Returns a message listing the valid keywords.
     pub fn parse(s: &str) -> Result<Self, String> {
-        match s {
-            "v1" => Ok(KernelSpec::V1),
-            "v2" => Ok(KernelSpec::V2),
-            other => Err(format!("unknown kernel '{other}' (use v1|v2)")),
-        }
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|k| k.keyword() == s)
+            .ok_or_else(|| format!("unknown kernel '{s}' (use {})", Self::keyword_list()))
     }
 
     /// The `vardelay-mc` kernel this spec keyword selects.
@@ -136,6 +161,7 @@ impl KernelSpec {
         match self {
             KernelSpec::V1 => vardelay_mc::TrialKernel::V1,
             KernelSpec::V2 => vardelay_mc::TrialKernel::V2,
+            KernelSpec::V3 => vardelay_mc::TrialKernel::V3,
         }
     }
 }
@@ -1618,8 +1644,8 @@ mod tests {
 
     #[test]
     fn unknown_kernel_keyword_is_rejected_listing_the_valid_set() {
-        let err = KernelSpec::parse("v3").unwrap_err();
-        assert_eq!(err, "unknown kernel 'v3' (use v1|v2)");
+        let err = KernelSpec::parse("v9").unwrap_err();
+        assert_eq!(err, "unknown kernel 'v9' (use v1|v2|v3)");
         let mut sweep = Sweep::example();
         let json = sweep
             .to_json()
@@ -1627,7 +1653,7 @@ mod tests {
         let err = Sweep::from_json(&json).unwrap_err();
         assert!(
             err.to_string()
-                .contains("unknown kernel 'fast' (use v1|v2)"),
+                .contains("unknown kernel 'fast' (use v1|v2|v3)"),
             "{err}"
         );
         // And a grid stamps its kernel onto every generated scenario.

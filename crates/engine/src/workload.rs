@@ -110,8 +110,15 @@ pub trait Workload: Sync {
     /// A fresh accumulator for the unit.
     fn init_acc(&self, unit: &Self::Unit) -> Self::Acc;
     /// Runs one step. Must be a pure function of `(unit, step)`; the
-    /// workspace is arbitrary reusable scratch.
-    fn run_step(&self, unit: &Self::Unit, step: usize, ws: &mut TrialWorkspace) -> Self::StepOut;
+    /// workspace is arbitrary reusable scratch, and the context carries
+    /// execution knobs (worker count) that must never affect results.
+    fn run_step(
+        &self,
+        unit: &Self::Unit,
+        step: usize,
+        ws: &mut TrialWorkspace,
+        ctx: StepContext,
+    ) -> Self::StepOut;
     /// Folds a step output into the accumulator. Called strictly in
     /// step order — this *is* the fixed floating-point merge tree.
     fn fold_step(&self, unit: &Self::Unit, acc: &mut Self::Acc, out: Self::StepOut);
@@ -372,6 +379,21 @@ pub struct ProgressUpdate {
     pub trials_total: u64,
 }
 
+/// Per-step execution context handed to [`Workload::run_step`].
+///
+/// Carries the runner's execution knobs down into a step without
+/// threading them through every workload struct. Everything here is
+/// strictly *how* to execute — a step's result bytes must be identical
+/// for every possible context (that is the determinism contract).
+#[derive(Debug, Clone, Copy)]
+pub struct StepContext {
+    /// The worker count the runner was launched with. A step that fans
+    /// nested work back out to the pool (the v3 kernel's chunked
+    /// verification) sizes its dispatch with this; steps that are
+    /// wholly sequential ignore it.
+    pub workers: usize,
+}
+
 /// Execution options for [`run_workload`] / [`run_units`].
 #[derive(Clone, Copy)]
 pub struct WorkloadOptions<'a, R> {
@@ -603,6 +625,9 @@ pub fn run_units<W: Workload>(
     report_progress(units_done, steps_done, trials_done);
 
     let mut sink_err: Option<EngineError> = None;
+    let ctx = StepContext {
+        workers: opts.workers,
+    };
     dispatch(
         items.len(),
         opts.workers,
@@ -611,7 +636,7 @@ pub fn run_units<W: Workload>(
             let _sp = vardelay_obs::span("step", w.unit_noun())
                 .key(stats.keys[item.unit])
                 .value(item.step as f64);
-            w.run_step(&units[item.unit], item.step, ws)
+            w.run_step(&units[item.unit], item.step, ws, ctx)
         },
         |k, out| {
             let item = &items[k];

@@ -32,15 +32,31 @@ pub enum TrialKernel {
     /// `exp(α·ln(od/(od−ΔVth)))` slowdown factors, and statistics
     /// folded through [`V2_LANES`] lanes in a fixed merge order.
     V2,
+    /// The wide kernel: the loop order flips from trial-major to
+    /// lane-major. Up to [`V3_WIDTH`] trials are processed per pass —
+    /// every trial's normals (inverse-CDF, die draws included) are
+    /// generated up front into structure-of-arrays buffers, then each
+    /// stage and gate is visited **once per pass** over contiguous
+    /// per-lane `f64` rows, so slowdown evaluation and arrival-time
+    /// propagation amortize their per-gate bookkeeping across the whole
+    /// pass and vectorize. Statistics fold through [`V3_LANES`] lanes in
+    /// a fixed merge order.
+    V3,
 }
 
 impl TrialKernel {
-    /// Stable lowercase name (`"v1"` / `"v2"`), used in specs, spans and
-    /// reports.
+    /// Every kernel contract, oldest first — the one list the CLI help,
+    /// spec parser and validators derive the valid keyword set from, so
+    /// a new kernel version cannot leave stale `v1|v2` strings behind.
+    pub const ALL: [TrialKernel; 3] = [TrialKernel::V1, TrialKernel::V2, TrialKernel::V3];
+
+    /// Stable lowercase name (`"v1"` / `"v2"` / `"v3"`), used in specs,
+    /// spans and reports.
     pub fn name(self) -> &'static str {
         match self {
             TrialKernel::V1 => "v1",
             TrialKernel::V2 => "v2",
+            TrialKernel::V3 => "v3",
         }
     }
 }
@@ -55,6 +71,26 @@ impl TrialKernel {
 /// which preserve block boundaries).
 pub const V2_LANES: usize = 8;
 
+/// Trials processed per v3 pass — the width of every structure-of-
+/// arrays buffer in the wide kernel.
+///
+/// A pass generates all normals for up to `V3_WIDTH` trials up front
+/// (die, latch, then gate draws, each lane from its own counter-seeded
+/// RNG), transposes the gate draws into `W`-wide rows, and then walks
+/// the pipeline lane-major: one slowdown evaluation and one arrival-
+/// time propagation per gate covers the whole pass. Per-trial values
+/// are pure functions of the trial index, so pass grouping (including
+/// the ragged final pass of a block) never changes result bytes.
+pub const V3_WIDTH: usize = 16;
+
+/// Number of statistics lanes in the v3 kernel's fixed merge tree.
+///
+/// Identical in role to [`V2_LANES`]: trial `t` accumulates into lane
+/// `t % V3_LANES` and lanes fold in ascending order at the end of every
+/// block. Equal to [`V3_WIDTH`] so one pass feeds each lane exactly
+/// once, but frozen independently — both are part of the v3 contract.
+pub const V3_LANES: usize = 16;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,5 +100,8 @@ mod tests {
         assert_eq!(TrialKernel::default(), TrialKernel::V1);
         assert_eq!(TrialKernel::V1.name(), "v1");
         assert_eq!(TrialKernel::V2.name(), "v2");
+        assert_eq!(TrialKernel::V3.name(), "v3");
+        assert_eq!(TrialKernel::ALL.len(), 3);
+        assert_eq!(TrialKernel::ALL[0], TrialKernel::default());
     }
 }

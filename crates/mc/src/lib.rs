@@ -48,7 +48,7 @@ pub mod results;
 pub mod strategy;
 
 pub use engine::NetlistMc;
-pub use kernel::{TrialKernel, V2_LANES};
+pub use kernel::{TrialKernel, V2_LANES, V3_LANES, V3_WIDTH};
 pub use pipeline_mc::{PipelineMc, PipelineMcResult};
 pub use prepared::{PreparedPipelineMc, TrialWorkspace};
 pub use results::{HistogramSpec, McConfig, McResult, PipelineBlockStats, YieldEstimate};

@@ -134,7 +134,7 @@ impl PipelineMc {
                     stats.record(&stages, maxd);
                 }
             }
-            TrialKernel::V2 => {
+            TrialKernel::V2 | TrialKernel::V3 => {
                 let prepared = crate::PreparedPipelineMc::new(self, pipeline);
                 let mut ws = prepared.workspace();
                 prepared.run_block(&mut ws, trials, seed_of, stats);

@@ -23,10 +23,13 @@ use vardelay_circuit::{CellLibrary, LatchParams, Netlist, StagedPipeline};
 use vardelay_process::spatial::DiePosition;
 use vardelay_process::{pelgrom_sigma, DieSample, ProcessSampler};
 use vardelay_ssta::sta::{arrival_times_into, nominal_gate_delays};
-use vardelay_stats::batch::{fill_standard_normals_inv_cdf, sample_standard_normal_inv_cdf};
+use vardelay_stats::batch::{
+    fill_standard_normals_inv_cdf, fill_standard_normals_inv_cdf_fma_multi,
+    sample_standard_normal_inv_cdf,
+};
 use vardelay_stats::normal::sample_standard_normal;
 
-use crate::kernel::{TrialKernel, V2_LANES};
+use crate::kernel::{TrialKernel, V2_LANES, V3_LANES, V3_WIDTH};
 use crate::pipeline_mc::PipelineMc;
 use crate::results::PipelineBlockStats;
 use crate::strategy::{PlanSampler, TrialPlan};
@@ -70,9 +73,56 @@ pub struct TrialWorkspace {
     at: Vec<f64>,
     /// Per-stage delays of the current trial.
     stage_delays: Vec<f64>,
+    /// Structure-of-arrays buffers of the v3 wide kernel (empty under
+    /// v1/v2 — they are sized only when a v3 runner prepares the
+    /// workspace).
+    wide: WideScratch,
     /// Trials served since the buffers were last (re)allocated — the
     /// observable half of the zero-allocation contract.
     reuses: u64,
+}
+
+/// Structure-of-arrays scratch of the v3 wide kernel: every buffer holds
+/// one `f64` per lane per item. The per-pass buffers (`dvth`, `slow`,
+/// `at`) are packed at the pass's own width `w` (`item * w + lane`) so a
+/// ragged final pass stays dense; the cross-pass buffers (`shared`,
+/// `latch`, `sd`) keep the fixed `item * V3_WIDTH + lane` stride the
+/// fill and record phases index by. Each lane's values are a pure
+/// function of its own trial, so pass width cannot leak into result
+/// bytes.
+#[derive(Debug, Clone, Default)]
+struct WideScratch {
+    /// Fill-phase gate normals, per-lane contiguous
+    /// (`lane * rand_total + g`): each lane's counter stream fills its
+    /// own row in one batch inverse-CDF call.
+    z_rows: Vec<f64>,
+    /// Per-gate per-lane total ΔVth shifts (`shared + sigma·z`) of the
+    /// stage currently being timed (`g * w + lane`), built while
+    /// transposing `z_rows` so one wide polynomial call covers the
+    /// stage.
+    dvth: Vec<f64>,
+    /// Per-stage per-lane shared die ΔVth (`s * V3_WIDTH + lane`).
+    shared: Vec<f64>,
+    /// Per-stage per-lane latch-jitter normals (`s * V3_WIDTH + lane`),
+    /// drawn up front in the fill phase (only when the latch has
+    /// jitter).
+    latch: Vec<f64>,
+    /// Per-gate per-lane slowdown factors of the stage currently being
+    /// timed (`g * w + lane`).
+    slow: Vec<f64>,
+    /// Per-signal per-lane arrival times of the stage currently being
+    /// timed (`signal * w + lane`).
+    at: Vec<f64>,
+    /// Per-stage per-lane stage delays (`s * V3_WIDTH + lane`).
+    sd: Vec<f64>,
+    /// Per-lane pipeline delays (max over stages).
+    maxd: [f64; V3_WIDTH],
+    /// Per-lane importance weights (plan path only).
+    weight: [f64; V3_WIDTH],
+    /// Per-lane generators parked after the die/latch draws so the
+    /// gate-normal rows can be filled with interleaved streams
+    /// (independent lanes hide each other's serial generator latency).
+    rngs: Vec<StdRng>,
 }
 
 impl TrialWorkspace {
@@ -235,14 +285,28 @@ impl PreparedPipelineMc {
             .max()
             .unwrap_or(0);
         let regions = self.sampler.region_value_count();
-        let before = (
-            ws.z.capacity(),
-            ws.die.region_dvth.capacity(),
-            ws.normals.capacity(),
-            ws.slowdown.capacity(),
-            ws.at.capacity(),
-            ws.stage_delays.capacity(),
-        );
+        let caps = |ws: &TrialWorkspace| {
+            (
+                (
+                    ws.z.capacity(),
+                    ws.die.region_dvth.capacity(),
+                    ws.normals.capacity(),
+                    ws.slowdown.capacity(),
+                    ws.at.capacity(),
+                    ws.stage_delays.capacity(),
+                ),
+                (
+                    ws.wide.z_rows.capacity(),
+                    ws.wide.dvth.capacity(),
+                    ws.wide.shared.capacity(),
+                    ws.wide.latch.capacity(),
+                    ws.wide.slow.capacity(),
+                    ws.wide.at.capacity(),
+                    ws.wide.sd.capacity(),
+                ),
+            )
+        };
+        let before = caps(ws);
         // +1: the v2 kernel shares the buffer between the inter-die draw
         // and the region draws.
         grow(&mut ws.z, regions + 1);
@@ -252,15 +316,20 @@ impl PreparedPipelineMc {
         grow(&mut ws.at, max_signals);
         grow(&mut ws.stage_delays, self.stages.len());
         ws.stage_delays.resize(self.stages.len(), 0.0);
-        let after = (
-            ws.z.capacity(),
-            ws.die.region_dvth.capacity(),
-            ws.normals.capacity(),
-            ws.slowdown.capacity(),
-            ws.at.capacity(),
-            ws.stage_delays.capacity(),
-        );
-        if before != after {
+        if self.kernel == TrialKernel::V3 {
+            // The wide buffers are indexed, not pushed, so they carry
+            // their working length (grow-only in capacity: `resize` never
+            // shrinks a Vec's allocation).
+            let stages = self.stages.len();
+            ws.wide.z_rows.resize(self.rand_total * V3_WIDTH, 0.0);
+            ws.wide.dvth.resize(max_gates * V3_WIDTH, 0.0);
+            ws.wide.shared.resize(stages * V3_WIDTH, 0.0);
+            ws.wide.latch.resize(stages * V3_WIDTH, 0.0);
+            ws.wide.slow.resize(max_gates * V3_WIDTH, 0.0);
+            ws.wide.at.resize(max_signals * V3_WIDTH, 0.0);
+            ws.wide.sd.resize(stages * V3_WIDTH, 0.0);
+        }
+        if before != caps(ws) {
             ws.reuses = 0;
         }
     }
@@ -513,6 +582,217 @@ impl PreparedPipelineMc {
         (max_d, weight)
     }
 
+    /// Fill phase of one **v3-kernel** pass of `seeds.len() <= V3_WIDTH`
+    /// trials, then the shared compute phase. Leaves lane `i`'s stage
+    /// delays in `ws.wide.sd[s * V3_WIDTH + i]` and its pipeline delay
+    /// in `ws.wide.maxd[i]`.
+    ///
+    /// The v3 RNG consumption order per trial is part of the contract
+    /// and deliberately differs from v2: die draws (batch inverse-CDF,
+    /// not Box–Muller), then **all** latch-jitter normals up front (one
+    /// per stage, only when the latch has jitter; v2 interleaves them
+    /// after each stage), then every gate normal in one FMA-fused batch
+    /// inverse-CDF fill ([`fill_standard_normals_inv_cdf_fma`]). The
+    /// fused fill consumes the RNG exactly like the v2 fill (one `u64`
+    /// per normal, tail fixups re-rolling per element) but evaluates the
+    /// quantile through `mul_add`-fused Acklam polynomials — correctly
+    /// rounded on every target, so its bytes are stable across dispatch
+    /// targets yet never interchangeable with v2's. Each lane consumes
+    /// only its own seeded RNG, so a trial's values are a pure function
+    /// of its index — pass grouping (including the ragged final pass)
+    /// cannot reach the result bytes.
+    fn sample_pass_v3(&self, ws: &mut TrialWorkspace, seeds: &[u64]) {
+        debug_assert!(seeds.len() <= V3_WIDTH);
+        let latch_sigma = self.latch.overhead_sigma_ps();
+        ws.wide.rngs.clear();
+        for (lane, &seed) in seeds.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            self.sampler
+                .sample_die_into_v3(&mut rng, &mut ws.z, &mut ws.die);
+            for (s, stage) in self.stages.iter().enumerate() {
+                ws.wide.shared[s * V3_WIDTH + lane] =
+                    ws.die.shared_dvth(if ws.die.region_dvth.is_empty() {
+                        0
+                    } else {
+                        stage.region
+                    });
+            }
+            if latch_sigma != 0.0 {
+                for s in 0..self.stages.len() {
+                    ws.wide.latch[s * V3_WIDTH + lane] = sample_standard_normal_inv_cdf(&mut rng);
+                }
+            }
+            ws.wide.rngs.push(rng);
+        }
+        let wide = &mut ws.wide;
+        fill_standard_normals_inv_cdf_fma_multi(
+            &mut wide.rngs,
+            &mut wide.z_rows[..seeds.len() * self.rand_total],
+        );
+        self.compute_pass_v3(ws, seeds.len());
+    }
+
+    /// Plan-modified fill phase of one v3 pass: [`Self::sample_pass_v3`]
+    /// with the strategy overlay (antithetic `sign` on every produced
+    /// normal, `lead` overrides on the die-level dims, inter-die mean
+    /// `shift`). Lane `i`'s importance weight lands in
+    /// `ws.wide.weight[i]`. `ps` is advanced in ascending trial order,
+    /// as the [`PlanSampler`] contract requires.
+    fn sample_pass_v3_plan(
+        &self,
+        ws: &mut TrialWorkspace,
+        ps: &mut PlanSampler,
+        start: u64,
+        w: usize,
+        seed_of: &impl Fn(u64) -> u64,
+    ) {
+        debug_assert!(w <= V3_WIDTH);
+        let latch_sigma = self.latch.overhead_sigma_ps();
+        let mut signs = [1.0f64; V3_WIDTH];
+        ws.wide.rngs.clear();
+        for (lane, sign_slot) in signs.iter_mut().enumerate().take(w) {
+            let (seed_index, sign) = ps.prepare_trial(start + lane as u64);
+            *sign_slot = sign;
+            let mut rng = StdRng::seed_from_u64(seed_of(seed_index));
+            ws.wide.weight[lane] = self.sampler.sample_die_into_v3_plan(
+                &mut rng,
+                sign,
+                ps.lead(),
+                ps.shift(),
+                &mut ws.z,
+                &mut ws.die,
+            );
+            for (s, stage) in self.stages.iter().enumerate() {
+                ws.wide.shared[s * V3_WIDTH + lane] =
+                    ws.die.shared_dvth(if ws.die.region_dvth.is_empty() {
+                        0
+                    } else {
+                        stage.region
+                    });
+            }
+            if latch_sigma != 0.0 {
+                for s in 0..self.stages.len() {
+                    ws.wide.latch[s * V3_WIDTH + lane] =
+                        sign * sample_standard_normal_inv_cdf(&mut rng);
+                }
+            }
+            ws.wide.rngs.push(rng);
+        }
+        let wide = &mut ws.wide;
+        fill_standard_normals_inv_cdf_fma_multi(
+            &mut wide.rngs,
+            &mut wide.z_rows[..w * self.rand_total],
+        );
+        for (lane, &sign) in signs.iter().enumerate().take(w) {
+            if sign != 1.0 {
+                let row = &mut wide.z_rows[lane * self.rand_total..(lane + 1) * self.rand_total];
+                for zi in row.iter_mut() {
+                    *zi *= sign;
+                }
+            }
+        }
+        self.compute_pass_v3(ws, w);
+    }
+
+    /// Lane-major compute phase of one v3 pass over `w` filled lanes,
+    /// visiting each stage and gate **once for the whole pass**: the
+    /// per-gate normal rows are transposed out of `z_rows` directly into
+    /// total ΔVth shifts (`shared + sigma·z`, fusing the transpose with
+    /// the shift build), one wide polynomial call turns a whole stage's
+    /// `gates × w` shift block into slowdown factors, then wide
+    /// arrival-time propagation (the fanin metadata of each gate is
+    /// loaded once per pass instead of once per trial) and per-lane
+    /// combinational max / latch overhead / stage delay. The per-pass
+    /// buffers are packed at width `w`; the per-lane arithmetic is
+    /// element-wise throughout, so a lane's bits never depend on its
+    /// pass-mates.
+    fn compute_pass_v3(&self, ws: &mut TrialWorkspace, w: usize) {
+        const W: usize = V3_WIDTH;
+        let WideScratch {
+            z_rows,
+            dvth,
+            shared,
+            latch,
+            slow,
+            at,
+            sd,
+            maxd,
+            weight: _,
+            rngs: _,
+        } = &mut ws.wide;
+        let latch_base = self.latch.overhead_ps();
+        let latch_sigma = self.latch.overhead_sigma_ps();
+        maxd[..w].fill(f64::NEG_INFINITY);
+        let mut rand_off = 0usize;
+        for (s, stage) in self.stages.iter().enumerate() {
+            let gates = stage.netlist.gate_count();
+            let sh = &shared[s * W..s * W + w];
+            if stage.rand_sigma.is_empty() {
+                // No per-gate randomness: one slowdown factor per lane
+                // covers the stage (same fused polynomial kernels as the
+                // wide helper, so the bits match the per-gate form —
+                // and stay on the v3 kernel family even when no stage
+                // draws per-gate normals).
+                let mut f = [0.0f64; W];
+                for (lane, fl) in f[..w].iter_mut().enumerate() {
+                    *fl = self.lib.vth_slowdown_factor_v3(sh[lane]);
+                }
+                for g in 0..gates {
+                    slow[g * w..(g + 1) * w].copy_from_slice(&f[..w]);
+                }
+            } else {
+                for (g, &sig) in stage.rand_sigma.iter().enumerate() {
+                    let row = &mut dvth[g * w..(g + 1) * w];
+                    for (lane, dv) in row.iter_mut().enumerate() {
+                        *dv = sh[lane] + sig * z_rows[lane * self.rand_total + rand_off + g];
+                    }
+                }
+                self.lib
+                    .vth_slowdown_factors_v3_shift_into(&dvth[..gates * w], &mut slow[..gates * w]);
+                rand_off += gates;
+            }
+            // Wide arrival times: inputs arrive at 0, each gate takes
+            // `max(fanin arrivals) + nominal * slowdown` per lane — the
+            // same operations in the same order as `arrival_times_into`,
+            // so each lane's bits match the scalar propagation.
+            let inputs = stage.netlist.input_count();
+            at[..inputs * w].fill(0.0);
+            for (i, g) in stage.netlist.gates().iter().enumerate() {
+                let out_off = (inputs + i) * w;
+                let (pre, rest) = at.split_at_mut(out_off);
+                let row = &mut rest[..w];
+                row.fill(f64::NEG_INFINITY);
+                for f in &g.fanins {
+                    let fr = &pre[f.0 * w..(f.0 + 1) * w];
+                    for (r, &a) in row.iter_mut().zip(fr) {
+                        *r = r.max(a);
+                    }
+                }
+                let nom = stage.nominal[i];
+                let srow = &slow[i * w..(i + 1) * w];
+                for (r, &sl) in row.iter_mut().zip(srow) {
+                    *r += nom * sl;
+                }
+            }
+            let mut comb = [0.0f64; W];
+            for o in stage.netlist.outputs() {
+                let orow = &at[o.0 * w..(o.0 + 1) * w];
+                for (c, &a) in comb[..w].iter_mut().zip(orow) {
+                    *c = c.max(a);
+                }
+            }
+            for (lane, &c) in comb[..w].iter().enumerate() {
+                let mut overhead = latch_base;
+                if latch_sigma != 0.0 {
+                    overhead += latch_sigma * latch[s * W + lane];
+                }
+                let sdv = c + overhead;
+                maxd[lane] = maxd[lane].max(sdv);
+                sd[s * W + lane] = sdv;
+            }
+        }
+    }
+
     /// Monte-Carlo pipeline yield at one target delay: runs the given
     /// trial range and returns the fraction of trials whose pipeline
     /// delay met `target_ps`, with its 95% Wilson interval. This is the
@@ -565,12 +845,23 @@ impl PreparedPipelineMc {
         // block.
         let fingerprint = |ws: &TrialWorkspace| {
             (
-                ws.z.as_ptr(),
-                ws.die.region_dvth.as_ptr(),
-                ws.normals.as_ptr(),
-                ws.slowdown.as_ptr(),
-                ws.at.as_ptr(),
-                ws.stage_delays.as_ptr(),
+                (
+                    ws.z.as_ptr(),
+                    ws.die.region_dvth.as_ptr(),
+                    ws.normals.as_ptr(),
+                    ws.slowdown.as_ptr(),
+                    ws.at.as_ptr(),
+                    ws.stage_delays.as_ptr(),
+                ),
+                (
+                    ws.wide.z_rows.as_ptr(),
+                    ws.wide.dvth.as_ptr(),
+                    ws.wide.shared.as_ptr(),
+                    ws.wide.latch.as_ptr(),
+                    ws.wide.slow.as_ptr(),
+                    ws.wide.at.as_ptr(),
+                    ws.wide.sd.as_ptr(),
+                ),
             )
         };
         let warm = fingerprint(ws);
@@ -594,6 +885,37 @@ impl PreparedPipelineMc {
                     let mut rng = StdRng::seed_from_u64(seed_of(t));
                     let maxd = self.sample_trial_v2(ws, &mut rng);
                     lanes[(t % V2_LANES as u64) as usize].record(&ws.stage_delays, maxd);
+                    debug_assert_eq!(
+                        fingerprint(ws),
+                        warm,
+                        "hot-path buffer reallocated mid-block"
+                    );
+                }
+                for lane in &lanes {
+                    stats.merge(lane);
+                }
+            }
+            TrialKernel::V3 => {
+                let mut lanes: Vec<PipelineBlockStats> =
+                    (0..V3_LANES).map(|_| stats.fresh_like()).collect();
+                let mut seeds = [0u64; V3_WIDTH];
+                let mut t = trials.start;
+                while t < trials.end {
+                    let w = ((trials.end - t) as usize).min(V3_WIDTH);
+                    for (i, s) in seeds[..w].iter_mut().enumerate() {
+                        *s = seed_of(t + i as u64);
+                    }
+                    self.sample_pass_v3(ws, &seeds[..w]);
+                    for i in 0..w {
+                        for s in 0..self.stages.len() {
+                            ws.stage_delays[s] = ws.wide.sd[s * V3_WIDTH + i];
+                        }
+                        let ti = t + i as u64;
+                        lanes[(ti % V3_LANES as u64) as usize]
+                            .record(&ws.stage_delays, ws.wide.maxd[i]);
+                    }
+                    ws.reuses += w as u64;
+                    t += w as u64;
                     debug_assert_eq!(
                         fingerprint(ws),
                         warm,
@@ -674,6 +996,36 @@ impl PreparedPipelineMc {
                     } else {
                         lane.record(&ws.stage_delays, maxd);
                     }
+                }
+                for lane in &lanes {
+                    stats.merge(lane);
+                }
+            }
+            TrialKernel::V3 => {
+                let mut lanes: Vec<PipelineBlockStats> =
+                    (0..V3_LANES).map(|_| stats.fresh_like()).collect();
+                let mut t = trials.start;
+                while t < trials.end {
+                    let w = ((trials.end - t) as usize).min(V3_WIDTH);
+                    self.sample_pass_v3_plan(ws, &mut ps, t, w, &seed_of);
+                    for i in 0..w {
+                        for s in 0..self.stages.len() {
+                            ws.stage_delays[s] = ws.wide.sd[s * V3_WIDTH + i];
+                        }
+                        let ti = t + i as u64;
+                        let lane = &mut lanes[(ti % V3_LANES as u64) as usize];
+                        if weighted {
+                            lane.record_weighted(
+                                &ws.stage_delays,
+                                ws.wide.maxd[i],
+                                ws.wide.weight[i],
+                            );
+                        } else {
+                            lane.record(&ws.stage_delays, ws.wide.maxd[i]);
+                        }
+                    }
+                    ws.reuses += w as u64;
+                    t += w as u64;
                 }
                 for lane in &lanes {
                     stats.merge(lane);
@@ -891,6 +1243,103 @@ mod tests {
         assert_eq!(stats.trials(), 128);
     }
 
+    /// The v3 contract in miniature: a block's v3 bytes are a pure
+    /// function of its trial range — fresh or reused workspace, prepared
+    /// or unprepared runner, aligned or ragged range (a final pass
+    /// narrower than [`V3_WIDTH`] must not perturb any lane's bits).
+    #[test]
+    fn v3_block_bytes_are_a_pure_function_of_the_range() {
+        for var in [
+            VariationConfig::none(),
+            VariationConfig::random_only(35.0),
+            VariationConfig::inter_only(40.0),
+            VariationConfig::combined(20.0, 35.0, 15.0),
+        ] {
+            let mc =
+                PipelineMc::new(CellLibrary::default(), var, None).with_kernel(TrialKernel::V3);
+            let p = pipe(4, 6);
+            let prepared = PreparedPipelineMc::new(&mc, &p);
+            assert_eq!(prepared.kernel(), TrialKernel::V3);
+
+            let targets = [150.0, 200.0];
+            // 256..517 ends on a ragged 5-wide pass.
+            let range = 256..517u64;
+            let mut a = PipelineBlockStats::new(p.stage_count(), &targets);
+            let mut ws = prepared.workspace();
+            prepared.run_block(&mut ws, range.clone(), seed_of, &mut a);
+            assert_eq!(a.trials(), 261);
+
+            // Same range again, same (now warm) workspace.
+            let mut b = PipelineBlockStats::new(p.stage_count(), &targets);
+            prepared.run_block(&mut ws, range.clone(), seed_of, &mut b);
+            assert_eq!(a, b, "v3 block not reproducible under {var:?}");
+
+            // The unprepared runner delegates to the same v3 arithmetic.
+            let mut c = PipelineBlockStats::new(p.stage_count(), &targets);
+            mc.run_block(&p, range, seed_of, &mut c);
+            assert_eq!(a, c, "PipelineMc v3 diverged from prepared under {var:?}");
+        }
+    }
+
+    /// v3 draws from the same distributions as v1 and v2 but is a third
+    /// distinct byte stream: moments and yields agree within Monte-Carlo
+    /// error at matched trial counts, bytes never coincide.
+    #[test]
+    fn v3_statistically_matches_v1_and_v2() {
+        let var = VariationConfig::combined(20.0, 35.0, 15.0);
+        let p = pipe(4, 6);
+        let n = 40_000u64;
+        let target = [115.0];
+        let stats_for = |kernel: TrialKernel| {
+            let mc = PipelineMc::new(CellLibrary::default(), var, None).with_kernel(kernel);
+            let prepared = PreparedPipelineMc::new(&mc, &p);
+            let mut s = PipelineBlockStats::new(p.stage_count(), &target);
+            prepared.run_block(&mut prepared.workspace(), 0..n, seed_of, &mut s);
+            s
+        };
+        let s3 = stats_for(TrialKernel::V3);
+        for kernel in [TrialKernel::V1, TrialKernel::V2] {
+            let s = stats_for(kernel);
+            assert_ne!(s, s3, "v3 must not reproduce {kernel:?} bytes");
+            let (m, m3) = (s.pipeline().mean(), s3.pipeline().mean());
+            let (d, d3) = (s.pipeline().sample_sd(), s3.pipeline().sample_sd());
+            let tol = 5.0 * d * (2.0 / n as f64).sqrt();
+            assert!(
+                (m - m3).abs() < tol,
+                "{kernel:?} means {m} vs {m3} (tol {tol})"
+            );
+            assert!((d - d3).abs() / d < 0.05, "{kernel:?} sds {d} vs {d3}");
+            let (y, y3) = (s.yield_estimate(0), s3.yield_estimate(0));
+            assert!(
+                y.lo <= y3.hi && y3.lo <= y.hi,
+                "yield CIs disjoint: {y:?} vs {y3:?}"
+            );
+            for (a, b) in s.stage_stats().iter().zip(s3.stage_stats()) {
+                assert!(
+                    (a.mean() - b.mean()).abs() < 5.0 * a.sample_sd() * (2.0 / n as f64).sqrt()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v3_workspace_is_reused_across_blocks() {
+        let mc = PipelineMc::new(
+            CellLibrary::default(),
+            VariationConfig::combined(20.0, 35.0, 15.0),
+            None,
+        )
+        .with_kernel(TrialKernel::V3);
+        let p = pipe(3, 5);
+        let prepared = PreparedPipelineMc::new(&mc, &p);
+        let mut ws = prepared.workspace();
+        let mut stats = PipelineBlockStats::new(p.stage_count(), &[]);
+        prepared.run_block(&mut ws, 0..64, seed_of, &mut stats);
+        prepared.run_block(&mut ws, 64..128, seed_of, &mut stats);
+        assert_eq!(ws.reuses(), 128, "v3 hot path must not reallocate");
+        assert_eq!(stats.trials(), 128);
+    }
+
     /// The trial-plan contract in miniature: for every strategy × kernel,
     /// a block's bytes are a pure function of the trial range, the
     /// unprepared runner delegates to the same arithmetic, and the bytes
@@ -905,7 +1354,7 @@ mod tests {
             TrialStrategy::Sobol,
             TrialStrategy::Blockade,
         ] {
-            for kernel in [TrialKernel::V1, TrialKernel::V2] {
+            for kernel in TrialKernel::ALL {
                 let mc = PipelineMc::new(CellLibrary::default(), var, None).with_kernel(kernel);
                 let p = pipe(3, 5);
                 let prepared = PreparedPipelineMc::new(&mc, &p);

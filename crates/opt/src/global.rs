@@ -338,6 +338,7 @@ impl GlobalPipelineOptimizer {
             let span_name = match self.kernel {
                 TrialKernel::V1 => "criticality",
                 TrialKernel::V2 => "criticality_v2",
+                TrialKernel::V3 => "criticality_v3",
             };
             let _sp = vardelay_obs::span("opt", span_name).value(20_000.0);
             let stages: Vec<StageDelay> = timing
@@ -349,6 +350,7 @@ impl GlobalPipelineOptimizer {
             match self.kernel {
                 TrialKernel::V1 => p.criticality_probabilities(20_000, 0xC817),
                 TrialKernel::V2 => p.criticality_probabilities_v2(20_000, 0xC817),
+                TrialKernel::V3 => p.criticality_probabilities_v3(20_000, 0xC817),
             }
         };
         let crit0 = criticality(&timing0);

@@ -11,7 +11,7 @@
 //! did run, and the early-stop decision replays identically on every
 //! machine and worker count.
 
-use vardelay_mc::{PipelineBlockStats, PreparedPipelineMc, TrialPlan, TrialWorkspace};
+use vardelay_mc::{PipelineBlockStats, PreparedPipelineMc, TrialKernel, TrialPlan, TrialWorkspace};
 
 /// Trials per verification chunk. A multiple of the 256-trial strategy
 /// block, so chunk boundaries never split an antithetic pair or a
@@ -55,10 +55,27 @@ pub fn verify_yield(
     if plan.is_weighted() {
         stats = stats.with_weighted_tail();
     }
+    // The v1/v2 verification bytes are frozen as one continuous
+    // accumulation over the chunk sequence. The v3 kernel's contract is
+    // instead *defined* chunk-wise: every chunk accumulates into a
+    // fresh block and merges in ascending order, which is what lets the
+    // engine dispatch chunks across its worker pool and still reproduce
+    // this sequential fold bit-for-bit at any worker count.
+    let chunk_fold = prepared.kernel() == TrialKernel::V3;
     let mut done = 0;
     while done < budget {
         let end = (done + VERIFY_CHUNK_TRIALS).min(budget);
-        prepared.run_block_plan(ws, done..end, &seed_of, plan, &mut stats);
+        if chunk_fold {
+            let mut chunk = stats.fresh_like();
+            if plan.is_plain() {
+                prepared.run_block(ws, done..end, &seed_of, &mut chunk);
+            } else {
+                prepared.run_block_plan(ws, done..end, &seed_of, plan, &mut chunk);
+            }
+            stats.merge(&chunk);
+        } else {
+            prepared.run_block_plan(ws, done..end, &seed_of, plan, &mut stats);
+        }
         done = end;
         if let Some(target_hw) = ci_half_width {
             if stats.yield_half_width(0) <= target_hw {

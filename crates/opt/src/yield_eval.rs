@@ -156,11 +156,12 @@ impl PipelineYieldEval for NetlistMcYieldEval {
         _timing: &PipelineTiming,
         target_ps: f64,
     ) -> f64 {
-        // Per-kernel span/counter names keep v1 and v2 Monte-Carlo time
-        // separately attributable in `vardelay report` / `--metrics`.
+        // Per-kernel span/counter names keep each kernel's Monte-Carlo
+        // time separately attributable in `vardelay report` / `--metrics`.
         let (span_name, counter_name) = match self.mc.kernel() {
             TrialKernel::V1 => ("yield_eval", "trials"),
             TrialKernel::V2 => ("yield_eval_v2", "trials_v2"),
+            TrialKernel::V3 => ("yield_eval_v3", "trials_v3"),
         };
         let _sp = vardelay_obs::span("opt", span_name)
             .key(self.run_id)

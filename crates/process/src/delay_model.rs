@@ -14,7 +14,10 @@
 //! σdelay throughout the workspace.
 
 use serde::{Deserialize, Serialize};
-use vardelay_stats::batch::{exp_approx, ln_one_minus, LN_ONE_MINUS_MAX_R};
+use vardelay_stats::batch::{
+    exp_approx, exp_approx_fma, exp_approx_fma_raw, ln_one_minus, ln_one_minus_ratio_fma_raw,
+    LN_ONE_MINUS_MAX_R,
+};
 
 use crate::tech::Technology;
 
@@ -93,6 +96,131 @@ pub fn slowdown_factors_approx_into(
     for (o, (&sig, &zi)) in out.iter_mut().zip(sigmas.iter().zip(z)) {
         *o = slowdown_factor_approx(od, alpha, shared + sig * zi);
     }
+}
+
+/// Shift-major **fused** slowdown factors for the v3 wide kernel's
+/// stage pass:
+/// `out[i] = slowdown_factor_approx_fma(od, alpha, shift[i])`,
+/// bit-identical per element. The caller has already combined each
+/// lane's die-level ΔVth with its gate's Pelgrom term
+/// (`shift = shared + sigma·z`), which lets one call cover a whole
+/// stage's `gates × lanes` block instead of one call per gate. Unlike
+/// the v2 pipeline, the polynomial chains here are the `_fma` variants
+/// of the same frozen kernels — fused steps halve the latency-bound
+/// Horner chains, and `mul_add` is correctly rounded on every target,
+/// so the hoisted-range fast path and the element-wise scalar fallback
+/// still produce identical bits for in-range elements (batch
+/// granularity cannot reach the results).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ, `od <= 0`, or (in the fallback)
+/// an element's shift reaches the supply.
+pub fn slowdown_factors_shift_approx_into(od: f64, alpha: f64, shift: &[f64], out: &mut [f64]) {
+    assert!(od > 0.0, "overdrive must be positive");
+    assert!(shift.len() == out.len(), "slice length mismatch");
+    if fast_path_shift_dispatch(od, alpha, shift, out) {
+        return;
+    }
+    // Some element left the certified range: `out` holds intermediate
+    // values, so recompute everything element-wise from `shift`
+    // (in-range elements produce the same bits either way).
+    for (o, &sh) in out.iter_mut().zip(shift) {
+        *o = slowdown_factor_approx_fma(od, alpha, sh);
+    }
+}
+
+/// Scalar form of the v3 shift pipeline: [`slowdown_factor_approx`] on
+/// the fused polynomial kernels ([`ln_one_minus_fma`],
+/// [`exp_approx_fma`]) — the element-wise reference (and out-of-range
+/// fallback) of [`slowdown_factors_shift_approx_into`]. Beyond the
+/// certified range it falls back to the same exact `powf` form as the
+/// v1/v2 scalar.
+///
+/// # Panics
+///
+/// Panics if `dvth >= od` (the gate would not switch) or `od <= 0`.
+#[inline]
+pub fn slowdown_factor_approx_fma(od: f64, alpha: f64, dvth: f64) -> f64 {
+    assert!(od > 0.0, "overdrive must be positive");
+    assert!(dvth < od, "threshold shift {dvth} V reaches the supply");
+    // Range test and series argument both avoid forming r = dvth/od:
+    // the wide pipeline spends one division per element this way, and
+    // the scalar reference must follow the identical schedule to stay
+    // bit-interchangeable with it.
+    if dvth.abs() > LN_ONE_MINUS_MAX_R * od {
+        return (od / (od - dvth)).powf(alpha);
+    }
+    let x = -alpha * ln_one_minus_ratio_fma_raw(dvth, od);
+    if x.abs() > vardelay_stats::batch::EXP_APPROX_MAX_X {
+        return (od / (od - dvth)).powf(alpha);
+    }
+    exp_approx_fma(x)
+}
+
+/// The certified-range pipeline of
+/// [`slowdown_factors_shift_approx_into`]: the same element-wise maps
+/// as [`fast_path`] on the fused kernels, minus the shift construction
+/// the caller already did — but as **one** sweep instead of five.
+/// Each element runs the whole div → ln → exp chain speculatively
+/// through the `_raw` (uncheck­ed) kernels while a branchless flag
+/// accumulates both range tests; out-of-range elements produce junk
+/// that the `false` return tells the caller to discard wholesale. One
+/// load and one store per element instead of three of each plus two
+/// scan passes, and the independent per-element chains give the
+/// out-of-order core more to overlap than three short loops did.
+/// In-range elements see the exact same operation sequence as the
+/// scalar reference, so bits are unchanged.
+#[inline(always)]
+fn fast_path_shift(od: f64, alpha: f64, shift: &[f64], out: &mut [f64]) -> bool {
+    #[inline(always)]
+    fn one(od: f64, alpha: f64, sh: f64, o: &mut f64, ok: &mut bool) {
+        *ok &= sh.abs() <= LN_ONE_MINUS_MAX_R * od;
+        let x = -alpha * ln_one_minus_ratio_fma_raw(sh, od);
+        *ok &= x.abs() <= vardelay_stats::batch::EXP_APPROX_MAX_X;
+        *o = exp_approx_fma_raw(x);
+    }
+    // Walk the two halves of the slice in lock-step so every iteration
+    // carries two independent div → ln → exp chains: the chains are
+    // latency-bound, and pairing them roughly doubles what the
+    // out-of-order core can overlap. Identical per-element operations,
+    // so the bits match the straight-line walk exactly.
+    let mut ok = true;
+    let n = out.len();
+    let half = n / 2;
+    let (o_lo, o_hi) = out.split_at_mut(half);
+    let (s_lo, s_hi) = shift.split_at(half);
+    for ((ol, &sl), (oh, &sh2)) in o_lo.iter_mut().zip(s_lo).zip(o_hi.iter_mut().zip(s_hi)) {
+        one(od, alpha, sl, ol, &mut ok);
+        one(od, alpha, sh2, oh, &mut ok);
+    }
+    if n % 2 == 1 {
+        one(od, alpha, s_hi[half], &mut o_hi[half], &mut ok);
+    }
+    ok
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx,fma")]
+unsafe fn fast_path_shift_avx(od: f64, alpha: f64, shift: &[f64], out: &mut [f64]) -> bool {
+    fast_path_shift(od, alpha, shift, out)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn fast_path_shift_dispatch(od: f64, alpha: f64, shift: &[f64], out: &mut [f64]) -> bool {
+    if std::arch::is_x86_feature_detected!("fma") && std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: both features were just detected at runtime.
+        unsafe { fast_path_shift_avx(od, alpha, shift, out) }
+    } else {
+        fast_path_shift(od, alpha, shift, out)
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn fast_path_shift_dispatch(od: f64, alpha: f64, shift: &[f64], out: &mut [f64]) -> bool {
+    fast_path_shift(od, alpha, shift, out)
 }
 
 /// The certified-range pipeline of [`slowdown_factors_approx_into`]:
@@ -375,5 +503,56 @@ mod tests {
             let want = slowdown_factor_approx(od, alpha, shared + sigmas[i] * z_wild[i]);
             assert_eq!(got, want, "fallback element {i}");
         }
+    }
+
+    #[test]
+    fn shift_slowdown_matches_fma_scalar_bit_for_bit() {
+        // The v3 shift form must reproduce its fused scalar reference
+        // exactly, including through the fallback.
+        let (od, alpha) = (0.7, 1.3);
+        let shift: Vec<f64> = (0..48).map(|i| -0.25 + 0.01 * i as f64).collect();
+        let mut out = vec![0.0; 48];
+        slowdown_factors_shift_approx_into(od, alpha, &shift, &mut out);
+        for (i, &got) in out.iter().enumerate() {
+            let want = slowdown_factor_approx_fma(od, alpha, shift[i]);
+            assert_eq!(got, want, "element {i}");
+        }
+
+        // Ragged width (partial final pass) and fallback: one wild
+        // element forces the scalar path, in-range elements keep their
+        // bits.
+        let mut sh_wild = shift[..11].to_vec();
+        sh_wild[4] = 0.55; // |r| > 0.6 against od = 0.7
+        let mut out_wild = vec![0.0; 11];
+        slowdown_factors_shift_approx_into(od, alpha, &sh_wild, &mut out_wild);
+        for (i, &got) in out_wild.iter().enumerate() {
+            let want = slowdown_factor_approx_fma(od, alpha, sh_wild[i]);
+            assert_eq!(got, want, "fallback element {i}");
+        }
+        assert_eq!(out_wild[2], out[2], "element bits are width-independent");
+    }
+
+    #[test]
+    fn fma_scalar_slowdown_agrees_with_v2_scalar() {
+        // Same frozen coefficients, fused rounding schedule: the v3
+        // scalar must track the v2 scalar far below any physical
+        // tolerance across the certified range (and match exactly in the
+        // shared powf fallback).
+        let (od, alpha) = (0.7, 1.3);
+        let mut dvth = -0.4;
+        while dvth < 0.4 {
+            let fused = slowdown_factor_approx_fma(od, alpha, dvth);
+            let plain = slowdown_factor_approx(od, alpha, dvth);
+            assert!(
+                ((fused - plain) / plain).abs() < 1e-12,
+                "dvth={dvth}: {fused} vs {plain}"
+            );
+            dvth += 1e-3;
+        }
+        assert_eq!(
+            slowdown_factor_approx_fma(od, alpha, 0.45),
+            slowdown_factor_approx(od, alpha, 0.45),
+            "out-of-range fallback is the shared exact powf"
+        );
     }
 }

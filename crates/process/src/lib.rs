@@ -43,7 +43,10 @@ pub mod spatial;
 pub mod tech;
 pub mod variation;
 
-pub use delay_model::{slowdown_factor_approx, slowdown_factors_approx_into, AlphaPowerDelay};
+pub use delay_model::{
+    slowdown_factor_approx, slowdown_factor_approx_fma, slowdown_factors_approx_into,
+    slowdown_factors_shift_approx_into, AlphaPowerDelay,
+};
 pub use pelgrom::pelgrom_sigma;
 pub use sample::{DieSample, ProcessSampler};
 pub use spatial::{SpatialCorrelator, SpatialGrid};

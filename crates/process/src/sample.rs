@@ -8,7 +8,7 @@
 
 use rand::Rng;
 
-use vardelay_stats::batch::fill_standard_normals_bm;
+use vardelay_stats::batch::{fill_standard_normals_bm, fill_standard_normals_inv_cdf};
 use vardelay_stats::normal::sample_standard_normal;
 use vardelay_stats::strata::mean_shift_weight;
 
@@ -325,6 +325,111 @@ impl ProcessSampler {
         }
     }
 
+    /// The **v3-kernel** die sampler: same component semantics and draw
+    /// order as [`ProcessSampler::sample_die_into_v2`], but every normal
+    /// comes from one batch **inverse-CDF** fill — the wide kernel draws
+    /// all of a trial's normals (die, latch, gate) through the same
+    /// branch-free transform so the whole fill phase stays vectorizable.
+    /// One uniform per normal; different (but equally deterministic)
+    /// bytes than both the v1 and v2 samplers whenever a die-level
+    /// component is configured.
+    pub fn sample_die_into_v3<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        z: &mut Vec<f64>,
+        die: &mut DieSample,
+    ) {
+        let n_inter = usize::from(self.variation.has_inter());
+        let regions = self.region_value_count();
+        if n_inter + regions == 0 {
+            die.global_dvth = 0.0;
+            die.region_dvth.clear();
+            return;
+        }
+        z.resize(n_inter + regions, 0.0);
+        fill_standard_normals_inv_cdf(rng, z);
+        die.global_dvth = if n_inter == 1 {
+            self.variation.sigma_vth_inter_v() * z[0]
+        } else {
+            0.0
+        };
+        if regions > 0 {
+            let corr = self
+                .correlator
+                .as_ref()
+                .expect("systematic variation implies a grid");
+            die.region_dvth.resize(regions, 0.0);
+            corr.correlate_into(&z[n_inter..], &mut die.region_dvth);
+            let s = self.variation.sigma_vth_sys_v();
+            for v in &mut die.region_dvth {
+                *v *= s;
+            }
+        } else {
+            die.region_dvth.clear();
+        }
+    }
+
+    /// The **trial-plan** die sampler under the v3 kernel: fills the
+    /// die-level normals exactly as [`ProcessSampler::sample_die_into_v3`]
+    /// (one batch inverse-CDF fill), then overlays the plan modifications
+    /// — leading-dim overrides, antithetic sign, inter-die mean shift —
+    /// with the same semantics as
+    /// [`ProcessSampler::sample_die_into_plan`]. Returns the trial's
+    /// importance weight.
+    pub fn sample_die_into_v3_plan<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sign: f64,
+        lead: &[f64],
+        shift: f64,
+        z: &mut Vec<f64>,
+        die: &mut DieSample,
+    ) -> f64 {
+        let n_inter = usize::from(self.variation.has_inter());
+        let regions = self.region_value_count();
+        if n_inter + regions == 0 {
+            die.global_dvth = 0.0;
+            die.region_dvth.clear();
+            return 1.0;
+        }
+        z.resize(n_inter + regions, 0.0);
+        fill_standard_normals_inv_cdf(rng, z);
+        for (zi, &l) in z.iter_mut().zip(lead) {
+            *zi = l;
+        }
+        if sign != 1.0 {
+            for zi in z.iter_mut() {
+                *zi *= sign;
+            }
+        }
+        let mut weight = 1.0;
+        die.global_dvth = if n_inter == 1 {
+            let mut n0 = z[0];
+            if shift != 0.0 {
+                weight = mean_shift_weight(shift, n0);
+                n0 += shift;
+            }
+            self.variation.sigma_vth_inter_v() * n0
+        } else {
+            0.0
+        };
+        if regions > 0 {
+            let corr = self
+                .correlator
+                .as_ref()
+                .expect("systematic variation implies a grid");
+            die.region_dvth.resize(regions, 0.0);
+            corr.correlate_into(&z[n_inter..], &mut die.region_dvth);
+            let s = self.variation.sigma_vth_sys_v();
+            for v in &mut die.region_dvth {
+                *v *= s;
+            }
+        } else {
+            die.region_dvth.clear();
+        }
+        weight
+    }
+
     /// Draws the independent random ΔVth (V) for one gate of size factor
     /// `x` (Pelgrom scaling).
     ///
@@ -446,6 +551,43 @@ mod tests {
     }
 
     #[test]
+    fn v3_die_sampler_matches_component_moments_and_differs_from_v2() {
+        // Same semantics again — only the normal source changes (batch
+        // inverse-CDF) — so the component moments must survive, and the
+        // per-seed bytes must differ from the v2 (Box–Muller) fill.
+        let s = ProcessSampler::new(VariationConfig::combined(20.0, 35.0, 15.0), None);
+        let mut rng = StdRng::seed_from_u64(0x3D1E);
+        let mut z = Vec::new();
+        let mut die = DieSample::default();
+        let mut inter = RunningStats::new();
+        let mut region0 = RunningStats::new();
+        for _ in 0..30_000 {
+            s.sample_die_into_v3(&mut rng, &mut z, &mut die);
+            inter.push(die.global_dvth);
+            region0.push(die.region_dvth[0]);
+        }
+        assert!((inter.sample_sd() - 0.020).abs() < 5e-4, "{inter}");
+        assert!((region0.sample_sd() - 0.015).abs() < 5e-4, "{region0}");
+        assert!(inter.mean().abs() < 5e-4);
+
+        let mut a = DieSample::default();
+        let mut b = DieSample::default();
+        for seed in 0..8u64 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            s.sample_die_into_v2(&mut r1, &mut z, &mut a);
+            s.sample_die_into_v3(&mut r2, &mut z, &mut b);
+            assert_ne!(a, b, "v3 die bytes must not coincide with v2");
+        }
+
+        // No variation: nothing drawn, nothing allocated.
+        let none = ProcessSampler::new(VariationConfig::none(), None);
+        none.sample_die_into_v3(&mut rng, &mut z, &mut die);
+        assert_eq!(die.global_dvth, 0.0);
+        assert!(die.region_dvth.is_empty());
+    }
+
+    #[test]
     fn plan_sampler_with_identity_mods_matches_plain_bit_for_bit() {
         // sign 1, no overrides, no shift: the plan sampler must replay
         // the plain stream exactly (weight 1, identical bits) under both
@@ -466,6 +608,12 @@ mod tests {
             let mut r2 = StdRng::seed_from_u64(seed);
             s.sample_die_into_v2(&mut r1, &mut za, &mut a);
             let w = s.sample_die_into_v2_plan(&mut r2, 1.0, &[], 0.0, &mut zb, &mut b);
+            assert_eq!(w, 1.0);
+            assert_eq!(a, b);
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            s.sample_die_into_v3(&mut r1, &mut za, &mut a);
+            let w = s.sample_die_into_v3_plan(&mut r2, 1.0, &[], 0.0, &mut zb, &mut b);
             assert_eq!(w, 1.0);
             assert_eq!(a, b);
         }

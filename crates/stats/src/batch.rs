@@ -255,6 +255,249 @@ pub fn fill_standard_normals_inv_cdf<R: Rng + ?Sized>(rng: &mut R, out: &mut [f6
     }
 }
 
+// ---------------------------------------------------------------------
+// FMA-fused v3 variants.
+//
+// The v2 polynomial kernels above deliberately avoid fused
+// multiply-add: their contract predates the v3 kernel, and plain
+// mul/add vectorization is IEEE-exact per element on every target. The
+// price is that every Horner step costs two serially dependent
+// operations (multiply, then add), which makes the chains latency-bound
+// — measured on the trial hot path, the polynomial passes run at ~13
+// cycles per element despite vectorizing cleanly.
+//
+// The v3 wide kernel defines its own contract on **fused** steps:
+// `f64::mul_add` is correctly rounded (a single rounding per step) and
+// LLVM lowers it to hardware FMA where available and to the
+// correctly-rounded `fma` runtime everywhere else, so the bits are
+// identical on every dispatch target — the same bit-stability guarantee
+// as the v2 kernels, at half the operation count and half the chain
+// latency. The coefficients are the very same frozen numerals; only the
+// rounding schedule (one rounding per step instead of two) differs, so
+// each `_fma` variant agrees with its v2 twin to within a few ULP while
+// never being bit-interchangeable with it.
+
+/// [`standard_normal_inv_cdf`] with the central rational's Horner chains
+/// fused (`mul_add`) — the v3 kernel's quantile. Same frozen Acklam
+/// coefficients and branch structure; the tail branches (~4.85% of
+/// uniform draws) share [`acklam_tail`] with the v2 quantile verbatim.
+///
+/// # Panics
+///
+/// Debug-asserts `p` in the open interval `(0, 1)`.
+#[inline]
+pub fn standard_normal_inv_cdf_fma(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1), got {p}");
+    if p < ACKLAM_P_LOW {
+        acklam_tail((-2.0 * p.ln()).sqrt())
+    } else if p <= 1.0 - ACKLAM_P_LOW {
+        acklam_central_fma(p - 0.5)
+    } else {
+        -acklam_tail((-2.0 * (1.0 - p).ln()).sqrt())
+    }
+}
+
+/// [`acklam_central`] with both Horner chains fused and regrouped
+/// Estrin-style: the numerator and denominator each become three
+/// independent degree-1 leaves combined through `r2`/`r4`, cutting the
+/// serial chain ahead of the closing division roughly in half.
+#[inline]
+fn acklam_central_fma(q: f64) -> f64 {
+    let (a, b) = (ACKLAM_A, ACKLAM_B);
+    let r = q * q;
+    let r2 = r * r;
+    let r4 = r2 * r2;
+    let n01 = a[4].mul_add(r, a[5]);
+    let n23 = a[2].mul_add(r, a[3]);
+    let n45 = a[0].mul_add(r, a[1]);
+    let num = n45.mul_add(r4, n23.mul_add(r2, n01)) * q;
+    let d01 = b[4].mul_add(r, 1.0);
+    let d23 = b[2].mul_add(r, b[3]);
+    let d45 = b[0].mul_add(r, b[1]);
+    let den = d45.mul_add(r4, d23.mul_add(r2, d01));
+    num / den
+}
+
+/// The fused central-rational map over one lane of uniforms; the
+/// `avx,fma` wrapper below inherits the body, where `mul_add` lowers to
+/// 4-wide `vfmadd` — and to the correctly-rounded `fma` runtime call in
+/// the portable build, producing identical bits.
+#[inline(always)]
+fn acklam_central_pass_fma(out: &mut [f64], u: &[f64]) {
+    // Two independent rational chains per iteration (lock-step halves):
+    // the num/den/divide chain is latency-bound, and pairing elements
+    // doubles what the out-of-order core can overlap. Identical
+    // per-element operations, so bits match the straight-line walk.
+    let n = out.len();
+    let half = n / 2;
+    let (z_lo, z_hi) = out.split_at_mut(half);
+    let (u_lo, u_hi) = u.split_at(half);
+    for ((zl, &pl), (zh, &ph)) in z_lo.iter_mut().zip(u_lo).zip(z_hi.iter_mut().zip(u_hi)) {
+        *zl = acklam_central_fma(pl - 0.5);
+        *zh = acklam_central_fma(ph - 0.5);
+    }
+    if n % 2 == 1 {
+        z_hi[half] = acklam_central_fma(u_hi[half] - 0.5);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx,fma")]
+unsafe fn acklam_central_pass_fma_avx(out: &mut [f64], u: &[f64]) {
+    acklam_central_pass_fma(out, u);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn acklam_central_pass_fma_dispatch(out: &mut [f64], u: &[f64]) {
+    if std::arch::is_x86_feature_detected!("fma") && std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: both features were just detected at runtime.
+        unsafe { acklam_central_pass_fma_avx(out, u) }
+    } else {
+        acklam_central_pass_fma(out, u);
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn acklam_central_pass_fma_dispatch(out: &mut [f64], u: &[f64]) {
+    acklam_central_pass_fma(out, u);
+}
+
+/// Draw one chunk of open-interval uniforms, recording which indices
+/// fall in the quantile's tail regions. The branchless index push rides
+/// in the shadow of the generator's serial dependency chain, so tail
+/// detection is free here where a separate scan pass over the chunk is
+/// not.
+#[inline]
+fn draw_uniform_chunk<R: Rng + ?Sized>(rng: &mut R, u: &mut [f64], tails: &mut [u8; 64]) -> usize {
+    let mut tn = 0usize;
+    for (i, v) in u.iter_mut().enumerate() {
+        let p = uniform_open_from_u64(rng.next_u64());
+        *v = p;
+        tails[tn] = i as u8;
+        tn += usize::from(!(ACKLAM_P_LOW..=1.0 - ACKLAM_P_LOW).contains(&p));
+    }
+    tn
+}
+
+/// One quantile chunk of the fused fill: the vectorized central
+/// rational over every element, then the tail fixup on the recorded
+/// indices only. Shared by the single- and multi-stream fills so both
+/// produce identical bits for identical uniforms.
+#[inline]
+fn quantile_chunk_fma(chunk: &mut [f64], u: &[f64], tails: &[u8]) {
+    // For tail elements this evaluates the central rational out of
+    // its domain — finite junk, overwritten below.
+    acklam_central_pass_fma_dispatch(chunk, u);
+    for &i in tails {
+        let i = i as usize;
+        let p = u[i];
+        chunk[i] = if p < ACKLAM_P_LOW {
+            acklam_tail((-2.0 * p.ln()).sqrt())
+        } else {
+            -acklam_tail((-2.0 * (1.0 - p).ln()).sqrt())
+        };
+    }
+}
+
+/// [`fill_standard_normals_inv_cdf`] on the fused quantile — the v3
+/// kernel's gate-normal fill. One `u64` per element in order (identical
+/// RNG consumption to the v2 fill, so swapping fills cannot shift any
+/// later draw), element-wise identical to
+/// [`standard_normal_inv_cdf_fma`] on each uniform.
+pub fn fill_standard_normals_inv_cdf_fma<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    let mut uniforms = [0.0f64; 64];
+    let mut tails = [0u8; 64];
+    for chunk in out.chunks_mut(64) {
+        let u = &mut uniforms[..chunk.len()];
+        let tn = draw_uniform_chunk(rng, u, &mut tails);
+        quantile_chunk_fma(chunk, u, &tails[..tn]);
+    }
+}
+
+/// [`fill_standard_normals_inv_cdf_fma`] over several **independent**
+/// generator streams at once: row `i` of `out` (rows are `out.len() /
+/// rngs.len()` contiguous elements) is filled element-wise and
+/// bit-identically as `fill_standard_normals_inv_cdf_fma(&mut rngs[i],
+/// row_i)` would fill it, consuming only `rngs[i]`. The point is
+/// throughput: a single xoshiro stream is a serial dependency chain
+/// (~4–5 cycles per `u64`, un-hideable), but four interleaved
+/// independent streams keep the scalar units saturated, roughly
+/// tripling generation throughput. Rows are processed in quads;
+/// leftover rows (fewer than four) fall back to the single-stream
+/// fill, which produces the same bits.
+///
+/// # Panics
+///
+/// Panics if `rngs` is empty or `out.len()` is not a multiple of
+/// `rngs.len()`.
+pub fn fill_standard_normals_inv_cdf_fma_multi<R: Rng>(rngs: &mut [R], out: &mut [f64]) {
+    assert!(!rngs.is_empty(), "need at least one stream");
+    assert!(
+        out.len().is_multiple_of(rngs.len()),
+        "output length {} is not a multiple of the stream count {}",
+        out.len(),
+        rngs.len()
+    );
+    let row_len = out.len() / rngs.len();
+    if row_len == 0 {
+        // Zero-length rows consume nothing from any stream — exactly
+        // like the single-stream fill on an empty slice.
+        return;
+    }
+    for (rq, oq) in rngs.chunks_mut(4).zip(out.chunks_mut(row_len * 4)) {
+        if let [a, b, c, d] = rq {
+            let mut u = [[0.0f64; 64]; 4];
+            let mut tails = [[0u8; 64]; 4];
+            let mut start = 0usize;
+            while start < row_len {
+                let len = 64.min(row_len - start);
+                let mut tn = [0usize; 4];
+                let (u01, u23) = u.split_at_mut(2);
+                let (u0, u1) = u01.split_at_mut(1);
+                let (u2, u3) = u23.split_at_mut(1);
+                let rows = u0[0][..len]
+                    .iter_mut()
+                    .zip(&mut u1[0][..len])
+                    .zip(u2[0][..len].iter_mut().zip(&mut u3[0][..len]));
+                for (i, ((v0, v1), (v2, v3))) in rows.enumerate() {
+                    let p0 = uniform_open_from_u64(a.next_u64());
+                    let p1 = uniform_open_from_u64(b.next_u64());
+                    let p2 = uniform_open_from_u64(c.next_u64());
+                    let p3 = uniform_open_from_u64(d.next_u64());
+                    *v0 = p0;
+                    *v1 = p1;
+                    *v2 = p2;
+                    *v3 = p3;
+                    let range = ACKLAM_P_LOW..=1.0 - ACKLAM_P_LOW;
+                    tails[0][tn[0]] = i as u8;
+                    tn[0] += usize::from(!range.contains(&p0));
+                    tails[1][tn[1]] = i as u8;
+                    tn[1] += usize::from(!range.contains(&p1));
+                    tails[2][tn[2]] = i as u8;
+                    tn[2] += usize::from(!range.contains(&p2));
+                    tails[3][tn[3]] = i as u8;
+                    tn[3] += usize::from(!range.contains(&p3));
+                }
+                for (lane, ul) in u.iter().enumerate() {
+                    let off = lane * row_len + start;
+                    quantile_chunk_fma(
+                        &mut oq[off..off + len],
+                        &ul[..len],
+                        &tails[lane][..tn[lane]],
+                    );
+                }
+                start += len;
+            }
+        } else {
+            for (rng, row) in rq.iter_mut().zip(oq.chunks_mut(row_len)) {
+                fill_standard_normals_inv_cdf_fma(rng, row);
+            }
+        }
+    }
+}
+
 /// Largest `|r|` the polynomial `ln(1-r)`/`exp` pair is certified for.
 ///
 /// The delay model's reachable domain is far inside this: the paper's
@@ -342,6 +585,120 @@ pub fn exp_approx(x: f64) -> f64 {
                                             + y * (2.755_731_922_398_589_4e-7
                                                 + y * (2.505_210_838_544_172e-8
                                                     + y * 2.087_675_698_786_81e-9)))))))))));
+    let t2 = t * t;
+    t2 * t2
+}
+
+/// [`ln_one_minus`] with the odd-power chain fused (`mul_add`) and
+/// regrouped Estrin-style — the v3 kernel's half of the alpha-power
+/// slowdown. Same frozen reciprocal coefficients, same truncation, and
+/// same certified domain as [`ln_one_minus`]; fusing removes one
+/// rounding per step and the Estrin tree cuts the serial dependency
+/// chain roughly in half (the pass is latency-bound, not
+/// throughput-bound), so results agree with [`ln_one_minus`] to a few
+/// ULP without being bit-interchangeable.
+///
+/// # Panics
+///
+/// Debug-asserts the certified domain.
+#[inline]
+pub fn ln_one_minus_fma(r: f64) -> f64 {
+    debug_assert!(
+        r.abs() <= LN_ONE_MINUS_MAX_R,
+        "ln_one_minus_fma certified only for |r| <= {LN_ONE_MINUS_MAX_R}, got {r}"
+    );
+    ln_one_minus_fma_raw(r)
+}
+
+/// [`ln_one_minus_fma`] without the domain check, for fused-sweep
+/// callers that evaluate speculatively and range-test afterwards.
+/// Out-of-domain inputs produce finite-or-non-finite junk (never a
+/// trap); the caller must discard such results.
+#[inline]
+pub fn ln_one_minus_fma_raw(r: f64) -> f64 {
+    ln_series_fma(r / (2.0 - r))
+}
+
+/// `ln(1 - num/den)` through the same fused atanh series as
+/// [`ln_one_minus_fma`], but with the series argument formed in a
+/// **single** division: for `r = num/den` one has `u = r/(2-r) =
+/// num/(2·den - num)`, and `2·den` is an exact power-of-two scaling, so
+/// this spends one rounding (and one divide — the hot loops' scarcest
+/// resource) where the two-step form spends two of each. No domain
+/// check: callers range-test `|num| <= `[`LN_ONE_MINUS_MAX_R`]`·den`
+/// themselves and must discard out-of-domain junk.
+#[inline]
+pub fn ln_one_minus_ratio_fma_raw(num: f64, den: f64) -> f64 {
+    ln_series_fma(num / (2.0 * den - num))
+}
+
+/// The shared fused atanh series `-2·u·(1 + u²/3 + … + u¹⁶/17)` behind
+/// both `_fma` forms of `ln(1-r)`.
+#[allow(clippy::excessive_precision)]
+#[inline]
+fn ln_series_fma(u: f64) -> f64 {
+    let u2 = u * u;
+    let u4 = u2 * u2;
+    let u8 = u4 * u4;
+    let u16 = u8 * u8;
+    // The same frozen reciprocals 1/3 .. 1/17 as `ln_one_minus`,
+    // paired degree-1 (in u2), then degree-2 (in u4), then combined in
+    // u8/u16 — four independent leaf chains instead of one serial one.
+    let q0 = 0.333_333_333_333_333_33f64.mul_add(u2, 1.0);
+    let q1 = 0.142_857_142_857_142_85f64.mul_add(u2, 0.2);
+    let q2 = 0.090_909_090_909_090_91f64.mul_add(u2, 0.111_111_111_111_111_11);
+    let q3 = 0.066_666_666_666_666_67f64.mul_add(u2, 0.076_923_076_923_076_92);
+    let e0 = q1.mul_add(u4, q0);
+    let e1 = q3.mul_add(u4, q2);
+    let s = 0.058_823_529_411_764_705f64.mul_add(u16, e1.mul_add(u8, e0));
+    -2.0 * u * s
+}
+
+/// [`exp_approx`] with the Maclaurin chain fused (`mul_add`) and
+/// regrouped Estrin-style — the v3 kernel's other half of the
+/// alpha-power slowdown. Same frozen `1/k!` coefficients, same
+/// truncation, quartering, and certified domain as the v2 twin; the
+/// Estrin tree replaces the 13-step serial Horner chain with six
+/// independent degree-1 leaves combined in `log` depth, roughly
+/// halving the latency of this latency-bound kernel.
+///
+/// # Panics
+///
+/// Debug-asserts the certified domain.
+#[inline]
+pub fn exp_approx_fma(x: f64) -> f64 {
+    debug_assert!(
+        x.abs() <= EXP_APPROX_MAX_X,
+        "exp_approx_fma certified only for |x| <= {EXP_APPROX_MAX_X}, got {x}"
+    );
+    exp_approx_fma_raw(x)
+}
+
+/// [`exp_approx_fma`] without the domain check, for fused-sweep callers
+/// that evaluate speculatively and range-test afterwards. Out-of-domain
+/// inputs produce junk (never a trap); the caller must discard such
+/// results.
+#[allow(clippy::excessive_precision)]
+#[inline]
+pub fn exp_approx_fma_raw(x: f64) -> f64 {
+    let y = 0.25 * x;
+    let y2 = y * y;
+    let y4 = y2 * y2;
+    let y8 = y4 * y4;
+    // The same frozen factorials 1/0! .. 1/12! as `exp_approx`, paired
+    // degree-1 (in y), then degree-3 (in y2), then combined in y4/y8.
+    let q0 = y + 1.0;
+    let q1 = 0.166_666_666_666_666_66f64.mul_add(y, 0.5);
+    let q2 = 0.008_333_333_333_333_333f64.mul_add(y, 0.041_666_666_666_666_664);
+    let q3 = 1.984_126_984_126_984e-4f64.mul_add(y, 0.001_388_888_888_888_889);
+    let q4 = 2.755_731_922_398_589_4e-6f64.mul_add(y, 2.480_158_730_158_730_2e-5);
+    let q5 = 2.505_210_838_544_172e-8f64.mul_add(y, 2.755_731_922_398_589_4e-7);
+    let e0 = q1.mul_add(y2, q0);
+    let e1 = q3.mul_add(y2, q2);
+    let e2 = q5.mul_add(y2, q4);
+    let f0 = e1.mul_add(y4, e0);
+    let f1 = 2.087_675_698_786_81e-9f64.mul_add(y4, e2);
+    let t = f1.mul_add(y8, f0);
     let t2 = t * t;
     t2 * t2
 }
@@ -488,6 +845,69 @@ mod tests {
         let mut b = StdRng::seed_from_u64(21);
         b.next_u64();
         assert_eq!(next, b.next_u64());
+    }
+
+    #[test]
+    fn fma_fill_matches_fma_scalar_quantile_elementwise() {
+        // The fused vector-pass fill must be bit-identical to the fused
+        // scalar quantile per element, with identical RNG consumption to
+        // the v2 fill (97 draws ⇒ tail elements and a partial final
+        // lane).
+        let mut a = StdRng::seed_from_u64(0xF3A);
+        let mut buf = [0.0; 97];
+        fill_standard_normals_inv_cdf_fma(&mut a, &mut buf);
+        let mut b = StdRng::seed_from_u64(0xF3A);
+        for (i, &z) in buf.iter().enumerate() {
+            let want = standard_normal_inv_cdf_fma(uniform_open_from_u64(b.next_u64()));
+            assert_eq!(z, want, "element {i}");
+        }
+        assert_eq!(a.next_u64(), b.next_u64(), "RNG consumption diverged");
+    }
+
+    #[test]
+    fn fma_quantile_agrees_with_v2_quantile_but_not_bitwise() {
+        // Same frozen coefficients, different rounding schedule: the two
+        // quantiles must agree far below the Monte-Carlo noise floor
+        // while remaining distinct functions in the central branch (the
+        // tails are shared verbatim).
+        let mut any_differ = false;
+        for i in 1..=9_999 {
+            let p = f64::from(i) / 10_000.0;
+            let fused = standard_normal_inv_cdf_fma(p);
+            let plain = standard_normal_inv_cdf(p);
+            assert!(
+                (fused - plain).abs() <= 1e-12 * plain.abs().max(1.0),
+                "p={p}: {fused} vs {plain}"
+            );
+            any_differ |= fused.to_bits() != plain.to_bits();
+        }
+        assert!(any_differ, "fused central branch never changed a bit");
+    }
+
+    #[test]
+    fn fma_poly_kernels_agree_with_v2_kernels() {
+        let mut r = -LN_ONE_MINUS_MAX_R;
+        while r <= LN_ONE_MINUS_MAX_R {
+            let fused = ln_one_minus_fma(r);
+            let plain = ln_one_minus(r);
+            assert!(
+                (fused - plain).abs() <= 1e-13 * plain.abs().max(1e-3),
+                "r={r}: {fused} vs {plain}"
+            );
+            r += 1e-3;
+        }
+        let mut x = -EXP_APPROX_MAX_X;
+        while x <= EXP_APPROX_MAX_X {
+            let fused = exp_approx_fma(x);
+            let plain = exp_approx(x);
+            assert!(
+                ((fused - plain) / plain).abs() <= 1e-13,
+                "x={x}: {fused} vs {plain}"
+            );
+            x += 1e-3;
+        }
+        assert_eq!(exp_approx_fma(0.0), 1.0);
+        assert_eq!(ln_one_minus_fma(0.0), 0.0);
     }
 
     #[test]

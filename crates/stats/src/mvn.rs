@@ -230,6 +230,62 @@ impl MultivariateNormal {
         weight
     }
 
+    /// The **v3-kernel** correlated sampler: like
+    /// [`MultivariateNormal::sample_into_v2`] but the iid normals come
+    /// from the batch inverse-CDF fill
+    /// ([`crate::batch::fill_standard_normals_inv_cdf`]) — one uniform
+    /// per normal through a branch-free transform, different (but
+    /// equally deterministic) bytes than both v1 and v2. Used by
+    /// Monte-Carlo surfaces running under the versioned `v3` wide-kernel
+    /// contract.
+    pub fn sample_into_v3<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        z: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
+        z.resize(self.dim(), 0.0);
+        out.resize(self.dim(), 0.0);
+        crate::batch::fill_standard_normals_inv_cdf(rng, z);
+        self.chol.transform_into(z, out);
+        for (yi, mi) in out.iter_mut().zip(&self.mean) {
+            *yi += mi;
+        }
+    }
+
+    /// The **trial-plan** sampler under the v3 kernel: the batch
+    /// inverse-CDF fill of [`MultivariateNormal::sample_into_v3`] with
+    /// the same modification overlay as
+    /// [`MultivariateNormal::sample_into_plan`]. Returns the trial's
+    /// importance weight.
+    pub fn sample_into_v3_plan<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sign: f64,
+        lead: &[f64],
+        shift: f64,
+        z: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> f64 {
+        z.resize(self.dim(), 0.0);
+        out.resize(self.dim(), 0.0);
+        crate::batch::fill_standard_normals_inv_cdf(rng, z);
+        for (zi, &l) in z.iter_mut().zip(lead) {
+            *zi = l;
+        }
+        if sign != 1.0 {
+            for zi in z.iter_mut() {
+                *zi *= sign;
+            }
+        }
+        let weight = self.apply_shift(shift, z);
+        self.chol.transform_into(z, out);
+        for (yi, mi) in out.iter_mut().zip(&self.mean) {
+            *yi += mi;
+        }
+        weight
+    }
+
     /// Mean-shifts `z[0]` by `shift` sigmas and returns the likelihood
     /// ratio (1.0 when `shift == 0` or the distribution is empty).
     fn apply_shift(&self, shift: f64, z: &mut [f64]) -> f64 {

@@ -38,8 +38,8 @@ use vardelay_circuit::generators::{inverter_chain, iscas};
 use vardelay_circuit::{parse_bench, write_bench, CellLibrary, Netlist};
 use vardelay_core::{Pipeline, StageDelay};
 use vardelay_engine::{
-    checkpoint_line, plan_workload, run_units, Checkpoint, EngineError, Shard, Workload,
-    WorkloadOptions, WorkloadPlan, WorkloadReport, CONTRACT_VERSION,
+    checkpoint_line, plan_workload, run_units, Checkpoint, EngineError, KernelSpec, Shard,
+    Workload, WorkloadOptions, WorkloadPlan, WorkloadReport, CONTRACT_VERSION,
 };
 use vardelay_process::VariationConfig;
 use vardelay_ssta::SstaEngine;
@@ -57,9 +57,12 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-/// The help text.
+/// The help text. The kernel keyword lists are generated from
+/// [`KernelSpec::ALL`], so help can never drift from the parser again.
 pub fn help() -> String {
-    "\
+    let kernels = KernelSpec::keyword_list();
+    format!(
+        "\
 vardelay — statistical pipeline delay & yield (DATE 2005 reproduction)
 
 USAGE:
@@ -85,12 +88,14 @@ USAGE:
       (gate-level MC on the zero-allocation hot path; supports
       CircuitSpec stages: Chain/Alu1/Alu2/Decoder/Random/Iscas), or
       analytic (closed-form SSTA/Clark, no trials). The kernel field
-      picks the versioned trial-kernel contract: v1 (the default
-      scalar kernel, the historical byte contract) or v2 (the batch
-      kernel, 3-5x the trials/s under its own frozen byte contract).
-      Either kernel is byte-identical to itself at any --workers,
-      --shard split or resume; kernel (like backend) is excluded from
-      scenario identity, so both derive the same per-trial seeds.
+      picks the versioned trial-kernel contract ({kernels}): v1 is the
+      default scalar kernel (the historical byte contract), v2 the
+      batch kernel (~3.5x v1's trials/s under its own frozen byte
+      contract), v3 the wide structure-of-arrays kernel (lane-major
+      16-trial passes; the fastest). Every kernel is byte-identical to
+      itself at any --workers, --shard split or resume; kernel (like
+      backend) is excluded from scenario identity, so all versions
+      derive the same per-trial seeds.
 
       Production flags (shared with optimize; all byte-exact thanks to
       content-hash unit keys + counter-based seeding):
@@ -141,12 +146,12 @@ USAGE:
       With --cache DIR, also report how many units are already cached
       vs to execute and the adjusted cost estimate.
 
-  vardelay sweep example [--backend netlist] [--kernel v1|v2]
+  vardelay sweep example [--backend netlist] [--kernel {kernels}]
                          [--strategy antithetic|stratified|sobol|blockade]
       Print an example sweep spec (JSON) to adapt; --backend netlist
       emits a gate-level template (circuit-spec pipelines, an analytic
-      model twin for model-vs-MC deltas); --kernel v2 stamps the batch
-      trial kernel onto every scenario; --strategy emits an inter-die-
+      model twin for model-vs-MC deltas); --kernel stamps that trial
+      kernel onto every scenario; --strategy emits an inter-die-
       heavy template exercising that trial plan (scenario `trials` may
       be a bare count or an object with count/strategy/shift_sigmas).
 
@@ -162,9 +167,12 @@ USAGE:
       side. Results are bit-identical for any --workers. The
       yield_backend field picks what measures yield inside the sizing
       loop: analytic (Clark/SSTA, the paper flow) or netlist
-      (gate-level Monte-Carlo). The kernel field (v1|v2) picks the
+      (gate-level Monte-Carlo). The kernel field ({kernels}) picks the
       trial-kernel contract for every Monte-Carlo surface of a run:
       in-loop evaluation, stage criticality and final verification.
+      Under v3, verification trials additionally fan out across the
+      --workers pool in fixed chunks folded in chunk order, so the
+      verified bytes stay identical at every worker count.
 
   vardelay optimize validate <spec.json> [--cache DIR]
       Lint a campaign spec without running it: expand, validate every
@@ -203,7 +211,7 @@ USAGE:
   vardelay help
       This text.
 "
-    .to_owned()
+    )
 }
 
 /// Parses `--key value` style options out of an argument list.
